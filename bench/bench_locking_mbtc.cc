@@ -1,0 +1,65 @@
+// Experiment E8 (§4.2.5): the marginal cost of trace-checking a SECOND
+// specification. The paper imagines moving from RaftMongo.tla to
+// Locking.tla and observes that the state variables are disjoint, the
+// events are different, and the post-processing shares almost nothing —
+// so the marginal cost approaches the cost of the first spec.
+//
+// This bench demonstrates the point concretely: it model-checks the
+// Locking spec, trace-checks a real lock workload, and tabulates which
+// pipeline components were reused versus written fresh.
+
+#include <cstdio>
+
+#include "repl/replica_set.h"
+#include "specs/locking_spec.h"
+#include "tlax/checker.h"
+#include "trace/lock_trace.h"
+
+using namespace xmodel;  // NOLINT — bench binaries only.
+
+int main() {
+  std::printf("E8: the second specification (Locking)\n\n");
+
+  for (int contexts : {1, 2, 3}) {
+    specs::LockingConfig config;
+    config.num_contexts = contexts;
+    specs::LockingSpec spec(config);
+    auto result = tlax::ModelChecker().Check(spec);
+    std::printf("locking spec, %d contexts: %8llu states  %6.2f s  %s\n",
+                contexts,
+                static_cast<unsigned long long>(result.distinct_states),
+                result.seconds,
+                result.violation.has_value() ? result.violation->kind.c_str()
+                                             : "invariants hold");
+  }
+
+  // Trace-check a real workload: the lock events of a leader serving
+  // client writes.
+  repl::ReplicaSetConfig rs_config;
+  repl::ReplicaSet rs(rs_config);
+  trace::LockTraceRecorder recorder(2);
+  recorder.Attach(&rs.node(0).lock_manager());
+  rs.TryElect(0).ok();
+  for (int i = 0; i < 25; ++i) {
+    rs.ClientWrite(0, "w").ok();
+  }
+  auto check = recorder.Check();
+  std::printf("\nlock trace from 25 leader writes: %zu events, %s\n",
+              recorder.events().size(),
+              check.ok() ? "trace PASSES" : check.status.ToString().c_str());
+
+  std::printf("\npipeline reuse between the RaftMongo MBTC and this one:\n");
+  std::printf("  reused:   tlax model checker, tlax trace checker, Status/"
+              "logging plumbing\n");
+  std::printf("  rewritten: event schema (LockEvent vs ReplTraceEvent), "
+              "state reconstruction\n");
+  std::printf("             (holdings map vs Figure-3 role/term/oplog "
+              "rules), spec (disjoint\n");
+  std::printf("             variables), instrumentation points (lock "
+              "manager vs replication)\n");
+  std::printf("\npaper reference: \"the marginal cost of checking each "
+              "additional specification\n");
+  std::printf("would approach the cost of the first\" — only the checker "
+              "core transfers.\n");
+  return check.ok() ? 0 : 1;
+}

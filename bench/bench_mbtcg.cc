@@ -1,0 +1,82 @@
+// Experiment E6 (§5.2): exhaustive test-case generation. The paper: "For
+// an initial array containing three elements and with three clients each
+// performing a single operation, the Golang program generated 4,913 C++
+// test cases", all of which passed, proving the TLA+ spec, the C++
+// implementation, and the Golang implementation agree.
+//
+// This bench runs the whole pipeline — model check, DOT dump, DOT parse,
+// extraction, in-process execution against BOTH implementations — and
+// times each stage.
+
+#include <chrono>
+#include <cstdio>
+
+#include "mbtcg/generator.h"
+#include "otgo/go_merge.h"
+
+using namespace xmodel;  // NOLINT — bench binaries only.
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: model-based test-case generation, end to end\n\n");
+
+  specs::ArrayOtConfig config;  // The paper's configuration.
+  std::vector<mbtcg::TestCase> cases;
+  auto t0 = std::chrono::steady_clock::now();
+  mbtcg::GenerationReport generation =
+      mbtcg::GenerateTestCases(config, &cases);
+  double generation_seconds = Seconds(t0);
+  if (!generation.status.ok()) {
+    std::printf("generation failed: %s\n",
+                generation.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("spec states explored:     %llu (model check %.2f s)\n",
+              static_cast<unsigned long long>(generation.spec_states),
+              generation.model_check_seconds);
+  std::printf("DOT dump parsed back:     %.1f MB\n",
+              static_cast<double>(generation.dot_bytes) / 1e6);
+  std::printf("test cases generated:     %zu   (paper: 4,913)\n",
+              cases.size());
+  std::printf("pipeline total:           %.2f s\n\n", generation_seconds);
+
+  t0 = std::chrono::steady_clock::now();
+  mbtcg::RunReport cpp_run = mbtcg::RunTestCases(cases);
+  std::printf("C++ implementation:       %zu/%zu passed (%.2f s)\n",
+              cpp_run.passed, cpp_run.total, Seconds(t0));
+
+  otgo::GoMergeEngine go;
+  t0 = std::chrono::steady_clock::now();
+  mbtcg::RunReport go_run = mbtcg::RunTestCases(cases, &go);
+  std::printf("Go   implementation:      %zu/%zu passed (%.2f s)\n",
+              go_run.passed, go_run.total, Seconds(t0));
+
+  for (const std::string& f : cpp_run.failures) {
+    std::printf("  C++ FAIL: %s\n", f.c_str());
+  }
+  for (const std::string& f : go_run.failures) {
+    std::printf("  Go  FAIL: %s\n", f.c_str());
+  }
+
+  // Emitted-file size, for the record (the paper compiled its generated
+  // tests with Realm's unit-test framework).
+  std::string file = mbtcg::GenerateCppTestFile(cases);
+  std::printf("\ngenerated gtest source:   %.1f MB across %zu tests\n",
+              static_cast<double>(file.size()) / 1e6, cases.size());
+  std::printf("paper reference: all 4,913 generated cases passed, giving "
+              "100%% branch coverage\n");
+  std::printf("and confidence that the C++ and Golang merge rules always "
+              "agree.\n");
+
+  return (cpp_run.all_passed() && go_run.all_passed()) ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+// Experiment E3 (§4.2.2): what trace-checking catches. The paper applied
+// MBTC to 5 handwritten tests and one randomized test: one handwritten
+// test passed; four violated the specification via two implementation
+// discrepancies (initial sync and term gossip); the rollback_fuzzer trace
+// reproduced the initial-sync quorum bug 4 steps from the trace's start.
+//
+// This bench trace-checks the scenario library against the Detailed
+// RaftMongo spec and reports which scenarios pass, which violate and why,
+// and the effect of the paper's mitigations (solutions 2/3/4). It also
+// runs the partial-state-logging ablation (§4.2.1/§6): log only changed
+// variables and let the post-processor fill the rest in.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "repl/rollback_fuzzer.h"
+#include "tlax/spec_coverage.h"
+#include "repl/scenarios.h"
+#include "specs/raft_mongo_spec.h"
+#include "trace/mbtc_pipeline.h"
+#include "trace/trace_logger.h"
+
+using namespace xmodel;  // NOLINT — bench binaries only.
+
+namespace {
+
+specs::RaftMongoSpec MakeSpec(int num_nodes) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = num_nodes;
+  config.max_term = 1'000'000;  // Traces are checked unbounded.
+  config.max_oplog_len = 1'000'000;
+  return specs::RaftMongoSpec(config);
+}
+
+trace::MbtcReport CheckScenario(const repl::Scenario& scenario,
+                                bool partial_logging) {
+  repl::ReplicaSet rs(scenario.config);
+  trace::TraceLoggerOptions logger_options;
+  logger_options.partial_state_logging = partial_logging;
+  trace::TraceLogger logger(&rs.clock(), logger_options);
+  rs.AttachTraceSink(&logger);
+  scenario.run(rs).ok();
+  specs::RaftMongoSpec spec = MakeSpec(scenario.config.num_nodes);
+  trace::MbtcPipelineOptions options;
+  options.checker.allow_stuttering = true;
+  trace::MbtcPipeline pipeline(&spec, options);
+  return pipeline.Run(logger.LogFiles(rs.num_nodes()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3: trace-checking the implementation against RaftMongo\n\n");
+
+  for (bool partial : {false, true}) {
+    int pass = 0, fail = 0, skipped_arbiters = 0;
+    int expected_violations = 0;
+    for (const repl::Scenario& scenario : repl::BaseScenarios()) {
+      if (scenario.uses_arbiters) {
+        ++skipped_arbiters;  // Solution 2: avoid tests that crash tracing.
+        continue;
+      }
+      trace::MbtcReport report = CheckScenario(scenario, partial);
+      bool expected_to_fail = scenario.exhibits_two_leaders ||
+                              scenario.name == "initial_sync_quorum_bug";
+      if (report.passed()) {
+        ++pass;
+      } else {
+        ++fail;
+        if (expected_to_fail) ++expected_violations;
+      }
+      if (!partial) {
+        std::printf("  %-28s %s", scenario.name.c_str(),
+                    report.passed() ? "PASS" : "VIOLATION");
+        if (!report.passed()) {
+          std::printf(" at step %zu of %llu%s",
+                      report.check.failed_step,
+                      static_cast<unsigned long long>(report.num_events),
+                      expected_to_fail ? "  (known discrepancy)" : "");
+        }
+        std::printf("\n");
+      }
+    }
+    std::printf("\n[%s logging] pass=%d violations=%d (all %d expected) "
+                "arbiter-skipped=%d\n\n",
+                partial ? "partial-state" : "full-state", pass, fail,
+                expected_violations, skipped_arbiters);
+  }
+
+  std::printf("paper reference: of 5 handwritten tests checked, 1 passed "
+              "and 4 violated the spec\n");
+  std::printf("                 (initial-sync and term discrepancies); "
+              "arbiters were skipped outright.\n\n");
+
+  // The quorum-bug violation in detail: how early does the checker catch
+  // it, and do the paper's mitigations restore a checkable trace?
+  auto scenarios = repl::BaseScenarios();
+  auto bug = std::find_if(scenarios.begin(), scenarios.end(),
+                          [](const repl::Scenario& s) {
+                            return s.name == "initial_sync_quorum_bug";
+                          });
+  trace::MbtcReport buggy = CheckScenario(*bug, false);
+  std::printf("initial-sync quorum bug: violation at step %zu of %llu "
+              "(paper: step 4 of 2,683 — \"left the remaining steps "
+              "unchecked\")\n",
+              buggy.check.failed_step,
+              static_cast<unsigned long long>(buggy.num_events));
+
+  // Solution 2 (avoidance): the fuzzer with all members synced before
+  // writes and no mid-run initial syncs produces a fully checkable trace.
+  repl::RollbackFuzzerOptions options;
+  options.seed = 11;
+  options.num_steps = 4000;
+  options.sync_all_before_writes = true;
+  options.avoid_unclean_restarts = true;
+  options.avoid_two_leaders = true;
+  repl::ReplicaSet rs(options.config);
+  trace::TraceLogger logger(&rs.clock());
+  rs.AttachTraceSink(&logger);
+  repl::RollbackFuzzer(options).Run(&rs);
+  specs::RaftMongoSpec spec = MakeSpec(options.config.num_nodes);
+  trace::MbtcPipelineOptions popts;
+  popts.checker.allow_stuttering = true;
+  trace::MbtcPipeline pipeline(&spec, popts);
+  trace::MbtcReport avoided = pipeline.Run(logger.LogFiles(rs.num_nodes()));
+  std::printf("solution 2 (modified rollback_fuzzer): %llu events, %s\n",
+              static_cast<unsigned long long>(avoided.num_events),
+              avoided.passed() ? "trace PASSES in full" : "still violates");
+
+  // The metric the paper wanted but never built (§4.2.4): total spec-space
+  // coverage accumulated across every checked trace, as a CI deployment
+  // would compute it.
+  specs::RaftMongoConfig bounded_config;
+  bounded_config.num_nodes = 3;
+  bounded_config.max_term = 2;
+  bounded_config.max_oplog_len = 2;
+  specs::RaftMongoSpec bounded(bounded_config);
+  tlax::SpecCoverage coverage;
+  if (coverage.Initialize(bounded).ok()) {
+    for (const repl::Scenario& scenario : repl::BaseScenarios()) {
+      if (scenario.uses_arbiters || scenario.exhibits_two_leaders) continue;
+      if (scenario.name == "initial_sync_quorum_bug") continue;
+      if (scenario.config.num_nodes != 3) continue;
+      repl::ReplicaSet srs(scenario.config);
+      trace::TraceLogger slog(&srs.clock());
+      srs.AttachTraceSink(&slog);
+      scenario.run(srs).ok();
+      auto merged = trace::MergeLogs(slog.LogFiles(srs.num_nodes()));
+      if (!merged.ok()) continue;
+      trace::EventProcessorOptions po;
+      po.num_nodes = 3;
+      trace::ProcessedTrace processed =
+          trace::EventProcessor(po).Process(*merged);
+      if (!processed.ok()) continue;
+      coverage.AddTrace(bounded,
+                        trace::MbtcPipeline::ToTraceStates(processed.states))
+          .ok();
+    }
+    std::printf("\naccumulated state-space coverage over all checked "
+                "traces (terms<=2, oplog<=2):\n");
+    std::printf("  %llu of %llu reachable spec states (%.2f%%) across %llu "
+                "traces\n",
+                static_cast<unsigned long long>(coverage.covered_states()),
+                static_cast<unsigned long long>(coverage.reachable_states()),
+                100.0 * coverage.Fraction(),
+                static_cast<unsigned long long>(coverage.traces()));
+    std::printf("  (the paper: \"measure accumulated state space coverage "
+                "over all tests\" — never\n   built; handwritten tests "
+                "exercise a sliver of the space, motivating fuzzing)\n");
+  }
+  return avoided.passed() ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Model-based trace checking, end to end (the paper's Figure 1 pipeline):
+//
+//   replica set under test  ->  per-node JSON log files
+//   -> merge by timestamp   ->  Figure-3 state-sequence reconstruction
+//   -> generated Trace module (Figure 4)  ->  trace check vs RaftMongo
+//
+// The demo runs twice: once against a conforming implementation (the
+// trace passes) and once with the real initial-sync quorum bug enabled
+// (the trace violates the spec partway through, as in §4.2.2).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "repl/scenarios.h"
+#include "specs/raft_mongo_spec.h"
+#include "trace/mbtc_pipeline.h"
+#include "trace/trace_logger.h"
+
+using namespace xmodel;  // NOLINT — example binaries only.
+
+namespace {
+
+void RunPipeline(const repl::Scenario& scenario, const char* label) {
+  std::printf("== %s ==\n", label);
+
+  // 1. Run the system with tracing enabled; every node writes JSON events
+  //    to its own log file, timestamped by the Figure-2 clock-tick wait.
+  repl::ReplicaSet rs(scenario.config);
+  trace::TraceLogger logger(&rs.clock());
+  rs.AttachTraceSink(&logger);
+  common::Status run = scenario.run(rs);
+  std::printf("scenario '%s': %s, %llu trace events\n",
+              scenario.name.c_str(), run.ok() ? "ran" : "failed",
+              static_cast<unsigned long long>(logger.events_logged()));
+
+  // A peek at the raw log lines.
+  auto files = logger.LogFiles(rs.num_nodes());
+  for (const auto& file : files) {
+    if (!file.empty()) {
+      std::printf("sample log line: %s\n", file.front().c_str());
+      break;
+    }
+  }
+
+  // 2-4. Merge, post-process, emit the Trace module, check.
+  specs::RaftMongoConfig spec_config;
+  spec_config.num_nodes = scenario.config.num_nodes;
+  spec_config.max_term = 1'000'000;
+  spec_config.max_oplog_len = 1'000'000;
+  specs::RaftMongoSpec spec(spec_config);
+
+  trace::MbtcPipelineOptions options;
+  options.checker.allow_stuttering = true;
+  trace::MbtcPipeline pipeline(&spec, options);
+  trace::MbtcReport report = pipeline.Run(files);
+
+  // A peek at the generated Trace module (the paper's Figure 4 artifact).
+  std::printf("Trace module preview:\n");
+  size_t shown = 0, pos = 0;
+  while (shown < 8 && pos < report.trace_module.size()) {
+    size_t end = report.trace_module.find('\n', pos);
+    std::printf("    %s\n",
+                report.trace_module.substr(pos, end - pos).c_str());
+    pos = end + 1;
+    ++shown;
+  }
+  std::printf("    ... (%zu states total)\n", report.num_states);
+
+  if (report.passed()) {
+    std::printf("MBTC verdict: PASS — the trace is a behavior of %s\n\n",
+                spec.name().c_str());
+  } else {
+    std::printf("MBTC verdict: VIOLATION at step %zu of %llu — %s\n\n",
+                report.check.failed_step,
+                static_cast<unsigned long long>(report.num_events),
+                report.check.status.message().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto scenarios = repl::BaseScenarios();
+
+  auto conforming = std::find_if(
+      scenarios.begin(), scenarios.end(),
+      [](const repl::Scenario& s) { return s.name == "failover_basic"; });
+  RunPipeline(*conforming, "conforming implementation");
+
+  auto buggy = std::find_if(scenarios.begin(), scenarios.end(),
+                            [](const repl::Scenario& s) {
+                              return s.name == "initial_sync_quorum_bug";
+                            });
+  RunPipeline(*buggy, "implementation with the initial-sync quorum bug");
+
+  std::printf("The violation above is the paper's §4.2.2 discovery: an "
+              "initial-syncing member\nwas counted toward the write "
+              "majority although its data is not durable.\n");
+  return 0;
+}

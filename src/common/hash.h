@@ -1,0 +1,43 @@
+#ifndef XMODEL_COMMON_HASH_H_
+#define XMODEL_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xmodel::common {
+
+/// 64-bit FNV-1a over raw bytes. Used for state fingerprinting in tlax.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Strong 64-bit finalizer (from MurmurHash3) used as a mixing step.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace xmodel::common
+
+#endif  // XMODEL_COMMON_HASH_H_

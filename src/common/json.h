@@ -1,0 +1,84 @@
+#ifndef XMODEL_COMMON_JSON_H_
+#define XMODEL_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmodel::common {
+
+/// A small JSON document model used for trace-event logs. Objects preserve
+/// insertion order so emitted logs are stable and diffable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Members = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Int(int64_t i);
+  static Json Double(double d);
+  static Json Str(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const;
+  int64_t int_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  const Array& array() const;
+  Array& array();
+  const Members& members() const;
+
+  /// Appends to an array value.
+  void Append(Json v);
+
+  /// Sets (or replaces) an object member.
+  void Set(std::string key, Json v);
+
+  /// Returns the member value, or nullptr when absent / not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Compact single-line serialization.
+  std::string Dump() const;
+
+  /// Parses one JSON document; trailing whitespace is allowed.
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void AppendTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Members members_;
+};
+
+/// Escapes `s` per JSON string rules and wraps it in quotes.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace xmodel::common
+
+#endif  // XMODEL_COMMON_JSON_H_

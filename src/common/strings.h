@@ -1,0 +1,53 @@
+#ifndef XMODEL_COMMON_STRINGS_H_
+#define XMODEL_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmodel::common {
+
+namespace internal_strings {
+
+inline void AppendPiece(std::ostringstream* os, const std::string& s) {
+  *os << s;
+}
+inline void AppendPiece(std::ostringstream* os, std::string_view s) { *os << s; }
+inline void AppendPiece(std::ostringstream* os, const char* s) { *os << s; }
+inline void AppendPiece(std::ostringstream* os, char c) { *os << c; }
+inline void AppendPiece(std::ostringstream* os, bool b) {
+  *os << (b ? "true" : "false");
+}
+template <typename T>
+inline void AppendPiece(std::ostringstream* os, const T& v) {
+  *os << v;
+}
+
+}  // namespace internal_strings
+
+/// Concatenates its arguments into one string (numbers via operator<<).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (internal_strings::AppendPiece(&os, args), ...);
+  return os.str();
+}
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace xmodel::common
+
+#endif  // XMODEL_COMMON_STRINGS_H_

@@ -1,0 +1,48 @@
+#ifndef XMODEL_FUZZ_TRANSFORM_FUZZER_H_
+#define XMODEL_FUZZ_TRANSFORM_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ot/merge.h"
+
+namespace xmodel::fuzz {
+
+/// Configuration for the randomized transform fuzzer — the stand-in for
+/// the paper's AFL-based fuzz-transform executable (§5.2), which "produces
+/// randomized inputs that are then mapped to randomized operations".
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t iterations = 10'000;
+  int num_clients = 3;
+  int64_t max_initial_len = 4;
+  int max_ops_per_client = 3;
+  bool include_swap = false;
+  ot::MergeConfig merge;
+};
+
+struct FuzzReport {
+  uint64_t executions = 0;
+  uint64_t merge_errors = 0;
+  uint64_t convergence_failures = 0;
+  /// First few diagnostic messages.
+  std::vector<std::string> failures;
+  /// Branch coverage of the merge rules accumulated over the run (the
+  /// caller resets the CoverageRegistry beforehand).
+  size_t branches_covered = 0;
+  size_t branches_total = 0;
+
+  bool ok() const {
+    return merge_errors == 0 && convergence_failures == 0;
+  }
+};
+
+/// Runs random multi-client sync workloads, checking convergence after
+/// every execution and accumulating merge-rule branch coverage.
+FuzzReport RunTransformFuzzer(const FuzzOptions& options);
+
+}  // namespace xmodel::fuzz
+
+#endif  // XMODEL_FUZZ_TRANSFORM_FUZZER_H_

@@ -1,0 +1,153 @@
+#include "mbtcg/dot_parser.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+#include "tlax/tla_text.h"
+
+namespace xmodel::mbtcg {
+
+using common::Result;
+using common::Status;
+using common::StrCat;
+
+namespace {
+
+// Unescapes a JSON-style quoted string starting at text[*pos] == '"'.
+// Returns the unescaped contents and advances past the closing quote.
+Result<std::string> ParseQuoted(const std::string& text, size_t* pos) {
+  if (*pos >= text.size() || text[*pos] != '"') {
+    return Status::Corruption(StrCat("expected '\"' at ", *pos));
+  }
+  ++*pos;
+  std::string out;
+  while (*pos < text.size()) {
+    char c = text[(*pos)++];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (*pos >= text.size()) return Status::Corruption("dangling escape");
+      char e = text[(*pos)++];
+      switch (e) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        default:
+          out.push_back(e);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return Status::Corruption("unterminated quoted string");
+}
+
+}  // namespace
+
+std::vector<uint32_t> DotGraph::TerminalNodes() const {
+  std::set<uint32_t> with_out;
+  for (const Edge& e : edges) with_out.insert(e.from);
+  std::vector<uint32_t> out;
+  for (const auto& [id, node] : nodes) {
+    if (with_out.find(id) == with_out.end()) out.push_back(id);
+  }
+  return out;
+}
+
+Result<DotGraph> ParseDot(const std::string& text) {
+  DotGraph graph;
+  std::vector<std::string> lines = common::StrSplit(text, '\n');
+  for (std::string& raw : lines) {
+    std::string line(common::StripWhitespace(raw));
+    if (line.empty() || line == "}" ||
+        common::StartsWith(line, "digraph")) {
+      continue;
+    }
+
+    // Edge: `A -> B [label="..."]`.
+    size_t arrow = line.find(" -> ");
+    if (arrow != std::string::npos) {
+      DotGraph::Edge edge;
+      edge.from = static_cast<uint32_t>(
+          std::strtoul(line.c_str(), nullptr, 10));
+      edge.to = static_cast<uint32_t>(
+          std::strtoul(line.c_str() + arrow + 4, nullptr, 10));
+      size_t label = line.find("[label=");
+      if (label != std::string::npos) {
+        size_t pos = label + 7;
+        Result<std::string> action = ParseQuoted(line, &pos);
+        if (!action.ok()) return action.status();
+        edge.action = std::move(*action);
+      }
+      graph.edges.push_back(edge);
+      continue;
+    }
+
+    // Initial marker: `N [style = filled]`.
+    if (line.find("[style = filled]") != std::string::npos) {
+      graph.initial.push_back(static_cast<uint32_t>(
+          std::strtoul(line.c_str(), nullptr, 10)));
+      continue;
+    }
+
+    // Node: `N [label="var = value\nvar = value..."]`.
+    size_t label = line.find("[label=");
+    if (label != std::string::npos) {
+      DotGraph::Node node;
+      node.id = static_cast<uint32_t>(
+          std::strtoul(line.c_str(), nullptr, 10));
+      size_t pos = label + 7;
+      Result<std::string> contents = ParseQuoted(line, &pos);
+      if (!contents.ok()) return contents.status();
+      // Assignments are separated by a literal backslash-n sequence (DOT's
+      // newline escape, preserved by the quoting round trip).
+      std::vector<std::string> assignments;
+      {
+        const std::string& s = *contents;
+        size_t start = 0;
+        while (true) {
+          size_t sep = s.find("\\n", start);
+          if (sep == std::string::npos) {
+            assignments.push_back(s.substr(start));
+            break;
+          }
+          assignments.push_back(s.substr(start, sep - start));
+          start = sep + 2;
+        }
+      }
+      for (const std::string& assignment : assignments) {
+        if (assignment.empty()) continue;
+        size_t eq = assignment.find(" = ");
+        if (eq == std::string::npos) {
+          return Status::Corruption(
+              StrCat("malformed assignment '", assignment, "'"));
+        }
+        std::string var = assignment.substr(0, eq);
+        Result<tlax::Value> value =
+            tlax::ParseTlaValue(assignment.substr(eq + 3));
+        if (!value.ok()) return value.status();
+        node.vars.emplace(std::move(var), std::move(*value));
+      }
+      graph.nodes[node.id] = std::move(node);
+      continue;
+    }
+
+    return Status::Corruption(StrCat("unparsable DOT line: ", line));
+  }
+  if (graph.nodes.empty()) {
+    return Status::Corruption("DOT text contains no nodes");
+  }
+  return graph;
+}
+
+}  // namespace xmodel::mbtcg

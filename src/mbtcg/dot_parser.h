@@ -1,0 +1,43 @@
+#ifndef XMODEL_MBTCG_DOT_PARSER_H_
+#define XMODEL_MBTCG_DOT_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tlax/value.h"
+
+namespace xmodel::mbtcg {
+
+/// A state graph recovered from GraphViz DOT text. The paper's test-case
+/// generator was "a Golang program to parse this file" — the DOT dump of
+/// TLC's reachable states (§5.2); parsing the textual dump (rather than
+/// consuming tlax's in-memory graph) keeps that pipeline stage faithful.
+struct DotGraph {
+  struct Node {
+    uint32_t id = 0;
+    /// Variable name -> parsed TLA value.
+    std::map<std::string, tlax::Value> vars;
+  };
+  struct Edge {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    std::string action;
+  };
+
+  std::map<uint32_t, Node> nodes;
+  std::vector<Edge> edges;
+  std::vector<uint32_t> initial;
+
+  /// Ids of nodes with no outgoing edges (fully-merged leaves).
+  std::vector<uint32_t> TerminalNodes() const;
+};
+
+/// Parses the DOT text emitted by tlax::StateGraph::ToDot.
+common::Result<DotGraph> ParseDot(const std::string& text);
+
+}  // namespace xmodel::mbtcg
+
+#endif  // XMODEL_MBTCG_DOT_PARSER_H_

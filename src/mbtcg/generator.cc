@@ -1,0 +1,165 @@
+#include "mbtcg/generator.h"
+
+#include "common/strings.h"
+#include "ot/fixture.h"
+#include "tlax/checker.h"
+
+namespace xmodel::mbtcg {
+
+using common::Status;
+using common::StrCat;
+using ot::Operation;
+using ot::OpType;
+
+GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
+                                   std::vector<TestCase>* cases) {
+  GenerationReport report;
+  specs::ArrayOtSpec spec(config);
+
+  tlax::CheckerOptions options;
+  options.record_graph = true;
+  tlax::CheckResult checked = tlax::ModelChecker(options).Check(spec);
+  report.spec_states = checked.distinct_states;
+  report.model_check_seconds = checked.seconds;
+  if (!checked.status.ok()) {
+    report.status = checked.status;
+    return report;
+  }
+  if (checked.violation.has_value()) {
+    report.status = Status::FailedPrecondition(
+        StrCat("specification violates ", checked.violation->kind,
+               " — fix the spec before generating tests"));
+    return report;
+  }
+
+  // TLC's `-dump dot` stage, then the parse-it-back stage.
+  std::string dot = checked.graph->ToDot(spec.variables());
+  report.dot_bytes = dot.size();
+  auto graph = ParseDot(dot);
+  if (!graph.ok()) {
+    report.status = graph.status();
+    return report;
+  }
+
+  auto extracted = ExtractTestCases(*graph, config.num_clients);
+  if (!extracted.ok()) {
+    report.status = extracted.status();
+    return report;
+  }
+  *cases = std::move(*extracted);
+  for (TestCase& c : *cases) c.merge_descending = config.merge_descending;
+  report.num_cases = cases->size();
+  return report;
+}
+
+namespace {
+
+std::string OpAsCode(const Operation& op) {
+  switch (op.type) {
+    case OpType::kArraySet:
+      return StrCat("Operation::Set(", op.ndx, ", ", op.value, ")");
+    case OpType::kArrayInsert:
+      return StrCat("Operation::Insert(", op.ndx, ", ", op.value, ")");
+    case OpType::kArrayMove:
+      return StrCat("Operation::Move(", op.ndx, ", ", op.ndx2, ")");
+    case OpType::kArraySwap:
+      return StrCat("Operation::Swap(", op.ndx, ", ", op.ndx2, ")");
+    case OpType::kArrayErase:
+      return StrCat("Operation::Erase(", op.ndx, ")");
+    case OpType::kArrayClear:
+      return "Operation::Clear()";
+  }
+  return "/* ? */";
+}
+
+std::string ArrayAsCode(const ot::Array& array) {
+  std::string out = "{";
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat(array[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string GenerateCppTestFile(const std::vector<TestCase>& cases,
+                                size_t max_cases) {
+  size_t count = max_cases == 0 ? cases.size()
+                                : std::min(max_cases, cases.size());
+  std::string out;
+  out +=
+      "// GENERATED FILE — produced by the MBTCG pipeline from the array_ot\n"
+      "// specification's state space. Do not edit: regenerate instead.\n"
+      "// One test per fully-merged leaf state (paper §5.2, Figure 9).\n"
+      "\n"
+      "#include <gtest/gtest.h>\n"
+      "\n"
+      "#include \"ot/fixture.h\"\n"
+      "#include \"ot/operation.h\"\n"
+      "\n"
+      "namespace xmodel::ot {\n"
+      "namespace {\n"
+      "\n";
+  for (size_t i = 0; i < count; ++i) {
+    const TestCase& c = cases[i];
+    out += StrCat("TEST(Transform, Node__", c.case_id, ") {\n");
+    out += StrCat("  TransformArrayFixture fixture{",
+                  static_cast<int>(c.client_ops.size()), ", ",
+                  ArrayAsCode(c.initial), "};\n");
+    for (size_t client = 0; client < c.client_ops.size(); ++client) {
+      out += StrCat("  fixture.transaction(", client, ", ",
+                    OpAsCode(c.client_ops[client]), ");\n");
+    }
+    out += c.merge_descending
+               ? "  fixture.sync_all_clients(/*descending=*/true);\n"
+               : "  fixture.sync_all_clients();\n";
+    out += StrCat("  fixture.check_array(", ArrayAsCode(c.final_array),
+                  ");\n");
+    for (size_t client = 0; client < c.applied_ops.size(); ++client) {
+      out += StrCat("  fixture.check_ops(", client, ", {");
+      for (size_t k = 0; k < c.applied_ops[client].size(); ++k) {
+        if (k > 0) out += ", ";
+        out += OpAsCode(c.applied_ops[client][k]);
+      }
+      out += "});\n";
+    }
+    out += "  EXPECT_TRUE(fixture.ok()) << fixture.errors().front();\n";
+    out += "}\n\n";
+  }
+  out +=
+      "}  // namespace\n"
+      "}  // namespace xmodel::ot\n";
+  return out;
+}
+
+RunReport RunTestCases(const std::vector<TestCase>& cases,
+                       const ot::ListTransformer* transformer,
+                       bool check_applied_ops) {
+  RunReport report;
+  for (const TestCase& c : cases) {
+    ++report.total;
+    ot::TransformArrayFixture fixture(
+        static_cast<int>(c.client_ops.size()), c.initial, transformer);
+    for (size_t client = 0; client < c.client_ops.size(); ++client) {
+      fixture.transaction(static_cast<int>(client), c.client_ops[client]);
+    }
+    fixture.sync_all_clients(c.merge_descending);
+    fixture.check_array(c.final_array);
+    if (check_applied_ops) {
+      for (size_t client = 0; client < c.applied_ops.size(); ++client) {
+        fixture.check_ops(static_cast<int>(client), c.applied_ops[client]);
+      }
+    }
+    if (fixture.ok()) {
+      ++report.passed;
+    } else if (report.failures.size() < 10) {
+      report.failures.push_back(
+          StrCat("case ", c.case_id, ": ", fixture.errors().front()));
+    }
+  }
+  return report;
+}
+
+}  // namespace xmodel::mbtcg

@@ -1,0 +1,55 @@
+#ifndef XMODEL_MBTCG_GENERATOR_H_
+#define XMODEL_MBTCG_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mbtcg/testcase.h"
+#include "ot/sync.h"
+#include "specs/array_ot_spec.h"
+
+namespace xmodel::mbtcg {
+
+/// Statistics from one end-to-end MBTCG run.
+struct GenerationReport {
+  common::Status status;
+  uint64_t spec_states = 0;
+  double model_check_seconds = 0;
+  size_t dot_bytes = 0;
+  size_t num_cases = 0;
+};
+
+/// The paper's §5.2 pipeline, end to end: model-check the array_ot spec
+/// recording the state graph, dump it as GraphViz DOT, parse the DOT back,
+/// and extract one test case per fully-merged leaf state.
+GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
+                                   std::vector<TestCase>* cases);
+
+/// Renders generated cases as a compilable gtest C++ source file (the
+/// Figure 9 shape). `max_cases` limits the file size (0 = all).
+std::string GenerateCppTestFile(const std::vector<TestCase>& cases,
+                                size_t max_cases = 0);
+
+/// A run of generated cases against one implementation.
+struct RunReport {
+  size_t total = 0;
+  size_t passed = 0;
+  /// Messages for the first few failures (diagnostics).
+  std::vector<std::string> failures;
+
+  bool all_passed() const { return passed == total; }
+};
+
+/// Executes every case in-process against the given transformer (null =
+/// the default C++ MergeEngine). `check_applied_ops` additionally compares
+/// the transformed operations each client applied (exact for the C++
+/// implementation; the Go implementation represents swap decompositions
+/// differently, so callers disable it when swaps are in play).
+RunReport RunTestCases(const std::vector<TestCase>& cases,
+                       const ot::ListTransformer* transformer = nullptr,
+                       bool check_applied_ops = true);
+
+}  // namespace xmodel::mbtcg
+
+#endif  // XMODEL_MBTCG_GENERATOR_H_

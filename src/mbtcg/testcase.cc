@@ -1,0 +1,155 @@
+#include "mbtcg/testcase.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace xmodel::mbtcg {
+
+using common::Result;
+using common::Status;
+using common::StrCat;
+using ot::Operation;
+using ot::OpType;
+using tlax::Value;
+
+namespace {
+
+Result<Operation> OpFromValue(const Value& v) {
+  const Value* type = v.Field("type");
+  if (type == nullptr) return Status::Corruption("op record without type");
+  const std::string& t = type->string_value();
+  int64_t ndx = v.FieldOrDie("ndx").int_value();
+  int64_t ndx2 = v.FieldOrDie("ndx2").int_value();
+  int64_t val = v.FieldOrDie("val").int_value();
+  int64_t client = v.FieldOrDie("client").int_value();
+
+  Operation op;
+  if (t == "ArraySet") {
+    op = Operation::Set(ndx, val);
+  } else if (t == "ArrayInsert") {
+    op = Operation::Insert(ndx, val);
+  } else if (t == "ArrayMove") {
+    op = Operation::Move(ndx, ndx2);
+  } else if (t == "ArraySwap") {
+    op = Operation::Swap(ndx, ndx2);
+  } else if (t == "ArrayErase") {
+    op = Operation::Erase(ndx);
+  } else if (t == "ArrayClear") {
+    op = Operation::Clear();
+  } else {
+    return Status::Corruption(StrCat("unknown op type '", t, "'"));
+  }
+  // The spec does not model time: timestamps are all zero and the client
+  // id breaks last-write-wins ties (§5.1.2).
+  return op.At(/*ts=*/0, client);
+}
+
+Result<ot::Array> ArrayFromValue(const Value& v) {
+  ot::Array out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!v.at(i).is_int()) return Status::Corruption("non-int array element");
+    out.push_back(v.at(i).int_value());
+  }
+  return out;
+}
+
+uint64_t FingerprintCase(const TestCase& c) {
+  uint64_t h = common::HashString("testcase");
+  for (int64_t x : c.initial) {
+    h = common::HashCombine(h, common::Mix64(static_cast<uint64_t>(x)));
+  }
+  for (const Operation& op : c.client_ops) {
+    h = common::HashCombine(h, common::HashString(op.ToString()));
+  }
+  for (int64_t x : c.final_array) {
+    h = common::HashCombine(h, common::Mix64(static_cast<uint64_t>(x)));
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<std::vector<TestCase>> ExtractTestCases(const DotGraph& graph,
+                                               int num_clients) {
+  if (graph.initial.empty()) {
+    return Status::Corruption("graph has no initial node");
+  }
+  auto root_it = graph.nodes.find(graph.initial.front());
+  if (root_it == graph.nodes.end()) {
+    return Status::Corruption("initial node has no label");
+  }
+  auto root_state = root_it->second.vars.find("serverState");
+  if (root_state == root_it->second.vars.end()) {
+    return Status::Corruption("initial node lacks serverState");
+  }
+  Result<ot::Array> initial = ArrayFromValue(root_state->second);
+  if (!initial.ok()) return initial.status();
+
+  std::vector<TestCase> cases;
+  for (uint32_t leaf_id : graph.TerminalNodes()) {
+    const DotGraph::Node& leaf = graph.nodes.at(leaf_id);
+    auto need = [&leaf](const char* var) -> Result<const Value*> {
+      auto it = leaf.vars.find(var);
+      if (it == leaf.vars.end()) {
+        return Status::Corruption(StrCat("leaf lacks variable ", var));
+      }
+      return const_cast<const Value*>(&it->second);
+    };
+
+    Result<const Value*> err = need("err");
+    if (!err.ok()) return err.status();
+    if ((*err)->is_bool() && (*err)->bool_value()) {
+      // A poisoned leaf (non-terminating merge): no test case.
+      continue;
+    }
+
+    TestCase c;
+    c.initial = *initial;
+
+    Result<const Value*> client_log = need("clientLog");
+    if (!client_log.ok()) return client_log.status();
+    Result<const Value*> applied = need("appliedOps");
+    if (!applied.ok()) return applied.status();
+    Result<const Value*> server_state = need("serverState");
+    if (!server_state.ok()) return server_state.status();
+
+    for (int client = 1; client <= num_clients; ++client) {
+      // The client's own operation is the first entry of its log (ops are
+      // performed before any merge).
+      const Value& log = (*client_log)->Index1(client);
+      if (log.size() == 0) {
+        return Status::Corruption(
+            StrCat("client ", client, " has an empty log in a leaf state"));
+      }
+      Result<Operation> own = OpFromValue(log.at(0));
+      if (!own.ok()) return own.status();
+      c.client_ops.push_back(*own);
+
+      ot::OpList applied_ops;
+      const Value& applied_seq = (*applied)->Index1(client);
+      for (size_t i = 0; i < applied_seq.size(); ++i) {
+        Result<Operation> op = OpFromValue(applied_seq.at(i));
+        if (!op.ok()) return op.status();
+        applied_ops.push_back(*op);
+      }
+      c.applied_ops.push_back(std::move(applied_ops));
+    }
+
+    Result<ot::Array> final_array = ArrayFromValue(**server_state);
+    if (!final_array.ok()) return final_array.status();
+    c.final_array = *final_array;
+    c.case_id = FingerprintCase(c);
+    cases.push_back(std::move(c));
+  }
+  // Deterministic order (terminal-node ids follow map order already, but
+  // be explicit for generated-file stability).
+  std::sort(cases.begin(), cases.end(),
+            [](const TestCase& a, const TestCase& b) {
+              return a.case_id < b.case_id;
+            });
+  return cases;
+}
+
+}  // namespace xmodel::mbtcg

@@ -1,0 +1,38 @@
+#ifndef XMODEL_MBTCG_TESTCASE_H_
+#define XMODEL_MBTCG_TESTCASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mbtcg/dot_parser.h"
+#include "ot/operation.h"
+
+namespace xmodel::mbtcg {
+
+/// One generated conformance test (paper §5.2): (1) the initial array,
+/// (2) the operation each client performed, (3) the transformed operations
+/// each client applied after merging, and (4) the final converged array.
+struct TestCase {
+  ot::Array initial;
+  /// client_ops[i] is client (i+1)'s original operation.
+  std::vector<ot::Operation> client_ops;
+  /// applied_ops[i] are the transformed server ops client (i+1) applied.
+  std::vector<ot::OpList> applied_ops;
+  ot::Array final_array;
+  /// Stable fingerprint used in generated test names, like the paper's
+  /// Transform_Node__6971023528664242108.
+  uint64_t case_id = 0;
+  /// Merge schedule the specification used (must be replayed identically).
+  bool merge_descending = false;
+};
+
+/// Extracts one test case per terminal (fully-merged) node of the explored
+/// array_ot state graph.
+common::Result<std::vector<TestCase>> ExtractTestCases(const DotGraph& graph,
+                                                       int num_clients);
+
+}  // namespace xmodel::mbtcg
+
+#endif  // XMODEL_MBTCG_TESTCASE_H_

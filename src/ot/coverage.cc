@@ -1,0 +1,74 @@
+#include "ot/coverage.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xmodel::ot {
+
+CoverageRegistry& CoverageRegistry::Instance() {
+  static CoverageRegistry* instance = new CoverageRegistry();
+  return *instance;
+}
+
+int CoverageRegistry::Declare(const std::string& name) {
+  hits_.emplace(name, 0);
+  return static_cast<int>(hits_.size());
+}
+
+int CoverageRegistry::DeclareExcluded(const std::string& name) {
+  excluded_hits_.emplace(name, 0);
+  return static_cast<int>(excluded_hits_.size());
+}
+
+void CoverageRegistry::Hit(const std::string& name) {
+  auto it = hits_.find(name);
+  if (it == hits_.end()) {
+    auto ex = excluded_hits_.find(name);
+    if (ex != excluded_hits_.end()) {
+      ++ex->second;
+      return;
+    }
+
+    std::fprintf(stderr, "MERGE_COVER of undeclared branch '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  ++it->second;
+}
+
+void CoverageRegistry::Reset() {
+  for (auto& [name, count] : hits_) count = 0;
+  for (auto& [name, count] : excluded_hits_) count = 0;
+}
+
+size_t CoverageRegistry::covered_branches() const {
+  size_t covered = 0;
+  for (const auto& [name, count] : hits_) {
+    if (count > 0) ++covered;
+  }
+  return covered;
+}
+
+double CoverageRegistry::CoverageFraction() const {
+  if (hits_.empty()) return 0;
+  return static_cast<double>(covered_branches()) /
+         static_cast<double>(hits_.size());
+}
+
+std::vector<std::string> CoverageRegistry::UncoveredBranches() const {
+  std::vector<std::string> out;
+  for (const auto& [name, count] : hits_) {
+    if (count == 0) out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t CoverageRegistry::hits(const std::string& name) const {
+  auto it = hits_.find(name);
+  if (it != hits_.end()) return it->second;
+  auto ex = excluded_hits_.find(name);
+  return ex == excluded_hits_.end() ? 0 : ex->second;
+}
+
+}  // namespace xmodel::ot

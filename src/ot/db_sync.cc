@@ -1,0 +1,98 @@
+#include "ot/db_sync.h"
+
+#include "common/strings.h"
+
+namespace xmodel::ot {
+
+using common::Status;
+using common::StrCat;
+
+DbSyncSystem::DbSyncSystem(Db initial, int num_clients,
+                           MergeConfig merge_config)
+    : engine_(merge_config), server_state_(initial) {
+  clients_.resize(num_clients);
+  for (Client& c : clients_) c.state = initial;
+}
+
+Status DbSyncSystem::ClientApply(int client, const DbOperation& op) {
+  if (client < 0 || client >= num_clients()) {
+    return Status::InvalidArgument(StrCat("no client ", client));
+  }
+  Client& c = clients_[client];
+  Status s = op.Apply(&c.state);
+  if (!s.ok()) return s;
+  c.history.push_back(op);
+  return Status::OK();
+}
+
+Status DbSyncSystem::SyncClient(int client) {
+  if (client < 0 || client >= num_clients()) {
+    return Status::InvalidArgument(StrCat("no client ", client));
+  }
+  Client& c = clients_[client];
+  DbOpList server_tail(server_log_.begin() + c.server_version,
+                       server_log_.end());
+  DbOpList client_tail(c.history.begin() + c.client_version,
+                       c.history.end());
+
+  auto merged = engine_.MergeLists(server_tail, client_tail);
+  if (!merged.ok()) return merged.status();
+
+  for (const DbOperation& op : merged->left) {
+    Status s = op.Apply(&c.state);
+    if (!s.ok()) {
+      return Status::Internal(StrCat("transformed server op inapplicable: ",
+                                     op.ToString(), ": ", s.ToString()));
+    }
+    c.history.push_back(op);
+    c.applied.push_back(op);
+  }
+  for (const DbOperation& op : merged->right) {
+    Status s = op.Apply(&server_state_);
+    if (!s.ok()) {
+      return Status::Internal(StrCat("transformed client op inapplicable: ",
+                                     op.ToString(), ": ", s.ToString()));
+    }
+    server_log_.push_back(op);
+  }
+  c.server_version = static_cast<int64_t>(server_log_.size());
+  c.client_version = static_cast<int64_t>(c.history.size());
+  return Status::OK();
+}
+
+bool DbSyncSystem::ClientHasUnmergedChanges(int client) const {
+  const Client& c = clients_[client];
+  return c.server_version < static_cast<int64_t>(server_log_.size()) ||
+         c.client_version < static_cast<int64_t>(c.history.size());
+}
+
+Status DbSyncSystem::SyncAll(int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    bool any = false;
+    for (int c = 0; c < num_clients(); ++c) {
+      if (ClientHasUnmergedChanges(c)) {
+        any = true;
+        Status s = SyncClient(c);
+        if (!s.ok()) return s;
+      }
+    }
+    if (!any) return Status::OK();
+  }
+  return Status::ResourceExhausted("SyncAll did not quiesce");
+}
+
+bool DbSyncSystem::AllConsistent() const {
+  for (const Client& c : clients_) {
+    if (!(c.state == server_state_)) return false;
+  }
+  return true;
+}
+
+bool DbSyncSystem::HaveUnmergedChangesOrAreConsistent() const {
+  for (int c = 0; c < num_clients(); ++c) {
+    if (ClientHasUnmergedChanges(c)) return true;
+  }
+  return AllConsistent();
+}
+
+}  // namespace xmodel::ot

@@ -1,0 +1,135 @@
+#include "ot/handwritten_cases.h"
+
+namespace xmodel::ot {
+
+namespace {
+
+HandwrittenCase Expect(std::string name, Array initial, OpList ops,
+                       Array expected) {
+  HandwrittenCase c;
+  c.name = std::move(name);
+  c.initial = std::move(initial);
+  c.client_ops = std::move(ops);
+  c.expected = std::move(expected);
+  c.has_expected = true;
+  return c;
+}
+
+HandwrittenCase Converge(std::string name, Array initial, OpList ops) {
+  HandwrittenCase c;
+  c.name = std::move(name);
+  c.initial = std::move(initial);
+  c.client_ops = std::move(ops);
+  return c;
+}
+
+}  // namespace
+
+std::vector<HandwrittenCase> HandwrittenCases() {
+  using O = Operation;
+  std::vector<HandwrittenCase> cases;
+
+  // The conflicts every engineer writes tests for first: concurrent sets.
+  cases.push_back(Expect("set_set_same_index", {1, 2, 3},
+                         {O::Set(0, 10), O::Set(0, 20)}, {20, 2, 3}));
+  cases.push_back(Expect("set_set_distinct", {1, 2, 3},
+                         {O::Set(0, 10), O::Set(2, 30)}, {10, 2, 30}));
+  cases.push_back(Expect("set_set_middle", {1, 2, 3},
+                         {O::Set(1, 11), O::Set(1, 22)}, {1, 22, 3}));
+
+  // Concurrent inserts.
+  cases.push_back(Expect("insert_insert_same_gap", {1, 2, 3},
+                         {O::Insert(1, 10), O::Insert(1, 20)},
+                         {1, 20, 10, 2, 3}));
+  cases.push_back(Expect("insert_insert_distinct", {1, 2, 3},
+                         {O::Insert(0, 10), O::Insert(3, 20)},
+                         {10, 1, 2, 3, 20}));
+  cases.push_back(Expect("insert_append_both", {1},
+                         {O::Insert(1, 10), O::Insert(1, 20)},
+                         {1, 20, 10}));
+
+  // Set against erase (the paper's Figure 7/8/9 example family).
+  cases.push_back(Expect("set_of_erased_element", {1, 2, 3},
+                         {O::Set(1, 99), O::Erase(1)}, {1, 3}));
+  cases.push_back(Expect("set_after_erase_point", {1, 2, 3},
+                         {O::Set(2, 4), O::Erase(1)}, {1, 4}));
+  cases.push_back(Expect("set_before_erase_point", {1, 2, 3},
+                         {O::Set(0, 9), O::Erase(2)}, {9, 2}));
+
+  // Concurrent erases.
+  cases.push_back(Expect("erase_erase_same", {1, 2, 3},
+                         {O::Erase(1), O::Erase(1)}, {1, 3}));
+  cases.push_back(Expect("erase_erase_distinct", {1, 2, 3},
+                         {O::Erase(0), O::Erase(2)}, {2}));
+
+  // Clear against everything (the blunt instrument).
+  cases.push_back(Expect("set_vs_clear", {1, 2, 3},
+                         {O::Set(0, 9), O::Clear()}, {}));
+  cases.push_back(Expect("insert_vs_clear", {1, 2, 3},
+                         {O::Insert(0, 9), O::Clear()}, {}));
+  cases.push_back(Expect("clear_vs_clear", {1, 2, 3},
+                         {O::Clear(), O::Clear()}, {}));
+
+  // One brave move test (the author was not sure about the others).
+  cases.push_back(Expect("set_follows_moved_element", {1, 2, 3},
+                         {O::Move(0, 2), O::Set(0, 9)}, {2, 3, 9}));
+
+  // Convergence-only cases: the author stopped computing outcomes by hand
+  // around here (which is exactly how handwritten suites go thin).
+  cases.push_back(Converge("insert_vs_erase_same_spot", {1, 2, 3},
+                           {O::Insert(1, 9), O::Erase(1)}));
+  cases.push_back(Converge("insert_vs_erase_before", {1, 2, 3},
+                           {O::Insert(2, 9), O::Erase(0)}));
+  cases.push_back(Converge("erase_vs_clear", {1, 2, 3},
+                           {O::Erase(1), O::Clear()}));
+
+  // Three concurrent editors (still only the everyday operations).
+  cases.push_back(Converge("three_sets_same_index", {1, 2, 3},
+                           {O::Set(1, 11), O::Set(1, 22), O::Set(1, 33)}));
+  cases.push_back(Converge("three_inserts_same_gap", {1, 2, 3},
+                           {O::Insert(1, 10), O::Insert(1, 20),
+                            O::Insert(1, 30)}));
+  cases.push_back(Converge("set_insert_erase_trio", {1, 2, 3},
+                           {O::Set(0, 9), O::Insert(1, 8), O::Erase(2)}));
+  cases.push_back(Converge("erase_erase_erase", {1, 2, 3},
+                           {O::Erase(0), O::Erase(1), O::Erase(2)}));
+  cases.push_back(Converge("clear_in_trio", {1, 2, 3},
+                           {O::Set(0, 9), O::Clear(), O::Insert(3, 7)}));
+
+  // Edge geometry.
+  cases.push_back(Expect("insert_into_empty", {},
+                         {O::Insert(0, 1), O::Insert(0, 2)}, {2, 1}));
+  cases.push_back(Converge("single_element_fight", {7},
+                           {O::Set(0, 1), O::Erase(0)}));
+  cases.push_back(Converge("append_vs_erase_last", {1, 2, 3},
+                           {O::Insert(3, 9), O::Erase(2)}));
+
+  // Redundant variants of the common cases — the shape real handwritten
+  // suites take: five more set-set fights, four more insert races, three
+  // more erase pairs at other indexes.
+  cases.push_back(Expect("set_set_same_index_v2", {5, 6},
+                         {O::Set(1, 1), O::Set(1, 2)}, {5, 2}));
+  cases.push_back(Expect("set_set_same_index_v3", {5},
+                         {O::Set(0, 1), O::Set(0, 2)}, {2}));
+  cases.push_back(Expect("set_set_distinct_v2", {5, 6},
+                         {O::Set(0, 1), O::Set(1, 2)}, {1, 2}));
+  cases.push_back(Expect("set_set_three_way_distinct", {1, 2, 3},
+                         {O::Set(0, 4), O::Set(1, 5), O::Set(2, 6)},
+                         {4, 5, 6}));
+  cases.push_back(Expect("insert_insert_same_gap_v2", {9},
+                         {O::Insert(0, 1), O::Insert(0, 2)}, {2, 1, 9}));
+  cases.push_back(Expect("insert_insert_same_gap_v3", {1, 2},
+                         {O::Insert(2, 7), O::Insert(2, 8)}, {1, 2, 8, 7}));
+  cases.push_back(Expect("insert_insert_distinct_v2", {1, 2},
+                         {O::Insert(0, 7), O::Insert(2, 8)}, {7, 1, 2, 8}));
+  cases.push_back(Expect("erase_erase_same_v2", {4, 5},
+                         {O::Erase(0), O::Erase(0)}, {5}));
+  cases.push_back(Expect("erase_erase_distinct_v2", {4, 5, 6, 7},
+                         {O::Erase(1), O::Erase(3)}, {4, 6}));
+  cases.push_back(Expect("set_of_erased_element_v2", {4, 5},
+                         {O::Set(0, 9), O::Erase(0)}, {5}));
+
+  return cases;
+}
+
+}  // namespace xmodel::ot

@@ -1,0 +1,71 @@
+#ifndef XMODEL_OT_MERGE_H_
+#define XMODEL_OT_MERGE_H_
+
+#include <utility>
+
+#include "common/status.h"
+#include "ot/operation.h"
+
+namespace xmodel::ot {
+
+struct MergeConfig {
+  /// Faithfully reproduce the ArraySwap x ArrayMove non-termination bug the
+  /// paper's model checking discovered (§5.1.3): merging Swap(x, y) with
+  /// Move(x -> y) rewrites the move into a swap and recurses on the same
+  /// pair forever. Guarded by `max_merge_depth`, which converts the hang
+  /// into a ResourceExhausted error — the C++ analogue of TLC's
+  /// StackOverflowError.
+  bool enable_swap_move_bug = false;
+  /// Recursion budget for swap rewriting and list transforms.
+  int max_merge_depth = 64;
+};
+
+/// The transformed forms of one concurrent operation pair:
+/// `left` is T(a, b) — a rewritten to apply after b — and `right` is
+/// T(b, a). Convergence (TP1) requires, for every state S where both apply:
+///   S · a · right  ==  S · b · left
+/// Either side may become empty (a discarded operation) or grow (a swap
+/// decomposed into moves).
+struct MergeResult {
+  OpList left;
+  OpList right;
+};
+
+/// The merge rules for the six array operations (21 unordered pairs,
+/// §5.1): the core of MongoDB Realm Sync's conflict resolution, and the
+/// code the paper's TLA+ spec was transcribed from. Instrumented with
+/// branch-coverage markers for experiment E7.
+class MergeEngine {
+ public:
+  explicit MergeEngine(MergeConfig config = {}) : config_(config) {}
+
+  const MergeConfig& config() const { return config_; }
+
+  /// Transforms one concurrent pair. Fails with ResourceExhausted when the
+  /// (buggy) rules fail to terminate.
+  common::Result<MergeResult> Merge(const Operation& a,
+                                    const Operation& b) const;
+
+  /// Transforms two concurrent operation LISTS against each other:
+  /// returns (A', B') with A' = A transformed to apply after all of B and
+  /// vice versa. The core of the merge-window rebase.
+  common::Result<MergeResult> MergeLists(const OpList& a,
+                                         const OpList& b) const;
+
+ private:
+  common::Result<MergeResult> MergeImpl(const Operation& a,
+                                        const Operation& b, int depth) const;
+  common::Result<MergeResult> MergeListsImpl(const OpList& a,
+                                             const OpList& b,
+                                             int depth) const;
+  // Transforms a single op against a list (and the list against the op).
+  common::Result<MergeResult> MergeOpVsList(const Operation& a,
+                                            const OpList& b,
+                                            int depth) const;
+
+  MergeConfig config_;
+};
+
+}  // namespace xmodel::ot
+
+#endif  // XMODEL_OT_MERGE_H_

@@ -1,0 +1,180 @@
+#include "ot/operation.h"
+
+#include "common/strings.h"
+
+namespace xmodel::ot {
+
+using common::Status;
+using common::StrCat;
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kArraySet:
+      return "ArraySet";
+    case OpType::kArrayInsert:
+      return "ArrayInsert";
+    case OpType::kArrayMove:
+      return "ArrayMove";
+    case OpType::kArraySwap:
+      return "ArraySwap";
+    case OpType::kArrayErase:
+      return "ArrayErase";
+    case OpType::kArrayClear:
+      return "ArrayClear";
+  }
+  return "?";
+}
+
+Operation Operation::Set(int64_t ndx, int64_t value) {
+  Operation op;
+  op.type = OpType::kArraySet;
+  op.ndx = ndx;
+  op.value = value;
+  return op;
+}
+
+Operation Operation::Insert(int64_t ndx, int64_t value) {
+  Operation op;
+  op.type = OpType::kArrayInsert;
+  op.ndx = ndx;
+  op.value = value;
+  return op;
+}
+
+Operation Operation::Move(int64_t from, int64_t to) {
+  Operation op;
+  op.type = OpType::kArrayMove;
+  op.ndx = from;
+  op.ndx2 = to;
+  return op;
+}
+
+Operation Operation::Swap(int64_t a, int64_t b) {
+  Operation op;
+  op.type = OpType::kArraySwap;
+  op.ndx = a;
+  op.ndx2 = b;
+  return op;
+}
+
+Operation Operation::Erase(int64_t ndx) {
+  Operation op;
+  op.type = OpType::kArrayErase;
+  op.ndx = ndx;
+  return op;
+}
+
+Operation Operation::Clear() {
+  Operation op;
+  op.type = OpType::kArrayClear;
+  return op;
+}
+
+Status Operation::Apply(Array* array) const {
+  const int64_t n = static_cast<int64_t>(array->size());
+  switch (type) {
+    case OpType::kArraySet:
+      if (ndx < 0 || ndx >= n) {
+        return Status::OutOfRange(StrCat("set ", ndx, " of ", n));
+      }
+      (*array)[ndx] = value;
+      return Status::OK();
+    case OpType::kArrayInsert:
+      if (ndx < 0 || ndx > n) {
+        return Status::OutOfRange(StrCat("insert ", ndx, " of ", n));
+      }
+      array->insert(array->begin() + ndx, value);
+      return Status::OK();
+    case OpType::kArrayMove: {
+      if (ndx < 0 || ndx >= n || ndx2 < 0 || ndx2 >= n) {
+        return Status::OutOfRange(
+            StrCat("move ", ndx, "->", ndx2, " of ", n));
+      }
+      int64_t element = (*array)[ndx];
+      array->erase(array->begin() + ndx);
+      array->insert(array->begin() + ndx2, element);
+      return Status::OK();
+    }
+    case OpType::kArraySwap:
+      if (ndx < 0 || ndx >= n || ndx2 < 0 || ndx2 >= n) {
+        return Status::OutOfRange(
+            StrCat("swap ", ndx, "<->", ndx2, " of ", n));
+      }
+      std::swap((*array)[ndx], (*array)[ndx2]);
+      return Status::OK();
+    case OpType::kArrayErase:
+      if (ndx < 0 || ndx >= n) {
+        return Status::OutOfRange(StrCat("erase ", ndx, " of ", n));
+      }
+      array->erase(array->begin() + ndx);
+      return Status::OK();
+    case OpType::kArrayClear:
+      array->clear();
+      return Status::OK();
+  }
+  return Status::Internal("unknown operation type");
+}
+
+bool operator==(const Operation& a, const Operation& b) {
+  return a.type == b.type && a.ndx == b.ndx && a.ndx2 == b.ndx2 &&
+         a.value == b.value && a.timestamp == b.timestamp &&
+         a.client_id == b.client_id;
+}
+
+bool Operation::SameEffect(const Operation& other) const {
+  return type == other.type && ndx == other.ndx && ndx2 == other.ndx2 &&
+         value == other.value;
+}
+
+std::string Operation::ToString() const {
+  switch (type) {
+    case OpType::kArraySet:
+      return StrCat("ArraySet{", ndx, ", ", value, "}");
+    case OpType::kArrayInsert:
+      return StrCat("ArrayInsert{", ndx, ", ", value, "}");
+    case OpType::kArrayMove:
+      return StrCat("ArrayMove{", ndx, " -> ", ndx2, "}");
+    case OpType::kArraySwap:
+      return StrCat("ArraySwap{", ndx, ", ", ndx2, "}");
+    case OpType::kArrayErase:
+      return StrCat("ArrayErase{", ndx, "}");
+    case OpType::kArrayClear:
+      return "ArrayClear{}";
+  }
+  return "?";
+}
+
+bool WinsOver(const Operation& a, const Operation& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+  return a.client_id > b.client_id;
+}
+
+Status ApplyAll(const OpList& ops, Array* array) {
+  for (const Operation& op : ops) {
+    Status s = op.Apply(array);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+std::string ToString(const OpList& ops) {
+  std::string out = "[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ops[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+std::string ToString(const Array& array) {
+  std::string out = "{";
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat(array[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xmodel::ot

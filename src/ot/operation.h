@@ -1,0 +1,88 @@
+#ifndef XMODEL_OT_OPERATION_H_
+#define XMODEL_OT_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmodel::ot {
+
+/// The array value type Realm Sync lists hold in this reproduction.
+using Array = std::vector<int64_t>;
+
+/// The six array-based operation types of MongoDB Realm Sync (§5). The 13
+/// non-array operation types (table/object/field ops) live in table_ops.h;
+/// their merge rules are trivial.
+enum class OpType : uint8_t {
+  kArraySet = 0,  // Replace the value of an existing element.
+  kArrayInsert,   // Insert a new element at a position (or append).
+  kArrayMove,     // Move an element from one position to another.
+  kArraySwap,     // Swap the elements at two positions (deprecated, §5.1.3).
+  kArrayErase,    // Remove one element.
+  kArrayClear,    // Remove all elements.
+};
+
+const char* OpTypeName(OpType type);
+
+/// One array operation, together with the last-write-wins metadata Realm
+/// uses to order causally-unrelated operations: a timestamp, with the
+/// originating client id breaking ties (§5.1.2 — "the ID is used to order
+/// operations when their timestamps are equal").
+struct Operation {
+  OpType type = OpType::kArraySet;
+  /// kArraySet/kArrayInsert/kArrayErase: target index.
+  /// kArrayMove: source index. kArraySwap: first index.
+  int64_t ndx = 0;
+  /// kArrayMove: destination index (in the array AFTER removal, i.e. the
+  /// element's final index). kArraySwap: second index.
+  int64_t ndx2 = 0;
+  /// kArraySet/kArrayInsert: the payload value.
+  int64_t value = 0;
+  int64_t timestamp = 0;
+  int64_t client_id = 0;
+
+  static Operation Set(int64_t ndx, int64_t value);
+  static Operation Insert(int64_t ndx, int64_t value);
+  static Operation Move(int64_t from, int64_t to);
+  static Operation Swap(int64_t a, int64_t b);
+  static Operation Erase(int64_t ndx);
+  static Operation Clear();
+
+  /// Returns a copy with last-write-wins metadata attached.
+  Operation At(int64_t ts, int64_t client) const {
+    Operation op = *this;
+    op.timestamp = ts;
+    op.client_id = client;
+    return op;
+  }
+
+  /// Applies the operation to `array`. Fails with OutOfRange when indices
+  /// do not fit the array (a transform bug, never a user error).
+  common::Status Apply(Array* array) const;
+
+  /// Structural equality INCLUDING metadata.
+  friend bool operator==(const Operation& a, const Operation& b);
+
+  /// Equality of the effect only (type/indices/value, not metadata).
+  bool SameEffect(const Operation& other) const;
+
+  std::string ToString() const;
+};
+
+using OpList = std::vector<Operation>;
+
+/// Last-write-wins: true when `a` beats `b` (newer timestamp; ties broken
+/// toward the higher client id).
+bool WinsOver(const Operation& a, const Operation& b);
+
+/// Applies a whole list in order.
+common::Status ApplyAll(const OpList& ops, Array* array);
+
+std::string ToString(const OpList& ops);
+std::string ToString(const Array& array);
+
+}  // namespace xmodel::ot
+
+#endif  // XMODEL_OT_OPERATION_H_

@@ -1,0 +1,115 @@
+#include "ot/sync.h"
+
+#include "common/strings.h"
+
+namespace xmodel::ot {
+
+using common::Result;
+using common::Status;
+using common::StrCat;
+
+SyncSystem::SyncSystem(Array initial_array, int num_clients,
+                       MergeConfig merge_config,
+                       const ListTransformer* transformer) {
+  if (transformer == nullptr) {
+    owned_transformer_ = std::make_unique<EngineTransformer>(merge_config);
+    transformer_ = owned_transformer_.get();
+  } else {
+    transformer_ = transformer;
+  }
+  server_state_ = initial_array;
+  clients_.resize(num_clients);
+  for (Client& c : clients_) c.state = initial_array;
+}
+
+Status SyncSystem::ClientApply(int client, const Operation& op) {
+  if (client < 0 || client >= num_clients()) {
+    return Status::InvalidArgument(StrCat("no client ", client));
+  }
+  Client& c = clients_[client];
+  Status s = op.Apply(&c.state);
+  if (!s.ok()) return s;
+  c.history.push_back(op);
+  return Status::OK();
+}
+
+Status SyncSystem::SyncClient(int client) {
+  if (client < 0 || client >= num_clients()) {
+    return Status::InvalidArgument(StrCat("no client ", client));
+  }
+  Client& c = clients_[client];
+
+  // The merge window (paper Figure 6, Unmerged(c)): everything since the
+  // histories were last merged.
+  OpList server_tail(server_log_.begin() + c.progress.server_version,
+                     server_log_.end());
+  OpList client_tail(c.history.begin() + c.progress.client_version,
+                     c.history.end());
+
+  Result<MergeResult> merged =
+      transformer_->TransformLists(server_tail, client_tail);
+  if (!merged.ok()) return merged.status();
+
+  // The client applies the transformed server changes...
+  Status s = ApplyAll(merged->left, &c.state);
+  if (!s.ok()) {
+    return Status::Internal(
+        StrCat("transformed server ops do not apply on client ", client,
+               ": ", s.ToString()));
+  }
+  for (const Operation& op : merged->left) {
+    c.history.push_back(op);
+    c.applied.push_back(op);
+  }
+  // ...and the server applies the transformed client changes.
+  s = ApplyAll(merged->right, &server_state_);
+  if (!s.ok()) {
+    return Status::Internal(
+        StrCat("transformed client ops do not apply on server: ",
+               s.ToString()));
+  }
+  for (const Operation& op : merged->right) server_log_.push_back(op);
+
+  c.progress.server_version = static_cast<int64_t>(server_log_.size());
+  c.progress.client_version = static_cast<int64_t>(c.history.size());
+  return Status::OK();
+}
+
+bool SyncSystem::ClientHasUnmergedChanges(int client) const {
+  const Client& c = clients_[client];
+  return c.progress.server_version <
+             static_cast<int64_t>(server_log_.size()) ||
+         c.progress.client_version < static_cast<int64_t>(c.history.size());
+}
+
+Status SyncSystem::SyncAll(int max_rounds, bool descending) {
+  for (int round = 0; round < max_rounds; ++round) {
+    bool any = false;
+    for (int i = 0; i < num_clients(); ++i) {
+      int c = descending ? num_clients() - 1 - i : i;
+      if (ClientHasUnmergedChanges(c)) {
+        any = true;
+        Status s = SyncClient(c);
+        if (!s.ok()) return s;
+      }
+    }
+    if (!any) return Status::OK();
+  }
+  return Status::ResourceExhausted("SyncAll did not quiesce");
+}
+
+bool SyncSystem::AllConsistent() const {
+  for (const Client& c : clients_) {
+    if (c.state != server_state_) return false;
+  }
+  return true;
+}
+
+bool SyncSystem::HaveUnmergedChangesOrAreConsistent() const {
+  for (int c = 0; c < num_clients(); ++c) {
+    if (ClientHasUnmergedChanges(c)) return true;
+  }
+  return AllConsistent();
+}
+
+}  // namespace xmodel::ot

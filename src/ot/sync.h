@@ -1,0 +1,113 @@
+#ifndef XMODEL_OT_SYNC_H_
+#define XMODEL_OT_SYNC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ot/merge.h"
+#include "ot/operation.h"
+
+namespace xmodel::ot {
+
+/// Abstraction over the merge implementation so the same sync engine can
+/// run against the original C++ rules (ot::MergeEngine) or the independent
+/// re-implementation (otgo::GoMergeEngine) — the paper's C++/Golang parity
+/// setup (§5).
+class ListTransformer {
+ public:
+  virtual ~ListTransformer() = default;
+  /// Returns (left', right') such that applying `right'` after `left` and
+  /// `left'` after `right` converge.
+  virtual common::Result<MergeResult> TransformLists(
+      const OpList& left, const OpList& right) const = 0;
+};
+
+/// Adapter over MergeEngine.
+class EngineTransformer : public ListTransformer {
+ public:
+  explicit EngineTransformer(MergeConfig config = {}) : engine_(config) {}
+  common::Result<MergeResult> TransformLists(
+      const OpList& left, const OpList& right) const override {
+    return engine_.MergeLists(left, right);
+  }
+
+ private:
+  MergeEngine engine_;
+};
+
+/// A client's knowledge of how much history it shares with the server
+/// (paper Figure 6: progress[c].serverVersion / .clientVersion).
+struct Progress {
+  int64_t server_version = 0;
+  int64_t client_version = 0;
+};
+
+/// MongoDB Realm Sync in miniature: one server and N offline-first clients,
+/// each holding a copy of the data (`state`) and a durable log of
+/// operations (`history`). A client uploads new changes and downloads new
+/// server changes in one bidirectional MergeAction; incoming changes are
+/// rebased over the merge window via operational transformation (§2.2).
+class SyncSystem {
+ public:
+  /// `transformer` may be null, in which case the default C++ MergeEngine
+  /// with `merge_config` is used.
+  SyncSystem(Array initial_array, int num_clients,
+             MergeConfig merge_config = {},
+             const ListTransformer* transformer = nullptr);
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  const Array& server_state() const { return server_state_; }
+  const Array& client_state(int client) const {
+    return clients_[client].state;
+  }
+  const OpList& server_log() const { return server_log_; }
+  const OpList& client_log(int client) const {
+    return clients_[client].history;
+  }
+  /// The transformed server operations this client applied across all of
+  /// its merges (what the paper's generated tests assert with check_ops).
+  const OpList& applied_ops(int client) const {
+    return clients_[client].applied;
+  }
+  Progress progress(int client) const { return clients_[client].progress; }
+
+  /// Applies an operation locally on one (possibly offline) client.
+  common::Status ClientApply(int client, const Operation& op);
+
+  /// The MergeAction: uploads the client's unmerged operations and
+  /// downloads the server's, transforming both sides over the merge
+  /// window. Fails only on merge non-termination (the swap/move bug).
+  common::Status SyncClient(int client);
+
+  /// Repeated rounds of SyncClient in ascending client order (the paper's
+  /// state-space constraint, §5.1.2) — or descending order, to match a
+  /// specification configured with merge_descending — until no client has
+  /// unmerged changes.
+  common::Status SyncAll(int max_rounds = 16, bool descending = false);
+
+  /// The spec's invariant (paper Figure 6): either some client still has
+  /// unmerged changes, or every client converged to the same state.
+  bool HaveUnmergedChangesOrAreConsistent() const;
+
+  bool AllConsistent() const;
+  bool ClientHasUnmergedChanges(int client) const;
+
+ private:
+  struct Client {
+    Array state;
+    OpList history;
+    OpList applied;
+    Progress progress;
+  };
+
+  std::unique_ptr<EngineTransformer> owned_transformer_;
+  const ListTransformer* transformer_;
+  Array server_state_;
+  OpList server_log_;
+  std::vector<Client> clients_;
+};
+
+}  // namespace xmodel::ot
+
+#endif  // XMODEL_OT_SYNC_H_

@@ -1,0 +1,430 @@
+#include "ot/table_ops.h"
+
+#include "common/strings.h"
+
+namespace xmodel::ot {
+
+using common::Result;
+using common::Status;
+using common::StrCat;
+
+const char* DbOpTypeName(DbOpType type) {
+  switch (type) {
+    case DbOpType::kCreateTable:
+      return "CreateTable";
+    case DbOpType::kEraseTable:
+      return "EraseTable";
+    case DbOpType::kRenameTable:
+      return "RenameTable";
+    case DbOpType::kCreateObject:
+      return "CreateObject";
+    case DbOpType::kEraseObject:
+      return "EraseObject";
+    case DbOpType::kSetField:
+      return "SetField";
+    case DbOpType::kEraseField:
+      return "EraseField";
+    case DbOpType::kAddInteger:
+      return "AddInteger";
+    case DbOpType::kClearObject:
+      return "ClearObject";
+    case DbOpType::kCreateList:
+      return "CreateList";
+    case DbOpType::kEraseList:
+      return "EraseList";
+    case DbOpType::kLinkObject:
+      return "LinkObject";
+    case DbOpType::kUnlinkObject:
+      return "UnlinkObject";
+    case DbOpType::kArrayOp:
+      return "ArrayOp";
+  }
+  return "?";
+}
+
+namespace {
+
+DbOperation Make(DbOpType type, std::string table, int64_t object = 0,
+                 std::string field = "") {
+  DbOperation op;
+  op.type = type;
+  op.table = std::move(table);
+  op.object = object;
+  op.field = std::move(field);
+  return op;
+}
+
+}  // namespace
+
+DbOperation DbOperation::CreateTable(std::string table) {
+  return Make(DbOpType::kCreateTable, std::move(table));
+}
+DbOperation DbOperation::EraseTable(std::string table) {
+  return Make(DbOpType::kEraseTable, std::move(table));
+}
+DbOperation DbOperation::RenameTable(std::string table,
+                                     std::string new_name) {
+  DbOperation op = Make(DbOpType::kRenameTable, std::move(table));
+  op.new_name = std::move(new_name);
+  return op;
+}
+DbOperation DbOperation::CreateObject(std::string table, int64_t object) {
+  return Make(DbOpType::kCreateObject, std::move(table), object);
+}
+DbOperation DbOperation::EraseObject(std::string table, int64_t object) {
+  return Make(DbOpType::kEraseObject, std::move(table), object);
+}
+DbOperation DbOperation::SetField(std::string table, int64_t object,
+                                  std::string field, int64_t value) {
+  DbOperation op =
+      Make(DbOpType::kSetField, std::move(table), object, std::move(field));
+  op.value = value;
+  return op;
+}
+DbOperation DbOperation::EraseField(std::string table, int64_t object,
+                                    std::string field) {
+  return Make(DbOpType::kEraseField, std::move(table), object,
+              std::move(field));
+}
+DbOperation DbOperation::AddInteger(std::string table, int64_t object,
+                                    std::string field, int64_t delta) {
+  DbOperation op = Make(DbOpType::kAddInteger, std::move(table), object,
+                        std::move(field));
+  op.delta = delta;
+  return op;
+}
+DbOperation DbOperation::ClearObject(std::string table, int64_t object) {
+  return Make(DbOpType::kClearObject, std::move(table), object);
+}
+DbOperation DbOperation::CreateList(std::string table, int64_t object,
+                                    std::string field) {
+  return Make(DbOpType::kCreateList, std::move(table), object,
+              std::move(field));
+}
+DbOperation DbOperation::EraseList(std::string table, int64_t object,
+                                   std::string field) {
+  return Make(DbOpType::kEraseList, std::move(table), object,
+              std::move(field));
+}
+DbOperation DbOperation::LinkObject(std::string table, int64_t object,
+                                    std::string field, int64_t target) {
+  DbOperation op = Make(DbOpType::kLinkObject, std::move(table), object,
+                        std::move(field));
+  op.value = target;
+  return op;
+}
+DbOperation DbOperation::UnlinkObject(std::string table, int64_t object,
+                                      std::string field) {
+  return Make(DbOpType::kUnlinkObject, std::move(table), object,
+              std::move(field));
+}
+DbOperation DbOperation::ArrayOp(std::string table, int64_t object,
+                                 std::string field, Operation op) {
+  DbOperation out = Make(DbOpType::kArrayOp, std::move(table), object,
+                         std::move(field));
+  out.array_op = op;
+  return out;
+}
+
+Status DbOperation::Apply(Db* db) const {
+  switch (type) {
+    case DbOpType::kCreateTable:
+      db->tables.try_emplace(table);
+      return Status::OK();
+    case DbOpType::kEraseTable:
+      db->tables.erase(table);
+      return Status::OK();
+    case DbOpType::kRenameTable: {
+      auto it = db->tables.find(table);
+      if (it == db->tables.end()) return Status::OK();  // Shadowed.
+      Table moved = std::move(it->second);
+      db->tables.erase(it);
+      db->tables[new_name] = std::move(moved);
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+
+  auto table_it = db->tables.find(table);
+  if (table_it == db->tables.end()) {
+    // The table was deleted concurrently; the edit is shadowed.
+    return Status::OK();
+  }
+  Table& t = table_it->second;
+
+  switch (type) {
+    case DbOpType::kCreateObject:
+      t.objects.try_emplace(object);
+      return Status::OK();
+    case DbOpType::kEraseObject:
+      t.objects.erase(object);
+      return Status::OK();
+    default:
+      break;
+  }
+
+  auto object_it = t.objects.find(object);
+  if (object_it == t.objects.end()) return Status::OK();  // Shadowed.
+  Object& obj = object_it->second;
+
+  switch (type) {
+    case DbOpType::kSetField:
+    case DbOpType::kLinkObject:
+      obj.fields[field] = value;
+      return Status::OK();
+    case DbOpType::kEraseField:
+    case DbOpType::kUnlinkObject:
+      obj.fields.erase(field);
+      return Status::OK();
+    case DbOpType::kAddInteger: {
+      auto field_it = obj.fields.find(field);
+      if (field_it == obj.fields.end()) {
+        obj.fields[field] = delta;
+      } else if (auto* n = std::get_if<int64_t>(&field_it->second)) {
+        *n += delta;
+      }
+      return Status::OK();
+    }
+    case DbOpType::kClearObject:
+      obj.fields.clear();
+      return Status::OK();
+    case DbOpType::kCreateList:
+      obj.fields.try_emplace(field, Array{});
+      return Status::OK();
+    case DbOpType::kEraseList:
+      obj.fields.erase(field);
+      return Status::OK();
+    case DbOpType::kArrayOp: {
+      auto field_it = obj.fields.find(field);
+      if (field_it == obj.fields.end()) return Status::OK();  // Shadowed.
+      auto* list = std::get_if<Array>(&field_it->second);
+      if (list == nullptr) return Status::OK();
+      return array_op.Apply(list);
+    }
+    default:
+      return Status::Internal("unhandled DbOperation type");
+  }
+}
+
+std::string DbOperation::ToString() const {
+  std::string out = StrCat(DbOpTypeName(type), "(", table);
+  if (type != DbOpType::kCreateTable && type != DbOpType::kEraseTable &&
+      type != DbOpType::kRenameTable) {
+    out += StrCat(", obj ", object);
+  }
+  if (!field.empty()) out += StrCat(", ", field);
+  if (type == DbOpType::kSetField || type == DbOpType::kLinkObject) {
+    out += StrCat(" = ", value);
+  }
+  if (type == DbOpType::kAddInteger) out += StrCat(" += ", delta);
+  if (type == DbOpType::kRenameTable) out += StrCat(" -> ", new_name);
+  if (type == DbOpType::kArrayOp) out += StrCat(", ", array_op.ToString());
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// LWW on the structural metadata.
+bool DbWins(const DbOperation& a, const DbOperation& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+  return a.client_id > b.client_id;
+}
+
+// Is `op` a field-level edit (anything scoped to one object's field)?
+bool IsFieldLevel(DbOpType type) {
+  switch (type) {
+    case DbOpType::kSetField:
+    case DbOpType::kEraseField:
+    case DbOpType::kAddInteger:
+    case DbOpType::kCreateList:
+    case DbOpType::kEraseList:
+    case DbOpType::kLinkObject:
+    case DbOpType::kUnlinkObject:
+    case DbOpType::kArrayOp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Does `killer` (a deletion-like op) shadow `victim`? Deletions win over
+// every concurrent edit inside the container they remove — including the
+// container's own creation, which is what makes the rule direction-free
+// (both merge orders end with the container gone).
+bool Shadows(const DbOperation& killer, const DbOperation& victim) {
+  switch (killer.type) {
+    case DbOpType::kEraseTable:
+      return victim.table == killer.table;
+    case DbOpType::kEraseObject:
+      return victim.table == killer.table &&
+             victim.object == killer.object &&
+             (victim.type == DbOpType::kCreateObject ||
+              victim.type == DbOpType::kClearObject ||
+              IsFieldLevel(victim.type));
+    case DbOpType::kClearObject:
+      return victim.table == killer.table &&
+             victim.object == killer.object && IsFieldLevel(victim.type);
+    case DbOpType::kEraseList:
+      return victim.table == killer.table &&
+             victim.object == killer.object &&
+             victim.field == killer.field &&
+             (victim.type == DbOpType::kArrayOp ||
+              victim.type == DbOpType::kCreateList ||
+              victim.type == DbOpType::kEraseList);
+    case DbOpType::kEraseField:
+    case DbOpType::kUnlinkObject:
+      return victim.table == killer.table &&
+             victim.object == killer.object &&
+             victim.field == killer.field &&
+             (victim.type == DbOpType::kSetField ||
+              victim.type == DbOpType::kAddInteger ||
+              victim.type == DbOpType::kLinkObject ||
+              victim.type == DbOpType::kUnlinkObject ||
+              victim.type == DbOpType::kEraseField);
+    default:
+      return false;
+  }
+}
+
+bool IsDeletion(const DbOperation& op) {
+  switch (op.type) {
+    case DbOpType::kEraseTable:
+    case DbOpType::kEraseObject:
+    case DbOpType::kClearObject:
+    case DbOpType::kEraseList:
+    case DbOpType::kEraseField:
+    case DbOpType::kUnlinkObject:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SameField(const DbOperation& a, const DbOperation& b) {
+  return a.table == b.table && a.object == b.object && a.field == b.field;
+}
+
+}  // namespace
+
+Result<DbMergeEngine::DbMergeResult> DbMergeEngine::Merge(
+    const DbOperation& a, const DbOperation& b) const {
+  // Array-vs-array on the same list: the hard rules.
+  if (a.type == DbOpType::kArrayOp && b.type == DbOpType::kArrayOp &&
+      SameField(a, b)) {
+    Result<MergeResult> merged = arrays_.Merge(a.array_op, b.array_op);
+    if (!merged.ok()) return merged.status();
+    DbMergeResult out;
+    for (const Operation& op : merged->left) {
+      DbOperation wrapped = a;
+      wrapped.array_op = op;
+      out.left.push_back(std::move(wrapped));
+    }
+    for (const Operation& op : merged->right) {
+      DbOperation wrapped = b;
+      wrapped.array_op = op;
+      out.right.push_back(std::move(wrapped));
+    }
+    return out;
+  }
+
+  // Deletions shadow concurrent edits underneath them. When BOTH sides
+  // are deletions shadowing each other (e.g. two ClearObject), keep one.
+  bool a_shadows = IsDeletion(a) && Shadows(a, b);
+  bool b_shadows = IsDeletion(b) && Shadows(b, a);
+  if (a_shadows && b_shadows) {
+    return DbWins(a, b) ? DbMergeResult{{a}, {}} : DbMergeResult{{}, {b}};
+  }
+  if (a_shadows) return DbMergeResult{{a}, {}};
+  if (b_shadows) return DbMergeResult{{}, {b}};
+
+  // A rename redirects every concurrent edit of the renamed table.
+  if (a.type == DbOpType::kRenameTable && b.table == a.table &&
+      b.type != DbOpType::kRenameTable &&
+      b.type != DbOpType::kCreateTable) {
+    DbOperation redirected = b;
+    redirected.table = a.new_name;
+    return DbMergeResult{{a}, {redirected}};
+  }
+  if (b.type == DbOpType::kRenameTable && a.table == b.table &&
+      a.type != DbOpType::kRenameTable &&
+      a.type != DbOpType::kCreateTable) {
+    DbOperation redirected = a;
+    redirected.table = b.new_name;
+    return DbMergeResult{{redirected}, {b}};
+  }
+
+  // Two writes to the same scalar field: last write wins. (AddInteger is
+  // exempt — increments commute, which is its whole point.)
+  bool a_scalar_write =
+      a.type == DbOpType::kSetField || a.type == DbOpType::kLinkObject;
+  bool b_scalar_write =
+      b.type == DbOpType::kSetField || b.type == DbOpType::kLinkObject;
+  if (a_scalar_write && b_scalar_write && SameField(a, b)) {
+    return DbWins(a, b) ? DbMergeResult{{a}, {}} : DbMergeResult{{}, {b}};
+  }
+
+  // Two renames of the same table: last write wins.
+  if (a.type == DbOpType::kRenameTable && b.type == DbOpType::kRenameTable &&
+      a.table == b.table) {
+    return DbWins(a, b) ? DbMergeResult{{a}, {}} : DbMergeResult{{}, {b}};
+  }
+
+  // Everything else — roughly three quarters of the 190 pairs — is
+  // trivial: both operations are applied unchanged by the non-originating
+  // peers.
+  return DbMergeResult{{a}, {b}};
+}
+
+namespace {
+
+using DbMergeResult = DbMergeEngine::DbMergeResult;
+
+// The same inclusion-transform recursion as the array engine's rebase
+// (see transform.cc); Db merges cannot expand without bound, but the
+// helpers mirror the array code so the two layers read alike.
+Result<DbMergeResult> DbMergeOpVsList(const DbMergeEngine& engine,
+                                      const DbOperation& a,
+                                      const DbOpList& b);
+
+Result<DbMergeResult> DbMergeListsImpl(const DbMergeEngine& engine,
+                                       const DbOpList& a, const DbOpList& b) {
+  if (a.empty()) return DbMergeResult{{}, b};
+  if (b.empty()) return DbMergeResult{a, {}};
+  Result<DbMergeResult> head = DbMergeOpVsList(engine, a.front(), b);
+  if (!head.ok()) return head;
+  DbOpList rest(a.begin() + 1, a.end());
+  Result<DbMergeResult> tail = DbMergeListsImpl(engine, rest, head->right);
+  if (!tail.ok()) return tail;
+  DbMergeResult out;
+  out.left = std::move(head->left);
+  out.left.insert(out.left.end(), tail->left.begin(), tail->left.end());
+  out.right = std::move(tail->right);
+  return out;
+}
+
+Result<DbMergeResult> DbMergeOpVsList(const DbMergeEngine& engine,
+                                      const DbOperation& a,
+                                      const DbOpList& b) {
+  if (b.empty()) return DbMergeResult{{a}, {}};
+  Result<DbMergeResult> head = engine.Merge(a, b.front());
+  if (!head.ok()) return head;
+  DbOpList rest(b.begin() + 1, b.end());
+  Result<DbMergeResult> tail = DbMergeListsImpl(engine, head->left, rest);
+  if (!tail.ok()) return tail;
+  DbMergeResult out;
+  out.left = std::move(tail->left);
+  out.right = std::move(head->right);
+  out.right.insert(out.right.end(), tail->right.begin(), tail->right.end());
+  return out;
+}
+
+}  // namespace
+
+Result<DbMergeEngine::DbMergeResult> DbMergeEngine::MergeLists(
+    const DbOpList& a, const DbOpList& b) const {
+  return DbMergeListsImpl(*this, a, b);
+}
+
+}  // namespace xmodel::ot

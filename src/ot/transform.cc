@@ -1,0 +1,80 @@
+#include "ot/merge.h"
+
+// List-against-list transformation: the merge-window rebase. When a client
+// reconnects, its unmerged local operations must be transformed against the
+// unmerged server operations (and vice versa); since one merged pair can
+// discard operations or expand a swap into moves, the transform recurses
+// over lists rather than a fixed grid.
+//
+// The recursion is the standard inclusion-transform decomposition:
+//
+//   T([], B)        = ([], B)
+//   T(a:As, B)      = let (a', B')   = T1(a, B)
+//                         (As', B'') = T(As, B')
+//                     in (a' ++ As', B'')
+//   T1(a, [])       = ([a], [])
+//   T1(a, b:Bs)     = let (al, bl)   = Merge(a, b)
+//                         (al', Bs') = T(al, Bs)
+//                     in (al', bl ++ Bs')
+//
+// Termination depends on merged pairs not growing forever — exactly the
+// property the buggy ArraySwap/ArrayMove rewrite violates (§5.1.3) — so
+// every level consumes recursion budget.
+
+namespace xmodel::ot {
+
+using common::Result;
+using common::Status;
+
+Result<MergeResult> MergeEngine::MergeOpVsList(const Operation& a,
+                                               const OpList& b,
+                                               int depth) const {
+  if (depth > config_.max_merge_depth) {
+    return Status::ResourceExhausted("merge did not terminate");
+  }
+  if (b.empty()) {
+    return MergeResult{{a}, {}};
+  }
+  Result<MergeResult> head = MergeImpl(a, b.front(), depth + 1);
+  if (!head.ok()) return head;
+
+  OpList rest(b.begin() + 1, b.end());
+  Result<MergeResult> tail = MergeListsImpl(head->left, rest, depth + 1);
+  if (!tail.ok()) return tail;
+
+  MergeResult out;
+  out.left = std::move(tail->left);
+  out.right = std::move(head->right);
+  out.right.insert(out.right.end(), tail->right.begin(), tail->right.end());
+  return out;
+}
+
+Result<MergeResult> MergeEngine::MergeListsImpl(const OpList& a,
+                                                const OpList& b,
+                                                int depth) const {
+  if (depth > config_.max_merge_depth) {
+    return Status::ResourceExhausted("merge did not terminate");
+  }
+  if (a.empty()) return MergeResult{{}, b};
+  if (b.empty()) return MergeResult{a, {}};
+
+  Result<MergeResult> head = MergeOpVsList(a.front(), b, depth + 1);
+  if (!head.ok()) return head;
+
+  OpList rest(a.begin() + 1, a.end());
+  Result<MergeResult> tail = MergeListsImpl(rest, head->right, depth + 1);
+  if (!tail.ok()) return tail;
+
+  MergeResult out;
+  out.left = std::move(head->left);
+  out.left.insert(out.left.end(), tail->left.begin(), tail->left.end());
+  out.right = std::move(tail->right);
+  return out;
+}
+
+Result<MergeResult> MergeEngine::MergeLists(const OpList& a,
+                                            const OpList& b) const {
+  return MergeListsImpl(a, b, 0);
+}
+
+}  // namespace xmodel::ot

@@ -1,0 +1,222 @@
+#include "otgo/go_merge.h"
+
+#include <optional>
+
+#include "common/strings.h"
+
+// Independent re-implementation of the array-operation transform rules.
+// Style notes (mirroring the paper's Golang port): no mutation of the
+// inputs, one transform direction per function, and an iterative matrix
+// rebase instead of recursion. ArraySwap is NOT supported: the port
+// dropped it after model checking found the swap/move non-termination
+// (§5.1.3 — "the deciding factor to not support a dedicated ArraySwap
+// operation in the new Golang server implementation").
+
+namespace xmodel::otgo {
+
+using common::Result;
+using common::Status;
+using ot::Operation;
+using ot::OpList;
+using ot::OpType;
+using ot::WinsOver;
+
+namespace {
+
+using MaybeOp = std::optional<Operation>;
+
+// Position of an element after another element moved from `f` to `t`.
+int64_t PosThroughMove(int64_t p, int64_t f, int64_t t) {
+  int64_t q = p > f ? p - 1 : p;
+  return q >= t ? q + 1 : q;
+}
+
+MaybeOp TransformSet(Operation a, const Operation& b) {
+  switch (b.type) {
+    case OpType::kArraySet:
+      if (a.ndx == b.ndx && !WinsOver(a, b)) return std::nullopt;
+      return a;
+    case OpType::kArrayInsert:
+      if (b.ndx <= a.ndx) a.ndx += 1;
+      return a;
+    case OpType::kArrayMove:
+      a.ndx = a.ndx == b.ndx ? b.ndx2 : PosThroughMove(a.ndx, b.ndx, b.ndx2);
+      return a;
+    case OpType::kArrayErase:
+      if (a.ndx == b.ndx) return std::nullopt;
+      if (a.ndx > b.ndx) a.ndx -= 1;
+      return a;
+    case OpType::kArrayClear:
+      return std::nullopt;
+    default:
+      return a;
+  }
+}
+
+MaybeOp TransformInsert(Operation a, const Operation& b) {
+  switch (b.type) {
+    case OpType::kArraySet:
+      return a;
+    case OpType::kArrayInsert:
+      if (b.ndx < a.ndx || (b.ndx == a.ndx && WinsOver(b, a))) a.ndx += 1;
+      return a;
+    case OpType::kArrayMove: {
+      int64_t gap = a.ndx > b.ndx ? a.ndx - 1 : a.ndx;
+      if (gap > b.ndx2) gap += 1;
+      a.ndx = gap;
+      return a;
+    }
+    case OpType::kArrayErase:
+      if (a.ndx > b.ndx) a.ndx -= 1;
+      return a;
+    case OpType::kArrayClear:
+      return std::nullopt;
+    default:
+      return a;
+  }
+}
+
+MaybeOp TransformMove(Operation a, const Operation& b) {
+  switch (b.type) {
+    case OpType::kArraySet:
+      return a;
+    case OpType::kArrayInsert: {
+      int64_t original_src = a.ndx;
+      int64_t gap_reduced = b.ndx > original_src ? b.ndx - 1 : b.ndx;
+      if (a.ndx >= b.ndx) a.ndx += 1;
+      if (a.ndx2 >= gap_reduced) a.ndx2 += 1;
+      return a;
+    }
+    case OpType::kArrayMove: {
+      if (a.ndx == b.ndx) {
+        // Same element: only the last-write-wins move survives, replayed
+        // from the element's new position.
+        if (!WinsOver(a, b)) return std::nullopt;
+        if (b.ndx2 == a.ndx2) return std::nullopt;
+        a.ndx = b.ndx2;
+        return a;
+      }
+      bool a_wins = WinsOver(a, b);
+      int64_t src = a.ndx > b.ndx ? a.ndx - 1 : a.ndx;
+      if (src >= b.ndx2) src += 1;
+
+      int64_t other_src_reduced = b.ndx > a.ndx ? b.ndx - 1 : b.ndx;
+      int64_t gap = a.ndx2 > other_src_reduced ? a.ndx2 - 1 : a.ndx2;
+      int64_t my_src_reduced = a.ndx > b.ndx ? a.ndx - 1 : a.ndx;
+      int64_t other_dst_reduced =
+          b.ndx2 > my_src_reduced ? b.ndx2 - 1 : b.ndx2;
+      if (gap > other_dst_reduced ||
+          (gap == other_dst_reduced && !a_wins)) {
+        gap += 1;
+      }
+      a.ndx = src;
+      a.ndx2 = gap;
+      return a;
+    }
+    case OpType::kArrayErase: {
+      if (b.ndx == a.ndx) return std::nullopt;  // The moved element died.
+      int64_t erase_reduced = b.ndx > a.ndx ? b.ndx - 1 : b.ndx;
+      if (a.ndx > b.ndx) a.ndx -= 1;
+      if (a.ndx2 > erase_reduced) a.ndx2 -= 1;
+      return a;
+    }
+    case OpType::kArrayClear:
+      return std::nullopt;
+    default:
+      return a;
+  }
+}
+
+MaybeOp TransformErase(Operation a, const Operation& b) {
+  switch (b.type) {
+    case OpType::kArraySet:
+      return a;
+    case OpType::kArrayInsert:
+      if (a.ndx >= b.ndx) a.ndx += 1;
+      return a;
+    case OpType::kArrayMove:
+      a.ndx = a.ndx == b.ndx ? b.ndx2 : PosThroughMove(a.ndx, b.ndx, b.ndx2);
+      return a;
+    case OpType::kArrayErase:
+      if (a.ndx == b.ndx) return std::nullopt;
+      if (a.ndx > b.ndx) a.ndx -= 1;
+      return a;
+    case OpType::kArrayClear:
+      return std::nullopt;
+    default:
+      return a;
+  }
+}
+
+MaybeOp TransformClear(const Operation& a, const Operation& b) {
+  if (b.type == OpType::kArrayClear) return std::nullopt;
+  return a;
+}
+
+Result<MaybeOp> TransformSingle(const Operation& a, const Operation& b) {
+  if (a.type == OpType::kArraySwap || b.type == OpType::kArraySwap) {
+    return Status::NotSupported(
+        "ArraySwap is not supported by the Go implementation (deprecated "
+        "after the model checker found the swap/move non-termination)");
+  }
+  switch (a.type) {
+    case OpType::kArraySet:
+      return TransformSet(a, b);
+    case OpType::kArrayInsert:
+      return TransformInsert(a, b);
+    case OpType::kArrayMove:
+      return TransformMove(a, b);
+    case OpType::kArrayErase:
+      return TransformErase(a, b);
+    case OpType::kArrayClear:
+      return TransformClear(a, b);
+    default:
+      return Status::Internal("unknown operation type");
+  }
+}
+
+}  // namespace
+
+Result<OpList> GoMergeEngine::TransformOne(const Operation& op,
+                                           const Operation& other) {
+  Result<MaybeOp> r = TransformSingle(op, other);
+  if (!r.ok()) return r.status();
+  OpList out;
+  if (r->has_value()) out.push_back(**r);
+  return out;
+}
+
+Result<ot::MergeResult> GoMergeEngine::TransformLists(
+    const OpList& left, const OpList& right) const {
+  // Iterative matrix rebase. Because every single-op transform returns at
+  // most one op (no swaps), each left op walks across the current right
+  // list once, transforming both sides cell by cell.
+  int steps = 0;
+  OpList right_cur = right;
+  OpList left_out;
+  for (const Operation& l0 : left) {
+    MaybeOp l = l0;
+    OpList right_next;
+    right_next.reserve(right_cur.size());
+    for (const Operation& r0 : right_cur) {
+      if (++steps > max_steps_) {
+        return Status::ResourceExhausted("rebase exceeded its step budget");
+      }
+      if (!l.has_value()) {
+        right_next.push_back(r0);
+        continue;
+      }
+      Result<MaybeOp> l_new = TransformSingle(*l, r0);
+      if (!l_new.ok()) return l_new.status();
+      Result<MaybeOp> r_new = TransformSingle(r0, *l);
+      if (!r_new.ok()) return r_new.status();
+      l = *l_new;
+      if (r_new->has_value()) right_next.push_back(**r_new);
+    }
+    if (l.has_value()) left_out.push_back(*l);
+    right_cur = std::move(right_next);
+  }
+  return ot::MergeResult{std::move(left_out), std::move(right_cur)};
+}
+
+}  // namespace xmodel::otgo

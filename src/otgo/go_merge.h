@@ -1,0 +1,42 @@
+#ifndef XMODEL_OTGO_GO_MERGE_H_
+#define XMODEL_OTGO_GO_MERGE_H_
+
+#include "common/status.h"
+#include "ot/merge.h"
+#include "ot/operation.h"
+#include "ot/sync.h"
+
+namespace xmodel::otgo {
+
+/// The second, independently written implementation of the array merge
+/// rules — standing in for the paper's Golang server port (§5). The
+/// requirements were produced from the rule definitions, not by copying
+/// ot/merge_rules.cc: transforms are computed one direction at a time by
+/// pure functions, and the list rebase is iterative (an explicit work
+/// queue) instead of recursive. MBTCG's job (experiment E6) is proving the
+/// two implementations never disagree.
+///
+/// GoMergeEngine implements ot::ListTransformer so the same SyncSystem can
+/// run on either implementation.
+class GoMergeEngine : public ot::ListTransformer {
+ public:
+  /// `max_steps` bounds the iterative rebase (the analogue of the
+  /// recursion budget guarding the swap/move bug).
+  explicit GoMergeEngine(int max_steps = 4096) : max_steps_(max_steps) {}
+
+  /// Transforms `op` to apply after `other` (one direction of the pair).
+  /// `op_wins_ties` tells the boundary tie-breaks whether `op` wins
+  /// last-write-wins against `other`.
+  static common::Result<ot::OpList> TransformOne(const ot::Operation& op,
+                                                 const ot::Operation& other);
+
+  common::Result<ot::MergeResult> TransformLists(
+      const ot::OpList& left, const ot::OpList& right) const override;
+
+ private:
+  int max_steps_;
+};
+
+}  // namespace xmodel::otgo
+
+#endif  // XMODEL_OTGO_GO_MERGE_H_

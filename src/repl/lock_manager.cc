@@ -1,0 +1,228 @@
+#include "repl/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xmodel::repl {
+
+using common::Status;
+using common::StrCat;
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIntentShared:
+      return "IS";
+    case LockMode::kIntentExclusive:
+      return "IX";
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+const char* ResourceLevelName(ResourceLevel level) {
+  switch (level) {
+    case ResourceLevel::kGlobal:
+      return "Global";
+    case ResourceLevel::kDatabase:
+      return "Database";
+    case ResourceLevel::kCollection:
+      return "Collection";
+  }
+  return "?";
+}
+
+std::string ResourceId::ToString() const {
+  if (level == ResourceLevel::kGlobal) return "Global";
+  return StrCat(ResourceLevelName(level), "(", name, ")");
+}
+
+bool LockManager::Compatible(LockMode held, LockMode want) {
+  // Standard granularity-locking compatibility matrix (Gray et al. 1976):
+  //        IS   IX   S    X
+  //   IS   +    +    +    -
+  //   IX   +    +    -    -
+  //   S    +    -    +    -
+  //   X    -    -    -    -
+  auto idx = [](LockMode m) { return static_cast<int>(m); };
+  static constexpr bool kMatrix[4][4] = {
+      {true, true, true, false},
+      {true, true, false, false},
+      {true, false, true, false},
+      {false, false, false, false},
+  };
+  return kMatrix[idx(held)][idx(want)];
+}
+
+namespace {
+
+// The intent mode a lock in `mode` requires at each ancestor level.
+LockMode RequiredParentIntent(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIntentShared:
+    case LockMode::kShared:
+      return LockMode::kIntentShared;
+    case LockMode::kIntentExclusive:
+    case LockMode::kExclusive:
+      return LockMode::kIntentExclusive;
+  }
+  return LockMode::kIntentShared;
+}
+
+// Whether holding `held` satisfies a requirement for at least `needed`
+// (IX or X satisfy an IS requirement, etc.). We order by "strength":
+// IS < IX, IS < S, everything < X. S does not cover IX.
+bool CoversIntent(LockMode held, LockMode needed) {
+  if (held == needed) return true;
+  if (needed == LockMode::kIntentShared) {
+    return held == LockMode::kIntentExclusive || held == LockMode::kShared ||
+           held == LockMode::kExclusive;
+  }
+  if (needed == LockMode::kIntentExclusive) {
+    return held == LockMode::kExclusive;
+  }
+  return false;
+}
+
+std::string DatabaseOf(const ResourceId& collection) {
+  // Collection names are "db.collection"; the database resource is "db".
+  size_t dot = collection.name.find('.');
+  return dot == std::string::npos ? collection.name
+                                  : collection.name.substr(0, dot);
+}
+
+}  // namespace
+
+Status LockManager::Acquire(int64_t opctx, const ResourceId& resource,
+                            LockMode mode) {
+  // Hierarchy checks.
+  if (resource.level == ResourceLevel::kDatabase ||
+      resource.level == ResourceLevel::kCollection) {
+    LockMode needed = RequiredParentIntent(mode);
+    ResourceId global{ResourceLevel::kGlobal, ""};
+    auto git = granted_.find(global);
+    bool global_ok = false;
+    if (git != granted_.end()) {
+      auto hit = git->second.find(opctx);
+      global_ok = hit != git->second.end() && CoversIntent(hit->second, needed);
+    }
+    if (!global_ok) {
+      return Status::InvalidArgument(
+          StrCat("acquiring ", resource.ToString(), " in ",
+                 LockModeName(mode), " requires a covering global ",
+                 LockModeName(needed), " lock"));
+    }
+    if (resource.level == ResourceLevel::kCollection) {
+      ResourceId db{ResourceLevel::kDatabase, DatabaseOf(resource)};
+      auto dit = granted_.find(db);
+      bool db_ok = false;
+      if (dit != granted_.end()) {
+        auto hit = dit->second.find(opctx);
+        db_ok = hit != dit->second.end() && CoversIntent(hit->second, needed);
+      }
+      if (!db_ok) {
+        return Status::InvalidArgument(
+            StrCat("acquiring ", resource.ToString(), " in ",
+                   LockModeName(mode), " requires a covering ",
+                   LockModeName(needed), " lock on ", db.ToString()));
+      }
+    }
+  }
+
+  auto& holders = granted_[resource];
+  auto self = holders.find(opctx);
+  if (self != holders.end() && self->second == mode) {
+    return Status::OK();  // Idempotent re-acquire.
+  }
+  for (const auto& [other_ctx, other_mode] : holders) {
+    if (other_ctx == opctx) continue;
+    if (!Compatible(other_mode, mode)) {
+      ++conflicts_;
+      return Status::FailedPrecondition(
+          StrCat("lock conflict on ", resource.ToString(), ": held ",
+                 LockModeName(other_mode), " by opctx ", other_ctx,
+                 ", requested ", LockModeName(mode)));
+    }
+  }
+  holders[opctx] = mode;
+  ++acquisitions_;
+  if (observer_) {
+    observer_(LockEvent{LockEvent::Type::kAcquire, opctx, resource, mode});
+  }
+  return Status::OK();
+}
+
+Status LockManager::Release(int64_t opctx, const ResourceId& resource) {
+  auto it = granted_.find(resource);
+  if (it == granted_.end() || it->second.find(opctx) == it->second.end()) {
+    return Status::NotFound(
+        StrCat("opctx ", opctx, " holds no lock on ", resource.ToString()));
+  }
+  // Hierarchy discipline: may not release while covering a held child.
+  if (resource.level != ResourceLevel::kCollection) {
+    for (const auto& [res, holders] : granted_) {
+      if (res.level <= resource.level) continue;
+      if (holders.find(opctx) == holders.end()) continue;
+      if (resource.level == ResourceLevel::kDatabase &&
+          (res.level != ResourceLevel::kCollection ||
+           DatabaseOf(res) != resource.name)) {
+        continue;
+      }
+      return Status::FailedPrecondition(
+          StrCat("cannot release ", resource.ToString(), " while holding ",
+                 res.ToString()));
+    }
+  }
+  LockMode mode = it->second[opctx];
+  it->second.erase(opctx);
+  if (it->second.empty()) granted_.erase(it);
+  if (observer_) {
+    observer_(LockEvent{LockEvent::Type::kRelease, opctx, resource, mode});
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(int64_t opctx) {
+  // Lowest levels first so the hierarchy discipline holds.
+  for (int level = static_cast<int>(ResourceLevel::kCollection);
+       level >= static_cast<int>(ResourceLevel::kGlobal); --level) {
+    std::vector<ResourceId> to_release;
+    for (const auto& [res, holders] : granted_) {
+      if (static_cast<int>(res.level) == level &&
+          holders.find(opctx) != holders.end()) {
+        to_release.push_back(res);
+      }
+    }
+    for (const ResourceId& res : to_release) {
+      Release(opctx, res).ok();
+    }
+  }
+}
+
+bool LockManager::IsHeld(int64_t opctx, const ResourceId& resource,
+                         LockMode mode) const {
+  auto it = granted_.find(resource);
+  if (it == granted_.end()) return false;
+  auto hit = it->second.find(opctx);
+  return hit != it->second.end() && hit->second == mode;
+}
+
+std::vector<std::pair<ResourceId, LockMode>> LockManager::HeldBy(
+    int64_t opctx) const {
+  std::vector<std::pair<ResourceId, LockMode>> out;
+  for (const auto& [res, holders] : granted_) {
+    auto hit = holders.find(opctx);
+    if (hit != holders.end()) out.emplace_back(res, hit->second);
+  }
+  return out;
+}
+
+size_t LockManager::NumHolders(const ResourceId& resource) const {
+  auto it = granted_.find(resource);
+  return it == granted_.end() ? 0 : it->second.size();
+}
+
+}  // namespace xmodel::repl

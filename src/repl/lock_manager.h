@@ -1,0 +1,115 @@
+#ifndef XMODEL_REPL_LOCK_MANAGER_H_
+#define XMODEL_REPL_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmodel::repl {
+
+/// Lock modes of MongoDB's hierarchical locking (Gray et al. granularity
+/// locking): intent-shared, intent-exclusive, shared, exclusive.
+enum class LockMode : uint8_t {
+  kIntentShared = 0,  // IS
+  kIntentExclusive,   // IX
+  kShared,            // S
+  kExclusive,         // X
+};
+
+const char* LockModeName(LockMode mode);
+
+/// Levels of the lock hierarchy. A lock at a level requires a covering
+/// intent lock at every level above it.
+enum class ResourceLevel : uint8_t {
+  kGlobal = 0,
+  kDatabase,
+  kCollection,
+};
+
+const char* ResourceLevelName(ResourceLevel level);
+
+struct ResourceId {
+  ResourceLevel level = ResourceLevel::kGlobal;
+  std::string name;  // "" for the global resource.
+
+  friend bool operator==(const ResourceId& a, const ResourceId& b) {
+    return a.level == b.level && a.name == b.name;
+  }
+  friend bool operator<(const ResourceId& a, const ResourceId& b) {
+    if (a.level != b.level) return a.level < b.level;
+    return a.name < b.name;
+  }
+  std::string ToString() const;
+};
+
+/// An observable lock-manager transition, consumed by the Locking-spec MBTC
+/// pipeline (experiment E8).
+struct LockEvent {
+  enum class Type { kAcquire, kRelease } type = Type::kAcquire;
+  int64_t opctx = 0;
+  ResourceId resource;
+  LockMode mode = LockMode::kIntentShared;
+};
+
+/// A single-process hierarchical lock manager with the standard intent-lock
+/// compatibility matrix. Acquisition is try-style (the simulator has no
+/// blocking threads): a conflicting request fails with FailedPrecondition
+/// and the caller retries on a later simulation step.
+///
+/// The hierarchy rule is enforced: locking a database requires an intent
+/// lock on the global resource, locking a collection requires intent locks
+/// on both the global resource and the collection's database.
+class LockManager {
+ public:
+  /// True when a holder in `held` is compatible with a request for `want`.
+  static bool Compatible(LockMode held, LockMode want);
+
+  /// Attempts to acquire; fails on conflict with another context's lock or
+  /// on a hierarchy violation (InvalidArgument). Re-acquiring a mode the
+  /// context already holds on the resource is idempotent. Acquiring a
+  /// stronger mode while holding a weaker one on the same resource upgrades
+  /// when compatible with other holders.
+  common::Status Acquire(int64_t opctx, const ResourceId& resource,
+                         LockMode mode);
+
+  /// Releases this context's lock on the resource. Fails with NotFound when
+  /// not held. A lock cannot be released while the same context holds a
+  /// lock at a lower level that it covers (hierarchy discipline).
+  common::Status Release(int64_t opctx, const ResourceId& resource);
+
+  /// Releases everything the context holds (lowest levels first).
+  void ReleaseAll(int64_t opctx);
+
+  bool IsHeld(int64_t opctx, const ResourceId& resource, LockMode mode) const;
+
+  /// All (resource, mode) pairs currently held by `opctx`.
+  std::vector<std::pair<ResourceId, LockMode>> HeldBy(int64_t opctx) const;
+
+  /// Number of contexts holding any lock on `resource`.
+  size_t NumHolders(const ResourceId& resource) const;
+
+  /// Registers an observer for acquire/release events (the tracing hook).
+  void SetEventObserver(std::function<void(const LockEvent&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Total acquisitions granted (for stats).
+  uint64_t acquisitions() const { return acquisitions_; }
+  /// Total acquisitions refused due to conflicts.
+  uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  // resource -> (opctx -> granted mode)
+  std::map<ResourceId, std::map<int64_t, LockMode>> granted_;
+  std::function<void(const LockEvent&)> observer_;
+  uint64_t acquisitions_ = 0;
+  uint64_t conflicts_ = 0;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_LOCK_MANAGER_H_

@@ -1,0 +1,73 @@
+#ifndef XMODEL_REPL_NETWORK_H_
+#define XMODEL_REPL_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xmodel::repl {
+
+/// Connectivity between replica-set nodes. The replication protocol is
+/// pull-based and modelled with synchronous fetches, so the network reduces
+/// to a reachability relation that scenarios and the rollback fuzzer
+/// manipulate to create partitions.
+class SimNetwork {
+ public:
+  explicit SimNetwork(size_t num_nodes) : group_(num_nodes, 0) {}
+
+  size_t num_nodes() const { return group_.size(); }
+
+  /// True when a and b can exchange messages (same partition group).
+  bool CanCommunicate(int a, int b) const {
+    return group_[a] == group_[b];
+  }
+
+  /// Splits the nodes into groups; nodes in different groups cannot
+  /// communicate. Each inner vector is one group; nodes not mentioned stay
+  /// in group 0.
+  void Partition(const std::vector<std::vector<int>>& groups) {
+    for (auto& g : group_) g = 0;
+    int next = 1;
+    for (const auto& members : groups) {
+      for (int node : members) group_[node] = next;
+      ++next;
+    }
+  }
+
+  /// Isolates one node from everyone else.
+  void Isolate(int node) {
+    group_[node] = -1 - node;  // Unique negative group.
+  }
+
+  /// Restores full connectivity.
+  void Heal() {
+    for (auto& g : group_) g = 0;
+  }
+
+  /// True when no partition is active.
+  bool IsHealed() const {
+    for (int g : group_) {
+      if (g != group_[0]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<int> group_;
+};
+
+/// Virtual wall clock with millisecond precision, shared by all nodes: the
+/// paper serializes trace events by running every process on one machine
+/// and sleeping until the clock's millisecond digit changes (Figure 2).
+class SimClock {
+ public:
+  int64_t NowMs() const { return now_ms_; }
+  void AdvanceMs(int64_t ms) { now_ms_ += ms; }
+
+ private:
+  int64_t now_ms_ = 1'000'000;  // Arbitrary epoch.
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_NETWORK_H_

@@ -1,0 +1,319 @@
+#include "repl/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace xmodel::repl {
+
+using common::Status;
+using common::StrCat;
+
+const char* RoleName(Role role) {
+  return role == Role::kLeader ? "Leader" : "Follower";
+}
+
+const char* ReplActionName(ReplAction action) {
+  switch (action) {
+    case ReplAction::kAppendOplog:
+      return "AppendOplog";
+    case ReplAction::kRollbackOplog:
+      return "RollbackOplog";
+    case ReplAction::kBecomePrimaryByMagic:
+      return "BecomePrimaryByMagic";
+    case ReplAction::kStepdown:
+      return "Stepdown";
+    case ReplAction::kClientWrite:
+      return "ClientWrite";
+    case ReplAction::kAdvanceCommitPoint:
+      return "AdvanceCommitPoint";
+    case ReplAction::kUpdateTermThroughHeartbeat:
+      return "UpdateTermThroughHeartbeat";
+    case ReplAction::kLearnCommitPointWithTermCheck:
+      return "LearnCommitPointWithTermCheck";
+    case ReplAction::kLearnCommitPointFromSyncSourceNeverBeyondLastApplied:
+      return "LearnCommitPointFromSyncSourceNeverBeyondLastApplied";
+  }
+  return "?";
+}
+
+void Node::EmitTrace(ReplAction action, bool oplog_from_stale_snapshot) {
+  if (sink_ == nullptr) return;
+  if (options_.arbiter) {
+    // Tracing was never implemented for arbiters; enabling it crashes them
+    // (§4.2.2 "Arbiters"). The crash is modelled as a dead node.
+    crashed_by_tracing_ = true;
+    alive_ = false;
+    return;
+  }
+  ReplTraceEvent event;
+  event.action = action;
+  event.node_id = id_;
+  event.role = RoleName(role_);
+  event.term = term_;
+  event.commit_point = commit_point_;
+  event.oplog_from_stale_snapshot = oplog_from_stale_snapshot;
+  event.oplog_terms =
+      oplog_from_stale_snapshot ? stale_oplog_terms_ : oplog_.Terms();
+  // An initial-synced node's real oplog history starts after the copied
+  // data image; the image prefix is not observable as oplog entries.
+  if (initial_sync_image_prefix_ > 0 &&
+      static_cast<int64_t>(event.oplog_terms.size()) >=
+          initial_sync_image_prefix_) {
+    event.oplog_terms.erase(
+        event.oplog_terms.begin(),
+        event.oplog_terms.begin() + initial_sync_image_prefix_);
+  }
+  sink_->OnTraceEvent(event);
+  if (!oplog_from_stale_snapshot) {
+    // Storage checkpoint: the stale MVCC snapshot catches up once the
+    // mutation (and its trace event) is complete.
+    stale_oplog_terms_ = oplog_.Terms();
+  }
+}
+
+Status Node::ClientWrite(const std::string& op) {
+  if (!alive_) return Status::FailedPrecondition("node is down");
+  if (role_ != Role::kLeader) {
+    return Status::FailedPrecondition(StrCat("node ", id_, " is not leader"));
+  }
+  assert(!options_.arbiter && "arbiters cannot be leaders");
+
+  // The write path takes the intent-lock chain, as the Server does.
+  const int64_t opctx = next_opctx_counter_++;
+  ResourceId global{ResourceLevel::kGlobal, ""};
+  ResourceId db{ResourceLevel::kDatabase, "test"};
+  ResourceId coll{ResourceLevel::kCollection, "test.docs"};
+  Status s = locks_.Acquire(opctx, global, LockMode::kIntentExclusive);
+  if (s.ok()) s = locks_.Acquire(opctx, db, LockMode::kIntentExclusive);
+  if (s.ok()) s = locks_.Acquire(opctx, coll, LockMode::kIntentExclusive);
+  if (!s.ok()) {
+    locks_.ReleaseAll(opctx);
+    return s;
+  }
+
+  OplogEntry entry;
+  entry.optime.term = term_;
+  entry.optime.index = static_cast<int64_t>(oplog_.size()) + 1;
+  entry.op = op;
+  oplog_.Append(std::move(entry));
+
+  // Visibility rule (§4.2.1): the event is logged after the entry exists
+  // in our oplog but before the locks drop, i.e. before any follower can
+  // replicate it.
+  EmitTrace(ReplAction::kClientWrite);
+
+  locks_.ReleaseAll(opctx);
+  return Status::OK();
+}
+
+void Node::BecomeLeader(int64_t new_term) {
+  assert(alive_ && !options_.arbiter && sync_state_ == SyncState::kSteady);
+  assert(new_term > term_);
+  role_ = Role::kLeader;
+  term_ = new_term;
+  member_progress_.clear();
+  RecordMemberPosition(id_, LastApplied(), SyncState::kSteady);
+  // The role-change code path holds the replication coordinator locks and
+  // cannot take the oplog locks in order; it reads the stale MVCC snapshot
+  // (the paper's workaround for the Figure 5 deadlock).
+  EmitTrace(ReplAction::kBecomePrimaryByMagic,
+            /*oplog_from_stale_snapshot=*/true);
+}
+
+void Node::Stepdown() {
+  assert(role_ == Role::kLeader);
+  role_ = Role::kFollower;
+  member_progress_.clear();
+  EmitTrace(ReplAction::kStepdown, /*oplog_from_stale_snapshot=*/true);
+}
+
+int64_t Node::PullOplogFrom(const Node& source, int64_t batch_size) {
+  if (!alive_ || !source.alive_) return 0;
+  if (options_.arbiter) return 0;  // Arbiters bear no data.
+  if (role_ == Role::kLeader) return 0;  // Leaders never replicate.
+  if (&source == this) return 0;
+
+  int64_t common = oplog_.CommonPointWith(source.oplog_);
+  if (static_cast<int64_t>(oplog_.size()) > common) {
+    // Our log diverges from the sync source's.
+    if (static_cast<int64_t>(source.oplog_.size()) <= common) {
+      // The source is merely behind us; nothing to pull.
+      return 0;
+    }
+    // Roll back our divergent suffix (the Server's rollback procedure).
+    oplog_.TruncateAfter(common);
+    if (commit_point_ > oplog_.LastOpTime()) {
+      // A majority-committed write was rolled back — the invariant the
+      // spec checks. This can only happen with the initial-sync quorum
+      // bug enabled; the trace will expose it.
+      commit_point_ = oplog_.LastOpTime();
+    }
+    ++rollback_count_;
+    EmitTrace(ReplAction::kRollbackOplog);
+  }
+
+  std::vector<OplogEntry> entries = source.oplog_.EntriesAfter(common);
+  int64_t appended = 0;
+  for (OplogEntry& e : entries) {
+    if (appended >= batch_size) break;
+    oplog_.Append(std::move(e));
+    ++appended;
+  }
+  if (appended > 0) {
+    EmitTrace(ReplAction::kAppendOplog);
+  }
+  return appended;
+}
+
+void Node::ReceiveHeartbeat(int64_t sender_term,
+                            const OpTime& sender_commit_point,
+                            bool from_sync_source,
+                            bool log_is_prefix_of_sender) {
+  if (!alive_) return;
+
+  if (sender_term > term_) {
+    term_ = sender_term;
+    bool was_leader = role_ == Role::kLeader;
+    if (was_leader) {
+      role_ = Role::kFollower;
+      member_progress_.clear();
+      EmitTrace(ReplAction::kStepdown, /*oplog_from_stale_snapshot=*/true);
+    } else {
+      EmitTrace(ReplAction::kUpdateTermThroughHeartbeat,
+                /*oplog_from_stale_snapshot=*/true);
+    }
+  }
+
+  if (options_.arbiter) return;  // No data, no commit point to track.
+
+  if (sender_commit_point > commit_point_) {
+    if (from_sync_source && log_is_prefix_of_sender) {
+      // Never advance beyond our own last applied: the sync source is
+      // ahead of us, and the commit point must reference an entry we have.
+      OpTime capped = std::min(sender_commit_point, LastApplied());
+      if (capped > commit_point_) {
+        commit_point_ = capped;
+        EmitTrace(
+            ReplAction::kLearnCommitPointFromSyncSourceNeverBeyondLastApplied);
+      }
+    } else {
+      // Term check: only adopt a commit point from the sender's newer view
+      // when it cannot name a divergent entry — it must be in our log.
+      if (oplog_.Contains(sender_commit_point)) {
+        commit_point_ = sender_commit_point;
+        EmitTrace(ReplAction::kLearnCommitPointWithTermCheck);
+      }
+    }
+  }
+}
+
+void Node::RecordMemberPosition(int member_id, const OpTime& position,
+                                SyncState member_sync_state) {
+  if (role_ != Role::kLeader) return;
+  member_progress_[member_id] = MemberProgress{position, member_sync_state};
+}
+
+bool Node::AdvanceCommitPoint(int num_voting_nodes,
+                              bool count_initial_sync_in_quorum) {
+  if (role_ != Role::kLeader || !alive_) return false;
+  RecordMemberPosition(id_, LastApplied(), sync_state_);
+
+  std::vector<OpTime> positions;
+  for (const auto& [member, progress] : member_progress_) {
+    if (progress.sync_state == SyncState::kInitialSyncing &&
+        !count_initial_sync_in_quorum) {
+      continue;  // The FIXED behavior: non-durable entries do not count.
+    }
+    positions.push_back(progress.position);
+  }
+  const int majority = num_voting_nodes / 2 + 1;
+  if (static_cast<int>(positions.size()) < majority) return false;
+
+  // The newest optime replicated by a majority: sort descending and take
+  // the majority-th element.
+  std::sort(positions.begin(), positions.end(),
+            [](const OpTime& a, const OpTime& b) { return b < a; });
+  OpTime candidate = positions[majority - 1];
+
+  // Raft safety rule: only advance onto entries from the current term.
+  if (candidate.IsNull() || candidate.term != term_) return false;
+  if (!(candidate > commit_point_)) return false;
+
+  commit_point_ = candidate;
+  EmitTrace(ReplAction::kAdvanceCommitPoint);
+  return true;
+}
+
+void Node::StartInitialSync(const Node& source) {
+  assert(!options_.arbiter);
+  sync_state_ = SyncState::kInitialSyncing;
+  role_ = Role::kFollower;
+  oplog_.TruncateAfter(0);
+  durable_index_ = 0;  // The wiped history is gone from disk too.
+
+  // Initial sync copies the source's data image plus only the trailing
+  // window of its oplog. The simulation keeps all entries (so indexes stay
+  // dense and the protocol is unchanged) but records how many leading
+  // entries exist only as the data image: they are invisible to tracing,
+  // which is exactly the real system's observable behavior — and the
+  // "Copying the oplog" discrepancy the MBTC post-processor must repair.
+  const auto& src = source.oplog_.entries();
+  size_t window = static_cast<size_t>(
+      std::max<int64_t>(0, options_.initial_sync_oplog_window));
+  size_t start = src.size() > window ? src.size() - window : 0;
+  for (const OplogEntry& e : src) oplog_.Append(e);
+  initial_sync_image_prefix_ = static_cast<int64_t>(start);
+  // Commit-point knowledge survives the resync (it is knowledge, not
+  // data), capped at the freshly copied history. Resetting it to NULL
+  // would be a backwards transition no specification action permits.
+  commit_point_ = std::min(commit_point_, LastApplied());
+  // The term is NOT adopted here: terms travel through heartbeats only
+  // (matching the spec's UpdateTermThroughHeartbeat).
+  if (!src.empty()) EmitTrace(ReplAction::kAppendOplog);
+}
+
+void Node::FinishInitialSync() {
+  assert(sync_state_ == SyncState::kInitialSyncing);
+  sync_state_ = SyncState::kSteady;
+}
+
+void Node::Crash(bool unclean) {
+  alive_ = false;
+  // The role is left as-is: a dead node has no observable role (Leaders()
+  // filters on alive()), and Restart() needs to know whether the node died
+  // while leading to announce the right recovery transition.
+  member_progress_.clear();
+  if (unclean && !oplog_.empty()) {
+    // The journal flushes continuously: at most the newest entry can be
+    // lost, and never one already covered by a reported (journaled)
+    // position.
+    int64_t keep = std::max(durable_index_,
+                            static_cast<int64_t>(oplog_.size()) - 1);
+    oplog_.TruncateAfter(keep);
+    if (commit_point_ > oplog_.LastOpTime()) {
+      commit_point_ = oplog_.LastOpTime();
+    }
+  }
+}
+
+void Node::Restart() {
+  if (crashed_by_tracing_) return;  // Needs operator intervention.
+  bool was_leader = role_ == Role::kLeader;
+  alive_ = true;
+  role_ = Role::kFollower;
+  sync_state_ = SyncState::kSteady;
+  stale_oplog_terms_ = oplog_.Terms();
+  // A crash logs nothing (the process died mid-transition), so the node
+  // announces its recovered state at startup. For an ex-leader the
+  // resulting transition is exactly the spec's Stepdown; for a follower it
+  // is a stutter the checker absorbs.
+  if (was_leader) {
+    EmitTrace(ReplAction::kStepdown, /*oplog_from_stale_snapshot=*/true);
+  } else {
+    EmitTrace(ReplAction::kAppendOplog);
+  }
+}
+
+}  // namespace xmodel::repl

@@ -1,0 +1,182 @@
+#ifndef XMODEL_REPL_NODE_H_
+#define XMODEL_REPL_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "repl/lock_manager.h"
+#include "repl/oplog.h"
+#include "repl/trace_sink.h"
+
+namespace xmodel::repl {
+
+/// Replica-set member roles. MongoDB's PRIMARY/SECONDARY map to the
+/// specification's Leader/Follower.
+enum class Role { kFollower = 0, kLeader };
+
+const char* RoleName(Role role);
+
+/// Whether the node is a steady-state member or currently running initial
+/// sync (copying data from another member; its oplog entries are not yet
+/// durable — the source of the paper's majority-commit-point bug, §4.2.2).
+enum class SyncState { kSteady = 0, kInitialSyncing };
+
+struct NodeOptions {
+  bool arbiter = false;
+  /// Initial sync copies only this many trailing oplog entries from the
+  /// sync source (the real system copies "only recent entries", unlike the
+  /// spec which copies the whole log — the "Copying the oplog" discrepancy).
+  int64_t initial_sync_oplog_window = 2;
+};
+
+/// One replica-set member: role, election term, commit point, oplog, and
+/// the per-process lock hierarchy. All cross-node interaction goes through
+/// ReplicaSet, which checks network reachability before invoking methods
+/// that involve another node.
+class Node {
+ public:
+  Node(int id, const NodeOptions& options) : id_(id), options_(options) {}
+
+  // Not copyable: identity matters (lock manager, trace sink registration).
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  Node(Node&&) = default;
+  Node& operator=(Node&&) = default;
+
+  int id() const { return id_; }
+  Role role() const { return role_; }
+  int64_t term() const { return term_; }
+  const OpTime& commit_point() const { return commit_point_; }
+  const Oplog& oplog() const { return oplog_; }
+  bool is_arbiter() const { return options_.arbiter; }
+  SyncState sync_state() const { return sync_state_; }
+  bool alive() const { return alive_; }
+  bool crashed_by_tracing() const { return crashed_by_tracing_; }
+  LockManager& lock_manager() { return locks_; }
+
+  /// Number of leading oplog entries that exist only as the initial-sync
+  /// data image: the node's real oplog history starts after them, so trace
+  /// events omit them (the "Copying the oplog" discrepancy, §4.2.2).
+  int64_t initial_sync_image_prefix() const {
+    return initial_sync_image_prefix_;
+  }
+
+  /// Number of rollback procedures this node has executed.
+  int64_t rollback_count() const { return rollback_count_; }
+
+  /// Journal checkpoint: entries up to `index` are fsynced and survive
+  /// unclean crashes. Called when the node's replication progress is
+  /// acknowledged upstream (positions are only reported after the journal
+  /// flush, as in the real Server).
+  void MarkDurableUpTo(int64_t index) {
+    if (index > durable_index_) durable_index_ = index;
+  }
+  int64_t durable_index() const { return durable_index_; }
+
+  OpTime LastApplied() const { return oplog_.LastOpTime(); }
+
+  /// Attaches the trace sink. Arbiters have no tracing support: an arbiter
+  /// with a sink attached crashes on its first instrumented transition,
+  /// reproducing the paper's "arbiters crash when tracing is enabled".
+  void AttachTraceSink(ReplTraceSink* sink) { sink_ = sink; }
+
+  // -- State transitions (RaftMongo.tla actions) ---------------------------
+
+  /// Leader-only: executes a client write, appending one oplog entry in the
+  /// leader's current term. Acquires the Global/DB/Collection intent-lock
+  /// chain for the write. [ClientWrite]
+  common::Status ClientWrite(const std::string& op);
+
+  /// Instantaneous election win (the spec's BecomePrimaryByMagic — the
+  /// voting protocol runs in ReplicaSet::TryElect). [BecomePrimaryByMagic]
+  void BecomeLeader(int64_t new_term);
+
+  /// Leader becomes a follower. [Stepdown]
+  void Stepdown();
+
+  /// Pulls oplog entries from `source` (the Server's pull-based
+  /// replication). Rolls back divergent entries first when needed.
+  /// Returns the number of entries appended (0 when up to date or when the
+  /// node is ahead of the source). [AppendOplog, RollbackOplog]
+  int64_t PullOplogFrom(const Node& source, int64_t batch_size);
+
+  /// Receives a heartbeat carrying the sender's term and commit point.
+  /// Learns the term (stepping down when a leader sees a newer term) and
+  /// the commit point. `from_sync_source` selects which learning rule —
+  /// and which spec action — applies; the capped sync-source rule also
+  /// requires `log_is_prefix_of_sender` (capping at our last applied is
+  /// only sound when our last entry is literally the sender's entry).
+  /// [UpdateTermThroughHeartbeat, LearnCommitPointWithTermCheck,
+  ///  LearnCommitPointFromSyncSourceNeverBeyondLastApplied]
+  void ReceiveHeartbeat(int64_t sender_term, const OpTime& sender_commit_point,
+                        bool from_sync_source, bool log_is_prefix_of_sender);
+
+  /// Leader-only: records a member's replication progress (the pull
+  /// protocol's replSetUpdatePosition) for commit-point calculation.
+  void RecordMemberPosition(int member_id, const OpTime& position,
+                            SyncState member_sync_state);
+
+  /// Leader-only: recomputes the commit point from recorded positions.
+  /// `count_initial_sync_in_quorum` enables the real bug the paper's
+  /// trace-checking reproduced: initial-syncing members count toward the
+  /// majority although their entries are not durable. `num_voting_nodes`
+  /// is the quorum denominator. Returns true when the commit point
+  /// advanced. [AdvanceCommitPoint]
+  bool AdvanceCommitPoint(int num_voting_nodes,
+                          bool count_initial_sync_in_quorum);
+
+  /// Begins initial sync from `source`: wipes the log and copies only the
+  /// trailing `initial_sync_oplog_window` entries.
+  void StartInitialSync(const Node& source);
+
+  /// Completes initial sync; entries become durable.
+  void FinishInitialSync();
+
+  /// Process crash. With `unclean`, the last entry is lost unless the
+  /// journal already covers it (entries acknowledged upstream are always
+  /// journaled, so majority-committed writes survive unclean restarts).
+  void Crash(bool unclean);
+
+  /// Restart after a crash: durable state (term, oplog) survives; the node
+  /// comes back as a follower.
+  void Restart();
+
+ private:
+  void EmitTrace(ReplAction action, bool oplog_from_stale_snapshot = false);
+
+  int id_;
+  NodeOptions options_;
+  Role role_ = Role::kFollower;
+  int64_t term_ = 0;
+  OpTime commit_point_;
+  Oplog oplog_;
+  SyncState sync_state_ = SyncState::kSteady;
+  bool alive_ = true;
+  bool crashed_by_tracing_ = false;
+
+  // Leader bookkeeping: last known position and sync state per member.
+  struct MemberProgress {
+    OpTime position;
+    SyncState sync_state = SyncState::kSteady;
+  };
+  std::map<int, MemberProgress> member_progress_;
+
+  // MVCC: oplog terms as of the last storage checkpoint; trace events for
+  // role transitions read this stale snapshot because the role-change code
+  // path cannot take the oplog locks (§4.2.1).
+  std::vector<int64_t> stale_oplog_terms_;
+
+  LockManager locks_;
+  ReplTraceSink* sink_ = nullptr;
+  int64_t next_opctx_counter_ = 1;
+  int64_t initial_sync_image_prefix_ = 0;
+  int64_t rollback_count_ = 0;
+  int64_t durable_index_ = 0;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_NODE_H_

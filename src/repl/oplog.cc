@@ -1,0 +1,79 @@
+#include "repl/oplog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace xmodel::repl {
+
+std::string OpTime::ToString() const {
+  if (IsNull()) return "null";
+  return common::StrCat("(t:", term, ", i:", index, ")");
+}
+
+OpTime Oplog::LastOpTime() const {
+  if (entries_.empty()) return OpTime{};
+  return entries_.back().optime;
+}
+
+void Oplog::Append(OplogEntry entry) {
+  assert(entry.optime.index == static_cast<int64_t>(entries_.size()) + 1 &&
+         "oplog indexes must be dense");
+  assert((entries_.empty() || entries_.back().optime < entry.optime) &&
+         "oplog optimes must increase");
+  entries_.push_back(std::move(entry));
+}
+
+bool Oplog::Contains(const OpTime& optime) const {
+  if (optime.index < 1 ||
+      optime.index > static_cast<int64_t>(entries_.size())) {
+    return false;
+  }
+  return entries_[optime.index - 1].optime == optime;
+}
+
+std::vector<int64_t> Oplog::Terms() const {
+  std::vector<int64_t> terms;
+  terms.reserve(entries_.size());
+  for (const OplogEntry& e : entries_) terms.push_back(e.optime.term);
+  return terms;
+}
+
+int64_t Oplog::CommonPointWith(const Oplog& other) const {
+  size_t limit = std::min(entries_.size(), other.entries_.size());
+  int64_t common = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (entries_[i].optime == other.entries_[i].optime) {
+      common = static_cast<int64_t>(i) + 1;
+    } else {
+      break;
+    }
+  }
+  return common;
+}
+
+std::vector<OplogEntry> Oplog::TruncateAfter(int64_t index) {
+  assert(index >= 0);
+  if (index >= static_cast<int64_t>(entries_.size())) return {};
+  std::vector<OplogEntry> removed(entries_.begin() + index, entries_.end());
+  entries_.resize(index);
+  return removed;
+}
+
+std::vector<OplogEntry> Oplog::EntriesAfter(int64_t after_index) const {
+  if (after_index >= static_cast<int64_t>(entries_.size())) return {};
+  if (after_index < 0) after_index = 0;
+  return std::vector<OplogEntry>(entries_.begin() + after_index,
+                                 entries_.end());
+}
+
+bool Oplog::IsPrefixOf(const Oplog& other) const {
+  if (entries_.size() > other.entries_.size()) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!(entries_[i].optime == other.entries_[i].optime)) return false;
+  }
+  return true;
+}
+
+}  // namespace xmodel::repl

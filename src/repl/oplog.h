@@ -1,0 +1,96 @@
+#ifndef XMODEL_REPL_OPLOG_H_
+#define XMODEL_REPL_OPLOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xmodel::repl {
+
+/// A position in the replicated operation log: the election term in which
+/// the entry was written and its 1-based log index. Mirrors the MongoDB
+/// Server's OpTime. The null OpTime (0, 0) means "no operations yet" and
+/// maps to NULL in the RaftMongo specification's commitPoint.
+struct OpTime {
+  int64_t term = 0;
+  int64_t index = 0;
+
+  bool IsNull() const { return term == 0 && index == 0; }
+
+  friend bool operator==(const OpTime& a, const OpTime& b) {
+    return a.term == b.term && a.index == b.index;
+  }
+  friend bool operator!=(const OpTime& a, const OpTime& b) {
+    return !(a == b);
+  }
+  /// MongoDB compares OpTimes term-major: a higher term is always newer.
+  friend bool operator<(const OpTime& a, const OpTime& b) {
+    if (a.term != b.term) return a.term < b.term;
+    return a.index < b.index;
+  }
+  friend bool operator<=(const OpTime& a, const OpTime& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const OpTime& a, const OpTime& b) { return b < a; }
+  friend bool operator>=(const OpTime& a, const OpTime& b) { return b <= a; }
+
+  std::string ToString() const;
+};
+
+/// One durable log entry: its optime plus an opaque payload describing the
+/// client operation (CRUD/DDL in the real system).
+struct OplogEntry {
+  OpTime optime;
+  std::string op;
+
+  friend bool operator==(const OplogEntry& a, const OplogEntry& b) {
+    return a.optime == b.optime && a.op == b.op;
+  }
+};
+
+/// A node's operation log. Entries are strictly increasing by optime and
+/// indexes are dense (entry i has index i+1), as in Raft.
+class Oplog {
+ public:
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const OplogEntry& at(size_t i) const { return entries_[i]; }
+  const std::vector<OplogEntry>& entries() const { return entries_; }
+
+  /// OpTime of the newest entry; null OpTime when empty.
+  OpTime LastOpTime() const;
+
+  /// Appends an entry; its index must be size()+1 and its optime newer than
+  /// the last entry's.
+  void Append(OplogEntry entry);
+
+  /// True when this log contains an entry with exactly this optime.
+  bool Contains(const OpTime& optime) const;
+
+  /// Entry terms in order — the abstraction the RaftMongo spec uses for the
+  /// `oplog` variable.
+  std::vector<int64_t> Terms() const;
+
+  /// Index (1-based) of the last entry that agrees with `other`, i.e. the
+  /// Raft common point; 0 when the logs share no prefix.
+  int64_t CommonPointWith(const Oplog& other) const;
+
+  /// Removes entries with index > `index` (rollback). Returns the removed
+  /// entries, oldest first.
+  std::vector<OplogEntry> TruncateAfter(int64_t index);
+
+  /// Entries with index > `after_index`, oldest first.
+  std::vector<OplogEntry> EntriesAfter(int64_t after_index) const;
+
+  /// Whether `optime` is at least as new as the last entry of this log and
+  /// this log is a prefix-compatible ancestor — used to pick sync sources.
+  bool IsPrefixOf(const Oplog& other) const;
+
+ private:
+  std::vector<OplogEntry> entries_;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_OPLOG_H_

@@ -1,0 +1,72 @@
+#include "repl/read_write_concern.h"
+
+namespace xmodel::repl {
+
+using common::Result;
+using common::Status;
+
+WriteResult ClientSession::Write(const std::string& op,
+                                 WriteConcern concern) {
+  WriteResult result;
+  int leader = rs_->NewestLeader();
+  if (leader < 0) {
+    result.status = Status::FailedPrecondition("no leader available");
+    return result;
+  }
+  Status s = rs_->ClientWrite(leader, op);
+  if (!s.ok()) {
+    result.status = s;
+    return result;
+  }
+  result.optime = rs_->node(leader).LastApplied();
+  if (concern == WriteConcern::kLocal) {
+    result.status = Status::OK();
+    return result;
+  }
+
+  // w:majority — pump replication and gossip until the leader's commit
+  // point covers the write. A real driver blocks on the server; the
+  // simulation advances the set instead.
+  for (int round = 0; round < max_rounds_; ++round) {
+    if (rs_->node(leader).commit_point() >= result.optime) {
+      result.status = Status::OK();
+      return result;
+    }
+    for (int n = 0; n < rs_->num_nodes(); ++n) {
+      if (n != leader) rs_->ReplicateOnce(n);
+    }
+    rs_->GossipAll();
+    if (rs_->node(leader).role() != Role::kLeader) {
+      result.status = Status::Aborted(
+          "leader lost leadership while awaiting write concern");
+      return result;
+    }
+  }
+  // The timeout does NOT undo the write: it reports unknown durability,
+  // exactly as a real write-concern timeout does.
+  result.status =
+      Status::ResourceExhausted("write concern wait timed out");
+  return result;
+}
+
+Result<std::vector<std::string>> ClientSession::Read(
+    int node, ReadConcern concern) const {
+  const Node& n = rs_->node(node);
+  if (!n.alive()) return Status::FailedPrecondition("node is down");
+  if (n.is_arbiter()) return Status::FailedPrecondition("arbiters hold no data");
+
+  int64_t limit = static_cast<int64_t>(n.oplog().size());
+  if (concern == ReadConcern::kMajority) {
+    // Majority reads serve the last majority-committed snapshot: entries
+    // past the node's commit point are invisible.
+    limit = std::min(limit, n.commit_point().index);
+  }
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(limit));
+  for (int64_t i = 0; i < limit; ++i) {
+    out.push_back(n.oplog().at(static_cast<size_t>(i)).op);
+  }
+  return out;
+}
+
+}  // namespace xmodel::repl

@@ -1,0 +1,66 @@
+#ifndef XMODEL_REPL_READ_WRITE_CONCERN_H_
+#define XMODEL_REPL_READ_WRITE_CONCERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "repl/replica_set.h"
+
+namespace xmodel::repl {
+
+/// Durability level a write waits for (§2.1: "reads and writes offer
+/// multiple consistency and durability levels with increasingly strong
+/// guarantees" — Schultz et al., "Tunable Consistency in MongoDB").
+enum class WriteConcern {
+  /// Acknowledged by the leader only; may roll back after failover.
+  kLocal,
+  /// Majority-replicated (the commit point covers it); never rolls back —
+  /// unless the initial-sync quorum bug is biting.
+  kMajority,
+};
+
+/// Staleness level a read tolerates.
+enum class ReadConcern {
+  /// The node's latest applied data, possibly not yet durable.
+  kLocal,
+  /// Only majority-committed data (up to the node's commit point).
+  kMajority,
+};
+
+/// The result of a concern-aware write: where it landed and whether the
+/// requested durability was reached.
+struct WriteResult {
+  common::Status status;
+  OpTime optime;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// A thin client session over a ReplicaSet that implements the
+/// driver-visible semantics: concern-aware writes (waiting for majority
+/// replication by pumping the set) and concern-aware reads (truncating at
+/// the commit point for kMajority).
+class ClientSession {
+ public:
+  /// `max_rounds` bounds how long a majority write waits before reporting
+  /// a (write-concern) timeout. The write itself remains applied — exactly
+  /// the real semantics: write-concern failure is not a rollback.
+  explicit ClientSession(ReplicaSet* rs, int max_rounds = 100)
+      : rs_(rs), max_rounds_(max_rounds) {}
+
+  /// Writes through the newest leader and waits per `concern`.
+  WriteResult Write(const std::string& op, WriteConcern concern);
+
+  /// Reads the payloads visible on `node` under `concern`.
+  common::Result<std::vector<std::string>> Read(int node,
+                                                ReadConcern concern) const;
+
+ private:
+  ReplicaSet* rs_;
+  int max_rounds_;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_READ_WRITE_CONCERN_H_

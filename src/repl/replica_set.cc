@@ -1,0 +1,294 @@
+#include "repl/replica_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace xmodel::repl {
+
+using common::Status;
+using common::StrCat;
+
+ReplicaSet::ReplicaSet(const ReplicaSetConfig& config)
+    : config_(config),
+      network_(static_cast<size_t>(config.num_nodes)),
+      initial_sync_source_(config.num_nodes, -1) {
+  for (int i = 0; i < config.num_nodes; ++i) {
+    NodeOptions options;
+    options.arbiter = std::find(config.arbiters.begin(),
+                                config.arbiters.end(),
+                                i) != config.arbiters.end();
+    options.initial_sync_oplog_window = config.initial_sync_oplog_window;
+    nodes_.push_back(std::make_unique<Node>(i, options));
+  }
+}
+
+void ReplicaSet::AttachTraceSink(ReplTraceSink* sink) {
+  for (auto& node : nodes_) node->AttachTraceSink(sink);
+}
+
+std::vector<int> ReplicaSet::Leaders() const {
+  std::vector<int> leaders;
+  for (const auto& node : nodes_) {
+    if (node->alive() && node->role() == Role::kLeader) {
+      leaders.push_back(node->id());
+    }
+  }
+  return leaders;
+}
+
+int ReplicaSet::NewestLeader() const {
+  int best = -1;
+  for (int id : Leaders()) {
+    if (best == -1 || node(id).term() > node(best).term()) best = id;
+  }
+  return best;
+}
+
+Status ReplicaSet::TryElect(int candidate) {
+  Node& cand = node(candidate);
+  if (!cand.alive()) return Status::FailedPrecondition("candidate is down");
+  if (cand.is_arbiter()) {
+    return Status::FailedPrecondition("arbiters cannot be elected");
+  }
+  if (cand.sync_state() == SyncState::kInitialSyncing) {
+    return Status::FailedPrecondition(
+        "initial-syncing members cannot be elected");
+  }
+  if (cand.role() == Role::kLeader) {
+    return Status::AlreadyExists("candidate is already leader");
+  }
+
+  // Raft-style: the candidate runs in its current term plus one.
+  const int64_t new_term = cand.term() + 1;
+
+  // Collect votes. A member grants its vote when the candidate's log is at
+  // least as up-to-date as its own and it has not seen a term at or above
+  // the candidate's new term (votes are durable: granting voters adopt the
+  // new term, which is what makes two same-term leaders impossible — any
+  // two majorities share a voter).
+  int votes = 1;  // Self-vote.
+  std::vector<int> granting;
+  for (const auto& voter : nodes_) {
+    if (voter->id() == candidate) continue;
+    if (!voter->alive()) continue;
+    if (!network_.CanCommunicate(candidate, voter->id())) continue;
+    if (voter->term() >= new_term) continue;
+    if (!voter->is_arbiter() && cand.LastApplied() < voter->LastApplied()) {
+      continue;
+    }
+    ++votes;
+    granting.push_back(voter->id());
+  }
+  if (votes * 2 <= num_voting_nodes()) {
+    return Status::FailedPrecondition(
+        StrCat("candidate ", candidate, " received ", votes, " of ",
+               num_voting_nodes(), " votes"));
+  }
+  cand.BecomeLeader(new_term);
+  // The election itself is "magic" (instantaneous) from the spec's point of
+  // view; the voters then learn the new term as ordinary term gossip, each
+  // producing its own traced transition.
+  for (int voter : granting) {
+    node(voter).ReceiveHeartbeat(new_term, OpTime{},
+                                 /*from_sync_source=*/false,
+                                 /*log_is_prefix_of_sender=*/false);
+  }
+  return Status::OK();
+}
+
+Status ReplicaSet::ClientWrite(int leader, const std::string& op) {
+  return node(leader).ClientWrite(op);
+}
+
+int ReplicaSet::BestSyncSourceFor(int follower) const {
+  const Node& f = node(follower);
+  int best = -1;
+  for (const auto& source : nodes_) {
+    int sid = source->id();
+    if (sid == follower || !source->alive() || source->is_arbiter()) continue;
+    if (!network_.CanCommunicate(follower, sid)) continue;
+    // Prefer sources with newer logs; break ties toward leaders.
+    if (source->LastApplied() < f.LastApplied()) continue;
+    if (best == -1 ||
+        node(best).LastApplied() < source->LastApplied() ||
+        (node(best).LastApplied() == source->LastApplied() &&
+         source->role() == Role::kLeader)) {
+      best = sid;
+    }
+  }
+  return best;
+}
+
+int64_t ReplicaSet::ReplicateOnce(int follower) {
+  int source = BestSyncSourceFor(follower);
+  if (source < 0) return 0;
+  return ReplicateFrom(follower, source);
+}
+
+int64_t ReplicaSet::ReplicateFrom(int follower, int source) {
+  if (!network_.CanCommunicate(follower, source)) return 0;
+  Node& f = node(follower);
+  int64_t appended =
+      f.PullOplogFrom(node(source), config_.pull_batch_size);
+  // The pull protocol reports progress upstream: every reachable leader
+  // learns the follower's new position. Positions are reported only after
+  // the journal flush, so reporting implies durability.
+  // A member reports upstream only to a leader of its own term: a stale
+  // leader must not count acknowledgments from members that have moved on
+  // (their optimes compare term-major and would falsely cover the stale
+  // leader's divergent entries).
+  bool reported = false;
+  for (const auto& leader : nodes_) {
+    if (leader->role() == Role::kLeader && leader->alive() &&
+        leader->term() == f.term() &&
+        network_.CanCommunicate(follower, leader->id())) {
+      reported = true;
+      leader->RecordMemberPosition(follower, f.LastApplied(), f.sync_state());
+    }
+  }
+  if (reported) {
+    f.MarkDurableUpTo(f.LastApplied().index);
+    for (const auto& leader : nodes_) {
+      if (leader->role() == Role::kLeader && leader->alive() &&
+          leader->term() == f.term() &&
+          network_.CanCommunicate(follower, leader->id())) {
+        AfterPositionUpdate(leader->id());
+      }
+    }
+  }
+  return appended;
+}
+
+void ReplicaSet::Heartbeat(int from, int to) {
+  if (from == to) return;
+  if (!network_.CanCommunicate(from, to)) return;
+  Node& sender = node(from);
+  Node& receiver = node(to);
+  if (!sender.alive() || !receiver.alive()) return;
+
+  bool from_sync_source = BestSyncSourceFor(to) == from;
+  bool prefix = receiver.oplog().IsPrefixOf(sender.oplog());
+  receiver.ReceiveHeartbeat(sender.term(), sender.commit_point(),
+                            from_sync_source, prefix);
+  if (receiver.role() == Role::kLeader && !sender.is_arbiter() &&
+      sender.term() == receiver.term()) {
+    sender.MarkDurableUpTo(sender.LastApplied().index);
+    receiver.RecordMemberPosition(from, sender.LastApplied(),
+                                  sender.sync_state());
+    AfterPositionUpdate(to);
+  }
+}
+
+void ReplicaSet::AfterPositionUpdate(int leader) {
+  Node& l = node(leader);
+  // The leader journals its own writes before declaring them committed.
+  l.MarkDurableUpTo(l.LastApplied().index);
+  OpTime before = l.commit_point();
+  if (l.AdvanceCommitPoint(num_voting_nodes(),
+                           config_.count_initial_sync_in_quorum)) {
+    // Record every optime newly covered by the commit point as declared
+    // committed (for the safety bookkeeping).
+    for (const OplogEntry& e : l.oplog().entries()) {
+      if (e.optime > before && e.optime <= l.commit_point()) {
+        declared_committed_.insert(e.optime);
+      }
+    }
+  }
+}
+
+void ReplicaSet::GossipAll() {
+  for (int from = 0; from < num_nodes(); ++from) {
+    for (int to = 0; to < num_nodes(); ++to) {
+      if (from != to) Heartbeat(from, to);
+    }
+  }
+}
+
+void ReplicaSet::CatchUpAll(int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    int64_t progress = 0;
+    for (int id = 0; id < num_nodes(); ++id) {
+      if (node(id).alive() && !node(id).is_arbiter()) {
+        progress += ReplicateOnce(id);
+      }
+    }
+    GossipAll();
+    if (progress == 0) break;
+  }
+}
+
+Status ReplicaSet::StartInitialSync(int node_id) {
+  Node& n = node(node_id);
+  if (!n.alive()) return Status::FailedPrecondition("node is down");
+  if (n.is_arbiter()) {
+    return Status::FailedPrecondition("arbiters do not initial sync");
+  }
+  int source = BestSyncSourceFor(node_id);
+  if (source < 0) {
+    // Fall back to any reachable data-bearing node (our log is being
+    // discarded anyway).
+    for (const auto& other : nodes_) {
+      if (other->id() != node_id && other->alive() && !other->is_arbiter() &&
+          network_.CanCommunicate(node_id, other->id())) {
+        source = other->id();
+        break;
+      }
+    }
+  }
+  if (source < 0) return Status::NotFound("no reachable sync source");
+  n.StartInitialSync(node(source));
+  initial_sync_source_[node_id] = source;
+  return Status::OK();
+}
+
+Status ReplicaSet::FinishInitialSync(int node_id) {
+  Node& n = node(node_id);
+  if (n.sync_state() != SyncState::kInitialSyncing) {
+    return Status::FailedPrecondition("node is not initial syncing");
+  }
+  int source = initial_sync_source_[node_id];
+  if (source >= 0 && network_.CanCommunicate(node_id, source) &&
+      node(source).alive()) {
+    // Catch up to the source before declaring the sync complete.
+    while (n.PullOplogFrom(node(source), config_.pull_batch_size) > 0) {
+    }
+  }
+  n.FinishInitialSync();
+  initial_sync_source_[node_id] = -1;
+  return Status::OK();
+}
+
+void ReplicaSet::CrashNode(int node_id, bool unclean) {
+  node(node_id).Crash(unclean);
+}
+
+void ReplicaSet::RestartNode(int node_id) { node(node_id).Restart(); }
+
+std::vector<OpTime> ReplicaSet::CommittedButRolledBack() const {
+  // A committed write has "rolled back" when it is no longer present on a
+  // majority of data-bearing voting nodes AND no current or future leader
+  // can restore it (no node that still has it can win an election). The
+  // simple, conservative check: the entry is gone from every node whose
+  // log could still propagate it.
+  std::vector<OpTime> lost;
+  for (const OpTime& optime : declared_committed_) {
+    bool survivable = false;
+    for (const auto& n : nodes_) {
+      if (n->is_arbiter()) continue;
+      if (n->oplog().Contains(optime)) {
+        survivable = true;
+        break;
+      }
+    }
+    if (!survivable) lost.push_back(optime);
+  }
+  return lost;
+}
+
+bool ReplicaSet::CommittedWritesDurable() const {
+  return CommittedButRolledBack().empty();
+}
+
+}  // namespace xmodel::repl

@@ -1,0 +1,128 @@
+#ifndef XMODEL_REPL_REPLICA_SET_H_
+#define XMODEL_REPL_REPLICA_SET_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "repl/network.h"
+#include "repl/node.h"
+#include "repl/trace_sink.h"
+
+namespace xmodel::repl {
+
+struct ReplicaSetConfig {
+  int num_nodes = 3;
+  /// Which of the nodes are arbiters (vote, bear no data).
+  std::vector<int> arbiters;
+  /// The real bug reproduced by the paper's trace checking (§4.2.2):
+  /// initial-syncing members count toward the write majority although their
+  /// entries are not durable. Defaults to the buggy behavior, as in the
+  /// MongoDB release the paper studied.
+  bool count_initial_sync_in_quorum = true;
+  /// Entries fetched per replication batch.
+  int64_t pull_batch_size = 10;
+  /// Oplog entries copied by initial sync (see NodeOptions).
+  int64_t initial_sync_oplog_window = 2;
+};
+
+/// A replica set: nodes, network, and the election/replication/gossip
+/// protocols that run between them. All methods are deterministic given the
+/// call sequence; randomized behavior lives in RollbackFuzzer.
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(const ReplicaSetConfig& config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id) { return *nodes_[id]; }
+  const Node& node(int id) const { return *nodes_[id]; }
+  SimNetwork& network() { return network_; }
+  SimClock& clock() { return clock_; }
+  const ReplicaSetConfig& config() const { return config_; }
+
+  /// Number of voting members (all nodes, including arbiters).
+  int num_voting_nodes() const { return num_nodes(); }
+
+  /// Attaches a trace sink to every node (enabling tracing; arbiters will
+  /// crash on their first traced transition).
+  void AttachTraceSink(ReplTraceSink* sink);
+
+  /// Current leaders (more than one can coexist briefly after a partition-
+  /// era election — the "Two leaders" discrepancy, §4.2.2).
+  std::vector<int> Leaders() const;
+  /// The leader with the newest term, or -1.
+  int NewestLeader() const;
+
+  /// Runs an election for `candidate`: collects votes from reachable,
+  /// alive voting members; on majority, the candidate becomes leader in a
+  /// fresh term. The previous leader is NOT notified (it learns through
+  /// heartbeats). Fails when the candidate is ineligible or lacks votes.
+  common::Status TryElect(int candidate);
+
+  /// Executes a client write against node `leader`.
+  common::Status ClientWrite(int leader, const std::string& op);
+
+  /// One replication pull by `follower` from its best reachable sync
+  /// source (the node with the newest oplog it can reach). Returns entries
+  /// appended.
+  int64_t ReplicateOnce(int follower);
+
+  /// Follower pulls from an explicit source (when reachable).
+  int64_t ReplicateFrom(int follower, int source);
+
+  /// Sends one heartbeat from `from` to `to` (when reachable): `to` learns
+  /// the term and commit point; a leader `to` also records `from`'s
+  /// position; a leader recomputes its commit point after position updates.
+  void Heartbeat(int from, int to);
+
+  /// All-pairs heartbeat exchange followed by commit-point advancement.
+  void GossipAll();
+
+  /// Replicates every follower until quiescent (no progress), gossiping
+  /// between rounds. Requires a healed network to fully converge.
+  void CatchUpAll(int max_rounds = 100);
+
+  /// Starts initial sync of `node_id` from the newest reachable source.
+  common::Status StartInitialSync(int node_id);
+  /// Completes initial sync once the node caught up to its sync source.
+  common::Status FinishInitialSync(int node_id);
+
+  void CrashNode(int node_id, bool unclean);
+  void RestartNode(int node_id);
+
+  // -- Safety bookkeeping ---------------------------------------------------
+
+  /// Optimes that some leader ever declared majority-committed (by
+  /// advancing its commit point over them).
+  const std::set<OpTime>& declared_committed() const {
+    return declared_committed_;
+  }
+
+  /// Optimes that were declared committed but later vanished from a
+  /// majority of data-bearing logs — i.e. committed writes that rolled
+  /// back. Empty unless the initial-sync quorum bug bites.
+  std::vector<OpTime> CommittedButRolledBack() const;
+
+  /// True while every declared-committed write is still present on some
+  /// node that can become leader — the paper spec's invariant.
+  bool CommittedWritesDurable() const;
+
+ private:
+  int BestSyncSourceFor(int follower) const;
+  void AfterPositionUpdate(int leader);
+
+  ReplicaSetConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  SimNetwork network_;
+  SimClock clock_;
+  std::set<OpTime> declared_committed_;
+  // node -> sync source used for initial sync (for FinishInitialSync).
+  std::vector<int> initial_sync_source_;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_REPLICA_SET_H_

@@ -1,0 +1,139 @@
+#include "repl/rollback_fuzzer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xmodel::repl {
+
+RollbackFuzzer::RollbackFuzzer(const RollbackFuzzerOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+void RollbackFuzzer::RandomPartition(ReplicaSet* rs) {
+  // Split the nodes into two random groups (either may be a minority).
+  std::vector<int> shuffled(rs->num_nodes());
+  for (int i = 0; i < rs->num_nodes(); ++i) shuffled[i] = i;
+  for (int i = rs->num_nodes() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng_.Below(i + 1)]);
+  }
+  int cut = 1 + static_cast<int>(rng_.Below(rs->num_nodes() - 1));
+  std::vector<int> a(shuffled.begin(), shuffled.begin() + cut);
+  std::vector<int> b(shuffled.begin() + cut, shuffled.end());
+  rs->network().Partition({a, b});
+}
+
+RollbackFuzzerReport RollbackFuzzer::Run() {
+  ReplicaSet rs(options_.config);
+  return Run(&rs);
+}
+
+RollbackFuzzerReport RollbackFuzzer::Run(ReplicaSet* rs) {
+  RollbackFuzzerReport report;
+
+  // Bootstrap: elect somebody so traffic can flow.
+  for (int n = 0; n < rs->num_nodes(); ++n) {
+    if (rs->TryElect(n).ok()) break;
+  }
+  if (options_.sync_all_before_writes) {
+    rs->CatchUpAll();
+  }
+
+  const int total_weight =
+      options_.weight_client_write + options_.weight_replicate +
+      options_.weight_gossip + options_.weight_election +
+      options_.weight_partition + options_.weight_heal +
+      options_.weight_restart + options_.weight_initial_sync;
+
+  int64_t base_rollbacks = 0;
+  for (int n = 0; n < rs->num_nodes(); ++n) {
+    base_rollbacks += rs->node(n).rollback_count();
+  }
+
+  for (int step = 0; step < options_.num_steps; ++step) {
+    ++report.steps_executed;
+    int pick = static_cast<int>(rng_.Below(total_weight));
+
+    auto in_bucket = [&pick](int weight) {
+      if (pick < weight) return true;
+      pick -= weight;
+      return false;
+    };
+
+    if (options_.avoid_two_leaders) {
+      std::vector<int> leaders = rs->Leaders();
+      if (leaders.size() > 1) {
+        int newest = rs->NewestLeader();
+        for (int leader : leaders) {
+          if (leader != newest) rs->node(leader).Stepdown();
+        }
+      }
+    }
+
+    if (in_bucket(options_.weight_client_write)) {
+      std::vector<int> leaders = rs->Leaders();
+      if (!leaders.empty()) {
+        int leader = leaders[rng_.Below(leaders.size())];
+        if (rs->ClientWrite(leader, common::StrCat("fuzz", step)).ok()) {
+          ++report.writes;
+        }
+      }
+    } else if (in_bucket(options_.weight_replicate)) {
+      int node = static_cast<int>(rng_.Below(rs->num_nodes()));
+      rs->ReplicateOnce(node);
+    } else if (in_bucket(options_.weight_gossip)) {
+      int from = static_cast<int>(rng_.Below(rs->num_nodes()));
+      int to = static_cast<int>(rng_.Below(rs->num_nodes()));
+      rs->Heartbeat(from, to);
+    } else if (in_bucket(options_.weight_election)) {
+      int candidate = static_cast<int>(rng_.Below(rs->num_nodes()));
+      if (rs->TryElect(candidate).ok()) ++report.elections;
+    } else if (in_bucket(options_.weight_partition)) {
+      RandomPartition(rs);
+      ++report.partitions;
+    } else if (in_bucket(options_.weight_heal)) {
+      rs->network().Heal();
+    } else if (in_bucket(options_.weight_restart)) {
+      int node = static_cast<int>(rng_.Below(rs->num_nodes()));
+      if (rs->node(node).alive()) {
+        bool unclean = !options_.avoid_unclean_restarts && rng_.Chance(50);
+        rs->CrashNode(node, unclean);
+      } else {
+        rs->RestartNode(node);
+      }
+      ++report.restarts;
+    } else {
+      // Initial sync: start one on a random follower, or finish a pending
+      // one. Suppressed entirely in sync-all-before-writes mode (the
+      // paper's solution 2: avoid the non-conforming behavior in testing).
+      if (options_.sync_all_before_writes) continue;
+      int node = static_cast<int>(rng_.Below(rs->num_nodes()));
+      Node& n = rs->node(node);
+      if (n.sync_state() == SyncState::kInitialSyncing) {
+        rs->FinishInitialSync(node).ok();
+      } else if (n.alive() && !n.is_arbiter() &&
+                 n.role() == Role::kFollower) {
+        if (rs->StartInitialSync(node).ok()) ++report.initial_syncs;
+      }
+    }
+  }
+
+  // Wind down: heal, restart everything, finish pending syncs, converge.
+  rs->network().Heal();
+  for (int n = 0; n < rs->num_nodes(); ++n) {
+    if (!rs->node(n).alive()) rs->RestartNode(n);
+    if (rs->node(n).sync_state() == SyncState::kInitialSyncing) {
+      rs->FinishInitialSync(n).ok();
+    }
+  }
+  rs->CatchUpAll();
+
+  for (int n = 0; n < rs->num_nodes(); ++n) {
+    report.rollbacks += rs->node(n).rollback_count();
+  }
+  report.rollbacks -= base_rollbacks;
+  report.lost_writes = rs->CommittedButRolledBack();
+  report.committed_writes_durable = report.lost_writes.empty();
+  return report;
+}
+
+}  // namespace xmodel::repl

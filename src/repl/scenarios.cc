@@ -1,0 +1,483 @@
+#include "repl/scenarios.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xmodel::repl {
+
+using common::Status;
+using common::StrCat;
+
+namespace {
+
+Status Expect(bool condition, const std::string& what) {
+  if (condition) return Status::OK();
+  return Status::Internal(StrCat("scenario assertion failed: ", what));
+}
+
+#define SCENARIO_EXPECT(cond)                        \
+  do {                                               \
+    Status _s = Expect((cond), #cond);               \
+    if (!_s.ok()) return _s;                         \
+  } while (0)
+
+#define SCENARIO_CHECK_OK(expr)                      \
+  do {                                               \
+    Status _s = (expr);                              \
+    if (!_s.ok()) return _s;                         \
+  } while (0)
+
+// -- Base scenario bodies, parameterized like the Server's jstests ----------
+
+Status ElectAndWrite(ReplicaSet& rs, int writes) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  for (int i = 0; i < writes; ++i) {
+    SCENARIO_CHECK_OK(rs.ClientWrite(0, StrCat("w", i)));
+  }
+  rs.CatchUpAll();
+  for (int n = 0; n < rs.num_nodes(); ++n) {
+    if (rs.node(n).is_arbiter()) continue;
+    SCENARIO_EXPECT(rs.node(n).oplog().size() == static_cast<size_t>(writes));
+    SCENARIO_EXPECT(rs.node(n).commit_point() ==
+                    (OpTime{1, writes}) || writes == 0);
+  }
+  return Status::OK();
+}
+
+Status FailoverBasic(ReplicaSet& rs, int writes) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  for (int i = 0; i < writes; ++i) {
+    SCENARIO_CHECK_OK(rs.ClientWrite(0, StrCat("w", i)));
+  }
+  rs.CatchUpAll();
+  rs.CrashNode(0, /*unclean=*/false);
+  SCENARIO_CHECK_OK(rs.TryElect(1));
+  SCENARIO_CHECK_OK(rs.ClientWrite(1, "after-failover"));
+  rs.CatchUpAll();
+  rs.RestartNode(0);
+  rs.GossipAll();
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.node(0).oplog().size() ==
+                  static_cast<size_t>(writes) + 1);
+  SCENARIO_EXPECT(rs.CommittedWritesDurable());
+  return Status::OK();
+}
+
+Status RollbackAfterPartition(ReplicaSet& rs, int doomed_writes) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "committed"));
+  rs.CatchUpAll();
+
+  std::vector<int> majority;
+  for (int n = 1; n < rs.num_nodes(); ++n) majority.push_back(n);
+  rs.network().Partition({{0}, majority});
+  for (int i = 0; i < doomed_writes; ++i) {
+    SCENARIO_CHECK_OK(rs.ClientWrite(0, StrCat("doomed", i)));
+  }
+  SCENARIO_CHECK_OK(rs.TryElect(1));
+  SCENARIO_CHECK_OK(rs.ClientWrite(1, "winner"));
+  rs.CatchUpAll();
+  rs.network().Heal();
+  rs.GossipAll();
+  rs.CatchUpAll();
+
+  SCENARIO_EXPECT(rs.node(0).rollback_count() == 1);
+  SCENARIO_EXPECT(rs.node(0).oplog().Terms() ==
+                  rs.node(1).oplog().Terms());
+  SCENARIO_EXPECT(rs.CommittedWritesDurable());
+  return Status::OK();
+}
+
+Status CommitPointGossip(ReplicaSet& rs) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "w"));
+  for (int n = 0; n < rs.num_nodes(); ++n) rs.ReplicateOnce(n);
+  rs.GossipAll();
+  rs.GossipAll();
+  for (int n = 0; n < rs.num_nodes(); ++n) {
+    if (rs.node(n).is_arbiter()) continue;
+    SCENARIO_EXPECT(rs.node(n).commit_point() == (OpTime{1, 1}));
+  }
+  return Status::OK();
+}
+
+Status InitialSyncNewNode(ReplicaSet& rs, int writes) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  for (int i = 0; i < writes; ++i) {
+    SCENARIO_CHECK_OK(rs.ClientWrite(0, StrCat("w", i)));
+  }
+  rs.CatchUpAll();
+  int newbie = rs.num_nodes() - 1;
+  SCENARIO_CHECK_OK(rs.StartInitialSync(newbie));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "during-sync"));
+  rs.ReplicateFrom(newbie, 0);
+  SCENARIO_CHECK_OK(rs.FinishInitialSync(newbie));
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.node(newbie).oplog().size() ==
+                  static_cast<size_t>(writes) + 1);
+  return Status::OK();
+}
+
+Status ArbiterElection(ReplicaSet& rs) {
+  // Partition node 0 together with every arbiter plus just enough data
+  // nodes to reach a voting majority — but strictly fewer data nodes than
+  // the write majority, so elections succeed while writes cannot commit.
+  const int majority = rs.num_voting_nodes() / 2 + 1;
+  std::vector<int> group = {0};
+  for (int n = 1; n < rs.num_nodes(); ++n) {
+    if (rs.node(n).is_arbiter()) group.push_back(n);
+  }
+  for (int n = 1;
+       n < rs.num_nodes() && static_cast<int>(group.size()) < majority;
+       ++n) {
+    if (!rs.node(n).is_arbiter()) group.push_back(n);
+  }
+  SCENARIO_EXPECT(static_cast<int>(group.size()) >= majority);
+  int data_in_group = 0;
+  for (int n : group) {
+    if (!rs.node(n).is_arbiter()) ++data_in_group;
+  }
+  rs.network().Partition({group});
+
+  // The arbiters' votes elect node 0 despite the missing data nodes.
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "w"));
+  rs.CatchUpAll();
+  if (data_in_group < majority) {
+    // Arbiters cannot acknowledge writes: no commit yet.
+    SCENARIO_EXPECT(rs.node(0).commit_point().IsNull());
+  }
+  rs.network().Heal();
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.node(0).commit_point() == (OpTime{1, 1}));
+  return Status::OK();
+}
+
+Status StepdownOnHigherTerm(ReplicaSet& rs) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  std::vector<int> rest;
+  for (int n = 1; n < rs.num_nodes(); ++n) rest.push_back(n);
+  rs.network().Partition({{0}, rest});
+  SCENARIO_CHECK_OK(rs.TryElect(1));
+  rs.network().Heal();
+  rs.GossipAll();
+  SCENARIO_EXPECT(rs.node(0).role() == Role::kFollower);
+  SCENARIO_EXPECT(rs.node(0).term() == rs.node(1).term());
+  return Status::OK();
+}
+
+Status TwoLeadersBriefly(ReplicaSet& rs) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "old-leader-write"));
+  std::vector<int> rest;
+  for (int n = 1; n < rs.num_nodes(); ++n) rest.push_back(n);
+  rs.network().Partition({{0}, rest});
+  SCENARIO_CHECK_OK(rs.TryElect(1));
+  // Both are leaders right now; the old one keeps serving its partition.
+  SCENARIO_EXPECT(rs.Leaders().size() == 2);
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "while-two-leaders"));
+  rs.network().Heal();
+  rs.GossipAll();
+  SCENARIO_EXPECT(rs.Leaders().size() == 1);
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.CommittedWritesDurable());
+  return Status::OK();
+}
+
+Status RestartDuringReplication(ReplicaSet& rs, bool unclean) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "a"));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "b"));
+  rs.ReplicateFrom(1, 0);
+  rs.CrashNode(1, unclean);
+  rs.RestartNode(1);
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.node(1).oplog().size() == 2u);
+  SCENARIO_EXPECT(rs.CommittedWritesDurable());
+  return Status::OK();
+}
+
+Status SequentialFailovers(ReplicaSet& rs, int rounds) {
+  int leader = 0;
+  SCENARIO_CHECK_OK(rs.TryElect(leader));
+  for (int r = 0; r < rounds; ++r) {
+    SCENARIO_CHECK_OK(rs.ClientWrite(leader, StrCat("r", r)));
+    rs.CatchUpAll();
+    int next = (leader + 1) % rs.num_nodes();
+    rs.node(leader).Stepdown();
+    SCENARIO_CHECK_OK(rs.TryElect(next));
+    leader = next;
+  }
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.node(leader).oplog().size() ==
+                  static_cast<size_t>(rounds));
+  SCENARIO_EXPECT(rs.CommittedWritesDurable());
+  return Status::OK();
+}
+
+Status LaggedFollowerCatchUp(ReplicaSet& rs, int writes) {
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  int laggard = rs.num_nodes() - 1;
+  rs.network().Partition({{laggard}});
+  for (int i = 0; i < writes; ++i) {
+    SCENARIO_CHECK_OK(rs.ClientWrite(0, StrCat("w", i)));
+  }
+  rs.CatchUpAll();
+  rs.network().Heal();
+  rs.CatchUpAll();
+  SCENARIO_EXPECT(rs.node(laggard).oplog().size() ==
+                  static_cast<size_t>(writes));
+  SCENARIO_EXPECT(rs.node(laggard).commit_point() == (OpTime{1, writes}));
+  return Status::OK();
+}
+
+Status InitialSyncQuorumBug(ReplicaSet& rs) {
+  // The §4.2.2 initial-sync discrepancy, end to end: with the quorum bug,
+  // an initial-syncing member's acknowledgment lets the leader declare a
+  // write majority-committed although it is durable on no other steady
+  // member. The leader then fails; the remaining members (one of which
+  // wiped its copy by restarting its sync) elect a leader WITHOUT the
+  // entry; when the old leader returns it rolls the "committed" write
+  // back. The scenario completes either way — the damage is visible to
+  // trace-checking (the old leader's commit point regresses during the
+  // rollback) and to the durability bookkeeping.
+  SCENARIO_CHECK_OK(rs.TryElect(0));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "base"));
+  rs.CatchUpAll();
+
+  int syncer = rs.num_nodes() - 1;
+  std::vector<int> with_leader = {0, syncer};
+  rs.network().Partition({with_leader});
+  SCENARIO_CHECK_OK(rs.StartInitialSync(syncer));
+  SCENARIO_CHECK_OK(rs.ClientWrite(0, "not-durable"));
+  // The syncing member replicates and acknowledges; with the bug the
+  // leader advances the commit point over the entry.
+  rs.ReplicateFrom(syncer, 0);
+  rs.GossipAll();
+
+  // The leader fails. The syncer's half-finished sync restarts from the
+  // healthy members, wiping its only other copy of the entry.
+  rs.CrashNode(0, /*unclean=*/false);
+  rs.network().Heal();
+  SCENARIO_CHECK_OK(rs.StartInitialSync(syncer));
+  SCENARIO_CHECK_OK(rs.FinishInitialSync(syncer));
+
+  // The remaining members elect a leader whose log lacks the entry and
+  // move on; the returning old leader must roll it back.
+  SCENARIO_CHECK_OK(rs.TryElect(1));
+  SCENARIO_CHECK_OK(rs.ClientWrite(1, "after-loss"));
+  rs.RestartNode(0);
+  rs.GossipAll();
+  rs.CatchUpAll();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<Scenario> BaseScenarios() {
+  std::vector<Scenario> scenarios;
+  ReplicaSetConfig three;
+  three.num_nodes = 3;
+  ReplicaSetConfig five;
+  five.num_nodes = 5;
+  ReplicaSetConfig psa;  // Primary-Secondary-Arbiter.
+  psa.num_nodes = 3;
+  psa.arbiters = {2};
+
+  scenarios.push_back({"elect_and_write", three, false, false,
+                       [](ReplicaSet& rs) { return ElectAndWrite(rs, 2); }});
+  scenarios.push_back({"failover_basic", three, false, false,
+                       [](ReplicaSet& rs) { return FailoverBasic(rs, 2); }});
+  scenarios.push_back(
+      {"rollback_after_partition", five, false, false,
+       [](ReplicaSet& rs) { return RollbackAfterPartition(rs, 2); }});
+  scenarios.push_back({"commit_point_gossip", three, false, false,
+                       CommitPointGossip});
+  scenarios.push_back(
+      {"initial_sync_new_node", three, false, false,
+       [](ReplicaSet& rs) { return InitialSyncNewNode(rs, 3); }});
+  scenarios.push_back({"arbiter_election", psa, true, false,
+                       ArbiterElection});
+  scenarios.push_back({"stepdown_on_higher_term", three, false, false,
+                       StepdownOnHigherTerm});
+  scenarios.push_back({"two_leaders_briefly", three, false, true,
+                       TwoLeadersBriefly});
+  scenarios.push_back(
+      {"restart_clean", three, false, false,
+       [](ReplicaSet& rs) { return RestartDuringReplication(rs, false); }});
+  scenarios.push_back(
+      {"restart_unclean", three, false, false,
+       [](ReplicaSet& rs) { return RestartDuringReplication(rs, true); }});
+  scenarios.push_back(
+      {"sequential_failovers", three, false, false,
+       [](ReplicaSet& rs) { return SequentialFailovers(rs, 2); }});
+  scenarios.push_back(
+      {"lagged_follower_catch_up", three, false, false,
+       [](ReplicaSet& rs) { return LaggedFollowerCatchUp(rs, 3); }});
+  scenarios.push_back({"initial_sync_quorum_bug", three, false, false,
+                       InitialSyncQuorumBug});
+  return scenarios;
+}
+
+std::vector<Scenario> AllScenarios() {
+  // Expand parameterized variants over a grid, the way the Server's test
+  // suites instantiate one pattern at many sizes. Every variant is a real
+  // distinct workload (different node counts, write volumes, batch sizes),
+  // not a duplicated test body.
+  std::vector<Scenario> scenarios;
+
+  for (int nodes : {3, 5, 7}) {
+    for (int writes : {1, 2, 3, 4, 5, 6, 8}) {
+      for (int64_t batch : {1, 2, 10}) {
+        ReplicaSetConfig config;
+        config.num_nodes = nodes;
+        config.pull_batch_size = batch;
+        scenarios.push_back(
+            {StrCat("elect_and_write/n", nodes, "_w", writes, "_b", batch),
+             config, false, false,
+             [writes](ReplicaSet& rs) { return ElectAndWrite(rs, writes); }});
+        scenarios.push_back(
+            {StrCat("failover_basic/n", nodes, "_w", writes, "_b", batch),
+             config, false, false,
+             [writes](ReplicaSet& rs) { return FailoverBasic(rs, writes); }});
+        scenarios.push_back(
+            {StrCat("lagged_follower/n", nodes, "_w", writes, "_b", batch),
+             config, false, false, [writes](ReplicaSet& rs) {
+               return LaggedFollowerCatchUp(rs, writes);
+             }});
+        scenarios.push_back(
+            {StrCat("restart_clean/n", nodes, "_w", writes, "_b", batch),
+             config, false, false, [](ReplicaSet& rs) {
+               return RestartDuringReplication(rs, false);
+             }});
+        scenarios.push_back(
+            {StrCat("restart_unclean/n", nodes, "_w", writes, "_b", batch),
+             config, false, false, [](ReplicaSet& rs) {
+               return RestartDuringReplication(rs, true);
+             }});
+      }
+    }
+  }
+
+  for (int nodes : {3, 5, 7}) {
+    for (int64_t batch : {1, 2, 10}) {
+      ReplicaSetConfig config;
+      config.num_nodes = nodes;
+      config.pull_batch_size = batch;
+      scenarios.push_back(
+          {StrCat("commit_point_gossip/n", nodes, "_b", batch), config,
+           false, false, CommitPointGossip});
+      scenarios.push_back(
+          {StrCat("stepdown_on_higher_term/n", nodes, "_b", batch), config,
+           false, false, StepdownOnHigherTerm});
+    }
+  }
+
+  for (int nodes : {3, 5, 7}) {
+    for (int doomed : {1, 2, 3, 4, 5}) {
+      ReplicaSetConfig config;
+      config.num_nodes = nodes;
+      scenarios.push_back(
+          {StrCat("rollback_after_partition/n", nodes, "_d", doomed), config,
+           false, false, [doomed](ReplicaSet& rs) {
+             return RollbackAfterPartition(rs, doomed);
+           }});
+    }
+  }
+
+  for (int nodes : {3, 5}) {
+    for (int writes : {1, 3, 5, 7, 9}) {
+      for (int64_t window : {1, 2, 4}) {
+        ReplicaSetConfig config;
+        config.num_nodes = nodes;
+        config.initial_sync_oplog_window = window;
+        scenarios.push_back(
+            {StrCat("initial_sync/n", nodes, "_w", writes, "_win", window),
+             config, false, false, [writes](ReplicaSet& rs) {
+               return InitialSyncNewNode(rs, writes);
+             }});
+      }
+    }
+  }
+
+  for (int nodes : {3, 5, 7}) {
+    for (int rounds : {1, 2, 3, 4, 6}) {
+      ReplicaSetConfig config;
+      config.num_nodes = nodes;
+      scenarios.push_back(
+          {StrCat("sequential_failovers/n", nodes, "_r", rounds), config,
+           false, false, [rounds](ReplicaSet& rs) {
+             return SequentialFailovers(rs, rounds);
+           }});
+    }
+  }
+
+  // Arbiter suites (tracing-incompatible). Only configurations where the
+  // data nodes alone can still satisfy the write majority (otherwise no
+  // write ever commits — the PSA-style pitfall).
+  for (int data_nodes : {2, 4, 6}) {
+    for (int arbiters : {1, 2}) {
+      int total = data_nodes + arbiters;
+      if (data_nodes < total / 2 + 1) continue;
+      for (int variant = 0; variant < 5; ++variant) {
+        ReplicaSetConfig config;
+        config.num_nodes = total;
+        config.pull_batch_size = 1 + variant * 2;
+        for (int a = 0; a < arbiters; ++a) {
+          config.arbiters.push_back(data_nodes + a);
+        }
+        scenarios.push_back(
+            {StrCat("arbiter_psa/d", data_nodes, "_a", arbiters, "_v",
+                    variant),
+             config, true, false, [](ReplicaSet& rs) {
+               return ArbiterElection(rs);
+             }});
+      }
+    }
+  }
+
+  // Two-leader suites (trace-checkable only by avoidance).
+  for (int nodes : {3, 5}) {
+    for (int64_t batch : {1, 10}) {
+      ReplicaSetConfig config;
+      config.num_nodes = nodes;
+      config.pull_batch_size = batch;
+      scenarios.push_back({StrCat("two_leaders/n", nodes, "_b", batch),
+                           config, false, true, TwoLeadersBriefly});
+    }
+  }
+
+  // Remaining base patterns at default configs.
+  for (const Scenario& base : BaseScenarios()) {
+    bool already_expanded =
+        base.name == "elect_and_write" || base.name == "failover_basic" ||
+        base.name == "lagged_follower_catch_up" ||
+        base.name == "rollback_after_partition" ||
+        base.name == "initial_sync_new_node" ||
+        base.name == "sequential_failovers" ||
+        base.name == "arbiter_election" || base.name == "two_leaders_briefly";
+    if (!already_expanded) scenarios.push_back(base);
+  }
+  return scenarios;
+}
+
+ScenarioOutcome RunScenario(const Scenario& scenario, ReplTraceSink* sink) {
+  ScenarioOutcome outcome;
+  outcome.name = scenario.name;
+  ReplicaSet rs(scenario.config);
+  if (sink != nullptr) rs.AttachTraceSink(sink);
+  outcome.status = scenario.run(rs);
+  for (int n = 0; n < rs.num_nodes(); ++n) {
+    if (rs.node(n).crashed_by_tracing()) {
+      outcome.traced_arbiter_crash = true;
+      if (outcome.status.ok()) {
+        outcome.status = Status::Aborted(
+            StrCat("arbiter node ", n, " crashed: tracing unsupported"));
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace xmodel::repl

@@ -1,0 +1,49 @@
+#ifndef XMODEL_REPL_SCENARIOS_H_
+#define XMODEL_REPL_SCENARIOS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "repl/replica_set.h"
+
+namespace xmodel::repl {
+
+/// One handwritten integration test for the replication protocol — the
+/// analogue of the paper's 423 JavaScript tests. Each scenario constructs
+/// its own replica set from `config` and drives it through a deterministic
+/// sequence, checking its own assertions.
+struct Scenario {
+  std::string name;
+  ReplicaSetConfig config;
+  /// Arbiters crash when tracing is enabled, so scenarios that use them are
+  /// incompatible with trace collection (§4.2.2).
+  bool uses_arbiters = false;
+  /// Scenarios that exhibit two concurrent leaders produce traces the spec
+  /// rejects by design (the at-most-one-leader simplification).
+  bool exhibits_two_leaders = false;
+  std::function<common::Status(ReplicaSet&)> run;
+};
+
+/// The scenario library: a set of handwritten base scenarios expanded over
+/// a parameter grid (node counts, write counts, batch sizes), mirroring how
+/// the Server's test suites parameterize common patterns.
+std::vector<Scenario> AllScenarios();
+
+/// Only the base scenarios, one per pattern (used by fast unit tests).
+std::vector<Scenario> BaseScenarios();
+
+struct ScenarioOutcome {
+  std::string name;
+  common::Status status;
+  bool traced_arbiter_crash = false;
+};
+
+/// Runs one scenario; when `sink` is non-null, tracing is enabled on all
+/// nodes before the run. Detects arbiter crashes caused by tracing.
+ScenarioOutcome RunScenario(const Scenario& scenario, ReplTraceSink* sink);
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_SCENARIOS_H_

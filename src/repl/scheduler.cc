@@ -1,0 +1,79 @@
+#include "repl/scheduler.h"
+
+namespace xmodel::repl {
+
+uint64_t Scheduler::ScheduleAfter(int64_t delay_ms, Callback callback) {
+  uint64_t id = next_id_++;
+  callbacks_[id] = std::move(callback);
+  queue_.push(Event{clock_->NowMs() + delay_ms, next_seq_++, id,
+                    /*period_ms=*/0});
+  return id;
+}
+
+uint64_t Scheduler::SchedulePeriodic(int64_t period_ms, Callback callback) {
+  uint64_t id = next_id_++;
+  callbacks_[id] = std::move(callback);
+  queue_.push(Event{clock_->NowMs() + period_ms, next_seq_++, id, period_ms});
+  return id;
+}
+
+bool Scheduler::Cancel(uint64_t id) {
+  if (callbacks_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void Scheduler::Fire(const Event& event) {
+  auto it = callbacks_.find(event.id);
+  if (it == callbacks_.end()) return;  // Cancelled.
+  // Re-arm periodic events BEFORE running the callback, so a callback that
+  // cancels its own timer wins.
+  if (event.period_ms > 0) {
+    queue_.push(Event{event.when_ms + event.period_ms, next_seq_++, event.id,
+                      event.period_ms});
+    it->second();
+  } else {
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+  }
+}
+
+bool Scheduler::RunNext() {
+  // Skip cancelled events.
+  while (!queue_.empty() &&
+         callbacks_.find(queue_.top().id) == callbacks_.end()) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  if (event.when_ms > clock_->NowMs()) {
+    clock_->AdvanceMs(event.when_ms - clock_->NowMs());
+  }
+  Fire(event);
+  return true;
+}
+
+void Scheduler::RunUntil(int64_t until_ms) {
+  while (true) {
+    while (!queue_.empty() &&
+           callbacks_.find(queue_.top().id) == callbacks_.end()) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when_ms > until_ms) break;
+    Event event = queue_.top();
+    queue_.pop();
+    if (event.when_ms > clock_->NowMs()) {
+      clock_->AdvanceMs(event.when_ms - clock_->NowMs());
+    }
+    Fire(event);
+  }
+  if (clock_->NowMs() < until_ms) {
+    clock_->AdvanceMs(until_ms - clock_->NowMs());
+  }
+}
+
+}  // namespace xmodel::repl

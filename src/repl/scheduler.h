@@ -1,0 +1,79 @@
+#ifndef XMODEL_REPL_SCHEDULER_H_
+#define XMODEL_REPL_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "repl/network.h"
+
+namespace xmodel::repl {
+
+/// A deterministic discrete-event scheduler over the shared SimClock.
+/// Events fire in (time, sequence) order; one-shot and periodic timers are
+/// supported. Everything runs on the caller's thread — determinism is the
+/// point (the paper's MBTC serialized all processes onto one machine for
+/// exactly this reason).
+class Scheduler {
+ public:
+  explicit Scheduler(SimClock* clock) : clock_(clock) {}
+
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` to fire `delay_ms` from now. Returns an id that
+  /// Cancel() accepts.
+  uint64_t ScheduleAfter(int64_t delay_ms, Callback callback);
+
+  /// Schedules a periodic timer firing every `period_ms`, first at
+  /// now + period_ms, until cancelled.
+  uint64_t SchedulePeriodic(int64_t period_ms, Callback callback);
+
+  /// Cancels a pending (or periodic) event; false when already fired or
+  /// unknown.
+  bool Cancel(uint64_t id);
+
+  /// Advances the clock to the next pending event and fires everything due
+  /// at that instant. Returns false when nothing is pending.
+  bool RunNext();
+
+  /// Runs events until the clock passes `until_ms` (events scheduled at or
+  /// before it fire; the clock ends at `until_ms`).
+  void RunUntil(int64_t until_ms);
+
+  /// Runs for `duration_ms` of virtual time from now.
+  void RunFor(int64_t duration_ms) { RunUntil(clock_->NowMs() + duration_ms); }
+
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  SimClock* clock() { return clock_; }
+
+ private:
+  struct Event {
+    int64_t when_ms;
+    uint64_t seq;     // FIFO among simultaneous events.
+    uint64_t id;
+    int64_t period_ms;  // 0 for one-shot.
+    // Ordered min-first.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when_ms != b.when_ms) return a.when_ms > b.when_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Fire(const Event& event);
+
+  SimClock* clock_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // id -> callback for live events; erased on cancel/fire (periodic events
+  // keep theirs).
+  std::unordered_map<uint64_t, Callback> callbacks_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_SCHEDULER_H_

@@ -1,0 +1,97 @@
+#include "repl/timed_driver.h"
+
+namespace xmodel::repl {
+
+TimedDriver::TimedDriver(ReplicaSet* rs, Scheduler* scheduler,
+                         common::Rng* rng, TimedDriverOptions options)
+    : rs_(rs),
+      scheduler_(scheduler),
+      rng_(rng),
+      options_(options),
+      last_leader_contact_(rs->num_nodes(), scheduler->clock()->NowMs()),
+      last_quorum_contact_(rs->num_nodes(), scheduler->clock()->NowMs()),
+      election_deadline_(rs->num_nodes(), 0) {}
+
+void TimedDriver::Start() {
+  scheduler_->SchedulePeriodic(options_.heartbeat_interval_ms,
+                               [this] { OnHeartbeatTick(); });
+  scheduler_->SchedulePeriodic(options_.replication_interval_ms,
+                               [this] { OnReplicationTick(); });
+  for (int n = 0; n < rs_->num_nodes(); ++n) {
+    election_deadline_[n] =
+        scheduler_->clock()->NowMs() +
+        rng_->Range(options_.election_timeout_min_ms,
+                    options_.election_timeout_max_ms);
+    // Check each node's timeout at a fine cadence; the deadline itself is
+    // the randomized quantity.
+    scheduler_->SchedulePeriodic(options_.heartbeat_interval_ms,
+                                 [this, n] { OnElectionCheck(n); });
+  }
+}
+
+common::Status TimedDriver::ClientWrite(const std::string& op) {
+  int leader = rs_->NewestLeader();
+  if (leader < 0) {
+    return common::Status::FailedPrecondition("no leader available");
+  }
+  return rs_->ClientWrite(leader, op);
+}
+
+void TimedDriver::OnHeartbeatTick() {
+  const int64_t now = scheduler_->clock()->NowMs();
+  for (int from = 0; from < rs_->num_nodes(); ++from) {
+    Node& sender = rs_->node(from);
+    if (!sender.alive() || sender.role() != Role::kLeader) continue;
+    int reachable_voters = 1;
+    for (int to = 0; to < rs_->num_nodes(); ++to) {
+      if (to == from) continue;
+      if (rs_->network().CanCommunicate(from, to) && rs_->node(to).alive()) {
+        ++reachable_voters;
+        rs_->Heartbeat(from, to);
+        // The receiver heard from a live leader: election timer resets.
+        if (rs_->node(from).role() == Role::kLeader) {
+          last_leader_contact_[to] = now;
+          election_deadline_[to] =
+              now + rng_->Range(options_.election_timeout_min_ms,
+                                options_.election_timeout_max_ms);
+        }
+      }
+    }
+    if (reachable_voters * 2 > rs_->num_voting_nodes()) {
+      last_quorum_contact_[from] = now;
+    } else if (sender.role() == Role::kLeader &&
+               now - last_quorum_contact_[from] >
+                   options_.leader_quorum_timeout_ms) {
+      // A minority leader steps down (keeping the two-leaders window
+      // brief, as the real Server does).
+      sender.Stepdown();
+      ++stepdowns_forced_;
+    }
+  }
+}
+
+void TimedDriver::OnReplicationTick() {
+  for (int n = 0; n < rs_->num_nodes(); ++n) {
+    Node& node = rs_->node(n);
+    if (node.alive() && node.role() == Role::kFollower &&
+        !node.is_arbiter()) {
+      rs_->ReplicateOnce(n);
+    }
+  }
+}
+
+void TimedDriver::OnElectionCheck(int n) {
+  const int64_t now = scheduler_->clock()->NowMs();
+  Node& node = rs_->node(n);
+  if (!node.alive() || node.role() == Role::kLeader || node.is_arbiter() ||
+      node.sync_state() != SyncState::kSteady) {
+    return;
+  }
+  if (now < election_deadline_[n]) return;
+  ++elections_started_;
+  rs_->TryElect(n).ok();  // Failure just re-arms the timer.
+  election_deadline_[n] = now + rng_->Range(options_.election_timeout_min_ms,
+                                            options_.election_timeout_max_ms);
+}
+
+}  // namespace xmodel::repl

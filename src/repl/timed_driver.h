@@ -1,0 +1,66 @@
+#ifndef XMODEL_REPL_TIMED_DRIVER_H_
+#define XMODEL_REPL_TIMED_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "repl/replica_set.h"
+#include "repl/scheduler.h"
+
+namespace xmodel::repl {
+
+struct TimedDriverOptions {
+  int64_t heartbeat_interval_ms = 20;
+  int64_t replication_interval_ms = 10;
+  /// Election timeouts are drawn uniformly from this range per attempt
+  /// (Raft's randomized timeouts avoid split votes).
+  int64_t election_timeout_min_ms = 100;
+  int64_t election_timeout_max_ms = 200;
+  /// A leader that cannot reach a majority steps down after this long
+  /// (the real Server's behavior — and what keeps the "two leaders" window
+  /// brief, §4.2.2).
+  int64_t leader_quorum_timeout_ms = 150;
+};
+
+/// Drives a ReplicaSet autonomously on virtual time: periodic heartbeats
+/// from leaders, replication polls on followers, randomized election
+/// timeouts, and minority-leader stepdown. With this running, a test only
+/// injects faults (partitions, crashes) and client writes, then advances
+/// the clock — the shape of the paper's randomized integration suites
+/// ("tests randomly perturb the topology state", §2.3).
+class TimedDriver {
+ public:
+  TimedDriver(ReplicaSet* rs, Scheduler* scheduler, common::Rng* rng,
+              TimedDriverOptions options = {});
+
+  /// Arms all timers. Call once.
+  void Start();
+
+  /// Writes through the current newest-term leader, if any.
+  common::Status ClientWrite(const std::string& op);
+
+  int64_t elections_started() const { return elections_started_; }
+  int64_t stepdowns_forced() const { return stepdowns_forced_; }
+
+ private:
+  void OnHeartbeatTick();
+  void OnReplicationTick();
+  void OnElectionCheck(int node);
+
+  ReplicaSet* rs_;
+  Scheduler* scheduler_;
+  common::Rng* rng_;
+  TimedDriverOptions options_;
+  /// Last virtual time each node heard from a live leader.
+  std::vector<int64_t> last_leader_contact_;
+  /// Last time each leader confirmed it can reach a majority.
+  std::vector<int64_t> last_quorum_contact_;
+  std::vector<int64_t> election_deadline_;
+  int64_t elections_started_ = 0;
+  int64_t stepdowns_forced_ = 0;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_TIMED_DRIVER_H_

@@ -1,0 +1,55 @@
+#ifndef XMODEL_REPL_TRACE_SINK_H_
+#define XMODEL_REPL_TRACE_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repl/oplog.h"
+
+namespace xmodel::repl {
+
+/// The state transitions of RaftMongo.tla that the implementation
+/// instruments (§4.1). The names match the specification's actions.
+enum class ReplAction {
+  kAppendOplog,
+  kRollbackOplog,
+  kBecomePrimaryByMagic,
+  kStepdown,
+  kClientWrite,
+  kAdvanceCommitPoint,
+  kUpdateTermThroughHeartbeat,
+  kLearnCommitPointWithTermCheck,
+  kLearnCommitPointFromSyncSourceNeverBeyondLastApplied,
+};
+
+const char* ReplActionName(ReplAction action);
+
+/// A trace event: the state of ONE node at the moment after it executes a
+/// state transition (the paper logs only the acting process's state, not a
+/// multi-process snapshot — §4.2.1).
+struct ReplTraceEvent {
+  ReplAction action = ReplAction::kClientWrite;
+  int node_id = 0;
+  std::string role;  // "Leader" or "Follower".
+  int64_t term = 0;
+  OpTime commit_point;
+  /// The oplog as the sequence of entry terms (the spec's abstraction).
+  std::vector<int64_t> oplog_terms;
+  /// True when the oplog could not be locked and was read from a stale MVCC
+  /// snapshot instead (§4.2.1's workaround).
+  bool oplog_from_stale_snapshot = false;
+};
+
+/// Receives trace events from instrumented nodes. The concrete
+/// implementation (xmodel::trace::TraceLogger) timestamps and persists
+/// them; repl depends only on this interface.
+class ReplTraceSink {
+ public:
+  virtual ~ReplTraceSink() = default;
+  virtual void OnTraceEvent(const ReplTraceEvent& event) = 0;
+};
+
+}  // namespace xmodel::repl
+
+#endif  // XMODEL_REPL_TRACE_SINK_H_

@@ -1,0 +1,117 @@
+#ifndef XMODEL_SPECS_ARRAY_OT_SPEC_H_
+#define XMODEL_SPECS_ARRAY_OT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlax/spec.h"
+
+namespace xmodel::specs {
+
+/// Configuration of the array_ot specification (the paper's §5 spec,
+/// written to exhaustively generate test cases).
+struct ArrayOtConfig {
+  /// Number of clients. Three is the paper's minimum that exercises a
+  /// client merging both with an earlier and with a later operation
+  /// (§5.1.2).
+  int num_clients = 3;
+  /// Length of the initial array; three elements suffice to exercise every
+  /// merge-rule case (§5.1.2).
+  int64_t initial_array_len = 3;
+  /// Include the deprecated ArraySwap operation in the enumeration.
+  bool include_swap = false;
+  /// Transcribe the swap/move non-termination bug (§5.1.3). Only
+  /// meaningful with include_swap.
+  bool swap_move_bug = false;
+  /// Deliberately inject a transcription error (the ArraySet/ArrayErase
+  /// index shift is "forgotten"), reproducing the §5.1.1 experience that
+  /// TLC catches such errors as invariant violations.
+  bool inject_transcription_error = false;
+  /// Merge clients in DESCENDING id order instead of ascending. The
+  /// ascending schedule can never exercise the merge rules' "left wins"
+  /// branches (the server-side op always originates from a lower client
+  /// id, which loses last-write-wins ties); the full-coverage MBTCG run
+  /// (E7) therefore combines both directions.
+  bool merge_descending = false;
+  /// Recursion budget for the transcribed merge (the TLC stack stand-in).
+  int max_merge_depth = 64;
+};
+
+/// The array_ot.tla stand-in: N offline clients each perform exactly one
+/// array operation against a shared initial array, then merge with the
+/// server in ascending client order (the paper's state-space constraint).
+/// The merge rules are a hand transcription of ot/merge_rules.cc — the
+/// same process the paper describes ("written by copy-pasting the C++ code
+/// and manually updating the syntax"), and deliberately NOT sharing code
+/// with ot/, since proving the transcription faithful is MBTCG's whole
+/// purpose.
+///
+/// Variables:
+///   serverLog    sequence of operation records
+///   clientLog    per-client sequence of operation records
+///   clientState  per-client array (sequence of ints)
+///   serverState  the server's array
+///   progress     per-client [serverVersion |-> int, clientVersion |-> int]
+///   appliedOps   per-client transformed server ops the client applied
+///                (what generated tests assert with check_ops)
+///   opsDone      how many clients have performed their operation
+///   mergeStep    position in the fixed ascending merge schedule
+///   err          TRUE when the transcribed merge failed to terminate
+///
+/// Invariants: HaveUnmergedChangesOrAreConsistent (paper Figure 6) and
+/// MergeTerminates (err = FALSE — the TLC StackOverflowError analogue).
+class ArrayOtSpec : public tlax::Spec {
+ public:
+  explicit ArrayOtSpec(const ArrayOtConfig& config);
+
+  std::string name() const override { return "array_ot"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<tlax::State> InitialStates() const override;
+  const std::vector<tlax::Action>& actions() const override {
+    return actions_;
+  }
+  const std::vector<tlax::Invariant>& invariants() const override {
+    return invariants_;
+  }
+
+  const ArrayOtConfig& config() const { return config_; }
+
+  /// The operation menu a client chooses from: every distinct array
+  /// operation against an array of `array_len` elements. For the paper's
+  /// configuration (3 elements, no swap) this enumerates
+  /// 3 Set + 4 Insert + 6 Move + 3 Erase + 1 Clear = 17 operations, so
+  /// three clients yield 17^3 = 4,913 test cases.
+  static std::vector<tlax::Value> EnumerateOps(int64_t array_len, int client,
+                                               bool include_swap);
+
+  /// Builds an operation record Value.
+  static tlax::Value MakeOp(const std::string& type, int64_t ndx,
+                            int64_t ndx2, int64_t val, int client);
+
+  // Variable indexes.
+  static constexpr int kServerLog = 0;
+  static constexpr int kClientLog = 1;
+  static constexpr int kClientState = 2;
+  static constexpr int kServerState = 3;
+  static constexpr int kProgress = 4;
+  static constexpr int kAppliedOps = 5;
+  static constexpr int kOpsDone = 6;
+  static constexpr int kMergeStep = 7;
+  static constexpr int kErr = 8;
+
+ private:
+  void BuildActions();
+  void BuildInvariants();
+
+  ArrayOtConfig config_;
+  std::vector<std::string> variables_;
+  std::vector<tlax::Action> actions_;
+  std::vector<tlax::Invariant> invariants_;
+};
+
+}  // namespace xmodel::specs
+
+#endif  // XMODEL_SPECS_ARRAY_OT_SPEC_H_

@@ -1,0 +1,206 @@
+#include "specs/locking_spec.h"
+
+#include <array>
+
+namespace xmodel::specs {
+
+using tlax::Action;
+using tlax::Invariant;
+using tlax::State;
+using tlax::Value;
+
+namespace {
+
+constexpr const char* kModes[] = {"IS", "IX", "S", "X"};
+
+int ModeIndex(const std::string& mode) {
+  for (int i = 0; i < 4; ++i) {
+    if (mode == kModes[i]) return i;
+  }
+  return -1;
+}
+
+// The standard granularity-locking compatibility matrix.
+bool Compatible(const std::string& held, const std::string& want) {
+  static constexpr bool kMatrix[4][4] = {
+      {true, true, true, false},
+      {true, true, false, false},
+      {true, false, true, false},
+      {false, false, false, false},
+  };
+  return kMatrix[ModeIndex(held)][ModeIndex(want)];
+}
+
+// Intent mode a child lock requires at each ancestor.
+std::string RequiredParentIntent(const std::string& mode) {
+  return (mode == "IS" || mode == "S") ? "IS" : "IX";
+}
+
+// Whether holding `held` covers a requirement of `needed` (IS or IX).
+bool CoversIntent(const std::string& held, const std::string& needed) {
+  if (held == needed) return true;
+  if (needed == "IS") return held == "IX" || held == "S" || held == "X";
+  if (needed == "IX") return held == "X";
+  return false;
+}
+
+Value HoldingRecord(int ctx, const std::string& mode) {
+  return Value::Record(
+      {{"ctx", Value::Int(ctx)}, {"mode", Value::Str(mode)}});
+}
+
+// The mode `ctx` holds on resource set value `held`, or "" when none.
+std::string ModeHeldBy(const Value& held, int ctx) {
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (held.at(i).FieldOrDie("ctx").int_value() == ctx) {
+      return held.at(i).FieldOrDie("mode").string_value();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+State LockingSpec::MakeState(
+    const std::vector<std::vector<std::pair<int, std::string>>>& holdings) {
+  std::vector<Value> per_resource;
+  for (const auto& resource : holdings) {
+    std::vector<Value> records;
+    for (const auto& [ctx, mode] : resource) {
+      records.push_back(HoldingRecord(ctx, mode));
+    }
+    per_resource.push_back(Value::SetOf(std::move(records)));
+  }
+  while (per_resource.size() < kNumResources) {
+    per_resource.push_back(Value::SetOf({}));
+  }
+  return State({Value::Seq(std::move(per_resource))});
+}
+
+LockingSpec::LockingSpec(const LockingConfig& config)
+    : config_(config), variables_{"held"} {
+  BuildActions();
+  BuildInvariants();
+}
+
+std::vector<State> LockingSpec::InitialStates() const {
+  return {MakeState({{}, {}, {}})};
+}
+
+void LockingSpec::BuildActions() {
+  const int num_contexts = config_.num_contexts;
+
+  actions_.push_back(Action{
+      "Acquire", [num_contexts](const State& s, std::vector<State>* out) {
+        const Value& held = s.var(kHeld);
+        for (int ctx = 1; ctx <= num_contexts; ++ctx) {
+          for (int res = 1; res <= kNumResources; ++res) {
+            const Value& holders = held.Index1(res);
+            if (!ModeHeldBy(holders, ctx).empty()) continue;  // No upgrade.
+            for (const char* mode : kModes) {
+              // Hierarchy: need a covering intent lock on every ancestor.
+              bool hierarchy_ok = true;
+              for (int parent = 1; parent < res; ++parent) {
+                std::string parent_mode =
+                    ModeHeldBy(held.Index1(parent), ctx);
+                if (parent_mode.empty() ||
+                    !CoversIntent(parent_mode, RequiredParentIntent(mode))) {
+                  hierarchy_ok = false;
+                  break;
+                }
+              }
+              if (!hierarchy_ok) continue;
+              // Compatibility with other holders.
+              bool compatible = true;
+              for (size_t i = 0; i < holders.size(); ++i) {
+                if (!Compatible(
+                        holders.at(i).FieldOrDie("mode").string_value(),
+                        mode)) {
+                  compatible = false;
+                  break;
+                }
+              }
+              if (!compatible) continue;
+              out->push_back(s.With(
+                  kHeld, held.WithIndex1(
+                             res, holders.SetInsert(
+                                      HoldingRecord(ctx, mode)))));
+            }
+          }
+        }
+      }});
+
+  actions_.push_back(Action{
+      "Release", [num_contexts](const State& s, std::vector<State>* out) {
+        const Value& held = s.var(kHeld);
+        for (int ctx = 1; ctx <= num_contexts; ++ctx) {
+          for (int res = 1; res <= kNumResources; ++res) {
+            const Value& holders = held.Index1(res);
+            std::string my_mode = ModeHeldBy(holders, ctx);
+            if (my_mode.empty()) continue;
+            // Discipline: no held descendant may remain.
+            bool child_held = false;
+            for (int child = res + 1; child <= kNumResources; ++child) {
+              if (!ModeHeldBy(held.Index1(child), ctx).empty()) {
+                child_held = true;
+                break;
+              }
+            }
+            if (child_held) continue;
+            std::vector<Value> remaining;
+            for (size_t i = 0; i < holders.size(); ++i) {
+              if (holders.at(i).FieldOrDie("ctx").int_value() != ctx) {
+                remaining.push_back(holders.at(i));
+              }
+            }
+            out->push_back(s.With(
+                kHeld,
+                held.WithIndex1(res, Value::SetOf(std::move(remaining)))));
+          }
+        }
+      }});
+}
+
+void LockingSpec::BuildInvariants() {
+  invariants_.push_back(Invariant{
+      "Compatibility", [](const State& s) {
+        const Value& held = s.var(kHeld);
+        for (int res = 1; res <= kNumResources; ++res) {
+          const Value& holders = held.Index1(res);
+          for (size_t i = 0; i < holders.size(); ++i) {
+            for (size_t j = i + 1; j < holders.size(); ++j) {
+              if (!Compatible(
+                      holders.at(i).FieldOrDie("mode").string_value(),
+                      holders.at(j).FieldOrDie("mode").string_value())) {
+                return false;
+              }
+            }
+          }
+        }
+        return true;
+      }});
+
+  invariants_.push_back(Invariant{
+      "HierarchyRespected", [](const State& s) {
+        const Value& held = s.var(kHeld);
+        for (int res = 2; res <= kNumResources; ++res) {
+          const Value& holders = held.Index1(res);
+          for (size_t i = 0; i < holders.size(); ++i) {
+            int ctx = static_cast<int>(
+                holders.at(i).FieldOrDie("ctx").int_value());
+            std::string needed = RequiredParentIntent(
+                holders.at(i).FieldOrDie("mode").string_value());
+            for (int parent = 1; parent < res; ++parent) {
+              std::string parent_mode = ModeHeldBy(held.Index1(parent), ctx);
+              if (parent_mode.empty() ||
+                  !CoversIntent(parent_mode, needed)) {
+                return false;
+              }
+            }
+          }
+        }
+        return true;
+      }});
+}
+
+}  // namespace xmodel::specs

@@ -1,0 +1,73 @@
+#ifndef XMODEL_SPECS_LOCKING_SPEC_H_
+#define XMODEL_SPECS_LOCKING_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlax/spec.h"
+
+namespace xmodel::specs {
+
+/// Configuration of the Locking.tla stand-in (the paper cites MongoDB's
+/// lock-hierarchy spec as the natural "second specification" whose MBTC
+/// would share almost nothing with RaftMongo's — §4.2.5).
+struct LockingConfig {
+  /// Concurrent operation contexts ("threads").
+  int num_contexts = 2;
+};
+
+/// Models one process's hierarchical lock manager: a three-level resource
+/// chain (Global -> Database -> Collection) with intent locking.
+///
+/// Variables (note: completely disjoint from RaftMongo's — the paper's
+/// point about why trace-checking infrastructure does not transfer):
+///
+///   held   <<per-resource set of [ctx |-> i, mode |-> "IS"|"IX"|"S"|"X"]>>
+///
+/// Actions: Acquire(ctx, resource, mode) under the compatibility matrix
+/// and the hierarchy rule; Release(ctx, resource) under the discipline
+/// that a covering lock is not released before its children.
+///
+/// Invariants: Compatibility (no two granted locks conflict) and
+/// HierarchyRespected (every non-global lock has a covering intent lock
+/// above it).
+class LockingSpec : public tlax::Spec {
+ public:
+  explicit LockingSpec(const LockingConfig& config);
+
+  std::string name() const override { return "Locking"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<tlax::State> InitialStates() const override;
+  const std::vector<tlax::Action>& actions() const override {
+    return actions_;
+  }
+  const std::vector<tlax::Invariant>& invariants() const override {
+    return invariants_;
+  }
+
+  const LockingConfig& config() const { return config_; }
+
+  /// Resource levels, 1-based in the state tuple.
+  static constexpr int kNumResources = 3;  // Global, Database, Collection.
+  static constexpr int kHeld = 0;
+
+  /// Builds a state from (resource -> list of (ctx, mode)) holdings.
+  static tlax::State MakeState(
+      const std::vector<std::vector<std::pair<int, std::string>>>& holdings);
+
+ private:
+  void BuildActions();
+  void BuildInvariants();
+
+  LockingConfig config_;
+  std::vector<std::string> variables_;
+  std::vector<tlax::Action> actions_;
+  std::vector<tlax::Invariant> invariants_;
+};
+
+}  // namespace xmodel::specs
+
+#endif  // XMODEL_SPECS_LOCKING_SPEC_H_

@@ -1,0 +1,127 @@
+#ifndef XMODEL_SPECS_RAFT_MONGO_SPEC_H_
+#define XMODEL_SPECS_RAFT_MONGO_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlax/spec.h"
+#include "tlax/tla_text.h"
+
+namespace xmodel::specs {
+
+/// Which RaftMongo.tla the spec reproduces (§4.2.3):
+///
+/// - kAbstract: the original documentation/model-checking spec, written
+///   before MBTC was attempted. The election term is a single global number
+///   known by all nodes, elections are instantaneous, and commit-point
+///   learning has no term check. Small state space.
+/// - kDetailed: the spec after the paper's 252-line rewrite for MBTC:
+///   terms are per-node and gossiped through heartbeats, commit-point
+///   learning is term-checked or capped at the learner's last applied
+///   entry. Much larger state space (the paper measured 42,034 states → 2 s
+///   becoming 371,368 states → 14 min).
+enum class RaftMongoVariant { kAbstract, kDetailed };
+
+struct RaftMongoConfig {
+  RaftMongoVariant variant = RaftMongoVariant::kDetailed;
+  int num_nodes = 3;
+  /// State constraint: explore states with terms up to this bound…
+  int64_t max_term = 3;
+  /// …and per-node oplogs up to this many entries.
+  int64_t max_oplog_len = 3;
+  /// Symmetry reduction over node identities (TLC's SYMMETRY, the
+  /// state-space-shrinking device Tasiran et al. used before measuring
+  /// coverage — paper §3). Sound for model checking because nothing in the
+  /// spec distinguishes node ids; NOT used when trace-checking, where real
+  /// node identities must line up with the logs.
+  bool use_symmetry = false;
+};
+
+/// The RaftMongo.tla stand-in: models how a MongoDB replica set gossips the
+/// commit point. Variables (each a per-node tuple, matching the trace
+/// tuples of the paper's Figure 4):
+///
+///   role        <<"Leader" | "Follower", ...>>
+///   term        <<int, ...>>  (kAbstract keeps them all equal)
+///   commitPoint <<[term |-> t, index |-> i] | NULL, ...>>
+///   oplog       <<sequence of entry terms, ...>>
+///   votedTerm   <<int, ...>>  (auxiliary, see below)
+///
+/// The spec assumes at most one leader at a time (the paper's deliberate
+/// simplification that made two-leader traces uncheckable, §4.2.2):
+/// BecomePrimaryByMagic demotes every other node instantaneously.
+///
+/// `votedTerm` is the highest term a node has voted in (or learned). It
+/// makes votes durable, which is what forbids two elections in the same
+/// term (any two majorities share a voter). The implementation cannot log
+/// it — vote durability lives deep in the election code path — so trace
+/// events omit it and the trace checker existentially quantifies it, the
+/// refinement-style handling of unloggable state Pressler proposes and the
+/// paper describes in §4.2.3.
+class RaftMongoSpec : public tlax::Spec {
+ public:
+  explicit RaftMongoSpec(const RaftMongoConfig& config);
+
+  std::string name() const override;
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<tlax::State> InitialStates() const override;
+  const std::vector<tlax::Action>& actions() const override {
+    return actions_;
+  }
+  const std::vector<tlax::Invariant>& invariants() const override {
+    return invariants_;
+  }
+  bool WithinConstraint(const tlax::State& state) const override;
+  tlax::State Canonicalize(const tlax::State& state) const override;
+
+  const RaftMongoConfig& config() const { return config_; }
+
+  // -- Helpers shared with the trace pipeline -------------------------------
+
+  /// Builds a spec state from per-node components. `commit_points` holds
+  /// (term, index) pairs; (0, 0) means NULL.
+  static tlax::State MakeState(
+      const std::vector<std::string>& roles,
+      const std::vector<int64_t>& terms,
+      const std::vector<std::pair<int64_t, int64_t>>& commit_points,
+      const std::vector<std::vector<int64_t>>& oplogs);
+
+  /// Commit point value: NULL or [term |-> t, index |-> i].
+  static tlax::Value CommitPointValue(int64_t term, int64_t index);
+
+  /// Converts a full state into the trace-observable projection: the four
+  /// logged variables defined, `votedTerm` missing (to be existentially
+  /// quantified by the trace checker).
+  static tlax::TraceState ToObservableTraceState(const tlax::State& state);
+
+  // Variable indexes.
+  static constexpr int kRole = 0;
+  static constexpr int kTerm = 1;
+  static constexpr int kCommitPoint = 2;
+  static constexpr int kOplog = 3;
+  static constexpr int kVotedTerm = 4;
+  /// Number of variables the implementation can log (all but votedTerm).
+  static constexpr int kNumObservableVars = 4;
+
+ private:
+  void BuildActions();
+  void BuildInvariants();
+
+  RaftMongoConfig config_;
+  std::vector<std::string> variables_;
+  std::vector<tlax::Action> actions_;
+  std::vector<tlax::Invariant> invariants_;
+};
+
+/// Liveness predicate helpers for "the commit point is eventually
+/// propagated" (checked with tlax::CheckAlwaysReachable on the state
+/// graph).
+bool SomeNodeCommitted(const tlax::State& state);
+bool AllNodesShareNewestCommitPoint(const tlax::State& state);
+
+}  // namespace xmodel::specs
+
+#endif  // XMODEL_SPECS_RAFT_MONGO_SPEC_H_

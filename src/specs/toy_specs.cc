@@ -1,0 +1,87 @@
+#include "specs/toy_specs.h"
+
+#include <algorithm>
+
+namespace xmodel::specs {
+
+using tlax::Action;
+using tlax::Invariant;
+using tlax::State;
+using tlax::Value;
+
+CounterSpec::CounterSpec(int64_t limit, int64_t violate_at)
+    : limit_(limit), variables_{"x", "y"} {
+  actions_.push_back(Action{
+      "IncrementX",
+      [limit](const State& s, std::vector<State>* out) {
+        if (s.var(0).int_value() < limit) {
+          out->push_back(s.With(0, Value::Int(s.var(0).int_value() + 1)));
+        }
+      }});
+  actions_.push_back(Action{
+      "IncrementY",
+      [limit](const State& s, std::vector<State>* out) {
+        if (s.var(1).int_value() < limit) {
+          out->push_back(s.With(1, Value::Int(s.var(1).int_value() + 1)));
+        }
+      }});
+  invariants_.push_back(Invariant{
+      "InRange", [limit](const State& s) {
+        return s.var(0).int_value() <= limit && s.var(1).int_value() <= limit;
+      }});
+  if (violate_at >= 0) {
+    invariants_.push_back(Invariant{
+        "Sum", [violate_at](const State& s) {
+          return s.var(0).int_value() + s.var(1).int_value() != violate_at;
+        }});
+  }
+}
+
+std::vector<State> CounterSpec::InitialStates() const {
+  return {State({Value::Int(0), Value::Int(0)})};
+}
+
+DieHardSpec::DieHardSpec() : variables_{"small", "big"} {
+  constexpr int64_t kSmallCap = 3;
+  constexpr int64_t kBigCap = 5;
+  auto small = [](const State& s) { return s.var(0).int_value(); };
+  auto big = [](const State& s) { return s.var(1).int_value(); };
+
+  actions_.push_back(Action{"FillSmall",
+                            [](const State& s, std::vector<State>* out) {
+                              out->push_back(s.With(0, Value::Int(3)));
+                            }});
+  actions_.push_back(Action{"FillBig",
+                            [](const State& s, std::vector<State>* out) {
+                              out->push_back(s.With(1, Value::Int(5)));
+                            }});
+  actions_.push_back(Action{"EmptySmall",
+                            [](const State& s, std::vector<State>* out) {
+                              out->push_back(s.With(0, Value::Int(0)));
+                            }});
+  actions_.push_back(Action{"EmptyBig",
+                            [](const State& s, std::vector<State>* out) {
+                              out->push_back(s.With(1, Value::Int(0)));
+                            }});
+  actions_.push_back(Action{
+      "SmallToBig", [small, big](const State& s, std::vector<State>* out) {
+        int64_t pour = std::min(small(s), kBigCap - big(s));
+        out->push_back(State({Value::Int(small(s) - pour),
+                              Value::Int(big(s) + pour)}));
+      }});
+  actions_.push_back(Action{
+      "BigToSmall", [small, big](const State& s, std::vector<State>* out) {
+        int64_t pour = std::min(big(s), kSmallCap - small(s));
+        out->push_back(State({Value::Int(small(s) + pour),
+                              Value::Int(big(s) - pour)}));
+      }});
+  invariants_.push_back(Invariant{"BigNot4", [big](const State& s) {
+                                    return big(s) != 4;
+                                  }});
+}
+
+std::vector<State> DieHardSpec::InitialStates() const {
+  return {State({Value::Int(0), Value::Int(0)})};
+}
+
+}  // namespace xmodel::specs

@@ -1,0 +1,67 @@
+#ifndef XMODEL_SPECS_TOY_SPECS_H_
+#define XMODEL_SPECS_TOY_SPECS_H_
+
+#include <string>
+#include <vector>
+
+#include "tlax/spec.h"
+
+namespace xmodel::specs {
+
+/// A bounded two-counter spec used for framework tests and the quickstart
+/// example: two counters start at 0; each can be incremented independently
+/// up to `limit`. Invariant options allow forcing a violation.
+class CounterSpec : public tlax::Spec {
+ public:
+  /// When `violate_at` >= 0, an invariant "Sum" asserts x + y != violate_at,
+  /// so the checker must find a shortest counterexample.
+  CounterSpec(int64_t limit, int64_t violate_at = -1);
+
+  std::string name() const override { return "Counter"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<tlax::State> InitialStates() const override;
+  const std::vector<tlax::Action>& actions() const override {
+    return actions_;
+  }
+  const std::vector<tlax::Invariant>& invariants() const override {
+    return invariants_;
+  }
+
+ private:
+  int64_t limit_;
+  std::vector<std::string> variables_;
+  std::vector<tlax::Action> actions_;
+  std::vector<tlax::Invariant> invariants_;
+};
+
+/// The classic Die Hard water-jug puzzle (3- and 5-gallon jugs, reach 4
+/// gallons). The "invariant" big != 4 is deliberately violated; the shortest
+/// counterexample has 7 states. A standard TLC demo and a good end-to-end
+/// test that the checker produces minimal traces.
+class DieHardSpec : public tlax::Spec {
+ public:
+  DieHardSpec();
+
+  std::string name() const override { return "DieHard"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<tlax::State> InitialStates() const override;
+  const std::vector<tlax::Action>& actions() const override {
+    return actions_;
+  }
+  const std::vector<tlax::Invariant>& invariants() const override {
+    return invariants_;
+  }
+
+ private:
+  std::vector<std::string> variables_;
+  std::vector<tlax::Action> actions_;
+  std::vector<tlax::Invariant> invariants_;
+};
+
+}  // namespace xmodel::specs
+
+#endif  // XMODEL_SPECS_TOY_SPECS_H_

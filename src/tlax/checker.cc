@@ -1,0 +1,169 @@
+#include "tlax/checker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+namespace {
+
+// Bookkeeping per discovered state for counterexample reconstruction.
+struct NodeInfo {
+  uint32_t parent = UINT32_MAX;   // Discovery predecessor.
+  uint16_t action = UINT16_MAX;   // Action index taken from the parent.
+  int64_t depth = 0;
+};
+
+std::vector<TraceStep> BuildTrace(const std::deque<State>& states,
+                                  const std::vector<NodeInfo>& info,
+                                  const std::vector<Action>& actions,
+                                  uint32_t end) {
+  std::vector<TraceStep> trace;
+  uint32_t cur = end;
+  while (true) {
+    const NodeInfo& ni = info[cur];
+    std::string action_name = ni.parent == UINT32_MAX
+                                  ? "Initial predicate"
+                                  : actions[ni.action].name;
+    trace.push_back(TraceStep{std::move(action_name), states[cur]});
+    if (ni.parent == UINT32_MAX) break;
+    cur = ni.parent;
+  }
+  std::reverse(trace.begin(), trace.end());
+  return trace;
+}
+
+}  // namespace
+
+CheckResult ModelChecker::Check(const Spec& spec) const {
+  auto start_time = std::chrono::steady_clock::now();
+  CheckResult result;
+
+  const std::vector<Action>& actions = spec.actions();
+  const std::vector<Invariant>& invariants = spec.invariants();
+
+  if (options_.record_graph) {
+    result.graph = std::make_shared<StateGraph>();
+    std::vector<std::string> action_names;
+    action_names.reserve(actions.size());
+    for (const Action& a : actions) action_names.push_back(a.name);
+    result.graph->set_action_names(std::move(action_names));
+  }
+
+  std::deque<State> states;  // Indexed by discovery id; deque avoids moves.
+  std::vector<NodeInfo> info;
+  std::unordered_map<State, uint32_t, StateHash> seen;
+  std::deque<uint32_t> frontier;
+  // Graph node id per state id; out-of-constraint states are not part of
+  // the recorded graph (they are invariant-checked but never expanded, so
+  // keeping them would add spurious dead ends to liveness analysis).
+  std::vector<uint32_t> graph_id;
+  constexpr uint32_t kNotInGraph = UINT32_MAX;
+
+  auto finish = [&](common::Status status) {
+    result.status = std::move(status);
+    result.distinct_states = states.size();
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time)
+            .count();
+    return result;
+  };
+
+  auto check_invariants = [&](uint32_t id) -> bool {
+    for (const Invariant& inv : invariants) {
+      if (!inv.predicate(states[id])) {
+        result.violation =
+            Violation{inv.name, BuildTrace(states, info, actions, id)};
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Seed with initial states.
+  for (State& raw_init : spec.InitialStates()) {
+    ++result.generated_states;
+    State init = spec.Canonicalize(raw_init);
+    auto [it, inserted] = seen.emplace(init, 0);
+    if (!inserted) continue;
+    uint32_t id = static_cast<uint32_t>(states.size());
+    it->second = id;
+    states.push_back(std::move(init));
+    info.push_back(NodeInfo{});
+    bool constrained = spec.WithinConstraint(states[id]);
+    if (result.graph) {
+      graph_id.push_back(constrained ? result.graph->AddState(states[id])
+                                     : kNotInGraph);
+      if (constrained) result.graph->AddInitial(graph_id[id]);
+    }
+    if (!constrained) continue;
+    if (!check_invariants(id)) return finish(common::Status::OK());
+    frontier.push_back(id);
+  }
+
+  std::vector<State> successors;
+  while (!frontier.empty()) {
+    uint32_t cur = frontier.front();
+    frontier.pop_front();
+    const int64_t depth = info[cur].depth;
+    if (depth > result.diameter) result.diameter = depth;
+    if (options_.max_depth >= 0 && depth >= options_.max_depth) continue;
+
+    successors.clear();
+    for (uint16_t ai = 0; ai < actions.size(); ++ai) {
+      size_t before = successors.size();
+      // Copy the state: actions may hold references into it while `states`
+      // grows, and `cur`'s storage in a deque is stable anyway, but the
+      // explicit copy documents that actions cannot mutate explored states.
+      actions[ai].next(states[cur], &successors);
+      for (size_t si = before; si < successors.size(); ++si) {
+        ++result.generated_states;
+        State succ = spec.Canonicalize(successors[si]);
+        auto [it, inserted] = seen.emplace(succ, 0);
+        uint32_t succ_id;
+        if (inserted) {
+          succ_id = static_cast<uint32_t>(states.size());
+          it->second = succ_id;
+          states.push_back(succ);
+          info.push_back(NodeInfo{cur, ai, depth + 1});
+          bool constrained = spec.WithinConstraint(states[succ_id]);
+          if (result.graph) {
+            graph_id.push_back(constrained
+                                   ? result.graph->AddState(states[succ_id])
+                                   : kNotInGraph);
+          }
+          if (states.size() > options_.max_distinct_states) {
+            return finish(common::Status::ResourceExhausted(common::StrCat(
+                "exceeded max distinct states (",
+                options_.max_distinct_states, ")")));
+          }
+          // Invariants are checked on every distinct state, including
+          // states outside the constraint (TLC checks invariants before
+          // applying CONSTRAINT to decide on expansion).
+          if (!check_invariants(succ_id)) return finish(common::Status::OK());
+          if (constrained) frontier.push_back(succ_id);
+        } else {
+          succ_id = it->second;
+        }
+        if (result.graph && graph_id[cur] != kNotInGraph &&
+            graph_id[succ_id] != kNotInGraph) {
+          result.graph->AddEdge(graph_id[cur], graph_id[succ_id], ai);
+        }
+      }
+    }
+    if (options_.check_deadlock && successors.empty()) {
+      result.violation =
+          Violation{"Deadlock", BuildTrace(states, info, actions, cur)};
+      return finish(common::Status::OK());
+    }
+  }
+
+  return finish(common::Status::OK());
+}
+
+}  // namespace xmodel::tlax

@@ -1,0 +1,78 @@
+#ifndef XMODEL_TLAX_CHECKER_H_
+#define XMODEL_TLAX_CHECKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tlax/spec.h"
+#include "tlax/state_graph.h"
+
+namespace xmodel::tlax {
+
+struct CheckerOptions {
+  /// Record the full state graph (needed for DOT export / MBTCG / liveness).
+  bool record_graph = false;
+  /// Abort with ResourceExhausted after this many distinct states.
+  uint64_t max_distinct_states = 100'000'000;
+  /// Stop expanding beyond this BFS depth (-1 = unlimited).
+  int64_t max_depth = -1;
+  /// Report a violation when a state within the constraint has no successor.
+  bool check_deadlock = false;
+};
+
+/// A step in a counterexample trace: the action that was taken to reach
+/// `state` ("Initial predicate" for the first step, as TLC prints).
+struct TraceStep {
+  std::string action;
+  State state;
+};
+
+struct Violation {
+  /// Violated invariant name, or "Deadlock".
+  std::string kind;
+  /// Shortest behavior from an initial state to the violating state.
+  std::vector<TraceStep> trace;
+};
+
+struct CheckResult {
+  common::Status status;
+  uint64_t distinct_states = 0;
+  /// Number of successor states generated (including duplicates) — TLC's
+  /// "states generated".
+  uint64_t generated_states = 0;
+  /// Length of the longest shortest-path from an initial state (TLC's
+  /// "depth of the complete state graph").
+  int64_t diameter = 0;
+  std::optional<Violation> violation;
+  /// Present when options.record_graph was set.
+  std::shared_ptr<StateGraph> graph;
+  double seconds = 0;
+
+  bool ok() const { return status.ok() && !violation.has_value(); }
+};
+
+/// Breadth-first explicit-state model checker, the TLC stand-in.
+///
+/// Explores all states reachable from the spec's initial states through its
+/// actions, restricted to the spec's state constraint, checking every
+/// invariant on every state within the constraint. On violation, returns the
+/// shortest counterexample behavior. BFS order guarantees minimal
+/// counterexamples, like TLC's default mode.
+class ModelChecker {
+ public:
+  explicit ModelChecker(CheckerOptions options = {}) : options_(options) {}
+
+  CheckResult Check(const Spec& spec) const;
+
+ private:
+  CheckerOptions options_;
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_CHECKER_H_

@@ -1,0 +1,263 @@
+#include "tlax/liveness.h"
+
+#include <cstdint>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+std::vector<uint32_t> StronglyConnectedComponents(const StateGraph& graph,
+                                                  uint32_t* num_components) {
+  const uint32_t n = static_cast<uint32_t>(graph.num_states());
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<uint32_t> component(n, 0);
+  uint32_t next_index = 0;
+  uint32_t next_component = 0;
+
+  // Iterative Tarjan with an explicit DFS frame stack.
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      uint32_t v = frame.node;
+      const auto& edges = graph.out_edges(v);
+      if (frame.edge < edges.size()) {
+        uint32_t w = edges[frame.edge].to;
+        ++frame.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          if (index[w] < lowlink[v]) lowlink[v] = index[w];
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          uint32_t parent = frames.back().node;
+          if (lowlink[v] < lowlink[parent]) lowlink[parent] = lowlink[v];
+        }
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == v) break;
+          }
+          ++next_component;
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+LeadsToResult CheckLeadsTo(const StateGraph& graph,
+                           const std::function<bool(const State&)>& p,
+                           const std::function<bool(const State&)>& q) {
+  const uint32_t n = static_cast<uint32_t>(graph.num_states());
+  LeadsToResult result;
+
+  std::vector<bool> is_q(n, false);
+  for (uint32_t v = 0; v < n; ++v) is_q[v] = q(graph.state(v));
+
+  // A "trap" is a non-Q state where a behavior can stay away from Q
+  // forever: either a state with no successors at all (infinite stuttering),
+  // or a member of a Q-free cycle. Find cycle members with an SCC pass on
+  // the Q-free subgraph.
+  //
+  // SCCs of the subgraph: reuse Tarjan on the full graph but skip Q states
+  // and edges into Q states by running it over a filtered adjacency list.
+  std::vector<std::vector<uint32_t>> sub(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (is_q[v]) continue;
+    for (const auto& e : graph.out_edges(v)) {
+      if (!is_q[e.to]) sub[v].push_back(e.to);
+    }
+  }
+
+  // Iterative Tarjan over `sub`, flagging states in nontrivial SCCs or with
+  // self-loops.
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<bool> trap(n, false);
+  uint32_t next_index = 0;
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (is_q[root] || index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      uint32_t v = frame.node;
+      if (frame.edge < sub[v].size()) {
+        uint32_t w = sub[v][frame.edge];
+        ++frame.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          if (index[w] < lowlink[v]) lowlink[v] = index[w];
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          uint32_t parent = frames.back().node;
+          if (lowlink[v] < lowlink[parent]) lowlink[parent] = lowlink[v];
+        }
+        if (lowlink[v] == index[v]) {
+          // Pop the SCC; it is a cycle-trap when it has more than one
+          // member or a self-loop.
+          std::vector<uint32_t> members;
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            members.push_back(w);
+            if (w == v) break;
+          }
+          bool cyclic = members.size() > 1;
+          if (!cyclic) {
+            for (uint32_t w : sub[members[0]]) {
+              if (w == members[0]) cyclic = true;
+            }
+          }
+          if (cyclic) {
+            for (uint32_t w : members) trap[w] = true;
+          }
+        }
+      }
+    }
+  }
+  // Dead ends (no successors in the FULL graph) are traps too: the behavior
+  // stutters there forever without reaching Q.
+  for (uint32_t v = 0; v < n; ++v) {
+    if (!is_q[v] && graph.out_edges(v).empty()) trap[v] = true;
+  }
+
+  // can_avoid[v]: from non-Q state v there is a Q-free path to a trap.
+  // Backward propagation over the Q-free subgraph from trap states.
+  std::vector<std::vector<uint32_t>> rsub(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t w : sub[v]) rsub[w].push_back(v);
+  }
+  std::vector<bool> can_avoid(n, false);
+  std::deque<uint32_t> queue;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (trap[v]) {
+      can_avoid[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t v = queue.front();
+    queue.pop_front();
+    for (uint32_t u : rsub[v]) {
+      if (!can_avoid[u]) {
+        can_avoid[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+
+  for (uint32_t v = 0; v < n; ++v) {
+    if (p(graph.state(v)) && !is_q[v] && can_avoid[v]) {
+      result.holds = false;
+      result.counterexample_state = v;
+      result.message = common::StrCat(
+          "P-state ", v, " admits a behavior that never reaches a Q-state");
+      return result;
+    }
+  }
+  return result;
+}
+
+LeadsToResult CheckAlwaysReachable(const StateGraph& graph,
+                                   const std::function<bool(const State&)>& p,
+                                   const std::function<bool(const State&)>& q) {
+  const uint32_t n = static_cast<uint32_t>(graph.num_states());
+  LeadsToResult result;
+
+  // can_reach_q[v]: a Q-state is reachable from v (including v itself).
+  std::vector<std::vector<uint32_t>> reverse_edges(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (const auto& e : graph.out_edges(v)) reverse_edges[e.to].push_back(v);
+  }
+  std::vector<bool> can_reach_q(n, false);
+  std::deque<uint32_t> queue;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (q(graph.state(v))) {
+      can_reach_q[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t v = queue.front();
+    queue.pop_front();
+    for (uint32_t u : reverse_edges[v]) {
+      if (!can_reach_q[u]) {
+        can_reach_q[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+
+  // Forward closure from every P-state; fail on any state that cannot
+  // reach Q.
+  std::vector<bool> visited(n, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (!p(graph.state(v)) || visited[v]) continue;
+    queue.push_back(v);
+    visited[v] = true;
+    while (!queue.empty()) {
+      uint32_t u = queue.front();
+      queue.pop_front();
+      if (!can_reach_q[u]) {
+        result.holds = false;
+        result.counterexample_state = u;
+        result.message = common::StrCat(
+            "state ", u, " is reachable after P but cannot reach any Q-state");
+        return result;
+      }
+      for (const auto& e : graph.out_edges(u)) {
+        if (!visited[e.to]) {
+          visited[e.to] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xmodel::tlax

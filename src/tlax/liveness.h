@@ -1,0 +1,51 @@
+#ifndef XMODEL_TLAX_LIVENESS_H_
+#define XMODEL_TLAX_LIVENESS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tlax/state_graph.h"
+
+namespace xmodel::tlax {
+
+/// Result of a temporal check. When the property fails,
+/// `counterexample_state` is a witness: the state where the violating
+/// behavior gets trapped.
+struct LeadsToResult {
+  bool holds = true;
+  std::optional<uint32_t> counterexample_state;
+  std::string message;
+};
+
+/// Checks `P ~> Q` ("P leads to Q") on an explored state graph, the way the
+/// paper's RaftMongo.tla checks "the commit point is eventually propagated".
+///
+/// Finite-graph semantics under weak fairness of the full next-state
+/// relation (TLC's `WF_vars(Next)`): the property FAILS iff from some
+/// reachable state satisfying P (and not Q) there is a path that avoids Q
+/// forever — i.e. a Q-free path reaching either a state with no successors
+/// at all (the behavior stutters there forever) or a Q-free cycle.
+LeadsToResult CheckLeadsTo(const StateGraph& graph,
+                           const std::function<bool(const State&)>& p,
+                           const std::function<bool(const State&)>& q);
+
+/// A weaker, possibility-style property: after any state satisfying P, a
+/// state satisfying Q must *remain reachable* (AG(P => AG EF Q) in CTL).
+/// Useful for protocols where adversarial scheduling (endless elections,
+/// dropped messages) can postpone Q forever, yet Q must never become
+/// impossible. Fails iff some state reachable from a P-state cannot reach
+/// any Q-state.
+LeadsToResult CheckAlwaysReachable(const StateGraph& graph,
+                                   const std::function<bool(const State&)>& p,
+                                   const std::function<bool(const State&)>& q);
+
+/// Strongly connected components (iterative Tarjan). Returns a component id
+/// per state and stores the component count in `*num_components`.
+std::vector<uint32_t> StronglyConnectedComponents(const StateGraph& graph,
+                                                  uint32_t* num_components);
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_LIVENESS_H_

@@ -1,0 +1,58 @@
+#include "tlax/simulate.h"
+
+#include <vector>
+
+namespace xmodel::tlax {
+
+SimulateResult Simulate(const Spec& spec, common::Rng* rng,
+                        const SimulateOptions& options) {
+  SimulateResult result;
+  const std::vector<Action>& actions = spec.actions();
+  const std::vector<Invariant>& invariants = spec.invariants();
+
+  std::vector<State> initials = spec.InitialStates();
+  if (initials.empty()) return result;
+
+  for (uint64_t run = 0; run < options.num_runs; ++run) {
+    ++result.runs;
+    std::vector<TraceStep> path;
+    State current = initials[rng->Below(initials.size())];
+    path.push_back(TraceStep{"Initial predicate", current});
+    ++result.states_visited;
+
+    for (uint64_t depth = 0; depth < options.max_depth; ++depth) {
+      for (const Invariant& inv : invariants) {
+        if (!inv.predicate(current)) {
+          result.violation = Violation{inv.name, path};
+          return result;
+        }
+      }
+      if (!spec.WithinConstraint(current)) break;
+
+      // Collect all enabled (action, successor) pairs and pick uniformly.
+      std::vector<State> successors;
+      std::vector<uint16_t> which_action;
+      for (uint16_t ai = 0; ai < actions.size(); ++ai) {
+        size_t before = successors.size();
+        actions[ai].next(current, &successors);
+        which_action.resize(successors.size(), ai);
+        (void)before;
+      }
+      if (successors.empty()) break;  // Terminal state; not a violation here.
+      size_t pick = rng->Below(successors.size());
+      current = std::move(successors[pick]);
+      path.push_back(TraceStep{actions[which_action[pick]].name, current});
+      ++result.states_visited;
+    }
+    // Check invariants on the final state of the walk too.
+    for (const Invariant& inv : invariants) {
+      if (!inv.predicate(current)) {
+        result.violation = Violation{inv.name, path};
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xmodel::tlax

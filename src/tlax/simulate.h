@@ -1,0 +1,35 @@
+#ifndef XMODEL_TLAX_SIMULATE_H_
+#define XMODEL_TLAX_SIMULATE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "tlax/checker.h"
+#include "tlax/spec.h"
+
+namespace xmodel::tlax {
+
+struct SimulateOptions {
+  uint64_t num_runs = 100;
+  uint64_t max_depth = 100;
+};
+
+struct SimulateResult {
+  uint64_t runs = 0;
+  uint64_t states_visited = 0;
+  std::optional<Violation> violation;
+
+  bool ok() const { return !violation.has_value(); }
+};
+
+/// Random behavior simulation, TLC's "-simulate" mode: repeatedly walks a
+/// random path from a random initial state, checking invariants along the
+/// way. Useful when the full state space is too large to enumerate (the
+/// regime where the paper says MBTC becomes the fallback).
+SimulateResult Simulate(const Spec& spec, common::Rng* rng,
+                        const SimulateOptions& options = {});
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_SIMULATE_H_

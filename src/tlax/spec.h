@@ -1,0 +1,79 @@
+#ifndef XMODEL_TLAX_SPEC_H_
+#define XMODEL_TLAX_SPEC_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tlax/state.h"
+
+namespace xmodel::tlax {
+
+/// A named next-state relation disjunct, like a TLA+ action. `next` appends
+/// every successor of `state` permitted by this action to `out` (possibly
+/// none when the action is not enabled).
+struct Action {
+  std::string name;
+  std::function<void(const State& state, std::vector<State>* out)> next;
+};
+
+/// A named state predicate that must hold in every reachable state.
+struct Invariant {
+  std::string name;
+  std::function<bool(const State& state)> predicate;
+};
+
+/// A specification: variables, initial states, actions, and invariants —
+/// the same ingredients as a TLA+ spec driven by TLC.
+///
+/// Subclasses declare variables once and build states with `MakeState`.
+/// A state constraint (TLA+ CONSTRAINT) prunes exploration: successors
+/// outside the constraint are not expanded (matching TLC semantics, the
+/// constraint is checked on states before their successors are generated).
+class Spec {
+ public:
+  virtual ~Spec() = default;
+
+  virtual std::string name() const = 0;
+  virtual const std::vector<std::string>& variables() const = 0;
+  virtual std::vector<State> InitialStates() const = 0;
+  virtual const std::vector<Action>& actions() const = 0;
+  virtual const std::vector<Invariant>& invariants() const = 0;
+
+  /// TLA+ CONSTRAINT: exploration does not expand states outside it.
+  virtual bool WithinConstraint(const State& state) const {
+    (void)state;
+    return true;
+  }
+
+  /// Symmetry reduction (TLC's SYMMETRY sets, as used by Tasiran et al. to
+  /// shrink the coverage space — paper §3): returns the canonical
+  /// representative of the state's symmetry orbit. The checker deduplicates
+  /// canonical states, exploring one representative per orbit. The default
+  /// is the identity (no symmetry). Note TLC's caveat applies here too:
+  /// counterexample traces run over representatives, so consecutive steps
+  /// may differ by a symmetry permutation.
+  virtual State Canonicalize(const State& state) const { return state; }
+
+  /// Index of a variable by name; -1 when absent.
+  int VarIndex(std::string_view var_name) const {
+    const auto& vars = variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == var_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Generates all successors of `state` across all actions, in action
+  /// declaration order.
+  std::vector<State> Successors(const State& state) const {
+    std::vector<State> out;
+    for (const Action& action : actions()) action.next(state, &out);
+    return out;
+  }
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_SPEC_H_

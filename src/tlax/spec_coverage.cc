@@ -1,0 +1,105 @@
+#include "tlax/spec_coverage.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+using common::Status;
+
+Status SpecCoverage::Initialize(const Spec& spec, uint64_t max_states) {
+  CheckerOptions options;
+  options.max_distinct_states = max_states;
+  CheckResult result = ModelChecker(options).Check(spec);
+  if (!result.status.ok()) return result.status;
+  if (result.violation.has_value()) {
+    return Status::FailedPrecondition(
+        common::StrCat("spec violates ", result.violation->kind,
+                       "; coverage over a broken spec is meaningless"));
+  }
+  // Re-explore to collect fingerprints of constrained states (the checker
+  // does not expose its visited set; a second sweep keeps its interface
+  // lean while this feature stays optional).
+  reachable_fingerprints_.clear();
+  std::unordered_set<uint64_t> visited;
+  std::deque<State> frontier;
+  for (State& init : spec.InitialStates()) {
+    if (!spec.WithinConstraint(init)) continue;
+    if (visited.insert(init.fingerprint()).second) {
+      reachable_fingerprints_.insert(Fingerprint(init));
+      frontier.push_back(std::move(init));
+    }
+  }
+  while (!frontier.empty()) {
+    State current = std::move(frontier.front());
+    frontier.pop_front();
+    for (State& succ : spec.Successors(current)) {
+      if (!spec.WithinConstraint(succ)) continue;
+      if (visited.insert(succ.fingerprint()).second) {
+        reachable_fingerprints_.insert(Fingerprint(succ));
+        frontier.push_back(std::move(succ));
+      }
+    }
+  }
+  reachable_ = reachable_fingerprints_.size();
+  covered_.clear();
+  traces_ = 0;
+  return Status::OK();
+}
+
+Status SpecCoverage::AddTrace(const Spec& spec,
+                              const std::vector<TraceState>& trace) {
+  if (trace.empty()) return Status::OK();
+
+  // The same frontier walk as the trace checker, but recording every spec
+  // state consistent with some position of the trace.
+  std::vector<State> frontier;
+  std::unordered_set<uint64_t> seen;
+  for (State& init : spec.InitialStates()) {
+    if (trace[0].Matches(init.vars()) &&
+        seen.insert(init.fingerprint()).second) {
+      frontier.push_back(std::move(init));
+    }
+  }
+  if (frontier.empty()) {
+    return Status::FailedPrecondition("trace rejected at step 0");
+  }
+  std::unordered_set<uint64_t> trace_states;
+  for (const State& s : frontier) trace_states.insert(Fingerprint(s));
+
+  for (size_t i = 1; i < trace.size(); ++i) {
+    std::vector<State> next;
+    seen.clear();
+    for (const State& s : frontier) {
+      // Stuttering matches keep the state alive at the next position.
+      if (trace[i].Matches(s.vars()) && seen.insert(s.fingerprint()).second) {
+        next.push_back(s);
+      }
+      for (State& succ : spec.Successors(s)) {
+        if (trace[i].Matches(succ.vars()) &&
+            seen.insert(succ.fingerprint()).second) {
+          next.push_back(std::move(succ));
+        }
+      }
+    }
+    if (next.empty()) {
+      return Status::FailedPrecondition(
+          common::StrCat("trace rejected at step ", i));
+    }
+    for (const State& s : next) trace_states.insert(Fingerprint(s));
+    frontier = std::move(next);
+  }
+
+  // Accumulate only states that are in the model-checked space (a trace
+  // may run beyond the CONSTRAINT bounds; those states are real but not
+  // part of the denominator).
+  for (uint64_t fp : trace_states) {
+    if (reachable_fingerprints_.count(fp) > 0) covered_.insert(fp);
+  }
+  ++traces_;
+  return Status::OK();
+}
+
+}  // namespace xmodel::tlax

@@ -1,0 +1,66 @@
+#ifndef XMODEL_TLAX_STATE_H_
+#define XMODEL_TLAX_STATE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+
+/// A specification state: one Value per state variable, in the order the
+/// owning Spec declares its variables. Carries a precomputed fingerprint.
+class State {
+ public:
+  State() = default;
+  explicit State(std::vector<Value> vars) : vars_(std::move(vars)) {
+    RecomputeFingerprint();
+  }
+
+  size_t num_vars() const { return vars_.size(); }
+  const Value& var(size_t i) const {
+    assert(i < vars_.size());
+    return vars_[i];
+  }
+  const std::vector<Value>& vars() const { return vars_; }
+
+  /// Returns a copy of this state with variable `i` replaced.
+  State With(size_t i, Value v) const {
+    assert(i < vars_.size());
+    std::vector<Value> vars = vars_;
+    vars[i] = std::move(v);
+    return State(std::move(vars));
+  }
+
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  bool operator==(const State& other) const {
+    if (fingerprint_ != other.fingerprint_) return false;
+    return vars_ == other.vars_;
+  }
+  bool operator!=(const State& other) const { return !(*this == other); }
+
+ private:
+  void RecomputeFingerprint() {
+    uint64_t h = 0x12345678abcdef01ULL;
+    for (const Value& v : vars_) h = common::HashCombine(h, v.hash());
+    fingerprint_ = h;
+  }
+
+  std::vector<Value> vars_;
+  uint64_t fingerprint_ = 0;
+};
+
+struct StateHash {
+  size_t operator()(const State& s) const {
+    return static_cast<size_t>(s.fingerprint());
+  }
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_STATE_H_

@@ -1,0 +1,40 @@
+#include "tlax/state_graph.h"
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+std::string StateGraph::ToDot(
+    const std::vector<std::string>& variable_names) const {
+  std::string out;
+  out += "digraph DiskGraph {\n";
+  for (uint32_t init : initial_) {
+    out += common::StrCat("  ", init, " [style = filled]\n");
+  }
+  for (uint32_t id = 0; id < states_.size(); ++id) {
+    const State& s = states_[id];
+    std::string label;
+    for (size_t v = 0; v < s.num_vars(); ++v) {
+      if (v > 0) label += "\\n";
+      label += variable_names[v];
+      label += " = ";
+      label += s.var(v).ToTla();
+    }
+    out += common::StrCat("  ", id, " [label=", common::JsonEscape(label),
+                          "]\n");
+  }
+  for (uint32_t from = 0; from < edges_.size(); ++from) {
+    for (const Edge& e : edges_[from]) {
+      std::string action = e.action < action_names_.size()
+                               ? action_names_[e.action]
+                               : common::StrCat("action", e.action);
+      out += common::StrCat("  ", from, " -> ", e.to,
+                            " [label=", common::JsonEscape(action), "]\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xmodel::tlax

@@ -1,0 +1,68 @@
+#ifndef XMODEL_TLAX_STATE_GRAPH_H_
+#define XMODEL_TLAX_STATE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlax/state.h"
+
+namespace xmodel::tlax {
+
+/// The explored reachability graph: states are numbered in discovery (BFS)
+/// order; each edge carries the index of the action that produced it.
+///
+/// This mirrors TLC's `-dump dot` output, which the paper's MBTCG pipeline
+/// parses to generate test cases (§5.2).
+class StateGraph {
+ public:
+  struct Edge {
+    uint32_t to = 0;
+    uint16_t action = 0;
+  };
+
+  uint32_t AddState(State state) {
+    states_.push_back(std::move(state));
+    edges_.emplace_back();
+    return static_cast<uint32_t>(states_.size() - 1);
+  }
+
+  void AddEdge(uint32_t from, uint32_t to, uint16_t action) {
+    edges_[from].push_back(Edge{to, action});
+  }
+
+  void AddInitial(uint32_t id) { initial_.push_back(id); }
+
+  size_t num_states() const { return states_.size(); }
+  size_t num_edges() const {
+    size_t n = 0;
+    for (const auto& out : edges_) n += out.size();
+    return n;
+  }
+  const State& state(uint32_t id) const { return states_[id]; }
+  const std::vector<Edge>& out_edges(uint32_t id) const { return edges_[id]; }
+  const std::vector<uint32_t>& initial_states() const { return initial_; }
+
+  void set_action_names(std::vector<std::string> names) {
+    action_names_ = std::move(names);
+  }
+  const std::vector<std::string>& action_names() const {
+    return action_names_;
+  }
+
+  /// Serializes the graph in GraphViz DOT format. Each node is labeled with
+  /// the state's variables in TLA syntax (one `var = value` line per
+  /// variable, as TLC does), and each edge with its action name. This is the
+  /// wire format the MBTCG generator parses back.
+  std::string ToDot(const std::vector<std::string>& variable_names) const;
+
+ private:
+  std::vector<State> states_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<uint32_t> initial_;
+  std::vector<std::string> action_names_;
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_STATE_GRAPH_H_

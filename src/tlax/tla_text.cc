@@ -1,0 +1,227 @@
+#include "tlax/tla_text.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+using common::Result;
+using common::Status;
+using common::StrCat;
+
+bool TraceState::Matches(const std::vector<Value>& full_state) const {
+  if (vars.size() != full_state.size()) return false;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i].has_value() && *vars[i] != full_state[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void SkipSpace(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+}
+
+bool ConsumeToken(std::string_view text, size_t* pos, std::string_view tok) {
+  SkipSpace(text, pos);
+  if (text.substr(*pos, tok.size()) == tok) {
+    *pos += tok.size();
+    return true;
+  }
+  return false;
+}
+
+Status Fail(std::string_view what, size_t pos) {
+  return Status::Corruption(StrCat(what, " at offset ", pos));
+}
+
+}  // namespace
+
+Result<Value> ParseTlaValue(std::string_view text, size_t* pos) {
+  SkipSpace(text, pos);
+  if (*pos >= text.size()) return Fail("unexpected end of input", *pos);
+  char c = text[*pos];
+
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = *pos;
+    if (c == '-') ++*pos;
+    while (*pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[*pos]))) {
+      ++*pos;
+    }
+    if (*pos == start + (c == '-' ? 1u : 0u)) {
+      return Fail("expected digits", *pos);
+    }
+    std::string token(text.substr(start, *pos - start));
+    return Value::Int(std::strtoll(token.c_str(), nullptr, 10));
+  }
+
+  if (c == '"') {
+    ++*pos;
+    std::string s;
+    while (*pos < text.size() && text[*pos] != '"') {
+      s.push_back(text[*pos]);
+      ++*pos;
+    }
+    if (*pos >= text.size()) return Fail("unterminated string", *pos);
+    ++*pos;
+    return Value::Str(std::move(s));
+  }
+
+  if (ConsumeToken(text, pos, "TRUE")) return Value::Bool(true);
+  if (ConsumeToken(text, pos, "FALSE")) return Value::Bool(false);
+  if (ConsumeToken(text, pos, "NULL")) return Value::Nil();
+
+  if (ConsumeToken(text, pos, "<<")) {
+    std::vector<Value> elems;
+    SkipSpace(text, pos);
+    if (ConsumeToken(text, pos, ">>")) return Value::Seq(std::move(elems));
+    while (true) {
+      Result<Value> v = ParseTlaValue(text, pos);
+      if (!v.ok()) return v.status();
+      elems.push_back(std::move(*v));
+      if (ConsumeToken(text, pos, ">>")) return Value::Seq(std::move(elems));
+      if (!ConsumeToken(text, pos, ",")) {
+        return Fail("expected ',' or '>>'", *pos);
+      }
+    }
+  }
+
+  if (c == '{') {
+    ++*pos;
+    std::vector<Value> elems;
+    SkipSpace(text, pos);
+    if (ConsumeToken(text, pos, "}")) return Value::SetOf(std::move(elems));
+    while (true) {
+      Result<Value> v = ParseTlaValue(text, pos);
+      if (!v.ok()) return v.status();
+      elems.push_back(std::move(*v));
+      if (ConsumeToken(text, pos, "}")) return Value::SetOf(std::move(elems));
+      if (!ConsumeToken(text, pos, ",")) {
+        return Fail("expected ',' or '}'", *pos);
+      }
+    }
+  }
+
+  if (c == '[') {
+    ++*pos;
+    Value::Fields fields;
+    SkipSpace(text, pos);
+    if (ConsumeToken(text, pos, "]")) return Value::Record(std::move(fields));
+    while (true) {
+      SkipSpace(text, pos);
+      size_t start = *pos;
+      while (*pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[*pos])) ||
+              text[*pos] == '_')) {
+        ++*pos;
+      }
+      if (*pos == start) return Fail("expected field name", *pos);
+      std::string name(text.substr(start, *pos - start));
+      if (!ConsumeToken(text, pos, "|->")) {
+        return Fail("expected '|->'", *pos);
+      }
+      Result<Value> v = ParseTlaValue(text, pos);
+      if (!v.ok()) return v.status();
+      fields.emplace_back(std::move(name), std::move(*v));
+      if (ConsumeToken(text, pos, "]")) return Value::Record(std::move(fields));
+      if (!ConsumeToken(text, pos, ",")) {
+        return Fail("expected ',' or ']'", *pos);
+      }
+    }
+  }
+
+  return Fail(StrCat("unexpected character '", std::string(1, c), "'"), *pos);
+}
+
+Result<Value> ParseTlaValue(std::string_view text) {
+  size_t pos = 0;
+  Result<Value> v = ParseTlaValue(text, &pos);
+  if (!v.ok()) return v;
+  SkipSpace(text, &pos);
+  if (pos != text.size()) return Fail("trailing characters", pos);
+  return v;
+}
+
+std::string TraceModuleText(const std::string& module_name,
+                            const std::vector<std::string>& variables,
+                            const std::vector<TraceState>& trace) {
+  std::string out;
+  out += StrCat("---- MODULE ", module_name, " ----\n");
+  out += "EXTENDS Integers, Sequences\n";
+  out += "(* Trace generated from log files. Each tuple holds, in order: ";
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += variables[i];
+  }
+  out += ". *)\n";
+  out += "Trace == <<\n";
+  for (size_t i = 0; i < trace.size(); ++i) {
+    out += "  <<\n";
+    for (size_t v = 0; v < trace[i].vars.size(); ++v) {
+      out += "    ";
+      if (trace[i].vars[v].has_value()) {
+        out += trace[i].vars[v]->ToTla();
+      } else {
+        out += "?";
+      }
+      if (v + 1 < trace[i].vars.size()) out += ",";
+      out += "\n";
+    }
+    out += i + 1 < trace.size() ? "  >>,\n" : "  >>\n";
+  }
+  out += ">>\n";
+  out += "====\n";
+  return out;
+}
+
+Result<std::vector<TraceState>> ParseTraceModule(std::string_view text,
+                                                 size_t num_variables) {
+  size_t pos = text.find("Trace ==");
+  if (pos == std::string_view::npos) {
+    return Status::Corruption("no 'Trace ==' definition found");
+  }
+  pos += 8;
+  if (!ConsumeToken(text, &pos, "<<")) {
+    return Status::Corruption("expected '<<' after 'Trace =='");
+  }
+  std::vector<TraceState> trace;
+  SkipSpace(text, &pos);
+  if (ConsumeToken(text, &pos, ">>")) return trace;
+  while (true) {
+    if (!ConsumeToken(text, &pos, "<<")) {
+      return Fail("expected '<<' starting a trace state", pos);
+    }
+    TraceState state;
+    for (size_t v = 0; v < num_variables; ++v) {
+      SkipSpace(text, &pos);
+      if (pos < text.size() && text[pos] == '?') {
+        ++pos;
+        state.vars.emplace_back(std::nullopt);
+      } else {
+        Result<Value> value = ParseTlaValue(text, &pos);
+        if (!value.ok()) return value.status();
+        state.vars.emplace_back(std::move(*value));
+      }
+      if (v + 1 < num_variables && !ConsumeToken(text, &pos, ",")) {
+        return Fail("expected ',' between trace variables", pos);
+      }
+    }
+    if (!ConsumeToken(text, &pos, ">>")) {
+      return Fail("expected '>>' ending a trace state", pos);
+    }
+    trace.push_back(std::move(state));
+    SkipSpace(text, &pos);
+    if (ConsumeToken(text, &pos, ",")) continue;
+    if (ConsumeToken(text, &pos, ">>")) return trace;
+    return Fail("expected ',' or '>>' after trace state", pos);
+  }
+}
+
+}  // namespace xmodel::tlax

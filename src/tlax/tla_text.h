@@ -1,0 +1,57 @@
+#ifndef XMODEL_TLAX_TLA_TEXT_H_
+#define XMODEL_TLAX_TLA_TEXT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+
+/// A possibly-partial state observed in an execution trace: one optional
+/// Value per spec variable (in spec variable order). Missing entries are
+/// variables the implementation could not log at that moment (§4.2.1); the
+/// trace checker searches for assignments that make the trace a legal
+/// behavior, per Pressler's refinement technique (§4.2.3).
+struct TraceState {
+  std::vector<std::optional<Value>> vars;
+
+  bool Matches(const std::vector<Value>& full_state) const;
+};
+
+/// Parses one value in TLA+ concrete syntax: integers, "strings", TRUE,
+/// FALSE, NULL, <<sequences>>, {sets}, [records |-> ...]. Advances `*pos`
+/// past the value. The token `?` parses as "missing" only via
+/// `ParseTraceModule`; here it is an error.
+common::Result<Value> ParseTlaValue(std::string_view text, size_t* pos);
+
+/// Convenience: parses a complete string as a single TLA value.
+common::Result<Value> ParseTlaValue(std::string_view text);
+
+/// Emits a TLA+ module named `module_name` containing the trace as one big
+/// tuple-of-tuples constant, in the shape of the paper's Figure 4:
+///
+///   ---- MODULE Trace ----
+///   EXTENDS Integers, Sequences
+///   Trace == <<
+///     << v1, v2, ... >>,
+///     ...
+///   >>
+///   ====
+///
+/// Missing (unlogged) variables are emitted as `?`.
+std::string TraceModuleText(const std::string& module_name,
+                            const std::vector<std::string>& variables,
+                            const std::vector<TraceState>& trace);
+
+/// Parses a module produced by `TraceModuleText` back into trace states.
+/// `num_variables` must match the emitting spec.
+common::Result<std::vector<TraceState>> ParseTraceModule(
+    std::string_view text, size_t num_variables);
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_TLA_TEXT_H_

@@ -1,0 +1,249 @@
+#include "tlax/trace_check.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+using common::Status;
+using common::StrCat;
+
+namespace {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// A deduplicated frontier of spec states viable at one trace position.
+class Frontier {
+ public:
+  bool Add(State state) {
+    if (!fingerprints_.insert(state.fingerprint()).second) return false;
+    states_.push_back(std::move(state));
+    return true;
+  }
+  const std::vector<State>& states() const { return states_; }
+  bool empty() const { return states_.empty(); }
+  void Clear() {
+    states_.clear();
+    fingerprints_.clear();
+  }
+
+ private:
+  std::vector<State> states_;
+  std::unordered_set<uint64_t> fingerprints_;
+};
+
+// Advances `frontier` from trace position i-1 to position i (matching
+// `target`), searching up to `options.max_hidden_steps` spec actions deep.
+// Returns the action names whose final step explained the match.
+std::vector<std::string> AdvanceFrontier(const Spec& spec,
+                                         const TraceState& target,
+                                         const TraceCheckOptions& options,
+                                         Frontier* frontier,
+                                         uint64_t* states_explored) {
+  std::vector<std::string> explaining;
+  auto note_action = [&explaining](const std::string& name) {
+    if (std::find(explaining.begin(), explaining.end(), name) ==
+        explaining.end()) {
+      explaining.push_back(name);
+    }
+  };
+
+  Frontier next;
+  if (options.allow_stuttering) {
+    for (const State& s : frontier->states()) {
+      if (target.Matches(s.vars())) {
+        if (next.Add(s)) note_action("(stuttering)");
+      }
+    }
+  }
+
+  // Breadth-first over hidden intermediate states: layer d holds states d
+  // actions past the previous observation. Matches may occur at any layer
+  // up to max_hidden_steps; only matching states enter the next frontier.
+  Frontier visited;  // Dedup across layers.
+  std::vector<State> layer = frontier->states();
+  for (const State& s : layer) visited.Add(s);
+  uint64_t budget = options.max_search_states_per_step;
+
+  std::vector<State> successors;
+  for (int depth = 1;
+       depth <= options.max_hidden_steps && !layer.empty() && budget > 0;
+       ++depth) {
+    std::vector<State> next_layer;
+    for (const State& s : layer) {
+      for (const Action& action : spec.actions()) {
+        successors.clear();
+        action.next(s, &successors);
+        for (State& succ : successors) {
+          ++*states_explored;
+          if (budget > 0) --budget;
+          if (target.Matches(succ.vars())) {
+            if (next.Add(succ)) note_action(action.name);
+          }
+          if (depth < options.max_hidden_steps && budget > 0 &&
+              visited.Add(succ)) {
+            next_layer.push_back(std::move(succ));
+          }
+        }
+      }
+      if (budget == 0) break;
+    }
+    layer = std::move(next_layer);
+  }
+  *frontier = std::move(next);
+  return explaining;
+}
+
+}  // namespace
+
+TraceCheckResult TraceChecker::CheckParsed(const Spec& spec,
+                                           const std::vector<TraceState>& trace,
+                                           uint64_t* states_explored) const {
+  TraceCheckResult result;
+  if (trace.empty()) {
+    result.status = Status::OK();
+    return result;
+  }
+
+  Frontier frontier;
+  for (State& init : spec.InitialStates()) {
+    ++*states_explored;
+    if (trace[0].Matches(init.vars())) frontier.Add(std::move(init));
+  }
+  if (frontier.empty()) {
+    result.status = Status::FailedPrecondition(
+        "trace state 0 matches no initial state of the specification");
+    result.failed_step = 0;
+    return result;
+  }
+  result.step_actions.push_back({"Init"});
+
+  for (size_t i = 1; i < trace.size(); ++i) {
+    std::vector<std::string> explaining = AdvanceFrontier(
+        spec, trace[i], options_, &frontier, states_explored);
+    if (frontier.empty()) {
+      result.status = Status::FailedPrecondition(
+          StrCat("no action of spec '", spec.name(), "' explains trace step ",
+                 i, " (checked ", i, " of ", trace.size() - 1, " steps)"));
+      result.failed_step = i;
+      return result;
+    }
+    result.step_actions.push_back(std::move(explaining));
+  }
+  result.status = Status::OK();
+  return result;
+}
+
+TraceCheckResult TraceChecker::Check(const Spec& spec,
+                                     const std::vector<TraceState>& trace) const {
+  Timer timer;
+  uint64_t explored = 0;
+  TraceCheckResult result;
+  if (options_.mode == TraceCheckMode::kPresslerReparse) {
+    // Emulate by serializing once and delegating to CheckModule, which
+    // performs the per-step re-parse.
+    std::string module = TraceModuleText("Trace", spec.variables(), trace);
+    result = CheckModule(spec, module);
+    return result;
+  }
+  result = CheckParsed(spec, trace, &explored);
+  result.states_explored = explored;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
+                                           const std::string& module_text) const {
+  Timer timer;
+  uint64_t explored = 0;
+  TraceCheckResult result;
+  const size_t num_vars = spec.variables().size();
+
+  if (options_.mode == TraceCheckMode::kNative) {
+    auto parsed = ParseTraceModule(module_text, num_vars);
+    if (!parsed.ok()) {
+      result.status = parsed.status();
+      return result;
+    }
+    result = CheckParsed(spec, *parsed, &explored);
+    result.states_explored = explored;
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  // Pressler-style: the frontier advances one trace step per iteration, and
+  // every iteration re-parses the entire module text, the way each TLC
+  // evaluation step re-evaluates the in-module trace tuple.
+  size_t num_steps = 0;
+  {
+    auto parsed = ParseTraceModule(module_text, num_vars);
+    if (!parsed.ok()) {
+      result.status = parsed.status();
+      return result;
+    }
+    num_steps = parsed->size();
+  }
+  if (num_steps == 0) {
+    result.status = Status::OK();
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  Frontier frontier;
+  for (size_t i = 0; i < num_steps; ++i) {
+    auto parsed = ParseTraceModule(module_text, num_vars);  // Re-parse.
+    if (!parsed.ok()) {
+      result.status = parsed.status();
+      return result;
+    }
+    const std::vector<TraceState>& trace = *parsed;
+    if (i == 0) {
+      for (State& init : spec.InitialStates()) {
+        ++explored;
+        if (trace[0].Matches(init.vars())) frontier.Add(std::move(init));
+      }
+      if (frontier.empty()) {
+        result.status = Status::FailedPrecondition(
+            "trace state 0 matches no initial state of the specification");
+        result.failed_step = 0;
+        result.states_explored = explored;
+        result.seconds = timer.Seconds();
+        return result;
+      }
+      result.step_actions.push_back({"Init"});
+      continue;
+    }
+    std::vector<std::string> explaining = AdvanceFrontier(
+        spec, trace[i], options_, &frontier, &explored);
+    if (frontier.empty()) {
+      result.status = Status::FailedPrecondition(
+          StrCat("no action of spec '", spec.name(), "' explains trace step ",
+                 i));
+      result.failed_step = i;
+      result.states_explored = explored;
+      result.seconds = timer.Seconds();
+      return result;
+    }
+    result.step_actions.push_back(std::move(explaining));
+  }
+  result.status = Status::OK();
+  result.states_explored = explored;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace xmodel::tlax

@@ -1,0 +1,332 @@
+#include "tlax/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace xmodel::tlax {
+
+using common::HashCombine;
+using common::HashString;
+using common::Mix64;
+
+uint64_t Value::ComputeHash(const Rep& rep) {
+  uint64_t h = Mix64(static_cast<uint64_t>(rep.kind) + 0x51ed2701);
+  switch (rep.kind) {
+    case Kind::kNil:
+      break;
+    case Kind::kBool:
+      h = HashCombine(h, rep.b ? 2 : 1);
+      break;
+    case Kind::kInt:
+      h = HashCombine(h, Mix64(static_cast<uint64_t>(rep.i)));
+      break;
+    case Kind::kString:
+      h = HashCombine(h, HashString(rep.s));
+      break;
+    case Kind::kSeq:
+    case Kind::kSet:
+      for (const Value& v : rep.elems) h = HashCombine(h, v.hash());
+      h = HashCombine(h, rep.elems.size());
+      break;
+    case Kind::kRecord:
+      for (const auto& [name, v] : rep.fields) {
+        h = HashCombine(h, HashString(name));
+        h = HashCombine(h, v.hash());
+      }
+      break;
+  }
+  return h;
+}
+
+Value::Value() {
+  static const std::shared_ptr<const Rep> nil_rep = [] {
+    auto rep = std::make_shared<Rep>();
+    rep->kind = Kind::kNil;
+    rep->hash = ComputeHash(*rep);
+    return rep;
+  }();
+  rep_ = nil_rep;
+}
+
+Value Value::Bool(bool b) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kBool;
+  rep->b = b;
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Int(int64_t i) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kInt;
+  rep->i = i;
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Str(std::string s) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kString;
+  rep->s = std::move(s);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Seq(std::vector<Value> elements) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kSeq;
+  rep->elems = std::move(elements);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::SetOf(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kSet;
+  rep->elems = std::move(elements);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Record(Fields fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    assert(fields[i - 1].first != fields[i].first &&
+           "duplicate record field");
+  }
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kRecord;
+  rep->fields = std::move(fields);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+bool Value::bool_value() const {
+  assert(is_bool());
+  return rep_->b;
+}
+
+int64_t Value::int_value() const {
+  assert(is_int());
+  return rep_->i;
+}
+
+const std::string& Value::string_value() const {
+  assert(is_string());
+  return rep_->s;
+}
+
+const std::vector<Value>& Value::elements() const {
+  assert(is_seq() || is_set());
+  return rep_->elems;
+}
+
+const Value::Fields& Value::fields() const {
+  assert(is_record());
+  return rep_->fields;
+}
+
+size_t Value::size() const {
+  if (is_record()) return rep_->fields.size();
+  assert(is_seq() || is_set());
+  return rep_->elems.size();
+}
+
+const Value& Value::at(size_t i) const {
+  assert((is_seq() || is_set()) && i < rep_->elems.size());
+  return rep_->elems[i];
+}
+
+const Value* Value::Field(std::string_view name) const {
+  if (!is_record()) return nullptr;
+  // Fields are sorted; binary search.
+  const auto& fields = rep_->fields;
+  auto it = std::lower_bound(
+      fields.begin(), fields.end(), name,
+      [](const auto& field, std::string_view n) { return field.first < n; });
+  if (it != fields.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+const Value& Value::FieldOrDie(std::string_view name) const {
+  const Value* v = Field(name);
+  if (v == nullptr) {
+    std::abort();
+  }
+  return *v;
+}
+
+Value Value::WithField(std::string_view name, Value v) const {
+  assert(is_record());
+  Fields fields = rep_->fields;
+  for (auto& [n, existing] : fields) {
+    if (n == name) {
+      existing = std::move(v);
+      return Record(std::move(fields));
+    }
+  }
+  assert(false && "WithField: no such field");
+  return *this;
+}
+
+Value Value::Append(Value v) const {
+  assert(is_seq());
+  std::vector<Value> elems = rep_->elems;
+  elems.push_back(std::move(v));
+  return Seq(std::move(elems));
+}
+
+Value Value::Concat(const Value& other) const {
+  assert(is_seq() && other.is_seq());
+  std::vector<Value> elems = rep_->elems;
+  elems.insert(elems.end(), other.rep_->elems.begin(),
+               other.rep_->elems.end());
+  return Seq(std::move(elems));
+}
+
+Value Value::SubSeq(size_t from1, size_t to1) const {
+  assert(is_seq());
+  if (from1 > to1 || from1 > rep_->elems.size()) return EmptySeq();
+  to1 = std::min(to1, rep_->elems.size());
+  std::vector<Value> elems(rep_->elems.begin() + (from1 - 1),
+                           rep_->elems.begin() + to1);
+  return Seq(std::move(elems));
+}
+
+Value Value::WithIndex1(size_t i, Value v) const {
+  assert(is_seq() && i >= 1 && i <= rep_->elems.size());
+  std::vector<Value> elems = rep_->elems;
+  elems[i - 1] = std::move(v);
+  return Seq(std::move(elems));
+}
+
+Value Value::SetInsert(Value v) const {
+  assert(is_set());
+  std::vector<Value> elems = rep_->elems;
+  elems.push_back(std::move(v));
+  return SetOf(std::move(elems));
+}
+
+bool Value::SetContains(const Value& v) const {
+  assert(is_set());
+  return std::binary_search(rep_->elems.begin(), rep_->elems.end(), v);
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.rep_ == b.rep_) return 0;
+  if (a.kind() != b.kind()) {
+    return a.kind() < b.kind() ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case Kind::kNil:
+      return 0;
+    case Kind::kBool:
+      return a.rep_->b == b.rep_->b ? 0 : (a.rep_->b ? 1 : -1);
+    case Kind::kInt:
+      return a.rep_->i == b.rep_->i ? 0 : (a.rep_->i < b.rep_->i ? -1 : 1);
+    case Kind::kString:
+      return a.rep_->s.compare(b.rep_->s) < 0
+                 ? -1
+                 : (a.rep_->s == b.rep_->s ? 0 : 1);
+    case Kind::kSeq:
+    case Kind::kSet: {
+      const auto& ea = a.rep_->elems;
+      const auto& eb = b.rep_->elems;
+      size_t n = std::min(ea.size(), eb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(ea[i], eb[i]);
+        if (c != 0) return c;
+      }
+      if (ea.size() == eb.size()) return 0;
+      return ea.size() < eb.size() ? -1 : 1;
+    }
+    case Kind::kRecord: {
+      const auto& fa = a.rep_->fields;
+      const auto& fb = b.rep_->fields;
+      size_t n = std::min(fa.size(), fb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = fa[i].first.compare(fb[i].first);
+        if (c != 0) return c < 0 ? -1 : 1;
+        c = Compare(fa[i].second, fb[i].second);
+        if (c != 0) return c;
+      }
+      if (fa.size() == fb.size()) return 0;
+      return fa.size() < fb.size() ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (rep_ == other.rep_) return true;
+  if (rep_->hash != other.rep_->hash) return false;
+  return Compare(*this, other) == 0;
+}
+
+bool Value::operator<(const Value& other) const {
+  return Compare(*this, other) < 0;
+}
+
+void Value::AppendTla(std::string* out) const {
+  switch (kind()) {
+    case Kind::kNil:
+      out->append("NULL");
+      return;
+    case Kind::kBool:
+      out->append(rep_->b ? "TRUE" : "FALSE");
+      return;
+    case Kind::kInt:
+      out->append(common::StrCat(rep_->i));
+      return;
+    case Kind::kString:
+      out->push_back('"');
+      out->append(rep_->s);
+      out->push_back('"');
+      return;
+    case Kind::kSeq: {
+      out->append("<<");
+      for (size_t i = 0; i < rep_->elems.size(); ++i) {
+        if (i > 0) out->append(", ");
+        rep_->elems[i].AppendTla(out);
+      }
+      out->append(">>");
+      return;
+    }
+    case Kind::kSet: {
+      out->push_back('{');
+      for (size_t i = 0; i < rep_->elems.size(); ++i) {
+        if (i > 0) out->append(", ");
+        rep_->elems[i].AppendTla(out);
+      }
+      out->push_back('}');
+      return;
+    }
+    case Kind::kRecord: {
+      out->push_back('[');
+      for (size_t i = 0; i < rep_->fields.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(rep_->fields[i].first);
+        out->append(" |-> ");
+        rep_->fields[i].second.AppendTla(out);
+      }
+      out->push_back(']');
+      return;
+    }
+  }
+}
+
+std::string Value::ToTla() const {
+  std::string out;
+  AppendTla(&out);
+  return out;
+}
+
+}  // namespace xmodel::tlax

@@ -1,0 +1,141 @@
+#ifndef XMODEL_TLAX_VALUE_H_
+#define XMODEL_TLAX_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xmodel::tlax {
+
+/// An immutable TLA+-style value: nil, boolean, integer, string, sequence
+/// (tuple), set, or record (function with string domain).
+///
+/// Values are cheap to copy (composite payloads are shared) and hash-consed
+/// at construction: every Value carries a precomputed 64-bit structural hash,
+/// so state fingerprinting during model checking is O(#variables), not
+/// O(state size).
+///
+/// Sets are normalized (sorted, deduplicated) and records have sorted field
+/// names, so structural equality coincides with semantic equality.
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNil = 0,
+    kBool,
+    kInt,
+    kString,
+    kSeq,
+    kSet,
+    kRecord,
+  };
+
+  using Fields = std::vector<std::pair<std::string, Value>>;
+
+  /// Constructs nil. Nil renders as "NULL" in TLA output (as in the paper's
+  /// Figure 4 trace tuples).
+  Value();
+
+  static Value Nil() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t i);
+  static Value Str(std::string s);
+  /// A sequence (TLA tuple) <<...>>.
+  static Value Seq(std::vector<Value> elements);
+  /// An empty sequence <<>>.
+  static Value EmptySeq() { return Seq({}); }
+  /// A set {...}; elements are sorted and deduplicated.
+  static Value SetOf(std::vector<Value> elements);
+  /// A record [k1 |-> v1, ...]; fields are sorted by name. Duplicate field
+  /// names are not allowed.
+  static Value Record(Fields fields);
+
+  Kind kind() const { return rep_->kind; }
+  bool is_nil() const { return kind() == Kind::kNil; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_seq() const { return kind() == Kind::kSeq; }
+  bool is_set() const { return kind() == Kind::kSet; }
+  bool is_record() const { return kind() == Kind::kRecord; }
+
+  bool bool_value() const;
+  int64_t int_value() const;
+  const std::string& string_value() const;
+  /// Elements of a sequence or set.
+  const std::vector<Value>& elements() const;
+  const Fields& fields() const;
+
+  /// Sequence/set length, record field count.
+  size_t size() const;
+
+  /// 0-based element access for sequences. (TLA+ is 1-based; the 1-based
+  /// accessor is `Index1`.)
+  const Value& at(size_t i) const;
+  /// 1-based element access matching TLA+ `seq[i]`.
+  const Value& Index1(size_t i) const { return at(i - 1); }
+
+  /// Record field lookup; nullptr when absent.
+  const Value* Field(std::string_view name) const;
+  /// Record field lookup; aborts when absent.
+  const Value& FieldOrDie(std::string_view name) const;
+
+  // -- Functional updates (all return new values) ---------------------------
+
+  /// TLA+ `[rec EXCEPT !.name = v]`. The field must already exist.
+  Value WithField(std::string_view name, Value v) const;
+  /// Appends to a sequence.
+  Value Append(Value v) const;
+  /// Concatenates two sequences (TLA+ `\o`).
+  Value Concat(const Value& other) const;
+  /// TLA+ SubSeq(seq, from, to) with 1-based inclusive bounds; empty when
+  /// from > to.
+  Value SubSeq(size_t from1, size_t to1) const;
+  /// Sequence with 1-based index `i` replaced by `v`.
+  Value WithIndex1(size_t i, Value v) const;
+  /// Set with `v` inserted.
+  Value SetInsert(Value v) const;
+  /// True for sets: membership test.
+  bool SetContains(const Value& v) const;
+
+  uint64_t hash() const { return rep_->hash; }
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order used for set normalization (kind-major, then content).
+  bool operator<(const Value& other) const;
+
+  /// Renders the value in TLA+ syntax: <<1, "a">>, [x |-> 2], {1, 2}, NULL.
+  std::string ToTla() const;
+
+  /// Three-way structural comparison: -1, 0, or 1.
+  static int Compare(const Value& a, const Value& b);
+
+ private:
+  struct Rep {
+    Kind kind = Kind::kNil;
+    bool b = false;
+    int64_t i = 0;
+    std::string s;
+    std::vector<Value> elems;
+    Fields fields;
+    uint64_t hash = 0;
+  };
+
+  explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  static uint64_t ComputeHash(const Rep& rep);
+  void AppendTla(std::string* out) const;
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Convenience builders used pervasively by specs.
+inline Value VInt(int64_t i) { return Value::Int(i); }
+inline Value VStr(std::string s) { return Value::Str(std::move(s)); }
+inline Value VBool(bool b) { return Value::Bool(b); }
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_VALUE_H_

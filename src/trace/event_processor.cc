@@ -1,0 +1,149 @@
+#include "trace/event_processor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "specs/raft_mongo_spec.h"
+
+namespace xmodel::trace {
+
+using common::Status;
+using common::StrCat;
+using specs::RaftMongoSpec;
+
+namespace {
+
+// Mutable per-node working state during processing.
+struct NodeView {
+  std::string role = "Follower";
+  int64_t term = 0;
+  std::pair<int64_t, int64_t> commit_point{0, 0};
+  std::vector<int64_t> oplog;
+  // Inferred initial-sync data-image prefix: entries the node holds as data
+  // but not as oplog history, so its trace events omit them. Prepended to
+  // every subsequent logged oplog from this node (the paper's solution 4).
+  std::vector<int64_t> image_prefix;
+};
+
+// True when `suffix` is a strict suffix of `full`.
+bool IsStrictSuffix(const std::vector<int64_t>& suffix,
+                    const std::vector<int64_t>& full) {
+  if (suffix.size() >= full.size()) return false;
+  return std::equal(suffix.begin(), suffix.end(),
+                    full.end() - static_cast<int64_t>(suffix.size()));
+}
+
+tlax::State ToSpecState(const std::vector<NodeView>& nodes) {
+  std::vector<std::string> roles;
+  std::vector<int64_t> terms;
+  std::vector<std::pair<int64_t, int64_t>> cps;
+  std::vector<std::vector<int64_t>> oplogs;
+  for (const NodeView& n : nodes) {
+    roles.push_back(n.role);
+    terms.push_back(n.term);
+    cps.push_back(n.commit_point);
+    oplogs.push_back(n.oplog);
+  }
+  return RaftMongoSpec::MakeState(roles, terms, cps, oplogs);
+}
+
+}  // namespace
+
+ProcessedTrace EventProcessor::Process(
+    const std::vector<TraceEvent>& events) const {
+  ProcessedTrace out;
+  std::vector<NodeView> nodes(options_.num_nodes);
+
+  // The known initial state: every node a Follower at term 0 with an empty
+  // oplog and no commit point.
+  out.states.push_back(ToSpecState(nodes));
+  out.actions.push_back("Init");
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.node_id < 0 || e.node_id >= options_.num_nodes) {
+      out.status = Status::InvalidArgument(
+          StrCat("event ", i, " names unknown node ", e.node_id));
+      return out;
+    }
+    NodeView& n = nodes[e.node_id];
+
+    // Unlogged variables (partial-state logging): keep the previous value.
+    if (!options_.fill_in_unlogged_variables &&
+        (!e.role.has_value() || !e.term.has_value() ||
+         !e.commit_point.has_value() || !e.oplog_terms.has_value())) {
+      out.status = Status::InvalidArgument(
+          StrCat("event ", i, " is partial but fill-in is disabled"));
+      return out;
+    }
+
+    // Figure 3 role rule: a Leader event demotes everyone else; the script
+    // assumes there are never two leaders at once.
+    if (e.role.has_value()) {
+      if (*e.role == "Leader") {
+        for (NodeView& other : nodes) other.role = "Follower";
+        n.role = "Leader";
+      } else {
+        n.role = *e.role;
+      }
+    }
+    if (e.term.has_value()) n.term = *e.term;
+    if (e.commit_point.has_value()) {
+      n.commit_point = {e.commit_point->term, e.commit_point->index};
+    }
+    if (e.oplog_terms.has_value()) {
+      const std::vector<int64_t>& logged = *e.oplog_terms;
+      if (options_.fill_in_missing_oplog_entries) {
+        // Initial-sync repair (the paper's solution 4): the implementation
+        // copies only recent entries, so an initial-synced node's events
+        // omit the data-image prefix for the rest of its life; the spec
+        // copies the whole log. Detect the resync on an AppendOplog event
+        // whose logged oplog is inconsistent with the node's repaired
+        // history but IS a strict suffix of another node's log; remember
+        // the inferred prefix and prepend it to this and all later events
+        // from the node.
+        std::vector<int64_t> repaired = n.image_prefix;
+        repaired.insert(repaired.end(), logged.begin(), logged.end());
+        // An AppendOplog event can only extend the log: a repaired log
+        // that is shorter than the node's previous log, or that disagrees
+        // on the shared prefix, signals a fresh initial sync.
+        bool consistent_with_history =
+            repaired.size() >= n.oplog.size() &&
+            std::equal(n.oplog.begin(), n.oplog.end(), repaired.begin());
+        // A second tell-tale: a "fresh" log that is not a prefix of any
+        // other node's log (so it cannot be a normal append of the first
+        // entries) but is a strict suffix of one.
+        bool is_prefix_of_some = logged.empty();
+        for (const NodeView& other : nodes) {
+          if (&other == &n || logged.size() > other.oplog.size()) continue;
+          if (std::equal(logged.begin(), logged.end(), other.oplog.begin())) {
+            is_prefix_of_some = true;
+            break;
+          }
+        }
+        if (e.action == "AppendOplog" &&
+            (!consistent_with_history || !is_prefix_of_some)) {
+          for (const NodeView& other : nodes) {
+            if (&other == &n) continue;
+            if (!logged.empty() && IsStrictSuffix(logged, other.oplog)) {
+              n.image_prefix.assign(other.oplog.begin(),
+                                    other.oplog.end() -
+                                        static_cast<int64_t>(logged.size()));
+              repaired = other.oplog;
+              break;
+            }
+          }
+        }
+        n.oplog = std::move(repaired);
+      } else {
+        n.oplog = logged;
+      }
+    }
+
+    out.states.push_back(ToSpecState(nodes));
+    out.actions.push_back(e.action);
+  }
+  return out;
+}
+
+}  // namespace xmodel::trace

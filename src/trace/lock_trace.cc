@@ -1,0 +1,124 @@
+#include "trace/lock_trace.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace xmodel::trace {
+
+using common::Result;
+using common::Status;
+using common::StrCat;
+using repl::LockEvent;
+using specs::LockingSpec;
+
+void LockTraceRecorder::Attach(repl::LockManager* manager) {
+  manager->SetEventObserver(
+      [this](const LockEvent& event) { events_.push_back(event); });
+}
+
+void LockTraceRecorder::Clear() { events_.clear(); }
+
+namespace {
+
+// Maps a LockManager resource onto the spec's 3-level chain (1-based).
+int ResourceLevelIndex(const repl::ResourceId& resource) {
+  switch (resource.level) {
+    case repl::ResourceLevel::kGlobal:
+      return 1;
+    case repl::ResourceLevel::kDatabase:
+      return 2;
+    case repl::ResourceLevel::kCollection:
+      return 3;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Result<std::vector<tlax::State>> LockTraceRecorder::StateSequence() const {
+  // holdings[level-1] = list of (spec ctx, mode name).
+  std::vector<std::vector<std::pair<int, std::string>>> holdings(
+      LockingSpec::kNumResources);
+  std::map<int64_t, int> ctx_names;  // opctx -> spec context id.
+  std::set<int> free_ids;
+  for (int i = 1; i <= num_spec_contexts_; ++i) free_ids.insert(i);
+
+  std::vector<tlax::State> states;
+  states.push_back(LockingSpec::MakeState(holdings));
+
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const LockEvent& e = events_[i];
+    int level = ResourceLevelIndex(e.resource);
+
+    auto named = ctx_names.find(e.opctx);
+    if (named == ctx_names.end()) {
+      if (e.type == LockEvent::Type::kRelease) {
+        return Status::Corruption(
+            StrCat("event ", i, ": release by unknown opctx ", e.opctx));
+      }
+      if (free_ids.empty()) {
+        return Status::ResourceExhausted(
+            StrCat("event ", i, ": more than ", num_spec_contexts_,
+                   " concurrently active operation contexts"));
+      }
+      named = ctx_names.emplace(e.opctx, *free_ids.begin()).first;
+      free_ids.erase(free_ids.begin());
+    }
+    int ctx = named->second;
+
+    auto& level_holdings = holdings[level - 1];
+    if (e.type == LockEvent::Type::kAcquire) {
+      level_holdings.emplace_back(ctx, repl::LockModeName(e.mode));
+    } else {
+      bool found = false;
+      for (auto it = level_holdings.begin(); it != level_holdings.end();
+           ++it) {
+        if (it->first == ctx) {
+          level_holdings.erase(it);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Corruption(
+            StrCat("event ", i, ": release of unheld lock at level ", level));
+      }
+      // Free the spec context id once the opctx holds nothing anywhere.
+      bool holds_any = false;
+      for (const auto& level_list : holdings) {
+        for (const auto& [holder, mode] : level_list) {
+          if (holder == ctx) holds_any = true;
+        }
+      }
+      if (!holds_any) {
+        ctx_names.erase(e.opctx);
+        free_ids.insert(ctx);
+      }
+    }
+    states.push_back(LockingSpec::MakeState(holdings));
+  }
+  return states;
+}
+
+tlax::TraceCheckResult LockTraceRecorder::Check() const {
+  tlax::TraceCheckResult result;
+  Result<std::vector<tlax::State>> states = StateSequence();
+  if (!states.ok()) {
+    result.status = states.status();
+    return result;
+  }
+  std::vector<tlax::TraceState> trace;
+  trace.reserve(states->size());
+  for (const tlax::State& s : *states) {
+    tlax::TraceState t;
+    t.vars.emplace_back(s.var(LockingSpec::kHeld));
+    trace.push_back(std::move(t));
+  }
+  specs::LockingConfig config;
+  config.num_contexts = num_spec_contexts_;
+  specs::LockingSpec spec(config);
+  return tlax::TraceChecker().Check(spec, trace);
+}
+
+}  // namespace xmodel::trace

@@ -1,0 +1,49 @@
+#ifndef XMODEL_TRACE_LOCK_TRACE_H_
+#define XMODEL_TRACE_LOCK_TRACE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "repl/lock_manager.h"
+#include "specs/locking_spec.h"
+#include "tlax/trace_check.h"
+
+namespace xmodel::trace {
+
+/// MBTC glue for the SECOND specification (experiment E8, §4.2.5): records
+/// lock-manager acquire/release events and reconstructs the state sequence
+/// the Locking spec describes.
+///
+/// Note how little of the RaftMongo pipeline is reusable here — different
+/// events, different state reconstruction, different spec — which is the
+/// paper's argument that the marginal cost of trace-checking an additional
+/// specification stays close to the cost of the first.
+class LockTraceRecorder {
+ public:
+  explicit LockTraceRecorder(int num_spec_contexts = 2)
+      : num_spec_contexts_(num_spec_contexts) {}
+
+  /// Attaches to a lock manager (replacing any previous observer).
+  void Attach(repl::LockManager* manager);
+
+  const std::vector<repl::LockEvent>& events() const { return events_; }
+  void Clear();
+
+  /// Rebuilds the state sequence: one Locking-spec state per event,
+  /// preceded by the empty initial state. Operation contexts are renamed
+  /// onto the spec's small context ids as they appear; fails when more
+  /// than `num_spec_contexts` are ever active at once.
+  common::Result<std::vector<tlax::State>> StateSequence() const;
+
+  /// Runs the trace check against a LockingSpec with matching contexts.
+  tlax::TraceCheckResult Check() const;
+
+ private:
+  int num_spec_contexts_;
+  std::vector<repl::LockEvent> events_;
+};
+
+}  // namespace xmodel::trace
+
+#endif  // XMODEL_TRACE_LOCK_TRACE_H_

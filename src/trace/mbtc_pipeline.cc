@@ -1,0 +1,47 @@
+#include "trace/mbtc_pipeline.h"
+
+#include "tlax/tla_text.h"
+
+namespace xmodel::trace {
+
+std::vector<tlax::TraceState> MbtcPipeline::ToTraceStates(
+    const std::vector<tlax::State>& states) {
+  std::vector<tlax::TraceState> out;
+  out.reserve(states.size());
+  for (const tlax::State& s : states) {
+    out.push_back(specs::RaftMongoSpec::ToObservableTraceState(s));
+  }
+  return out;
+}
+
+MbtcReport MbtcPipeline::Run(
+    const std::vector<std::vector<std::string>>& log_files) const {
+  MbtcReport report;
+
+  auto merged = MergeLogs(log_files);
+  if (!merged.ok()) {
+    report.status = merged.status();
+    return report;
+  }
+  report.num_events = merged->size();
+
+  EventProcessor processor(options_.processor);
+  ProcessedTrace processed = processor.Process(*merged);
+  if (!processed.ok()) {
+    report.status = processed.status;
+    return report;
+  }
+  report.num_states = processed.states.size();
+
+  std::vector<tlax::TraceState> trace = ToTraceStates(processed.states);
+  if (options_.emit_trace_module) {
+    report.trace_module =
+        tlax::TraceModuleText("Trace", spec_->variables(), trace);
+  }
+
+  tlax::TraceChecker checker(options_.checker);
+  report.check = checker.Check(*spec_, trace);
+  return report;
+}
+
+}  // namespace xmodel::trace

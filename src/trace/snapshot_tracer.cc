@@ -1,0 +1,40 @@
+#include "trace/snapshot_tracer.h"
+
+namespace xmodel::trace {
+
+void SnapshotTracer::Capture() {
+  std::vector<std::string> roles;
+  std::vector<int64_t> terms;
+  std::vector<std::pair<int64_t, int64_t>> commit_points;
+  std::vector<std::vector<int64_t>> oplogs;
+  for (int n = 0; n < rs_->num_nodes(); ++n) {
+    const repl::Node& node = rs_->node(n);
+    // A snapshot sees the node's durable state directly — including the
+    // initial-sync data image the event-based tracer cannot observe, which
+    // is exactly why §6 expects snapshotting to be simpler.
+    roles.push_back(repl::RoleName(node.role()));
+    terms.push_back(node.term());
+    commit_points.emplace_back(node.commit_point().term,
+                               node.commit_point().index);
+    oplogs.push_back(node.oplog().Terms());
+  }
+  tlax::State state = specs::RaftMongoSpec::MakeState(roles, terms,
+                                                      commit_points, oplogs);
+  if (!snapshots_.empty() && snapshots_.back() == state) return;
+  snapshots_.push_back(std::move(state));
+}
+
+tlax::TraceCheckResult SnapshotTracer::Check(
+    const specs::RaftMongoSpec& spec, int max_hidden_steps) const {
+  std::vector<tlax::TraceState> trace;
+  trace.reserve(snapshots_.size());
+  for (const tlax::State& s : snapshots_) {
+    trace.push_back(specs::RaftMongoSpec::ToObservableTraceState(s));
+  }
+  tlax::TraceCheckOptions options;
+  options.allow_stuttering = true;
+  options.max_hidden_steps = max_hidden_steps;
+  return tlax::TraceChecker(options).Check(spec, trace);
+}
+
+}  // namespace xmodel::trace

@@ -1,0 +1,113 @@
+#include "trace/trace_event.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace xmodel::trace {
+
+using common::Json;
+using common::Result;
+using common::Status;
+using common::StrCat;
+
+std::string TraceEvent::ToJsonLine() const {
+  Json obj = Json::MakeObject();
+  obj.Set("t", Json::Int(timestamp_ms));
+  obj.Set("node", Json::Int(node_id));
+  obj.Set("action", Json::Str(action));
+  if (role.has_value()) obj.Set("role", Json::Str(*role));
+  if (term.has_value()) obj.Set("term", Json::Int(*term));
+  if (commit_point.has_value()) {
+    if (commit_point->IsNull()) {
+      obj.Set("commitPoint", Json::Null());
+    } else {
+      Json cp = Json::MakeObject();
+      cp.Set("term", Json::Int(commit_point->term));
+      cp.Set("index", Json::Int(commit_point->index));
+      obj.Set("commitPoint", std::move(cp));
+    }
+  }
+  if (oplog_terms.has_value()) {
+    Json arr = Json::MakeArray();
+    for (int64_t t : *oplog_terms) arr.Append(Json::Int(t));
+    obj.Set("oplog", std::move(arr));
+  }
+  if (oplog_from_stale_snapshot) obj.Set("stale", Json::Bool(true));
+  return obj.Dump();
+}
+
+Result<TraceEvent> TraceEvent::FromJsonLine(const std::string& line) {
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) return parsed.status();
+  const Json& obj = *parsed;
+  if (!obj.is_object()) return Status::Corruption("log line is not an object");
+
+  TraceEvent event;
+  const Json* t = obj.Find("t");
+  const Json* node = obj.Find("node");
+  const Json* action = obj.Find("action");
+  if (t == nullptr || node == nullptr || action == nullptr) {
+    return Status::Corruption("log line missing t/node/action");
+  }
+  event.timestamp_ms = t->int_value();
+  event.node_id = static_cast<int>(node->int_value());
+  event.action = action->string_value();
+
+  if (const Json* role = obj.Find("role")) {
+    event.role = role->string_value();
+  }
+  if (const Json* term = obj.Find("term")) {
+    event.term = term->int_value();
+  }
+  if (const Json* cp = obj.Find("commitPoint")) {
+    if (cp->is_null()) {
+      event.commit_point = repl::OpTime{};
+    } else {
+      const Json* cp_term = cp->Find("term");
+      const Json* cp_index = cp->Find("index");
+      if (cp_term == nullptr || cp_index == nullptr) {
+        return Status::Corruption("malformed commitPoint");
+      }
+      event.commit_point =
+          repl::OpTime{cp_term->int_value(), cp_index->int_value()};
+    }
+  }
+  if (const Json* oplog = obj.Find("oplog")) {
+    if (!oplog->is_array()) return Status::Corruption("malformed oplog");
+    std::vector<int64_t> terms;
+    for (const Json& entry : oplog->array()) terms.push_back(entry.int_value());
+    event.oplog_terms = std::move(terms);
+  }
+  if (const Json* stale = obj.Find("stale")) {
+    event.oplog_from_stale_snapshot = stale->bool_value();
+  }
+  return event;
+}
+
+Result<std::vector<TraceEvent>> MergeLogs(
+    const std::vector<std::vector<std::string>>& per_node_log_lines) {
+  std::vector<TraceEvent> events;
+  for (const auto& log : per_node_log_lines) {
+    for (const std::string& line : log) {
+      Result<TraceEvent> event = TraceEvent::FromJsonLine(line);
+      if (!event.ok()) return event.status();
+      events.push_back(std::move(*event));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.timestamp_ms < b.timestamp_ms;
+                   });
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].timestamp_ms == events[i - 1].timestamp_ms) {
+      return Status::Corruption(
+          StrCat("duplicate timestamp ", events[i].timestamp_ms,
+                 " — events cannot be totally ordered"));
+    }
+  }
+  return events;
+}
+
+}  // namespace xmodel::trace

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace xmodel::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad index");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad index");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(true, false), "truefalse");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n "), "");
+  EXPECT_EQ(StripWhitespace("ab"), "ab");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(HashTest, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, MixAndCombineSpreadBits) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(Mix64(0), Mix64(1));
+}
+
+TEST(JsonTest, ScalarRoundTrip) {
+  EXPECT_EQ(Json::Int(42).Dump(), "42");
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Null().Dump(), "null");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(Json::Str("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::MakeObject();
+  obj.Set("z", Json::Int(1));
+  obj.Set("a", Json::Int(2));
+  EXPECT_EQ(obj.Dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonTest, SetReplacesExistingKey) {
+  Json obj = Json::MakeObject();
+  obj.Set("k", Json::Int(1));
+  obj.Set("k", Json::Int(9));
+  EXPECT_EQ(obj.Dump(), "{\"k\":9}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":[true,null,"x"],"c":{"d":-5},"e":2.5})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto parsed = Json::Parse(R"("Aé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("12 34").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("trve").ok());
+}
+
+TEST(JsonTest, FindMember) {
+  auto parsed = Json::Parse(R"({"x":7})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("x"), nullptr);
+  EXPECT_EQ(parsed->Find("x")->int_value(), 7);
+  EXPECT_EQ(parsed->Find("y"), nullptr);
+}
+
+TEST(JsonTest, Equality) {
+  auto a = Json::Parse(R"({"x":[1,2]})");
+  auto b = Json::Parse(R"({ "x" : [ 1 , 2 ] })");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+}  // namespace
+}  // namespace xmodel::common
+
+namespace xmodel::common {
+namespace {
+
+// Random JSON generator for round-trip property testing.
+Json RandomJson(Rng* rng, int depth) {
+  switch (rng->Below(depth > 0 ? 6 : 4)) {
+    case 0:
+      return Json::Null();
+    case 1:
+      return Json::Bool(rng->Chance(50));
+    case 2:
+      return Json::Int(rng->Range(-100000, 100000));
+    case 3: {
+      std::string s;
+      size_t len = rng->Below(8);
+      for (size_t i = 0; i < len; ++i) {
+        // Mix printable chars with escapes.
+        const char* alphabet = "ab\"\\\n\tz 0";
+        s.push_back(alphabet[rng->Below(9)]);
+      }
+      return Json::Str(std::move(s));
+    }
+    case 4: {
+      Json arr = Json::MakeArray();
+      size_t len = rng->Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        arr.Append(RandomJson(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      Json obj = Json::MakeObject();
+      size_t len = rng->Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        obj.Set(StrCat("k", i), RandomJson(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonPropertyTest, DumpParseRoundTrips) {
+  Rng rng(20260708);
+  for (int i = 0; i < 2000; ++i) {
+    Json value = RandomJson(&rng, 3);
+    auto parsed = Json::Parse(value.Dump());
+    ASSERT_TRUE(parsed.ok()) << value.Dump() << ": "
+                             << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == value) << value.Dump();
+  }
+}
+
+TEST(JsonPropertyTest, GarbagePrefixesRejectedOrConsistent) {
+  // Parsing any PREFIX of a valid document either fails cleanly or (for a
+  // prefix that happens to be complete) succeeds; it must never crash.
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    std::string text = RandomJson(&rng, 3).Dump();
+    for (size_t cut = 0; cut < text.size(); ++cut) {
+      auto parsed = Json::Parse(text.substr(0, cut));
+      if (parsed.ok()) {
+        EXPECT_EQ(parsed->Dump(), text.substr(0, cut));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmodel::common

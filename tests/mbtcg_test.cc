@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fuzz/transform_fuzzer.h"
+#include "ot/fixture.h"
+#include "ot/handwritten_cases.h"
+#include "mbtcg/generator.h"
+#include "ot/coverage.h"
+#include "otgo/go_merge.h"
+#include "specs/array_ot_spec.h"
+#include "tlax/checker.h"
+
+namespace xmodel::mbtcg {
+namespace {
+
+using specs::ArrayOtConfig;
+using specs::ArrayOtSpec;
+
+TEST(ArrayOtSpecTest, SeventeenOperationMenu) {
+  // 3 Set + 4 Insert + 6 Move + 3 Erase + 1 Clear = 17 (the paper's
+  // enumeration that yields 17^3 = 4,913 cases).
+  EXPECT_EQ(ArrayOtSpec::EnumerateOps(3, 1, false).size(), 17u);
+  // With the deprecated swap: + C(3,2) = 3 swaps.
+  EXPECT_EQ(ArrayOtSpec::EnumerateOps(3, 1, true).size(), 20u);
+}
+
+TEST(ArrayOtSpecTest, ModelChecksClean) {
+  ArrayOtSpec spec(ArrayOtConfig{});
+  auto result = tlax::ModelChecker().Check(spec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.violation.has_value())
+      << result.violation->kind;
+  EXPECT_EQ(result.distinct_states, 29785u);  // 1+17+17^2+17^3+5*17^3.
+}
+
+TEST(ArrayOtSpecTest, SwapMoveBugFoundByModelChecker) {
+  // §5.1.3: TLC encountered a StackOverflowError caused by the swap/move
+  // merge never terminating; our checker reports the transcribed bug as a
+  // MergeTerminates violation with a minimal trace.
+  ArrayOtConfig config;
+  config.include_swap = true;
+  config.swap_move_bug = true;
+  ArrayOtSpec spec(config);
+  auto result = tlax::ModelChecker().Check(spec);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->kind, "MergeTerminates");
+}
+
+TEST(ArrayOtSpecTest, SwapWithFixedRulesChecksClean) {
+  ArrayOtConfig config;
+  config.include_swap = true;
+  ArrayOtSpec spec(config);
+  auto result = tlax::ModelChecker().Check(spec);
+  EXPECT_FALSE(result.violation.has_value());
+}
+
+TEST(ArrayOtSpecTest, TranscriptionErrorCaught) {
+  // §5.1.1: "the TLC model checker was readily able to catch human
+  // transcription errors as safety violations."
+  ArrayOtConfig config;
+  config.inject_transcription_error = true;
+  ArrayOtSpec spec(config);
+  auto result = tlax::ModelChecker().Check(spec);
+  ASSERT_TRUE(result.violation.has_value());
+}
+
+TEST(DotParserTest, RoundTripsSpecGraph) {
+  ArrayOtConfig config;
+  config.initial_array_len = 1;  // Tiny config for a fast test.
+  config.num_clients = 2;
+  ArrayOtSpec spec(config);
+  tlax::CheckerOptions options;
+  options.record_graph = true;
+  auto checked = tlax::ModelChecker(options).Check(spec);
+  ASSERT_TRUE(checked.status.ok());
+
+  std::string dot = checked.graph->ToDot(spec.variables());
+  auto graph = ParseDot(dot);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->nodes.size(), checked.graph->num_states());
+  EXPECT_EQ(graph->edges.size(), checked.graph->num_edges());
+  ASSERT_EQ(graph->initial.size(), 1u);
+  // Node labels parse back into the spec's variables.
+  const DotGraph::Node& root = graph->nodes.at(graph->initial.front());
+  EXPECT_EQ(root.vars.count("serverState"), 1u);
+  EXPECT_EQ(root.vars.count("err"), 1u);
+}
+
+TEST(DotParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDot("").ok());
+  EXPECT_FALSE(ParseDot("digraph G {\n  what is this\n}").ok());
+}
+
+TEST(GeneratorTest, ProducesExactly4913Cases) {
+  // The paper's headline number: "the Golang program generated 4,913 C++
+  // test cases" for 3 clients, one op each, 3-element initial array.
+  std::vector<TestCase> cases;
+  GenerationReport report = GenerateTestCases(ArrayOtConfig{}, &cases);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(cases.size(), 4913u);
+  EXPECT_EQ(report.num_cases, 4913u);
+  EXPECT_GT(report.dot_bytes, 0u);
+
+  // Every case is well-formed.
+  for (const TestCase& c : cases) {
+    EXPECT_EQ(c.initial, (ot::Array{1, 2, 3}));
+    EXPECT_EQ(c.client_ops.size(), 3u);
+    EXPECT_EQ(c.applied_ops.size(), 3u);
+  }
+  // Case ids are unique.
+  std::vector<uint64_t> ids;
+  for (const TestCase& c : cases) ids.push_back(c.case_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(GeneratorTest, AllCasesPassOnBothImplementations) {
+  std::vector<TestCase> cases;
+  ASSERT_TRUE(GenerateTestCases(ArrayOtConfig{}, &cases).status.ok());
+
+  RunReport cpp_run = RunTestCases(cases);
+  EXPECT_EQ(cpp_run.passed, cases.size())
+      << (cpp_run.failures.empty() ? "" : cpp_run.failures.front());
+
+  otgo::GoMergeEngine go;
+  RunReport go_run = RunTestCases(cases, &go);
+  EXPECT_EQ(go_run.passed, cases.size())
+      << (go_run.failures.empty() ? "" : go_run.failures.front());
+}
+
+TEST(GeneratorTest, DescendingScheduleAlsoPasses) {
+  ArrayOtConfig config;
+  config.merge_descending = true;
+  std::vector<TestCase> cases;
+  ASSERT_TRUE(GenerateTestCases(config, &cases).status.ok());
+  EXPECT_EQ(cases.size(), 4913u);
+  RunReport run = RunTestCases(cases);
+  EXPECT_EQ(run.passed, cases.size())
+      << (run.failures.empty() ? "" : run.failures.front());
+}
+
+TEST(GeneratorTest, GeneratedFileShape) {
+  std::vector<TestCase> cases;
+  ASSERT_TRUE(GenerateTestCases(ArrayOtConfig{}, &cases).status.ok());
+  std::string file = GenerateCppTestFile(cases, /*max_cases=*/3);
+  EXPECT_NE(file.find("TEST(Transform, Node__"), std::string::npos);
+  EXPECT_NE(file.find("TransformArrayFixture fixture{3, {1, 2, 3}}"),
+            std::string::npos);
+  EXPECT_NE(file.find("fixture.sync_all_clients();"), std::string::npos);
+  EXPECT_NE(file.find("fixture.check_array("), std::string::npos);
+  EXPECT_NE(file.find("fixture.check_ops(0, {"), std::string::npos);
+  // Exactly three tests were emitted.
+  size_t count = 0, pos = 0;
+  while ((pos = file.find("TEST(", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(GeneratorTest, DetectsImplementationDivergence) {
+  // Sabotage a generated expectation: the runner must notice.
+  std::vector<TestCase> cases;
+  ASSERT_TRUE(GenerateTestCases(ArrayOtConfig{}, &cases).status.ok());
+  ASSERT_FALSE(cases.empty());
+  cases.resize(10);
+  cases[3].final_array.push_back(12345);
+  RunReport run = RunTestCases(cases);
+  EXPECT_EQ(run.passed, 9u);
+  ASSERT_EQ(run.failures.size(), 1u);
+}
+
+TEST(FuzzerTest, ConvergesOverRandomWorkloads) {
+  fuzz::FuzzOptions options;
+  options.iterations = 2000;
+  options.include_swap = true;
+  ot::CoverageRegistry::Instance().Reset();
+  fuzz::FuzzReport report = fuzz::RunTransformFuzzer(options);
+  EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                   ? ""
+                                   : report.failures.front());
+  EXPECT_EQ(report.executions, 2000u);
+  EXPECT_GT(report.branches_covered, 20u);
+}
+
+TEST(FuzzerTest, DeterministicPerSeed) {
+  fuzz::FuzzOptions options;
+  options.iterations = 500;
+  ot::CoverageRegistry::Instance().Reset();
+  fuzz::FuzzReport a = fuzz::RunTransformFuzzer(options);
+  ot::CoverageRegistry::Instance().Reset();
+  fuzz::FuzzReport b = fuzz::RunTransformFuzzer(options);
+  EXPECT_EQ(a.branches_covered, b.branches_covered);
+}
+
+TEST(CoverageOrderingTest, HandwrittenBelowFuzzerBelowGenerated) {
+  // Experiment E7's ordering (paper: 21% < 92% < 100%).
+  auto& registry = ot::CoverageRegistry::Instance();
+
+  registry.Reset();
+  for (const ot::HandwrittenCase& c : ot::HandwrittenCases()) {
+    ot::TransformArrayFixture fixture(static_cast<int>(c.client_ops.size()),
+                                      c.initial);
+    for (size_t i = 0; i < c.client_ops.size(); ++i) {
+      fixture.transaction(static_cast<int>(i), c.client_ops[i]);
+    }
+    fixture.sync_all_clients();
+  }
+  size_t handwritten = registry.covered_branches();
+
+  registry.Reset();
+  fuzz::FuzzOptions options;
+  options.iterations = 20000;
+  options.include_swap = true;
+  fuzz::RunTransformFuzzer(options);
+  size_t fuzzed = registry.covered_branches();
+
+  registry.Reset();
+  size_t generated_total = 0;
+  for (bool descending : {false, true}) {
+    ArrayOtConfig config;
+    config.include_swap = true;
+    config.merge_descending = descending;
+    std::vector<TestCase> cases;
+    ASSERT_TRUE(GenerateTestCases(config, &cases).status.ok());
+    RunReport run = RunTestCases(cases);
+    generated_total += run.passed;
+    EXPECT_EQ(run.passed, run.total);
+  }
+  size_t generated = registry.covered_branches();
+
+  EXPECT_LT(handwritten, fuzzed);
+  EXPECT_LT(fuzzed, generated);
+  EXPECT_EQ(generated, registry.total_branches());  // 100%.
+  EXPECT_EQ(generated_total, 2u * 8000u);
+}
+
+}  // namespace
+}  // namespace xmodel::mbtcg

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ot/db_sync.h"
+
+namespace xmodel::ot {
+namespace {
+
+using DbOp = DbOperation;
+
+Db SeedDb() {
+  Db db;
+  DbOp::CreateTable("tasks").Apply(&db).ok();
+  DbOp::CreateObject("tasks", 1).Apply(&db).ok();
+  DbOp::SetField("tasks", 1, "done", 0).Apply(&db).ok();
+  DbOp::CreateList("tasks", 1, "tags").Apply(&db).ok();
+  DbOp::ArrayOp("tasks", 1, "tags", Operation::Insert(0, 1)).Apply(&db).ok();
+  DbOp::ArrayOp("tasks", 1, "tags", Operation::Insert(1, 2)).Apply(&db).ok();
+  return db;
+}
+
+TEST(DbSyncTest, OfflineEditsConverge) {
+  DbSyncSystem sync(SeedDb(), 3);
+  ASSERT_TRUE(
+      sync.ClientApply(0, DbOp::SetField("tasks", 1, "done", 1).At(0, 1))
+          .ok());
+  ASSERT_TRUE(sync.ClientApply(1, DbOp::ArrayOp("tasks", 1, "tags",
+                                                Operation::Erase(0))
+                                      .At(0, 2))
+                  .ok());
+  ASSERT_TRUE(sync.ClientApply(2, DbOp::CreateObject("tasks", 2).At(0, 3))
+                  .ok());
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_TRUE(sync.AllConsistent());
+  const Db& final_db = sync.server_state();
+  EXPECT_EQ(final_db.tables.at("tasks").objects.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(
+                final_db.tables.at("tasks").objects.at(1).fields.at("done")),
+            1);
+  EXPECT_EQ(std::get<Array>(
+                final_db.tables.at("tasks").objects.at(1).fields.at("tags")),
+            (Array{2}));
+}
+
+TEST(DbSyncTest, DeletionShadowsConcurrentEdits) {
+  DbSyncSystem sync(SeedDb(), 2);
+  ASSERT_TRUE(sync.ClientApply(0, DbOp::EraseObject("tasks", 1).At(0, 1))
+                  .ok());
+  ASSERT_TRUE(
+      sync.ClientApply(1, DbOp::SetField("tasks", 1, "done", 1).At(0, 2))
+          .ok());
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_TRUE(sync.AllConsistent());
+  EXPECT_EQ(sync.server_state().tables.at("tasks").objects.count(1), 0u);
+}
+
+TEST(DbSyncTest, CountersCommute) {
+  DbSyncSystem sync(SeedDb(), 3);
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(
+        sync.ClientApply(
+                c, DbOp::AddInteger("tasks", 1, "hits", c + 1).At(0, c + 1))
+            .ok());
+  }
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_TRUE(sync.AllConsistent());
+  EXPECT_EQ(std::get<int64_t>(sync.server_state()
+                                  .tables.at("tasks")
+                                  .objects.at(1)
+                                  .fields.at("hits")),
+            6);  // 1 + 2 + 3: increments merge without loss.
+}
+
+TEST(DbSyncTest, ScalarConflictLastWriteWins) {
+  DbSyncSystem sync(SeedDb(), 2);
+  ASSERT_TRUE(
+      sync.ClientApply(0, DbOp::SetField("tasks", 1, "done", 7).At(5, 1))
+          .ok());
+  ASSERT_TRUE(
+      sync.ClientApply(1, DbOp::SetField("tasks", 1, "done", 9).At(3, 2))
+          .ok());
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_TRUE(sync.AllConsistent());
+  // Client 0's write has the newer timestamp.
+  EXPECT_EQ(std::get<int64_t>(sync.server_state()
+                                  .tables.at("tasks")
+                                  .objects.at(1)
+                                  .fields.at("done")),
+            7);
+}
+
+TEST(DbSyncTest, RandomizedConvergence) {
+  common::Rng rng(77);
+  for (int trial = 0; trial < 400; ++trial) {
+    DbSyncSystem sync(SeedDb(), 3);
+    for (int c = 0; c < 3; ++c) {
+      int ops = 1 + static_cast<int>(rng.Below(3));
+      for (int k = 0; k < ops; ++k) {
+        DbOp op = DbOp::CreateTable("x");
+        switch (rng.Below(8)) {
+          case 0:
+            op = DbOp::SetField("tasks", 1, "done", rng.Below(10));
+            break;
+          case 1:
+            op = DbOp::AddInteger("tasks", 1, "hits", rng.Range(-3, 3));
+            break;
+          case 2:
+            op = DbOp::CreateObject("tasks", rng.Below(4));
+            break;
+          case 3:
+            op = DbOp::EraseObject("tasks", rng.Below(4));
+            break;
+          case 4: {
+            const Db& state = sync.client_state(c);
+            auto it = state.tables.at("tasks").objects.find(1);
+            int64_t len = 0;
+            if (it != state.tables.at("tasks").objects.end()) {
+              auto field = it->second.fields.find("tags");
+              if (field != it->second.fields.end()) {
+                if (auto* arr = std::get_if<Array>(&field->second)) {
+                  len = static_cast<int64_t>(arr->size());
+                }
+              }
+            }
+            op = DbOp::ArrayOp("tasks", 1, "tags",
+                               Operation::Insert(rng.Below(len + 1),
+                                                 rng.Below(50)));
+            break;
+          }
+          case 5:
+            op = DbOp::LinkObject("tasks", 1, "owner", rng.Below(4));
+            break;
+          case 6:
+            op = DbOp::EraseField("tasks", 1, "done");
+            break;
+          default:
+            op = DbOp::ClearObject("tasks", 1);
+            break;
+        }
+        sync.ClientApply(c, op.At(rng.Below(4), c + 1)).ok();
+      }
+    }
+    ASSERT_TRUE(sync.SyncAll().ok()) << "trial " << trial;
+    EXPECT_TRUE(sync.AllConsistent()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace xmodel::ot

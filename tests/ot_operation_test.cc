@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "ot/operation.h"
+
+namespace xmodel::ot {
+namespace {
+
+TEST(OperationTest, ApplySet) {
+  Array a = {1, 2, 3};
+  EXPECT_TRUE(Operation::Set(1, 9).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{1, 9, 3}));
+  EXPECT_FALSE(Operation::Set(3, 9).Apply(&a).ok());
+  EXPECT_FALSE(Operation::Set(-1, 9).Apply(&a).ok());
+}
+
+TEST(OperationTest, ApplyInsert) {
+  Array a = {1, 2};
+  EXPECT_TRUE(Operation::Insert(0, 9).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{9, 1, 2}));
+  EXPECT_TRUE(Operation::Insert(3, 8).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{9, 1, 2, 8}));
+  EXPECT_FALSE(Operation::Insert(9, 7).Apply(&a).ok());
+}
+
+TEST(OperationTest, ApplyMove) {
+  Array a = {1, 2, 3};
+  EXPECT_TRUE(Operation::Move(0, 2).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{2, 3, 1}));
+  EXPECT_TRUE(Operation::Move(2, 0).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{1, 2, 3}));
+  EXPECT_TRUE(Operation::Move(1, 1).Apply(&a).ok());  // No-op move.
+  EXPECT_EQ(a, (Array{1, 2, 3}));
+  EXPECT_FALSE(Operation::Move(0, 3).Apply(&a).ok());
+}
+
+TEST(OperationTest, ApplySwapEraseClear) {
+  Array a = {1, 2, 3};
+  EXPECT_TRUE(Operation::Swap(0, 2).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{3, 2, 1}));
+  EXPECT_TRUE(Operation::Erase(1).Apply(&a).ok());
+  EXPECT_EQ(a, (Array{3, 1}));
+  EXPECT_TRUE(Operation::Clear().Apply(&a).ok());
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(Operation::Erase(0).Apply(&a).ok());
+  EXPECT_TRUE(Operation::Clear().Apply(&a).ok());  // Clear of empty is fine.
+}
+
+TEST(OperationTest, LastWriteWins) {
+  Operation a = Operation::Set(0, 1).At(5, 1);
+  Operation b = Operation::Set(0, 2).At(4, 9);
+  EXPECT_TRUE(WinsOver(a, b));   // Newer timestamp.
+  EXPECT_FALSE(WinsOver(b, a));
+  Operation c = Operation::Set(0, 3).At(5, 2);
+  EXPECT_TRUE(WinsOver(c, a));   // Same timestamp, higher client id.
+  EXPECT_FALSE(WinsOver(a, a));  // Irreflexive.
+}
+
+TEST(OperationTest, EqualityAndEffect) {
+  Operation a = Operation::Set(0, 1).At(1, 2);
+  Operation b = Operation::Set(0, 1).At(3, 4);
+  EXPECT_FALSE(a == b);          // Metadata differs.
+  EXPECT_TRUE(a.SameEffect(b));  // Effect does not.
+  EXPECT_FALSE(a.SameEffect(Operation::Set(1, 1)));
+}
+
+TEST(OperationTest, ToStringForms) {
+  EXPECT_EQ(Operation::Set(2, 4).ToString(), "ArraySet{2, 4}");
+  EXPECT_EQ(Operation::Insert(0, 7).ToString(), "ArrayInsert{0, 7}");
+  EXPECT_EQ(Operation::Move(1, 3).ToString(), "ArrayMove{1 -> 3}");
+  EXPECT_EQ(Operation::Swap(0, 2).ToString(), "ArraySwap{0, 2}");
+  EXPECT_EQ(Operation::Erase(5).ToString(), "ArrayErase{5}");
+  EXPECT_EQ(Operation::Clear().ToString(), "ArrayClear{}");
+}
+
+TEST(OperationTest, ApplyAllStopsOnError) {
+  Array a = {1};
+  OpList ops = {Operation::Erase(0), Operation::Erase(0)};
+  EXPECT_FALSE(ApplyAll(ops, &a).ok());
+  EXPECT_TRUE(a.empty());  // First op applied.
+}
+
+}  // namespace
+}  // namespace xmodel::ot

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "ot/fixture.h"
+#include "ot/handwritten_cases.h"
+#include "ot/sync.h"
+#include "otgo/go_merge.h"
+
+namespace xmodel::ot {
+namespace {
+
+TEST(SyncSystemTest, OfflineEditsConverge) {
+  SyncSystem sync({1, 2, 3}, 2);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Set(0, 9).At(0, 1)).ok());
+  ASSERT_TRUE(sync.ClientApply(1, Operation::Erase(2).At(0, 2)).ok());
+  EXPECT_EQ(sync.client_state(0), (Array{9, 2, 3}));
+  EXPECT_EQ(sync.client_state(1), (Array{1, 2}));
+  EXPECT_EQ(sync.server_state(), (Array{1, 2, 3}));
+
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_TRUE(sync.AllConsistent());
+  EXPECT_EQ(sync.server_state(), (Array{9, 2}));
+}
+
+TEST(SyncSystemTest, ClientMatchesServerAfterEachMerge) {
+  SyncSystem sync({1, 2}, 3);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Insert(0, 7).At(0, 1)).ok());
+  ASSERT_TRUE(sync.ClientApply(1, Operation::Erase(1).At(0, 2)).ok());
+  ASSERT_TRUE(sync.ClientApply(2, Operation::Set(0, 5).At(0, 3)).ok());
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(sync.SyncClient(c).ok());
+    // The merge leaves the client exactly at the server's state.
+    EXPECT_EQ(sync.client_state(c), sync.server_state()) << "client " << c;
+  }
+}
+
+TEST(SyncSystemTest, UploadWithoutDownload) {
+  // Full-duplex property (§2.2): a client uploads without needing new
+  // server changes, and vice versa.
+  SyncSystem sync({1}, 2);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Insert(1, 4).At(0, 1)).ok());
+  ASSERT_TRUE(sync.SyncClient(0).ok());
+  EXPECT_EQ(sync.server_state(), (Array{1, 4}));
+  // Client 1 downloads.
+  ASSERT_TRUE(sync.SyncClient(1).ok());
+  EXPECT_EQ(sync.client_state(1), (Array{1, 4}));
+  EXPECT_TRUE(sync.AllConsistent());
+}
+
+TEST(SyncSystemTest, ProgressTracksVersions) {
+  SyncSystem sync({1}, 2);
+  EXPECT_EQ(sync.progress(0).server_version, 0);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Set(0, 2).At(0, 1)).ok());
+  EXPECT_TRUE(sync.ClientHasUnmergedChanges(0));
+  ASSERT_TRUE(sync.SyncClient(0).ok());
+  EXPECT_FALSE(sync.ClientHasUnmergedChanges(0));
+  EXPECT_EQ(sync.progress(0).server_version, 1);
+  EXPECT_EQ(sync.progress(0).client_version, 1);
+  EXPECT_TRUE(sync.ClientHasUnmergedChanges(1));  // Hasn't downloaded yet.
+}
+
+TEST(SyncSystemTest, InvariantHoldsThroughout) {
+  // Paper Figure 6: either someone has unmerged changes or everyone agrees.
+  SyncSystem sync({1, 2, 3}, 3);
+  EXPECT_TRUE(sync.HaveUnmergedChangesOrAreConsistent());
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Move(0, 2).At(0, 1)).ok());
+  ASSERT_TRUE(sync.ClientApply(1, Operation::Erase(0).At(0, 2)).ok());
+  EXPECT_TRUE(sync.HaveUnmergedChangesOrAreConsistent());
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_TRUE(sync.HaveUnmergedChangesOrAreConsistent());
+  EXPECT_TRUE(sync.AllConsistent());
+}
+
+TEST(SyncSystemTest, AppliedOpsRecorded) {
+  SyncSystem sync({1, 2, 3}, 2);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Set(2, 4).At(0, 1)).ok());
+  ASSERT_TRUE(sync.ClientApply(1, Operation::Erase(1).At(0, 2)).ok());
+  ASSERT_TRUE(sync.SyncAll().ok());
+  // Client 0 applied the (transformed) erase; client 1 applied the
+  // transformed set — the paper's Figure 9 example.
+  ASSERT_EQ(sync.applied_ops(0).size(), 1u);
+  EXPECT_TRUE(sync.applied_ops(0)[0].SameEffect(Operation::Erase(1)));
+  ASSERT_EQ(sync.applied_ops(1).size(), 1u);
+  EXPECT_TRUE(sync.applied_ops(1)[0].SameEffect(Operation::Set(1, 4)));
+  EXPECT_EQ(sync.server_state(), (Array{1, 4}));
+}
+
+TEST(SyncSystemTest, BugSurfacesAsMergeError) {
+  MergeConfig config;
+  config.enable_swap_move_bug = true;
+  SyncSystem sync({1, 2, 3}, 2, config);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Move(0, 2).At(0, 1)).ok());
+  ASSERT_TRUE(sync.ClientApply(1, Operation::Swap(0, 2).At(0, 2)).ok());
+  ASSERT_TRUE(sync.SyncClient(0).ok());
+  auto s = sync.SyncClient(1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), common::StatusCode::kResourceExhausted);
+}
+
+TEST(SyncSystemTest, RunsOnGoEngine) {
+  otgo::GoMergeEngine go;
+  SyncSystem sync({1, 2, 3}, 2, {}, &go);
+  ASSERT_TRUE(sync.ClientApply(0, Operation::Set(2, 4).At(0, 1)).ok());
+  ASSERT_TRUE(sync.ClientApply(1, Operation::Erase(1).At(0, 2)).ok());
+  ASSERT_TRUE(sync.SyncAll().ok());
+  EXPECT_EQ(sync.server_state(), (Array{1, 4}));
+  EXPECT_TRUE(sync.AllConsistent());
+}
+
+TEST(FixtureTest, Figure9Example) {
+  // The paper's Figure 9, verbatim.
+  TransformArrayFixture fixture{2, {1, 2, 3}};
+  fixture.transaction(0, Operation::Set(2, 4));
+  fixture.transaction(1, Operation::Erase(1));
+  fixture.sync_all_clients();
+  fixture.check_array({1, 4});
+  fixture.check_ops(0, {Operation::Erase(1)});
+  fixture.check_ops(1, {Operation::Set(1, 4)});
+  EXPECT_TRUE(fixture.ok()) << fixture.errors().front();
+}
+
+TEST(FixtureTest, ReportsMismatches) {
+  TransformArrayFixture fixture{2, {1, 2, 3}};
+  fixture.transaction(0, Operation::Set(0, 9));
+  fixture.sync_all_clients();
+  fixture.check_array({1, 2, 3});  // Wrong on purpose.
+  EXPECT_FALSE(fixture.ok());
+  EXPECT_FALSE(fixture.errors().empty());
+}
+
+TEST(HandwrittenSuiteTest, ExactlyThirtySix) {
+  EXPECT_EQ(HandwrittenCases().size(), 36u);
+}
+
+TEST(HandwrittenSuiteTest, AllPassAndConverge) {
+  for (const HandwrittenCase& c : HandwrittenCases()) {
+    TransformArrayFixture fixture(static_cast<int>(c.client_ops.size()),
+                                  c.initial);
+    for (size_t i = 0; i < c.client_ops.size(); ++i) {
+      fixture.transaction(static_cast<int>(i), c.client_ops[i]);
+    }
+    fixture.sync_all_clients();
+    if (c.has_expected) fixture.check_array(c.expected);
+    EXPECT_TRUE(fixture.ok())
+        << c.name << ": " << (fixture.ok() ? "" : fixture.errors().front());
+    EXPECT_TRUE(fixture.sync().AllConsistent()) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace xmodel::ot

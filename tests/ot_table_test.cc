@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "ot/table_ops.h"
+
+namespace xmodel::ot {
+namespace {
+
+using DbOp = DbOperation;
+
+Db MakeDb() {
+  Db db;
+  DbOp::CreateTable("users").Apply(&db).ok();
+  DbOp::CreateObject("users", 1).Apply(&db).ok();
+  DbOp::SetField("users", 1, "age", 30).Apply(&db).ok();
+  DbOp::CreateList("users", 1, "scores").Apply(&db).ok();
+  DbOp::ArrayOp("users", 1, "scores", Operation::Insert(0, 10))
+      .Apply(&db)
+      .ok();
+  return db;
+}
+
+TEST(DbOperationTest, ApplyBasics) {
+  Db db = MakeDb();
+  ASSERT_EQ(db.tables.size(), 1u);
+  const Object& user = db.tables["users"].objects[1];
+  EXPECT_EQ(std::get<int64_t>(user.fields.at("age")), 30);
+  EXPECT_EQ(std::get<Array>(user.fields.at("scores")), (Array{10}));
+}
+
+TEST(DbOperationTest, RenameMovesContents) {
+  Db db = MakeDb();
+  ASSERT_TRUE(DbOp::RenameTable("users", "people").Apply(&db).ok());
+  EXPECT_EQ(db.tables.count("users"), 0u);
+  ASSERT_EQ(db.tables.count("people"), 1u);
+  EXPECT_EQ(db.tables["people"].objects.size(), 1u);
+}
+
+TEST(DbOperationTest, ShadowedOpsAreNoOps) {
+  Db db;
+  // Edits against missing containers are tolerated (merges deliver them).
+  EXPECT_TRUE(DbOp::SetField("ghost", 1, "x", 1).Apply(&db).ok());
+  EXPECT_TRUE(DbOp::EraseObject("ghost", 1).Apply(&db).ok());
+  EXPECT_TRUE(
+      DbOp::ArrayOp("ghost", 1, "xs", Operation::Clear()).Apply(&db).ok());
+  EXPECT_TRUE(db.tables.empty());
+}
+
+TEST(DbOperationTest, AddIntegerAccumulates) {
+  Db db = MakeDb();
+  ASSERT_TRUE(DbOp::AddInteger("users", 1, "age", 5).Apply(&db).ok());
+  ASSERT_TRUE(DbOp::AddInteger("users", 1, "age", -2).Apply(&db).ok());
+  EXPECT_EQ(std::get<int64_t>(db.tables["users"].objects[1].fields["age"]),
+            33);
+}
+
+TEST(DbOperationTest, LinkAndUnlink) {
+  Db db = MakeDb();
+  ASSERT_TRUE(DbOp::LinkObject("users", 1, "friend", 42).Apply(&db).ok());
+  EXPECT_EQ(
+      std::get<int64_t>(db.tables["users"].objects[1].fields["friend"]), 42);
+  ASSERT_TRUE(DbOp::UnlinkObject("users", 1, "friend").Apply(&db).ok());
+  EXPECT_EQ(db.tables["users"].objects[1].fields.count("friend"), 0u);
+}
+
+TEST(DbOperationTest, NineteenOpTypes) {
+  // The paper's count: 19 operation types, 190 merge rules by symmetry.
+  EXPECT_EQ(kNumRealmOpTypes, 19);
+  EXPECT_EQ(19 * (19 + 1) / 2, 190);
+}
+
+// Convergence harness for a pair of concurrent Db operations.
+void ExpectDbConverges(const Db& base, DbOp a, DbOp b) {
+  a = a.At(0, 1);
+  b = b.At(0, 2);
+  DbMergeEngine engine;
+  auto merged = engine.Merge(a, b);
+  ASSERT_TRUE(merged.ok()) << a.ToString() << " x " << b.ToString();
+  Db left = base, right = base;
+  ASSERT_TRUE(a.Apply(&left).ok());
+  for (const DbOp& op : merged->right) ASSERT_TRUE(op.Apply(&left).ok());
+  ASSERT_TRUE(b.Apply(&right).ok());
+  for (const DbOp& op : merged->left) ASSERT_TRUE(op.Apply(&right).ok());
+  EXPECT_TRUE(left == right) << a.ToString() << " x " << b.ToString();
+}
+
+TEST(DbMergeTest, TrivialPairsConverge) {
+  Db base = MakeDb();
+  ExpectDbConverges(base, DbOp::CreateObject("users", 2),
+                    DbOp::SetField("users", 1, "age", 40));
+  ExpectDbConverges(base, DbOp::CreateTable("posts"),
+                    DbOp::CreateTable("tags"));
+  ExpectDbConverges(base, DbOp::SetField("users", 1, "a", 1),
+                    DbOp::SetField("users", 1, "b", 2));
+  ExpectDbConverges(base, DbOp::AddInteger("users", 1, "age", 3),
+                    DbOp::AddInteger("users", 1, "age", 4));
+}
+
+TEST(DbMergeTest, SameFieldLastWriteWins) {
+  Db base = MakeDb();
+  ExpectDbConverges(base, DbOp::SetField("users", 1, "age", 10),
+                    DbOp::SetField("users", 1, "age", 20));
+  // And the surviving write is the higher client's.
+  DbMergeEngine engine;
+  auto merged = engine.Merge(DbOp::SetField("users", 1, "age", 10).At(0, 1),
+                             DbOp::SetField("users", 1, "age", 20).At(0, 2));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->left.empty());
+  ASSERT_EQ(merged->right.size(), 1u);
+  EXPECT_EQ(merged->right[0].value, 20);
+}
+
+TEST(DbMergeTest, DeletionShadowsEdits) {
+  Db base = MakeDb();
+  ExpectDbConverges(base, DbOp::EraseTable("users"),
+                    DbOp::SetField("users", 1, "age", 99));
+  ExpectDbConverges(base, DbOp::EraseObject("users", 1),
+                    DbOp::AddInteger("users", 1, "age", 5));
+  ExpectDbConverges(base, DbOp::EraseList("users", 1, "scores"),
+                    DbOp::ArrayOp("users", 1, "scores",
+                                  Operation::Insert(0, 5)));
+  ExpectDbConverges(base, DbOp::EraseField("users", 1, "age"),
+                    DbOp::SetField("users", 1, "age", 50));
+}
+
+TEST(DbMergeTest, ArrayOpsDelegateToMergeEngine) {
+  Db base = MakeDb();
+  DbOp::ArrayOp("users", 1, "scores", Operation::Insert(1, 20))
+      .Apply(&base)
+      .ok();
+  DbOp::ArrayOp("users", 1, "scores", Operation::Insert(2, 30))
+      .Apply(&base)
+      .ok();
+  // The Figure 7 pair inside list fields.
+  ExpectDbConverges(base,
+                    DbOp::ArrayOp("users", 1, "scores", Operation::Set(2, 4)),
+                    DbOp::ArrayOp("users", 1, "scores", Operation::Erase(1)));
+  // Array ops on DIFFERENT lists are trivial.
+  DbOp::CreateList("users", 1, "tags").Apply(&base).ok();
+  ExpectDbConverges(
+      base, DbOp::ArrayOp("users", 1, "scores", Operation::Erase(0)),
+      DbOp::ArrayOp("users", 1, "tags", Operation::Insert(0, 7)));
+}
+
+TEST(DbMergeTest, ListMergeConverges) {
+  Db base = MakeDb();
+  DbMergeEngine engine;
+  DbOpList a = {DbOp::SetField("users", 1, "age", 11).At(0, 1),
+                DbOp::ArrayOp("users", 1, "scores",
+                              Operation::Insert(1, 20))
+                    .At(0, 1)};
+  DbOpList b = {DbOp::ArrayOp("users", 1, "scores", Operation::Erase(0))
+                    .At(0, 2),
+                DbOp::CreateObject("users", 2).At(0, 2)};
+  auto merged = engine.MergeLists(a, b);
+  ASSERT_TRUE(merged.ok());
+  Db left = base, right = base;
+  for (const DbOp& op : a) ASSERT_TRUE(op.Apply(&left).ok());
+  for (const DbOp& op : merged->right) ASSERT_TRUE(op.Apply(&left).ok());
+  for (const DbOp& op : b) ASSERT_TRUE(op.Apply(&right).ok());
+  for (const DbOp& op : merged->left) ASSERT_TRUE(op.Apply(&right).ok());
+  EXPECT_TRUE(left == right);
+}
+
+TEST(DbMergeTest, ToStringIsReadable) {
+  EXPECT_EQ(DbOp::SetField("users", 1, "age", 30).ToString(),
+            "SetField(users, obj 1, age = 30)");
+  EXPECT_EQ(DbOp::RenameTable("a", "b").ToString(), "RenameTable(a -> b)");
+  EXPECT_EQ(DbOp::ArrayOp("t", 2, "xs", Operation::Erase(1)).ToString(),
+            "ArrayOp(t, obj 2, xs, ArrayErase{1})");
+}
+
+}  // namespace
+}  // namespace xmodel::ot

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "otgo/go_merge.h"
+
+namespace xmodel::otgo {
+namespace {
+
+using ot::Array;
+using ot::Operation;
+using ot::OpList;
+
+TEST(GoMergeTest, SwapIsNotSupported) {
+  // The Go port dropped ArraySwap after the model checker found the
+  // non-termination (§5.1.3): any swap is refused, never mis-merged.
+  GoMergeEngine engine;
+  auto r = engine.TransformLists({Operation::Swap(0, 1).At(0, 1)},
+                                 {Operation::Set(0, 9).At(0, 2)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kNotSupported);
+
+  auto single = GoMergeEngine::TransformOne(Operation::Set(0, 9).At(0, 1),
+                                            Operation::Swap(0, 1).At(0, 2));
+  EXPECT_FALSE(single.ok());
+}
+
+TEST(GoMergeTest, SingleDirectionTransforms) {
+  // T(Set(2,4), Erase(1)) = Set(1,4)  — the Figure 7 rule, one direction.
+  auto r = GoMergeEngine::TransformOne(Operation::Set(2, 4).At(0, 1),
+                                       Operation::Erase(1).At(0, 2));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_TRUE((*r)[0].SameEffect(Operation::Set(1, 4)));
+
+  // T(Set(1,4), Erase(1)) = discard.
+  auto discarded = GoMergeEngine::TransformOne(Operation::Set(1, 4).At(0, 1),
+                                               Operation::Erase(1).At(0, 2));
+  ASSERT_TRUE(discarded.ok());
+  EXPECT_TRUE(discarded->empty());
+}
+
+TEST(GoMergeTest, EmptyListsPassThrough) {
+  GoMergeEngine engine;
+  OpList ops = {Operation::Insert(0, 1).At(0, 1)};
+  auto left_empty = engine.TransformLists({}, ops);
+  ASSERT_TRUE(left_empty.ok());
+  EXPECT_TRUE(left_empty->left.empty());
+  EXPECT_EQ(left_empty->right, ops);
+  auto right_empty = engine.TransformLists(ops, {});
+  ASSERT_TRUE(right_empty.ok());
+  EXPECT_EQ(right_empty->left, ops);
+  EXPECT_TRUE(right_empty->right.empty());
+}
+
+TEST(GoMergeTest, StepBudgetGuardsRunaway) {
+  GoMergeEngine tiny(/*max_steps=*/3);
+  OpList a, b;
+  for (int i = 0; i < 4; ++i) {
+    a.push_back(Operation::Insert(0, i).At(0, 1));
+    b.push_back(Operation::Insert(0, 10 + i).At(0, 2));
+  }
+  auto r = tiny.TransformLists(a, b);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kResourceExhausted);
+}
+
+TEST(GoMergeTest, RebaseConvergesOnLists) {
+  GoMergeEngine engine;
+  Array base = {1, 2, 3};
+  // Left peer: erase 0, then set new index 1 -> 9. Right peer: insert 0.
+  Array left_state = base, right_state = base;
+  OpList left = {Operation::Erase(0).At(0, 1),
+                 Operation::Set(1, 9).At(0, 1)};
+  OpList right = {Operation::Insert(0, 7).At(0, 2)};
+  ASSERT_TRUE(ApplyAll(left, &left_state).ok());
+  ASSERT_TRUE(ApplyAll(right, &right_state).ok());
+
+  auto merged = engine.TransformLists(left, right);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(ApplyAll(merged->right, &left_state).ok());
+  ASSERT_TRUE(ApplyAll(merged->left, &right_state).ok());
+  EXPECT_EQ(left_state, right_state);
+  EXPECT_EQ(left_state, (Array{7, 2, 9}));
+}
+
+TEST(GoMergeTest, DiscardedOpsDropOutOfTheRebase) {
+  GoMergeEngine engine;
+  // Both sides clear: everything cancels.
+  auto merged = engine.TransformLists({Operation::Clear().At(0, 1)},
+                                      {Operation::Clear().At(0, 2)});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->left.empty());
+  EXPECT_TRUE(merged->right.empty());
+}
+
+}  // namespace
+}  // namespace xmodel::otgo

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "repl/read_write_concern.h"
+
+namespace xmodel::repl {
+namespace {
+
+TEST(ConcernTest, LocalWriteReturnsImmediately) {
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ClientSession session(&rs);
+  WriteResult w = session.Write("w", WriteConcern::kLocal);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.optime, (OpTime{1, 1}));
+  // Nothing replicated yet.
+  EXPECT_TRUE(rs.node(1).oplog().empty());
+}
+
+TEST(ConcernTest, MajorityWriteWaitsForCommit) {
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ClientSession session(&rs);
+  WriteResult w = session.Write("w", WriteConcern::kMajority);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE(rs.node(0).commit_point(), w.optime);
+}
+
+TEST(ConcernTest, MajorityWriteTimesOutWithoutQuorum) {
+  ReplicaSetConfig config;
+  config.num_nodes = 5;
+  ReplicaSet rs(config);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  // Strand the leader with one follower: majority is unreachable.
+  rs.network().Partition({{0, 1}});
+  ClientSession session(&rs, /*max_rounds=*/10);
+  WriteResult w = session.Write("stuck", WriteConcern::kMajority);
+  EXPECT_EQ(w.status.code(), common::StatusCode::kResourceExhausted);
+  // The write itself is applied on the leader (unknown durability, not a
+  // rollback).
+  EXPECT_EQ(rs.node(0).oplog().size(), 1u);
+}
+
+TEST(ConcernTest, MajorityReadHidesUncommitted) {
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ClientSession session(&rs);
+  ASSERT_TRUE(session.Write("committed", WriteConcern::kMajority).ok());
+  ASSERT_TRUE(session.Write("pending", WriteConcern::kLocal).ok());
+
+  auto local = session.Read(0, ReadConcern::kLocal);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(*local, (std::vector<std::string>{"committed", "pending"}));
+
+  auto majority = session.Read(0, ReadConcern::kMajority);
+  ASSERT_TRUE(majority.ok());
+  EXPECT_EQ(*majority, (std::vector<std::string>{"committed"}));
+}
+
+TEST(ConcernTest, MajorityReadsNeverObserveRollback) {
+  // The tunable-consistency guarantee tied to the spec's invariant: data
+  // returned by a majority read is never rolled back.
+  ReplicaSetConfig config;
+  config.num_nodes = 5;
+  ReplicaSet rs(config);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ClientSession session(&rs);
+  ASSERT_TRUE(session.Write("durable", WriteConcern::kMajority).ok());
+
+  // The leader takes doomed local writes in a minority partition.
+  rs.network().Partition({{0}});
+  ASSERT_TRUE(rs.ClientWrite(0, "doomed").ok());
+  auto local_view = session.Read(0, ReadConcern::kLocal);
+  ASSERT_TRUE(local_view.ok());
+  EXPECT_EQ(local_view->size(), 2u);  // Local reads DO see doomed data.
+  auto majority_view = session.Read(0, ReadConcern::kMajority);
+  ASSERT_TRUE(majority_view.ok());
+  EXPECT_EQ(*majority_view, (std::vector<std::string>{"durable"}));
+
+  // Failover and rollback of the doomed write.
+  ASSERT_TRUE(rs.TryElect(1).ok());
+  ASSERT_TRUE(rs.ClientWrite(1, "winner").ok());
+  rs.CatchUpAll();
+  rs.network().Heal();
+  rs.GossipAll();
+  rs.CatchUpAll();
+
+  // Every node's majority view contains only surviving history.
+  for (int n = 0; n < rs.num_nodes(); ++n) {
+    auto view = session.Read(n, ReadConcern::kMajority);
+    ASSERT_TRUE(view.ok());
+    for (const std::string& doc : *view) {
+      EXPECT_NE(doc, "doomed");
+    }
+  }
+  EXPECT_TRUE(rs.CommittedWritesDurable());
+}
+
+TEST(ConcernTest, ReadValidatesTarget) {
+  ReplicaSetConfig config;
+  config.num_nodes = 3;
+  config.arbiters = {2};
+  ReplicaSet rs(config);
+  ClientSession session(&rs);
+  EXPECT_FALSE(session.Read(2, ReadConcern::kLocal).ok());  // Arbiter.
+  rs.CrashNode(1, false);
+  EXPECT_FALSE(session.Read(1, ReadConcern::kLocal).ok());  // Down.
+}
+
+TEST(ConcernTest, NoLeaderNoWrite) {
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  ClientSession session(&rs);
+  EXPECT_FALSE(session.Write("w", WriteConcern::kLocal).ok());
+}
+
+}  // namespace
+}  // namespace xmodel::repl

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repl/lock_manager.h"
+
+namespace xmodel::repl {
+namespace {
+
+const ResourceId kGlobal{ResourceLevel::kGlobal, ""};
+const ResourceId kDb{ResourceLevel::kDatabase, "test"};
+const ResourceId kColl{ResourceLevel::kCollection, "test.docs"};
+
+TEST(LockManagerTest, CompatibilityMatrix) {
+  using M = LockMode;
+  // IS is compatible with everything but X.
+  EXPECT_TRUE(LockManager::Compatible(M::kIntentShared, M::kIntentShared));
+  EXPECT_TRUE(LockManager::Compatible(M::kIntentShared, M::kIntentExclusive));
+  EXPECT_TRUE(LockManager::Compatible(M::kIntentShared, M::kShared));
+  EXPECT_FALSE(LockManager::Compatible(M::kIntentShared, M::kExclusive));
+  // IX conflicts with S and X.
+  EXPECT_TRUE(LockManager::Compatible(M::kIntentExclusive, M::kIntentExclusive));
+  EXPECT_FALSE(LockManager::Compatible(M::kIntentExclusive, M::kShared));
+  EXPECT_FALSE(LockManager::Compatible(M::kIntentExclusive, M::kExclusive));
+  // S conflicts with IX and X.
+  EXPECT_TRUE(LockManager::Compatible(M::kShared, M::kShared));
+  EXPECT_FALSE(LockManager::Compatible(M::kShared, M::kIntentExclusive));
+  // X conflicts with everything.
+  EXPECT_FALSE(LockManager::Compatible(M::kExclusive, M::kIntentShared));
+  EXPECT_FALSE(LockManager::Compatible(M::kExclusive, M::kExclusive));
+}
+
+TEST(LockManagerTest, MatrixIsSymmetric) {
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(LockManager::Compatible(static_cast<LockMode>(a),
+                                        static_cast<LockMode>(b)),
+                LockManager::Compatible(static_cast<LockMode>(b),
+                                        static_cast<LockMode>(a)))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(LockManagerTest, HierarchyEnforced) {
+  LockManager lm;
+  // Database lock without global intent lock: rejected.
+  EXPECT_EQ(lm.Acquire(1, kDb, LockMode::kIntentExclusive).code(),
+            common::StatusCode::kInvalidArgument);
+  // Collection lock without database intent lock: rejected.
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentExclusive).ok());
+  EXPECT_EQ(lm.Acquire(1, kColl, LockMode::kIntentExclusive).code(),
+            common::StatusCode::kInvalidArgument);
+  ASSERT_TRUE(lm.Acquire(1, kDb, LockMode::kIntentExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, kColl, LockMode::kIntentExclusive).ok());
+}
+
+TEST(LockManagerTest, SharedIntentWriteConflict) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentExclusive).ok());
+  // A second writer can proceed concurrently at the intent level...
+  EXPECT_TRUE(lm.Acquire(2, kGlobal, LockMode::kIntentExclusive).ok());
+  // ...but a global S (e.g. backup) conflicts with IX holders.
+  auto s = lm.Acquire(3, kGlobal, LockMode::kShared);
+  EXPECT_EQ(s.code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(lm.conflicts(), 1u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksAll) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kExclusive).ok());
+  EXPECT_FALSE(lm.Acquire(2, kGlobal, LockMode::kIntentShared).ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, kGlobal, LockMode::kIntentShared).ok());
+}
+
+TEST(LockManagerTest, IdempotentReacquire) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentShared).ok());
+  EXPECT_EQ(lm.NumHolders(kGlobal), 1u);
+}
+
+TEST(LockManagerTest, ReleaseDiscipline) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, kDb, LockMode::kIntentExclusive).ok());
+  // Cannot release the global lock while the database lock is held.
+  EXPECT_EQ(lm.Release(1, kGlobal).code(),
+            common::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(lm.Release(1, kDb).ok());
+  EXPECT_TRUE(lm.Release(1, kGlobal).ok());
+  EXPECT_EQ(lm.Release(1, kGlobal).code(), common::StatusCode::kNotFound);
+}
+
+TEST(LockManagerTest, ReleaseAllLowestFirst) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, kDb, LockMode::kIntentExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, kColl, LockMode::kExclusive).ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.HeldBy(1).empty());
+}
+
+TEST(LockManagerTest, EventObserverSeesAcquireAndRelease) {
+  LockManager lm;
+  std::vector<LockEvent> events;
+  lm.SetEventObserver([&](const LockEvent& e) { events.push_back(e); });
+  ASSERT_TRUE(lm.Acquire(7, kGlobal, LockMode::kIntentShared).ok());
+  ASSERT_TRUE(lm.Release(7, kGlobal).ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, LockEvent::Type::kAcquire);
+  EXPECT_EQ(events[0].opctx, 7);
+  EXPECT_EQ(events[1].type, LockEvent::Type::kRelease);
+  EXPECT_EQ(events[1].mode, LockMode::kIntentShared);
+}
+
+TEST(LockManagerTest, CollectionsInDifferentDatabasesIndependent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kGlobal, LockMode::kIntentExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, kDb, LockMode::kIntentExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, kColl, LockMode::kExclusive).ok());
+  // A second context can lock a collection in another database.
+  ResourceId other_db{ResourceLevel::kDatabase, "other"};
+  ResourceId other_coll{ResourceLevel::kCollection, "other.docs"};
+  ASSERT_TRUE(lm.Acquire(2, kGlobal, LockMode::kIntentExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, other_db, LockMode::kIntentExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, other_coll, LockMode::kExclusive).ok());
+  // But not the same collection.
+  EXPECT_FALSE(lm.Acquire(2, kColl, LockMode::kIntentShared).ok());
+}
+
+TEST(LockManagerTest, NamesRoundTrip) {
+  EXPECT_STREQ(LockModeName(LockMode::kIntentShared), "IS");
+  EXPECT_STREQ(LockModeName(LockMode::kExclusive), "X");
+  EXPECT_EQ(kColl.ToString(), "Collection(test.docs)");
+  EXPECT_EQ(kGlobal.ToString(), "Global");
+}
+
+}  // namespace
+}  // namespace xmodel::repl

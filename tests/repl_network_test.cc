@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "repl/network.h"
+
+namespace xmodel::repl {
+namespace {
+
+TEST(SimNetworkTest, FullyConnectedByDefault) {
+  SimNetwork net(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_TRUE(net.CanCommunicate(a, b));
+    }
+  }
+  EXPECT_TRUE(net.IsHealed());
+}
+
+TEST(SimNetworkTest, PartitionSeparatesGroups) {
+  SimNetwork net(5);
+  net.Partition({{0, 1}, {2, 3}});
+  EXPECT_TRUE(net.CanCommunicate(0, 1));
+  EXPECT_TRUE(net.CanCommunicate(2, 3));
+  EXPECT_FALSE(net.CanCommunicate(0, 2));
+  EXPECT_FALSE(net.CanCommunicate(1, 3));
+  // Node 4 was not mentioned: it sits in the default group, alone.
+  EXPECT_FALSE(net.CanCommunicate(4, 0));
+  EXPECT_FALSE(net.CanCommunicate(4, 2));
+  EXPECT_FALSE(net.IsHealed());
+}
+
+TEST(SimNetworkTest, IsolateAndHeal) {
+  SimNetwork net(3);
+  net.Isolate(1);
+  EXPECT_FALSE(net.CanCommunicate(0, 1));
+  EXPECT_TRUE(net.CanCommunicate(0, 2));
+  net.Heal();
+  EXPECT_TRUE(net.CanCommunicate(0, 1));
+  EXPECT_TRUE(net.IsHealed());
+}
+
+TEST(SimNetworkTest, SelfCommunicationAlwaysWorks) {
+  SimNetwork net(3);
+  net.Isolate(2);
+  EXPECT_TRUE(net.CanCommunicate(2, 2));
+}
+
+TEST(SimClockTest, MonotoneAdvance) {
+  SimClock clock;
+  int64_t t0 = clock.NowMs();
+  clock.AdvanceMs(5);
+  EXPECT_EQ(clock.NowMs(), t0 + 5);
+}
+
+}  // namespace
+}  // namespace xmodel::repl

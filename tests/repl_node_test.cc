@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repl/node.h"
+
+namespace xmodel::repl {
+namespace {
+
+// Captures every trace event for inspection.
+class RecordingSink : public ReplTraceSink {
+ public:
+  void OnTraceEvent(const ReplTraceEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<ReplTraceEvent> events;
+};
+
+NodeOptions DefaultOptions() { return NodeOptions{}; }
+
+TEST(NodeTest, ClientWriteEmitsEventAfterAppend) {
+  Node node(0, DefaultOptions());
+  RecordingSink sink;
+  node.AttachTraceSink(&sink);
+  node.BecomeLeader(1);
+  ASSERT_TRUE(node.ClientWrite("w").ok());
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].action, ReplAction::kBecomePrimaryByMagic);
+  const ReplTraceEvent& write = sink.events[1];
+  EXPECT_EQ(write.action, ReplAction::kClientWrite);
+  // Visibility (§4.2.1): the event carries the oplog INCLUDING the new
+  // entry — logged after the change, before it is visible to others.
+  EXPECT_EQ(write.oplog_terms, (std::vector<int64_t>{1}));
+  EXPECT_FALSE(write.oplog_from_stale_snapshot);
+}
+
+TEST(NodeTest, RoleChangesReadStaleSnapshot) {
+  // Role transitions cannot take the oplog locks (the Figure-5 deadlock);
+  // they read the MVCC snapshot instead.
+  Node node(0, DefaultOptions());
+  RecordingSink sink;
+  node.AttachTraceSink(&sink);
+  node.BecomeLeader(1);
+  EXPECT_TRUE(sink.events.back().oplog_from_stale_snapshot);
+  node.ClientWrite("w").ok();
+  node.Stepdown();
+  EXPECT_TRUE(sink.events.back().oplog_from_stale_snapshot);
+  // The snapshot had caught up at the ClientWrite checkpoint, so the
+  // stale read still shows the entry.
+  EXPECT_EQ(sink.events.back().oplog_terms, (std::vector<int64_t>{1}));
+}
+
+TEST(NodeTest, ArbiterCrashesWhenTraced) {
+  NodeOptions options;
+  options.arbiter = true;
+  Node arbiter(2, options);
+  RecordingSink sink;
+  arbiter.AttachTraceSink(&sink);
+  // Any instrumented transition kills a traced arbiter (§4.2.2).
+  arbiter.ReceiveHeartbeat(5, OpTime{}, false, false);
+  EXPECT_TRUE(arbiter.crashed_by_tracing());
+  EXPECT_FALSE(arbiter.alive());
+  EXPECT_TRUE(sink.events.empty());
+  // And it stays down: restart requires operator intervention.
+  arbiter.Restart();
+  EXPECT_FALSE(arbiter.alive());
+}
+
+TEST(NodeTest, UntracedArbiterWorks) {
+  NodeOptions options;
+  options.arbiter = true;
+  Node arbiter(2, options);
+  arbiter.ReceiveHeartbeat(5, OpTime{}, false, false);
+  EXPECT_TRUE(arbiter.alive());
+  EXPECT_EQ(arbiter.term(), 5);
+}
+
+TEST(NodeTest, LeadersDoNotPull) {
+  Node leader(0, DefaultOptions());
+  Node other(1, DefaultOptions());
+  other.BecomeLeader(1);
+  ASSERT_TRUE(other.ClientWrite("w").ok());
+  leader.BecomeLeader(2);
+  EXPECT_EQ(leader.PullOplogFrom(other, 10), 0);
+  EXPECT_TRUE(leader.oplog().empty());
+}
+
+TEST(NodeTest, PullAppendsAndReportsBatches) {
+  Node leader(0, DefaultOptions());
+  leader.BecomeLeader(1);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(leader.ClientWrite("w").ok());
+  Node follower(1, DefaultOptions());
+  EXPECT_EQ(follower.PullOplogFrom(leader, 2), 2);
+  EXPECT_EQ(follower.PullOplogFrom(leader, 10), 3);
+  EXPECT_EQ(follower.PullOplogFrom(leader, 10), 0);  // Up to date.
+  EXPECT_EQ(follower.oplog().Terms(), leader.oplog().Terms());
+}
+
+TEST(NodeTest, PullRollsBackDivergentSuffix) {
+  Node a(0, DefaultOptions()), b(1, DefaultOptions());
+  a.BecomeLeader(1);
+  ASSERT_TRUE(a.ClientWrite("shared").ok());
+  EXPECT_EQ(b.PullOplogFrom(a, 10), 1);
+  // b diverges on its own term-2 leadership, then steps down.
+  b.BecomeLeader(2);
+  ASSERT_TRUE(b.ClientWrite("doomed").ok());
+  b.Stepdown();
+  // a moves on with a newer term-3 entry.
+  a.Stepdown();
+  a.ReceiveHeartbeat(3, OpTime{}, false, false);
+  a.BecomeLeader(4);
+  ASSERT_TRUE(a.ClientWrite("winner").ok());
+  // b pulls from a: rollback of "doomed", then append of "winner".
+  EXPECT_EQ(b.rollback_count(), 0);
+  EXPECT_GT(b.PullOplogFrom(a, 10), 0);
+  EXPECT_EQ(b.rollback_count(), 1);
+  EXPECT_EQ(b.oplog().Terms(), a.oplog().Terms());
+}
+
+TEST(NodeTest, HeartbeatTermAndCommitRules) {
+  Node leader(0, DefaultOptions());
+  leader.BecomeLeader(1);
+  ASSERT_TRUE(leader.ClientWrite("w").ok());
+
+  Node follower(1, DefaultOptions());
+  ASSERT_EQ(follower.PullOplogFrom(leader, 10), 1);
+
+  // A commit point for an entry the follower HAS is adopted (term check).
+  follower.ReceiveHeartbeat(1, OpTime{1, 1}, /*from_sync_source=*/false,
+                            /*log_is_prefix_of_sender=*/true);
+  EXPECT_EQ(follower.commit_point(), (OpTime{1, 1}));
+
+  // A commit point beyond the follower's log is NOT adopted off the
+  // sync-source path...
+  Node behind(2, DefaultOptions());
+  behind.ReceiveHeartbeat(1, OpTime{1, 1}, false, false);
+  EXPECT_TRUE(behind.commit_point().IsNull());
+  // ...and on the sync-source path it is capped at last applied.
+  behind.ReceiveHeartbeat(1, OpTime{1, 1}, true, true);
+  EXPECT_TRUE(behind.commit_point().IsNull());  // Empty log: cap is null.
+  ASSERT_EQ(behind.PullOplogFrom(leader, 10), 1);
+  behind.ReceiveHeartbeat(1, OpTime{1, 1}, true, true);
+  EXPECT_EQ(behind.commit_point(), (OpTime{1, 1}));
+}
+
+TEST(NodeTest, HigherTermDethronesLeader) {
+  Node leader(0, DefaultOptions());
+  RecordingSink sink;
+  leader.AttachTraceSink(&sink);
+  leader.BecomeLeader(1);
+  leader.ReceiveHeartbeat(3, OpTime{}, false, false);
+  EXPECT_EQ(leader.role(), Role::kFollower);
+  EXPECT_EQ(leader.term(), 3);
+  EXPECT_EQ(sink.events.back().action, ReplAction::kStepdown);
+}
+
+TEST(NodeTest, JournalProtectsReportedEntries) {
+  Node node(0, DefaultOptions());
+  node.BecomeLeader(1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(node.ClientWrite("w").ok());
+  node.MarkDurableUpTo(2);
+  node.Crash(/*unclean=*/true);
+  // Only the newest entry can be lost, and entries <= durable_index never.
+  EXPECT_EQ(node.oplog().size(), 2u);
+  node.Restart();
+  EXPECT_EQ(node.role(), Role::kFollower);
+  node.Crash(/*unclean=*/true);
+  EXPECT_EQ(node.oplog().size(), 2u);  // All remaining entries journaled.
+}
+
+TEST(NodeTest, RestartAnnouncesRecoveredState) {
+  Node node(0, DefaultOptions());
+  RecordingSink sink;
+  node.AttachTraceSink(&sink);
+  node.BecomeLeader(1);
+  ASSERT_TRUE(node.ClientWrite("w").ok());
+  node.Crash(/*unclean=*/false);
+  size_t before = sink.events.size();
+  node.Restart();
+  // The ex-leader's recovery is announced as a Stepdown transition.
+  ASSERT_EQ(sink.events.size(), before + 1);
+  EXPECT_EQ(sink.events.back().action, ReplAction::kStepdown);
+  EXPECT_EQ(sink.events.back().role, "Follower");
+}
+
+TEST(NodeTest, InitialSyncEventOmitsImagePrefix) {
+  NodeOptions options;
+  options.initial_sync_oplog_window = 1;
+  Node source(0, DefaultOptions());
+  source.BecomeLeader(1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(source.ClientWrite("w").ok());
+
+  Node syncer(1, options);
+  RecordingSink sink;
+  syncer.AttachTraceSink(&sink);
+  syncer.StartInitialSync(source);
+  ASSERT_FALSE(sink.events.empty());
+  // The protocol-visible log has 3 entries; the trace event shows only the
+  // trailing window (the "Copying the oplog" discrepancy).
+  EXPECT_EQ(syncer.oplog().size(), 3u);
+  EXPECT_EQ(sink.events.back().oplog_terms.size(), 1u);
+  EXPECT_EQ(syncer.initial_sync_image_prefix(), 2);
+}
+
+}  // namespace
+}  // namespace xmodel::repl

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "repl/oplog.h"
+
+namespace xmodel::repl {
+namespace {
+
+OplogEntry Entry(int64_t term, int64_t index) {
+  return OplogEntry{OpTime{term, index}, "w"};
+}
+
+TEST(OpTimeTest, NullAndOrdering) {
+  EXPECT_TRUE(OpTime{}.IsNull());
+  EXPECT_FALSE((OpTime{1, 1}).IsNull());
+  EXPECT_LT((OpTime{1, 5}), (OpTime{2, 1}));  // Term-major.
+  EXPECT_LT((OpTime{1, 1}), (OpTime{1, 2}));
+  EXPECT_LE((OpTime{1, 1}), (OpTime{1, 1}));
+  EXPECT_GT((OpTime{2, 1}), (OpTime{1, 9}));
+  EXPECT_EQ(OpTime{}.ToString(), "null");
+  EXPECT_EQ((OpTime{2, 3}).ToString(), "(t:2, i:3)");
+}
+
+TEST(OplogTest, AppendAndLastOpTime) {
+  Oplog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(log.LastOpTime().IsNull());
+  log.Append(Entry(1, 1));
+  log.Append(Entry(1, 2));
+  log.Append(Entry(2, 3));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.LastOpTime(), (OpTime{2, 3}));
+  EXPECT_EQ(log.Terms(), (std::vector<int64_t>{1, 1, 2}));
+}
+
+TEST(OplogTest, Contains) {
+  Oplog log;
+  log.Append(Entry(1, 1));
+  log.Append(Entry(3, 2));
+  EXPECT_TRUE(log.Contains(OpTime{1, 1}));
+  EXPECT_TRUE(log.Contains(OpTime{3, 2}));
+  EXPECT_FALSE(log.Contains(OpTime{2, 2}));  // Different term at index 2.
+  EXPECT_FALSE(log.Contains(OpTime{1, 3}));  // Beyond the log.
+  EXPECT_FALSE(log.Contains(OpTime{}));
+}
+
+TEST(OplogTest, CommonPoint) {
+  Oplog a, b;
+  a.Append(Entry(1, 1));
+  a.Append(Entry(1, 2));
+  a.Append(Entry(2, 3));
+  b.Append(Entry(1, 1));
+  b.Append(Entry(1, 2));
+  b.Append(Entry(3, 3));
+  EXPECT_EQ(a.CommonPointWith(b), 2);
+  EXPECT_EQ(b.CommonPointWith(a), 2);
+
+  Oplog empty;
+  EXPECT_EQ(a.CommonPointWith(empty), 0);
+
+  Oplog prefix;
+  prefix.Append(Entry(1, 1));
+  EXPECT_EQ(a.CommonPointWith(prefix), 1);
+  EXPECT_TRUE(prefix.IsPrefixOf(a));
+  EXPECT_FALSE(a.IsPrefixOf(prefix));
+  EXPECT_FALSE(b.IsPrefixOf(a));
+  EXPECT_TRUE(empty.IsPrefixOf(a));
+}
+
+TEST(OplogTest, TruncateAfter) {
+  Oplog log;
+  log.Append(Entry(1, 1));
+  log.Append(Entry(1, 2));
+  log.Append(Entry(2, 3));
+  std::vector<OplogEntry> removed = log.TruncateAfter(1);
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].optime, (OpTime{1, 2}));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log.TruncateAfter(5).empty());
+}
+
+TEST(OplogTest, EntriesAfter) {
+  Oplog log;
+  log.Append(Entry(1, 1));
+  log.Append(Entry(1, 2));
+  auto tail = log.EntriesAfter(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].optime, (OpTime{1, 2}));
+  EXPECT_EQ(log.EntriesAfter(0).size(), 2u);
+  EXPECT_TRUE(log.EntriesAfter(2).empty());
+  EXPECT_EQ(log.EntriesAfter(-3).size(), 2u);
+}
+
+}  // namespace
+}  // namespace xmodel::repl

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "repl/replica_set.h"
+
+namespace xmodel::repl {
+namespace {
+
+ReplicaSet MakeSet(int n = 3) {
+  ReplicaSetConfig config;
+  config.num_nodes = n;
+  return ReplicaSet(config);
+}
+
+TEST(ReplicaSetTest, ElectionMakesLeader) {
+  ReplicaSet rs = MakeSet();
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  EXPECT_EQ(rs.node(0).role(), Role::kLeader);
+  EXPECT_EQ(rs.node(0).term(), 1);
+  EXPECT_EQ(rs.Leaders(), std::vector<int>{0});
+}
+
+TEST(ReplicaSetTest, ElectionFailsWithoutMajority) {
+  ReplicaSet rs = MakeSet();
+  rs.network().Isolate(0);
+  EXPECT_FALSE(rs.TryElect(0).ok());
+  EXPECT_EQ(rs.node(0).role(), Role::kFollower);
+}
+
+TEST(ReplicaSetTest, WriteReplicationAndCommit) {
+  ReplicaSet rs = MakeSet();
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "w1").ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "w2").ok());
+  EXPECT_EQ(rs.node(0).oplog().size(), 2u);
+  EXPECT_TRUE(rs.node(0).commit_point().IsNull());
+
+  rs.CatchUpAll();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rs.node(i).oplog().size(), 2u) << "node " << i;
+    EXPECT_EQ(rs.node(i).commit_point(), (OpTime{1, 2})) << "node " << i;
+  }
+  EXPECT_EQ(rs.declared_committed().size(), 2u);
+  EXPECT_TRUE(rs.CommittedWritesDurable());
+}
+
+TEST(ReplicaSetTest, FollowerCannotAcceptWrites) {
+  ReplicaSet rs = MakeSet();
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  EXPECT_FALSE(rs.ClientWrite(1, "w").ok());
+}
+
+TEST(ReplicaSetTest, TwoLeadersAfterPartition) {
+  ReplicaSet rs = MakeSet(5);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "w1").ok());
+  rs.CatchUpAll();
+
+  // Partition the old leader with one follower; elect in the majority side.
+  rs.network().Partition({{0, 1}, {2, 3, 4}});
+  ASSERT_TRUE(rs.TryElect(2).ok());
+  // Both believe they lead: the "Two leaders" discrepancy.
+  EXPECT_EQ(rs.Leaders().size(), 2u);
+  EXPECT_EQ(rs.NewestLeader(), 2);
+  EXPECT_GT(rs.node(2).term(), rs.node(0).term());
+
+  // Healing the partition and gossiping dethrones the stale leader.
+  rs.network().Heal();
+  rs.GossipAll();
+  EXPECT_EQ(rs.Leaders(), std::vector<int>{2});
+  EXPECT_EQ(rs.node(0).role(), Role::kFollower);
+  EXPECT_EQ(rs.node(0).term(), rs.node(2).term());
+}
+
+TEST(ReplicaSetTest, DivergentWritesRollBack) {
+  ReplicaSet rs = MakeSet(5);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "committed").ok());
+  rs.CatchUpAll();
+
+  // Old leader keeps accepting writes in a minority partition.
+  rs.network().Partition({{0}, {1, 2, 3, 4}});
+  ASSERT_TRUE(rs.ClientWrite(0, "doomed1").ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "doomed2").ok());
+
+  // Majority side moves on.
+  ASSERT_TRUE(rs.TryElect(1).ok());
+  ASSERT_TRUE(rs.ClientWrite(1, "survives").ok());
+  rs.CatchUpAll();
+
+  rs.network().Heal();
+  rs.GossipAll();  // Node 0 steps down on learning the newer term.
+  rs.CatchUpAll();
+
+  // Node 0 rolled back its divergent suffix and matches the new history.
+  EXPECT_EQ(rs.node(0).oplog().Terms(), rs.node(1).oplog().Terms());
+  EXPECT_EQ(rs.node(0).oplog().size(), 2u);
+  EXPECT_TRUE(rs.CommittedWritesDurable());
+}
+
+TEST(ReplicaSetTest, CommitPointGossipReachesFollowers) {
+  ReplicaSet rs = MakeSet();
+  ASSERT_TRUE(rs.TryElect(2).ok());
+  ASSERT_TRUE(rs.ClientWrite(2, "w").ok());
+  // One round of replication gets the data out; the next gossip spreads the
+  // commit point.
+  for (int i = 0; i < 3; ++i) rs.ReplicateOnce(i);
+  rs.GossipAll();
+  rs.GossipAll();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rs.node(i).commit_point(), (OpTime{1, 1})) << "node " << i;
+  }
+}
+
+TEST(ReplicaSetTest, ArbitersVoteButBearNoData) {
+  ReplicaSetConfig config;
+  config.num_nodes = 3;
+  config.arbiters = {2};
+  ReplicaSet rs(config);
+
+  // The arbiter's vote lets node 0 win even when node 1 is unreachable.
+  rs.network().Partition({{0, 2}, {1}});
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "w").ok());
+  rs.CatchUpAll();
+  EXPECT_TRUE(rs.node(2).oplog().empty());
+
+  // But the arbiter cannot acknowledge writes: no majority, no commit.
+  EXPECT_TRUE(rs.node(0).commit_point().IsNull());
+
+  // With node 1 back, the write commits.
+  rs.network().Heal();
+  rs.CatchUpAll();
+  EXPECT_EQ(rs.node(0).commit_point(), (OpTime{1, 1}));
+
+  // Arbiters cannot be elected.
+  EXPECT_FALSE(rs.TryElect(2).ok());
+}
+
+TEST(ReplicaSetTest, InitialSyncQuorumBugRollsBackCommittedWrite) {
+  // The exact §4.2.2 scenario: an initial-syncing node is counted toward
+  // the majority, the leader advances the commit point over an entry that
+  // is durable nowhere else, and the entry is later rolled back after the
+  // leader fails and the syncer's restarted sync wipes its copy.
+  ReplicaSetConfig config;
+  config.num_nodes = 3;
+  config.count_initial_sync_in_quorum = true;  // The bug.
+  ReplicaSet rs(config);
+
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "base").ok());
+  rs.CatchUpAll();
+  ASSERT_TRUE(rs.CommittedWritesDurable());
+
+  // Node 2 re-syncs; node 1 is unreachable from the leader.
+  rs.network().Partition({{0, 2}});
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "not-durable").ok());
+  rs.ReplicateFrom(2, 0);
+  // With the bug, the syncing member's acknowledgment commits the write.
+  EXPECT_EQ(rs.node(0).commit_point(), (OpTime{1, 2}));
+
+  // The leader fails; the half-finished sync restarts against the healthy
+  // members, wiping the only other copy; a leader without the entry is
+  // elected; the returning old leader rolls the "committed" write back.
+  rs.CrashNode(0, /*unclean=*/false);
+  rs.network().Heal();
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  ASSERT_TRUE(rs.FinishInitialSync(2).ok());
+  ASSERT_TRUE(rs.TryElect(1).ok());
+  ASSERT_TRUE(rs.ClientWrite(1, "after-loss").ok());
+  rs.RestartNode(0);
+  rs.GossipAll();
+  rs.CatchUpAll();
+
+  EXPECT_GT(rs.node(0).rollback_count(), 0);
+  EXPECT_FALSE(rs.CommittedWritesDurable());
+  ASSERT_EQ(rs.CommittedButRolledBack().size(), 1u);
+  EXPECT_EQ(rs.CommittedButRolledBack()[0], (OpTime{1, 2}));
+}
+
+TEST(ReplicaSetTest, FixedQuorumRuleKeepsCommitsDurable) {
+  // Same scenario with the fix: initial-syncing members do not count.
+  ReplicaSetConfig config;
+  config.num_nodes = 3;
+  config.count_initial_sync_in_quorum = false;  // The fix.
+  ReplicaSet rs(config);
+
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "base").ok());
+  rs.CatchUpAll();
+
+  rs.network().Partition({{0, 2}, {1}});
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "pending").ok());
+  rs.ReplicateFrom(2, 0);
+  // No commit: the initial-syncing member's position does not count.
+  EXPECT_EQ(rs.node(0).commit_point(), (OpTime{1, 1}));
+  EXPECT_TRUE(rs.CommittedWritesDurable());
+}
+
+TEST(ReplicaSetTest, InitialSyncCopiesOnlyRecentEntriesObservably) {
+  ReplicaSetConfig config;
+  config.num_nodes = 3;
+  config.initial_sync_oplog_window = 2;
+  ReplicaSet rs(config);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rs.ClientWrite(0, "w").ok());
+  }
+  rs.CatchUpAll();
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  // The data image carries all 5 entries (protocol-visible)...
+  EXPECT_EQ(rs.node(2).oplog().size(), 5u);
+  // ...but only the trailing window exists as real oplog history.
+  EXPECT_EQ(rs.node(2).initial_sync_image_prefix(), 3);
+  ASSERT_TRUE(rs.FinishInitialSync(2).ok());
+  EXPECT_EQ(rs.node(2).sync_state(), SyncState::kSteady);
+}
+
+TEST(ReplicaSetTest, UncleanRestartLosesLastEntry) {
+  ReplicaSet rs = MakeSet();
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "a").ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "b").ok());
+  rs.CrashNode(0, /*unclean=*/true);
+  EXPECT_FALSE(rs.node(0).alive());
+  rs.RestartNode(0);
+  EXPECT_TRUE(rs.node(0).alive());
+  EXPECT_EQ(rs.node(0).role(), Role::kFollower);
+  EXPECT_EQ(rs.node(0).oplog().size(), 1u);
+  // Term is durable.
+  EXPECT_EQ(rs.node(0).term(), 1);
+}
+
+TEST(ReplicaSetTest, CleanRestartKeepsLog) {
+  ReplicaSet rs = MakeSet();
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "a").ok());
+  rs.CrashNode(0, /*unclean=*/false);
+  rs.RestartNode(0);
+  EXPECT_EQ(rs.node(0).oplog().size(), 1u);
+}
+
+TEST(ReplicaSetTest, StaleLeaderCannotCommitNewTermWrites) {
+  // Raft safety: a leader only advances the commit point onto entries of
+  // its own term.
+  ReplicaSet rs = MakeSet(5);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "t1write").ok());
+  // New election before replication: term 2 leader inherits nothing.
+  ASSERT_TRUE(rs.TryElect(1).ok());
+  EXPECT_EQ(rs.node(1).term(), 2);
+  rs.GossipAll();
+  // Node 1's log is empty; node 0 is ahead: node 0 will not pull from an
+  // older log and node 1 cannot commit node 0's term-1 write.
+  EXPECT_TRUE(rs.node(1).commit_point().IsNull());
+}
+
+TEST(ReplicaSetTest, ElectionRequiresUpToDateLog) {
+  ReplicaSet rs = MakeSet(3);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "w").ok());
+  rs.CatchUpAll();
+  // Node 2 falls behind: a new write does not reach it.
+  rs.network().Partition({{0, 1}, {2}});
+  ASSERT_TRUE(rs.ClientWrite(0, "w2").ok());
+  rs.ReplicateFrom(1, 0);
+  rs.network().Heal();
+  // Node 2's log is older than both voters' logs; they refuse to vote for
+  // it, so it cannot win (only its own vote).
+  EXPECT_FALSE(rs.TryElect(2).ok());
+  // Node 1 (up to date) can win.
+  EXPECT_TRUE(rs.TryElect(1).ok());
+}
+
+}  // namespace
+}  // namespace xmodel::repl

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "repl/scheduler.h"
+#include "repl/timed_driver.h"
+#include "specs/raft_mongo_spec.h"
+#include "trace/mbtc_pipeline.h"
+#include "trace/trace_logger.h"
+
+namespace xmodel::repl {
+namespace {
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  SimClock clock;
+  Scheduler scheduler(&clock);
+  std::vector<int> order;
+  scheduler.ScheduleAfter(30, [&] { order.push_back(3); });
+  scheduler.ScheduleAfter(10, [&] { order.push_back(1); });
+  scheduler.ScheduleAfter(20, [&] { order.push_back(2); });
+  scheduler.RunUntil(clock.NowMs() + 100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, SimultaneousEventsFifo) {
+  SimClock clock;
+  Scheduler scheduler(&clock);
+  std::vector<int> order;
+  scheduler.ScheduleAfter(5, [&] { order.push_back(1); });
+  scheduler.ScheduleAfter(5, [&] { order.push_back(2); });
+  scheduler.RunFor(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, PeriodicAndCancel) {
+  SimClock clock;
+  Scheduler scheduler(&clock);
+  int fired = 0;
+  uint64_t id = scheduler.SchedulePeriodic(10, [&] { ++fired; });
+  scheduler.RunFor(55);
+  EXPECT_EQ(fired, 5);
+  EXPECT_TRUE(scheduler.Cancel(id));
+  scheduler.RunFor(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_FALSE(scheduler.Cancel(id));
+}
+
+TEST(SchedulerTest, CallbackMayScheduleMore) {
+  SimClock clock;
+  Scheduler scheduler(&clock);
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 4) scheduler.ScheduleAfter(5, step);
+  };
+  scheduler.ScheduleAfter(5, step);
+  scheduler.RunFor(100);
+  EXPECT_EQ(chain, 4);
+}
+
+TEST(SchedulerTest, RunNextAdvancesClock) {
+  SimClock clock;
+  Scheduler scheduler(&clock);
+  int64_t start = clock.NowMs();
+  bool fired = false;
+  scheduler.ScheduleAfter(42, [&] { fired = true; });
+  EXPECT_TRUE(scheduler.RunNext());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(clock.NowMs(), start + 42);
+  EXPECT_FALSE(scheduler.RunNext());
+}
+
+TEST(TimedDriverTest, LeaderEmergesAutonomously) {
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  Scheduler scheduler(&rs.clock());
+  common::Rng rng(5);
+  TimedDriver driver(&rs, &scheduler, &rng);
+  driver.Start();
+
+  EXPECT_TRUE(rs.Leaders().empty());
+  scheduler.RunFor(500);
+  ASSERT_EQ(rs.Leaders().size(), 1u);
+  EXPECT_GT(driver.elections_started(), 0);
+
+  // Writes flow and commit without any manual pumping.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(driver.ClientWrite("w").ok());
+  }
+  scheduler.RunFor(500);
+  int leader = rs.NewestLeader();
+  EXPECT_EQ(rs.node(leader).commit_point().index, 3);
+  for (int n = 0; n < rs.num_nodes(); ++n) {
+    EXPECT_EQ(rs.node(n).oplog().size(), 3u) << "node " << n;
+  }
+}
+
+TEST(TimedDriverTest, FailoverOnLeaderCrash) {
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  Scheduler scheduler(&rs.clock());
+  common::Rng rng(9);
+  TimedDriver driver(&rs, &scheduler, &rng);
+  driver.Start();
+  scheduler.RunFor(500);
+  int old_leader = rs.NewestLeader();
+  ASSERT_GE(old_leader, 0);
+  ASSERT_TRUE(driver.ClientWrite("committed").ok());
+  scheduler.RunFor(300);
+
+  rs.CrashNode(old_leader, /*unclean=*/false);
+  scheduler.RunFor(1000);
+  int new_leader = rs.NewestLeader();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, old_leader);
+  // The committed write survived the failover.
+  EXPECT_TRUE(rs.node(new_leader).oplog().size() >= 1);
+  EXPECT_TRUE(rs.CommittedWritesDurable());
+}
+
+TEST(TimedDriverTest, MinorityLeaderStepsDown) {
+  ReplicaSetConfig config;
+  config.num_nodes = 5;
+  ReplicaSet rs(config);
+  Scheduler scheduler(&rs.clock());
+  common::Rng rng(11);
+  TimedDriver driver(&rs, &scheduler, &rng);
+  driver.Start();
+  scheduler.RunFor(500);
+  int leader = rs.NewestLeader();
+  ASSERT_GE(leader, 0);
+
+  // Strand the leader with one follower.
+  int buddy = (leader + 1) % 5;
+  rs.network().Partition({{leader, buddy}});
+  scheduler.RunFor(1500);
+  // The stranded leader stepped down; the majority elected a new one.
+  EXPECT_EQ(rs.node(leader).role(), Role::kFollower);
+  EXPECT_GT(driver.stepdowns_forced(), 0);
+  int new_leader = rs.NewestLeader();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, leader);
+
+  // Heal; everyone converges.
+  rs.network().Heal();
+  scheduler.RunFor(1000);
+  EXPECT_EQ(rs.Leaders().size(), 1u);
+  EXPECT_TRUE(rs.CommittedWritesDurable());
+}
+
+TEST(TimedDriverTest, AutonomousRunIsTraceCheckable) {
+  // The full stack: autonomous timed cluster + fault injection, traced and
+  // checked against the spec.
+  ReplicaSetConfig config;
+  ReplicaSet rs(config);
+  trace::TraceLogger logger(&rs.clock());
+  rs.AttachTraceSink(&logger);
+  Scheduler scheduler(&rs.clock());
+  common::Rng rng(3);
+  TimedDriverOptions options;
+  TimedDriver driver(&rs, &scheduler, &rng, options);
+  driver.Start();
+
+  scheduler.RunFor(600);
+  driver.ClientWrite("a").ok();
+  scheduler.RunFor(200);
+  int leader = rs.NewestLeader();
+  if (leader >= 0) {
+    rs.CrashNode(leader, /*unclean=*/false);
+  }
+  scheduler.RunFor(1200);
+  driver.ClientWrite("b").ok();
+  scheduler.RunFor(600);
+  if (leader >= 0) rs.RestartNode(leader);
+  scheduler.RunFor(800);
+
+  specs::RaftMongoConfig spec_config;
+  spec_config.num_nodes = rs.num_nodes();
+  spec_config.max_term = 1'000'000;
+  spec_config.max_oplog_len = 1'000'000;
+  specs::RaftMongoSpec spec(spec_config);
+  trace::MbtcPipelineOptions popts;
+  popts.checker.allow_stuttering = true;
+  trace::MbtcPipeline pipeline(&spec, popts);
+  auto report = pipeline.Run(logger.LogFiles(rs.num_nodes()));
+  EXPECT_TRUE(report.passed())
+      << "step " << report.check.failed_step << " of " << report.num_events
+      << ": " << report.check.status.ToString();
+  EXPECT_GT(report.num_events, 10u);
+}
+
+}  // namespace
+}  // namespace xmodel::repl

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tlax/tla_text.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+namespace {
+
+// Generates a random Value of bounded depth.
+Value RandomValue(common::Rng* rng, int depth) {
+  int kind = static_cast<int>(rng->Below(depth > 0 ? 7 : 4));
+  switch (kind) {
+    case 0:
+      return Value::Nil();
+    case 1:
+      return Value::Bool(rng->Chance(50));
+    case 2:
+      return Value::Int(rng->Range(-1000, 1000));
+    case 3: {
+      std::string s;
+      size_t len = rng->Below(6);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng->Below(26)));
+      }
+      return Value::Str(std::move(s));
+    }
+    case 4: {
+      std::vector<Value> elems;
+      size_t len = rng->Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Seq(std::move(elems));
+    }
+    case 5: {
+      std::vector<Value> elems;
+      size_t len = rng->Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::SetOf(std::move(elems));
+    }
+    default: {
+      Value::Fields fields;
+      size_t len = rng->Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        fields.emplace_back(std::string(1, static_cast<char>('a' + i)),
+                            RandomValue(rng, depth - 1));
+      }
+      return Value::Record(std::move(fields));
+    }
+  }
+}
+
+struct PropertySeed {
+  uint64_t seed;
+};
+
+class ValuePropertyTest : public ::testing::TestWithParam<PropertySeed> {};
+
+TEST_P(ValuePropertyTest, TlaTextRoundTrips) {
+  common::Rng rng(GetParam().seed);
+  for (int i = 0; i < 500; ++i) {
+    Value v = RandomValue(&rng, 3);
+    auto parsed = ParseTlaValue(v.ToTla());
+    ASSERT_TRUE(parsed.ok()) << v.ToTla() << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(*parsed, v) << v.ToTla();
+    EXPECT_EQ(parsed->hash(), v.hash());
+  }
+}
+
+TEST_P(ValuePropertyTest, CompareIsTotalOrder) {
+  common::Rng rng(GetParam().seed + 1);
+  std::vector<Value> values;
+  for (int i = 0; i < 40; ++i) values.push_back(RandomValue(&rng, 2));
+  for (const Value& a : values) {
+    EXPECT_EQ(Value::Compare(a, a), 0);
+    for (const Value& b : values) {
+      int ab = Value::Compare(a, b);
+      EXPECT_EQ(ab, -Value::Compare(b, a)) << a.ToTla() << " / " << b.ToTla();
+      if (ab == 0) {
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(a.hash(), b.hash());
+      }
+      for (const Value& c : values) {
+        // Transitivity (spot check): a<=b and b<=c implies a<=c.
+        if (ab <= 0 && Value::Compare(b, c) <= 0) {
+          EXPECT_LE(Value::Compare(a, c), 0)
+              << a.ToTla() << " / " << b.ToTla() << " / " << c.ToTla();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ValuePropertyTest, SetLaws) {
+  common::Rng rng(GetParam().seed + 2);
+  for (int i = 0; i < 200; ++i) {
+    Value a = RandomValue(&rng, 1);
+    Value b = RandomValue(&rng, 1);
+    Value set = Value::SetOf({a, b, a});
+    EXPECT_TRUE(set.SetContains(a));
+    EXPECT_TRUE(set.SetContains(b));
+    EXPECT_LE(set.size(), 2u);
+    // Insert is idempotent.
+    EXPECT_EQ(set.SetInsert(a), set);
+    // Order of construction is irrelevant.
+    EXPECT_EQ(Value::SetOf({b, a}), Value::SetOf({a, b}));
+  }
+}
+
+TEST_P(ValuePropertyTest, FunctionalUpdatesPreserveOriginal) {
+  common::Rng rng(GetParam().seed + 3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Value> elems;
+    for (int k = 0; k < 3; ++k) elems.push_back(RandomValue(&rng, 1));
+    Value seq = Value::Seq(elems);
+    Value replaced = seq.WithIndex1(2, Value::Int(-1));
+    EXPECT_EQ(seq.at(1), elems[1]);  // Original untouched.
+    EXPECT_EQ(replaced.at(1), Value::Int(-1));
+    EXPECT_EQ(replaced.at(0), elems[0]);
+    Value appended = seq.Append(Value::Int(7));
+    EXPECT_EQ(seq.size(), 3u);
+    EXPECT_EQ(appended.size(), 4u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValuePropertyTest,
+                         ::testing::Values(PropertySeed{1}, PropertySeed{7},
+                                           PropertySeed{42},
+                                           PropertySeed{12345}),
+                         [](const ::testing::TestParamInfo<PropertySeed>& i) {
+                           return "seed" + std::to_string(i.param.seed);
+                         });
+
+}  // namespace
+}  // namespace xmodel::tlax

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "tlax/state.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+namespace {
+
+TEST(ValueTest, NilAndScalars) {
+  EXPECT_TRUE(Value::Nil().is_nil());
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(-3).int_value(), -3);
+  EXPECT_EQ(Value::Str("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_NE(Value::Int(5), Value::Int(6));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_EQ(Value::Int(5).hash(), Value::Int(5).hash());
+  EXPECT_EQ(Value::Seq({Value::Int(1), Value::Int(2)}),
+            Value::Seq({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, SetNormalization) {
+  Value a = Value::SetOf({Value::Int(2), Value::Int(1), Value::Int(2)});
+  Value b = Value::SetOf({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.SetContains(Value::Int(1)));
+  EXPECT_FALSE(a.SetContains(Value::Int(3)));
+}
+
+TEST(ValueTest, RecordFieldOrderIrrelevant) {
+  Value a = Value::Record({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value b = Value::Record({{"y", Value::Int(2)}, {"x", Value::Int(1)}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.FieldOrDie("y").int_value(), 2);
+  EXPECT_EQ(a.Field("z"), nullptr);
+}
+
+TEST(ValueTest, WithFieldReplaces) {
+  Value a = Value::Record({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value b = a.WithField("x", Value::Int(9));
+  EXPECT_EQ(b.FieldOrDie("x").int_value(), 9);
+  EXPECT_EQ(b.FieldOrDie("y").int_value(), 2);
+  EXPECT_EQ(a.FieldOrDie("x").int_value(), 1);  // Original untouched.
+}
+
+TEST(ValueTest, SeqOperations) {
+  Value s = Value::Seq({Value::Int(1), Value::Int(2), Value::Int(3)});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.Index1(1).int_value(), 1);
+  EXPECT_EQ(s.at(2).int_value(), 3);
+
+  Value appended = s.Append(Value::Int(4));
+  EXPECT_EQ(appended.size(), 4u);
+  EXPECT_EQ(s.size(), 3u);
+
+  Value sub = s.SubSeq(2, 3);
+  EXPECT_EQ(sub, Value::Seq({Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(s.SubSeq(3, 2), Value::EmptySeq());
+  EXPECT_EQ(s.SubSeq(4, 9), Value::EmptySeq());
+  // TLA SubSeq clamps the upper bound.
+  EXPECT_EQ(s.SubSeq(1, 100).size(), 3u);
+
+  Value replaced = s.WithIndex1(2, Value::Int(7));
+  EXPECT_EQ(replaced.Index1(2).int_value(), 7);
+
+  Value cat = s.Concat(sub);
+  EXPECT_EQ(cat.size(), 5u);
+}
+
+TEST(ValueTest, TotalOrderIsStrict) {
+  std::vector<Value> values = {
+      Value::Nil(),
+      Value::Bool(false),
+      Value::Bool(true),
+      Value::Int(-1),
+      Value::Int(3),
+      Value::Str("a"),
+      Value::Str("b"),
+      Value::Seq({Value::Int(1)}),
+      Value::SetOf({Value::Int(1)}),
+      Value::Record({{"k", Value::Int(1)}}),
+  };
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      int c = Value::Compare(values[i], values[j]);
+      if (i == j) {
+        EXPECT_EQ(c, 0) << i;
+      } else {
+        EXPECT_NE(c, 0) << i << " vs " << j;
+        EXPECT_EQ(c, -Value::Compare(values[j], values[i]));
+      }
+    }
+  }
+}
+
+TEST(ValueTest, ToTla) {
+  EXPECT_EQ(Value::Nil().ToTla(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToTla(), "TRUE");
+  EXPECT_EQ(Value::Int(-7).ToTla(), "-7");
+  EXPECT_EQ(Value::Str("Leader").ToTla(), "\"Leader\"");
+  EXPECT_EQ(Value::Seq({Value::Int(1), Value::Str("a")}).ToTla(),
+            "<<1, \"a\">>");
+  EXPECT_EQ(Value::SetOf({Value::Int(2), Value::Int(1)}).ToTla(), "{1, 2}");
+  EXPECT_EQ(Value::Record({{"ndx", Value::Int(0)}}).ToTla(), "[ndx |-> 0]");
+  EXPECT_EQ(Value::EmptySeq().ToTla(), "<<>>");
+}
+
+TEST(StateTest, FingerprintDistinguishesStates) {
+  State a({Value::Int(1), Value::Int(2)});
+  State b({Value::Int(2), Value::Int(1)});
+  State c({Value::Int(1), Value::Int(2)});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), c.fingerprint());
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+}
+
+TEST(StateTest, WithReplacesOneVariable) {
+  State a({Value::Int(1), Value::Int(2)});
+  State b = a.With(1, Value::Int(9));
+  EXPECT_EQ(b.var(0).int_value(), 1);
+  EXPECT_EQ(b.var(1).int_value(), 9);
+  EXPECT_EQ(a.var(1).int_value(), 2);
+}
+
+}  // namespace
+}  // namespace xmodel::tlax

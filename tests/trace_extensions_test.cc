@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "repl/rollback_fuzzer.h"
+#include "repl/scenarios.h"
+#include "specs/raft_mongo_spec.h"
+#include "specs/toy_specs.h"
+#include "tlax/spec_coverage.h"
+#include "trace/mbtc_pipeline.h"
+#include "trace/snapshot_tracer.h"
+#include "trace/trace_logger.h"
+
+namespace xmodel::trace {
+namespace {
+
+using specs::RaftMongoConfig;
+using specs::RaftMongoSpec;
+using specs::RaftMongoVariant;
+
+RaftMongoSpec UnboundedSpec(int num_nodes) {
+  RaftMongoConfig config;
+  config.variant = RaftMongoVariant::kDetailed;
+  config.num_nodes = num_nodes;
+  config.max_term = 1'000'000;
+  config.max_oplog_len = 1'000'000;
+  return RaftMongoSpec(config);
+}
+
+TEST(SpecCoverageTest, AccumulatesOverTraces) {
+  // Counter spec: (limit+1)^2 reachable states.
+  specs::CounterSpec spec(/*limit=*/3);
+  tlax::SpecCoverage coverage;
+  ASSERT_TRUE(coverage.Initialize(spec).ok());
+  EXPECT_EQ(coverage.reachable_states(), 16u);
+  EXPECT_EQ(coverage.covered_states(), 0u);
+
+  auto full = [](int64_t x, int64_t y) {
+    tlax::TraceState t;
+    t.vars = {tlax::Value::Int(x), tlax::Value::Int(y)};
+    return t;
+  };
+  // One straight-line trace covers 4 states.
+  ASSERT_TRUE(
+      coverage
+          .AddTrace(spec, {full(0, 0), full(1, 0), full(2, 0), full(3, 0)})
+          .ok());
+  EXPECT_EQ(coverage.covered_states(), 4u);
+  // A second, different trace extends coverage; overlapping states are
+  // counted once.
+  ASSERT_TRUE(coverage.AddTrace(spec, {full(0, 0), full(0, 1), full(1, 1)})
+                  .ok());
+  EXPECT_EQ(coverage.covered_states(), 6u);
+  EXPECT_EQ(coverage.traces(), 2u);
+  EXPECT_NEAR(coverage.Fraction(), 6.0 / 16.0, 1e-9);
+  // Re-adding the same trace changes nothing.
+  ASSERT_TRUE(coverage.AddTrace(spec, {full(0, 0), full(0, 1), full(1, 1)})
+                  .ok());
+  EXPECT_EQ(coverage.covered_states(), 6u);
+}
+
+TEST(SpecCoverageTest, PartialTracesCoverAllConsistentStates) {
+  specs::CounterSpec spec(/*limit=*/2);
+  tlax::SpecCoverage coverage;
+  ASSERT_TRUE(coverage.Initialize(spec).ok());
+  // Only x observed: every y consistent with the trace is covered.
+  tlax::TraceState t0, t1;
+  t0.vars = {tlax::Value::Int(0), std::nullopt};
+  t1.vars = {tlax::Value::Int(1), std::nullopt};
+  ASSERT_TRUE(coverage.AddTrace(spec, {t0, t1}).ok());
+  // Position 0 matches (0,0); position 1 matches (1,0) plus a stutter/step
+  // fan-out across hidden y values along the way.
+  EXPECT_GE(coverage.covered_states(), 2u);
+}
+
+TEST(SpecCoverageTest, RejectsIllegalTrace) {
+  specs::CounterSpec spec(/*limit=*/2);
+  tlax::SpecCoverage coverage;
+  ASSERT_TRUE(coverage.Initialize(spec).ok());
+  tlax::TraceState bad;
+  bad.vars = {tlax::Value::Int(7), tlax::Value::Int(7)};
+  EXPECT_FALSE(coverage.AddTrace(spec, {bad}).ok());
+}
+
+TEST(SpecCoverageTest, ScenarioTracesCoverRaftMongoSpace) {
+  // The paper's unbuilt CI metric (§4.2.4): accumulate coverage of the
+  // bounded spec space across all scenario traces.
+  RaftMongoConfig config;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  RaftMongoSpec bounded(config);
+  tlax::SpecCoverage coverage;
+  ASSERT_TRUE(coverage.Initialize(bounded).ok());
+  EXPECT_GT(coverage.reachable_states(), 40'000u);  // Constrained states only.
+
+  RaftMongoSpec unbounded = UnboundedSpec(3);
+  int accumulated = 0;
+  for (const repl::Scenario& scenario : repl::BaseScenarios()) {
+    if (scenario.uses_arbiters || scenario.exhibits_two_leaders) continue;
+    if (scenario.name == "initial_sync_quorum_bug") continue;
+    if (scenario.config.num_nodes != 3) continue;
+    repl::ReplicaSet rs(scenario.config);
+    TraceLogger logger(&rs.clock());
+    rs.AttachTraceSink(&logger);
+    ASSERT_TRUE(scenario.run(rs).ok()) << scenario.name;
+    auto merged = MergeLogs(logger.LogFiles(rs.num_nodes()));
+    ASSERT_TRUE(merged.ok());
+    EventProcessorOptions po;
+    po.num_nodes = 3;
+    ProcessedTrace processed = EventProcessor(po).Process(*merged);
+    ASSERT_TRUE(processed.ok());
+    auto trace = MbtcPipeline::ToTraceStates(processed.states);
+    // Coverage accumulation tolerates traces that wander outside the
+    // bounded space; it only counts in-space states.
+    if (coverage.AddTrace(bounded, trace).ok()) ++accumulated;
+  }
+  EXPECT_GT(accumulated, 3);
+  EXPECT_GT(coverage.covered_states(), 10u);
+  // Handwritten tests cover a sliver of the space — the paper's reason to
+  // want the metric in CI.
+  EXPECT_LT(coverage.Fraction(), 0.05);
+}
+
+TEST(TraceLoggerFileTest, WriteAndReadRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "xmodel_trace_logs";
+  fs::create_directories(dir);
+
+  repl::ReplicaSetConfig config;
+  repl::ReplicaSet rs(config);
+  TraceLogger logger(&rs.clock());
+  rs.AttachTraceSink(&logger);
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  ASSERT_TRUE(rs.ClientWrite(0, "w").ok());
+  rs.CatchUpAll();
+
+  ASSERT_TRUE(logger.WriteLogFiles(dir.string(), rs.num_nodes()).ok());
+  auto read_back = TraceLogger::ReadLogFiles(dir.string());
+  ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+  EXPECT_EQ(*read_back, logger.LogFiles(rs.num_nodes()));
+
+  // And the pipeline accepts the on-disk logs.
+  RaftMongoSpec spec = UnboundedSpec(rs.num_nodes());
+  MbtcPipelineOptions options;
+  options.checker.allow_stuttering = true;
+  MbtcPipeline pipeline(&spec, options);
+  EXPECT_TRUE(pipeline.Run(*read_back).passed());
+  fs::remove_all(dir);
+}
+
+TEST(TraceLoggerFileTest, MissingDirectoryRejected) {
+  EXPECT_FALSE(TraceLogger::ReadLogFiles("/nonexistent/xmodel").ok());
+  repl::SimClock clock;
+  TraceLogger logger(&clock);
+  EXPECT_FALSE(logger.WriteLogFiles("/nonexistent/xmodel", 3).ok());
+}
+
+TEST(SnapshotTracerTest, ConformingRunChecks) {
+  // The §6 idea: capture whole-set snapshots between driver calls; the
+  // hidden-step search explains multi-transition calls.
+  repl::ReplicaSetConfig config;
+  repl::ReplicaSet rs(config);
+  SnapshotTracer tracer(&rs);
+
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.ClientWrite(0, "a").ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.ClientWrite(0, "b").ok());
+  tracer.Capture();
+  for (int n = 1; n < 3; ++n) {
+    rs.ReplicateFrom(n, 0);
+    tracer.Capture();
+  }
+  rs.GossipAll();
+  tracer.Capture();
+
+  RaftMongoSpec spec = UnboundedSpec(3);
+  auto result = tracer.Check(spec);
+  EXPECT_TRUE(result.ok()) << result.status.ToString() << " at step "
+                           << result.failed_step;
+  EXPECT_GT(tracer.num_snapshots(), 4u);
+}
+
+TEST(SnapshotTracerTest, SeesThroughInitialSync) {
+  // The event-based tracer cannot observe the initial-sync data image
+  // (the "Copying the oplog" discrepancy needed post-processing repairs);
+  // snapshots read the durable state directly, so no repair is needed.
+  repl::ReplicaSetConfig config;
+  config.initial_sync_oplog_window = 1;
+  repl::ReplicaSet rs(config);
+  SnapshotTracer tracer(&rs);
+
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  tracer.Capture();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rs.ClientWrite(0, "w").ok());
+    tracer.Capture();
+  }
+  rs.CatchUpAll();
+  tracer.Capture();
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.FinishInitialSync(2).ok());
+  tracer.Capture();
+  rs.CatchUpAll();
+  tracer.Capture();
+
+  RaftMongoSpec spec = UnboundedSpec(3);
+  auto result = tracer.Check(spec, /*max_hidden_steps=*/12);
+  EXPECT_TRUE(result.ok()) << result.status.ToString() << " at step "
+                           << result.failed_step;
+}
+
+TEST(SnapshotTracerTest, QuorumBugStillCaught) {
+  // Snapshot tracing must not mask the real bug: the commit-point
+  // regression after the non-durable "commit" remains unexplainable.
+  repl::ReplicaSetConfig config;
+  config.count_initial_sync_in_quorum = true;
+  repl::ReplicaSet rs(config);
+  SnapshotTracer tracer(&rs);
+
+  ASSERT_TRUE(rs.TryElect(0).ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.ClientWrite(0, "base").ok());
+  tracer.Capture();
+  rs.CatchUpAll();
+  tracer.Capture();
+  rs.network().Partition({{0, 2}});
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.ClientWrite(0, "not-durable").ok());
+  tracer.Capture();
+  rs.ReplicateFrom(2, 0);
+  tracer.Capture();
+  ASSERT_EQ(rs.node(0).commit_point(), (repl::OpTime{1, 2}));
+  rs.CrashNode(0, /*unclean=*/false);
+  rs.network().Heal();
+  ASSERT_TRUE(rs.StartInitialSync(2).ok());
+  ASSERT_TRUE(rs.FinishInitialSync(2).ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.TryElect(1).ok());
+  tracer.Capture();
+  ASSERT_TRUE(rs.ClientWrite(1, "after-loss").ok());
+  tracer.Capture();
+  rs.RestartNode(0);
+  rs.GossipAll();
+  tracer.Capture();
+  rs.CatchUpAll();
+  tracer.Capture();
+
+  RaftMongoSpec spec = UnboundedSpec(3);
+  auto result = tracer.Check(spec, /*max_hidden_steps=*/12);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace xmodel::trace
+
+namespace xmodel::trace {
+namespace {
+
+TEST(SymmetryTest, ReducesRaftMongoStateSpace) {
+  // TLC's SYMMETRY sets (via Tasiran et al., paper §3): node identities
+  // are interchangeable, so one representative per orbit suffices.
+  specs::RaftMongoConfig config;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec plain(config);
+  config.use_symmetry = true;
+  specs::RaftMongoSpec symmetric(config);
+
+  auto plain_result = tlax::ModelChecker().Check(plain);
+  auto symmetric_result = tlax::ModelChecker().Check(symmetric);
+  ASSERT_TRUE(plain_result.status.ok());
+  ASSERT_TRUE(symmetric_result.status.ok());
+  EXPECT_FALSE(plain_result.violation.has_value());
+  EXPECT_FALSE(symmetric_result.violation.has_value());
+  // Up to |perm(3)| = 6x reduction; in practice 3-6x.
+  EXPECT_LT(symmetric_result.distinct_states,
+            plain_result.distinct_states / 2);
+  EXPECT_GT(symmetric_result.distinct_states,
+            plain_result.distinct_states / 7);
+}
+
+TEST(SymmetryTest, CanonicalFormIsPermutationInvariant) {
+  specs::RaftMongoConfig config;
+  config.use_symmetry = true;
+  specs::RaftMongoSpec spec(config);
+  tlax::State a = specs::RaftMongoSpec::MakeState(
+      {"Leader", "Follower", "Follower"}, {2, 1, 1},
+      {{1, 1}, {0, 0}, {0, 0}}, {{1, 2}, {1}, {}});
+  // The same configuration with nodes relabeled.
+  tlax::State b = specs::RaftMongoSpec::MakeState(
+      {"Follower", "Follower", "Leader"}, {1, 1, 2},
+      {{0, 0}, {0, 0}, {1, 1}}, {{}, {1}, {1, 2}});
+  EXPECT_EQ(spec.Canonicalize(a), spec.Canonicalize(b));
+  // Canonicalization is idempotent.
+  EXPECT_EQ(spec.Canonicalize(spec.Canonicalize(a)), spec.Canonicalize(a));
+}
+
+TEST(ViewCoverageTest, ViewCollapsesQualitativelySameStates) {
+  // TLC's VIEW: measure coverage over an abstraction. Here the view keeps
+  // only the x counter, collapsing all y values.
+  specs::CounterSpec spec(/*limit=*/3);
+  tlax::SpecCoverage coverage;
+  coverage.set_view([](const tlax::State& s) { return s.var(0); });
+  ASSERT_TRUE(coverage.Initialize(spec).ok());
+  EXPECT_EQ(coverage.reachable_states(), 4u);  // x in 0..3.
+
+  auto full = [](int64_t x, int64_t y) {
+    tlax::TraceState t;
+    t.vars = {tlax::Value::Int(x), tlax::Value::Int(y)};
+    return t;
+  };
+  ASSERT_TRUE(coverage.AddTrace(spec, {full(0, 0), full(0, 1)}).ok());
+  EXPECT_EQ(coverage.covered_states(), 1u);  // Only x = 0 seen.
+  ASSERT_TRUE(coverage.AddTrace(spec, {full(0, 0), full(1, 0)}).ok());
+  EXPECT_EQ(coverage.covered_states(), 2u);
+  EXPECT_NEAR(coverage.Fraction(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace xmodel::trace

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "specs/raft_mongo_spec.h"
+#include "tlax/tla_text.h"
+
+namespace xmodel::tlax {
+namespace {
+
+TEST(TraceModuleGoldenTest, Figure4Shape) {
+  // The paper's Figure 4: a Trace module whose tuples hold role, term,
+  // commit point, and oplog per node. This golden test pins the emitted
+  // concrete syntax.
+  using specs::RaftMongoSpec;
+  std::vector<TraceState> trace;
+  trace.push_back(RaftMongoSpec::ToObservableTraceState(
+      RaftMongoSpec::MakeState({"Leader", "Follower", "Follower"}, {1, 1, 1},
+                               {{0, 0}, {0, 0}, {0, 0}}, {{}, {}, {}})));
+  trace.push_back(RaftMongoSpec::ToObservableTraceState(
+      RaftMongoSpec::MakeState({"Follower", "Leader", "Follower"}, {1, 2, 1},
+                               {{0, 0}, {0, 0}, {0, 0}}, {{}, {}, {}})));
+
+  const std::string expected =
+      "---- MODULE Trace ----\n"
+      "EXTENDS Integers, Sequences\n"
+      "(* Trace generated from log files. Each tuple holds, in order: "
+      "role, term, commitPoint, oplog, votedTerm. *)\n"
+      "Trace == <<\n"
+      "  <<\n"
+      "    <<\"Leader\", \"Follower\", \"Follower\">>,\n"
+      "    <<1, 1, 1>>,\n"
+      "    <<NULL, NULL, NULL>>,\n"
+      "    <<<<>>, <<>>, <<>>>>,\n"
+      "    ?\n"
+      "  >>,\n"
+      "  <<\n"
+      "    <<\"Follower\", \"Leader\", \"Follower\">>,\n"
+      "    <<1, 2, 1>>,\n"
+      "    <<NULL, NULL, NULL>>,\n"
+      "    <<<<>>, <<>>, <<>>>>,\n"
+      "    ?\n"
+      "  >>\n"
+      ">>\n"
+      "====\n";
+  std::vector<std::string> variables = {"role", "term", "commitPoint",
+                                        "oplog", "votedTerm"};
+  EXPECT_EQ(TraceModuleText("Trace", variables, trace), expected);
+}
+
+}  // namespace
+}  // namespace xmodel::tlax
