@@ -1,0 +1,71 @@
+#include "analysis/diagnostics.h"
+
+#include "common/strings.h"
+
+namespace xmodel::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToText() const {
+  std::string where = subject;
+  if (!location.empty()) {
+    where = where.empty() ? location : common::StrCat(subject, "/", location);
+  }
+  return common::StrCat(SeverityName(severity), ": [", tool, "/", code, "] ",
+                        where, ": ", message);
+}
+
+common::Json Diagnostic::ToJson() const {
+  common::Json out = common::Json::MakeObject();
+  out.Set("severity", common::Json::Str(SeverityName(severity)));
+  out.Set("tool", common::Json::Str(tool));
+  out.Set("subject", common::Json::Str(subject));
+  out.Set("location", common::Json::Str(location));
+  out.Set("code", common::Json::Str(code));
+  out.Set("message", common::Json::Str(message));
+  return out;
+}
+
+size_t DiagnosticReport::CountAtLeast(Severity severity) const {
+  size_t count = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= severity) ++count;
+  }
+  return count;
+}
+
+std::string DiagnosticReport::ToText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToText();
+    out += '\n';
+  }
+  size_t errors = CountAtLeast(Severity::kError);
+  size_t warnings = CountAtLeast(Severity::kWarning) - errors;
+  out += common::StrCat(errors, " error(s), ", warnings, " warning(s)\n");
+  return out;
+}
+
+common::Json DiagnosticReport::ToJson() const {
+  common::Json list = common::Json::MakeArray();
+  for (const Diagnostic& d : diagnostics_) list.Append(d.ToJson());
+  size_t errors = CountAtLeast(Severity::kError);
+  size_t warnings = CountAtLeast(Severity::kWarning) - errors;
+  common::Json out = common::Json::MakeObject();
+  out.Set("diagnostics", std::move(list));
+  out.Set("errors", common::Json::Int(static_cast<int64_t>(errors)));
+  out.Set("warnings", common::Json::Int(static_cast<int64_t>(warnings)));
+  return out;
+}
+
+}  // namespace xmodel::analysis

@@ -1,0 +1,59 @@
+#ifndef XMODEL_ANALYSIS_DIAGNOSTICS_H_
+#define XMODEL_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace xmodel::analysis {
+
+/// Diagnostic severities, ordered so comparisons work (kError > kWarning).
+enum class Severity { kNote = 0, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+/// One structured finding from a static analysis, printable as text and
+/// JSON. `code` is a stable machine-readable identifier (kebab-case, e.g.
+/// "vacuous-invariant"); `subject` names the spec or event stream analyzed;
+/// `location` the action/invariant/variable/resource within it.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string tool;      // "spec-lint", "lock-order", "independence".
+  std::string subject;   // Spec name or lock-event-stream name.
+  std::string location;  // Action/invariant/variable/resource, may be "".
+  std::string code;      // Stable identifier of the finding kind.
+  std::string message;   // Human-readable explanation.
+
+  /// "error: [spec-lint/vacuous-invariant] Counter/Sum: ...".
+  std::string ToText() const;
+  common::Json ToJson() const;
+};
+
+/// An ordered collection of diagnostics with severity bookkeeping.
+class DiagnosticReport {
+ public:
+  void Add(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+  void Extend(const std::vector<Diagnostic>& diagnostics) {
+    for (const Diagnostic& d : diagnostics) diagnostics_.push_back(d);
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t CountAtLeast(Severity severity) const;
+  bool HasErrors() const { return CountAtLeast(Severity::kError) > 0; }
+
+  /// One diagnostic per line, plus a trailing summary line.
+  std::string ToText() const;
+  /// {"diagnostics": [...], "errors": N, "warnings": N}.
+  common::Json ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_DIAGNOSTICS_H_

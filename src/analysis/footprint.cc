@@ -1,0 +1,155 @@
+#include "analysis/footprint.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "tlax/state.h"
+
+namespace xmodel::analysis {
+
+namespace {
+
+using tlax::Spec;
+using tlax::State;
+
+// Resolves declared variable names to a mask, collecting unresolved names.
+uint64_t ResolveNames(const Spec& spec, const std::vector<std::string>& names,
+                      std::vector<std::string>* unresolved) {
+  uint64_t mask = 0;
+  for (const std::string& name : names) {
+    int index = spec.VarIndex(name);
+    if (index < 0 || index >= 64) {
+      unresolved->push_back(name);
+    } else {
+      mask |= uint64_t{1} << index;
+    }
+  }
+  return mask;
+}
+
+// Mask of variables on which `succ` differs from `src`.
+uint64_t DiffMask(const State& src, const State& succ) {
+  uint64_t mask = 0;
+  size_t n = std::min(src.num_vars(), succ.num_vars());
+  for (size_t i = 0; i < n; ++i) {
+    if (src.var(i) != succ.var(i)) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+SpecFootprints InferFootprints(const Spec& spec,
+                               const FootprintOptions& options) {
+  SpecFootprints result;
+  const std::vector<tlax::Action>& actions = spec.actions();
+  const std::vector<tlax::Invariant>& invariants = spec.invariants();
+  result.actions.resize(actions.size());
+  result.invariants.resize(invariants.size());
+
+  for (size_t a = 0; a < actions.size(); ++a) {
+    if (actions[a].footprint.has_value()) {
+      ActionFootprint& fp = result.actions[a];
+      fp.has_declared = true;
+      fp.declared_reads =
+          ResolveNames(spec, actions[a].footprint->reads, &fp.unresolved);
+      fp.declared_writes =
+          ResolveNames(spec, actions[a].footprint->writes, &fp.unresolved);
+    }
+  }
+  for (size_t i = 0; i < invariants.size(); ++i) {
+    if (invariants[i].reads.has_value()) {
+      InvariantFootprint& fp = result.invariants[i];
+      fp.has_declared = true;
+      fp.declared_reads =
+          ResolveNames(spec, *invariants[i].reads, &fp.unresolved);
+    }
+  }
+
+  if (spec.variables().size() > 64) return result;
+
+  // BFS over reachable states within the constraint, probing each state.
+  std::deque<State> frontier;
+  std::unordered_set<uint64_t> seen;  // By fingerprint; collisions only
+                                      // shrink the sample, never corrupt it.
+  for (State& init : spec.InitialStates()) {
+    State canon = spec.Canonicalize(init);
+    if (seen.insert(canon.fingerprint()).second &&
+        spec.WithinConstraint(canon)) {
+      frontier.push_back(std::move(canon));
+    }
+  }
+
+  std::vector<State> successors;
+  bool truncated = false;
+  while (!frontier.empty()) {
+    if (result.sampled_states >= options.max_samples) {
+      truncated = true;
+      break;
+    }
+    State state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.sampled_states;
+
+    {
+      tlax::StateAccessLog log;
+      {
+        tlax::ScopedStateAccessLog scope(&log);
+        (void)spec.WithinConstraint(state);
+      }
+      result.constraint_reads |= log.reads;
+    }
+
+    for (size_t a = 0; a < actions.size(); ++a) {
+      ActionFootprint& fp = result.actions[a];
+      successors.clear();
+      tlax::StateAccessLog log;
+      {
+        tlax::ScopedStateAccessLog scope(&log);
+        actions[a].next(state, &successors);
+      }
+      fp.observed_reads |= log.reads;
+      // `log.writes` records State::With calls (may-write even when the
+      // value happens to be unchanged); DiffMask catches successors built
+      // wholesale with the State constructor.
+      fp.observed_writes |= log.writes;
+      if (!successors.empty()) ++fp.times_enabled;
+      for (const State& succ : successors) {
+        fp.observed_writes |= DiffMask(state, succ);
+        State canon = spec.Canonicalize(succ);
+        if (seen.insert(canon.fingerprint()).second &&
+            spec.WithinConstraint(canon)) {
+          frontier.push_back(std::move(canon));
+        }
+      }
+    }
+
+    for (size_t i = 0; i < invariants.size(); ++i) {
+      tlax::StateAccessLog log;
+      {
+        tlax::ScopedStateAccessLog scope(&log);
+        (void)invariants[i].predicate(state);
+      }
+      result.invariants[i].observed_reads |= log.reads;
+    }
+  }
+  result.exhaustive = !truncated;
+  return result;
+}
+
+std::string MaskToString(const Spec& spec, uint64_t mask) {
+  const std::vector<std::string>& vars = spec.variables();
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < vars.size() && i < 64; ++i) {
+    if (!((mask >> i) & 1)) continue;
+    if (!first) out += ", ";
+    out += vars[i];
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xmodel::analysis

@@ -1,0 +1,77 @@
+#ifndef XMODEL_ANALYSIS_FOOTPRINT_H_
+#define XMODEL_ANALYSIS_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlax/spec.h"
+
+namespace xmodel::analysis {
+
+/// The read/write variable footprint of one action, as 64-bit masks over
+/// the owning spec's variable indexes. `observed_*` comes from probe runs
+/// under an instrumented State accessor (reads) plus successor diffing
+/// (writes); `declared_*` from the spec author's optional Footprint.
+struct ActionFootprint {
+  uint64_t observed_reads = 0;
+  uint64_t observed_writes = 0;
+  uint64_t declared_reads = 0;
+  uint64_t declared_writes = 0;
+  bool has_declared = false;
+  /// Declared variable names that did not resolve to any spec variable.
+  std::vector<std::string> unresolved;
+  /// Number of sampled states on which the action produced a successor.
+  uint64_t times_enabled = 0;
+
+  /// The effective may-read/may-write sets: union of declared and observed.
+  uint64_t reads() const { return declared_reads | observed_reads; }
+  uint64_t writes() const { return declared_writes | observed_writes; }
+};
+
+/// Same for an invariant, which only reads.
+struct InvariantFootprint {
+  uint64_t observed_reads = 0;
+  uint64_t declared_reads = 0;
+  bool has_declared = false;
+  std::vector<std::string> unresolved;
+
+  uint64_t reads() const { return declared_reads | observed_reads; }
+};
+
+/// Footprints of every action and invariant of a spec, inferred by probing
+/// a BFS sample of reachable states.
+struct SpecFootprints {
+  std::vector<ActionFootprint> actions;
+  std::vector<InvariantFootprint> invariants;
+  /// Variables the spec's WithinConstraint predicate was observed reading.
+  /// Independence must respect these: an action writing a constraint-read
+  /// variable can steer successors out of the explored region, which breaks
+  /// the commutativity diamond (the other interleaving is never expanded).
+  uint64_t constraint_reads = 0;
+  /// How many reachable states were probed.
+  uint64_t sampled_states = 0;
+  /// True when BFS exhausted the reachable (constrained) state space within
+  /// the sample budget — enabledness verdicts are then exact, not sampled.
+  bool exhaustive = false;
+};
+
+struct FootprintOptions {
+  /// Probe at most this many distinct reachable states.
+  uint64_t max_samples = 4096;
+};
+
+/// Runs every action and invariant on a BFS sample of reachable states,
+/// recording variable reads through the instrumented State accessor and
+/// variable writes by diffing successors against their source state, and
+/// resolves declared footprints. Specs with more than 64 variables are not
+/// supported (all masks empty, sampled_states = 0).
+SpecFootprints InferFootprints(const tlax::Spec& spec,
+                               const FootprintOptions& options = {});
+
+/// Renders a variable mask as "{x, y}" using the spec's variable names.
+std::string MaskToString(const tlax::Spec& spec, uint64_t mask);
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_FOOTPRINT_H_

@@ -1,0 +1,29 @@
+#ifndef XMODEL_ANALYSIS_INDEPENDENCE_H_
+#define XMODEL_ANALYSIS_INDEPENDENCE_H_
+
+#include <string>
+
+#include "analysis/footprint.h"
+#include "tlax/independence.h"
+#include "tlax/spec.h"
+
+namespace xmodel::analysis {
+
+/// Computes the action-commutativity matrix from footprints: two actions
+/// commute when neither writes a variable the other reads or writes. The
+/// effective footprint of an action is the union of its declared and
+/// observed sets; an action with no declaration that was never observed
+/// enabled is conservatively treated as touching every variable (nothing is
+/// known about it). Feed the result to CheckerOptions::independence for
+/// sleep-set partial-order reduction.
+tlax::ActionIndependence ComputeIndependence(const tlax::Spec& spec,
+                                             const SpecFootprints& footprints);
+
+/// Renders the matrix as a table with one row per action ('.' = commutes,
+/// 'C' = conflicts, '-' = diagonal), stable for golden tests.
+std::string IndependenceToText(const tlax::Spec& spec,
+                               const tlax::ActionIndependence& matrix);
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_INDEPENDENCE_H_

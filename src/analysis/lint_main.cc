@@ -1,0 +1,201 @@
+// xmodel_lint: static analysis over every registered spec and the repl
+// lock manager.
+//
+//   xmodel_lint                 lint all specs + the repl lock scenarios
+//   xmodel_lint --json          machine-readable output
+//   xmodel_lint --spec=Raft     only specs whose name contains "Raft"
+//   xmodel_lint --matrix        also print action-commutativity matrices
+//   xmodel_lint --no-scenarios  skip the lock-order pass
+//   xmodel_lint --broken-fixture  lint the seeded-defect fixture instead
+//                                 (must exit nonzero; CI checks this)
+//
+// Exit status: 0 when no error-severity diagnostic was produced.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/footprint.h"
+#include "analysis/independence.h"
+#include "analysis/lock_order.h"
+#include "analysis/spec_lint.h"
+#include "analysis/spec_registry.h"
+#include "common/strings.h"
+#include "repl/replica_set.h"
+#include "repl/scenarios.h"
+
+namespace {
+
+using namespace xmodel;  // NOLINT — main binary only.
+
+struct Options {
+  bool json = false;
+  bool matrix = false;
+  bool scenarios = true;
+  bool broken_fixture = false;
+  uint64_t max_samples = 4096;
+  std::string spec_filter;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      options->json = true;
+    } else if (arg == "--matrix") {
+      options->matrix = true;
+    } else if (arg == "--no-scenarios") {
+      options->scenarios = false;
+    } else if (arg == "--broken-fixture") {
+      options->broken_fixture = true;
+    } else if (arg.rfind("--spec=", 0) == 0) {
+      options->spec_filter = arg.substr(7);
+    } else if (arg.rfind("--max-samples=", 0) == 0) {
+      options->max_samples = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SpecSummary {
+  std::string name;
+  uint64_t sampled_states = 0;
+  bool exhaustive = false;
+  size_t commuting_pairs = 0;
+  size_t action_pairs = 0;
+  std::string matrix_text;
+};
+
+void LintOneSpec(const tlax::Spec& spec, const Options& options,
+                 analysis::DiagnosticReport* report,
+                 std::vector<SpecSummary>* summaries) {
+  analysis::FootprintOptions footprint_options;
+  footprint_options.max_samples = options.max_samples;
+  analysis::SpecFootprints footprints =
+      analysis::InferFootprints(spec, footprint_options);
+  report->Extend(analysis::LintSpec(spec, footprints));
+
+  tlax::ActionIndependence matrix =
+      analysis::ComputeIndependence(spec, footprints);
+  SpecSummary summary;
+  summary.name = spec.name();
+  summary.sampled_states = footprints.sampled_states;
+  summary.exhaustive = footprints.exhaustive;
+  summary.commuting_pairs = matrix.NumCommutingPairs();
+  size_t n = spec.actions().size();
+  summary.action_pairs = n * (n - 1) / 2;
+  if (options.matrix) {
+    summary.matrix_text = analysis::IndependenceToText(spec, matrix);
+  }
+  summaries->push_back(std::move(summary));
+}
+
+// Runs each base repl scenario with a lock-event observer on every node and
+// feeds the per-node streams to the lock-order analysis.
+void AnalyzeScenarioLocks(analysis::DiagnosticReport* report,
+                          size_t* streams_analyzed) {
+  for (const repl::Scenario& scenario : repl::BaseScenarios()) {
+    repl::ReplicaSet rs(scenario.config);
+    std::vector<std::vector<repl::LockEvent>> per_node(rs.num_nodes());
+    for (int n = 0; n < rs.num_nodes(); ++n) {
+      rs.node(n).lock_manager().SetEventObserver(
+          [&per_node, n](const repl::LockEvent& event) {
+            per_node[n].push_back(event);
+          });
+    }
+    common::Status status = scenario.run(rs);
+    if (!status.ok()) {
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kWarning;
+      d.tool = "lock-order";
+      d.subject = scenario.name;
+      d.code = "scenario-failed";
+      d.message = common::StrCat("scenario did not complete: ",
+                                 status.ToString());
+      report->Add(std::move(d));
+    }
+    for (int n = 0; n < rs.num_nodes(); ++n) {
+      if (per_node[n].empty()) continue;
+      std::string subject = common::StrCat(scenario.name, "/node", n);
+      analysis::LockOrderReport lock_report =
+          analysis::AnalyzeLockOrder(per_node[n], subject);
+      for (analysis::Diagnostic& d : lock_report.diagnostics) {
+        report->Add(std::move(d));
+      }
+      ++*streams_analyzed;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  analysis::DiagnosticReport report;
+  std::vector<SpecSummary> summaries;
+  size_t lock_streams = 0;
+
+  if (options.broken_fixture) {
+    auto fixture = analysis::MakeBrokenFixtureSpec();
+    LintOneSpec(*fixture, options, &report, &summaries);
+  } else {
+    for (const analysis::RegisteredSpec& entry :
+         analysis::RegisteredSpecs()) {
+      if (!options.spec_filter.empty() &&
+          entry.name.find(options.spec_filter) == std::string::npos) {
+        continue;
+      }
+      auto spec = entry.make();
+      LintOneSpec(*spec, options, &report, &summaries);
+    }
+    if (options.scenarios && options.spec_filter.empty()) {
+      AnalyzeScenarioLocks(&report, &lock_streams);
+    }
+  }
+
+  if (options.json) {
+    common::Json out = report.ToJson();
+    common::Json spec_list = common::Json::MakeArray();
+    for (const SpecSummary& s : summaries) {
+      common::Json entry = common::Json::MakeObject();
+      entry.Set("name", common::Json::Str(s.name));
+      entry.Set("sampled_states",
+                common::Json::Int(static_cast<int64_t>(s.sampled_states)));
+      entry.Set("exhaustive", common::Json::Bool(s.exhaustive));
+      entry.Set("commuting_pairs",
+                common::Json::Int(static_cast<int64_t>(s.commuting_pairs)));
+      entry.Set("action_pairs",
+                common::Json::Int(static_cast<int64_t>(s.action_pairs)));
+      spec_list.Append(std::move(entry));
+    }
+    out.Set("specs", std::move(spec_list));
+    out.Set("lock_streams",
+            common::Json::Int(static_cast<int64_t>(lock_streams)));
+    std::printf("%s\n", out.Dump().c_str());
+  } else {
+    for (const SpecSummary& s : summaries) {
+      std::printf("spec %-18s %6llu reachable state(s) probed%s, "
+                  "%zu/%zu action pair(s) commute\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.sampled_states),
+                  s.exhaustive ? " (exhaustive)" : "",
+                  s.commuting_pairs, s.action_pairs);
+      if (!s.matrix_text.empty()) std::printf("%s", s.matrix_text.c_str());
+    }
+    if (lock_streams > 0) {
+      std::printf("lock-order: %zu per-node event stream(s) from the base "
+                  "scenarios analyzed\n",
+                  lock_streams);
+    }
+    std::printf("\n%s", report.ToText().c_str());
+  }
+
+  return report.HasErrors() ? 1 : 0;
+}

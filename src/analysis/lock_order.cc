@@ -1,0 +1,223 @@
+#include "analysis/lock_order.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace xmodel::analysis {
+
+namespace {
+
+using common::StrCat;
+using repl::LockEvent;
+using repl::LockMode;
+using repl::ResourceId;
+using repl::ResourceLevel;
+
+// Mirrors LockManager's hierarchy rule (kept in sync with
+// repl/lock_manager.cc so synthetic streams are judged by the same
+// discipline the manager enforces at runtime).
+LockMode RequiredParentIntent(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIntentShared:
+    case LockMode::kShared:
+      return LockMode::kIntentShared;
+    case LockMode::kIntentExclusive:
+    case LockMode::kExclusive:
+      return LockMode::kIntentExclusive;
+  }
+  return LockMode::kIntentShared;
+}
+
+bool CoversIntent(LockMode held, LockMode needed) {
+  if (held == needed) return true;
+  if (needed == LockMode::kIntentShared) {
+    return held == LockMode::kIntentExclusive || held == LockMode::kShared ||
+           held == LockMode::kExclusive;
+  }
+  if (needed == LockMode::kIntentExclusive) {
+    return held == LockMode::kExclusive;
+  }
+  return false;
+}
+
+std::string DatabaseOf(const ResourceId& collection) {
+  size_t dot = collection.name.find('.');
+  return dot == std::string::npos ? collection.name
+                                  : collection.name.substr(0, dot);
+}
+
+Diagnostic Make(Severity severity, const std::string& subject,
+                std::string location, std::string code, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.tool = "lock-order";
+  d.subject = subject;
+  d.location = std::move(location);
+  d.code = std::move(code);
+  d.message = std::move(message);
+  return d;
+}
+
+// DFS cycle extraction over the edge adjacency; reports each cycle once
+// (rooted at its smallest resource).
+class CycleFinder {
+ public:
+  explicit CycleFinder(const std::map<ResourceId, std::set<ResourceId>>& adj)
+      : adj_(adj) {}
+
+  std::vector<std::vector<ResourceId>> FindCycles() {
+    for (const auto& [node, targets] : adj_) {
+      (void)targets;
+      if (color_[node] == 0) Visit(node);
+    }
+    return cycles_;
+  }
+
+ private:
+  void Visit(const ResourceId& node) {
+    color_[node] = 1;
+    path_.push_back(node);
+    auto it = adj_.find(node);
+    if (it != adj_.end()) {
+      for (const ResourceId& next : it->second) {
+        if (color_[next] == 1) {
+          // Back edge: the cycle is the path suffix from `next`.
+          std::vector<ResourceId> cycle;
+          size_t start = 0;
+          while (start < path_.size() && !(path_[start] == next)) ++start;
+          for (size_t i = start; i < path_.size(); ++i) {
+            cycle.push_back(path_[i]);
+          }
+          RecordCycle(std::move(cycle));
+        } else if (color_[next] == 0) {
+          Visit(next);
+        }
+      }
+    }
+    path_.pop_back();
+    color_[node] = 2;
+  }
+
+  void RecordCycle(std::vector<ResourceId> cycle) {
+    if (cycle.empty()) return;
+    // Canonical rotation: start at the smallest resource, so the same loop
+    // found from different roots is deduplicated.
+    size_t smallest = 0;
+    for (size_t i = 1; i < cycle.size(); ++i) {
+      if (cycle[i] < cycle[smallest]) smallest = i;
+    }
+    std::rotate(cycle.begin(), cycle.begin() + smallest, cycle.end());
+    for (const auto& existing : cycles_) {
+      if (existing == cycle) return;
+    }
+    cycles_.push_back(std::move(cycle));
+  }
+
+  const std::map<ResourceId, std::set<ResourceId>>& adj_;
+  std::map<ResourceId, int> color_;
+  std::vector<ResourceId> path_;
+  std::vector<std::vector<ResourceId>> cycles_;
+};
+
+}  // namespace
+
+LockOrderReport AnalyzeLockOrder(const std::vector<LockEvent>& events,
+                                 const std::string& subject) {
+  LockOrderReport report;
+  // Per-context held set, replayed from the stream.
+  std::map<int64_t, std::map<ResourceId, LockMode>> held;
+  // Edge -> first example, insertion-ordered adjacency for cycle search.
+  std::map<std::pair<ResourceId, ResourceId>, std::pair<int64_t, size_t>>
+      edge_examples;
+  std::map<ResourceId, std::set<ResourceId>> adjacency;
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const LockEvent& event = events[i];
+    std::map<ResourceId, LockMode>& mine = held[event.opctx];
+    if (event.type == LockEvent::Type::kRelease) {
+      if (mine.erase(event.resource) == 0) {
+        report.diagnostics.push_back(Make(
+            Severity::kWarning, subject, event.resource.ToString(),
+            "release-without-acquire",
+            StrCat("event #", i, ": opctx ", event.opctx,
+                   " released a lock the stream never showed it acquiring")));
+      }
+      continue;
+    }
+
+    // Hierarchy: a covering intent lock must be held on every ancestor.
+    if (event.resource.level != ResourceLevel::kGlobal) {
+      LockMode needed = RequiredParentIntent(event.mode);
+      std::vector<ResourceId> ancestors;
+      ancestors.push_back(ResourceId{ResourceLevel::kGlobal, ""});
+      if (event.resource.level == ResourceLevel::kCollection) {
+        ancestors.push_back(
+            ResourceId{ResourceLevel::kDatabase, DatabaseOf(event.resource)});
+      }
+      for (const ResourceId& ancestor : ancestors) {
+        auto it = mine.find(ancestor);
+        if (it == mine.end() || !CoversIntent(it->second, needed)) {
+          report.diagnostics.push_back(Make(
+              Severity::kError, subject, event.resource.ToString(),
+              "hierarchy-violation",
+              StrCat("event #", i, ": opctx ", event.opctx, " acquired ",
+                     event.resource.ToString(), " in ",
+                     repl::LockModeName(event.mode),
+                     " without a covering ", repl::LockModeName(needed),
+                     " lock on ", ancestor.ToString())));
+        }
+      }
+    }
+
+    // Acquisition order: an edge from every lock already held to this one.
+    for (const auto& [held_resource, held_mode] : mine) {
+      (void)held_mode;
+      if (held_resource == event.resource) continue;
+      auto key = std::make_pair(held_resource, event.resource);
+      if (edge_examples.emplace(key, std::make_pair(event.opctx, i)).second) {
+        adjacency[held_resource].insert(event.resource);
+      }
+    }
+    mine[event.resource] = event.mode;  // Upgrades replace the mode.
+  }
+
+  for (const auto& [key, example] : edge_examples) {
+    report.edges.push_back(
+        LockOrderEdge{key.first, key.second, example.first, example.second});
+  }
+
+  report.cycles = CycleFinder(adjacency).FindCycles();
+  for (const std::vector<ResourceId>& cycle : report.cycles) {
+    std::string path;
+    for (const ResourceId& r : cycle) {
+      path += r.ToString();
+      path += " -> ";
+    }
+    path += cycle.front().ToString();
+    report.diagnostics.push_back(Make(
+        Severity::kError, subject, cycle.front().ToString(),
+        "lock-order-cycle",
+        StrCat("acquisition-order cycle ", path,
+               ": a potential deadlock under blocking acquisition")));
+  }
+
+  return report;
+}
+
+std::string LockOrderGraphToText(const LockOrderReport& report) {
+  std::string out;
+  for (const LockOrderEdge& edge : report.edges) {
+    out += StrCat(edge.from.ToString(), " -> ", edge.to.ToString(),
+                  "  (e.g. opctx ", edge.example_opctx, ", event #",
+                  edge.example_event, ")\n");
+  }
+  out += StrCat(report.edges.size(), " edge(s), ", report.cycles.size(),
+                " cycle(s)\n");
+  return out;
+}
+
+}  // namespace xmodel::analysis

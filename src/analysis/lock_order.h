@@ -1,0 +1,55 @@
+#ifndef XMODEL_ANALYSIS_LOCK_ORDER_H_
+#define XMODEL_ANALYSIS_LOCK_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "repl/lock_manager.h"
+
+namespace xmodel::analysis {
+
+/// A directed acquisition-order edge: some context acquired `to` while
+/// already holding `from`.
+struct LockOrderEdge {
+  repl::ResourceId from;
+  repl::ResourceId to;
+  /// One example context and event index that established the edge.
+  int64_t example_opctx = 0;
+  size_t example_event = 0;
+};
+
+/// The result of the static lock-order analysis over one LockEvent stream —
+/// the static counterpart of the Locking-spec MBTC experiment (E8): instead
+/// of replaying the trace against the spec, it builds the
+/// acquired-while-holding graph and reports cycles (potential deadlocks
+/// under a blocking acquisition semantics) and hierarchy violations (a lock
+/// taken at some level without a covering intent lock above it).
+struct LockOrderReport {
+  /// Deduplicated acquisition-order edges, union over all contexts.
+  std::vector<LockOrderEdge> edges;
+  /// Each detected cycle as a resource sequence (first == last omitted).
+  std::vector<std::vector<repl::ResourceId>> cycles;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity >= Severity::kError) return false;
+    }
+    return true;
+  }
+};
+
+/// Analyzes one event stream. `subject` names the stream in diagnostics
+/// (e.g. "elect_and_write/node0"). The stream is replayed to track each
+/// context's held set; malformed streams (release of a lock never acquired)
+/// produce their own diagnostics rather than aborting.
+LockOrderReport AnalyzeLockOrder(const std::vector<repl::LockEvent>& events,
+                                 const std::string& subject);
+
+/// Renders the acquisition-order graph as "from -> to" lines, for reports.
+std::string LockOrderGraphToText(const LockOrderReport& report);
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_LOCK_ORDER_H_

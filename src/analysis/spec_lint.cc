@@ -1,0 +1,155 @@
+#include "analysis/spec_lint.h"
+
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+
+namespace xmodel::analysis {
+
+namespace {
+
+using common::StrCat;
+
+Diagnostic Make(Severity severity, const tlax::Spec& spec,
+                std::string location, std::string code, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.tool = "spec-lint";
+  d.subject = spec.name();
+  d.location = std::move(location);
+  d.code = std::move(code);
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintSpec(const tlax::Spec& spec,
+                                 const SpecFootprints& footprints) {
+  std::vector<Diagnostic> out;
+  const std::vector<tlax::Action>& actions = spec.actions();
+  const std::vector<tlax::Invariant>& invariants = spec.invariants();
+
+  // Duplicate / shadowed names.
+  std::map<std::string, size_t> action_names;
+  for (size_t a = 0; a < actions.size(); ++a) {
+    auto [it, inserted] = action_names.emplace(actions[a].name, a);
+    if (!inserted) {
+      out.push_back(Make(
+          Severity::kError, spec, actions[a].name, "duplicate-action-name",
+          StrCat("action #", a, " shadows action #", it->second,
+                 " of the same name; traces and coverage reports cannot "
+                 "distinguish them")));
+    }
+  }
+  std::map<std::string, size_t> invariant_names;
+  for (size_t i = 0; i < invariants.size(); ++i) {
+    auto [it, inserted] = invariant_names.emplace(invariants[i].name, i);
+    if (!inserted) {
+      out.push_back(Make(Severity::kError, spec, invariants[i].name,
+                         "duplicate-invariant-name",
+                         StrCat("invariant #", i, " shadows invariant #",
+                                it->second, " of the same name")));
+    }
+  }
+
+  // Declared-footprint sanity.
+  for (size_t a = 0; a < actions.size(); ++a) {
+    const ActionFootprint& fp = footprints.actions[a];
+    for (const std::string& name : fp.unresolved) {
+      out.push_back(Make(
+          Severity::kError, spec, actions[a].name, "unresolved-footprint-var",
+          StrCat("declared footprint names unknown variable \"", name,
+                 "\"")));
+    }
+    if (!fp.has_declared) continue;
+    uint64_t escaped_reads = fp.observed_reads & ~fp.declared_reads;
+    if (escaped_reads != 0) {
+      out.push_back(Make(
+          Severity::kError, spec, actions[a].name, "footprint-mismatch",
+          StrCat("observed reads of ", MaskToString(spec, escaped_reads),
+                 " outside the declared read footprint ",
+                 MaskToString(spec, fp.declared_reads))));
+    }
+    uint64_t escaped_writes = fp.observed_writes & ~fp.declared_writes;
+    if (escaped_writes != 0) {
+      out.push_back(Make(
+          Severity::kError, spec, actions[a].name, "footprint-mismatch",
+          StrCat("observed writes of ", MaskToString(spec, escaped_writes),
+                 " outside the declared write footprint ",
+                 MaskToString(spec, fp.declared_writes))));
+    }
+  }
+  for (size_t i = 0; i < invariants.size(); ++i) {
+    const InvariantFootprint& fp = footprints.invariants[i];
+    for (const std::string& name : fp.unresolved) {
+      out.push_back(Make(
+          Severity::kError, spec, invariants[i].name,
+          "unresolved-footprint-var",
+          StrCat("declared footprint names unknown variable \"", name,
+                 "\"")));
+    }
+    if (fp.has_declared && (fp.observed_reads & ~fp.declared_reads) != 0) {
+      out.push_back(Make(
+          Severity::kError, spec, invariants[i].name, "footprint-mismatch",
+          StrCat("observed reads of ",
+                 MaskToString(spec, fp.observed_reads & ~fp.declared_reads),
+                 " outside the declared read footprint ",
+                 MaskToString(spec, fp.declared_reads))));
+    }
+  }
+
+  // Union of everything any action may write.
+  uint64_t all_writes = 0;
+  for (const ActionFootprint& fp : footprints.actions) {
+    all_writes |= fp.writes();
+  }
+
+  // Vacuous invariants: reading only never-written variables (or nothing at
+  // all) means the predicate's truth value is fixed by the initial states —
+  // it guards nothing during exploration.
+  for (size_t i = 0; i < invariants.size(); ++i) {
+    const InvariantFootprint& fp = footprints.invariants[i];
+    if ((fp.reads() & all_writes) == 0) {
+      out.push_back(Make(
+          Severity::kError, spec, invariants[i].name, "vacuous-invariant",
+          fp.reads() == 0
+              ? std::string(
+                    "the predicate reads no state variable; it is a "
+                    "constant, not an invariant")
+              : StrCat("the predicate reads only ",
+                       MaskToString(spec, fp.reads()),
+                       ", none of which any action writes; it cannot "
+                       "change truth value after the initial state")));
+    }
+  }
+
+  // Dead actions.
+  for (size_t a = 0; a < actions.size(); ++a) {
+    const ActionFootprint& fp = footprints.actions[a];
+    if (fp.times_enabled == 0) {
+      out.push_back(Make(
+          footprints.exhaustive ? Severity::kError : Severity::kWarning,
+          spec, actions[a].name, "never-enabled-action",
+          StrCat("produced no successor on any of ",
+                 footprints.sampled_states, " probed reachable states",
+                 footprints.exhaustive
+                     ? " (the full reachable space — the action is dead)"
+                     : " (sampled; the action may be dead)")));
+    }
+  }
+
+  // Never-written variables.
+  const std::vector<std::string>& vars = spec.variables();
+  for (size_t v = 0; v < vars.size() && v < 64; ++v) {
+    if ((all_writes >> v) & 1) continue;
+    out.push_back(Make(
+        Severity::kWarning, spec, vars[v], "never-written-variable",
+        "no action writes this variable; it is a constant in disguise"));
+  }
+
+  return out;
+}
+
+}  // namespace xmodel::analysis

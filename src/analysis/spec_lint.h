@@ -1,0 +1,38 @@
+#ifndef XMODEL_ANALYSIS_SPEC_LINT_H_
+#define XMODEL_ANALYSIS_SPEC_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/footprint.h"
+#include "tlax/spec.h"
+
+namespace xmodel::analysis {
+
+/// Static lint over a spec and its (already inferred) footprints. Reports:
+///
+///   duplicate-action-name   (error)   two actions share a name; the later
+///                                     one shadows the earlier in traces
+///   duplicate-invariant-name (error)  same for invariants
+///   unresolved-footprint-var (error)  a declared footprint names a
+///                                     variable the spec does not have
+///   footprint-mismatch      (error)   observed reads/writes escape the
+///                                     declared footprint
+///   vacuous-invariant       (error)   the invariant reads no variable any
+///                                     action writes — it can never change
+///                                     truth value after the initial state
+///   never-enabled-action    (error when the reachable space was probed
+///                            exhaustively, warning when sampled)
+///                                     the action produced no successor on
+///                                     any probed reachable state
+///   never-written-variable  (warning) no action writes the variable
+///
+/// These are the mechanically detectable spec defects of the paper's
+/// divergence reports: dead actions, incomplete guards, constant
+/// invariants — caught before any model checking run.
+std::vector<Diagnostic> LintSpec(const tlax::Spec& spec,
+                                 const SpecFootprints& footprints);
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_SPEC_LINT_H_

@@ -1,0 +1,132 @@
+#include "analysis/spec_registry.h"
+
+#include "specs/array_ot_spec.h"
+#include "specs/locking_spec.h"
+#include "specs/raft_mongo_spec.h"
+#include "specs/toy_specs.h"
+
+namespace xmodel::analysis {
+
+namespace {
+
+using tlax::Action;
+using tlax::Footprint;
+using tlax::Invariant;
+using tlax::Spec;
+using tlax::State;
+using tlax::Value;
+
+/// The seeded-defect fixture: every variable/action/invariant pathology the
+/// linter hunts for, in one small spec.
+class BrokenFixtureSpec : public Spec {
+ public:
+  BrokenFixtureSpec() : variables_{"x", "ghost"} {
+    // A live action, honestly declared.
+    actions_.push_back(Action{
+        "Step",
+        [](const State& s, std::vector<State>* out) {
+          if (s.var(0).int_value() < 2) {
+            out->push_back(s.With(0, Value::Int(s.var(0).int_value() + 1)));
+          }
+        },
+        Footprint{{"x"}, {"x"}}});
+    // Duplicate name: shadows the first Step.
+    actions_.push_back(Action{
+        "Step", [](const State& s, std::vector<State>* out) {
+          if (s.var(0).int_value() > 0) {
+            out->push_back(s.With(0, Value::Int(s.var(0).int_value() - 1)));
+          }
+        }});
+    // Guard can never hold: x stays within [0, 2].
+    actions_.push_back(Action{
+        "DeadAction", [](const State& s, std::vector<State>* out) {
+          if (s.var(0).int_value() > 100) {
+            out->push_back(s.With(0, Value::Int(0)));
+          }
+        }});
+    // Declares a read-only footprint but actually writes x.
+    actions_.push_back(Action{
+        "LyingFootprint",
+        [](const State& s, std::vector<State>* out) {
+          if (s.var(0).int_value() == 1) {
+            out->push_back(s.With(0, Value::Int(2)));
+          }
+        },
+        Footprint{{"x"}, {}}});
+
+    // Reads only `ghost`, which no action ever writes: vacuous.
+    invariants_.push_back(Invariant{
+        "GhostIsZero",
+        [](const State& s) { return s.var(1).int_value() == 0; }});
+    // Reads nothing at all: a constant.
+    invariants_.push_back(
+        Invariant{"AlwaysTrue", [](const State&) { return true; }});
+    // A real invariant, so the fixture is not all noise.
+    invariants_.push_back(Invariant{
+        "XInRange", [](const State& s) {
+          return s.var(0).int_value() >= 0 && s.var(0).int_value() <= 2;
+        }});
+  }
+
+  std::string name() const override { return "BrokenFixture"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<State> InitialStates() const override {
+    return {State({Value::Int(0), Value::Int(0)})};
+  }
+  const std::vector<Action>& actions() const override { return actions_; }
+  const std::vector<Invariant>& invariants() const override {
+    return invariants_;
+  }
+
+ private:
+  std::vector<std::string> variables_;
+  std::vector<Action> actions_;
+  std::vector<Invariant> invariants_;
+};
+
+}  // namespace
+
+std::vector<RegisteredSpec> RegisteredSpecs() {
+  std::vector<RegisteredSpec> specs;
+  specs.push_back({"Counter", [] {
+                     return std::make_unique<specs::CounterSpec>(3);
+                   }});
+  specs.push_back(
+      {"DieHard", [] { return std::make_unique<specs::DieHardSpec>(); }});
+  specs.push_back({"Locking", [] {
+                     specs::LockingConfig config;
+                     config.num_contexts = 2;
+                     return std::make_unique<specs::LockingSpec>(config);
+                   }});
+  specs.push_back({"RaftMongoAbstract", [] {
+                     specs::RaftMongoConfig config;
+                     config.variant = specs::RaftMongoVariant::kAbstract;
+                     config.num_nodes = 3;
+                     config.max_term = 2;
+                     config.max_oplog_len = 2;
+                     return std::make_unique<specs::RaftMongoSpec>(config);
+                   }});
+  specs.push_back({"RaftMongoDetailed", [] {
+                     specs::RaftMongoConfig config;
+                     config.variant = specs::RaftMongoVariant::kDetailed;
+                     config.num_nodes = 3;
+                     config.max_term = 2;
+                     config.max_oplog_len = 2;
+                     return std::make_unique<specs::RaftMongoSpec>(config);
+                   }});
+  specs.push_back({"array_ot", [] {
+                     specs::ArrayOtConfig config;
+                     config.num_clients = 2;
+                     config.initial_array_len = 2;
+                     return std::make_unique<specs::ArrayOtSpec>(config);
+                   }});
+  return specs;
+}
+
+std::unique_ptr<tlax::Spec> MakeBrokenFixtureSpec() {
+  return std::make_unique<BrokenFixtureSpec>();
+}
+
+}  // namespace xmodel::analysis

@@ -1,0 +1,36 @@
+#ifndef XMODEL_ANALYSIS_SPEC_REGISTRY_H_
+#define XMODEL_ANALYSIS_SPEC_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlax/spec.h"
+
+namespace xmodel::analysis {
+
+/// A lintable spec instance: a display name plus a factory building the
+/// spec at lint-friendly bounds (small enough that footprint probing and
+/// enabledness sampling finish in well under a second each).
+struct RegisteredSpec {
+  std::string name;
+  std::function<std::unique_ptr<tlax::Spec>()> make;
+};
+
+/// Every spec in src/specs/, at small bounds: Counter and DieHard
+/// (toy_specs), Locking, RaftMongo in both variants, and array_ot. This is
+/// the default working set of `xmodel_lint`.
+std::vector<RegisteredSpec> RegisteredSpecs();
+
+/// A deliberately broken toy spec seeding one of every lint finding:
+/// a vacuous invariant, a constant invariant, a never-enabled action,
+/// duplicate action names, a never-written variable, and a declared
+/// footprint the body escapes. Used by tests and by
+/// `xmodel_lint --broken-fixture` to demonstrate (and CI-check) the
+/// nonzero exit path.
+std::unique_ptr<tlax::Spec> MakeBrokenFixtureSpec();
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_SPEC_REGISTRY_H_

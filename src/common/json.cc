@@ -247,7 +247,7 @@ class Parser {
     return false;
   }
 
-  Status Fail(const std::string& what) {
+  Status Fail(std::string_view what) {
     return Status::Corruption(StrCat(what, " at offset ", pos_));
   }
 
@@ -394,7 +394,6 @@ class Parser {
         ++pos_;
       }
     }
-    (void)start;
     std::string token(text_.substr(start, pos_ - start));
     if (is_double) {
       *out = Json::Double(std::strtod(token.c_str(), nullptr));

@@ -14,6 +14,7 @@
 namespace xmodel::specs {
 
 using tlax::Action;
+using tlax::Footprint;
 using tlax::Invariant;
 using tlax::State;
 using tlax::Value;
@@ -508,7 +509,9 @@ void ArrayOtSpec::BuildActions() {
           next = next.With(kOpsDone, Value::Int(done + 1));
           out->push_back(std::move(next));
         }
-      }});
+      },
+      Footprint{{"err", "opsDone", "clientState", "clientLog"},
+                {"clientState", "clientLog", "opsDone"}}});
 
   // MergeAction: once every client performed its operation, clients merge
   // with the server in a fixed ascending schedule: 1..C, then 1..C-1
@@ -601,7 +604,11 @@ void ArrayOtSpec::BuildActions() {
                               client_log.size()))}})));
         next = next.With(kMergeStep, Value::Int(step + 1));
         out->push_back(std::move(next));
-      }});
+      },
+      Footprint{{"serverLog", "clientLog", "clientState", "serverState",
+                 "progress", "appliedOps", "opsDone", "mergeStep", "err"},
+                {"serverLog", "clientLog", "clientState", "serverState",
+                 "progress", "appliedOps", "mergeStep", "err"}}});
 }
 
 void ArrayOtSpec::BuildInvariants() {
@@ -630,12 +637,15 @@ void ArrayOtSpec::BuildInvariants() {
           }
         }
         return true;
-      }});
+      },
+      {{"err", "progress", "serverLog", "clientLog", "clientState",
+        "serverState"}}});
 
   // The TLC StackOverflowError analogue: the transcribed merge terminated.
   invariants_.push_back(Invariant{
       "MergeTerminates",
-      [](const State& s) { return !s.var(kErr).bool_value(); }});
+      [](const State& s) { return !s.var(kErr).bool_value(); },
+      {{"err"}}});
 }
 
 }  // namespace xmodel::specs

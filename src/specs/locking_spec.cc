@@ -5,6 +5,7 @@
 namespace xmodel::specs {
 
 using tlax::Action;
+using tlax::Footprint;
 using tlax::Invariant;
 using tlax::State;
 using tlax::Value;
@@ -128,7 +129,8 @@ void LockingSpec::BuildActions() {
             }
           }
         }
-      }});
+      },
+      Footprint{{"held"}, {"held"}}});
 
   actions_.push_back(Action{
       "Release", [num_contexts](const State& s, std::vector<State>* out) {
@@ -158,12 +160,14 @@ void LockingSpec::BuildActions() {
                 held.WithIndex1(res, Value::SetOf(std::move(remaining)))));
           }
         }
-      }});
+      },
+      Footprint{{"held"}, {"held"}}});
 }
 
 void LockingSpec::BuildInvariants() {
   invariants_.push_back(Invariant{
-      "Compatibility", [](const State& s) {
+      "Compatibility",
+      [](const State& s) {
         const Value& held = s.var(kHeld);
         for (int res = 1; res <= kNumResources; ++res) {
           const Value& holders = held.Index1(res);
@@ -178,10 +182,12 @@ void LockingSpec::BuildInvariants() {
           }
         }
         return true;
-      }});
+      },
+      {{"held"}}});
 
   invariants_.push_back(Invariant{
-      "HierarchyRespected", [](const State& s) {
+      "HierarchyRespected",
+      [](const State& s) {
         const Value& held = s.var(kHeld);
         for (int res = 2; res <= kNumResources; ++res) {
           const Value& holders = held.Index1(res);
@@ -200,7 +206,8 @@ void LockingSpec::BuildInvariants() {
           }
         }
         return true;
-      }});
+      },
+      {{"held"}}});
 }
 
 }  // namespace xmodel::specs

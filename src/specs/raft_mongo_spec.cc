@@ -8,6 +8,7 @@
 namespace xmodel::specs {
 
 using tlax::Action;
+using tlax::Footprint;
 using tlax::Invariant;
 using tlax::State;
 using tlax::Value;
@@ -222,7 +223,8 @@ void RaftMongoSpec::BuildActions() {
           out->push_back(
               WithNodeValue(s, kOplog, n, std::move(log)));
         }
-      }});
+      },
+      Footprint{{"role", "term", "oplog"}, {"oplog"}}});
 
   // AppendOplog(n, m): n pulls entries from any node m whose log strictly
   // extends n's (the Server's pull-based replication; any batch size).
@@ -246,7 +248,8 @@ void RaftMongoSpec::BuildActions() {
             }
           }
         }
-      }});
+      },
+      Footprint{{"oplog"}, {"oplog"}}});
 
   // RollbackOplog(n, m): n's log diverges from m's and m's last entry is
   // newer — n truncates to the common prefix. The commit point does NOT
@@ -268,7 +271,8 @@ void RaftMongoSpec::BuildActions() {
                 WithNodeValue(s, kOplog, n, mine.SubSeq(1, common)));
           }
         }
-      }});
+      },
+      Footprint{{"oplog"}, {"oplog"}}});
 
   // BecomePrimaryByMagic(n): an instantaneous election. Some majority of
   // nodes (including n) with logs no newer than n's and terms no newer than
@@ -326,7 +330,9 @@ void RaftMongoSpec::BuildActions() {
             if (abstract) break;  // All majorities yield the same state.
           }
         }
-      }});
+      },
+      Footprint{{"term", "votedTerm", "oplog"},
+                {"role", "term", "votedTerm"}}});
 
   // Stepdown(n): a leader voluntarily becomes a follower.
   actions_.push_back(Action{
@@ -336,7 +342,8 @@ void RaftMongoSpec::BuildActions() {
           out->push_back(
               WithNodeValue(s, kRole, n, Value::Str("Follower")));
         }
-      }});
+      },
+      Footprint{{"role"}, {"role"}}});
 
   // AdvanceCommitPoint(n): the leader advances its commit point to any
   // entry of its own term that a majority has replicated.
@@ -362,7 +369,9 @@ void RaftMongoSpec::BuildActions() {
                 RaftMongoSpec::CommitPointValue(p.term, p.index)));
           }
         }
-      }});
+      },
+      Footprint{{"role", "term", "commitPoint", "oplog"},
+                {"commitPoint"}}});
 
   if (!abstract) {
     // UpdateTermThroughHeartbeat(n, m): n learns a newer term from any
@@ -387,7 +396,9 @@ void RaftMongoSpec::BuildActions() {
               out->push_back(std::move(next));
             }
           }
-        }});
+        },
+        Footprint{{"role", "term", "votedTerm"},
+                  {"role", "term", "votedTerm"}}});
   }
 
   // LearnCommitPoint…: n learns the commit point from any node m.
@@ -408,7 +419,8 @@ void RaftMongoSpec::BuildActions() {
                                                   theirs.index)));
             }
           }
-        }});
+        },
+        Footprint{{"commitPoint"}, {"commitPoint"}}});
   } else {
     actions_.push_back(Action{
         "LearnCommitPointWithTermCheck",
@@ -427,7 +439,8 @@ void RaftMongoSpec::BuildActions() {
                                                   theirs.index)));
             }
           }
-        }});
+        },
+        Footprint{{"commitPoint", "oplog"}, {"commitPoint"}}});
 
     actions_.push_back(Action{
         "LearnCommitPointFromSyncSourceNeverBeyondLastApplied",
@@ -457,7 +470,8 @@ void RaftMongoSpec::BuildActions() {
                                                   capped.index)));
             }
           }
-        }});
+        },
+        Footprint{{"commitPoint", "oplog"}, {"commitPoint"}}});
   }
 }
 
@@ -481,7 +495,8 @@ void RaftMongoSpec::BuildInvariants() {
           if (holders * 2 <= num_nodes) return false;
         }
         return true;
-      }});
+      },
+      {{"commitPoint", "oplog"}}});
 
   // The deliberate simplification the paper calls out (§4.2.2): the spec
   // assumes at most one leader at a time.
@@ -492,7 +507,8 @@ void RaftMongoSpec::BuildInvariants() {
           if (IsLeader(s, n)) ++leaders;
         }
         return leaders <= 1;
-      }});
+      },
+      {{"role"}}});
 }
 
 bool SomeNodeCommitted(const tlax::State& state) {

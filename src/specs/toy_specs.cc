@@ -5,6 +5,7 @@
 namespace xmodel::specs {
 
 using tlax::Action;
+using tlax::Footprint;
 using tlax::Invariant;
 using tlax::State;
 using tlax::Value;
@@ -17,23 +18,29 @@ CounterSpec::CounterSpec(int64_t limit, int64_t violate_at)
         if (s.var(0).int_value() < limit) {
           out->push_back(s.With(0, Value::Int(s.var(0).int_value() + 1)));
         }
-      }});
+      },
+      Footprint{{"x"}, {"x"}}});
   actions_.push_back(Action{
       "IncrementY",
       [limit](const State& s, std::vector<State>* out) {
         if (s.var(1).int_value() < limit) {
           out->push_back(s.With(1, Value::Int(s.var(1).int_value() + 1)));
         }
-      }});
+      },
+      Footprint{{"y"}, {"y"}}});
   invariants_.push_back(Invariant{
-      "InRange", [limit](const State& s) {
+      "InRange",
+      [limit](const State& s) {
         return s.var(0).int_value() <= limit && s.var(1).int_value() <= limit;
-      }});
+      },
+      {{"x", "y"}}});
   if (violate_at >= 0) {
     invariants_.push_back(Invariant{
-        "Sum", [violate_at](const State& s) {
+        "Sum",
+        [violate_at](const State& s) {
           return s.var(0).int_value() + s.var(1).int_value() != violate_at;
-        }});
+        },
+        {{"x", "y"}}});
   }
 }
 
@@ -50,34 +57,41 @@ DieHardSpec::DieHardSpec() : variables_{"small", "big"} {
   actions_.push_back(Action{"FillSmall",
                             [](const State& s, std::vector<State>* out) {
                               out->push_back(s.With(0, Value::Int(3)));
-                            }});
+                            },
+                            Footprint{{}, {"small"}}});
   actions_.push_back(Action{"FillBig",
                             [](const State& s, std::vector<State>* out) {
                               out->push_back(s.With(1, Value::Int(5)));
-                            }});
+                            },
+                            Footprint{{}, {"big"}}});
   actions_.push_back(Action{"EmptySmall",
                             [](const State& s, std::vector<State>* out) {
                               out->push_back(s.With(0, Value::Int(0)));
-                            }});
+                            },
+                            Footprint{{}, {"small"}}});
   actions_.push_back(Action{"EmptyBig",
                             [](const State& s, std::vector<State>* out) {
                               out->push_back(s.With(1, Value::Int(0)));
-                            }});
+                            },
+                            Footprint{{}, {"big"}}});
   actions_.push_back(Action{
-      "SmallToBig", [small, big](const State& s, std::vector<State>* out) {
+      "SmallToBig",
+      [small, big](const State& s, std::vector<State>* out) {
         int64_t pour = std::min(small(s), kBigCap - big(s));
         out->push_back(State({Value::Int(small(s) - pour),
                               Value::Int(big(s) + pour)}));
-      }});
+      },
+      Footprint{{"small", "big"}, {"small", "big"}}});
   actions_.push_back(Action{
-      "BigToSmall", [small, big](const State& s, std::vector<State>* out) {
+      "BigToSmall",
+      [small, big](const State& s, std::vector<State>* out) {
         int64_t pour = std::min(big(s), kSmallCap - small(s));
         out->push_back(State({Value::Int(small(s) + pour),
                               Value::Int(big(s) - pour)}));
-      }});
-  invariants_.push_back(Invariant{"BigNot4", [big](const State& s) {
-                                    return big(s) != 4;
-                                  }});
+      },
+      Footprint{{"small", "big"}, {"small", "big"}}});
+  invariants_.push_back(Invariant{
+      "BigNot4", [big](const State& s) { return big(s) != 4; }, {{"big"}}});
 }
 
 std::vector<State> DieHardSpec::InitialStates() const {

@@ -46,6 +46,35 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
   const std::vector<Action>& actions = spec.actions();
   const std::vector<Invariant>& invariants = spec.invariants();
 
+  // Sleep-set partial-order reduction (Godefroid): when expanding a state,
+  // actions in its sleep set are skipped; a successor reached via action a
+  // sleeps every action that commutes with a and was either already slept
+  // or explored earlier at the parent. Revisiting a state with a smaller
+  // sleep set shrinks the stored set (intersection) and re-expands ONLY the
+  // newly woken actions (the per-state `done` mask remembers what already
+  // ran), so every reachable state is eventually explored with every
+  // non-redundant action — the reduction removes redundant interleavings
+  // (generated successors), not reachable states. This soundness argument
+  // requires the independence relation to respect the state constraint
+  // (see analysis::ComputeIndependence: an action writing a constraint-read
+  // variable commutes with nothing). Disabled under record_graph: the
+  // recorded graph must carry every edge for MBTCG/liveness.
+  const bool use_sleep_sets =
+      options_.independence != nullptr && !options_.record_graph &&
+      options_.independence->num_actions() == actions.size() &&
+      actions.size() <= 64;
+  std::vector<uint64_t> commuting_mask;  // Per action: bits of commuters.
+  if (use_sleep_sets) {
+    commuting_mask.resize(actions.size(), 0);
+    for (size_t a = 0; a < actions.size(); ++a) {
+      for (size_t b = 0; b < actions.size(); ++b) {
+        if (options_.independence->Commutes(a, b)) {
+          commuting_mask[a] |= uint64_t{1} << b;
+        }
+      }
+    }
+  }
+
   if (options_.record_graph) {
     result.graph = std::make_shared<StateGraph>();
     std::vector<std::string> action_names;
@@ -58,6 +87,11 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
   std::vector<NodeInfo> info;
   std::unordered_map<State, uint32_t, StateHash> seen;
   std::deque<uint32_t> frontier;
+  std::vector<uint64_t> sleep;  // Per-state sleep mask (POR only).
+  std::vector<uint64_t> done;   // Per-state actions-already-expanded mask.
+  const uint64_t all_actions =
+      actions.size() >= 64 ? ~uint64_t{0}
+                           : (uint64_t{1} << actions.size()) - 1;
   // Graph node id per state id; out-of-constraint states are not part of
   // the recorded graph (they are invariant-checked but never expanded, so
   // keeping them would add spurious dead ends to liveness analysis).
@@ -95,6 +129,10 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
     it->second = id;
     states.push_back(std::move(init));
     info.push_back(NodeInfo{});
+    if (use_sleep_sets) {
+      sleep.push_back(0);
+      done.push_back(0);
+    }
     bool constrained = spec.WithinConstraint(states[id]);
     if (result.graph) {
       graph_id.push_back(constrained ? result.graph->AddState(states[id])
@@ -114,8 +152,29 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
     if (depth > result.diameter) result.diameter = depth;
     if (options_.max_depth >= 0 && depth >= options_.max_depth) continue;
 
+    const uint64_t cur_sleep = use_sleep_sets ? sleep[cur] : 0;
+    // Actions expanded at this state on earlier visits (POR revisits wake
+    // actions out of the sleep set; only the newly woken ones run again).
+    uint64_t explored_before = 0;
+    uint64_t to_expand = all_actions;
+    if (use_sleep_sets) {
+      explored_before = done[cur];
+      to_expand = all_actions & ~cur_sleep & ~explored_before;
+      done[cur] |= to_expand;
+      if (to_expand == 0) continue;  // Redundant re-enqueue.
+    }
     successors.clear();
     for (uint16_t ai = 0; ai < actions.size(); ++ai) {
+      if (use_sleep_sets && !((to_expand >> ai) & 1)) continue;  // Slept.
+      // Sleep mask for successors via `ai`: commuters of `ai` that were
+      // slept here or explored earlier at this state (previous visits, or
+      // lower-indexed actions of this pass).
+      const uint64_t succ_sleep =
+          use_sleep_sets
+              ? (cur_sleep | explored_before |
+                 (to_expand & ((uint64_t{1} << ai) - 1))) &
+                    commuting_mask[ai]
+              : 0;
       size_t before = successors.size();
       // Copy the state: actions may hold references into it while `states`
       // grows, and `cur`'s storage in a deque is stable anyway, but the
@@ -131,6 +190,10 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
           it->second = succ_id;
           states.push_back(succ);
           info.push_back(NodeInfo{cur, ai, depth + 1});
+          if (use_sleep_sets) {
+            sleep.push_back(succ_sleep);
+            done.push_back(0);
+          }
           bool constrained = spec.WithinConstraint(states[succ_id]);
           if (result.graph) {
             graph_id.push_back(constrained
@@ -149,6 +212,19 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
           if (constrained) frontier.push_back(succ_id);
         } else {
           succ_id = it->second;
+          if (use_sleep_sets) {
+            // Revisit: the state must eventually be expanded with every
+            // action not slept on EVERY path reaching it — intersect, and
+            // re-expand when the set shrinks. Masks shrink monotonically,
+            // so re-enqueues are bounded.
+            uint64_t merged = sleep[succ_id] & succ_sleep;
+            if (merged != sleep[succ_id]) {
+              sleep[succ_id] = merged;
+              if (spec.WithinConstraint(states[succ_id])) {
+                frontier.push_back(succ_id);
+              }
+            }
+          }
         }
         if (result.graph && graph_id[cur] != kNotInGraph &&
             graph_id[succ_id] != kNotInGraph) {
@@ -157,6 +233,19 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
       }
     }
     if (options_.check_deadlock && successors.empty()) {
+      if (use_sleep_sets && (cur_sleep | explored_before) != 0) {
+        // Slept actions were skipped; confirm genuine deadlock unpruned.
+        bool any_enabled = false;
+        for (const Action& action : actions) {
+          action.next(states[cur], &successors);
+          if (!successors.empty()) {
+            any_enabled = true;
+            successors.clear();
+            break;
+          }
+        }
+        if (any_enabled) continue;
+      }
       result.violation =
           Violation{"Deadlock", BuildTrace(states, info, actions, cur)};
       return finish(common::Status::OK());

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "tlax/independence.h"
 #include "tlax/spec.h"
 #include "tlax/state_graph.h"
 
@@ -23,6 +24,20 @@ struct CheckerOptions {
   int64_t max_depth = -1;
   /// Report a violation when a state within the constraint has no successor.
   bool check_deadlock = false;
+  /// Optional action-commutativity matrix (from analysis::ComputeIndependence)
+  /// enabling sleep-set partial-order reduction: redundant interleavings of
+  /// commuting actions are pruned, cutting generated successors while every
+  /// reachable state is still discovered and invariant-checked. Soundness
+  /// requires the matrix to be valid for the spec: two actions may commute
+  /// only if their write sets are disjoint from each other's footprints AND
+  /// from the state constraint's read set (ComputeIndependence enforces
+  /// both); specs overriding Canonicalize (symmetry) should not be combined
+  /// with POR — a permuted representative can break the diamond. Two
+  /// caveats, the standard POR trade-offs: counterexample traces are no
+  /// longer guaranteed minimal, and the reported diameter may exceed the
+  /// true one. Ignored when record_graph is set (the recorded graph must
+  /// carry every edge) or when the spec has more than 64 actions.
+  std::shared_ptr<const ActionIndependence> independence;
 };
 
 /// A step in a counterexample trace: the action that was taken to reach

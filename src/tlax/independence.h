@@ -1,0 +1,55 @@
+#ifndef XMODEL_TLAX_INDEPENDENCE_H_
+#define XMODEL_TLAX_INDEPENDENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xmodel::tlax {
+
+/// A symmetric action-commutativity matrix: `Commutes(a, b)` is true when
+/// actions `a` and `b` have disjoint footprint conflicts — neither writes a
+/// variable the other reads or writes — so executing them in either order
+/// from any state reaches the same successors. Computed by
+/// `analysis::ComputeIndependence` from declared plus inferred footprints
+/// and consumed by the checker's partial-order-reduction hints.
+///
+/// The matrix is conservative: `Commutes` may be false for actions that in
+/// fact commute (footprints over-approximate), never true for actions that
+/// conflict, as long as the footprints it was built from are sound.
+class ActionIndependence {
+ public:
+  ActionIndependence() = default;
+  explicit ActionIndependence(size_t num_actions)
+      : num_actions_(num_actions),
+        commutes_(num_actions * num_actions, false) {}
+
+  size_t num_actions() const { return num_actions_; }
+
+  bool Commutes(size_t a, size_t b) const {
+    return commutes_[a * num_actions_ + b];
+  }
+
+  void SetCommutes(size_t a, size_t b, bool value) {
+    commutes_[a * num_actions_ + b] = value;
+    commutes_[b * num_actions_ + a] = value;
+  }
+
+  /// Number of unordered commuting pairs of distinct actions.
+  size_t NumCommutingPairs() const {
+    size_t pairs = 0;
+    for (size_t a = 0; a < num_actions_; ++a) {
+      for (size_t b = a + 1; b < num_actions_; ++b) {
+        if (Commutes(a, b)) ++pairs;
+      }
+    }
+    return pairs;
+  }
+
+ private:
+  size_t num_actions_ = 0;
+  std::vector<bool> commutes_;
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_INDEPENDENCE_H_

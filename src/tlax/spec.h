@@ -2,6 +2,7 @@
 #define XMODEL_TLAX_SPEC_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,18 +11,32 @@
 
 namespace xmodel::tlax {
 
+/// A declared read/write variable footprint (by variable name) of an action
+/// or invariant — the spec author's statement of which state variables the
+/// body may read and which it may write. Optional: when present, the
+/// analysis layer checks the observed footprint against it (observed must be
+/// a subset of declared) and uses the union for independence computation.
+struct Footprint {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
 /// A named next-state relation disjunct, like a TLA+ action. `next` appends
 /// every successor of `state` permitted by this action to `out` (possibly
 /// none when the action is not enabled).
 struct Action {
   std::string name;
   std::function<void(const State& state, std::vector<State>* out)> next;
+  /// Optional declared variable footprint (see Footprint).
+  std::optional<Footprint> footprint{};
 };
 
 /// A named state predicate that must hold in every reachable state.
 struct Invariant {
   std::string name;
   std::function<bool(const State& state)> predicate;
+  /// Optional declared set of variables the predicate reads.
+  std::optional<std::vector<std::string>> reads{};
 };
 
 /// A specification: variables, initial states, actions, and invariants —

@@ -12,6 +12,47 @@
 
 namespace xmodel::tlax {
 
+/// Records which variable indexes were read (through `State::var`) and
+/// written (through `State::With`) while a probe is installed. The analysis
+/// layer runs action and invariant bodies under a ScopedStateAccessLog to
+/// infer their variable footprints without any spec cooperation. Variable
+/// indexes are tracked as 64-bit masks; specs have far fewer than 64
+/// variables.
+struct StateAccessLog {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  void RecordRead(size_t i) {
+    if (i < 64) reads |= uint64_t{1} << i;
+  }
+  void RecordWrite(size_t i) {
+    if (i < 64) writes |= uint64_t{1} << i;
+  }
+};
+
+namespace internal {
+/// The active access log, or nullptr (the common case — the checker's hot
+/// path pays one thread-local load and branch per variable access).
+inline thread_local StateAccessLog* g_state_access_log = nullptr;
+}  // namespace internal
+
+/// Installs `log` as the active access log for the current thread for the
+/// scope's lifetime, restoring the previous log on destruction.
+class ScopedStateAccessLog {
+ public:
+  explicit ScopedStateAccessLog(StateAccessLog* log)
+      : previous_(internal::g_state_access_log) {
+    internal::g_state_access_log = log;
+  }
+  ~ScopedStateAccessLog() { internal::g_state_access_log = previous_; }
+
+  ScopedStateAccessLog(const ScopedStateAccessLog&) = delete;
+  ScopedStateAccessLog& operator=(const ScopedStateAccessLog&) = delete;
+
+ private:
+  StateAccessLog* previous_;
+};
+
 /// A specification state: one Value per state variable, in the order the
 /// owning Spec declares its variables. Carries a precomputed fingerprint.
 class State {
@@ -24,6 +65,9 @@ class State {
   size_t num_vars() const { return vars_.size(); }
   const Value& var(size_t i) const {
     assert(i < vars_.size());
+    if (internal::g_state_access_log != nullptr) {
+      internal::g_state_access_log->RecordRead(i);
+    }
     return vars_[i];
   }
   const std::vector<Value>& vars() const { return vars_; }
@@ -31,6 +75,9 @@ class State {
   /// Returns a copy of this state with variable `i` replaced.
   State With(size_t i, Value v) const {
     assert(i < vars_.size());
+    if (internal::g_state_access_log != nullptr) {
+      internal::g_state_access_log->RecordWrite(i);
+    }
     std::vector<Value> vars = vars_;
     vars[i] = std::move(v);
     return State(std::move(vars));

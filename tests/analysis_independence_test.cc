@@ -1,0 +1,142 @@
+// Tests for the action-independence analysis: golden commutativity
+// matrices on the toy specs, and the soundness contract of the sleep-set
+// partial-order reduction they feed — the reduced exploration must reach
+// exactly the same distinct states.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/footprint.h"
+#include "analysis/independence.h"
+#include "specs/raft_mongo_spec.h"
+#include "specs/toy_specs.h"
+#include "tlax/checker.h"
+
+namespace xmodel::analysis {
+namespace {
+
+TEST(IndependenceTest, CounterMatrixGolden) {
+  specs::CounterSpec spec(3);
+  SpecFootprints footprints = InferFootprints(spec);
+  tlax::ActionIndependence matrix = ComputeIndependence(spec, footprints);
+  // The two increments touch disjoint variables and there is no state
+  // constraint, so they commute.
+  EXPECT_EQ(IndependenceToText(spec, matrix),
+            "IncrementX  -.\n"
+            "IncrementY  .-\n"
+            "1 commuting pair(s) of 1\n");
+}
+
+TEST(IndependenceTest, DieHardMatrixGolden) {
+  specs::DieHardSpec spec;
+  SpecFootprints footprints = InferFootprints(spec);
+  tlax::ActionIndependence matrix = ComputeIndependence(spec, footprints);
+  // Fill/Empty of one jug commutes with Fill/Empty of the other (2x2
+  // pairs); the two pour actions read and write both jugs, so they
+  // conflict with everything.
+  EXPECT_EQ(matrix.NumCommutingPairs(), 4u);
+  EXPECT_EQ(IndependenceToText(spec, matrix),
+            "FillSmall   -.C.CC\n"
+            "FillBig     .-.CCC\n"
+            "EmptySmall  C.-.CC\n"
+            "EmptyBig    .C.-CC\n"
+            "SmallToBig  CCCC-C\n"
+            "BigToSmall  CCCCC-\n"
+            "4 commuting pair(s) of 15\n");
+}
+
+TEST(IndependenceTest, ConstraintReadsDisqualifyWriters) {
+  // RaftMongo's constraint bounds term and oplog length; actions writing
+  // those variables must not commute with anything even when their own
+  // footprints are disjoint — the pruned interleaving could pass through
+  // an out-of-constraint state the checker never expands.
+  specs::RaftMongoConfig config;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  SpecFootprints footprints = InferFootprints(spec);
+  ASSERT_NE(footprints.constraint_reads, 0u);
+
+  tlax::ActionIndependence matrix = ComputeIndependence(spec, footprints);
+  const auto& actions = spec.actions();
+  for (size_t a = 0; a < actions.size(); ++a) {
+    if ((footprints.actions[a].writes() & footprints.constraint_reads) == 0) {
+      continue;
+    }
+    for (size_t b = 0; b < actions.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(matrix.Commutes(a, b))
+          << actions[a].name << " writes a constraint-read variable but "
+          << "commutes with " << actions[b].name;
+    }
+  }
+}
+
+// The POR soundness contract: with a matrix from ComputeIndependence, the
+// checker visits exactly the same distinct states, only generating fewer
+// duplicate successors.
+void ExpectSameStateSpace(const tlax::Spec& spec) {
+  auto footprints = InferFootprints(spec);
+  auto matrix = std::make_shared<tlax::ActionIndependence>(
+      ComputeIndependence(spec, footprints));
+
+  tlax::CheckResult plain = tlax::ModelChecker().Check(spec);
+  tlax::CheckerOptions options;
+  options.independence = matrix;
+  tlax::CheckResult reduced = tlax::ModelChecker(options).Check(spec);
+
+  ASSERT_TRUE(plain.status.ok());
+  ASSERT_TRUE(reduced.status.ok());
+  EXPECT_EQ(reduced.distinct_states, plain.distinct_states) << spec.name();
+  EXPECT_EQ(reduced.violation.has_value(), plain.violation.has_value())
+      << spec.name();
+  EXPECT_LE(reduced.generated_states, plain.generated_states) << spec.name();
+}
+
+TEST(IndependenceTest, SleepSetsPreserveCounterStateSpace) {
+  specs::CounterSpec spec(4);
+  ExpectSameStateSpace(spec);
+}
+
+TEST(IndependenceTest, SleepSetsPreserveRaftMongoStateSpace) {
+  specs::RaftMongoConfig config;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  ExpectSameStateSpace(spec);
+}
+
+TEST(IndependenceTest, SleepSetsPruneCounterSuccessors) {
+  // The fully commuting Counter spec is the best case: the diamond
+  // interleavings collapse, so strictly fewer successors are generated.
+  specs::CounterSpec spec(4);
+  auto footprints = InferFootprints(spec);
+  auto matrix = std::make_shared<tlax::ActionIndependence>(
+      ComputeIndependence(spec, footprints));
+  tlax::CheckResult plain = tlax::ModelChecker().Check(spec);
+  tlax::CheckerOptions options;
+  options.independence = matrix;
+  tlax::CheckResult reduced = tlax::ModelChecker(options).Check(spec);
+  EXPECT_LT(reduced.generated_states, plain.generated_states);
+}
+
+TEST(IndependenceTest, SleepSetsPreserveViolations) {
+  // A violating spec must still report a violation under POR (the trace
+  // need not be minimal, but the verdict must match).
+  specs::CounterSpec spec(4, /*violate_at=*/5);
+  auto footprints = InferFootprints(spec);
+  auto matrix = std::make_shared<tlax::ActionIndependence>(
+      ComputeIndependence(spec, footprints));
+  tlax::CheckerOptions options;
+  options.independence = matrix;
+  tlax::CheckResult reduced = tlax::ModelChecker(options).Check(spec);
+  ASSERT_TRUE(reduced.violation.has_value());
+  EXPECT_EQ(reduced.violation->kind, "Sum");
+}
+
+}  // namespace
+}  // namespace xmodel::analysis

@@ -1,0 +1,83 @@
+// Tests for the spec-lint analysis: the broken fixture spec must produce
+// every seeded finding, and the real registered specs must lint clean
+// (that is also the CI gate `xmodel_lint` enforces).
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/footprint.h"
+#include "analysis/spec_lint.h"
+#include "analysis/spec_registry.h"
+
+namespace xmodel::analysis {
+namespace {
+
+bool HasFinding(const std::vector<Diagnostic>& diags, const std::string& code,
+                const std::string& location) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.code == code && d.location == location;
+  });
+}
+
+TEST(SpecLintTest, BrokenFixtureProducesSeededFindings) {
+  std::unique_ptr<tlax::Spec> spec = MakeBrokenFixtureSpec();
+  SpecFootprints footprints = InferFootprints(*spec);
+  ASSERT_TRUE(footprints.exhaustive);
+  std::vector<Diagnostic> diags = LintSpec(*spec, footprints);
+
+  // "GhostIsZero" reads only the never-written variable "ghost".
+  EXPECT_TRUE(HasFinding(diags, "vacuous-invariant", "GhostIsZero"));
+  // "AlwaysTrue" reads no variable at all.
+  EXPECT_TRUE(HasFinding(diags, "vacuous-invariant", "AlwaysTrue"));
+  // "DeadAction" guards on x > 100, unreachable under the fixture bounds.
+  EXPECT_TRUE(HasFinding(diags, "never-enabled-action", "DeadAction"));
+  // Two actions are both named "Step".
+  EXPECT_TRUE(HasFinding(diags, "duplicate-action-name", "Step"));
+  // "LyingFootprint" declares writes {} but mutates x.
+  EXPECT_TRUE(HasFinding(diags, "footprint-mismatch", "LyingFootprint"));
+  // "ghost" is read by an invariant but no action ever writes it.
+  EXPECT_TRUE(HasFinding(diags, "never-written-variable", "ghost"));
+
+  // The genuine pieces of the fixture must NOT be flagged.
+  EXPECT_FALSE(HasFinding(diags, "vacuous-invariant", "XInRange"));
+  EXPECT_FALSE(HasFinding(diags, "never-enabled-action", "Step"));
+
+  size_t errors = std::count_if(
+      diags.begin(), diags.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kError; });
+  EXPECT_GE(errors, 4u) << "fixture must make xmodel_lint exit nonzero";
+}
+
+TEST(SpecLintTest, NeverEnabledIsWarningWhenSampled) {
+  std::unique_ptr<tlax::Spec> spec = MakeBrokenFixtureSpec();
+  FootprintOptions options;
+  options.max_samples = 1;  // Force truncation: verdicts become sampled.
+  SpecFootprints footprints = InferFootprints(*spec, options);
+  ASSERT_FALSE(footprints.exhaustive);
+  std::vector<Diagnostic> diags = LintSpec(*spec, footprints);
+  for (const Diagnostic& d : diags) {
+    if (d.code == "never-enabled-action") {
+      EXPECT_EQ(d.severity, Severity::kWarning)
+          << "non-exhaustive sampling cannot prove an action dead";
+    }
+  }
+}
+
+TEST(SpecLintTest, RegisteredSpecsLintClean) {
+  for (const RegisteredSpec& entry : RegisteredSpecs()) {
+    std::unique_ptr<tlax::Spec> spec = entry.make();
+    SpecFootprints footprints = InferFootprints(*spec);
+    std::vector<Diagnostic> diags = LintSpec(*spec, footprints);
+    for (const Diagnostic& d : diags) {
+      EXPECT_LT(d.severity, Severity::kError)
+          << entry.name << ": " << d.ToText();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmodel::analysis

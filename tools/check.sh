@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain Release build with warnings-as-errors,
+# then a Debug build under AddressSanitizer + UndefinedBehaviorSanitizer.
+# This is what CI runs; run it locally before sending a change.
+#
+# Usage: tools/check.sh [--plain-only|--asan-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ctest ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  echo "=== xmodel_lint (${build_dir}) ==="
+  "${build_dir}/src/analysis/xmodel_lint"
+}
+
+if [[ "${mode}" != "--asan-only" ]]; then
+  run_suite build -DCMAKE_BUILD_TYPE=Release -DXMODEL_WERROR=ON
+fi
+
+if [[ "${mode}" != "--plain-only" ]]; then
+  # halt_on_error makes UBSan findings fail the run instead of just logging.
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export ASAN_OPTIONS="detect_leaks=0"
+  run_suite build-asan -DCMAKE_BUILD_TYPE=Debug -DXMODEL_WERROR=ON \
+    -DXMODEL_SANITIZE=address,undefined
+fi
+
+echo "check.sh: all suites passed"
