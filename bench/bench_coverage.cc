@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "fuzz/transform_fuzzer.h"
 #include "mbtcg/generator.h"
 #include "ot/coverage.h"
@@ -31,10 +32,12 @@ void PrintRow(const char* label, size_t covered, size_t total,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("coverage", argc, argv);
   std::printf("E7: branch coverage of the array merge rules by strategy\n\n");
   auto& registry = ot::CoverageRegistry::Instance();
   const size_t total = registry.total_branches();
+  if (total == 0) return bench.Fail("empty branch universe");
 
   // 1. The 36 handwritten tests.
   registry.Reset();
@@ -53,17 +56,19 @@ int main() {
   registry.Reset();
   std::printf("\nfuzzer coverage growth (swap-enabled workloads):\n");
   uint64_t executions[] = {10, 50, 200, 1'000, 10'000, 200'000};
+  const uint64_t max_executions = bench.quick() ? 10'000 : 200'000;
   uint64_t done = 0;
   fuzz::FuzzOptions options;
   options.include_swap = true;
   for (uint64_t target : executions) {
+    if (target > max_executions) break;
     options.seed = 1 + done;  // Continue with fresh randomness.
     options.iterations = target - done;
     fuzz::FuzzReport report = fuzz::RunTransformFuzzer(options);
     if (!report.ok()) {
       std::printf("  fuzzer found a failure: %s\n",
                   report.failures.front().c_str());
-      return 1;
+      return bench.Finish(1);
     }
     done = target;
     std::printf("  after %8llu executions: %zu / %zu branches\n",
@@ -87,14 +92,12 @@ int main() {
     mbtcg::GenerationReport generation =
         mbtcg::GenerateTestCases(config, &cases);
     if (!generation.status.ok()) {
-      std::printf("generation failed: %s\n",
-                  generation.status.ToString().c_str());
-      return 1;
+      return bench.Fail(generation.status.ToString());
     }
     mbtcg::RunReport run = mbtcg::RunTestCases(cases);
     if (!run.all_passed()) {
       std::printf("generated case failed: %s\n", run.failures.front().c_str());
-      return 1;
+      return bench.Finish(1);
     }
     generated_cases += run.total;
   }
@@ -104,11 +107,16 @@ int main() {
               "the canonical paper\n   configuration alone is 4,913 cases)\n",
               generated_cases);
 
+  bench.AddResult("total_branches", static_cast<double>(total));
+  bench.AddResult("fuzz_covered", static_cast<double>(fuzz_covered));
+  bench.AddResult("generated_covered",
+                  static_cast<double>(registry.covered_branches()));
+  bench.AddResult("generated_cases", static_cast<double>(generated_cases));
   if (registry.covered_branches() != total) {
     for (const std::string& name : registry.UncoveredBranches()) {
       std::printf("  STILL UNCOVERED: %s\n", name.c_str());
     }
-    return 1;
+    return bench.Finish(1);
   }
-  return 0;
+  return bench.Finish(0);
 }

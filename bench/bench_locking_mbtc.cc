@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "repl/replica_set.h"
 #include "specs/locking_spec.h"
 #include "tlax/checker.h"
@@ -17,14 +18,19 @@
 
 using namespace xmodel;  // NOLINT — bench binaries only.
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("locking_mbtc", argc, argv);
   std::printf("E8: the second specification (Locking)\n\n");
 
-  for (int contexts : {1, 2, 3}) {
+  const int max_contexts = bench.quick() ? 2 : 3;
+  for (int contexts = 1; contexts <= max_contexts; ++contexts) {
     specs::LockingConfig config;
     config.num_contexts = contexts;
     specs::LockingSpec spec(config);
     auto result = tlax::ModelChecker().Check(spec);
+    if (!result.status.ok()) {
+      return bench.Fail(result.status.ToString());
+    }
     std::printf("locking spec, %d contexts: %8llu states  %6.2f s  %s\n",
                 contexts,
                 static_cast<unsigned long long>(result.distinct_states),
@@ -61,5 +67,8 @@ int main() {
               "additional specification\n");
   std::printf("would approach the cost of the first\" — only the checker "
               "core transfers.\n");
-  return check.ok() ? 0 : 1;
+  bench.AddResult("lock_trace_events",
+                  static_cast<double>(recorder.events().size()));
+  bench.AddResult("lock_trace_passes", std::string(check.ok() ? "yes" : "no"));
+  return bench.Finish(check.ok() ? 0 : 1);
 }

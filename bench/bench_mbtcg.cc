@@ -8,9 +8,10 @@
 // extraction, in-process execution against BOTH implementations — and
 // times each stage.
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
+#include "common/clock.h"
 #include "mbtcg/generator.h"
 #include "otgo/go_merge.h"
 
@@ -18,27 +19,27 @@ using namespace xmodel;  // NOLINT — bench binaries only.
 
 namespace {
 
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+double Seconds(int64_t start_ns) {
+  return static_cast<double>(common::MonotonicClock::Real()->NowNanos() -
+                             start_ns) *
+         1e-9;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("mbtcg", argc, argv);
   std::printf("E6: model-based test-case generation, end to end\n\n");
 
   specs::ArrayOtConfig config;  // The paper's configuration.
+  if (bench.quick()) config.num_clients = 2;  // ~dozens of cases, not 4,913.
   std::vector<mbtcg::TestCase> cases;
-  auto t0 = std::chrono::steady_clock::now();
+  int64_t t0 = common::MonotonicClock::Real()->NowNanos();
   mbtcg::GenerationReport generation =
       mbtcg::GenerateTestCases(config, &cases);
   double generation_seconds = Seconds(t0);
   if (!generation.status.ok()) {
-    std::printf("generation failed: %s\n",
-                generation.status.ToString().c_str());
-    return 1;
+    return bench.Fail(generation.status.ToString());
   }
 
   std::printf("spec states explored:     %llu (model check %.2f s)\n",
@@ -50,13 +51,13 @@ int main() {
               cases.size());
   std::printf("pipeline total:           %.2f s\n\n", generation_seconds);
 
-  t0 = std::chrono::steady_clock::now();
+  t0 = common::MonotonicClock::Real()->NowNanos();
   mbtcg::RunReport cpp_run = mbtcg::RunTestCases(cases);
   std::printf("C++ implementation:       %zu/%zu passed (%.2f s)\n",
               cpp_run.passed, cpp_run.total, Seconds(t0));
 
   otgo::GoMergeEngine go;
-  t0 = std::chrono::steady_clock::now();
+  t0 = common::MonotonicClock::Real()->NowNanos();
   mbtcg::RunReport go_run = mbtcg::RunTestCases(cases, &go);
   std::printf("Go   implementation:      %zu/%zu passed (%.2f s)\n",
               go_run.passed, go_run.total, Seconds(t0));
@@ -78,5 +79,9 @@ int main() {
   std::printf("and confidence that the C++ and Golang merge rules always "
               "agree.\n");
 
-  return (cpp_run.all_passed() && go_run.all_passed()) ? 0 : 1;
+  bench.AddResult("cases_generated", static_cast<double>(cases.size()));
+  bench.AddResult("generation_seconds", generation_seconds);
+  bench.AddResult("cpp_passed", static_cast<double>(cpp_run.passed));
+  bench.AddResult("go_passed", static_cast<double>(go_run.passed));
+  return bench.Finish((cpp_run.all_passed() && go_run.all_passed()) ? 0 : 1);
 }

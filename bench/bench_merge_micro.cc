@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "ot/merge.h"
 #include "ot/sync.h"
 #include "otgo/go_merge.h"
@@ -126,4 +131,37 @@ BENCHMARK(BM_ModelCheckRaftMongoTiny);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
+// it does not know, so the harness flags (--quick, --metrics-out=FILE) are
+// stripped before Initialize(). Quick mode runs a single cheap benchmark
+// as the CI smoke test.
+int main(int argc, char** argv) {
+  xmodel::bench::Harness bench("merge_micro", argc, argv);
+
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0 ||
+        std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  std::string quick_filter = "--benchmark_filter=BM_MergeSingleTrivial";
+  if (bench.quick()) filtered.push_back(quick_filter.data());
+
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             filtered.data())) {
+    return bench.Fail("unrecognized benchmark arguments");
+  }
+  size_t run = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (run == 0) return bench.Fail("no benchmarks matched");
+  xmodel::obs::MetricsRegistry::Global()
+      .GetCounter("bench.merge_micro.benchmarks.run")
+      .Increment(run);
+  bench.AddResult("benchmarks_run", static_cast<double>(run));
+  return bench.Finish(0);
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "ot/merge.h"
 #include "specs/array_ot_spec.h"
 #include "tlax/checker.h"
@@ -18,9 +19,14 @@ using namespace xmodel;  // NOLINT — bench binaries only.
 
 namespace {
 
-void Report(const char* label, const specs::ArrayOtConfig& config) {
+bool Report(const char* label, const specs::ArrayOtConfig& config) {
   specs::ArrayOtSpec spec(config);
   auto result = tlax::ModelChecker().Check(spec);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "%s: check aborted: %s\n", label,
+                 result.status.ToString().c_str());
+    return false;
+  }
   std::printf("%-34s %9llu states  %7.2f s  %s",
               label,
               static_cast<unsigned long long>(result.distinct_states),
@@ -32,27 +38,40 @@ void Report(const char* label, const specs::ArrayOtConfig& config) {
     std::printf(" (trace length %zu)", result.violation->trace.size());
   }
   std::printf("\n");
+  return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("ot_model_check", argc, argv);
   std::printf("E5: model-checking the array_ot specification\n\n");
 
   specs::ArrayOtConfig base;
-  Report("paper config (17 ops/client)", base);
+  if (bench.quick()) base.num_clients = 2;  // Smoke-size state space.
+  if (!Report(bench.quick() ? "paper config (2 clients, quick)"
+                            : "paper config (17 ops/client)",
+              base)) {
+    return bench.Fail("base model check aborted");
+  }
 
   specs::ArrayOtConfig swap_fixed = base;
   swap_fixed.include_swap = true;
-  Report("with ArraySwap, fixed rules", swap_fixed);
+  if (!Report("with ArraySwap, fixed rules", swap_fixed)) {
+    return bench.Fail("swap model check aborted");
+  }
 
   specs::ArrayOtConfig swap_buggy = swap_fixed;
   swap_buggy.swap_move_bug = true;
-  Report("with ArraySwap, REAL BUG", swap_buggy);
+  if (!Report("with ArraySwap, REAL BUG", swap_buggy)) {
+    return bench.Fail("buggy-swap model check aborted");
+  }
 
   specs::ArrayOtConfig transcription = base;
   transcription.inject_transcription_error = true;
-  Report("with a transcription error", transcription);
+  if (!Report("with a transcription error", transcription)) {
+    return bench.Fail("transcription model check aborted");
+  }
 
   std::printf("\npaper reference: the swap/move non-termination surfaced as "
               "a TLC StackOverflowError\n");
@@ -71,5 +90,6 @@ int main() {
   std::printf("C++ implementation, same input:    %s\n",
               merged.ok() ? "terminated (unexpected!)"
                           : merged.status().ToString().c_str());
-  return merged.ok() ? 1 : 0;
+  bench.AddResult("cpp_bug_reproduced", std::string(merged.ok() ? "no" : "yes"));
+  return bench.Finish(merged.ok() ? 1 : 0);
 }

@@ -10,11 +10,11 @@
 // claim under reproduction.
 
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 
 #include "analysis/footprint.h"
 #include "analysis/independence.h"
+#include "bench_util.h"
 #include "specs/raft_mongo_spec.h"
 #include "tlax/checker.h"
 
@@ -32,7 +32,8 @@ struct Row {
   bool symmetry = false;
 };
 
-void RunRow(const Row& row, double* abstract_states, double* abstract_secs) {
+bool RunRow(const Row& row, double* abstract_states, double* abstract_secs,
+            xmodel::bench::Harness* bench) {
   RaftMongoConfig config;
   config.variant = row.variant;
   config.num_nodes = 3;
@@ -41,9 +42,14 @@ void RunRow(const Row& row, double* abstract_states, double* abstract_secs) {
   config.use_symmetry = row.symmetry;
   RaftMongoSpec spec(config);
   auto result = xmodel::tlax::ModelChecker().Check(spec);
-  const char* verdict =
-      !result.status.ok() ? "ABORT"
-      : result.violation.has_value() ? "VIOLATION" : "ok";
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "%s terms<=%lld oplog<=%lld aborted: %s\n",
+                 row.label, static_cast<long long>(row.max_term),
+                 static_cast<long long>(row.max_oplog),
+                 result.status.ToString().c_str());
+    return false;
+  }
+  const char* verdict = result.violation.has_value() ? "VIOLATION" : "ok";
   std::printf("%-22s terms<=%lld oplog<=%lld  %12llu states  %14llu "
               "generated  depth %2lld  %8.2f s  %s\n",
               row.label, static_cast<long long>(row.max_term),
@@ -59,25 +65,29 @@ void RunRow(const Row& row, double* abstract_states, double* abstract_secs) {
   }
   if (row.variant == RaftMongoVariant::kDetailed && row.max_term == 3 &&
       row.max_oplog == 3) {
+    double states_blowup =
+        static_cast<double>(result.distinct_states) / *abstract_states;
+    double time_blowup = result.seconds / *abstract_secs;
     std::printf("\nblow-up at the paper's bounds: %.1fx states, %.0fx "
                 "check time\n",
-                static_cast<double>(result.distinct_states) /
-                    *abstract_states,
-                result.seconds / *abstract_secs);
+                states_blowup, time_blowup);
     std::printf("paper reference:               8.8x states (42,034 -> "
                 "371,368), ~420x time (2 s -> 14 min)\n");
+    bench->AddResult("states_blowup", states_blowup);
+    bench->AddResult("time_blowup", time_blowup);
   }
+  return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  xmodel::bench::Harness bench("state_space", argc, argv);
   std::printf("E1: state-space cost of a trace-checkable specification\n");
   std::printf("(RaftMongo, 3 nodes; Abstract = pre-MBTC spec, Detailed = "
               "rewritten for MBTC)\n\n");
 
   double abstract_states = 1, abstract_secs = 1;
-  const bool quick = std::getenv("XMODEL_QUICK") != nullptr;
 
   Row rows[] = {
       {"Abstract", RaftMongoVariant::kAbstract, 2, 2, false},
@@ -90,25 +100,38 @@ int main() {
       {"Detailed", RaftMongoVariant::kDetailed, 3, 3, false},
   };
   for (const Row& row : rows) {
-    if (quick && row.max_term == 3) {
-      std::printf("%-22s terms<=3 oplog<=3  (skipped: XMODEL_QUICK)\n",
+    if (bench.quick() && row.max_term == 3) {
+      std::printf("%-22s terms<=3 oplog<=3  (skipped: quick mode)\n",
                   row.label);
       continue;
     }
-    RunRow(row, &abstract_states, &abstract_secs);
+    if (!RunRow(row, &abstract_states, &abstract_secs, &bench)) {
+      return bench.Fail("model check aborted");
+    }
   }
 
   // Partial-order-reduction hints from the action-independence analysis:
-  // the same exploration with and without the commutativity matrix. The
-  // reachable state set is preserved by construction (sleep sets prune
-  // redundant interleavings, not states), so `distinct` must match — what
-  // drops is the successors generated. RaftMongo's reduction is modest:
-  // its state constraint reads term and oplog, and an action writing a
-  // constraint-read variable can commute with nothing (the pruned
-  // interleaving could pass outside the explored region), which disquali-
-  // fies most pairs. Specs without constraints fare far better — see the
-  // commutativity tests on the toy specs.
-  std::printf("\nindependence-guided exploration (sleep-set hints):\n");
+  // the same exploration with and without the commutativity matrix,
+  // measured through the metrics registry (checker.states.generated and
+  // checker.por.actions_slept accumulate per run; resetting between runs
+  // isolates each one). The reachable state set is preserved by
+  // construction (sleep sets prune redundant interleavings, not states),
+  // so `distinct` must match — what drops is the successors generated.
+  // RaftMongo's reduction is modest: its state constraint reads term and
+  // oplog, and an action writing a constraint-read variable can commute
+  // with nothing (the pruned interleaving could pass outside the explored
+  // region), which disqualifies most pairs. Specs without constraints fare
+  // far better — see the commutativity tests on the toy specs.
+  auto& registry = xmodel::obs::MetricsRegistry::Global();
+  auto counter_value = [](const xmodel::obs::RegistrySnapshot& snapshot,
+                          const char* name) -> unsigned long long {
+    const xmodel::obs::MetricSnapshot* m = snapshot.Find(name);
+    return m == nullptr ? 0
+                        : static_cast<unsigned long long>(m->value);
+  };
+
+  std::printf("\nindependence-guided exploration (sleep-set hints, "
+              "registry-measured):\n");
   for (auto variant :
        {RaftMongoVariant::kAbstract, RaftMongoVariant::kDetailed}) {
     RaftMongoConfig config;
@@ -121,24 +144,46 @@ int main() {
     auto matrix = std::make_shared<xmodel::tlax::ActionIndependence>(
         xmodel::analysis::ComputeIndependence(spec, footprints));
 
+    registry.Reset();
     auto plain = xmodel::tlax::ModelChecker().Check(spec);
+    xmodel::obs::RegistrySnapshot before = registry.Snapshot();
+
+    registry.Reset();
     xmodel::tlax::CheckerOptions por_options;
     por_options.independence = matrix;
     auto reduced = xmodel::tlax::ModelChecker(por_options).Check(spec);
+    xmodel::obs::RegistrySnapshot after = registry.Snapshot();
+
+    if (!plain.status.ok() || !reduced.status.ok()) {
+      return bench.Fail("POR comparison check aborted");
+    }
+
+    unsigned long long generated_before =
+        counter_value(before, "checker.states.generated");
+    unsigned long long generated_after =
+        counter_value(after, "checker.states.generated");
     std::printf("%-22s %zu commuting pair(s)  distinct %llu -> %llu  "
-                "generated %llu -> %llu (%.1f%% pruned)\n",
+                "generated %llu -> %llu (%.1f%% pruned, %llu slept)\n",
                 spec.name().c_str(), matrix->NumCommutingPairs(),
-                static_cast<unsigned long long>(plain.distinct_states),
-                static_cast<unsigned long long>(reduced.distinct_states),
-                static_cast<unsigned long long>(plain.generated_states),
-                static_cast<unsigned long long>(reduced.generated_states),
-                plain.generated_states == 0
+                counter_value(before, "checker.states.distinct"),
+                counter_value(after, "checker.states.distinct"),
+                generated_before, generated_after,
+                generated_before == 0
                     ? 0.0
-                    : 100.0 *
-                          (1.0 - static_cast<double>(
-                                     reduced.generated_states) /
-                                     static_cast<double>(
-                                         plain.generated_states)));
+                    : 100.0 * (1.0 - static_cast<double>(generated_after) /
+                                         static_cast<double>(
+                                             generated_before)),
+                counter_value(after, "checker.por.actions_slept"));
+    if (variant == RaftMongoVariant::kDetailed) {
+      bench.AddResult("por_generated_before",
+                      static_cast<double>(generated_before));
+      bench.AddResult("por_generated_after",
+                      static_cast<double>(generated_after));
+      bench.AddResult(
+          "por_actions_slept",
+          static_cast<double>(
+              counter_value(after, "checker.por.actions_slept")));
+    }
   }
-  return 0;
+  return bench.Finish(0);
 }

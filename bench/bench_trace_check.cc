@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "repl/rollback_fuzzer.h"
 #include "tlax/spec_coverage.h"
 #include "repl/scenarios.h"
@@ -50,7 +51,8 @@ trace::MbtcReport CheckScenario(const repl::Scenario& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("trace_check", argc, argv);
   std::printf("E3: trace-checking the implementation against RaftMongo\n\n");
 
   for (bool partial : {false, true}) {
@@ -100,6 +102,9 @@ int main() {
                           [](const repl::Scenario& s) {
                             return s.name == "initial_sync_quorum_bug";
                           });
+  if (bug == scenarios.end()) {
+    return bench.Fail("initial_sync_quorum_bug scenario missing");
+  }
   trace::MbtcReport buggy = CheckScenario(*bug, false);
   std::printf("initial-sync quorum bug: violation at step %zu of %llu "
               "(paper: step 4 of 2,683 — \"left the remaining steps "
@@ -111,7 +116,7 @@ int main() {
   // writes and no mid-run initial syncs produces a fully checkable trace.
   repl::RollbackFuzzerOptions options;
   options.seed = 11;
-  options.num_steps = 4000;
+  options.num_steps = bench.quick() ? 800 : 4000;
   options.sync_all_before_writes = true;
   options.avoid_unclean_restarts = true;
   options.avoid_two_leaders = true;
@@ -168,6 +173,13 @@ int main() {
     std::printf("  (the paper: \"measure accumulated state space coverage "
                 "over all tests\" — never\n   built; handwritten tests "
                 "exercise a sliver of the space, motivating fuzzing)\n");
+    bench.AddResult("coverage_fraction", coverage.Fraction());
   }
-  return avoided.passed() ? 0 : 1;
+  bench.AddResult("quorum_bug_failed_step",
+                  static_cast<double>(buggy.check.failed_step));
+  bench.AddResult("mitigated_fuzzer_events",
+                  static_cast<double>(avoided.num_events));
+  bench.AddResult("mitigated_fuzzer_passes",
+                  std::string(avoided.passed() ? "yes" : "no"));
+  return bench.Finish(avoided.passed() ? 0 : 1);
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "repl/rollback_fuzzer.h"
 #include "specs/raft_mongo_spec.h"
 #include "tlax/tla_text.h"
@@ -20,13 +21,14 @@
 
 using namespace xmodel;  // NOLINT — bench binaries only.
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("trace_check_scaling", argc, argv);
   std::printf("E4: Pressler re-parse checking vs native trace checking\n\n");
 
   // One long, fully legal trace from the mitigated fuzzer.
   repl::RollbackFuzzerOptions options;
   options.seed = 4;
-  options.num_steps = 12000;
+  options.num_steps = bench.quick() ? 2000 : 12000;
   options.sync_all_before_writes = true;
   options.avoid_unclean_restarts = true;
   options.avoid_two_leaders = true;
@@ -37,16 +39,14 @@ int main() {
 
   auto merged = trace::MergeLogs(logger.LogFiles(rs.num_nodes()));
   if (!merged.ok()) {
-    std::printf("merge failed: %s\n", merged.status().ToString().c_str());
-    return 1;
+    return bench.Fail(merged.status().ToString());
   }
   trace::EventProcessorOptions processor_options;
   processor_options.num_nodes = options.config.num_nodes;
   trace::ProcessedTrace processed =
       trace::EventProcessor(processor_options).Process(*merged);
   if (!processed.ok()) {
-    std::printf("processing failed: %s\n", processed.status.ToString().c_str());
-    return 1;
+    return bench.Fail(processed.status.ToString());
   }
   std::vector<tlax::TraceState> full_trace =
       trace::MbtcPipeline::ToTraceStates(processed.states);
@@ -60,8 +60,10 @@ int main() {
 
   std::printf("%8s %14s %16s %10s\n", "events", "native (s)",
               "pressler (s)", "ratio");
+  double last_ratio = 0;
+  const size_t max_length = bench.quick() ? 250u : 2000u;
   for (size_t length : {10u, 50u, 100u, 250u, 500u, 1000u, 2000u}) {
-    if (length > full_trace.size()) break;
+    if (length > full_trace.size() || length > max_length) break;
     std::vector<tlax::TraceState> prefix(full_trace.begin(),
                                          full_trace.begin() + length);
 
@@ -92,14 +94,17 @@ int main() {
                   length, pressler.failed_step);
       continue;
     }
+    last_ratio = pressler.seconds / std::max(native.seconds, 1e-9);
     std::printf("%8zu %14.4f %16.4f %9.1fx\n", length, native.seconds,
-                pressler.seconds,
-                pressler.seconds / std::max(native.seconds, 1e-9));
+                pressler.seconds, last_ratio);
   }
 
   std::printf("\npaper reference: hundreds of events practical, thousands "
               "\"impractically slow\";\n");
   std::printf("native checking (the TLC issue-413 extension) removes the "
               "per-step re-parse.\n");
-  return 0;
+  bench.AddResult("source_trace_states",
+                  static_cast<double>(full_trace.size()));
+  bench.AddResult("pressler_vs_native_ratio_at_longest", last_ratio);
+  return bench.Finish(0);
 }

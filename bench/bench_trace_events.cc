@@ -9,13 +9,15 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "repl/rollback_fuzzer.h"
 #include "repl/scenarios.h"
 #include "trace/trace_logger.h"
 
 using namespace xmodel;  // NOLINT — bench binaries only.
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness bench("trace_events", argc, argv);
   std::printf("E2: trace-event volume across the test suite\n\n");
 
   int total = 0, passed = 0, incompatible = 0, failed = 0;
@@ -54,7 +56,7 @@ int main() {
   // rollback_fuzzer with tracing.
   repl::RollbackFuzzerOptions options;
   options.seed = 2020;
-  options.num_steps = 18000;
+  options.num_steps = bench.quick() ? 1500 : 18000;
   options.sync_all_before_writes = true;
   repl::ReplicaSet rs(options.config);
   trace::TraceLogger logger(&rs.clock());
@@ -72,5 +74,14 @@ int main() {
               static_cast<unsigned long long>(logger.events_logged()));
   std::printf("committed writes durable:     %s\n",
               report.committed_writes_durable ? "yes" : "NO");
-  return 0;
+
+  bench.AddResult("scenarios_total", static_cast<double>(total));
+  bench.AddResult("scenarios_incompatible", static_cast<double>(incompatible));
+  bench.AddResult("scenarios_failed", static_cast<double>(failed));
+  bench.AddResult("trace_events", static_cast<double>(events));
+  bench.AddResult("fuzzer_trace_events",
+                  static_cast<double>(logger.events_logged()));
+  int exit_code = 0;
+  if (failed > 0 || !report.committed_writes_durable) exit_code = 1;
+  return bench.Finish(exit_code);
 }

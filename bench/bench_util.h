@@ -1,0 +1,125 @@
+// Shared harness for the experiment benches: uniform flag parsing
+// (--quick, --metrics-out=FILE), a run timer, and a BENCH_<name>.json
+// report carrying the full metrics-registry snapshot plus per-bench result
+// values — the artifact shape CI uploads and tools/validate_metrics.py
+// checks.
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     xmodel::bench::Harness bench("state_space", argc, argv);
+//     if (!setup.ok()) return bench.Fail(setup.ToString());
+//     ...
+//     bench.AddResult("states", static_cast<double>(n));
+//     return bench.Finish(exit_code);
+//   }
+
+#ifndef XMODEL_BENCH_BENCH_UTIL_H_
+#define XMODEL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace xmodel::bench {
+
+class Harness {
+ public:
+  /// Parses the harness flags out of argv (leaving unknown flags for the
+  /// bench) and starts the run timer. `--quick` (or the XMODEL_QUICK
+  /// environment variable) selects the CI smoke configuration;
+  /// `--metrics-out=FILE` overrides the default BENCH_<name>.json path.
+  Harness(const char* name, int argc, char** argv)
+      : name_(name), out_path_(common::StrCat("BENCH_", name, ".json")) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        quick_ = true;
+      } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+        out_path_ = argv[i] + 14;
+      }
+    }
+    if (std::getenv("XMODEL_QUICK") != nullptr) quick_ = true;
+    start_ns_ = common::MonotonicClock::Real()->NowNanos();
+  }
+
+  bool quick() const { return quick_; }
+  const std::string& out_path() const { return out_path_; }
+
+  /// Records one headline number (or string) for the report's "results"
+  /// object.
+  void AddResult(const std::string& key, double value) {
+    results_.emplace_back(key, common::Json::Double(value));
+  }
+  void AddResult(const std::string& key, const std::string& value) {
+    results_.emplace_back(key, common::Json::Str(value));
+  }
+
+  /// Setup failed: report it, still write the JSON (with the error
+  /// recorded) so CI artifacts show what went wrong, and return a nonzero
+  /// exit code for main.
+  int Fail(const std::string& message) {
+    std::fprintf(stderr, "BENCH %s setup failed: %s\n", name_.c_str(),
+                 message.c_str());
+    error_ = message;
+    WriteReport(/*exit_code=*/2);
+    return 2;
+  }
+
+  /// Normal completion: writes BENCH_<name>.json and passes `exit_code`
+  /// through (or 2 if the report itself cannot be written).
+  int Finish(int exit_code) {
+    if (!WriteReport(exit_code) && exit_code == 0) exit_code = 2;
+    return exit_code;
+  }
+
+ private:
+  bool WriteReport(int exit_code) {
+    const double seconds =
+        static_cast<double>(common::MonotonicClock::Real()->NowNanos() -
+                            start_ns_) *
+        1e-9;
+    obs::MetricsRegistry::Global()
+        .GetGauge(common::StrCat("bench.", name_, ".run.seconds"))
+        .Set(seconds);
+
+    common::Json doc = obs::ToJson(obs::MetricsRegistry::Global().Snapshot());
+    doc.Set("bench", common::Json::Str(name_));
+    doc.Set("quick", common::Json::Bool(quick_));
+    doc.Set("exit_code", common::Json::Int(exit_code));
+    doc.Set("wall_seconds", common::Json::Double(seconds));
+    if (!error_.empty()) doc.Set("error", common::Json::Str(error_));
+    common::Json results = common::Json::MakeObject();
+    for (auto& [key, value] : results_) results.Set(key, std::move(value));
+    doc.Set("results", std::move(results));
+
+    common::Status status = obs::WriteJsonFile(doc, out_path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "BENCH %s: cannot write %s: %s\n", name_.c_str(),
+                   out_path_.c_str(), status.ToString().c_str());
+      return false;
+    }
+    std::fprintf(stderr, "BENCH %s: report written to %s\n", name_.c_str(),
+                 out_path_.c_str());
+    return true;
+  }
+
+  std::string name_;
+  std::string out_path_;
+  bool quick_ = false;
+  int64_t start_ns_ = 0;
+  std::string error_;
+  std::vector<std::pair<std::string, common::Json>> results_;
+};
+
+}  // namespace xmodel::bench
+
+#endif  // XMODEL_BENCH_BENCH_UTIL_H_

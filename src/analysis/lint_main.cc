@@ -8,6 +8,7 @@
 //   xmodel_lint --no-scenarios  skip the lock-order pass
 //   xmodel_lint --broken-fixture  lint the seeded-defect fixture instead
 //                                 (must exit nonzero; CI checks this)
+//   xmodel_lint --metrics-out=FILE  write a metrics-registry snapshot
 //
 // Exit status: 0 when no error-severity diagnostic was produced.
 
@@ -23,6 +24,8 @@
 #include "analysis/spec_lint.h"
 #include "analysis/spec_registry.h"
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "repl/replica_set.h"
 #include "repl/scenarios.h"
 
@@ -37,6 +40,7 @@ struct Options {
   bool broken_fixture = false;
   uint64_t max_samples = 4096;
   std::string spec_filter;
+  std::string metrics_out;
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -54,6 +58,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->spec_filter = arg.substr(7);
     } else if (arg.rfind("--max-samples=", 0) == 0) {
       options->max_samples = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options->metrics_out = arg.substr(14);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -195,6 +201,21 @@ int main(int argc, char** argv) {
                   lock_streams);
     }
     std::printf("\n%s", report.ToText().c_str());
+  }
+
+  if (!options.metrics_out.empty()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("analysis.specs.linted").Increment(summaries.size());
+    registry.GetCounter("analysis.lock_streams.analyzed")
+        .Increment(lock_streams);
+    registry.GetCounter("analysis.diagnostics.emitted")
+        .Increment(report.diagnostics().size());
+    common::Status status =
+        obs::WriteMetricsJson(registry.Snapshot(), options.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", status.ToString().c_str());
+      return 2;
+    }
   }
 
   return report.HasErrors() ? 1 : 0;

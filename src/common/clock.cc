@@ -1,0 +1,25 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace xmodel::common {
+
+namespace {
+
+class RealMonotonicClock final : public MonotonicClock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+MonotonicClock* MonotonicClock::Real() {
+  static RealMonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace xmodel::common

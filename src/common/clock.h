@@ -1,0 +1,53 @@
+#ifndef XMODEL_COMMON_CLOCK_H_
+#define XMODEL_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace xmodel::common {
+
+/// A monotonic wall-time source. Production code reads the process-wide
+/// steady clock through MonotonicClock::Real(); tests inject a
+/// FakeMonotonicClock so timing-dependent behavior (progress cadence,
+/// states/sec, span durations) is deterministic. Distinct from
+/// repl::SimClock, which is *simulated* time advanced by the scheduler —
+/// the two are compared by the sim-vs-wall ratio metric.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin; never decreases.
+  virtual int64_t NowNanos() = 0;
+
+  int64_t NowMicros() { return NowNanos() / 1'000; }
+  double NowSeconds() { return static_cast<double>(NowNanos()) * 1e-9; }
+
+  /// The process-wide std::chrono::steady_clock-backed instance.
+  static MonotonicClock* Real();
+};
+
+/// Deterministic clock for tests: time moves only when told to, plus an
+/// optional fixed auto-advance per read (so code that samples the clock in
+/// a loop sees strictly increasing, reproducible timestamps).
+class FakeMonotonicClock : public MonotonicClock {
+ public:
+  int64_t NowNanos() override {
+    int64_t now = now_ns_;
+    now_ns_ += auto_advance_ns_;
+    return now;
+  }
+
+  void AdvanceNanos(int64_t ns) { now_ns_ += ns; }
+  void AdvanceMicros(int64_t us) { now_ns_ += us * 1'000; }
+  void AdvanceMs(int64_t ms) { now_ns_ += ms * 1'000'000; }
+
+  /// Every NowNanos() call advances time by `ns` after reading it.
+  void set_auto_advance_ns(int64_t ns) { auto_advance_ns_ = ns; }
+
+ private:
+  int64_t now_ns_ = 0;
+  int64_t auto_advance_ns_ = 0;
+};
+
+}  // namespace xmodel::common
+
+#endif  // XMODEL_COMMON_CLOCK_H_

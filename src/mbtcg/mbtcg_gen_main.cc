@@ -4,29 +4,37 @@
 // regenerate the full 4,913-case file.
 //
 // Usage: mbtcg_gen <output.cc> [max_cases] [--swap] [--descending]
+//                  [--metrics-out=FILE]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "mbtcg/generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <output.cc> [max_cases] [--swap] [--descending]\n",
+                 "usage: %s <output.cc> [max_cases] [--swap] [--descending] "
+                 "[--metrics-out=FILE]\n",
                  argv[0]);
     return 2;
   }
   const char* out_path = argv[1];
   size_t max_cases = 0;
+  std::string metrics_out;
   xmodel::specs::ArrayOtConfig config;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--swap") == 0) {
       config.include_swap = true;
     } else if (std::strcmp(argv[i], "--descending") == 0) {
       config.merge_descending = true;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else {
       max_cases = static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
     }
@@ -65,5 +73,19 @@ int main(int argc, char** argv) {
                "emitted %zu tests to %s\n",
                static_cast<unsigned long long>(report.spec_states),
                report.num_cases, selected.size(), out_path);
+
+  if (!metrics_out.empty()) {
+    auto& registry = xmodel::obs::MetricsRegistry::Global();
+    registry.GetCounter("mbtcg.states.explored")
+        .Increment(report.spec_states);
+    registry.GetCounter("mbtcg.cases.generated").Increment(report.num_cases);
+    registry.GetCounter("mbtcg.tests.emitted").Increment(selected.size());
+    xmodel::common::Status status =
+        xmodel::obs::WriteMetricsJson(registry.Snapshot(), metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,41 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+
+namespace xmodel::obs {
+
+std::string TextProgressReporter::FormatLine(
+    const CheckerProgress& progress) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: %" PRIu64 " states generated (%.0f s/sec), %" PRIu64
+      " distinct, %" PRIu64 " on queue, depth %" PRId64 ", fp load %.2f",
+      progress.final_report ? "done" : "progress", progress.generated_states,
+      progress.states_per_sec, progress.distinct_states,
+      progress.frontier_size, progress.depth, progress.fingerprint_load);
+  std::string line(buf);
+  if (progress.por_slept > 0) {
+    std::snprintf(buf, sizeof(buf), ", %" PRIu64 " slept",
+                  progress.por_slept);
+    line += buf;
+  }
+  if (progress.final_report) {
+    std::snprintf(buf, sizeof(buf), " (%.2f s total)", progress.seconds);
+    line += buf;
+  }
+  return line;
+}
+
+void TextProgressReporter::Report(const CheckerProgress& progress) {
+  std::string line = FormatLine(progress);
+  if (sink_ != nullptr) {
+    *sink_ += line;
+    *sink_ += '\n';
+  } else {
+    std::fprintf(out_, "%s\n", line.c_str());
+    std::fflush(out_);
+  }
+}
+
+}  // namespace xmodel::obs

@@ -1,0 +1,60 @@
+#ifndef XMODEL_OBS_PROGRESS_H_
+#define XMODEL_OBS_PROGRESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace xmodel::obs {
+
+/// One progress observation from a running model check — the TLC-style
+/// periodic status line's payload.
+struct CheckerProgress {
+  uint64_t generated_states = 0;
+  uint64_t distinct_states = 0;
+  uint64_t frontier_size = 0;  // States left on the BFS queue.
+  int64_t depth = 0;           // Deepest layer reached so far.
+  double seconds = 0;          // Wall time since the check started.
+  /// Generation rate over the last reporting interval (not cumulative).
+  double states_per_sec = 0;
+  /// Fingerprint (seen-states) hash-table load factor.
+  double fingerprint_load = 0;
+  /// Successor expansions skipped by sleep-set POR so far.
+  uint64_t por_slept = 0;
+  /// True for the single final report emitted when the check ends.
+  bool final_report = false;
+};
+
+/// Interval-driven observer of a model-checking run. Off by default; wire
+/// one into CheckerOptions::progress_reporter to enable. Implementations
+/// must tolerate being called from the checking thread at arbitrary
+/// points (the checker is single-threaded, so no locking is needed).
+class ProgressReporter {
+ public:
+  virtual ~ProgressReporter() = default;
+  virtual void Report(const CheckerProgress& progress) = 0;
+};
+
+/// Prints TLC-style progress lines:
+///   progress: 123456 states generated (45678 s/sec), 9999 distinct,
+///             321 on queue, depth 12, fp load 0.43
+/// Writes to a FILE* (default stderr) or, for tests, appends to a string.
+class TextProgressReporter : public ProgressReporter {
+ public:
+  explicit TextProgressReporter(std::FILE* out = stderr) : out_(out) {}
+  explicit TextProgressReporter(std::string* sink) : sink_(sink) {}
+
+  void Report(const CheckerProgress& progress) override;
+
+  /// Formats one progress line (no trailing newline) — shared by both
+  /// sinks and handy for golden tests.
+  static std::string FormatLine(const CheckerProgress& progress);
+
+ private:
+  std::FILE* out_ = nullptr;
+  std::string* sink_ = nullptr;
+};
+
+}  // namespace xmodel::obs
+
+#endif  // XMODEL_OBS_PROGRESS_H_

@@ -1,0 +1,111 @@
+#include "obs/span.h"
+
+#include "obs/export.h"
+
+namespace xmodel::obs {
+
+namespace {
+
+// Small sequential thread ids make trace rows stable and readable.
+int NextTid() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int ThisThreadTid() {
+  thread_local int tid = NextTid();
+  return tid;
+}
+
+thread_local int span_depth = 0;
+
+}  // namespace
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer* tracer = new SpanTracer();  // Never dies.
+  return *tracer;
+}
+
+void SpanTracer::Enable(common::MonotonicClock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock != nullptr ? clock : common::MonotonicClock::Real();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanTracer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void SpanTracer::Record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (origin_us_ < 0 || record.start_us < origin_us_) {
+    origin_us_ = record.start_us;
+  }
+  records_.push_back(record);
+}
+
+std::vector<SpanRecord> SpanTracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  origin_us_ = -1;
+}
+
+common::Json SpanTracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::Json events = common::Json::MakeArray();
+  for (const SpanRecord& r : records_) {
+    common::Json e = common::Json::MakeObject();
+    e.Set("name", common::Json::Str(r.name));
+    e.Set("ph", common::Json::Str("X"));
+    e.Set("ts", common::Json::Int(r.start_us - origin_us_));
+    e.Set("dur", common::Json::Int(r.duration_us));
+    e.Set("pid", common::Json::Int(1));
+    e.Set("tid", common::Json::Int(r.tid));
+    common::Json args = common::Json::MakeObject();
+    args.Set("depth", common::Json::Int(r.depth));
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+  common::Json doc = common::Json::MakeObject();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", common::Json::Str("ms"));
+  return doc;
+}
+
+common::Status SpanTracer::WriteChromeJson(const std::string& path) const {
+  return WriteJsonFile(ToChromeJson(), path);
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  SpanTracer& tracer = SpanTracer::Global();
+  if (!tracer.enabled()) return;
+  depth_ = span_depth++;
+  start_us_ = tracer.NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (start_us_ < 0) return;
+  SpanTracer& tracer = SpanTracer::Global();
+  --span_depth;
+  // A tracer disabled mid-span still closes cleanly (depth was claimed).
+  if (!tracer.enabled()) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = tracer.NowMicros() - start_us_;
+  record.tid = ThisThreadTid();
+  record.depth = depth_;
+  tracer.Record(record);
+}
+
+}  // namespace xmodel::obs

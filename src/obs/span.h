@@ -1,0 +1,96 @@
+#ifndef XMODEL_OBS_SPAN_H_
+#define XMODEL_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+
+namespace xmodel::obs {
+
+/// One completed span: a named duration on one thread, with its nesting
+/// depth at the time it opened. Timestamps are microseconds on the
+/// tracer's clock, rebased so the first span starts near zero.
+struct SpanRecord {
+  const char* name;  // Static string (the XMODEL_SPAN literal).
+  int64_t start_us;
+  int64_t duration_us;
+  int tid;    // Small sequential per-thread id, stable within a process.
+  int depth;  // Nesting depth when the span opened (0 = top level).
+};
+
+/// Process-wide span recorder emitting Chrome `trace_event` JSON
+/// (chrome://tracing, Perfetto). Disabled by default: XMODEL_SPAN costs
+/// one relaxed atomic load when tracing is off. Enable() turns recording
+/// on; spans are buffered in memory and dumped with WriteChromeJson().
+///
+/// Span names follow the metric naming scheme's subsystem prefix
+/// ("mbtc.merge_logs", "checker.expand"); see DESIGN.md "Observability".
+class SpanTracer {
+ public:
+  SpanTracer() : clock_(common::MonotonicClock::Real()) {}
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  static SpanTracer& Global();
+
+  /// Starts recording; `clock` overrides the wall clock (tests).
+  void Enable(common::MonotonicClock* clock = nullptr);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span (called by ScopedSpan's destructor).
+  void Record(const SpanRecord& record);
+
+  std::vector<SpanRecord> spans() const;
+  size_t size() const;
+  void Clear();
+
+  /// The Chrome trace document: {"traceEvents": [...], "displayTimeUnit"}.
+  /// Each span is one complete event (ph "X") with ts/dur in microseconds.
+  common::Json ToChromeJson() const;
+  common::Status WriteChromeJson(const std::string& path) const;
+
+  int64_t NowMicros() { return clock_->NowMicros(); }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  common::MonotonicClock* clock_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  int64_t origin_us_ = -1;  // First span start; rebases emitted timestamps.
+};
+
+/// RAII span: opens on construction, records on destruction. When the
+/// global tracer is disabled at construction time the whole object is a
+/// no-op (including a tracer enabled mid-span).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_ = -1;  // -1: tracer was disabled, record nothing.
+  int depth_ = 0;
+};
+
+#define XMODEL_OBS_CONCAT_INNER(a, b) a##b
+#define XMODEL_OBS_CONCAT(a, b) XMODEL_OBS_CONCAT_INNER(a, b)
+
+/// Opens a scoped span covering the rest of the enclosing block:
+///   XMODEL_SPAN("mbtc.trace_check");
+#define XMODEL_SPAN(name)                                 \
+  ::xmodel::obs::ScopedSpan XMODEL_OBS_CONCAT(            \
+      xmodel_span_at_line_, __LINE__)(name)
+
+}  // namespace xmodel::obs
+
+#endif  // XMODEL_OBS_SPAN_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace xmodel::repl {
 
@@ -151,6 +152,12 @@ int64_t Node::PullOplogFrom(const Node& source, int64_t batch_size) {
       commit_point_ = oplog_.LastOpTime();
     }
     ++rollback_count_;
+    {
+      static obs::Counter& rollbacks =
+          obs::MetricsRegistry::Global().GetCounter(
+              "repl.rollbacks.performed");
+      rollbacks.Increment();
+    }
     EmitTrace(ReplAction::kRollbackOplog);
   }
 

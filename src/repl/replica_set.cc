@@ -4,11 +4,26 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace xmodel::repl {
 
 using common::Status;
 using common::StrCat;
+
+namespace {
+
+// Cached-handle counter access: the registry lookup happens once per call
+// site (function-local static), after which each event costs one relaxed
+// atomic add. Names follow the repl.noun.verb scheme (DESIGN.md).
+#define REPL_COUNT(name, n)                                        \
+  do {                                                             \
+    static obs::Counter& counter =                                 \
+        obs::MetricsRegistry::Global().GetCounter(name);           \
+    counter.Increment(n);                                          \
+  } while (0)
+
+}  // namespace
 
 ReplicaSet::ReplicaSet(const ReplicaSetConfig& config)
     : config_(config),
@@ -47,6 +62,7 @@ int ReplicaSet::NewestLeader() const {
 }
 
 Status ReplicaSet::TryElect(int candidate) {
+  REPL_COUNT("repl.elections.started", 1);
   Node& cand = node(candidate);
   if (!cand.alive()) return Status::FailedPrecondition("candidate is down");
   if (cand.is_arbiter()) {
@@ -87,6 +103,7 @@ Status ReplicaSet::TryElect(int candidate) {
                num_voting_nodes(), " votes"));
   }
   cand.BecomeLeader(new_term);
+  REPL_COUNT("repl.elections.won", 1);
   // The election itself is "magic" (instantaneous) from the spec's point of
   // view; the voters then learn the new term as ordinary term gossip, each
   // producing its own traced transition.
@@ -99,7 +116,9 @@ Status ReplicaSet::TryElect(int candidate) {
 }
 
 Status ReplicaSet::ClientWrite(int leader, const std::string& op) {
-  return node(leader).ClientWrite(op);
+  Status status = node(leader).ClientWrite(op);
+  if (status.ok()) REPL_COUNT("repl.writes.applied", 1);
+  return status;
 }
 
 int ReplicaSet::BestSyncSourceFor(int follower) const {
@@ -132,6 +151,10 @@ int64_t ReplicaSet::ReplicateFrom(int follower, int source) {
   Node& f = node(follower);
   int64_t appended =
       f.PullOplogFrom(node(source), config_.pull_batch_size);
+  REPL_COUNT("repl.replication.pulls", 1);
+  if (appended > 0) {
+    REPL_COUNT("repl.replication.entries", static_cast<uint64_t>(appended));
+  }
   // The pull protocol reports progress upstream: every reachable leader
   // learns the follower's new position. Positions are reported only after
   // the journal flush, so reporting implies durability.
@@ -168,6 +191,7 @@ void ReplicaSet::Heartbeat(int from, int to) {
   Node& receiver = node(to);
   if (!sender.alive() || !receiver.alive()) return;
 
+  REPL_COUNT("repl.heartbeats.sent", 1);
   bool from_sync_source = BestSyncSourceFor(to) == from;
   bool prefix = receiver.oplog().IsPrefixOf(sender.oplog());
   receiver.ReceiveHeartbeat(sender.term(), sender.commit_point(),
@@ -240,6 +264,7 @@ Status ReplicaSet::StartInitialSync(int node_id) {
   if (source < 0) return Status::NotFound("no reachable sync source");
   n.StartInitialSync(node(source));
   initial_sync_source_[node_id] = source;
+  REPL_COUNT("repl.initial_sync.started", 1);
   return Status::OK();
 }
 
@@ -257,14 +282,19 @@ Status ReplicaSet::FinishInitialSync(int node_id) {
   }
   n.FinishInitialSync();
   initial_sync_source_[node_id] = -1;
+  REPL_COUNT("repl.initial_sync.finished", 1);
   return Status::OK();
 }
 
 void ReplicaSet::CrashNode(int node_id, bool unclean) {
+  REPL_COUNT("repl.nodes.crashed", 1);
   node(node_id).Crash(unclean);
 }
 
-void ReplicaSet::RestartNode(int node_id) { node(node_id).Restart(); }
+void ReplicaSet::RestartNode(int node_id) {
+  REPL_COUNT("repl.nodes.restarted", 1);
+  node(node_id).Restart();
+}
 
 std::vector<OpTime> ReplicaSet::CommittedButRolledBack() const {
   // A committed write has "rolled back" when it is no longer present on a

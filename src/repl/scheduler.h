@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.h"
 #include "repl/network.h"
 
 namespace xmodel::repl {
@@ -49,6 +50,18 @@ class Scheduler {
   size_t pending_events() const { return queue_.size() - cancelled_.size(); }
   SimClock* clock() { return clock_; }
 
+  /// Wall-time source for the simulated-vs-wall time ratio telemetry
+  /// (repl.sim.* metrics, published after each RunUntil). Tests inject a
+  /// FakeMonotonicClock; default is the process steady clock.
+  void set_wall_clock(common::MonotonicClock* wall_clock) {
+    wall_clock_ = wall_clock;
+  }
+
+  /// Total simulated milliseconds advanced across RunUntil calls.
+  int64_t sim_ms_advanced() const { return sim_ms_advanced_; }
+  /// Total wall nanoseconds spent inside RunUntil calls.
+  int64_t wall_ns_spent() const { return wall_ns_spent_; }
+
  private:
   struct Event {
     int64_t when_ms;
@@ -65,6 +78,9 @@ class Scheduler {
   void Fire(const Event& event);
 
   SimClock* clock_;
+  common::MonotonicClock* wall_clock_ = nullptr;  // null = Real().
+  int64_t sim_ms_advanced_ = 0;
+  int64_t wall_ns_spent_ = 0;
   uint64_t next_id_ = 1;
   uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;

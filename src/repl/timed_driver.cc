@@ -1,6 +1,18 @@
 #include "repl/timed_driver.h"
 
+#include "obs/metrics.h"
+
 namespace xmodel::repl {
+
+namespace {
+
+// Driver-level tallies mirror the member counters into the registry so a
+// `--metrics-out` snapshot carries them without plumbing (repl.driver.*).
+obs::Counter& DriverCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
 
 TimedDriver::TimedDriver(ReplicaSet* rs, Scheduler* scheduler,
                          common::Rng* rng, TimedDriverOptions options)
@@ -38,6 +50,8 @@ common::Status TimedDriver::ClientWrite(const std::string& op) {
 }
 
 void TimedDriver::OnHeartbeatTick() {
+  static obs::Counter& ticks = DriverCounter("repl.driver.heartbeat_ticks");
+  ticks.Increment();
   const int64_t now = scheduler_->clock()->NowMs();
   for (int from = 0; from < rs_->num_nodes(); ++from) {
     Node& sender = rs_->node(from);
@@ -66,6 +80,9 @@ void TimedDriver::OnHeartbeatTick() {
       // brief, as the real Server does).
       sender.Stepdown();
       ++stepdowns_forced_;
+      static obs::Counter& stepdowns =
+          DriverCounter("repl.driver.stepdowns_forced");
+      stepdowns.Increment();
     }
   }
 }
@@ -89,6 +106,9 @@ void TimedDriver::OnElectionCheck(int n) {
   }
   if (now < election_deadline_[n]) return;
   ++elections_started_;
+  static obs::Counter& timeouts =
+      DriverCounter("repl.driver.election_timeouts");
+  timeouts.Increment();
   rs_->TryElect(n).ok();  // Failure just re-arms the timer.
   election_deadline_[n] = now + rng_->Range(options_.election_timeout_min_ms,
                                             options_.election_timeout_max_ms);

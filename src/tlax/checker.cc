@@ -1,11 +1,13 @@
 #include "tlax/checker.h"
 
 #include <algorithm>
-#include <chrono>
+#include <bit>
 #include <deque>
 #include <unordered_map>
 
+#include "common/clock.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace xmodel::tlax {
 
@@ -17,6 +19,12 @@ struct NodeInfo {
   uint16_t action = UINT16_MAX;   // Action index taken from the parent.
   int64_t depth = 0;
 };
+
+// How many frontier expansions happen between wall-clock polls when a
+// progress reporter is attached. Large enough that the clock read is
+// invisible in the states/sec budget, small enough that progress lines
+// land within ~a second of their nominal interval on realistic specs.
+constexpr uint32_t kProgressPollExpansions = 1024;
 
 std::vector<TraceStep> BuildTrace(const std::deque<State>& states,
                                   const std::vector<NodeInfo>& info,
@@ -40,7 +48,10 @@ std::vector<TraceStep> BuildTrace(const std::deque<State>& states,
 }  // namespace
 
 CheckResult ModelChecker::Check(const Spec& spec) const {
-  auto start_time = std::chrono::steady_clock::now();
+  common::MonotonicClock* clock = options_.clock != nullptr
+                                      ? options_.clock
+                                      : common::MonotonicClock::Real();
+  const int64_t start_ns = clock->NowNanos();
   CheckResult result;
 
   const std::vector<Action>& actions = spec.actions();
@@ -98,13 +109,68 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
   std::vector<uint32_t> graph_id;
   constexpr uint32_t kNotInGraph = UINT32_MAX;
 
+  // Progress telemetry (off unless a reporter is wired in): the wall clock
+  // is polled every kProgressPollExpansions frontier expansions, and a
+  // report fires when progress_interval_ms has elapsed since the last one.
+  const bool report_progress = options_.progress_reporter != nullptr;
+  const int64_t interval_ns = options_.progress_interval_ms * 1'000'000;
+  int64_t last_report_ns = start_ns;
+  uint64_t last_report_generated = 0;
+  uint32_t poll_countdown = kProgressPollExpansions;
+
+  auto progress_snapshot = [&](int64_t now_ns, bool final_report) {
+    obs::CheckerProgress p;
+    p.generated_states = result.generated_states;
+    p.distinct_states = states.size();
+    p.frontier_size = frontier.size();
+    p.depth = result.diameter;
+    p.seconds = static_cast<double>(now_ns - start_ns) * 1e-9;
+    const double dt = static_cast<double>(now_ns - last_report_ns) * 1e-9;
+    const uint64_t dgen = result.generated_states - last_report_generated;
+    p.states_per_sec =
+        final_report
+            ? (p.seconds > 0
+                   ? static_cast<double>(result.generated_states) / p.seconds
+                   : 0)
+            : (dt > 0 ? static_cast<double>(dgen) / dt : 0);
+    p.fingerprint_load = seen.load_factor();
+    p.por_slept = result.por_slept_actions;
+    p.final_report = final_report;
+    return p;
+  };
+
   auto finish = [&](common::Status status) {
     result.status = std::move(status);
     result.distinct_states = states.size();
-    result.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_time)
-            .count();
+    result.fingerprint_load = seen.load_factor();
+    const int64_t end_ns = clock->NowNanos();
+    result.seconds = static_cast<double>(end_ns - start_ns) * 1e-9;
+    if (report_progress) {
+      options_.progress_reporter->Report(progress_snapshot(end_ns, true));
+    }
+    if (options_.publish_metrics) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("checker.runs.completed").Increment();
+      registry.GetCounter("checker.states.generated")
+          .Increment(result.generated_states);
+      registry.GetCounter("checker.states.distinct")
+          .Increment(result.distinct_states);
+      registry.GetCounter("checker.por.actions_slept")
+          .Increment(result.por_slept_actions);
+      if (result.violation.has_value()) {
+        registry.GetCounter("checker.violations.found").Increment();
+      }
+      registry.GetGauge("checker.frontier.peak")
+          .Set(static_cast<double>(result.frontier_peak));
+      registry.GetGauge("checker.fingerprint.load")
+          .Set(result.fingerprint_load);
+      registry.GetGauge("checker.run.seconds").Set(result.seconds);
+      registry.GetGauge("checker.run.states_per_sec")
+          .Set(result.seconds > 0 ? static_cast<double>(
+                                        result.generated_states) /
+                                        result.seconds
+                                  : 0);
+    }
     return result;
   };
 
@@ -146,6 +212,19 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
 
   std::vector<State> successors;
   while (!frontier.empty()) {
+    if (frontier.size() > result.frontier_peak) {
+      result.frontier_peak = frontier.size();
+    }
+    if (report_progress && --poll_countdown == 0) {
+      poll_countdown = kProgressPollExpansions;
+      const int64_t now_ns = clock->NowNanos();
+      if (now_ns - last_report_ns >= interval_ns) {
+        options_.progress_reporter->Report(
+            progress_snapshot(now_ns, /*final_report=*/false));
+        last_report_ns = now_ns;
+        last_report_generated = result.generated_states;
+      }
+    }
     uint32_t cur = frontier.front();
     frontier.pop_front();
     const int64_t depth = info[cur].depth;
@@ -161,6 +240,8 @@ CheckResult ModelChecker::Check(const Spec& spec) const {
       explored_before = done[cur];
       to_expand = all_actions & ~cur_sleep & ~explored_before;
       done[cur] |= to_expand;
+      result.por_slept_actions += static_cast<uint64_t>(
+          std::popcount(all_actions & cur_sleep & ~explored_before));
       if (to_expand == 0) continue;  // Redundant re-enqueue.
     }
     successors.clear();

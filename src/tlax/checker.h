@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "obs/progress.h"
 #include "tlax/independence.h"
 #include "tlax/spec.h"
 #include "tlax/state_graph.h"
@@ -38,6 +40,21 @@ struct CheckerOptions {
   /// true one. Ignored when record_graph is set (the recorded graph must
   /// carry every edge) or when the spec has more than 64 actions.
   std::shared_ptr<const ActionIndependence> independence;
+  /// Interval-driven progress telemetry (TLC's periodic status lines).
+  /// Off by default: when null, the checker never consults the wall clock
+  /// mid-run beyond its start/stop measurement. When set, Report() is
+  /// called roughly every progress_interval_ms (polled every few thousand
+  /// expansions, so lines can lag on very slow specs) and once at the end
+  /// with final_report set.
+  obs::ProgressReporter* progress_reporter = nullptr;
+  int64_t progress_interval_ms = 2000;
+  /// Wall-time source for seconds/progress pacing; null = the process
+  /// steady clock. Tests inject a FakeMonotonicClock for determinism.
+  common::MonotonicClock* clock = nullptr;
+  /// Publish end-of-run counters/gauges (checker.* family) to
+  /// obs::MetricsRegistry::Global(). Cheap: a handful of atomic adds per
+  /// Check() call, nothing per state.
+  bool publish_metrics = true;
 };
 
 /// A step in a counterexample trace: the action that was taken to reach
@@ -63,6 +80,12 @@ struct CheckResult {
   /// Length of the longest shortest-path from an initial state (TLC's
   /// "depth of the complete state graph").
   int64_t diameter = 0;
+  /// Peak BFS queue depth observed during the run.
+  uint64_t frontier_peak = 0;
+  /// Action expansions skipped by sleep-set POR (0 without a matrix).
+  uint64_t por_slept_actions = 0;
+  /// Final load factor of the fingerprint (seen-states) table.
+  double fingerprint_load = 0;
   std::optional<Violation> violation;
   /// Present when options.record_graph was set.
   std::shared_ptr<StateGraph> graph;

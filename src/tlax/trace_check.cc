@@ -1,10 +1,11 @@
 #include "tlax/trace_check.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace xmodel::tlax {
 
@@ -15,16 +16,33 @@ namespace {
 
 class Timer {
  public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
+  explicit Timer(common::MonotonicClock* clock)
+      : clock_(clock != nullptr ? clock : common::MonotonicClock::Real()),
+        start_ns_(clock_->NowNanos()) {}
   double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
+    return static_cast<double>(clock_->NowNanos() - start_ns_) * 1e-9;
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  common::MonotonicClock* clock_;
+  int64_t start_ns_;
 };
+
+// End-of-run telemetry for one trace check (the checker.trace.* family).
+void PublishTraceMetrics(const TraceCheckOptions& options,
+                         const TraceCheckResult& result) {
+  if (!options.publish_metrics) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("checker.trace.runs.completed").Increment();
+  registry.GetCounter("checker.trace.steps.checked")
+      .Increment(result.step_actions.size());
+  registry.GetCounter("checker.trace.states.explored")
+      .Increment(result.states_explored);
+  if (!result.ok()) {
+    registry.GetCounter("checker.trace.violations.found").Increment();
+  }
+  registry.GetGauge("checker.trace.run.seconds").Set(result.seconds);
+}
 
 // A deduplicated frontier of spec states viable at one trace position.
 class Frontier {
@@ -150,12 +168,12 @@ TraceCheckResult TraceChecker::CheckParsed(const Spec& spec,
 
 TraceCheckResult TraceChecker::Check(const Spec& spec,
                                      const std::vector<TraceState>& trace) const {
-  Timer timer;
+  Timer timer(options_.clock);
   uint64_t explored = 0;
   TraceCheckResult result;
   if (options_.mode == TraceCheckMode::kPresslerReparse) {
     // Emulate by serializing once and delegating to CheckModule, which
-    // performs the per-step re-parse.
+    // performs the per-step re-parse (and publishes the run's metrics).
     std::string module = TraceModuleText("Trace", spec.variables(), trace);
     result = CheckModule(spec, module);
     return result;
@@ -163,12 +181,14 @@ TraceCheckResult TraceChecker::Check(const Spec& spec,
   result = CheckParsed(spec, trace, &explored);
   result.states_explored = explored;
   result.seconds = timer.Seconds();
+  PublishTraceMetrics(options_, result);
   return result;
 }
 
 TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
                                            const std::string& module_text) const {
-  Timer timer;
+  TraceCheckResult outer = [&]() -> TraceCheckResult {
+  Timer timer(options_.clock);
   uint64_t explored = 0;
   TraceCheckResult result;
   const size_t num_vars = spec.variables().size();
@@ -244,6 +264,9 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
   result.states_explored = explored;
   result.seconds = timer.Seconds();
   return result;
+  }();
+  PublishTraceMetrics(options_, outer);
+  return outer;
 }
 
 }  // namespace xmodel::tlax

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "tlax/spec.h"
 #include "tlax/tla_text.h"
@@ -39,6 +40,10 @@ struct TraceCheckOptions {
   /// Node budget per observed step for the hidden-step search, to bound
   /// the blow-up when max_hidden_steps is large.
   uint64_t max_search_states_per_step = 200'000;
+  /// Wall-time source for `seconds`; null = the process steady clock.
+  common::MonotonicClock* clock = nullptr;
+  /// Publish end-of-run checker.trace.* counters to the global registry.
+  bool publish_metrics = true;
 };
 
 struct TraceCheckResult {

@@ -1,64 +1,198 @@
 // Command-line MBTC driver: read per-node trace log files from a directory
-// and check them against the RaftMongo specification — the "trace-checking
-// built in where users only need to provide a trace and a specification"
-// experience the paper asks TLC for (§6).
+// (or generate them in-process from a named scenario) and check them against
+// the RaftMongo specification — the "trace-checking built in where users
+// only need to provide a trace and a specification" experience the paper
+// asks TLC for (§6).
 //
-// Usage: mbtc_check <log_directory> [--abstract] [--no-stutter]
+// Usage:
+//   mbtc_check <log_directory> [flags]     check logs on disk
+//   mbtc_check --scenario=NAME [flags]     run a library scenario, trace it,
+//                                          and check the trace end to end
+//   mbtc_check --list-scenarios            print scenario names and exit
+//
+// Flags:
+//   --abstract           check against the abstract spec variant
+//   --no-stutter         disallow stuttering steps in the trace check
+//   --metrics-out=FILE   write a metrics-registry snapshot as JSON
+//   --trace-out=FILE     record spans and write Chrome trace_event JSON
 
 #include <cstdio>
-#include <cstring>
+#include <string>
+#include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "repl/scenarios.h"
 #include "specs/raft_mongo_spec.h"
 #include "trace/mbtc_pipeline.h"
 #include "trace/trace_logger.h"
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <log_directory> [--abstract] [--no-stutter]\n",
-                 argv[0]);
-    return 2;
-  }
-  bool abstract = false;
+namespace {
+
+using namespace xmodel;  // NOLINT — main binary only.
+
+struct Options {
+  std::string log_directory;
+  std::string scenario;
+  std::string metrics_out;
+  std::string trace_out;
+  bool list_scenarios = false;
+  bool abstract_variant = false;
   bool stutter = true;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--abstract") == 0) abstract = true;
-    if (std::strcmp(argv[i], "--no-stutter") == 0) stutter = false;
-  }
+};
 
-  auto files = xmodel::trace::TraceLogger::ReadLogFiles(argv[1]);
-  if (!files.ok()) {
-    std::fprintf(stderr, "%s\n", files.status().ToString().c_str());
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <log_directory> [--abstract] [--no-stutter]\n"
+               "           [--metrics-out=FILE] [--trace-out=FILE]\n"
+               "       %s --scenario=NAME [flags]\n"
+               "       %s --list-scenarios\n",
+               argv0, argv0, argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--abstract") {
+      options->abstract_variant = true;
+    } else if (arg == "--no-stutter") {
+      options->stutter = false;
+    } else if (arg == "--list-scenarios") {
+      options->list_scenarios = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      options->scenario = arg.substr(11);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options->metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options->trace_out = arg.substr(12);
+    } else if (!arg.empty() && arg[0] != '-' &&
+               options->log_directory.empty()) {
+      options->log_directory = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Writes the requested observability outputs; returns false (with a
+/// message) when a file cannot be written.
+bool WriteObsOutputs(const Options& options) {
+  bool ok = true;
+  if (!options.metrics_out.empty()) {
+    common::Status status = obs::WriteMetricsJson(
+        obs::MetricsRegistry::Global().Snapshot(), options.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", status.ToString().c_str());
+      ok = false;
+    }
+  }
+  if (!options.trace_out.empty()) {
+    common::Status status =
+        obs::SpanTracer::Global().WriteChromeJson(options.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", status.ToString().c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    Usage(argv[0]);
     return 2;
   }
+  if (options.list_scenarios) {
+    for (const repl::Scenario& s : repl::AllScenarios()) {
+      std::printf("%s\n", s.name.c_str());
+    }
+    return 0;
+  }
+  if (options.scenario.empty() == options.log_directory.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (!options.trace_out.empty()) obs::SpanTracer::Global().Enable();
 
-  xmodel::specs::RaftMongoConfig config;
-  config.variant = abstract ? xmodel::specs::RaftMongoVariant::kAbstract
-                            : xmodel::specs::RaftMongoVariant::kDetailed;
-  config.num_nodes = static_cast<int>(files->size());
+  // Resolve the log files: from disk, or by running a library scenario
+  // in-process with tracing attached (the paper's Figure 1 front half).
+  std::vector<std::vector<std::string>> files;
+  int num_nodes = 0;
+  if (!options.scenario.empty()) {
+    XMODEL_SPAN("mbtc.scenario");
+    const std::vector<repl::Scenario> all = repl::AllScenarios();
+    const repl::Scenario* found = nullptr;
+    for (const repl::Scenario& s : all) {
+      if (s.name == options.scenario) {
+        found = &s;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      std::fprintf(stderr,
+                   "no scenario named %s (try --list-scenarios)\n",
+                   options.scenario.c_str());
+      return 2;
+    }
+    repl::ReplicaSet rs(found->config);
+    trace::TraceLogger logger(&rs.clock());
+    rs.AttachTraceSink(&logger);
+    common::Status run_status = found->run(rs);
+    if (!run_status.ok()) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", found->name.c_str(),
+                   run_status.ToString().c_str());
+      WriteObsOutputs(options);
+      return 2;
+    }
+    num_nodes = rs.num_nodes();
+    files = logger.LogFiles(num_nodes);
+  } else {
+    auto read = trace::TraceLogger::ReadLogFiles(options.log_directory);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s\n", read.status().ToString().c_str());
+      return 2;
+    }
+    files = *std::move(read);
+    num_nodes = static_cast<int>(files.size());
+  }
+
+  specs::RaftMongoConfig config;
+  config.variant = options.abstract_variant
+                       ? specs::RaftMongoVariant::kAbstract
+                       : specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = num_nodes;
   config.max_term = 1'000'000;
   config.max_oplog_len = 1'000'000;
-  xmodel::specs::RaftMongoSpec spec(config);
+  specs::RaftMongoSpec spec(config);
 
-  xmodel::trace::MbtcPipelineOptions options;
-  options.checker.allow_stuttering = stutter;
-  xmodel::trace::MbtcPipeline pipeline(&spec, options);
-  xmodel::trace::MbtcReport report = pipeline.Run(*files);
+  trace::MbtcPipelineOptions pipeline_options;
+  pipeline_options.checker.allow_stuttering = options.stutter;
+  trace::MbtcPipeline pipeline(&spec, pipeline_options);
+  trace::MbtcReport report = pipeline.Run(files);
 
+  int exit_code = 0;
   if (!report.status.ok()) {
     std::fprintf(stderr, "pipeline error: %s\n",
                  report.status.ToString().c_str());
-    return 2;
-  }
-  if (report.passed()) {
+    exit_code = 2;
+  } else if (report.passed()) {
     std::printf("PASS: %llu events form a behavior of %s\n",
                 static_cast<unsigned long long>(report.num_events),
                 spec.name().c_str());
-    return 0;
+  } else {
+    std::printf("VIOLATION at step %zu of %llu: %s\n",
+                report.check.failed_step,
+                static_cast<unsigned long long>(report.num_events),
+                report.check.status.message().c_str());
+    exit_code = 1;
   }
-  std::printf("VIOLATION at step %zu of %llu: %s\n",
-              report.check.failed_step,
-              static_cast<unsigned long long>(report.num_events),
-              report.check.status.message().c_str());
-  return 1;
+
+  if (!WriteObsOutputs(options) && exit_code == 0) exit_code = 2;
+  return exit_code;
 }

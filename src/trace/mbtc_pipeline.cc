@@ -1,8 +1,44 @@
 #include "trace/mbtc_pipeline.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "tlax/tla_text.h"
 
 namespace xmodel::trace {
+
+namespace {
+
+/// Phase timer: records elapsed milliseconds into a latency histogram on
+/// destruction. Phases are the paper's Figure 1 stages — parse (merge +
+/// post-process the per-node logs), map (state sequence → Trace module),
+/// check (trace check against the spec).
+class PhaseTimer {
+ public:
+  PhaseTimer(common::MonotonicClock* clock, const char* histogram_name,
+             bool enabled)
+      : clock_(clock), enabled_(enabled), start_ns_(clock->NowNanos()) {
+    if (enabled_) {
+      histogram_ = &obs::MetricsRegistry::Global().GetHistogram(
+          histogram_name, obs::DefaultLatencyBucketsMs());
+    }
+  }
+  ~PhaseTimer() {
+    if (enabled_ && histogram_ != nullptr) {
+      histogram_->Observe(
+          static_cast<double>(clock_->NowNanos() - start_ns_) * 1e-6);
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  common::MonotonicClock* clock_;
+  bool enabled_;
+  int64_t start_ns_;
+  obs::Histogram* histogram_ = nullptr;
+};
+
+}  // namespace
 
 std::vector<tlax::TraceState> MbtcPipeline::ToTraceStates(
     const std::vector<tlax::State>& states) {
@@ -16,31 +52,74 @@ std::vector<tlax::TraceState> MbtcPipeline::ToTraceStates(
 
 MbtcReport MbtcPipeline::Run(
     const std::vector<std::vector<std::string>>& log_files) const {
+  XMODEL_SPAN("mbtc.run");
+  common::MonotonicClock* clock = options_.clock != nullptr
+                                      ? options_.clock
+                                      : common::MonotonicClock::Real();
+  const bool publish = options_.publish_metrics;
+  auto& registry = obs::MetricsRegistry::Global();
+  const int64_t run_start_ns = clock->NowNanos();
+
   MbtcReport report;
 
-  auto merged = MergeLogs(log_files);
-  if (!merged.ok()) {
-    report.status = merged.status();
-    return report;
-  }
-  report.num_events = merged->size();
+  auto fail = [&](MbtcReport&& r) {
+    if (publish) registry.GetCounter("mbtc.runs.failed").Increment();
+    return std::move(r);
+  };
 
-  EventProcessor processor(options_.processor);
-  ProcessedTrace processed = processor.Process(*merged);
-  if (!processed.ok()) {
-    report.status = processed.status;
-    return report;
-  }
-  report.num_states = processed.states.size();
+  ProcessedTrace processed;
+  {
+    XMODEL_SPAN("mbtc.parse");
+    PhaseTimer timer(clock, "mbtc.phase.parse.ms", publish);
+    auto merged = MergeLogs(log_files);
+    if (!merged.ok()) {
+      report.status = merged.status();
+      return fail(std::move(report));
+    }
+    report.num_events = merged->size();
 
-  std::vector<tlax::TraceState> trace = ToTraceStates(processed.states);
-  if (options_.emit_trace_module) {
-    report.trace_module =
-        tlax::TraceModuleText("Trace", spec_->variables(), trace);
+    EventProcessor processor(options_.processor);
+    processed = processor.Process(*merged);
+    if (!processed.ok()) {
+      report.status = processed.status;
+      return fail(std::move(report));
+    }
+    report.num_states = processed.states.size();
   }
 
-  tlax::TraceChecker checker(options_.checker);
-  report.check = checker.Check(*spec_, trace);
+  std::vector<tlax::TraceState> trace;
+  {
+    XMODEL_SPAN("mbtc.map");
+    PhaseTimer timer(clock, "mbtc.phase.map.ms", publish);
+    trace = ToTraceStates(processed.states);
+    if (options_.emit_trace_module) {
+      report.trace_module =
+          tlax::TraceModuleText("Trace", spec_->variables(), trace);
+    }
+  }
+
+  {
+    XMODEL_SPAN("mbtc.check");
+    PhaseTimer timer(clock, "mbtc.phase.check.ms", publish);
+    tlax::TraceChecker checker(options_.checker);
+    report.check = checker.Check(*spec_, trace);
+  }
+
+  if (publish) {
+    registry.GetCounter("mbtc.runs.completed").Increment();
+    registry.GetCounter("mbtc.events.ingested").Increment(report.num_events);
+    registry.GetCounter("mbtc.states.mapped").Increment(report.num_states);
+    if (!report.check.ok()) {
+      registry.GetCounter("mbtc.mismatches.found").Increment();
+    }
+    const double seconds =
+        static_cast<double>(clock->NowNanos() - run_start_ns) * 1e-9;
+    registry.GetGauge("mbtc.run.seconds").Set(seconds);
+    if (seconds > 0) {
+      registry.GetGauge("mbtc.run.events_per_sec")
+          .Set(static_cast<double>(report.num_events) / seconds);
+    }
+  }
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "specs/raft_mongo_spec.h"
 #include "tlax/trace_check.h"
@@ -31,6 +32,11 @@ struct MbtcPipelineOptions {
   tlax::TraceCheckOptions checker;
   /// Keep the generated Trace module text in the report.
   bool emit_trace_module = true;
+  /// Publish mbtc.* metrics (phase latency histograms, event counters,
+  /// throughput) to the global registry after each Run.
+  bool publish_metrics = true;
+  /// Wall clock for phase timing; null means the real steady clock.
+  common::MonotonicClock* clock = nullptr;
 };
 
 /// The paper's Figure 1 data pipeline: per-node log files → merged,

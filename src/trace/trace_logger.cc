@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace xmodel::trace {
 
@@ -53,6 +54,22 @@ void TraceLogger::OnTraceEvent(const repl::ReplTraceEvent& event) {
   logs_[event.node_id].push_back(line.ToJsonLine());
   last_logged_[event.node_id] = event;
   ++events_logged_;
+
+  // Per-node traced-event tallies (repl.node<k>.events.logged) plus the
+  // aggregate. Counter handles are cached per node id across all loggers.
+  auto it = node_counters_.find(event.node_id);
+  if (it == node_counters_.end()) {
+    it = node_counters_
+             .emplace(event.node_id,
+                      &obs::MetricsRegistry::Global().GetCounter(
+                          common::StrCat("repl.node", event.node_id,
+                                         ".events.logged")))
+             .first;
+  }
+  it->second->Increment();
+  static obs::Counter& total =
+      obs::MetricsRegistry::Global().GetCounter("repl.events.logged");
+  total.Increment();
 }
 
 std::vector<std::vector<std::string>> TraceLogger::LogFiles(

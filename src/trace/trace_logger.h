@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "repl/network.h"
 #include "repl/trace_sink.h"
 #include "trace/trace_event.h"
@@ -62,6 +63,8 @@ class TraceLogger : public repl::ReplTraceSink {
   std::map<int, repl::ReplTraceEvent> last_logged_;
   int64_t last_timestamp_ = -1;
   uint64_t events_logged_ = 0;
+  // Cached registry handles for repl.node<N>.events.logged.
+  std::map<int, obs::Counter*> node_counters_;
 };
 
 }  // namespace xmodel::trace

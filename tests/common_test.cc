@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "common/json.h"
 #include "common/rng.h"
@@ -249,6 +250,45 @@ TEST(JsonPropertyTest, GarbagePrefixesRejectedOrConsistent) {
       }
     }
   }
+}
+
+}  // namespace
+}  // namespace xmodel::common
+
+namespace xmodel::common {
+namespace {
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  MonotonicClock* clock = MonotonicClock::Real();
+  int64_t a = clock->NowNanos();
+  int64_t b = clock->NowNanos();
+  EXPECT_GE(b, a);
+  EXPECT_EQ(MonotonicClock::Real(), clock);  // Process-wide singleton.
+}
+
+TEST(ClockTest, FakeClockAdvancesOnlyWhenTold) {
+  FakeMonotonicClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0);
+  EXPECT_EQ(clock.NowNanos(), 0);
+  clock.AdvanceNanos(5);
+  clock.AdvanceMicros(2);
+  clock.AdvanceMs(1);
+  EXPECT_EQ(clock.NowNanos(), 5 + 2'000 + 1'000'000);
+}
+
+TEST(ClockTest, FakeClockAutoAdvancePerRead) {
+  FakeMonotonicClock clock;
+  clock.set_auto_advance_ns(10);
+  EXPECT_EQ(clock.NowNanos(), 0);   // Read returns, then advances.
+  EXPECT_EQ(clock.NowNanos(), 10);
+  EXPECT_EQ(clock.NowNanos(), 20);
+}
+
+TEST(ClockTest, DerivedUnitsConvert) {
+  FakeMonotonicClock clock;
+  clock.AdvanceMs(1'500);
+  EXPECT_EQ(clock.NowMicros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 1.5);
 }
 
 }  // namespace

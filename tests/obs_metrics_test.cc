@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/export.h"
+
+namespace xmodel::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({1.0, 10.0, 100.0});
+  // Exactly on an edge lands in that edge's bucket (Prometheus `le`).
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (le = 1, inclusive)
+  h.Observe(1.0001); // bucket 1
+  h.Observe(10.0);   // bucket 1
+  h.Observe(99.9);   // bucket 2
+  h.Observe(100.0);  // bucket 2
+  h.Observe(100.5);  // +Inf bucket
+  std::vector<uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite edges + 1 implicit +Inf.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 100.5);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (uint64_t b : h.bucket_counts()) EXPECT_EQ(b, 0u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.events.seen");
+  Counter& b = registry.GetCounter("test.events.seen");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last").Increment(1);
+  registry.GetGauge("a.first").Set(7);
+  registry.GetHistogram("m.middle", {1.0}).Observe(0.5);
+
+  RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "a.first");
+  EXPECT_EQ(snap.metrics[1].name, "m.middle");
+  EXPECT_EQ(snap.metrics[2].name, "z.last");
+
+  const MetricSnapshot* gauge = snap.Find("a.first");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(gauge->value, 7.0);
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+  EXPECT_TRUE(snap.HasFamily("m."));
+  EXPECT_FALSE(snap.HasFamily("q."));
+}
+
+TEST(MetricsRegistryTest, ResetKeepsRegistrationsAndHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.runs");
+  Histogram& histogram = registry.GetHistogram("test.latency", {1.0, 2.0});
+  counter.Increment(5);
+  histogram.Observe(1.5);
+
+  registry.Reset();
+  EXPECT_EQ(registry.size(), 2u);  // Registrations survive.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+
+  // Cached handles keep working after Reset — the snapshot/reset cycle the
+  // benches rely on.
+  counter.Increment();
+  EXPECT_EQ(registry.Snapshot().Find("test.runs")->value, 1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramFirstBoundsWin) {
+  MetricsRegistry registry;
+  Histogram& first = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram& second = registry.GetHistogram("h", {9.0});
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ExportTest, PrometheusTextHasCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("checker.states.generated").Increment(10);
+  Histogram& h = registry.GetHistogram("mbtc.phase.check.ms", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+
+  std::string text = ToPrometheusText(registry.Snapshot());
+  // Dots become underscores; counters print integrally.
+  EXPECT_NE(text.find("# TYPE checker_states_generated counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("checker_states_generated 10\n"), std::string::npos);
+  // Buckets are cumulative with le labels, ending at +Inf == count.
+  EXPECT_NE(text.find("mbtc_phase_check_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mbtc_phase_check_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mbtc_phase_check_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mbtc_phase_check_ms_count 3"), std::string::npos);
+}
+
+TEST(ExportTest, JsonSnapshotRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("repl.writes.applied").Increment(4);
+  registry.GetGauge("repl.sim.wall_ratio").Set(123.5);
+  registry.GetHistogram("mbtc.phase.parse.ms", {1.0}).Observe(0.25);
+
+  common::Json doc = ToJson(registry.Snapshot());
+  auto parsed = common::Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const common::Json* schema = parsed->Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string_value(), "xmodel.metrics.v1");
+
+  const common::Json* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const common::Json* counter = metrics->Find("repl.writes.applied");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Find("kind")->string_value(), "counter");
+  EXPECT_EQ(counter->Find("value")->int_value(), 4);
+
+  const common::Json* histogram = metrics->Find("mbtc.phase.parse.ms");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->Find("count")->int_value(), 1);
+  ASSERT_EQ(histogram->Find("buckets")->array().size(), 2u);
+  EXPECT_EQ(histogram->Find("buckets")->array()[0].int_value(), 1);
+}
+
+TEST(ExportTest, DefaultLatencyBucketsAreAscending) {
+  std::vector<double> buckets = DefaultLatencyBucketsMs();
+  ASSERT_GE(buckets.size(), 2u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xmodel::obs

@@ -1,0 +1,109 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/json.h"
+
+namespace xmodel::obs {
+namespace {
+
+// The span tracer is a process-wide singleton; each test leaves it
+// disabled and cleared.
+class SpanTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SpanTracer::Global().Disable();
+    SpanTracer::Global().Clear();
+  }
+};
+
+TEST_F(SpanTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(SpanTracer::Global().enabled());
+  {
+    XMODEL_SPAN("test.noop");
+  }
+  EXPECT_EQ(SpanTracer::Global().size(), 0u);
+}
+
+TEST_F(SpanTest, RecordsNestedSpansWithDepthAndDuration) {
+  common::FakeMonotonicClock clock;
+  SpanTracer::Global().Enable(&clock);
+  {
+    XMODEL_SPAN("test.outer");
+    clock.AdvanceMicros(100);
+    {
+      XMODEL_SPAN("test.inner");
+      clock.AdvanceMicros(30);
+    }
+    clock.AdvanceMicros(5);
+  }
+  SpanTracer::Global().Disable();
+
+  std::vector<SpanRecord> spans = SpanTracer::Global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans record at close, so the inner span lands first.
+  EXPECT_STREQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[0].duration_us, 30);
+  EXPECT_STREQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_EQ(spans[1].duration_us, 135);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(SpanTest, SpanOpenedWhileDisabledStaysNoOp) {
+  common::FakeMonotonicClock clock;
+  {
+    ScopedSpan span("test.pre_enable");
+    // Enabling mid-span must not record a half-measured span.
+    SpanTracer::Global().Enable(&clock);
+    clock.AdvanceMicros(10);
+  }
+  EXPECT_EQ(SpanTracer::Global().size(), 0u);
+}
+
+TEST_F(SpanTest, ChromeJsonIsWellFormed) {
+  common::FakeMonotonicClock clock;
+  clock.AdvanceMicros(500);  // Nonzero origin: ts must be rebased.
+  SpanTracer::Global().Enable(&clock);
+  {
+    XMODEL_SPAN("test.phase");
+    clock.AdvanceMicros(40);
+  }
+  SpanTracer::Global().Disable();
+
+  common::Json doc = SpanTracer::Global().ToChromeJson();
+  auto parsed = common::Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const common::Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array().size(), 1u);
+  const common::Json& event = events->array()[0];
+  EXPECT_EQ(event.Find("name")->string_value(), "test.phase");
+  EXPECT_EQ(event.Find("ph")->string_value(), "X");
+  EXPECT_EQ(event.Find("ts")->int_value(), 0);  // Rebased to the first span.
+  EXPECT_EQ(event.Find("dur")->int_value(), 40);
+  EXPECT_NE(event.Find("pid"), nullptr);
+  EXPECT_NE(event.Find("tid"), nullptr);
+}
+
+TEST_F(SpanTest, ClearDropsBufferedSpans) {
+  common::FakeMonotonicClock clock;
+  SpanTracer::Global().Enable(&clock);
+  {
+    XMODEL_SPAN("test.cleared");
+  }
+  EXPECT_EQ(SpanTracer::Global().size(), 1u);
+  SpanTracer::Global().Clear();
+  EXPECT_EQ(SpanTracer::Global().size(), 0u);
+  EXPECT_EQ(SpanTracer::Global().ToChromeJson().Find("traceEvents")->array().size(),
+            0u);
+}
+
+}  // namespace
+}  // namespace xmodel::obs

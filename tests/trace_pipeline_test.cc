@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "obs/metrics.h"
 #include "repl/rollback_fuzzer.h"
 #include "repl/scenarios.h"
 #include "trace/event_processor.h"
@@ -424,6 +427,49 @@ TEST(ScenarioLibraryTest, AllScenariosPassWithoutTracing) {
   }
   // The library is a few hundred distinct parameterized tests.
   EXPECT_GT(count, 350);
+}
+
+// One end-to-end run populates all three instrumented subsystems' metric
+// families — the same guarantee `mbtc_check --scenario --metrics-out`
+// gives on the command line.
+TEST(MbtcPipelineTest, PublishesMetricFamiliesAcrossSubsystems) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+
+  auto scenarios = repl::BaseScenarios();
+  auto it = std::find_if(scenarios.begin(), scenarios.end(),
+                         [](const repl::Scenario& s) {
+                           return s.name == "elect_and_write";
+                         });
+  ASSERT_NE(it, scenarios.end());
+  RaftMongoSpec spec = UnboundedSpec(it->config.num_nodes);
+  MbtcReport report = RunScenarioThroughPipeline(*it, spec);
+  ASSERT_TRUE(report.passed());
+
+  obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.HasFamily("checker."));  // Trace checker metrics.
+  EXPECT_TRUE(snap.HasFamily("repl."));     // Replica-set + logger metrics.
+  EXPECT_TRUE(snap.HasFamily("mbtc."));     // Pipeline metrics.
+
+  EXPECT_EQ(snap.Find("mbtc.runs.completed")->value, 1.0);
+  EXPECT_EQ(snap.Find("mbtc.events.ingested")->value,
+            static_cast<double>(report.num_events));
+  EXPECT_EQ(snap.Find("mbtc.states.mapped")->value,
+            static_cast<double>(report.num_states));
+  EXPECT_GE(snap.Find("repl.events.logged")->value,
+            static_cast<double>(report.num_events));
+  EXPECT_TRUE(snap.HasFamily("repl.node0.events.logged"));
+  EXPECT_GE(snap.Find("checker.trace.steps.checked")->value, 1.0);
+
+  // Per-phase latency histograms observed exactly one run each.
+  for (const char* phase : {"mbtc.phase.parse.ms", "mbtc.phase.map.ms",
+                            "mbtc.phase.check.ms"}) {
+    const obs::MetricSnapshot* h = snap.Find(phase);
+    ASSERT_NE(h, nullptr) << phase;
+    EXPECT_EQ(h->kind, obs::MetricKind::kHistogram);
+    EXPECT_EQ(h->count, 1u) << phase;
+  }
+  registry.Reset();
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate xmodel observability artifacts.
+
+Checks every file argument and exits nonzero on the first problem:
+
+- Metrics snapshots (schema "xmodel.metrics.v1"): the `metrics` object must
+  hold counter/gauge entries with a numeric `value`, and histogram entries
+  whose bucket counts line up with their edges and total `count`.
+- Bench reports (same schema plus a `bench` member, as written by
+  bench/bench_util.h): additionally require `quick`, `exit_code`,
+  `wall_seconds`, and a `results` object.
+- Chrome trace files (a `traceEvents` member, as written by
+  SpanTracer::WriteChromeJson): every event needs name/ph/ts/dur/pid/tid,
+  with ph == "X" and non-negative ts/dur.
+
+Usage: tools/validate_metrics.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"validate_metrics: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, path, message):
+    if not cond:
+        fail(path, message)
+
+
+def validate_metric(path, name, entry):
+    require(isinstance(entry, dict), path, f"metric {name!r} is not an object")
+    kind = entry.get("kind")
+    if kind in ("counter", "gauge"):
+        require(isinstance(entry.get("value"), (int, float)), path,
+                f"metric {name!r} has no numeric 'value'")
+        if kind == "counter":
+            require(entry["value"] >= 0, path,
+                    f"counter {name!r} is negative: {entry['value']}")
+    elif kind == "histogram":
+        count = entry.get("count")
+        buckets = entry.get("buckets")
+        le = entry.get("le")
+        require(isinstance(count, int) and count >= 0, path,
+                f"histogram {name!r} has no non-negative 'count'")
+        require(isinstance(entry.get("sum"), (int, float)), path,
+                f"histogram {name!r} has no numeric 'sum'")
+        require(isinstance(buckets, list) and isinstance(le, list), path,
+                f"histogram {name!r} needs 'buckets' and 'le' arrays")
+        require(len(buckets) == len(le) + 1, path,
+                f"histogram {name!r}: {len(buckets)} buckets for "
+                f"{len(le)} edges (want edges + 1 for +Inf)")
+        require(le == sorted(le), path,
+                f"histogram {name!r}: 'le' edges are not ascending")
+        require(all(isinstance(b, int) and b >= 0 for b in buckets), path,
+                f"histogram {name!r}: bucket counts must be non-negative ints")
+        require(sum(buckets) == count, path,
+                f"histogram {name!r}: buckets sum to {sum(buckets)}, "
+                f"count says {count}")
+    else:
+        fail(path, f"metric {name!r} has unknown kind {kind!r}")
+
+
+def validate_metrics_doc(path, doc):
+    require(doc.get("schema") == "xmodel.metrics.v1", path,
+            f"unexpected schema {doc.get('schema')!r}")
+    metrics = doc.get("metrics")
+    require(isinstance(metrics, dict), path, "'metrics' is not an object")
+    for name, entry in metrics.items():
+        validate_metric(path, name, entry)
+    return len(metrics)
+
+
+def validate_bench_doc(path, doc):
+    n = validate_metrics_doc(path, doc)
+    require(isinstance(doc.get("bench"), str) and doc["bench"], path,
+            "'bench' must be a non-empty string")
+    require(isinstance(doc.get("quick"), bool), path, "'quick' must be a bool")
+    require(isinstance(doc.get("exit_code"), int), path,
+            "'exit_code' must be an int")
+    require(isinstance(doc.get("wall_seconds"), (int, float)), path,
+            "'wall_seconds' must be numeric")
+    require(isinstance(doc.get("results"), dict), path,
+            "'results' must be an object")
+    return f"bench {doc['bench']}: {n} metrics, {len(doc['results'])} results"
+
+
+def validate_trace_doc(path, doc):
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), path, "'traceEvents' is not an array")
+    for i, event in enumerate(events):
+        require(isinstance(event, dict), path, f"event {i} is not an object")
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            require(key in event, path, f"event {i} is missing {key!r}")
+        require(event["ph"] == "X", path,
+                f"event {i}: ph is {event['ph']!r}, want 'X'")
+        require(event["ts"] >= 0 and event["dur"] >= 0, path,
+                f"event {i}: negative ts or dur")
+    return f"trace: {len(events)} spans"
+
+
+def validate_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(path, f"cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(path, f"invalid JSON: {e}")
+    require(isinstance(doc, dict), path, "top level is not an object")
+
+    if "traceEvents" in doc:
+        summary = validate_trace_doc(path, doc)
+    elif "bench" in doc:
+        summary = validate_bench_doc(path, doc)
+    elif doc.get("schema") == "xmodel.metrics.v1":
+        summary = f"{validate_metrics_doc(path, doc)} metrics"
+    else:
+        fail(path, "not a metrics snapshot, bench report, or trace file")
+    print(f"validate_metrics: {path}: OK ({summary})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
