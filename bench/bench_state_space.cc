@@ -9,12 +9,22 @@
 // magnitude more states and a far super-proportional check time — is the
 // claim under reproduction.
 
+// A worker-scaling sweep (level-synchronous parallel BFS, see DESIGN.md
+// "Parallel checking") rides along: the detailed spec re-checked at 1, 2,
+// and 4 workers, asserting the distinct-state count never moves while the
+// generation rate climbs. `--workers=N` additionally runs the E1 rows
+// themselves on N workers.
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <thread>
 
 #include "analysis/footprint.h"
 #include "analysis/independence.h"
 #include "bench_util.h"
+#include "common/strings.h"
 #include "specs/raft_mongo_spec.h"
 #include "tlax/checker.h"
 
@@ -32,8 +42,8 @@ struct Row {
   bool symmetry = false;
 };
 
-bool RunRow(const Row& row, double* abstract_states, double* abstract_secs,
-            xmodel::bench::Harness* bench) {
+bool RunRow(const Row& row, int workers, double* abstract_states,
+            double* abstract_secs, xmodel::bench::Harness* bench) {
   RaftMongoConfig config;
   config.variant = row.variant;
   config.num_nodes = 3;
@@ -41,7 +51,9 @@ bool RunRow(const Row& row, double* abstract_states, double* abstract_secs,
   config.max_oplog_len = row.max_oplog;
   config.use_symmetry = row.symmetry;
   RaftMongoSpec spec(config);
-  auto result = xmodel::tlax::ModelChecker().Check(spec);
+  xmodel::tlax::CheckerOptions options;
+  options.num_workers = workers;
+  auto result = xmodel::tlax::ModelChecker(options).Check(spec);
   if (!result.status.ok()) {
     std::fprintf(stderr, "%s terms<=%lld oplog<=%lld aborted: %s\n",
                  row.label, static_cast<long long>(row.max_term),
@@ -83,9 +95,20 @@ bool RunRow(const Row& row, double* abstract_states, double* abstract_secs,
 
 int main(int argc, char** argv) {
   xmodel::bench::Harness bench("state_space", argc, argv);
+  int workers = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+      if (workers < 0) {
+        std::fprintf(stderr, "--workers must be >= 0\n");
+        return 2;
+      }
+    }
+  }
   std::printf("E1: state-space cost of a trace-checkable specification\n");
   std::printf("(RaftMongo, 3 nodes; Abstract = pre-MBTC spec, Detailed = "
-              "rewritten for MBTC)\n\n");
+              "rewritten for MBTC; %d worker(s))\n\n",
+              workers);
 
   double abstract_states = 1, abstract_secs = 1;
 
@@ -105,8 +128,67 @@ int main(int argc, char** argv) {
                   row.label);
       continue;
     }
-    if (!RunRow(row, &abstract_states, &abstract_secs, &bench)) {
+    if (!RunRow(row, workers, &abstract_states, &abstract_secs, &bench)) {
       return bench.Fail("model check aborted");
+    }
+  }
+
+  // Worker-scaling sweep: the detailed spec, fixed bounds, rising worker
+  // counts. The parallel checker is level-synchronous, so distinct/depth
+  // must be bit-identical at every count — any drift is a bug, not noise —
+  // while generated-states-per-second should climb with the workers.
+  {
+    RaftMongoConfig config;
+    config.variant = RaftMongoVariant::kDetailed;
+    config.num_nodes = 3;
+    config.max_term = 2;
+    config.max_oplog_len = bench.quick() ? 2 : 3;
+    RaftMongoSpec spec(config);
+    unsigned hw = std::thread::hardware_concurrency();
+    std::printf("\nworker scaling (Detailed, terms<=2 oplog<=%lld, "
+                "%u hardware thread(s)):\n",
+                static_cast<long long>(config.max_oplog_len), hw);
+    if (hw < 2) {
+      std::printf("  note: single-core machine — expect overhead, not "
+                  "speedup; run on >=4 cores to see scaling\n");
+    }
+    bench.AddResult("hardware_threads", static_cast<double>(hw));
+    const std::vector<int> sweep =
+        bench.quick() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    unsigned long long base_distinct = 0;
+    double base_rate = 0;
+    for (int w : sweep) {
+      xmodel::tlax::CheckerOptions options;
+      options.num_workers = w;
+      auto result = xmodel::tlax::ModelChecker(options).Check(spec);
+      if (!result.status.ok()) {
+        return bench.Fail("worker-scaling check aborted");
+      }
+      double rate = result.seconds > 0
+                        ? static_cast<double>(result.generated_states) /
+                              result.seconds
+                        : 0;
+      if (w == 1) {
+        base_distinct = result.distinct_states;
+        base_rate = rate;
+      } else if (result.distinct_states != base_distinct) {
+        return bench.Fail(xmodel::common::StrCat(
+            "worker-scaling sweep changed distinct_states: ", base_distinct,
+            " at 1 worker vs ", result.distinct_states, " at ", w));
+      }
+      double speedup = base_rate > 0 ? rate / base_rate : 0;
+      std::printf("  workers=%d  %12llu states  depth %2lld  %8.2f s  "
+                  "%10.0f states/sec  %.2fx\n",
+                  result.workers_used,
+                  static_cast<unsigned long long>(result.distinct_states),
+                  static_cast<long long>(result.diameter), result.seconds,
+                  rate, speedup);
+      bench.AddResult(
+          xmodel::common::StrCat("workers", w, "_states_per_sec"), rate);
+      if (w > 1) {
+        bench.AddResult(
+            xmodel::common::StrCat("scaling_speedup_w", w), speedup);
+      }
     }
   }
 

@@ -8,11 +8,19 @@
 //   xmodel_lint --no-scenarios  skip the lock-order pass
 //   xmodel_lint --broken-fixture  lint the seeded-defect fixture instead
 //                                 (must exit nonzero; CI checks this)
+//   xmodel_lint --workers=N     exploration workers for the bounded
+//                               model-check pass (0 = all cores)
 //   xmodel_lint --metrics-out=FILE  write a metrics-registry snapshot
+//
+// Besides the static passes, each spec gets a bounded model check (capped
+// at --max-samples distinct states) so the lint run also smoke-tests the
+// dynamic semantics; invariant violations surface as warning-severity
+// diagnostics and never change the exit status.
 //
 // Exit status: 0 when no error-severity diagnostic was produced.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -28,6 +36,7 @@
 #include "obs/metrics.h"
 #include "repl/replica_set.h"
 #include "repl/scenarios.h"
+#include "tlax/checker.h"
 
 namespace {
 
@@ -39,6 +48,7 @@ struct Options {
   bool scenarios = true;
   bool broken_fixture = false;
   uint64_t max_samples = 4096;
+  int workers = 1;
   std::string spec_filter;
   std::string metrics_out;
 };
@@ -58,6 +68,12 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->spec_filter = arg.substr(7);
     } else if (arg.rfind("--max-samples=", 0) == 0) {
       options->max_samples = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options->workers = std::atoi(arg.c_str() + 10);
+      if (options->workers < 0) {
+        std::fprintf(stderr, "--workers must be >= 0\n");
+        return false;
+      }
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       options->metrics_out = arg.substr(14);
     } else {
@@ -75,6 +91,13 @@ struct SpecSummary {
   size_t commuting_pairs = 0;
   size_t action_pairs = 0;
   std::string matrix_text;
+  // Bounded model-check pass.
+  uint64_t check_distinct = 0;
+  uint64_t check_generated = 0;
+  int64_t check_diameter = 0;
+  bool check_complete = false;
+  int check_workers = 1;
+  std::string check_violation;  // Violated invariant name, or empty.
 };
 
 void LintOneSpec(const tlax::Spec& spec, const Options& options,
@@ -98,6 +121,34 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   if (options.matrix) {
     summary.matrix_text = analysis::IndependenceToText(spec, matrix);
   }
+
+  // Bounded model check: smoke-test the dynamic semantics at the same
+  // sampling budget the footprint probe uses. Violations are warnings
+  // (lint is a static gate, not a verification run) and a budget overrun
+  // just marks the pass incomplete.
+  tlax::CheckerOptions check_options;
+  check_options.num_workers = options.workers;
+  check_options.max_distinct_states = options.max_samples;
+  tlax::ModelChecker checker(check_options);
+  tlax::CheckResult check = checker.Check(spec);
+  summary.check_distinct = check.distinct_states;
+  summary.check_generated = check.generated_states;
+  summary.check_diameter = check.diameter;
+  summary.check_complete = check.status.ok() && !check.violation.has_value();
+  summary.check_workers = check.workers_used;
+  if (check.violation.has_value()) {
+    summary.check_violation = check.violation->kind;
+    analysis::Diagnostic d;
+    d.severity = analysis::Severity::kWarning;
+    d.tool = "model-check";
+    d.subject = spec.name();
+    d.code = "invariant-violated";
+    d.message = common::StrCat(
+        "bounded model check violated ", check.violation->kind, " after ",
+        check.violation->trace.size(), " step(s)");
+    report->Add(std::move(d));
+  }
+
   summaries->push_back(std::move(summary));
 }
 
@@ -179,6 +230,14 @@ int main(int argc, char** argv) {
                 common::Json::Int(static_cast<int64_t>(s.commuting_pairs)));
       entry.Set("action_pairs",
                 common::Json::Int(static_cast<int64_t>(s.action_pairs)));
+      entry.Set("check_distinct",
+                common::Json::Int(static_cast<int64_t>(s.check_distinct)));
+      entry.Set("check_generated",
+                common::Json::Int(static_cast<int64_t>(s.check_generated)));
+      entry.Set("check_diameter", common::Json::Int(s.check_diameter));
+      entry.Set("check_complete", common::Json::Bool(s.check_complete));
+      entry.Set("check_workers", common::Json::Int(s.check_workers));
+      entry.Set("check_violation", common::Json::Str(s.check_violation));
       spec_list.Append(std::move(entry));
     }
     out.Set("specs", std::move(spec_list));
@@ -193,6 +252,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.sampled_states),
                   s.exhaustive ? " (exhaustive)" : "",
                   s.commuting_pairs, s.action_pairs);
+      std::printf("     check %-17s %6llu distinct / %llu generated, "
+                  "diameter %lld, %d worker(s)%s%s%s\n",
+                  "", static_cast<unsigned long long>(s.check_distinct),
+                  static_cast<unsigned long long>(s.check_generated),
+                  static_cast<long long>(s.check_diameter), s.check_workers,
+                  s.check_complete ? " (complete)" : " (bounded)",
+                  s.check_violation.empty() ? "" : ", violates ",
+                  s.check_violation.c_str());
       if (!s.matrix_text.empty()) std::printf("%s", s.matrix_text.c_str());
     }
     if (lock_streams > 0) {

@@ -12,15 +12,18 @@ using ot::Operation;
 using ot::OpType;
 
 GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
-                                   std::vector<TestCase>* cases) {
+                                   std::vector<TestCase>* cases,
+                                   int num_workers) {
   GenerationReport report;
   specs::ArrayOtSpec spec(config);
 
   tlax::CheckerOptions options;
   options.record_graph = true;
+  options.num_workers = num_workers;  // Clamped to 1 by record_graph.
   tlax::CheckResult checked = tlax::ModelChecker(options).Check(spec);
   report.spec_states = checked.distinct_states;
   report.model_check_seconds = checked.seconds;
+  report.workers_used = checked.workers_used;
   if (!checked.status.ok()) {
     report.status = checked.status;
     return report;

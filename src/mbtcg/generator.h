@@ -18,13 +18,22 @@ struct GenerationReport {
   double model_check_seconds = 0;
   size_t dot_bytes = 0;
   size_t num_cases = 0;
+  /// Exploration workers the model-check stage actually used. Always 1
+  /// today: graph recording forces a single worker (see
+  /// CheckerOptions::num_workers), so requests for more are clamped.
+  int workers_used = 1;
 };
 
 /// The paper's §5.2 pipeline, end to end: model-check the array_ot spec
 /// recording the state graph, dump it as GraphViz DOT, parse the DOT back,
 /// and extract one test case per fully-merged leaf state.
+///
+/// `num_workers` is forwarded to the model checker, which clamps it to 1
+/// while the graph is recorded; the report's `workers_used` shows the
+/// effective value so CLIs can tell the user about the clamp.
 GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
-                                   std::vector<TestCase>* cases);
+                                   std::vector<TestCase>* cases,
+                                   int num_workers = 1);
 
 /// Renders generated cases as a compilable gtest C++ source file (the
 /// Figure 9 shape). `max_cases` limits the file size (0 = all).

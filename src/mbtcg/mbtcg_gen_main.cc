@@ -4,7 +4,11 @@
 // regenerate the full 4,913-case file.
 //
 // Usage: mbtcg_gen <output.cc> [max_cases] [--swap] [--descending]
-//                  [--metrics-out=FILE]
+//                  [--workers=N] [--metrics-out=FILE]
+//
+// --workers is accepted for CLI uniformity with mbtc_check/xmodel_lint,
+// but the generation model check records the state graph and therefore
+// always runs single-worker; a notice is printed when N != 1.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,12 +24,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <output.cc> [max_cases] [--swap] [--descending] "
-                 "[--metrics-out=FILE]\n",
+                 "[--workers=N] [--metrics-out=FILE]\n",
                  argv[0]);
     return 2;
   }
   const char* out_path = argv[1];
   size_t max_cases = 0;
+  int workers = 1;
   std::string metrics_out;
   xmodel::specs::ArrayOtConfig config;
   for (int i = 2; i < argc; ++i) {
@@ -33,6 +38,12 @@ int main(int argc, char** argv) {
       config.include_swap = true;
     } else if (std::strcmp(argv[i], "--descending") == 0) {
       config.merge_descending = true;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+      if (workers < 0) {
+        std::fprintf(stderr, "--workers must be >= 0\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else {
@@ -42,7 +53,13 @@ int main(int argc, char** argv) {
 
   std::vector<xmodel::mbtcg::TestCase> cases;
   xmodel::mbtcg::GenerationReport report =
-      xmodel::mbtcg::GenerateTestCases(config, &cases);
+      xmodel::mbtcg::GenerateTestCases(config, &cases, workers);
+  if (workers != 1 && report.workers_used != workers) {
+    std::fprintf(stderr,
+                 "mbtcg_gen: note: graph recording forces a single "
+                 "exploration worker (requested %d, used %d)\n",
+                 workers, report.workers_used);
+  }
   if (!report.status.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  report.status.ToString().c_str());

@@ -29,6 +29,7 @@ std::string TextProgressReporter::FormatLine(
 
 void TextProgressReporter::Report(const CheckerProgress& progress) {
   std::string line = FormatLine(progress);
+  std::lock_guard<std::mutex> lock(mu_);
   if (sink_ != nullptr) {
     *sink_ += line;
     *sink_ += '\n';

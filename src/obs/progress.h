@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 namespace xmodel::obs {
@@ -26,9 +27,11 @@ struct CheckerProgress {
 };
 
 /// Interval-driven observer of a model-checking run. Off by default; wire
-/// one into CheckerOptions::progress_reporter to enable. Implementations
-/// must tolerate being called from the checking thread at arbitrary
-/// points (the checker is single-threaded, so no locking is needed).
+/// one into CheckerOptions::progress_reporter to enable. The parallel
+/// checker designates one worker as the reporting thread, so Report() is
+/// never called concurrently by a single run — but a reporter shared
+/// across concurrent Check() calls must be thread-safe
+/// (TextProgressReporter is).
 class ProgressReporter {
  public:
   virtual ~ProgressReporter() = default;
@@ -39,6 +42,8 @@ class ProgressReporter {
 ///   progress: 123456 states generated (45678 s/sec), 9999 distinct,
 ///             321 on queue, depth 12, fp load 0.43
 /// Writes to a FILE* (default stderr) or, for tests, appends to a string.
+/// Thread-safe: a mutex serializes sink writes, so one reporter can be
+/// shared by concurrent checker runs without interleaving lines.
 class TextProgressReporter : public ProgressReporter {
  public:
   explicit TextProgressReporter(std::FILE* out = stderr) : out_(out) {}
@@ -51,6 +56,7 @@ class TextProgressReporter : public ProgressReporter {
   static std::string FormatLine(const CheckerProgress& progress);
 
  private:
+  std::mutex mu_;
   std::FILE* out_ = nullptr;
   std::string* sink_ = nullptr;
 };

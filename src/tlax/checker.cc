@@ -1,24 +1,23 @@
 #include "tlax/checker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
-#include <deque>
+#include <cstdlib>
+#include <cstring>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "tlax/fpset.h"
 
 namespace xmodel::tlax {
 
 namespace {
-
-// Bookkeeping per discovered state for counterexample reconstruction.
-struct NodeInfo {
-  uint32_t parent = UINT32_MAX;   // Discovery predecessor.
-  uint16_t action = UINT16_MAX;   // Action index taken from the parent.
-  int64_t depth = 0;
-};
 
 // How many frontier expansions happen between wall-clock polls when a
 // progress reporter is attached. Large enough that the clock read is
@@ -26,314 +25,578 @@ struct NodeInfo {
 // land within ~a second of their nominal interval on realistic specs.
 constexpr uint32_t kProgressPollExpansions = 1024;
 
-std::vector<TraceStep> BuildTrace(const std::deque<State>& states,
-                                  const std::vector<NodeInfo>& info,
-                                  const std::vector<Action>& actions,
-                                  uint32_t end) {
-  std::vector<TraceStep> trace;
-  uint32_t cur = end;
-  while (true) {
-    const NodeInfo& ni = info[cur];
-    std::string action_name = ni.parent == UINT32_MAX
-                                  ? "Initial predicate"
-                                  : actions[ni.action].name;
-    trace.push_back(TraceStep{std::move(action_name), states[cur]});
-    if (ni.parent == UINT32_MAX) break;
-    cur = ni.parent;
+bool FpAuditFromEnv() {
+  const char* v = std::getenv("XMODEL_FP_AUDIT");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// One unit of frontier work. The level batches own the full states (the
+// fingerprint table does not keep them); `key` is the discovery-order key
+// that makes batch order — and therefore every downstream key — a pure
+// function of the state graph, independent of worker count.
+struct LevelEntry {
+  State state;
+  uint64_t fp = 0;
+  int64_t depth = 0;
+  uint64_t key = 0;
+};
+
+// A violation observed while a level drains. The level always completes
+// before a winner is chosen (smallest key), so both the chosen
+// counterexample and all counters are scheduling-independent.
+struct CandidateViolation {
+  uint64_t key = 0;
+  std::string kind;
+  uint64_t fp = 0;
+  State state;
+};
+
+// Discovery-order key of successor `ordinal` of action `ai` at the
+// parent in level position `parent_pos` — the order a serial scan visits
+// these events. A parent's deadlock event sorts after all its successor
+// events (the serial checker reports it after checking them) and before
+// the next parent's.
+uint64_t EventKey(size_t parent_pos, uint16_t ai, size_t ordinal) {
+  if (ordinal > 0xFFFE) ordinal = 0xFFFE;
+  return (static_cast<uint64_t>(parent_pos) << 32) |
+         (static_cast<uint64_t>(ai) << 16) | ordinal;
+}
+
+uint64_t DeadlockKey(size_t parent_pos) {
+  return (static_cast<uint64_t>(parent_pos) << 32) | 0xFFFFFFFFull;
+}
+
+// The level-synchronous exploration engine behind ModelChecker::Check.
+// Workers pull parent entries from the current level via an atomic
+// cursor, push discoveries into worker-local buffers, and barrier; the
+// barrier merges tallies, settles the next level's order, and handles
+// violations/limits. One Engine per Check() call.
+class Engine {
+ public:
+  Engine(const CheckerOptions& options, const Spec& spec)
+      : options_(options),
+        spec_(spec),
+        actions_(spec.actions()),
+        invariants_(spec.invariants()),
+        clock_(options.clock != nullptr ? options.clock
+                                        : common::MonotonicClock::Real()),
+        fp_audit_(options.fp_audit || FpAuditFromEnv()),
+        // record_graph needs globally ordered node ids and every
+        // duplicate-edge event, so it pins the run to one worker (see
+        // CheckerOptions::num_workers).
+        workers_(options.record_graph
+                     ? 1
+                     : common::ResolveWorkerCount(options.num_workers)),
+        use_sleep_sets_(options.independence != nullptr &&
+                        !options.record_graph &&
+                        options.independence->num_actions() ==
+                            actions_.size() &&
+                        actions_.size() <= 64),
+        all_actions_(actions_.size() >= 64
+                         ? ~uint64_t{0}
+                         : (uint64_t{1} << actions_.size()) - 1),
+        fpset_(FpOptions(fp_audit_, use_sleep_sets_)),
+        pool_(workers_),
+        scratch_(static_cast<size_t>(workers_)) {}
+
+  CheckResult Run();
+
+ private:
+  // Per-worker accumulators; merged and cleared at each level barrier
+  // (expanded spans the whole run — it feeds worker-balance counters).
+  struct Scratch {
+    std::vector<LevelEntry> next;
+    std::vector<CandidateViolation> candidates;
+    std::vector<State> successors;
+    uint64_t generated = 0;
+    uint64_t slept = 0;
+    uint64_t expanded = 0;
+    int64_t diameter = 0;
+  };
+
+  static FingerprintSet::Options FpOptions(bool audit, bool por) {
+    FingerprintSet::Options o;
+    o.audit = audit;  // Implies keep_states inside the table.
+    o.track_por = por;
+    return o;
   }
-  std::reverse(trace.begin(), trace.end());
+
+  // Serial: canonicalizes and inserts the spec's initial states, checking
+  // invariants on the constrained ones. Returns false when an initial
+  // state already violates (result_.violation is set).
+  bool SeedInitial(std::vector<LevelEntry>* level);
+
+  void DrainLevel(const std::vector<LevelEntry>& level, int worker);
+  void ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s);
+  void CheckInvariants(const State& state, uint64_t fp, uint64_t key,
+                       Scratch& s);
+
+  // Rebuilds the counterexample behavior ending at `end_state` by walking
+  // the predecessor-fingerprint chain and replaying the recorded actions
+  // forward from the matching initial state.
+  std::vector<TraceStep> BuildTrace(uint64_t end_fp, const State& end_state);
+
+  void PollProgress(size_t level_size, size_t pos);
+  obs::CheckerProgress LiveSnapshot(int64_t now_ns, size_t level_size,
+                                    size_t pos);
+  CheckResult Finish(common::Status status);
+
+  const CheckerOptions& options_;
+  const Spec& spec_;
+  const std::vector<Action>& actions_;
+  const std::vector<Invariant>& invariants_;
+  common::MonotonicClock* const clock_;
+  const bool fp_audit_;
+  const int workers_;
+  // Sleep-set partial-order reduction (Godefroid): when expanding a
+  // state, actions in its sleep set are skipped; a successor reached via
+  // action a sleeps every action that commutes with a and was either
+  // already slept or explored earlier at the parent. Revisiting a state
+  // with a smaller sleep set shrinks the stored set (intersection) and
+  // re-expands ONLY the newly woken actions (the per-record `done` mask
+  // remembers what already ran), so every reachable state is eventually
+  // explored with every non-redundant action — the reduction removes
+  // redundant interleavings, not reachable states. Soundness requires the
+  // independence relation to respect the state constraint (see
+  // analysis::ComputeIndependence). Disabled under record_graph: the
+  // recorded graph must carry every edge for MBTCG/liveness.
+  const bool use_sleep_sets_;
+  const uint64_t all_actions_;
+  FingerprintSet fpset_;
+  common::WorkerPool pool_;
+  std::vector<Scratch> scratch_;
+  std::vector<uint64_t> commuting_mask_;  // Per action: bits of commuters.
+  std::unordered_map<uint64_t, State> initial_by_fp_;  // Replay anchors.
+
+  CheckResult result_;
+  int64_t start_ns_ = 0;
+
+  // Level-scoped shared state.
+  std::atomic<size_t> next_index_{0};  // Parent-entry work cursor.
+  std::atomic<bool> abort_max_{false};
+
+  // Progress plumbing. Only worker 0 reads the clock and reports; the
+  // other workers flush per-parent deltas into the two relaxed atomics so
+  // its lines see the whole fleet's progress.
+  bool report_progress_ = false;
+  int64_t interval_ns_ = 0;
+  int64_t last_report_ns_ = 0;
+  uint64_t last_report_generated_ = 0;
+  uint32_t poll_countdown_ = kProgressPollExpansions;
+  std::atomic<uint64_t> generated_level_{0};
+  std::atomic<uint64_t> next_count_{0};
+};
+
+bool Engine::SeedInitial(std::vector<LevelEntry>* level) {
+  uint64_t ordinal = 0;
+  for (State& raw_init : spec_.InitialStates()) {
+    ++result_.generated_states;
+    State init = spec_.Canonicalize(raw_init);
+    const uint64_t fp = Fingerprint(init);
+    const uint64_t key = ordinal++;
+    FpInsert ins =
+        fpset_.Insert(fp, 0, kFpInitialAction, 0, key, 0, &init);
+    if (!ins.inserted) continue;
+    initial_by_fp_.emplace(fp, init);
+    const bool constrained = spec_.WithinConstraint(init);
+    if (result_.graph) {
+      const uint32_t gid =
+          constrained ? result_.graph->AddState(init) : kFpNoGraphId;
+      fpset_.SetGraphId(fp, gid);
+      if (constrained) result_.graph->AddInitial(gid);
+    }
+    if (!constrained) continue;
+    for (const Invariant& inv : invariants_) {
+      if (!inv.predicate(init)) {
+        result_.violation = Violation{
+            inv.name,
+            {TraceStep{"Initial predicate", init}}};
+        return false;
+      }
+    }
+    level->push_back(LevelEntry{std::move(init), fp, 0, key});
+  }
+  return true;
+}
+
+void Engine::CheckInvariants(const State& state, uint64_t fp, uint64_t key,
+                             Scratch& s) {
+  for (const Invariant& inv : invariants_) {
+    if (!inv.predicate(state)) {
+      s.candidates.push_back(CandidateViolation{key, inv.name, fp, state});
+      return;
+    }
+  }
+}
+
+void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s) {
+  if (entry.depth > s.diameter) s.diameter = entry.depth;
+  if (options_.max_depth >= 0 && entry.depth >= options_.max_depth) return;
+
+  uint64_t cur_sleep = 0;
+  uint64_t explored_before = 0;
+  uint64_t to_expand = all_actions_;
+  if (use_sleep_sets_) {
+    FingerprintSet::ExpandGrant grant =
+        fpset_.AcquireExpand(entry.fp, all_actions_);
+    cur_sleep = grant.sleep;
+    explored_before = grant.explored_before;
+    to_expand = grant.to_expand;
+    s.slept += static_cast<uint64_t>(
+        std::popcount(all_actions_ & cur_sleep & ~explored_before));
+    if (to_expand == 0) return;  // Redundant re-enqueue.
+  }
+  ++s.expanded;
+
+  const uint32_t cur_gid =
+      result_.graph ? fpset_.GetGraphId(entry.fp) : kFpNoGraphId;
+  std::vector<State>& successors = s.successors;
+  successors.clear();
+  for (uint16_t ai = 0; ai < actions_.size(); ++ai) {
+    if (use_sleep_sets_ && !((to_expand >> ai) & 1)) continue;  // Slept.
+    // Sleep mask for successors via `ai`: commuters of `ai` that were
+    // slept here or explored earlier at this state (previous visits, or
+    // lower-indexed actions of this pass).
+    const uint64_t succ_sleep =
+        use_sleep_sets_
+            ? (cur_sleep | explored_before |
+               (to_expand & ((uint64_t{1} << ai) - 1))) &
+                  commuting_mask_[ai]
+            : 0;
+    const size_t before = successors.size();
+    actions_[ai].next(entry.state, &successors);
+    for (size_t si = before; si < successors.size(); ++si) {
+      ++s.generated;
+      State succ = spec_.Canonicalize(successors[si]);
+      const uint64_t fp = Fingerprint(succ);
+      const uint64_t key = EventKey(pos, ai, si - before);
+      FpInsert ins = fpset_.Insert(fp, entry.fp, ai, entry.depth + 1, key,
+                                   succ_sleep, &succ);
+      bool enqueue = false;
+      int64_t succ_depth = entry.depth + 1;
+      if (ins.inserted) {
+        if (fpset_.size() > options_.max_distinct_states) {
+          abort_max_.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const bool constrained = spec_.WithinConstraint(succ);
+        if (result_.graph) {
+          fpset_.SetGraphId(
+              fp, constrained ? result_.graph->AddState(succ) : kFpNoGraphId);
+        }
+        // Invariants are checked on every distinct state, including
+        // states outside the constraint (TLC checks invariants before
+        // applying CONSTRAINT to decide on expansion).
+        CheckInvariants(succ, fp, key, s);
+        enqueue = constrained;
+      } else if (use_sleep_sets_ && ins.por_wake) {
+        // Revisit woke actions out of the sleep set; re-expand at the
+        // state's original depth. Only constrained states ever clear
+        // their queued flag, so no constraint recheck is needed.
+        enqueue = true;
+        succ_depth = ins.depth;
+      }
+      if (result_.graph) {
+        const uint32_t succ_gid = fpset_.GetGraphId(fp);
+        if (cur_gid != kFpNoGraphId && succ_gid != kFpNoGraphId) {
+          result_.graph->AddEdge(cur_gid, succ_gid, ai);
+        }
+      }
+      if (enqueue) {
+        s.next.push_back(LevelEntry{std::move(succ), fp, succ_depth, key});
+      }
+    }
+  }
+
+  if (options_.check_deadlock && successors.empty()) {
+    if (use_sleep_sets_ && (cur_sleep | explored_before) != 0) {
+      // Slept actions were skipped; confirm genuine deadlock unpruned.
+      bool any_enabled = false;
+      for (const Action& action : actions_) {
+        action.next(entry.state, &successors);
+        if (!successors.empty()) {
+          any_enabled = true;
+          successors.clear();
+          break;
+        }
+      }
+      if (any_enabled) return;
+    }
+    s.candidates.push_back(CandidateViolation{DeadlockKey(pos), "Deadlock",
+                                              entry.fp, entry.state});
+  }
+}
+
+void Engine::DrainLevel(const std::vector<LevelEntry>& level, int worker) {
+  Scratch& s = scratch_[static_cast<size_t>(worker)];
+  const bool poll = report_progress_ && worker == 0;
+  const bool flush = report_progress_;
+  for (;;) {
+    if (abort_max_.load(std::memory_order_relaxed)) return;
+    const size_t pos = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (pos >= level.size()) return;
+    if (poll) PollProgress(level.size(), pos);
+    const uint64_t gen_before = s.generated;
+    const size_t next_before = s.next.size();
+    ProcessEntry(level[pos], pos, s);
+    if (flush) {
+      generated_level_.fetch_add(s.generated - gen_before,
+                                 std::memory_order_relaxed);
+      next_count_.fetch_add(s.next.size() - next_before,
+                            std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<TraceStep> Engine::BuildTrace(uint64_t end_fp,
+                                          const State& end_state) {
+  // Walk the discovery chain back to an initial state, then replay it
+  // forward: run the recorded action, canonicalize each successor, and
+  // follow the one whose fingerprint matches the next link.
+  std::vector<std::pair<uint64_t, uint16_t>> chain;  // (fp, arriving action)
+  uint64_t fp = end_fp;
+  while (true) {
+    std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(fp);
+    if (!edge.has_value()) break;
+    chain.emplace_back(fp, edge->action);
+    if (edge->action == kFpInitialAction) break;
+    fp = edge->pred_fp;
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::vector<TraceStep> trace;
+  if (chain.empty()) return trace;
+
+  State state = initial_by_fp_.at(chain[0].first);
+  trace.push_back(TraceStep{"Initial predicate", state});
+  std::vector<State> successors;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const uint16_t ai = chain[i].second;
+    if (i + 1 == chain.size()) {
+      // The violating state itself travels with the candidate; no replay
+      // needed for the final link.
+      trace.push_back(TraceStep{actions_[ai].name, end_state});
+      break;
+    }
+    successors.clear();
+    actions_[ai].next(state, &successors);
+    bool found = false;
+    for (State& raw : successors) {
+      State canon = spec_.Canonicalize(raw);
+      if (Fingerprint(canon) == chain[i].first) {
+        state = std::move(canon);
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // Fingerprint collision artifact; keep the prefix.
+    trace.push_back(TraceStep{actions_[ai].name, state});
+  }
   return trace;
+}
+
+obs::CheckerProgress Engine::LiveSnapshot(int64_t now_ns, size_t level_size,
+                                          size_t pos) {
+  obs::CheckerProgress p;
+  p.generated_states = result_.generated_states +
+                       generated_level_.load(std::memory_order_relaxed);
+  p.distinct_states = fpset_.size();
+  p.frontier_size = (level_size - pos) +
+                    next_count_.load(std::memory_order_relaxed);
+  p.depth = std::max(result_.diameter, scratch_[0].diameter);
+  p.seconds = static_cast<double>(now_ns - start_ns_) * 1e-9;
+  const double dt = static_cast<double>(now_ns - last_report_ns_) * 1e-9;
+  const uint64_t dgen = p.generated_states - last_report_generated_;
+  p.states_per_sec = dt > 0 ? static_cast<double>(dgen) / dt : 0;
+  p.fingerprint_load = fpset_.load_factor();
+  p.por_slept = result_.por_slept_actions + scratch_[0].slept;
+  p.final_report = false;
+  return p;
+}
+
+void Engine::PollProgress(size_t level_size, size_t pos) {
+  if (--poll_countdown_ != 0) return;
+  poll_countdown_ = kProgressPollExpansions;
+  const int64_t now_ns = clock_->NowNanos();
+  if (now_ns - last_report_ns_ < interval_ns_) return;
+  obs::CheckerProgress p = LiveSnapshot(now_ns, level_size, pos);
+  options_.progress_reporter->Report(p);
+  last_report_ns_ = now_ns;
+  last_report_generated_ = p.generated_states;
+}
+
+CheckResult Engine::Finish(common::Status status) {
+  result_.status = std::move(status);
+  result_.distinct_states = fpset_.size();
+  result_.fingerprint_load = fpset_.load_factor();
+  result_.fingerprint_collisions = fpset_.collisions();
+  const int64_t end_ns = clock_->NowNanos();
+  result_.seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
+  if (report_progress_) {
+    obs::CheckerProgress p;
+    p.generated_states = result_.generated_states;
+    p.distinct_states = result_.distinct_states;
+    p.frontier_size = next_count_.load(std::memory_order_relaxed);
+    p.depth = result_.diameter;
+    p.seconds = result_.seconds;
+    p.states_per_sec =
+        result_.seconds > 0
+            ? static_cast<double>(result_.generated_states) / result_.seconds
+            : 0;
+    p.fingerprint_load = result_.fingerprint_load;
+    p.por_slept = result_.por_slept_actions;
+    p.final_report = true;
+    options_.progress_reporter->Report(p);
+  }
+  if (options_.publish_metrics) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("checker.runs.completed").Increment();
+    registry.GetCounter("checker.states.generated")
+        .Increment(result_.generated_states);
+    registry.GetCounter("checker.states.distinct")
+        .Increment(result_.distinct_states);
+    registry.GetCounter("checker.por.actions_slept")
+        .Increment(result_.por_slept_actions);
+    registry.GetCounter("checker.fingerprint.collisions")
+        .Increment(result_.fingerprint_collisions);
+    if (result_.violation.has_value()) {
+      registry.GetCounter("checker.violations.found").Increment();
+    }
+    for (int w = 0; w < workers_; ++w) {
+      registry
+          .GetCounter(common::StrCat("checker.worker", w, ".expansions"))
+          .Increment(scratch_[static_cast<size_t>(w)].expanded);
+    }
+    registry.GetGauge("checker.workers.used")
+        .Set(static_cast<double>(workers_));
+    registry.GetGauge("checker.frontier.peak")
+        .Set(static_cast<double>(result_.frontier_peak));
+    registry.GetGauge("checker.fingerprint.load")
+        .Set(result_.fingerprint_load);
+    registry.GetGauge("checker.run.seconds").Set(result_.seconds);
+    registry.GetGauge("checker.run.states_per_sec")
+        .Set(result_.seconds > 0
+                 ? static_cast<double>(result_.generated_states) /
+                       result_.seconds
+                 : 0);
+  }
+  return result_;
+}
+
+CheckResult Engine::Run() {
+  start_ns_ = clock_->NowNanos();
+  result_.workers_used = workers_;
+  report_progress_ = options_.progress_reporter != nullptr;
+  interval_ns_ = options_.progress_interval_ms * 1'000'000;
+  last_report_ns_ = start_ns_;
+
+  if (use_sleep_sets_) {
+    commuting_mask_.resize(actions_.size(), 0);
+    for (size_t a = 0; a < actions_.size(); ++a) {
+      for (size_t b = 0; b < actions_.size(); ++b) {
+        if (options_.independence->Commutes(a, b)) {
+          commuting_mask_[a] |= uint64_t{1} << b;
+        }
+      }
+    }
+  }
+  if (options_.record_graph) {
+    result_.graph = std::make_shared<StateGraph>();
+    std::vector<std::string> action_names;
+    action_names.reserve(actions_.size());
+    for (const Action& a : actions_) action_names.push_back(a.name);
+    result_.graph->set_action_names(std::move(action_names));
+  }
+
+  std::vector<LevelEntry> level;
+  if (!SeedInitial(&level)) return Finish(common::Status::OK());
+
+  obs::Histogram* level_hist = nullptr;
+  if (options_.publish_metrics) {
+    level_hist = &obs::MetricsRegistry::Global().GetHistogram(
+        "checker.frontier.level_size",
+        {1, 10, 100, 1'000, 10'000, 100'000, 1'000'000});
+  }
+
+  while (!level.empty()) {
+    if (level.size() > result_.frontier_peak) {
+      result_.frontier_peak = level.size();
+    }
+    if (level_hist != nullptr) {
+      level_hist->Observe(static_cast<double>(level.size()));
+    }
+    next_index_.store(0, std::memory_order_relaxed);
+    abort_max_.store(false, std::memory_order_relaxed);
+
+    pool_.Run([this, &level](int worker) { DrainLevel(level, worker); });
+
+    // Barrier: merge worker tallies, settle violations/limits, and build
+    // the next level in deterministic discovery order.
+    std::vector<CandidateViolation> candidates;
+    size_t next_total = 0;
+    for (Scratch& s : scratch_) {
+      result_.generated_states += s.generated;
+      s.generated = 0;
+      result_.por_slept_actions += s.slept;
+      s.slept = 0;
+      if (s.diameter > result_.diameter) result_.diameter = s.diameter;
+      for (CandidateViolation& c : s.candidates) {
+        candidates.push_back(std::move(c));
+      }
+      s.candidates.clear();
+      next_total += s.next.size();
+    }
+    generated_level_.store(0, std::memory_order_relaxed);
+
+    if (!candidates.empty()) {
+      // A violating level is always fully drained first, so the serial
+      // winner — the smallest discovery key — is available under every
+      // worker count and the resulting trace is identical.
+      const CandidateViolation& best = *std::min_element(
+          candidates.begin(), candidates.end(),
+          [](const CandidateViolation& a, const CandidateViolation& b) {
+            return a.key < b.key;
+          });
+      result_.violation =
+          Violation{best.kind, BuildTrace(best.fp, best.state)};
+      return Finish(common::Status::OK());
+    }
+    if (abort_max_.load(std::memory_order_relaxed)) {
+      return Finish(common::Status::ResourceExhausted(
+          common::StrCat("exceeded max distinct states (",
+                         options_.max_distinct_states, ")")));
+    }
+
+    std::vector<LevelEntry> next;
+    next.reserve(next_total);
+    for (Scratch& s : scratch_) {
+      for (LevelEntry& e : s.next) next.push_back(std::move(e));
+      s.next.clear();
+    }
+    if (!use_sleep_sets_ && workers_ > 1) {
+      // Two workers can race to discover the same state; whoever wins the
+      // insert owns the enqueue, but the record's min-merged key is the
+      // serial discovery order. Re-key from the settled records so batch
+      // order is worker-count-invariant.
+      for (LevelEntry& e : next) {
+        if (std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(e.fp)) {
+          e.key = edge->order_key;
+        }
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const LevelEntry& a, const LevelEntry& b) {
+                return a.key < b.key;
+              });
+    level = std::move(next);
+    next_count_.store(0, std::memory_order_relaxed);
+  }
+  return Finish(common::Status::OK());
 }
 
 }  // namespace
 
 CheckResult ModelChecker::Check(const Spec& spec) const {
-  common::MonotonicClock* clock = options_.clock != nullptr
-                                      ? options_.clock
-                                      : common::MonotonicClock::Real();
-  const int64_t start_ns = clock->NowNanos();
-  CheckResult result;
-
-  const std::vector<Action>& actions = spec.actions();
-  const std::vector<Invariant>& invariants = spec.invariants();
-
-  // Sleep-set partial-order reduction (Godefroid): when expanding a state,
-  // actions in its sleep set are skipped; a successor reached via action a
-  // sleeps every action that commutes with a and was either already slept
-  // or explored earlier at the parent. Revisiting a state with a smaller
-  // sleep set shrinks the stored set (intersection) and re-expands ONLY the
-  // newly woken actions (the per-state `done` mask remembers what already
-  // ran), so every reachable state is eventually explored with every
-  // non-redundant action — the reduction removes redundant interleavings
-  // (generated successors), not reachable states. This soundness argument
-  // requires the independence relation to respect the state constraint
-  // (see analysis::ComputeIndependence: an action writing a constraint-read
-  // variable commutes with nothing). Disabled under record_graph: the
-  // recorded graph must carry every edge for MBTCG/liveness.
-  const bool use_sleep_sets =
-      options_.independence != nullptr && !options_.record_graph &&
-      options_.independence->num_actions() == actions.size() &&
-      actions.size() <= 64;
-  std::vector<uint64_t> commuting_mask;  // Per action: bits of commuters.
-  if (use_sleep_sets) {
-    commuting_mask.resize(actions.size(), 0);
-    for (size_t a = 0; a < actions.size(); ++a) {
-      for (size_t b = 0; b < actions.size(); ++b) {
-        if (options_.independence->Commutes(a, b)) {
-          commuting_mask[a] |= uint64_t{1} << b;
-        }
-      }
-    }
-  }
-
-  if (options_.record_graph) {
-    result.graph = std::make_shared<StateGraph>();
-    std::vector<std::string> action_names;
-    action_names.reserve(actions.size());
-    for (const Action& a : actions) action_names.push_back(a.name);
-    result.graph->set_action_names(std::move(action_names));
-  }
-
-  std::deque<State> states;  // Indexed by discovery id; deque avoids moves.
-  std::vector<NodeInfo> info;
-  std::unordered_map<State, uint32_t, StateHash> seen;
-  std::deque<uint32_t> frontier;
-  std::vector<uint64_t> sleep;  // Per-state sleep mask (POR only).
-  std::vector<uint64_t> done;   // Per-state actions-already-expanded mask.
-  const uint64_t all_actions =
-      actions.size() >= 64 ? ~uint64_t{0}
-                           : (uint64_t{1} << actions.size()) - 1;
-  // Graph node id per state id; out-of-constraint states are not part of
-  // the recorded graph (they are invariant-checked but never expanded, so
-  // keeping them would add spurious dead ends to liveness analysis).
-  std::vector<uint32_t> graph_id;
-  constexpr uint32_t kNotInGraph = UINT32_MAX;
-
-  // Progress telemetry (off unless a reporter is wired in): the wall clock
-  // is polled every kProgressPollExpansions frontier expansions, and a
-  // report fires when progress_interval_ms has elapsed since the last one.
-  const bool report_progress = options_.progress_reporter != nullptr;
-  const int64_t interval_ns = options_.progress_interval_ms * 1'000'000;
-  int64_t last_report_ns = start_ns;
-  uint64_t last_report_generated = 0;
-  uint32_t poll_countdown = kProgressPollExpansions;
-
-  auto progress_snapshot = [&](int64_t now_ns, bool final_report) {
-    obs::CheckerProgress p;
-    p.generated_states = result.generated_states;
-    p.distinct_states = states.size();
-    p.frontier_size = frontier.size();
-    p.depth = result.diameter;
-    p.seconds = static_cast<double>(now_ns - start_ns) * 1e-9;
-    const double dt = static_cast<double>(now_ns - last_report_ns) * 1e-9;
-    const uint64_t dgen = result.generated_states - last_report_generated;
-    p.states_per_sec =
-        final_report
-            ? (p.seconds > 0
-                   ? static_cast<double>(result.generated_states) / p.seconds
-                   : 0)
-            : (dt > 0 ? static_cast<double>(dgen) / dt : 0);
-    p.fingerprint_load = seen.load_factor();
-    p.por_slept = result.por_slept_actions;
-    p.final_report = final_report;
-    return p;
-  };
-
-  auto finish = [&](common::Status status) {
-    result.status = std::move(status);
-    result.distinct_states = states.size();
-    result.fingerprint_load = seen.load_factor();
-    const int64_t end_ns = clock->NowNanos();
-    result.seconds = static_cast<double>(end_ns - start_ns) * 1e-9;
-    if (report_progress) {
-      options_.progress_reporter->Report(progress_snapshot(end_ns, true));
-    }
-    if (options_.publish_metrics) {
-      auto& registry = obs::MetricsRegistry::Global();
-      registry.GetCounter("checker.runs.completed").Increment();
-      registry.GetCounter("checker.states.generated")
-          .Increment(result.generated_states);
-      registry.GetCounter("checker.states.distinct")
-          .Increment(result.distinct_states);
-      registry.GetCounter("checker.por.actions_slept")
-          .Increment(result.por_slept_actions);
-      if (result.violation.has_value()) {
-        registry.GetCounter("checker.violations.found").Increment();
-      }
-      registry.GetGauge("checker.frontier.peak")
-          .Set(static_cast<double>(result.frontier_peak));
-      registry.GetGauge("checker.fingerprint.load")
-          .Set(result.fingerprint_load);
-      registry.GetGauge("checker.run.seconds").Set(result.seconds);
-      registry.GetGauge("checker.run.states_per_sec")
-          .Set(result.seconds > 0 ? static_cast<double>(
-                                        result.generated_states) /
-                                        result.seconds
-                                  : 0);
-    }
-    return result;
-  };
-
-  auto check_invariants = [&](uint32_t id) -> bool {
-    for (const Invariant& inv : invariants) {
-      if (!inv.predicate(states[id])) {
-        result.violation =
-            Violation{inv.name, BuildTrace(states, info, actions, id)};
-        return false;
-      }
-    }
-    return true;
-  };
-
-  // Seed with initial states.
-  for (State& raw_init : spec.InitialStates()) {
-    ++result.generated_states;
-    State init = spec.Canonicalize(raw_init);
-    auto [it, inserted] = seen.emplace(init, 0);
-    if (!inserted) continue;
-    uint32_t id = static_cast<uint32_t>(states.size());
-    it->second = id;
-    states.push_back(std::move(init));
-    info.push_back(NodeInfo{});
-    if (use_sleep_sets) {
-      sleep.push_back(0);
-      done.push_back(0);
-    }
-    bool constrained = spec.WithinConstraint(states[id]);
-    if (result.graph) {
-      graph_id.push_back(constrained ? result.graph->AddState(states[id])
-                                     : kNotInGraph);
-      if (constrained) result.graph->AddInitial(graph_id[id]);
-    }
-    if (!constrained) continue;
-    if (!check_invariants(id)) return finish(common::Status::OK());
-    frontier.push_back(id);
-  }
-
-  std::vector<State> successors;
-  while (!frontier.empty()) {
-    if (frontier.size() > result.frontier_peak) {
-      result.frontier_peak = frontier.size();
-    }
-    if (report_progress && --poll_countdown == 0) {
-      poll_countdown = kProgressPollExpansions;
-      const int64_t now_ns = clock->NowNanos();
-      if (now_ns - last_report_ns >= interval_ns) {
-        options_.progress_reporter->Report(
-            progress_snapshot(now_ns, /*final_report=*/false));
-        last_report_ns = now_ns;
-        last_report_generated = result.generated_states;
-      }
-    }
-    uint32_t cur = frontier.front();
-    frontier.pop_front();
-    const int64_t depth = info[cur].depth;
-    if (depth > result.diameter) result.diameter = depth;
-    if (options_.max_depth >= 0 && depth >= options_.max_depth) continue;
-
-    const uint64_t cur_sleep = use_sleep_sets ? sleep[cur] : 0;
-    // Actions expanded at this state on earlier visits (POR revisits wake
-    // actions out of the sleep set; only the newly woken ones run again).
-    uint64_t explored_before = 0;
-    uint64_t to_expand = all_actions;
-    if (use_sleep_sets) {
-      explored_before = done[cur];
-      to_expand = all_actions & ~cur_sleep & ~explored_before;
-      done[cur] |= to_expand;
-      result.por_slept_actions += static_cast<uint64_t>(
-          std::popcount(all_actions & cur_sleep & ~explored_before));
-      if (to_expand == 0) continue;  // Redundant re-enqueue.
-    }
-    successors.clear();
-    for (uint16_t ai = 0; ai < actions.size(); ++ai) {
-      if (use_sleep_sets && !((to_expand >> ai) & 1)) continue;  // Slept.
-      // Sleep mask for successors via `ai`: commuters of `ai` that were
-      // slept here or explored earlier at this state (previous visits, or
-      // lower-indexed actions of this pass).
-      const uint64_t succ_sleep =
-          use_sleep_sets
-              ? (cur_sleep | explored_before |
-                 (to_expand & ((uint64_t{1} << ai) - 1))) &
-                    commuting_mask[ai]
-              : 0;
-      size_t before = successors.size();
-      // Copy the state: actions may hold references into it while `states`
-      // grows, and `cur`'s storage in a deque is stable anyway, but the
-      // explicit copy documents that actions cannot mutate explored states.
-      actions[ai].next(states[cur], &successors);
-      for (size_t si = before; si < successors.size(); ++si) {
-        ++result.generated_states;
-        State succ = spec.Canonicalize(successors[si]);
-        auto [it, inserted] = seen.emplace(succ, 0);
-        uint32_t succ_id;
-        if (inserted) {
-          succ_id = static_cast<uint32_t>(states.size());
-          it->second = succ_id;
-          states.push_back(succ);
-          info.push_back(NodeInfo{cur, ai, depth + 1});
-          if (use_sleep_sets) {
-            sleep.push_back(succ_sleep);
-            done.push_back(0);
-          }
-          bool constrained = spec.WithinConstraint(states[succ_id]);
-          if (result.graph) {
-            graph_id.push_back(constrained
-                                   ? result.graph->AddState(states[succ_id])
-                                   : kNotInGraph);
-          }
-          if (states.size() > options_.max_distinct_states) {
-            return finish(common::Status::ResourceExhausted(common::StrCat(
-                "exceeded max distinct states (",
-                options_.max_distinct_states, ")")));
-          }
-          // Invariants are checked on every distinct state, including
-          // states outside the constraint (TLC checks invariants before
-          // applying CONSTRAINT to decide on expansion).
-          if (!check_invariants(succ_id)) return finish(common::Status::OK());
-          if (constrained) frontier.push_back(succ_id);
-        } else {
-          succ_id = it->second;
-          if (use_sleep_sets) {
-            // Revisit: the state must eventually be expanded with every
-            // action not slept on EVERY path reaching it — intersect, and
-            // re-expand when the set shrinks. Masks shrink monotonically,
-            // so re-enqueues are bounded.
-            uint64_t merged = sleep[succ_id] & succ_sleep;
-            if (merged != sleep[succ_id]) {
-              sleep[succ_id] = merged;
-              if (spec.WithinConstraint(states[succ_id])) {
-                frontier.push_back(succ_id);
-              }
-            }
-          }
-        }
-        if (result.graph && graph_id[cur] != kNotInGraph &&
-            graph_id[succ_id] != kNotInGraph) {
-          result.graph->AddEdge(graph_id[cur], graph_id[succ_id], ai);
-        }
-      }
-    }
-    if (options_.check_deadlock && successors.empty()) {
-      if (use_sleep_sets && (cur_sleep | explored_before) != 0) {
-        // Slept actions were skipped; confirm genuine deadlock unpruned.
-        bool any_enabled = false;
-        for (const Action& action : actions) {
-          action.next(states[cur], &successors);
-          if (!successors.empty()) {
-            any_enabled = true;
-            successors.clear();
-            break;
-          }
-        }
-        if (any_enabled) continue;
-      }
-      result.violation =
-          Violation{"Deadlock", BuildTrace(states, info, actions, cur)};
-      return finish(common::Status::OK());
-    }
-  }
-
-  return finish(common::Status::OK());
+  return Engine(options_, spec).Run();
 }
 
 }  // namespace xmodel::tlax

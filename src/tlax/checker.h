@@ -18,6 +18,17 @@
 namespace xmodel::tlax {
 
 struct CheckerOptions {
+  /// Exploration workers: 1 (default) runs the classic single-threaded
+  /// BFS (no threads are spawned), 0 means one worker per hardware
+  /// thread, N > 1 spawns N - 1 helper threads. Exploration is
+  /// level-synchronous — workers drain one BFS level in parallel and
+  /// barrier before the next — so counterexamples stay minimal and
+  /// `distinct_states`/`diameter`/violation traces are identical across
+  /// worker counts (POR excepted: sleep-set merges are order-sensitive,
+  /// so only `distinct_states` is worker-invariant there). record_graph
+  /// forces a single worker: graph node ids and duplicate-edge events
+  /// must follow global discovery order.
+  int num_workers = 1;
   /// Record the full state graph (needed for DOT export / MBTCG / liveness).
   bool record_graph = false;
   /// Abort with ResourceExhausted after this many distinct states.
@@ -55,6 +66,13 @@ struct CheckerOptions {
   /// obs::MetricsRegistry::Global(). Cheap: a handful of atomic adds per
   /// Check() call, nothing per state.
   bool publish_metrics = true;
+  /// Fingerprint-collision audit: keep a full copy of every distinct
+  /// state beside its fingerprint and compare on every table hit,
+  /// counting genuine 64-bit collisions in
+  /// CheckResult::fingerprint_collisions. Costs the memory the
+  /// fingerprint table otherwise saves — a debug mode, also switchable
+  /// via the XMODEL_FP_AUDIT environment variable (any value but "0").
+  bool fp_audit = false;
 };
 
 /// A step in a counterexample trace: the action that was taken to reach
@@ -80,12 +98,19 @@ struct CheckResult {
   /// Length of the longest shortest-path from an initial state (TLC's
   /// "depth of the complete state graph").
   int64_t diameter = 0;
-  /// Peak BFS queue depth observed during the run.
+  /// Largest BFS level (frontier batch) observed during the run.
   uint64_t frontier_peak = 0;
   /// Action expansions skipped by sleep-set POR (0 without a matrix).
   uint64_t por_slept_actions = 0;
-  /// Final load factor of the fingerprint (seen-states) table.
+  /// Final aggregate load factor of the sharded fingerprint table
+  /// (records / buckets summed across shards).
   double fingerprint_load = 0;
+  /// Genuine 64-bit fingerprint collisions observed. Only counted under
+  /// CheckerOptions::fp_audit / XMODEL_FP_AUDIT; always 0 otherwise.
+  uint64_t fingerprint_collisions = 0;
+  /// Exploration workers the run actually used (after resolving
+  /// num_workers == 0 and the record_graph single-worker clamp).
+  int workers_used = 1;
   std::optional<Violation> violation;
   /// Present when options.record_graph was set.
   std::shared_ptr<StateGraph> graph;
@@ -101,6 +126,15 @@ struct CheckResult {
 /// invariant on every state within the constraint. On violation, returns the
 /// shortest counterexample behavior. BFS order guarantees minimal
 /// counterexamples, like TLC's default mode.
+///
+/// Exploration is level-synchronous and runs on
+/// CheckerOptions::num_workers threads over a shared sharded fingerprint
+/// table (see tlax/fpset.h): the seen-set stores 64-bit fingerprints plus
+/// compact predecessor records instead of full states, and traces are
+/// rebuilt by replaying actions along the predecessor chain. When a level
+/// contains a violation the whole level is still drained and the
+/// candidate with the smallest discovery-order key wins, so results are
+/// bit-identical across worker counts. See DESIGN.md "Parallel checking".
 class ModelChecker {
  public:
   explicit ModelChecker(CheckerOptions options = {}) : options_(options) {}

@@ -1,0 +1,147 @@
+#include "tlax/fpset.h"
+
+#include <utility>
+
+namespace xmodel::tlax {
+namespace {
+
+int RoundUpPow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+int Log2(int pow2) {
+  int bits = 0;
+  while ((1 << bits) < pow2) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+FingerprintSet::FingerprintSet() : FingerprintSet(Options()) {}
+
+FingerprintSet::FingerprintSet(Options options) : options_(options) {
+  if (options_.audit) options_.keep_states = true;
+  if (options_.track_por) options_.min_merge_pred = false;
+  int shards = RoundUpPow2(options_.num_shards < 1 ? 1 : options_.num_shards);
+  shards_ = std::vector<Shard>(static_cast<size_t>(shards));
+  // Index by the top bits: the low bits feed each shard's own bucket
+  // hashing, so reusing them for shard selection would correlate the two.
+  shard_shift_ = 64 - Log2(shards);
+  if (shards == 1) shard_shift_ = 0;  // (fp >> 0) & 0 == 0 either way.
+}
+
+FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
+                                int64_t depth, uint64_t order_key,
+                                uint64_t sleep_mask, const State* state) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, fresh] = shard.records.try_emplace(fp);
+  Record& rec = it->second;
+  FpInsert out;
+  if (fresh) {
+    rec.pred_fp = pred_fp;
+    rec.order_key = order_key;
+    rec.depth = depth;
+    rec.action = action;
+    rec.sleep = sleep_mask;
+    rec.queued = true;
+    if (options_.keep_states && state != nullptr) {
+      shard.states.emplace(fp, *state);
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    out.inserted = true;
+    out.depth = depth;
+    return out;
+  }
+  out.depth = rec.depth;
+  if (options_.audit && state != nullptr) {
+    auto st = shard.states.find(fp);
+    if (st != shard.states.end() && !(st->second == *state)) {
+      collisions_.fetch_add(1, std::memory_order_relaxed);
+      out.collision = true;
+    }
+  }
+  if (options_.track_por) {
+    // Sleep-set intersect-merge (Godefroid): a revisit may arrive with a
+    // smaller sleep set; actions newly outside it must be expanded unless
+    // they already were.
+    uint64_t merged = rec.sleep & sleep_mask;
+    if (merged != rec.sleep) {
+      rec.sleep = merged;
+      if (!rec.queued && (~merged & ~rec.done) != 0) {
+        rec.queued = true;
+        out.por_wake = true;
+      }
+    }
+  } else if (options_.min_merge_pred && depth == rec.depth &&
+             order_key < rec.order_key) {
+    // Same BFS level, earlier discovery order: adopt this edge so the
+    // reconstructed trace matches what a serial scan would record.
+    rec.pred_fp = pred_fp;
+    rec.order_key = order_key;
+    rec.action = action;
+  }
+  return out;
+}
+
+FingerprintSet::ExpandGrant FingerprintSet::AcquireExpand(
+    uint64_t fp, uint64_t all_actions) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ExpandGrant grant;
+  auto it = shard.records.find(fp);
+  if (it == shard.records.end()) return grant;
+  Record& rec = it->second;
+  rec.queued = false;
+  grant.sleep = rec.sleep;
+  grant.explored_before = rec.done;
+  grant.to_expand = all_actions & ~rec.sleep & ~rec.done;
+  rec.done |= grant.to_expand;
+  return grant;
+}
+
+std::optional<FingerprintSet::Edge> FingerprintSet::GetEdge(uint64_t fp) const {
+  const Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(fp);
+  if (it == shard.records.end()) return std::nullopt;
+  return Edge{it->second.pred_fp, it->second.order_key, it->second.action,
+              it->second.depth};
+}
+
+std::optional<State> FingerprintSet::FindState(uint64_t fp) const {
+  const Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.states.find(fp);
+  if (it == shard.states.end()) return std::nullopt;
+  return it->second;
+}
+
+void FingerprintSet::SetGraphId(uint64_t fp, uint32_t graph_id) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(fp);
+  if (it != shard.records.end()) it->second.graph_id = graph_id;
+}
+
+uint32_t FingerprintSet::GetGraphId(uint64_t fp) const {
+  const Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.records.find(fp);
+  return it == shard.records.end() ? kFpNoGraphId : it->second.graph_id;
+}
+
+double FingerprintSet::load_factor() const {
+  size_t records = 0;
+  size_t buckets = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    records += shard.records.size();
+    buckets += shard.records.bucket_count();
+  }
+  return buckets == 0 ? 0.0 : static_cast<double>(records) / buckets;
+}
+
+}  // namespace xmodel::tlax

@@ -1,0 +1,168 @@
+#ifndef XMODEL_TLAX_FPSET_H_
+#define XMODEL_TLAX_FPSET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "tlax/state.h"
+
+namespace xmodel::tlax {
+
+/// Stable 64-bit state fingerprint built on the existing Value hashing:
+/// State carries the order-dependent combination of its variables'
+/// structural hashes; one extra finalizer mix decorrelates the table key
+/// from the raw per-state hash that other layers (symmetry, coverage)
+/// already consume.
+inline uint64_t Fingerprint(const State& state) {
+  return common::Mix64(state.fingerprint() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+/// Sentinel action index marking an initial state's record (no
+/// predecessor to replay from).
+inline constexpr uint16_t kFpInitialAction = UINT16_MAX;
+
+/// Graph-node sentinel for states outside the constraint (record_graph).
+inline constexpr uint32_t kFpNoGraphId = UINT32_MAX;
+
+/// Outcome of FingerprintSet::Insert.
+struct FpInsert {
+  /// The fingerprint was new; a record was created.
+  bool inserted = false;
+  /// Audit mode only: the fingerprint existed but the stored state
+  /// differs — a genuine 64-bit collision.
+  bool collision = false;
+  /// POR mode only: the existing record's sleep mask shrank and the state
+  /// is not queued, so the caller must re-enqueue it for re-expansion.
+  bool por_wake = false;
+  /// BFS depth stored in the record (existing or newly created).
+  int64_t depth = 0;
+};
+
+/// The model checker's seen-state table: a striped (sharded) hash table
+/// keyed by 64-bit fingerprint, storing compact predecessor records
+/// `{pred_fp, action}` instead of full states — the TLC fingerprint-set
+/// design. Counterexample traces are reconstructed by replaying actions
+/// along the predecessor chain from an initial state, so dropping the
+/// states costs nothing but that replay.
+///
+/// Thread safety: every operation takes exactly one shard mutex; shards
+/// are selected by the fingerprint's top bits, so concurrent workers
+/// rarely collide. size() and collisions() are lock-free counters.
+class FingerprintSet {
+ public:
+  struct Options {
+    /// Lock stripes; rounded up to a power of two. Many more stripes than
+    /// workers keeps contention negligible.
+    int num_shards = 64;
+    /// Keep a full State copy beside each record. Required for sleep-set
+    /// POR (re-expansion of revisited states) and for audit mode; costs
+    /// roughly the memory the fingerprint table otherwise saves.
+    bool keep_states = false;
+    /// Collision audit: compare the stored state on every fingerprint hit
+    /// and count mismatches (genuine 64-bit collisions). Implies
+    /// keep_states.
+    bool audit = false;
+    /// Maintain per-state sleep/done masks for sleep-set POR.
+    bool track_por = false;
+    /// Resolve same-depth predecessor races toward the smallest discovery
+    /// order key, making counterexample traces bit-identical across
+    /// worker counts. Disabled under POR, where trace determinism is not
+    /// promised.
+    bool min_merge_pred = true;
+  };
+
+  FingerprintSet();  // Default options.
+  explicit FingerprintSet(Options options);
+
+  /// Records `fp` if unseen (predecessor `pred_fp` via `action`, at
+  /// `depth`, discovered at `order_key`); otherwise merges: audits for
+  /// collisions, min-merges the predecessor for same-depth candidates
+  /// with a smaller order key, and intersects the POR sleep mask
+  /// (reporting por_wake when the shrink requires re-expansion).
+  /// `state` must be non-null when keep_states is set.
+  FpInsert Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
+                  int64_t depth, uint64_t order_key, uint64_t sleep_mask,
+                  const State* state);
+
+  /// POR expansion handshake: atomically clears the record's queued flag,
+  /// returns its current sleep mask and previously-expanded mask, and
+  /// marks the newly grantable actions (`all_actions & ~sleep & ~done`)
+  /// as done.
+  struct ExpandGrant {
+    uint64_t sleep = 0;
+    uint64_t explored_before = 0;
+    uint64_t to_expand = 0;
+  };
+  ExpandGrant AcquireExpand(uint64_t fp, uint64_t all_actions);
+
+  /// The discovery edge of `fp`: predecessor fingerprint and action
+  /// (action == kFpInitialAction for initial states), plus the settled
+  /// (min-merged) discovery order key. Nullopt when the fingerprint is
+  /// unknown.
+  struct Edge {
+    uint64_t pred_fp = 0;
+    uint64_t order_key = 0;
+    uint16_t action = kFpInitialAction;
+    int64_t depth = 0;
+  };
+  std::optional<Edge> GetEdge(uint64_t fp) const;
+
+  /// keep_states mode: a copy of the full state stored for `fp`.
+  std::optional<State> FindState(uint64_t fp) const;
+
+  /// record_graph bookkeeping (single-worker runs only).
+  void SetGraphId(uint64_t fp, uint32_t graph_id);
+  uint32_t GetGraphId(uint64_t fp) const;
+
+  /// Number of distinct fingerprints inserted.
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  /// Audit mode: distinct-state pairs observed sharing a fingerprint.
+  uint64_t collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+  /// Aggregate load factor across shards (total records / total buckets):
+  /// what CheckResult::fingerprint_load now reports.
+  double load_factor() const;
+  size_t num_shards() const { return shards_.size(); }
+  bool keep_states() const { return options_.keep_states; }
+
+ private:
+  struct Record {
+    uint64_t pred_fp = 0;
+    uint64_t order_key = 0;
+    int64_t depth = 0;
+    uint64_t sleep = 0;  // POR: actions to skip when expanding.
+    uint64_t done = 0;   // POR: actions already expanded here.
+    uint32_t graph_id = kFpNoGraphId;
+    uint16_t action = kFpInitialAction;
+    bool queued = false;  // POR: on a frontier, awaiting expansion.
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Record> records;
+    std::unordered_map<uint64_t, State> states;  // keep_states only.
+  };
+
+  Shard& ShardFor(uint64_t fp) {
+    return shards_[(fp >> shard_shift_) & (shards_.size() - 1)];
+  }
+  const Shard& ShardFor(uint64_t fp) const {
+    return shards_[(fp >> shard_shift_) & (shards_.size() - 1)];
+  }
+
+  Options options_;
+  std::vector<Shard> shards_;
+  int shard_shift_ = 0;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> collisions_{0};
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_FPSET_H_

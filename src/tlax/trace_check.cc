@@ -1,9 +1,12 @@
 #include "tlax/trace_check.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
+#include <utility>
 
 #include "common/clock.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 
@@ -44,6 +47,25 @@ void PublishTraceMetrics(const TraceCheckOptions& options,
   registry.GetGauge("checker.trace.run.seconds").Set(result.seconds);
 }
 
+// Per-worker staged-expansion tallies, published as the same
+// checker.workerN.expansions family the model checker uses so
+// `mbtc_check --metrics-out` shows worker balance.
+void PublishWorkerExpansions(const std::vector<uint64_t>& expansions) {
+  auto& registry = obs::MetricsRegistry::Global();
+  for (size_t w = 0; w < expansions.size(); ++w) {
+    registry.GetCounter(StrCat("checker.worker", w, ".expansions"))
+        .Increment(expansions[w]);
+  }
+}
+
+// Bounds must match the model checker's registration of the same
+// histogram (first registration wins).
+obs::Histogram& LevelSizeHistogram() {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "checker.frontier.level_size",
+      {1, 10, 100, 1'000, 10'000, 100'000, 1'000'000});
+}
+
 // A deduplicated frontier of spec states viable at one trace position.
 class Frontier {
  public:
@@ -64,12 +86,39 @@ class Frontier {
   std::unordered_set<uint64_t> fingerprints_;
 };
 
+// Shared plumbing for one trace check: the expansion worker pool plus the
+// telemetry sinks the per-step search feeds (worker-balance counters and
+// the shared BFS-level-size histogram, same family the model checker
+// publishes).
+struct AdvanceContext {
+  common::WorkerPool* pool = nullptr;
+  std::vector<uint64_t>* worker_expansions = nullptr;
+  obs::Histogram* level_hist = nullptr;
+};
+
+// One staged successor: produced in parallel, consumed by the serial fold
+// that replays the classic single-threaded bookkeeping order.
+struct StagedExpansion {
+  uint16_t action = 0;
+  bool matched = false;
+  State succ;
+};
+
 // Advances `frontier` from trace position i-1 to position i (matching
 // `target`), searching up to `options.max_hidden_steps` spec actions deep.
 // Returns the action names whose final step explained the match.
+//
+// Parallelism: workers expand layer states concurrently (action.next and
+// Matches are the hot path), staging (action, matched, successor) per
+// source state; a serial fold then replays exploration counting, the
+// search budget, dedup, and explaining-action order exactly as the serial
+// sweep would, so results are bit-identical across worker counts. The
+// fold ignores staged work past the budget cut-off, trading some wasted
+// expansion on exhausted layers for determinism.
 std::vector<std::string> AdvanceFrontier(const Spec& spec,
                                          const TraceState& target,
                                          const TraceCheckOptions& options,
+                                         const AdvanceContext& ctx,
                                          Frontier* frontier,
                                          uint64_t* states_explored) {
   std::vector<std::string> explaining;
@@ -97,25 +146,51 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
   for (const State& s : layer) visited.Add(s);
   uint64_t budget = options.max_search_states_per_step;
 
-  std::vector<State> successors;
+  const std::vector<Action>& actions = spec.actions();
   for (int depth = 1;
        depth <= options.max_hidden_steps && !layer.empty() && budget > 0;
        ++depth) {
+    if (ctx.level_hist != nullptr) {
+      ctx.level_hist->Observe(static_cast<double>(layer.size()));
+    }
+    // Stage: expand every layer state, in parallel.
+    std::vector<std::vector<StagedExpansion>> staged(layer.size());
+    std::atomic<size_t> cursor{0};
+    ctx.pool->Run([&](int worker) {
+      std::vector<State> successors;
+      uint64_t expanded = 0;
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= layer.size()) break;
+        std::vector<StagedExpansion>& out = staged[i];
+        for (uint16_t ai = 0; ai < actions.size(); ++ai) {
+          successors.clear();
+          actions[ai].next(layer[i], &successors);
+          for (State& succ : successors) {
+            ++expanded;
+            out.push_back(StagedExpansion{ai, target.Matches(succ.vars()),
+                                          std::move(succ)});
+          }
+        }
+      }
+      if (ctx.worker_expansions != nullptr) {
+        (*ctx.worker_expansions)[static_cast<size_t>(worker)] += expanded;
+      }
+    });
+
+    // Fold: serial replay of the classic bookkeeping over the staged
+    // expansions, in source-state order.
     std::vector<State> next_layer;
-    for (const State& s : layer) {
-      for (const Action& action : spec.actions()) {
-        successors.clear();
-        action.next(s, &successors);
-        for (State& succ : successors) {
-          ++*states_explored;
-          if (budget > 0) --budget;
-          if (target.Matches(succ.vars())) {
-            if (next.Add(succ)) note_action(action.name);
-          }
-          if (depth < options.max_hidden_steps && budget > 0 &&
-              visited.Add(succ)) {
-            next_layer.push_back(std::move(succ));
-          }
+    for (size_t i = 0; i < layer.size(); ++i) {
+      for (StagedExpansion& e : staged[i]) {
+        ++*states_explored;
+        if (budget > 0) --budget;
+        if (e.matched) {
+          if (next.Add(e.succ)) note_action(actions[e.action].name);
+        }
+        if (depth < options.max_hidden_steps && budget > 0 &&
+            visited.Add(e.succ)) {
+          next_layer.push_back(std::move(e.succ));
         }
       }
       if (budget == 0) break;
@@ -131,38 +206,51 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
 TraceCheckResult TraceChecker::CheckParsed(const Spec& spec,
                                            const std::vector<TraceState>& trace,
                                            uint64_t* states_explored) const {
-  TraceCheckResult result;
-  if (trace.empty()) {
-    result.status = Status::OK();
-    return result;
-  }
+  common::WorkerPool pool(common::ResolveWorkerCount(options_.num_workers));
+  std::vector<uint64_t> worker_expansions(
+      static_cast<size_t>(pool.num_workers()), 0);
+  AdvanceContext ctx;
+  ctx.pool = &pool;
+  ctx.worker_expansions = &worker_expansions;
+  if (options_.publish_metrics) ctx.level_hist = &LevelSizeHistogram();
 
-  Frontier frontier;
-  for (State& init : spec.InitialStates()) {
-    ++*states_explored;
-    if (trace[0].Matches(init.vars())) frontier.Add(std::move(init));
-  }
-  if (frontier.empty()) {
-    result.status = Status::FailedPrecondition(
-        "trace state 0 matches no initial state of the specification");
-    result.failed_step = 0;
-    return result;
-  }
-  result.step_actions.push_back({"Init"});
-
-  for (size_t i = 1; i < trace.size(); ++i) {
-    std::vector<std::string> explaining = AdvanceFrontier(
-        spec, trace[i], options_, &frontier, states_explored);
-    if (frontier.empty()) {
-      result.status = Status::FailedPrecondition(
-          StrCat("no action of spec '", spec.name(), "' explains trace step ",
-                 i, " (checked ", i, " of ", trace.size() - 1, " steps)"));
-      result.failed_step = i;
+  TraceCheckResult result = [&]() -> TraceCheckResult {
+    TraceCheckResult result;
+    if (trace.empty()) {
+      result.status = Status::OK();
       return result;
     }
-    result.step_actions.push_back(std::move(explaining));
-  }
-  result.status = Status::OK();
+
+    Frontier frontier;
+    for (State& init : spec.InitialStates()) {
+      ++*states_explored;
+      if (trace[0].Matches(init.vars())) frontier.Add(std::move(init));
+    }
+    if (frontier.empty()) {
+      result.status = Status::FailedPrecondition(
+          "trace state 0 matches no initial state of the specification");
+      result.failed_step = 0;
+      return result;
+    }
+    result.step_actions.push_back({"Init"});
+
+    for (size_t i = 1; i < trace.size(); ++i) {
+      std::vector<std::string> explaining = AdvanceFrontier(
+          spec, trace[i], options_, ctx, &frontier, states_explored);
+      if (frontier.empty()) {
+        result.status = Status::FailedPrecondition(
+            StrCat("no action of spec '", spec.name(),
+                   "' explains trace step ", i, " (checked ", i, " of ",
+                   trace.size() - 1, " steps)"));
+        result.failed_step = i;
+        return result;
+      }
+      result.step_actions.push_back(std::move(explaining));
+    }
+    result.status = Status::OK();
+    return result;
+  }();
+  if (options_.publish_metrics) PublishWorkerExpansions(worker_expansions);
   return result;
 }
 
@@ -187,6 +275,7 @@ TraceCheckResult TraceChecker::Check(const Spec& spec,
 
 TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
                                            const std::string& module_text) const {
+  std::vector<uint64_t> worker_expansions;  // Pressler path only.
   TraceCheckResult outer = [&]() -> TraceCheckResult {
   Timer timer(options_.clock);
   uint64_t explored = 0;
@@ -223,6 +312,13 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
     return result;
   }
 
+  common::WorkerPool pool(common::ResolveWorkerCount(options_.num_workers));
+  worker_expansions.assign(static_cast<size_t>(pool.num_workers()), 0);
+  AdvanceContext ctx;
+  ctx.pool = &pool;
+  ctx.worker_expansions = &worker_expansions;
+  if (options_.publish_metrics) ctx.level_hist = &LevelSizeHistogram();
+
   Frontier frontier;
   for (size_t i = 0; i < num_steps; ++i) {
     auto parsed = ParseTraceModule(module_text, num_vars);  // Re-parse.
@@ -248,7 +344,7 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
       continue;
     }
     std::vector<std::string> explaining = AdvanceFrontier(
-        spec, trace[i], options_, &frontier, &explored);
+        spec, trace[i], options_, ctx, &frontier, &explored);
     if (frontier.empty()) {
       result.status = Status::FailedPrecondition(
           StrCat("no action of spec '", spec.name(), "' explains trace step ",
@@ -266,6 +362,7 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
   return result;
   }();
   PublishTraceMetrics(options_, outer);
+  if (options_.publish_metrics) PublishWorkerExpansions(worker_expansions);
   return outer;
 }
 

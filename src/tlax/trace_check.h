@@ -40,6 +40,12 @@ struct TraceCheckOptions {
   /// Node budget per observed step for the hidden-step search, to bound
   /// the blow-up when max_hidden_steps is large.
   uint64_t max_search_states_per_step = 200'000;
+  /// Expansion workers for the per-step search: 1 (default) is the classic
+  /// serial sweep, 0 means one per hardware thread. Workers only stage the
+  /// expensive action expansions; matches, dedup, budget accounting, and
+  /// explaining-action order are folded serially afterwards, so every
+  /// result field is identical across worker counts.
+  int num_workers = 1;
   /// Wall-time source for `seconds`; null = the process steady clock.
   common::MonotonicClock* clock = nullptr;
   /// Publish end-of-run checker.trace.* counters to the global registry.

@@ -13,10 +13,13 @@
 // Flags:
 //   --abstract           check against the abstract spec variant
 //   --no-stutter         disallow stuttering steps in the trace check
+//   --workers=N          trace-check expansion workers (0 = all cores);
+//                        results are identical across worker counts
 //   --metrics-out=FILE   write a metrics-registry snapshot as JSON
 //   --trace-out=FILE     record spans and write Chrome trace_event JSON
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -40,12 +43,14 @@ struct Options {
   bool list_scenarios = false;
   bool abstract_variant = false;
   bool stutter = true;
+  int workers = 1;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <log_directory> [--abstract] [--no-stutter]\n"
-               "           [--metrics-out=FILE] [--trace-out=FILE]\n"
+               "           [--workers=N] [--metrics-out=FILE] "
+               "[--trace-out=FILE]\n"
                "       %s --scenario=NAME [flags]\n"
                "       %s --list-scenarios\n",
                argv0, argv0, argv0);
@@ -66,6 +71,12 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       options->trace_out = arg.substr(12);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options->workers = std::atoi(arg.c_str() + 10);
+      if (options->workers < 0) {
+        std::fprintf(stderr, "--workers must be >= 0\n");
+        return false;
+      }
     } else if (!arg.empty() && arg[0] != '-' &&
                options->log_directory.empty()) {
       options->log_directory = arg;
@@ -173,6 +184,7 @@ int main(int argc, char** argv) {
 
   trace::MbtcPipelineOptions pipeline_options;
   pipeline_options.checker.allow_stuttering = options.stutter;
+  pipeline_options.checker.num_workers = options.workers;
   trace::MbtcPipeline pipeline(&spec, pipeline_options);
   trace::MbtcReport report = pipeline.Run(files);
 

@@ -1,0 +1,185 @@
+// Determinism of the parallel checker: every CheckResult field that the
+// level-synchronous design promises to be worker-count-invariant —
+// distinct states, generated states, diameter, frontier peak, violation
+// kind, and the full counterexample trace (length AND content) — must be
+// bit-identical at 1, 2, and 4 workers, on clean specs and on
+// deliberately violating configurations. See DESIGN.md "Parallel
+// checking" for why this holds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "specs/array_ot_spec.h"
+#include "specs/locking_spec.h"
+#include "specs/raft_mongo_spec.h"
+#include "specs/toy_specs.h"
+#include "tlax/checker.h"
+#include "tlax/spec.h"
+
+namespace xmodel::tlax {
+namespace {
+
+// Checks `spec` at several worker counts and asserts every promised
+// field matches the single-worker baseline exactly.
+void ExpectWorkerInvariant(const Spec& spec, CheckerOptions options = {}) {
+  options.num_workers = 1;
+  CheckResult base = ModelChecker(options).Check(spec);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  EXPECT_EQ(base.workers_used, 1);
+
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << spec.name() << " with " << workers
+                                    << " workers");
+    options.num_workers = workers;
+    CheckResult result = ModelChecker(options).Check(spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.workers_used, workers);
+
+    EXPECT_EQ(result.distinct_states, base.distinct_states);
+    EXPECT_EQ(result.generated_states, base.generated_states);
+    EXPECT_EQ(result.diameter, base.diameter);
+    EXPECT_EQ(result.frontier_peak, base.frontier_peak);
+    EXPECT_EQ(result.por_slept_actions, base.por_slept_actions);
+    EXPECT_EQ(result.fingerprint_collisions, base.fingerprint_collisions);
+
+    ASSERT_EQ(result.violation.has_value(), base.violation.has_value());
+    if (base.violation.has_value()) {
+      EXPECT_EQ(result.violation->kind, base.violation->kind);
+      ASSERT_EQ(result.violation->trace.size(), base.violation->trace.size())
+          << "counterexamples must stay minimal and identical";
+      for (size_t i = 0; i < base.violation->trace.size(); ++i) {
+        EXPECT_EQ(result.violation->trace[i].action,
+                  base.violation->trace[i].action)
+            << "trace step " << i;
+        EXPECT_EQ(result.violation->trace[i].state,
+                  base.violation->trace[i].state)
+            << "trace step " << i;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, RaftMongoDetailed) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  ExpectWorkerInvariant(specs::RaftMongoSpec(config));
+}
+
+TEST(DeterminismTest, RaftMongoAbstractWithSymmetry) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kAbstract;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  config.use_symmetry = true;
+  ExpectWorkerInvariant(specs::RaftMongoSpec(config));
+}
+
+TEST(DeterminismTest, LockingSpec) {
+  specs::LockingConfig config;
+  config.num_contexts = 2;
+  CheckerOptions options;
+  options.check_deadlock = true;
+  ExpectWorkerInvariant(specs::LockingSpec(config), options);
+}
+
+TEST(DeterminismTest, ArrayOt) {
+  specs::ArrayOtConfig config;
+  config.num_clients = 2;
+  config.initial_array_len = 2;
+  ExpectWorkerInvariant(specs::ArrayOtSpec(config));
+}
+
+TEST(DeterminismTest, ArrayOtWithInjectedTranscriptionError) {
+  // The §5.1.1 deliberate transcription error: the checker must find a
+  // violation, and the counterexample must not depend on worker count.
+  specs::ArrayOtConfig config;
+  config.num_clients = 2;
+  config.initial_array_len = 2;
+  config.inject_transcription_error = true;
+  specs::ArrayOtSpec spec(config);
+  CheckerOptions options;
+  options.num_workers = 1;
+  CheckResult base = ModelChecker(options).Check(spec);
+  ASSERT_TRUE(base.violation.has_value())
+      << "the injected transcription error must be caught";
+  ExpectWorkerInvariant(spec);
+}
+
+TEST(DeterminismTest, CounterViolation) {
+  // Mid-space invariant violation: many same-level candidates compete, so
+  // this exercises the minimal-key candidate selection directly.
+  ExpectWorkerInvariant(specs::CounterSpec(/*limit=*/30, /*violate_at=*/17));
+}
+
+TEST(DeterminismTest, DieHardMinimalCounterexample) {
+  specs::DieHardSpec spec;
+  ExpectWorkerInvariant(spec);
+  // The classic puzzle answer: 7 states, at every worker count.
+  for (int workers : {1, 2, 4}) {
+    CheckerOptions options;
+    options.num_workers = workers;
+    CheckResult result = ModelChecker(options).Check(spec);
+    ASSERT_TRUE(result.violation.has_value());
+    EXPECT_EQ(result.violation->trace.size(), 7u);
+  }
+}
+
+TEST(DeterminismTest, ResourceExhaustionIsWorkerInvariant) {
+  specs::CounterSpec spec(/*limit=*/100);
+  for (int workers : {1, 2, 4}) {
+    CheckerOptions options;
+    options.num_workers = workers;
+    options.max_distinct_states = 50;
+    CheckResult result = ModelChecker(options).Check(spec);
+    EXPECT_EQ(result.status.code(), common::StatusCode::kResourceExhausted)
+        << "workers=" << workers;
+  }
+}
+
+TEST(DeterminismTest, MaxDepthIsWorkerInvariant) {
+  specs::CounterSpec spec(/*limit=*/20);
+  CheckerOptions options;
+  options.max_depth = 5;
+  ExpectWorkerInvariant(spec, options);
+}
+
+TEST(DeterminismTest, ZeroMeansHardwareConcurrency) {
+  CheckerOptions options;
+  options.num_workers = 0;
+  CheckResult result = ModelChecker(options).Check(specs::CounterSpec(4));
+  EXPECT_GE(result.workers_used, 1);
+}
+
+TEST(DeterminismTest, RecordGraphClampsToOneWorker) {
+  CheckerOptions options;
+  options.num_workers = 4;
+  options.record_graph = true;
+  CheckResult result = ModelChecker(options).Check(specs::CounterSpec(2));
+  EXPECT_EQ(result.workers_used, 1);
+  ASSERT_NE(result.graph, nullptr);
+  EXPECT_EQ(result.distinct_states, 9u);
+}
+
+TEST(DeterminismTest, FpAuditReportsZeroCollisionsAcrossWorkers) {
+  specs::RaftMongoConfig config;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  for (int workers : {1, 4}) {
+    CheckerOptions options;
+    options.num_workers = workers;
+    options.fp_audit = true;
+    CheckResult result = ModelChecker(options).Check(spec);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.fingerprint_collisions, 0u) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace xmodel::tlax

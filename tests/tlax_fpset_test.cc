@@ -1,0 +1,204 @@
+// Unit tests for the sharded fingerprint table backing the parallel
+// checker: insert/merge semantics, the POR expansion handshake, the
+// collision audit, and a multi-threaded insert hammer that the TSan CI
+// job runs to certify the locking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "tlax/fpset.h"
+#include "tlax/state.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+namespace {
+
+State MakeState(int64_t x, int64_t y) {
+  return State({Value::Int(x), Value::Int(y)});
+}
+
+TEST(FingerprintTest, StableAndDiscriminating) {
+  State a = MakeState(1, 2);
+  State b = MakeState(1, 2);
+  State c = MakeState(2, 1);
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+  EXPECT_NE(Fingerprint(a), Fingerprint(c));
+  // The table key is decorrelated from the raw state hash other layers use.
+  EXPECT_NE(Fingerprint(a), a.fingerprint());
+}
+
+TEST(FpsetTest, InsertThenDuplicate) {
+  FingerprintSet set;
+  FpInsert first = set.Insert(/*fp=*/100, /*pred_fp=*/0, kFpInitialAction,
+                              /*depth=*/0, /*order_key=*/0, /*sleep_mask=*/0,
+                              nullptr);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.depth, 0);
+  EXPECT_EQ(set.size(), 1u);
+
+  FpInsert dup = set.Insert(100, /*pred_fp=*/7, /*action=*/3, /*depth=*/5,
+                            /*order_key=*/99, 0, nullptr);
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_FALSE(dup.collision);
+  EXPECT_EQ(dup.depth, 0) << "existing record's depth is reported";
+  EXPECT_EQ(set.size(), 1u);
+
+  auto edge = set.GetEdge(100);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->action, kFpInitialAction)
+      << "a later, deeper insert must not overwrite the discovery edge";
+  EXPECT_FALSE(set.GetEdge(101).has_value());
+}
+
+TEST(FpsetTest, MinMergeAdoptsSmallerSameDepthKey) {
+  FingerprintSet set;
+  set.Insert(/*fp=*/1, 0, kFpInitialAction, 0, 0, 0, nullptr);
+  set.Insert(/*fp=*/2, 0, kFpInitialAction, 0, 1, 0, nullptr);
+  // First discovery of fp 50 at depth 1 via pred 2, key 40.
+  set.Insert(50, /*pred_fp=*/2, /*action=*/4, /*depth=*/1, /*order_key=*/40,
+             0, nullptr);
+  // A same-depth rediscovery with a SMALLER key wins the predecessor slot…
+  set.Insert(50, /*pred_fp=*/1, /*action=*/2, /*depth=*/1, /*order_key=*/10,
+             0, nullptr);
+  auto edge = set.GetEdge(50);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->pred_fp, 1u);
+  EXPECT_EQ(edge->action, 2);
+  EXPECT_EQ(edge->order_key, 10u);
+  // …and a larger key does not.
+  set.Insert(50, /*pred_fp=*/2, /*action=*/9, /*depth=*/1, /*order_key=*/20,
+             0, nullptr);
+  edge = set.GetEdge(50);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->pred_fp, 1u);
+  EXPECT_EQ(edge->order_key, 10u);
+}
+
+TEST(FpsetTest, AuditCountsGenuineCollisions) {
+  FingerprintSet::Options options;
+  options.audit = true;
+  FingerprintSet set(options);
+  EXPECT_TRUE(set.keep_states());
+
+  State a = MakeState(1, 2);
+  State b = MakeState(3, 4);
+  set.Insert(100, 0, kFpInitialAction, 0, 0, 0, &a);
+  // Same fingerprint, same state: a plain duplicate, not a collision.
+  FpInsert dup = set.Insert(100, 0, kFpInitialAction, 0, 1, 0, &a);
+  EXPECT_FALSE(dup.collision);
+  EXPECT_EQ(set.collisions(), 0u);
+  // Same fingerprint, different state: a genuine 64-bit collision.
+  FpInsert clash = set.Insert(100, 0, kFpInitialAction, 0, 2, 0, &b);
+  EXPECT_FALSE(clash.inserted);
+  EXPECT_TRUE(clash.collision);
+  EXPECT_EQ(set.collisions(), 1u);
+
+  auto stored = set.FindState(100);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(*stored, a) << "the first-inserted state stays authoritative";
+}
+
+TEST(FpsetTest, PorSleepIntersectAndWake) {
+  FingerprintSet::Options options;
+  options.track_por = true;
+  FingerprintSet set(options);
+  const uint64_t all = 0b1111;
+
+  // Discovered with actions {1,3} slept (mask 0b1010).
+  set.Insert(7, 0, kFpInitialAction, 0, 0, /*sleep_mask=*/0b1010, nullptr);
+  FingerprintSet::ExpandGrant grant = set.AcquireExpand(7, all);
+  EXPECT_EQ(grant.sleep, 0b1010u);
+  EXPECT_EQ(grant.explored_before, 0u);
+  EXPECT_EQ(grant.to_expand, 0b0101u);
+
+  // Re-discovery with a smaller sleep set {3} frees action 1 -> wake.
+  FpInsert wake = set.Insert(7, 9, 2, 1, 5, /*sleep_mask=*/0b1000, nullptr);
+  EXPECT_FALSE(wake.inserted);
+  EXPECT_TRUE(wake.por_wake);
+  grant = set.AcquireExpand(7, all);
+  EXPECT_EQ(grant.sleep, 0b1000u);
+  EXPECT_EQ(grant.explored_before, 0b0101u);
+  EXPECT_EQ(grant.to_expand, 0b0010u) << "only the newly freed action";
+
+  // A further shrink that frees nothing new must NOT wake again…
+  FpInsert quiet = set.Insert(7, 9, 2, 1, 6, /*sleep_mask=*/0b1000, nullptr);
+  EXPECT_FALSE(quiet.por_wake);
+  // …and an already-queued state is not woken twice.
+  set.Insert(8, 0, kFpInitialAction, 0, 1, 0b0001, nullptr);
+  FpInsert requeue = set.Insert(8, 9, 1, 1, 7, /*sleep_mask=*/0, nullptr);
+  EXPECT_FALSE(requeue.por_wake)
+      << "still queued from the original insert; no duplicate enqueue";
+}
+
+TEST(FpsetTest, GraphIdRoundTrip) {
+  FingerprintSet set;
+  set.Insert(42, 0, kFpInitialAction, 0, 0, 0, nullptr);
+  EXPECT_EQ(set.GetGraphId(42), kFpNoGraphId);
+  set.SetGraphId(42, 17);
+  EXPECT_EQ(set.GetGraphId(42), 17u);
+}
+
+TEST(FpsetTest, ShardCountRoundsUpToPowerOfTwo) {
+  FingerprintSet::Options options;
+  options.num_shards = 5;
+  FingerprintSet set(options);
+  EXPECT_EQ(set.num_shards(), 8u);
+  // Single-shard degenerate case still works (shift-by-64 guard).
+  options.num_shards = 1;
+  FingerprintSet one(options);
+  set.Insert(0xFFFFFFFFFFFFFFFFull, 0, kFpInitialAction, 0, 0, 0, nullptr);
+  one.Insert(0xFFFFFFFFFFFFFFFFull, 0, kFpInitialAction, 0, 0, 0, nullptr);
+  EXPECT_EQ(one.num_shards(), 1u);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+// Concurrent insert hammer: T threads race to insert an overlapping key
+// range; exactly one inserter may win each key, the final size must be
+// exact, and every record must carry one of the racing predecessors.
+// Run under TSan in CI to certify the shard locking.
+TEST(FpsetTest, ConcurrentInsertHammer) {
+  FingerprintSet::Options options;
+  options.num_shards = 8;  // Few shards -> plenty of lock contention.
+  FingerprintSet set(options);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 20'000;
+  std::atomic<uint64_t> wins{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&set, &wins, t] {
+      uint64_t local_wins = 0;
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        // Spread keys over all shards; every thread visits every key.
+        uint64_t fp = common::Mix64(k + 1);
+        FpInsert r = set.Insert(fp, /*pred_fp=*/static_cast<uint64_t>(t),
+                                /*action=*/static_cast<uint16_t>(t),
+                                /*depth=*/1, /*order_key=*/k, 0, nullptr);
+        if (r.inserted) ++local_wins;
+        EXPECT_EQ(r.depth, 1);
+      }
+      wins.fetch_add(local_wins, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(set.size(), kKeys);
+  EXPECT_EQ(wins.load(), kKeys) << "exactly one inserter wins each key";
+  EXPECT_EQ(set.collisions(), 0u);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    auto edge = set.GetEdge(common::Mix64(k + 1));
+    ASSERT_TRUE(edge.has_value());
+    EXPECT_LT(edge->pred_fp, static_cast<uint64_t>(kThreads));
+    EXPECT_EQ(edge->action, static_cast<uint16_t>(edge->pred_fp))
+        << "pred_fp and action must come from the same racing insert";
+  }
+  EXPECT_GT(set.load_factor(), 0.0);
+}
+
+}  // namespace
+}  // namespace xmodel::tlax

@@ -12,9 +12,16 @@ Checks every file argument and exits nonzero on the first problem:
 - Chrome trace files (a `traceEvents` member, as written by
   SpanTracer::WriteChromeJson): every event needs name/ph/ts/dur/pid/tid,
   with ph == "X" and non-negative ts/dur.
+- Checker-family sanity (any snapshot containing checker.* metrics):
+  `checker.fingerprint.load` must be a finite non-negative gauge (the
+  sharded fingerprint table's aggregate records/buckets ratio) and
+  `checker.workers.used` at least 1; `checker.worker<N>.expansions`
+  per-worker counters must carry a well-formed worker index.
 
 Usage: tools/validate_metrics.py FILE [FILE...]
 """
+
+import math
 
 import json
 import sys
@@ -63,6 +70,35 @@ def validate_metric(path, name, entry):
         fail(path, f"metric {name!r} has unknown kind {kind!r}")
 
 
+def validate_checker_family(path, metrics):
+    """Cross-metric sanity for the parallel checker's checker.* family."""
+    load = metrics.get("checker.fingerprint.load")
+    if load is not None:
+        require(load.get("kind") == "gauge", path,
+                "checker.fingerprint.load must be a gauge")
+        value = load.get("value")
+        require(isinstance(value, (int, float)) and math.isfinite(value)
+                and value >= 0, path,
+                f"checker.fingerprint.load must be finite and >= 0, "
+                f"got {value!r}")
+    workers = metrics.get("checker.workers.used")
+    if workers is not None:
+        require(workers.get("kind") == "gauge", path,
+                "checker.workers.used must be a gauge")
+        require(workers.get("value", 0) >= 1, path,
+                f"checker.workers.used must be >= 1, "
+                f"got {workers.get('value')!r}")
+    for name, entry in metrics.items():
+        if name.startswith("checker.worker") and \
+                name.endswith(".expansions"):
+            index = name[len("checker.worker"):-len(".expansions")]
+            require(index.isdigit(), path,
+                    f"per-worker counter {name!r} has a malformed "
+                    f"worker index {index!r}")
+            require(entry.get("kind") == "counter", path,
+                    f"{name!r} must be a counter")
+
+
 def validate_metrics_doc(path, doc):
     require(doc.get("schema") == "xmodel.metrics.v1", path,
             f"unexpected schema {doc.get('schema')!r}")
@@ -70,6 +106,7 @@ def validate_metrics_doc(path, doc):
     require(isinstance(metrics, dict), path, "'metrics' is not an object")
     for name, entry in metrics.items():
         validate_metric(path, name, entry)
+    validate_checker_family(path, metrics)
     return len(metrics)
 
 
