@@ -1,0 +1,142 @@
+// Microbenchmark for the interned value layer (DESIGN.md "Value
+// representation & interning"): construction rates for inline scalars and
+// hash-consed composites, copy and comparison throughput, the intern-table
+// hit ratio under checker-like churn, and a State::With successor loop
+// exercising the O(1) incremental fingerprint path.
+//
+// Reports BENCH_value_micro.json via the shared harness; --quick shrinks
+// the iteration counts for the CI smoke job.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "tlax/state.h"
+#include "tlax/value.h"
+
+using xmodel::common::MonotonicClock;
+using xmodel::tlax::State;
+using xmodel::tlax::Value;
+
+namespace {
+
+// Rate of `iters` repetitions measured through the real clock; the
+// returned ops/sec lands in the report under `key`.
+template <typename Body>
+double MeasureRate(xmodel::bench::Harness* bench, const char* key,
+                   int64_t iters, Body body) {
+  MonotonicClock* clock = MonotonicClock::Real();
+  const int64_t start = clock->NowNanos();
+  for (int64_t i = 0; i < iters; ++i) body(i);
+  const double seconds =
+      static_cast<double>(clock->NowNanos() - start) * 1e-9;
+  const double rate =
+      seconds > 0 ? static_cast<double>(iters) / seconds : 0;
+  std::printf("%-32s %12lld iters  %10.0f ops/sec\n", key,
+              static_cast<long long>(iters), rate);
+  bench->AddResult(key, rate);
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xmodel::bench::Harness bench("value_micro", argc, argv);
+  const int64_t iters = bench.quick() ? 200'000 : 2'000'000;
+  uint64_t sink = 0;  // Defeats dead-code elimination.
+
+  std::printf("value layer microbenchmarks (%s mode)\n\n",
+              bench.quick() ? "quick" : "full");
+
+  MeasureRate(&bench, "int_construct_per_sec", iters, [&](int64_t i) {
+    sink ^= Value::Int(i & 1023).hash();
+  });
+  MeasureRate(&bench, "short_str_construct_per_sec", iters, [&](int64_t i) {
+    sink ^= Value::Str((i & 1) != 0 ? "Leader" : "Follower").hash();
+  });
+  MeasureRate(&bench, "seq_intern_hit_per_sec", iters, [&](int64_t i) {
+    // Cycles a small pool of sequences, the checker's steady state: every
+    // construction after the first round is an intern hit.
+    sink ^= Value::Seq({Value::Int(i & 7), Value::Str("Leader"),
+                        Value::Int((i >> 3) & 7)})
+                .hash();
+  });
+
+  Value composite = Value::Record(
+      {{"role", Value::Seq({Value::Str("Leader"), Value::Str("Follower"),
+                            Value::Str("Follower")})},
+       {"term", Value::Seq({Value::Int(2), Value::Int(2), Value::Int(1)})}});
+  MeasureRate(&bench, "value_copy_per_sec", iters, [&](int64_t i) {
+    Value copy = composite;  // A 16-byte store, no refcount traffic.
+    sink ^= copy.hash() + static_cast<uint64_t>(i);
+  });
+
+  Value equal_twin = Value::Record(
+      {{"role", Value::Seq({Value::Str("Leader"), Value::Str("Follower"),
+                            Value::Str("Follower")})},
+       {"term", Value::Seq({Value::Int(2), Value::Int(2), Value::Int(1)})}});
+  Value different = equal_twin.WithField(
+      "term", Value::Seq({Value::Int(1), Value::Int(1), Value::Int(1)}));
+  MeasureRate(&bench, "compare_equal_per_sec", iters, [&](int64_t) {
+    sink ^= static_cast<uint64_t>(composite == equal_twin);
+  });
+  MeasureRate(&bench, "compare_unequal_per_sec", iters, [&](int64_t) {
+    sink ^= static_cast<uint64_t>(composite == different);
+  });
+
+  // Intern hit ratio over a churn loop shaped like checker expansion:
+  // functional updates over a bounded value domain.
+  {
+    const Value::InternStats before = Value::GetInternStats();
+    Value oplog = Value::EmptySeq();
+    for (int64_t i = 0; i < iters / 4; ++i) {
+      oplog = oplog.size() >= 3 ? Value::EmptySeq()
+                                : oplog.Append(Value::Int(i & 3));
+      sink ^= oplog.hash();
+    }
+    const Value::InternStats after = Value::GetInternStats();
+    const uint64_t hits = after.hits - before.hits;
+    const uint64_t misses = after.misses - before.misses;
+    const double ratio =
+        hits + misses > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0;
+    std::printf("%-32s %.4f (%llu hits, %llu misses)\n", "intern_hit_ratio",
+                ratio, static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+    bench.AddResult("intern_hit_ratio", ratio);
+    bench.AddResult("intern_live_reps",
+                    static_cast<double>(after.live));
+    bench.AddResult("intern_table_bytes",
+                    static_cast<double>(after.bytes));
+  }
+
+  // State::With successor churn: one write per iteration against a
+  // RaftMongo-shaped 5-variable state, the checker's inner loop.
+  {
+    std::vector<Value> vars = {
+        Value::Seq({Value::Str("Leader"), Value::Str("Follower"),
+                    Value::Str("Follower")}),
+        Value::Seq({Value::Int(1), Value::Int(1), Value::Int(1)}),
+        Value::Seq({Value::Int(0), Value::Int(0), Value::Int(0)}),
+        Value::Seq({Value::EmptySeq(), Value::EmptySeq(),
+                    Value::EmptySeq()}),
+        Value::Seq({Value::Int(0), Value::Int(0), Value::Int(0)}),
+    };
+    State state(vars);
+    std::vector<Value> terms;
+    for (int t = 0; t < 8; ++t) {
+      terms.push_back(Value::Seq(
+          {Value::Int(t & 3), Value::Int((t >> 1) & 3), Value::Int(1)}));
+    }
+    MeasureRate(&bench, "state_with_per_sec", iters, [&](int64_t i) {
+      State next = state.With(1, terms[static_cast<size_t>(i & 7)]);
+      sink ^= next.fingerprint();
+    });
+  }
+
+  if (sink == 0xdeadbeef) std::printf("(sink)\n");  // Keep `sink` live.
+  return bench.Finish(0);
+}

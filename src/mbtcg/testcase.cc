@@ -19,7 +19,7 @@ namespace {
 Result<Operation> OpFromValue(const Value& v) {
   const Value* type = v.Field("type");
   if (type == nullptr) return Status::Corruption("op record without type");
-  const std::string& t = type->string_value();
+  const std::string_view t = type->string_value();
   int64_t ndx = v.FieldOrDie("ndx").int_value();
   int64_t ndx2 = v.FieldOrDie("ndx2").int_value();
   int64_t val = v.FieldOrDie("val").int_value();

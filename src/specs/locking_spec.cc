@@ -1,6 +1,7 @@
 #include "specs/locking_spec.h"
 
 #include <array>
+#include <string_view>
 
 namespace xmodel::specs {
 
@@ -14,7 +15,7 @@ namespace {
 
 constexpr const char* kModes[] = {"IS", "IX", "S", "X"};
 
-int ModeIndex(const std::string& mode) {
+int ModeIndex(std::string_view mode) {
   for (int i = 0; i < 4; ++i) {
     if (mode == kModes[i]) return i;
   }
@@ -22,7 +23,7 @@ int ModeIndex(const std::string& mode) {
 }
 
 // The standard granularity-locking compatibility matrix.
-bool Compatible(const std::string& held, const std::string& want) {
+bool Compatible(std::string_view held, std::string_view want) {
   static constexpr bool kMatrix[4][4] = {
       {true, true, true, false},
       {true, true, false, false},
@@ -33,25 +34,27 @@ bool Compatible(const std::string& held, const std::string& want) {
 }
 
 // Intent mode a child lock requires at each ancestor.
-std::string RequiredParentIntent(const std::string& mode) {
+std::string_view RequiredParentIntent(std::string_view mode) {
   return (mode == "IS" || mode == "S") ? "IS" : "IX";
 }
 
 // Whether holding `held` covers a requirement of `needed` (IS or IX).
-bool CoversIntent(const std::string& held, const std::string& needed) {
+bool CoversIntent(std::string_view held, std::string_view needed) {
   if (held == needed) return true;
   if (needed == "IS") return held == "IX" || held == "S" || held == "X";
   if (needed == "IX") return held == "X";
   return false;
 }
 
-Value HoldingRecord(int ctx, const std::string& mode) {
+Value HoldingRecord(int ctx, std::string_view mode) {
   return Value::Record(
       {{"ctx", Value::Int(ctx)}, {"mode", Value::Str(mode)}});
 }
 
 // The mode `ctx` holds on resource set value `held`, or "" when none.
-std::string ModeHeldBy(const Value& held, int ctx) {
+// The view aliases an interned record field and stays valid for the
+// process lifetime.
+std::string_view ModeHeldBy(const Value& held, int ctx) {
   for (size_t i = 0; i < held.size(); ++i) {
     if (held.at(i).FieldOrDie("ctx").int_value() == ctx) {
       return held.at(i).FieldOrDie("mode").string_value();
@@ -102,7 +105,7 @@ void LockingSpec::BuildActions() {
               // Hierarchy: need a covering intent lock on every ancestor.
               bool hierarchy_ok = true;
               for (int parent = 1; parent < res; ++parent) {
-                std::string parent_mode =
+                std::string_view parent_mode =
                     ModeHeldBy(held.Index1(parent), ctx);
                 if (parent_mode.empty() ||
                     !CoversIntent(parent_mode, RequiredParentIntent(mode))) {
@@ -138,7 +141,7 @@ void LockingSpec::BuildActions() {
         for (int ctx = 1; ctx <= num_contexts; ++ctx) {
           for (int res = 1; res <= kNumResources; ++res) {
             const Value& holders = held.Index1(res);
-            std::string my_mode = ModeHeldBy(holders, ctx);
+            std::string_view my_mode = ModeHeldBy(holders, ctx);
             if (my_mode.empty()) continue;
             // Discipline: no held descendant may remain.
             bool child_held = false;
@@ -194,10 +197,11 @@ void LockingSpec::BuildInvariants() {
           for (size_t i = 0; i < holders.size(); ++i) {
             int ctx = static_cast<int>(
                 holders.at(i).FieldOrDie("ctx").int_value());
-            std::string needed = RequiredParentIntent(
+            std::string_view needed = RequiredParentIntent(
                 holders.at(i).FieldOrDie("mode").string_value());
             for (int parent = 1; parent < res; ++parent) {
-              std::string parent_mode = ModeHeldBy(held.Index1(parent), ctx);
+              std::string_view parent_mode =
+                  ModeHeldBy(held.Index1(parent), ctx);
               if (parent_mode.empty() ||
                   !CoversIntent(parent_mode, needed)) {
                 return false;

@@ -170,6 +170,7 @@ class Engine {
 
   CheckResult result_;
   int64_t start_ns_ = 0;
+  Value::InternStats intern_at_start_;
 
   // Level-scoped shared state.
   std::atomic<size_t> next_index_{0};  // Parent-entry work cursor.
@@ -478,12 +479,31 @@ CheckResult Engine::Finish(common::Status status) {
                  ? static_cast<double>(result_.generated_states) /
                        result_.seconds
                  : 0);
+    // Value-interning telemetry: table totals plus how many NEW composite
+    // reps this run allocated per distinct state — the per-state allocator
+    // pressure the interned value layer is meant to shrink.
+    const Value::InternStats intern = Value::GetInternStats();
+    registry.GetGauge("value.intern.hits")
+        .Set(static_cast<double>(intern.hits));
+    registry.GetGauge("value.intern.misses")
+        .Set(static_cast<double>(intern.misses));
+    registry.GetGauge("value.intern.live")
+        .Set(static_cast<double>(intern.live));
+    registry.GetGauge("value.intern.bytes")
+        .Set(static_cast<double>(intern.bytes));
+    registry.GetGauge("checker.alloc.values_per_state")
+        .Set(result_.distinct_states > 0
+                 ? static_cast<double>(intern.misses -
+                                       intern_at_start_.misses) /
+                       static_cast<double>(result_.distinct_states)
+                 : 0);
   }
   return result_;
 }
 
 CheckResult Engine::Run() {
   start_ns_ = clock_->NowNanos();
+  intern_at_start_ = Value::GetInternStats();
   result_.workers_used = workers_;
   report_progress_ = options_.progress_reporter != nullptr;
   interval_ns_ = options_.progress_interval_ms * 1'000'000;

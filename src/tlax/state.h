@@ -1,8 +1,11 @@
 #ifndef XMODEL_TLAX_STATE_H_
 #define XMODEL_TLAX_STATE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,51 +58,97 @@ class ScopedStateAccessLog {
 
 /// A specification state: one Value per state variable, in the order the
 /// owning Spec declares its variables. Carries a precomputed fingerprint.
+///
+/// Representation: up to kInlineVars variables live in a small buffer
+/// inside the State itself (Values are 16-byte trivially copyable words,
+/// so a whole small-spec state copies as a flat memcpy with zero
+/// allocation); wider states fall back to a shared immutable array, so
+/// copying a State is one refcount bump regardless of width.
+///
+/// The fingerprint is position-keyed and incremental: it is the XOR of a
+/// per-slot mix of each variable's value hash, so `With` updates it in
+/// O(1) — XOR out the old slot term, XOR in the new one — instead of
+/// re-hashing every variable per successor.
 class State {
  public:
+  /// Widest state stored entirely inline. Every spec in src/specs fits.
+  static constexpr size_t kInlineVars = 8;
+
   State() = default;
-  explicit State(std::vector<Value> vars) : vars_(std::move(vars)) {
-    RecomputeFingerprint();
+  explicit State(std::vector<Value> vars) : num_vars_(vars.size()) {
+    Value* dst = inline_vars_;
+    if (num_vars_ > kInlineVars) {
+      heap_vars_ = std::shared_ptr<Value[]>(new Value[num_vars_]);
+      dst = heap_vars_.get();
+    }
+    uint64_t fp = kFingerprintSeed;
+    for (size_t i = 0; i < num_vars_; ++i) {
+      dst[i] = std::move(vars[i]);
+      fp ^= SlotHash(i, dst[i].hash());
+    }
+    fingerprint_ = fp;
   }
 
-  size_t num_vars() const { return vars_.size(); }
+  size_t num_vars() const { return num_vars_; }
   const Value& var(size_t i) const {
-    assert(i < vars_.size());
+    assert(i < num_vars_);
     if (internal::g_state_access_log != nullptr) {
       internal::g_state_access_log->RecordRead(i);
     }
-    return vars_[i];
+    return data()[i];
   }
-  const std::vector<Value>& vars() const { return vars_; }
+  std::span<const Value> vars() const { return {data(), num_vars_}; }
 
-  /// Returns a copy of this state with variable `i` replaced.
+  /// Returns a copy of this state with variable `i` replaced. O(1)
+  /// fingerprint update; the variable payload is an inline-buffer memcpy
+  /// (small states) or a fresh shared array (wide states — the source's
+  /// array may have other owners, so it is never mutated in place).
   State With(size_t i, Value v) const {
-    assert(i < vars_.size());
+    assert(i < num_vars_);
     if (internal::g_state_access_log != nullptr) {
       internal::g_state_access_log->RecordWrite(i);
     }
-    std::vector<Value> vars = vars_;
-    vars[i] = std::move(v);
-    return State(std::move(vars));
+    State out(*this);
+    const uint64_t old_term = SlotHash(i, data()[i].hash());
+    const uint64_t new_term = SlotHash(i, v.hash());
+    if (num_vars_ > kInlineVars) {
+      auto fresh = std::shared_ptr<Value[]>(new Value[num_vars_]);
+      std::copy(data(), data() + num_vars_, fresh.get());
+      fresh[i] = std::move(v);
+      out.heap_vars_ = std::move(fresh);
+    } else {
+      out.inline_vars_[i] = std::move(v);
+    }
+    out.fingerprint_ = fingerprint_ ^ old_term ^ new_term;
+    return out;
   }
 
   uint64_t fingerprint() const { return fingerprint_; }
 
   bool operator==(const State& other) const {
     if (fingerprint_ != other.fingerprint_) return false;
-    return vars_ == other.vars_;
+    if (num_vars_ != other.num_vars_) return false;
+    return std::equal(data(), data() + num_vars_, other.data());
   }
   bool operator!=(const State& other) const { return !(*this == other); }
 
  private:
-  void RecomputeFingerprint() {
-    uint64_t h = 0x12345678abcdef01ULL;
-    for (const Value& v : vars_) h = common::HashCombine(h, v.hash());
-    fingerprint_ = h;
+  static constexpr uint64_t kFingerprintSeed = 0x12345678abcdef01ULL;
+
+  /// The fingerprint contribution of value hash `h` sitting in slot `i`.
+  /// Keyed by position so permuted variable vectors do not collide.
+  static uint64_t SlotHash(size_t i, uint64_t h) {
+    return common::Mix64(h ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
   }
 
-  std::vector<Value> vars_;
+  const Value* data() const {
+    return num_vars_ > kInlineVars ? heap_vars_.get() : inline_vars_;
+  }
+
+  size_t num_vars_ = 0;
   uint64_t fingerprint_ = 0;
+  Value inline_vars_[kInlineVars];
+  std::shared_ptr<Value[]> heap_vars_;
 };
 
 struct StateHash {

@@ -11,7 +11,7 @@ using common::Result;
 using common::Status;
 using common::StrCat;
 
-bool TraceState::Matches(const std::vector<Value>& full_state) const {
+bool TraceState::Matches(std::span<const Value> full_state) const {
   if (vars.size() != full_state.size()) return false;
   for (size_t i = 0; i < vars.size(); ++i) {
     if (vars[i].has_value() && *vars[i] != full_state[i]) return false;

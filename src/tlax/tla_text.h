@@ -2,6 +2,7 @@
 #define XMODEL_TLAX_TLA_TEXT_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,7 +20,7 @@ namespace xmodel::tlax {
 struct TraceState {
   std::vector<std::optional<Value>> vars;
 
-  bool Matches(const std::vector<Value>& full_state) const;
+  bool Matches(std::span<const Value> full_state) const;
 };
 
 /// Parses one value in TLA+ concrete syntax: integers, "strings", TRUE,

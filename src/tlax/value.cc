@@ -1,10 +1,12 @@
 #include "tlax/value.h"
 
 #include <algorithm>
-#include <cassert>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
 
-#include "common/hash.h"
 #include "common/strings.h"
 
 namespace xmodel::tlax {
@@ -12,87 +14,256 @@ namespace xmodel::tlax {
 using common::HashCombine;
 using common::HashString;
 using common::Mix64;
+using internal::ValueRep;
 
-uint64_t Value::ComputeHash(const Rep& rep) {
-  uint64_t h = Mix64(static_cast<uint64_t>(rep.kind) + 0x51ed2701);
-  switch (rep.kind) {
-    case Kind::kNil:
-      break;
-    case Kind::kBool:
-      h = HashCombine(h, rep.b ? 2 : 1);
-      break;
-    case Kind::kInt:
-      h = HashCombine(h, Mix64(static_cast<uint64_t>(rep.i)));
-      break;
-    case Kind::kString:
-      h = HashCombine(h, HashString(rep.s));
-      break;
-    case Kind::kSeq:
-    case Kind::kSet:
+namespace {
+
+// TEST-ONLY weak-hash switch (see ScopedWeakCompositeHashForTesting).
+std::atomic<int> g_weak_composite_hash{0};
+
+uint64_t KindSeed(Value::Kind kind) {
+  return Mix64(static_cast<uint64_t>(kind) + internal::kValueKindHashSalt);
+}
+
+// Structural hash of a composite rep. Children are already hashed (inline
+// or memoized), so this is O(#children), not O(subtree). Must agree with
+// Value::InlineHash for kString so a string's hash never depends on
+// whether it was short enough to inline.
+uint64_t ComputeHash(const ValueRep& rep) {
+  const auto kind = static_cast<Value::Kind>(rep.kind);
+  uint64_t h = KindSeed(kind);
+  switch (kind) {
+    case Value::Kind::kString:
+      return HashCombine(h, HashString(rep.s));
+    case Value::Kind::kSeq:
+    case Value::Kind::kSet:
+      if (g_weak_composite_hash.load(std::memory_order_relaxed) != 0) {
+        return h;  // Every seq (set) collides: exercises the fallback.
+      }
       for (const Value& v : rep.elems) h = HashCombine(h, v.hash());
-      h = HashCombine(h, rep.elems.size());
-      break;
-    case Kind::kRecord:
+      return HashCombine(h, rep.elems.size());
+    case Value::Kind::kRecord:
+      if (g_weak_composite_hash.load(std::memory_order_relaxed) != 0) {
+        return h;
+      }
       for (const auto& [name, v] : rep.fields) {
         h = HashCombine(h, HashString(name));
         h = HashCombine(h, v.hash());
       }
-      break;
+      return h;
+    default:
+      return h;  // Scalars never reach the intern table.
   }
-  return h;
 }
 
-Value::Value() {
-  static const std::shared_ptr<const Rep> nil_rep = [] {
-    auto rep = std::make_shared<Rep>();
-    rep->kind = Kind::kNil;
-    rep->hash = ComputeHash(*rep);
-    return rep;
-  }();
-  rep_ = nil_rep;
+// Structural equality of two reps of the same hash. Children compare
+// through Value::operator==, which is a pointer/payload compare for
+// already-canonical children — so this walk is one level deep in the
+// common case.
+bool RepEquals(const ValueRep& a, const ValueRep& b) {
+  if (a.kind != b.kind) return false;
+  switch (static_cast<Value::Kind>(a.kind)) {
+    case Value::Kind::kString:
+      return a.s == b.s;
+    case Value::Kind::kRecord: {
+      if (a.fields.size() != b.fields.size()) return false;
+      for (size_t i = 0; i < a.fields.size(); ++i) {
+        if (a.fields[i].first != b.fields[i].first ||
+            a.fields[i].second != b.fields[i].second) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return a.elems == b.elems;
+  }
 }
 
-Value Value::Bool(bool b) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kBool;
-  rep->b = b;
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+// Accounted footprint of an interned rep: the struct plus every heap
+// payload it owns, capacity-based (what the allocator actually holds, not
+// just what is in use). Approximate by design — feeds the
+// value.intern.bytes gauge, not an allocator.
+uint64_t RepBytes(const ValueRep& rep) {
+  uint64_t bytes = sizeof(ValueRep);
+  if (rep.s.capacity() > sizeof(std::string)) bytes += rep.s.capacity() + 1;
+  bytes += rep.elems.capacity() * sizeof(Value);
+  bytes += rep.fields.capacity() * sizeof(rep.fields[0]);
+  for (const auto& [name, v] : rep.fields) {
+    (void)v;
+    if (name.capacity() > sizeof(std::string)) bytes += name.capacity() + 1;
+  }
+  return bytes;
 }
 
-Value Value::Int(int64_t i) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kInt;
-  rep->i = i;
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+// The process-wide intern table: shards selected by the rep hash's top
+// bits, each a mutex plus a hash -> rep multimap (a multimap, not a map,
+// so two structurally distinct reps colliding on the full 64-bit hash can
+// coexist — the collision policy is "both live, equality falls back to a
+// structural walk"). Reps are never freed: a model-checking run's distinct
+// value universe is bounded by the explored state space, and permanent
+// reps are what make Value trivially copyable with no refcount traffic.
+struct InternShard {
+  std::mutex mu;
+  std::unordered_multimap<uint64_t, const ValueRep*> by_hash;
+};
+
+constexpr size_t kInternShards = 64;  // Power of two.
+
+struct InternTable {
+  InternShard shards[kInternShards];
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> live{0};
+  std::atomic<uint64_t> bytes{0};
+};
+
+InternTable& Table() {
+  static InternTable* table = new InternTable();  // Never destroyed.
+  return *table;
+}
+
+// Per-thread direct-mapped front cache over the shared table. Checker
+// workers rebuild the same few composites (role vectors, oplog prefixes)
+// over and over; a hit here returns the canonical rep with no lock and no
+// multimap probe. Entries are canonical reps, which are permanent, so a
+// stale slot is never a dangling pointer — at worst a miss.
+constexpr size_t kThreadCacheSlots = 4096;  // Power of two.
+thread_local const ValueRep* t_intern_cache[kThreadCacheSlots];
+
+}  // namespace
+
+namespace internal {
+
+ScopedWeakCompositeHashForTesting::ScopedWeakCompositeHashForTesting() {
+  g_weak_composite_hash.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedWeakCompositeHashForTesting::~ScopedWeakCompositeHashForTesting() {
+  g_weak_composite_hash.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+namespace {
+
+// Shared lookup-or-insert. `materialize` builds the heap rep only on a
+// miss, and runs under the shard lock so a racing thread can never insert
+// a structurally equal duplicate (pointer equality of interned reps is
+// the whole point).
+template <typename Materialize>
+const ValueRep* InternImpl(const ValueRep& probe, Materialize materialize) {
+  InternTable& table = Table();
+  const size_t slot = probe.hash & (kThreadCacheSlots - 1);
+  const ValueRep* cached = t_intern_cache[slot];
+  if (cached != nullptr && cached->hash == probe.hash &&
+      RepEquals(*cached, probe)) {
+    table.hits.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
+  InternShard& shard =
+      table.shards[(probe.hash >> 58) & (kInternShards - 1)];
+  const ValueRep* canonical = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [begin, end] = shard.by_hash.equal_range(probe.hash);
+    for (auto it = begin; it != end; ++it) {
+      if (RepEquals(*it->second, probe)) {
+        canonical = it->second;
+        break;
+      }
+    }
+    if (canonical == nullptr) {
+      const ValueRep* fresh = materialize();
+      shard.by_hash.emplace(fresh->hash, fresh);
+      table.misses.fetch_add(1, std::memory_order_relaxed);
+      table.live.fetch_add(1, std::memory_order_relaxed);
+      table.bytes.fetch_add(RepBytes(*fresh), std::memory_order_relaxed);
+      t_intern_cache[slot] = fresh;
+      return fresh;
+    }
+  }
+  table.hits.fetch_add(1, std::memory_order_relaxed);
+  t_intern_cache[slot] = canonical;
+  return canonical;
+}
+
+// Reusable candidate rep for functional updates: its vectors keep their
+// capacity across calls, so staging a successor composite allocates
+// nothing when the result is already interned. Not reentrant — each
+// staging function finishes its InternCopy before returning, and
+// arguments are fully built Values, so no call ever nests inside another's
+// staging window.
+ValueRep& ProbeRep() {
+  static thread_local ValueRep* probe = new ValueRep();  // Never destroyed.
+  return *probe;
+}
+
+}  // namespace
+
+const ValueRep* Value::Intern(ValueRep&& rep) {
+  return InternImpl(rep, [&rep] { return new ValueRep(std::move(rep)); });
+}
+
+const ValueRep* Value::InternCopy(const ValueRep& probe) {
+  return InternImpl(probe, [&probe] { return new ValueRep(probe); });
+}
+
+Value::InternStats Value::GetInternStats() {
+  const InternTable& table = Table();
+  InternStats stats;
+  stats.hits = table.hits.load(std::memory_order_relaxed);
+  stats.misses = table.misses.load(std::memory_order_relaxed);
+  stats.live = table.live.load(std::memory_order_relaxed);
+  stats.bytes = table.bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Value Value::Str(std::string_view s) {
+  if (s.size() <= kSmallStrMax) {
+    Value v;
+    v.store_.small.tag =
+        static_cast<uint8_t>(kTagSmallStr + static_cast<uint8_t>(s.size()));
+    std::memcpy(v.store_.small.data, s.data(), s.size());
+    return v;
+  }
+  ValueRep rep;
+  rep.kind = static_cast<uint8_t>(Kind::kString);
+  rep.s.assign(s);
+  rep.hash = ComputeHash(rep);
+  return Value(Intern(std::move(rep)));
 }
 
 Value Value::Str(std::string s) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kString;
-  rep->s = std::move(s);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  if (s.size() <= kSmallStrMax) return Str(std::string_view(s));
+  ValueRep rep;
+  rep.kind = static_cast<uint8_t>(Kind::kString);
+  rep.s = std::move(s);
+  rep.hash = ComputeHash(rep);
+  return Value(Intern(std::move(rep)));
 }
 
 Value Value::Seq(std::vector<Value> elements) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kSeq;
-  rep->elems = std::move(elements);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  ValueRep rep;
+  rep.kind = static_cast<uint8_t>(Kind::kSeq);
+  rep.elems = std::move(elements);
+  rep.hash = ComputeHash(rep);
+  return Value(Intern(std::move(rep)));
 }
 
 Value Value::SetOf(std::vector<Value> elements) {
   std::sort(elements.begin(), elements.end());
   elements.erase(std::unique(elements.begin(), elements.end()),
                  elements.end());
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kSet;
-  rep->elems = std::move(elements);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  return SetFromSorted(std::move(elements));
+}
+
+Value Value::SetFromSorted(std::vector<Value> elements) {
+  ValueRep rep;
+  rep.kind = static_cast<uint8_t>(Kind::kSet);
+  rep.elems = std::move(elements);
+  rep.hash = ComputeHash(rep);
+  return Value(Intern(std::move(rep)));
 }
 
 Value Value::Record(Fields fields) {
@@ -101,54 +272,23 @@ Value Value::Record(Fields fields) {
   for (size_t i = 1; i < fields.size(); ++i) {
     assert(fields[i - 1].first != fields[i].first &&
            "duplicate record field");
+    (void)i;
   }
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kRecord;
-  rep->fields = std::move(fields);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  return RecordFromSorted(std::move(fields));
 }
 
-bool Value::bool_value() const {
-  assert(is_bool());
-  return rep_->b;
-}
-
-int64_t Value::int_value() const {
-  assert(is_int());
-  return rep_->i;
-}
-
-const std::string& Value::string_value() const {
-  assert(is_string());
-  return rep_->s;
-}
-
-const std::vector<Value>& Value::elements() const {
-  assert(is_seq() || is_set());
-  return rep_->elems;
-}
-
-const Value::Fields& Value::fields() const {
-  assert(is_record());
-  return rep_->fields;
-}
-
-size_t Value::size() const {
-  if (is_record()) return rep_->fields.size();
-  assert(is_seq() || is_set());
-  return rep_->elems.size();
-}
-
-const Value& Value::at(size_t i) const {
-  assert((is_seq() || is_set()) && i < rep_->elems.size());
-  return rep_->elems[i];
+Value Value::RecordFromSorted(Fields fields) {
+  ValueRep rep;
+  rep.kind = static_cast<uint8_t>(Kind::kRecord);
+  rep.fields = std::move(fields);
+  rep.hash = ComputeHash(rep);
+  return Value(Intern(std::move(rep)));
 }
 
 const Value* Value::Field(std::string_view name) const {
   if (!is_record()) return nullptr;
   // Fields are sorted; binary search.
-  const auto& fields = rep_->fields;
+  const Fields& fields = store_.ptr.rep->fields;
   auto it = std::lower_bound(
       fields.begin(), fields.end(), name,
       [](const auto& field, std::string_view n) { return field.first < n; });
@@ -159,99 +299,153 @@ const Value* Value::Field(std::string_view name) const {
 const Value& Value::FieldOrDie(std::string_view name) const {
   const Value* v = Field(name);
   if (v == nullptr) {
+    std::fprintf(stderr, "FieldOrDie: no field %.*s\n",
+                 static_cast<int>(name.size()), name.data());
     std::abort();
   }
   return *v;
 }
 
+namespace {
+
+// Resets the thread-local probe rep to an empty composite of `kind`.
+// Clearing the unused payloads keeps the canonical rep clean when a miss
+// copies the probe verbatim.
+ValueRep& StageProbe(Value::Kind kind) {
+  ValueRep& probe = ProbeRep();
+  probe.kind = static_cast<uint8_t>(kind);
+  probe.s.clear();
+  probe.elems.clear();
+  probe.fields.clear();
+  return probe;
+}
+
+}  // namespace
+
 Value Value::WithField(std::string_view name, Value v) const {
   assert(is_record());
-  Fields fields = rep_->fields;
-  for (auto& [n, existing] : fields) {
-    if (n == name) {
-      existing = std::move(v);
-      return Record(std::move(fields));
-    }
+  ValueRep& probe = StageProbe(Kind::kRecord);
+  const Fields& fields = store_.ptr.rep->fields;
+  probe.fields.assign(fields.begin(), fields.end());
+  auto it = std::lower_bound(
+      probe.fields.begin(), probe.fields.end(), name,
+      [](const auto& field, std::string_view n) { return field.first < n; });
+  if (it == probe.fields.end() || it->first != name) {
+    assert(false && "WithField: no such field");
+    return *this;
   }
-  assert(false && "WithField: no such field");
-  return *this;
+  it->second = std::move(v);
+  probe.hash = ComputeHash(probe);
+  return Value(InternCopy(probe));
 }
 
 Value Value::Append(Value v) const {
   assert(is_seq());
-  std::vector<Value> elems = rep_->elems;
-  elems.push_back(std::move(v));
-  return Seq(std::move(elems));
+  const std::vector<Value>& elems = store_.ptr.rep->elems;
+  ValueRep& probe = StageProbe(Kind::kSeq);
+  probe.elems.reserve(elems.size() + 1);
+  probe.elems.assign(elems.begin(), elems.end());
+  probe.elems.push_back(std::move(v));
+  probe.hash = ComputeHash(probe);
+  return Value(InternCopy(probe));
 }
 
 Value Value::Concat(const Value& other) const {
   assert(is_seq() && other.is_seq());
-  std::vector<Value> elems = rep_->elems;
-  elems.insert(elems.end(), other.rep_->elems.begin(),
-               other.rep_->elems.end());
-  return Seq(std::move(elems));
+  const std::vector<Value>& mine = store_.ptr.rep->elems;
+  const std::vector<Value>& theirs = other.store_.ptr.rep->elems;
+  ValueRep& probe = StageProbe(Kind::kSeq);
+  probe.elems.reserve(mine.size() + theirs.size());
+  probe.elems.assign(mine.begin(), mine.end());
+  probe.elems.insert(probe.elems.end(), theirs.begin(), theirs.end());
+  probe.hash = ComputeHash(probe);
+  return Value(InternCopy(probe));
 }
 
 Value Value::SubSeq(size_t from1, size_t to1) const {
   assert(is_seq());
-  if (from1 > to1 || from1 > rep_->elems.size()) return EmptySeq();
-  to1 = std::min(to1, rep_->elems.size());
-  std::vector<Value> elems(rep_->elems.begin() + (from1 - 1),
-                           rep_->elems.begin() + to1);
-  return Seq(std::move(elems));
+  const std::vector<Value>& elems = store_.ptr.rep->elems;
+  if (from1 > to1 || from1 > elems.size()) return EmptySeq();
+  to1 = std::min(to1, elems.size());
+  ValueRep& probe = StageProbe(Kind::kSeq);
+  probe.elems.assign(elems.begin() + (from1 - 1), elems.begin() + to1);
+  probe.hash = ComputeHash(probe);
+  return Value(InternCopy(probe));
 }
 
 Value Value::WithIndex1(size_t i, Value v) const {
-  assert(is_seq() && i >= 1 && i <= rep_->elems.size());
-  std::vector<Value> elems = rep_->elems;
-  elems[i - 1] = std::move(v);
-  return Seq(std::move(elems));
+  assert(is_seq() && i >= 1 && i <= store_.ptr.rep->elems.size());
+  const std::vector<Value>& elems = store_.ptr.rep->elems;
+  ValueRep& probe = StageProbe(Kind::kSeq);
+  probe.elems.assign(elems.begin(), elems.end());
+  probe.elems[i - 1] = std::move(v);
+  probe.hash = ComputeHash(probe);
+  return Value(InternCopy(probe));
 }
 
 Value Value::SetInsert(Value v) const {
   assert(is_set());
-  std::vector<Value> elems = rep_->elems;
-  elems.push_back(std::move(v));
-  return SetOf(std::move(elems));
+  const std::vector<Value>& elems = store_.ptr.rep->elems;
+  auto it = std::lower_bound(elems.begin(), elems.end(), v);
+  if (it != elems.end() && *it == v) return *this;  // Already a member.
+  // Splice at the lower bound — the result stays sorted with no re-sort.
+  ValueRep& probe = StageProbe(Kind::kSet);
+  probe.elems.reserve(elems.size() + 1);
+  probe.elems.assign(elems.begin(), it);
+  probe.elems.push_back(std::move(v));
+  probe.elems.insert(probe.elems.end(), it, elems.end());
+  probe.hash = ComputeHash(probe);
+  return Value(InternCopy(probe));
 }
 
 bool Value::SetContains(const Value& v) const {
   assert(is_set());
-  return std::binary_search(rep_->elems.begin(), rep_->elems.end(), v);
+  const std::vector<Value>& elems = store_.ptr.rep->elems;
+  return std::binary_search(elems.begin(), elems.end(), v);
 }
 
 int Value::Compare(const Value& a, const Value& b) {
-  if (a.rep_ == b.rep_) return 0;
-  if (a.kind() != b.kind()) {
-    return a.kind() < b.kind() ? -1 : 1;
+  if (a.store_.small.tag == kTagInterned &&
+      b.store_.small.tag == kTagInterned &&
+      a.store_.ptr.rep == b.store_.ptr.rep) {
+    return 0;  // Hash-consing: shared rep means structurally identical.
   }
-  switch (a.kind()) {
+  const Kind ka = a.kind();
+  const Kind kb = b.kind();
+  if (ka != kb) return ka < kb ? -1 : 1;
+  switch (ka) {
     case Kind::kNil:
       return 0;
-    case Kind::kBool:
-      return a.rep_->b == b.rep_->b ? 0 : (a.rep_->b ? 1 : -1);
-    case Kind::kInt:
-      return a.rep_->i == b.rep_->i ? 0 : (a.rep_->i < b.rep_->i ? -1 : 1);
-    case Kind::kString:
-      return a.rep_->s.compare(b.rep_->s) < 0
-                 ? -1
-                 : (a.rep_->s == b.rep_->s ? 0 : 1);
+    case Kind::kBool: {
+      const bool ba = a.bool_value();
+      const bool bb = b.bool_value();
+      return ba == bb ? 0 : (ba ? 1 : -1);
+    }
+    case Kind::kInt: {
+      const int64_t ia = a.int_value();
+      const int64_t ib = b.int_value();
+      return ia == ib ? 0 : (ia < ib ? -1 : 1);
+    }
+    case Kind::kString: {
+      const int c = a.string_value().compare(b.string_value());
+      return c < 0 ? -1 : (c == 0 ? 0 : 1);
+    }
     case Kind::kSeq:
     case Kind::kSet: {
-      const auto& ea = a.rep_->elems;
-      const auto& eb = b.rep_->elems;
-      size_t n = std::min(ea.size(), eb.size());
+      const std::vector<Value>& ea = a.store_.ptr.rep->elems;
+      const std::vector<Value>& eb = b.store_.ptr.rep->elems;
+      const size_t n = std::min(ea.size(), eb.size());
       for (size_t i = 0; i < n; ++i) {
-        int c = Compare(ea[i], eb[i]);
+        const int c = Compare(ea[i], eb[i]);
         if (c != 0) return c;
       }
       if (ea.size() == eb.size()) return 0;
       return ea.size() < eb.size() ? -1 : 1;
     }
     case Kind::kRecord: {
-      const auto& fa = a.rep_->fields;
-      const auto& fb = b.rep_->fields;
-      size_t n = std::min(fa.size(), fb.size());
+      const Fields& fa = a.store_.ptr.rep->fields;
+      const Fields& fb = b.store_.ptr.rep->fields;
+      const size_t n = std::min(fa.size(), fb.size());
       for (size_t i = 0; i < n; ++i) {
         int c = fa[i].first.compare(fb[i].first);
         if (c != 0) return c < 0 ? -1 : 1;
@@ -265,57 +459,52 @@ int Value::Compare(const Value& a, const Value& b) {
   return 0;
 }
 
-bool Value::operator==(const Value& other) const {
-  if (rep_ == other.rep_) return true;
-  if (rep_->hash != other.rep_->hash) return false;
-  return Compare(*this, other) == 0;
-}
+namespace {
 
-bool Value::operator<(const Value& other) const {
-  return Compare(*this, other) < 0;
-}
-
-void Value::AppendTla(std::string* out) const {
-  switch (kind()) {
-    case Kind::kNil:
+void AppendTla(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case Value::Kind::kNil:
       out->append("NULL");
       return;
-    case Kind::kBool:
-      out->append(rep_->b ? "TRUE" : "FALSE");
+    case Value::Kind::kBool:
+      out->append(v.bool_value() ? "TRUE" : "FALSE");
       return;
-    case Kind::kInt:
-      out->append(common::StrCat(rep_->i));
+    case Value::Kind::kInt:
+      out->append(common::StrCat(v.int_value()));
       return;
-    case Kind::kString:
+    case Value::Kind::kString:
       out->push_back('"');
-      out->append(rep_->s);
+      out->append(v.string_value());
       out->push_back('"');
       return;
-    case Kind::kSeq: {
+    case Value::Kind::kSeq: {
       out->append("<<");
-      for (size_t i = 0; i < rep_->elems.size(); ++i) {
+      const std::vector<Value>& elems = v.elements();
+      for (size_t i = 0; i < elems.size(); ++i) {
         if (i > 0) out->append(", ");
-        rep_->elems[i].AppendTla(out);
+        AppendTla(elems[i], out);
       }
       out->append(">>");
       return;
     }
-    case Kind::kSet: {
+    case Value::Kind::kSet: {
       out->push_back('{');
-      for (size_t i = 0; i < rep_->elems.size(); ++i) {
+      const std::vector<Value>& elems = v.elements();
+      for (size_t i = 0; i < elems.size(); ++i) {
         if (i > 0) out->append(", ");
-        rep_->elems[i].AppendTla(out);
+        AppendTla(elems[i], out);
       }
       out->push_back('}');
       return;
     }
-    case Kind::kRecord: {
+    case Value::Kind::kRecord: {
       out->push_back('[');
-      for (size_t i = 0; i < rep_->fields.size(); ++i) {
+      const Value::Fields& fields = v.fields();
+      for (size_t i = 0; i < fields.size(); ++i) {
         if (i > 0) out->append(", ");
-        out->append(rep_->fields[i].first);
+        out->append(fields[i].first);
         out->append(" |-> ");
-        rep_->fields[i].second.AppendTla(out);
+        AppendTla(fields[i].second, out);
       }
       out->push_back(']');
       return;
@@ -323,9 +512,11 @@ void Value::AppendTla(std::string* out) const {
   }
 }
 
+}  // namespace
+
 std::string Value::ToTla() const {
   std::string out;
-  AppendTla(&out);
+  AppendTla(*this, &out);
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include "specs/toy_specs.h"
 #include "tlax/checker.h"
 #include "tlax/spec.h"
+#include "tlax/value.h"
 
 namespace xmodel::tlax {
 namespace {
@@ -164,6 +165,98 @@ TEST(DeterminismTest, RecordGraphClampsToOneWorker) {
   EXPECT_EQ(result.workers_used, 1);
   ASSERT_NE(result.graph, nullptr);
   EXPECT_EQ(result.distinct_states, 9u);
+}
+
+// Interning must be semantically invisible: repeated checks of the same
+// spec — first against a cold(er) intern table, then against one warmed by
+// the previous run — must produce bit-identical CheckResults, including
+// violation traces. A hash-consing bug (wrong dedup, cross-talk between
+// structurally distinct values) would surface here as a drifting count.
+void ExpectInterningInvariant(const Spec& spec, CheckerOptions options = {},
+                              bool expect_violation = false) {
+  options.num_workers = 1;
+  CheckResult cold = ModelChecker(options).Check(spec);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  CheckResult warm = ModelChecker(options).Check(spec);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+
+  EXPECT_EQ(warm.distinct_states, cold.distinct_states);
+  EXPECT_EQ(warm.generated_states, cold.generated_states);
+  EXPECT_EQ(warm.diameter, cold.diameter);
+  EXPECT_EQ(warm.frontier_peak, cold.frontier_peak);
+  EXPECT_EQ(warm.por_slept_actions, cold.por_slept_actions);
+  EXPECT_EQ(warm.fingerprint_collisions, cold.fingerprint_collisions);
+  ASSERT_EQ(warm.violation.has_value(), cold.violation.has_value());
+  if (expect_violation) {
+    ASSERT_TRUE(cold.violation.has_value());
+  }
+  if (cold.violation.has_value()) {
+    EXPECT_EQ(warm.violation->kind, cold.violation->kind);
+    ASSERT_EQ(warm.violation->trace.size(), cold.violation->trace.size());
+    for (size_t i = 0; i < cold.violation->trace.size(); ++i) {
+      EXPECT_EQ(warm.violation->trace[i].action,
+                cold.violation->trace[i].action);
+      EXPECT_EQ(warm.violation->trace[i].state,
+                cold.violation->trace[i].state);
+    }
+  }
+}
+
+TEST(InterningDeterminismTest, RaftMongoDetailed) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  ExpectInterningInvariant(specs::RaftMongoSpec(config));
+}
+
+TEST(InterningDeterminismTest, LockingSpec) {
+  specs::LockingConfig config;
+  config.num_contexts = 2;
+  CheckerOptions options;
+  options.check_deadlock = true;
+  ExpectInterningInvariant(specs::LockingSpec(config), options);
+}
+
+TEST(InterningDeterminismTest, ArrayOtWithInjectedTranscriptionError) {
+  specs::ArrayOtConfig config;
+  config.num_clients = 2;
+  config.initial_array_len = 2;
+  config.inject_transcription_error = true;
+  ExpectInterningInvariant(specs::ArrayOtSpec(config), {},
+                           /*expect_violation=*/true);
+}
+
+TEST(InterningDeterminismTest, InternLiveRepHighWaterMark) {
+  // Regression guard against intern-table leaks: a bounded RaftMongo
+  // check must stay far below this live-rep high-water mark (measured
+  // ~1.3k reps for the whole bench suite — the value universe is tiny
+  // compared to the state space), and a REPEATED identical check must
+  // allocate zero new reps, because every value it builds is already
+  // canonical. Runs under the ASan CI job too.
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+
+  const Value::InternStats before = Value::GetInternStats();
+  CheckResult first = ModelChecker().Check(spec);
+  ASSERT_TRUE(first.status.ok());
+  const Value::InternStats mid = Value::GetInternStats();
+  EXPECT_LT(mid.live - before.live, 50'000u)
+      << "intern table grew far beyond the recorded high-water mark — "
+         "likely a leak of per-state unique reps";
+
+  CheckResult second = ModelChecker().Check(spec);
+  ASSERT_TRUE(second.status.ok());
+  const Value::InternStats after = Value::GetInternStats();
+  EXPECT_EQ(after.misses, mid.misses)
+      << "a repeated identical check interned new reps — values are not "
+         "being deduplicated";
+  EXPECT_EQ(second.distinct_states, first.distinct_states);
 }
 
 TEST(DeterminismTest, FpAuditReportsZeroCollisionsAcrossWorkers) {

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "tlax/state.h"
 #include "tlax/value.h"
 
@@ -125,6 +130,170 @@ TEST(StateTest, WithReplacesOneVariable) {
   EXPECT_EQ(b.var(0).int_value(), 1);
   EXPECT_EQ(b.var(1).int_value(), 9);
   EXPECT_EQ(a.var(1).int_value(), 2);
+}
+
+TEST(StateTest, WiderThanInlineBufferUsesHeapPath) {
+  std::vector<Value> wide;
+  for (int i = 0; i < 12; ++i) wide.push_back(Value::Int(i));
+  ASSERT_GT(wide.size(), State::kInlineVars);
+  State a(wide);
+  EXPECT_EQ(a.num_vars(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(a.var(i).int_value(), i);
+
+  State b = a.With(10, Value::Int(99));
+  EXPECT_EQ(b.var(10).int_value(), 99);
+  EXPECT_EQ(a.var(10).int_value(), 10);  // Original untouched.
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(b, State(std::vector<Value>{
+                 Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3),
+                 Value::Int(4), Value::Int(5), Value::Int(6), Value::Int(7),
+                 Value::Int(8), Value::Int(9), Value::Int(99),
+                 Value::Int(11)}));
+}
+
+TEST(StateTest, IncrementalFingerprintMatchesFromScratch) {
+  // A chain of With() updates (O(1) incremental fingerprint maintenance)
+  // must land on exactly the fingerprint a from-scratch construction of
+  // the same variable vector computes.
+  State s({Value::Int(0), Value::Str("seed"), Value::EmptySeq()});
+  s = s.With(0, Value::Int(41));
+  s = s.With(2, Value::Seq({Value::Int(1), Value::Int(2)}));
+  s = s.With(0, Value::Int(42));
+  State rebuilt({Value::Int(42), Value::Str("seed"),
+                 Value::Seq({Value::Int(1), Value::Int(2)})});
+  EXPECT_EQ(s.fingerprint(), rebuilt.fingerprint());
+  EXPECT_EQ(s, rebuilt);
+}
+
+TEST(StateTest, VarsSpanSeesEveryVariable) {
+  State s({Value::Int(7), Value::Str("x")});
+  auto span = s.vars();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].int_value(), 7);
+  EXPECT_EQ(span[1].string_value(), "x");
+}
+
+TEST(ValueInternTest, SmallValuesAreInline) {
+  EXPECT_TRUE(Value::Nil().is_inline());
+  EXPECT_TRUE(Value::Bool(true).is_inline());
+  EXPECT_TRUE(Value::Int(123456789).is_inline());
+  EXPECT_TRUE(Value::Str("").is_inline());
+  EXPECT_TRUE(Value::Str("exactly15bytes!").is_inline());  // == kSmallStrMax
+  EXPECT_FALSE(Value::Str("sixteen bytes!!!").is_inline());
+  EXPECT_FALSE(Value::EmptySeq().is_inline());
+  EXPECT_EQ(Value::Int(5).interned_rep(), nullptr);
+}
+
+TEST(ValueInternTest, ShortAndLongStringsHashConsistently) {
+  // A string's hash must not depend on its storage class, or set
+  // normalization and state fingerprints would depend on string length.
+  const std::string boundary(Value::kSmallStrMax, 'q');
+  EXPECT_EQ(Value::Str(boundary).hash(),
+            Value::Str(std::string_view(boundary)).hash());
+  EXPECT_EQ(Value::Str(boundary), Value::Str(boundary));
+  const std::string longer(Value::kSmallStrMax + 20, 'q');
+  EXPECT_EQ(Value::Str(longer), Value::Str(longer));
+  EXPECT_NE(Value::Str(boundary), Value::Str(longer));
+}
+
+TEST(ValueInternTest, StructurallyEqualCompositesShareOneRep) {
+  Value a = Value::Seq({Value::Int(1), Value::Str("dedup-seq")});
+  Value b = Value::Seq({Value::Int(1), Value::Str("dedup-seq")});
+  ASSERT_NE(a.interned_rep(), nullptr);
+  EXPECT_EQ(a.interned_rep(), b.interned_rep());
+
+  Value r1 = Value::Record({{"k", a}, {"n", Value::Int(2)}});
+  Value r2 = Value::Record({{"n", Value::Int(2)}, {"k", b}});
+  EXPECT_EQ(r1.interned_rep(), r2.interned_rep());
+
+  // Functional updates land on the canonical rep too.
+  Value s1 = Value::SetOf({Value::Int(1), Value::Int(3)});
+  Value s2 = Value::SetOf({Value::Int(1)}).SetInsert(Value::Int(3));
+  EXPECT_EQ(s1.interned_rep(), s2.interned_rep());
+
+  // Inserting an existing member returns the identical rep, not a copy.
+  EXPECT_EQ(s1.SetInsert(Value::Int(3)).interned_rep(), s1.interned_rep());
+}
+
+TEST(ValueInternTest, StatsCountHitsMissesAndLive) {
+  const Value::InternStats before = Value::GetInternStats();
+  // Contents distinctive enough that no other test interned them.
+  Value fresh = Value::Seq(
+      {Value::Str("intern-stats-test-novel-element"), Value::Int(-777001)});
+  const Value::InternStats after_miss = Value::GetInternStats();
+  // The long string and the seq itself: at least two new reps.
+  EXPECT_GE(after_miss.misses, before.misses + 2);
+  EXPECT_EQ(after_miss.live, before.live + (after_miss.misses - before.misses));
+  EXPECT_GT(after_miss.bytes, before.bytes);
+
+  Value again = Value::Seq(
+      {Value::Str("intern-stats-test-novel-element"), Value::Int(-777001)});
+  const Value::InternStats after_hit = Value::GetInternStats();
+  EXPECT_EQ(again.interned_rep(), fresh.interned_rep());
+  EXPECT_EQ(after_hit.misses, after_miss.misses);  // No new reps.
+  EXPECT_EQ(after_hit.live, after_miss.live);
+  EXPECT_GE(after_hit.hits, after_miss.hits + 2);
+}
+
+TEST(ValueInternTest, HashCollisionFallsBackToStructuralCompare) {
+  internal::ScopedWeakCompositeHashForTesting weak;
+  // Under the weak regime every sequence hashes identically, so these two
+  // collide in the intern table and in operator== — which must fall back
+  // to a structural walk, keep them distinct, and still dedup true equals.
+  Value a = Value::Seq({Value::Str("weak-hash-a"), Value::Int(1)});
+  Value b = Value::Seq({Value::Str("weak-hash-b"), Value::Int(2)});
+  ASSERT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.interned_rep(), b.interned_rep());
+  EXPECT_NE(Value::Compare(a, b), 0);
+
+  Value a2 = Value::Seq({Value::Str("weak-hash-a"), Value::Int(1)});
+  EXPECT_EQ(a2.interned_rep(), a.interned_rep());
+  EXPECT_EQ(a2, a);
+
+  // Sets of colliding elements still normalize correctly.
+  Value set = Value::SetOf({b, a, b});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.SetContains(a));
+  EXPECT_TRUE(set.SetContains(b));
+}
+
+TEST(ValueInternTest, MultiThreadInternHammer) {
+  // Many threads intern the same composites concurrently; every thread
+  // must resolve to the same canonical rep, with no torn stats. Runs
+  // under the TSan CI job.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<const void*> first_rep(kThreads, nullptr);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &first_rep, &mismatches] {
+      for (int i = 0; i < kIters; ++i) {
+        Value shared = Value::Record(
+            {{"hammer", Value::Int(i % 16)},
+             {"payload", Value::Seq({Value::Str("intern-hammer-shared"),
+                                     Value::Int(i % 16)})}});
+        Value mine = Value::Seq(
+            {Value::Str("intern-hammer-private"), Value::Int(t),
+             Value::Int(i % 8)});
+        if (i % 16 == 0) {
+          if (first_rep[t] == nullptr) first_rep[t] = shared.interned_rep();
+          if (shared.interned_rep() != first_rep[t]) mismatches.fetch_add(1);
+        }
+        if (mine.at(1).int_value() != t) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(first_rep[t], first_rep[0]) << "thread " << t;
+  }
+  const Value::InternStats stats = Value::GetInternStats();
+  EXPECT_GE(stats.live, 1u);
+  EXPECT_LE(stats.live, stats.misses);
 }
 
 }  // namespace

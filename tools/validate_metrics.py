@@ -17,6 +17,11 @@ Checks every file argument and exits nonzero on the first problem:
   sharded fingerprint table's aggregate records/buckets ratio) and
   `checker.workers.used` at least 1; `checker.worker<N>.expansions`
   per-worker counters must carry a well-formed worker index.
+- Value-family sanity (any snapshot containing value.intern.* metrics):
+  the intern-table gauges `value.intern.{hits,misses,live,bytes}` must all
+  be present together, finite, and non-negative, with `live` never
+  exceeding `misses` (every live rep was a miss once); when present,
+  `checker.alloc.values_per_state` must be a finite non-negative gauge.
 
 Usage: tools/validate_metrics.py FILE [FILE...]
 """
@@ -99,6 +104,38 @@ def validate_checker_family(path, metrics):
                     f"{name!r} must be a counter")
 
 
+def validate_value_family(path, metrics):
+    """Cross-metric sanity for the interned value layer's value.* family."""
+    intern_names = [f"value.intern.{leaf}"
+                    for leaf in ("hits", "misses", "live", "bytes")]
+    present = [name for name in intern_names if name in metrics]
+    if present:
+        missing = [name for name in intern_names if name not in metrics]
+        require(not missing, path,
+                f"intern gauges are published together; missing {missing}")
+        for name in intern_names:
+            entry = metrics[name]
+            require(entry.get("kind") == "gauge", path,
+                    f"{name!r} must be a gauge")
+            value = entry.get("value")
+            require(isinstance(value, (int, float)) and math.isfinite(value)
+                    and value >= 0, path,
+                    f"{name!r} must be finite and >= 0, got {value!r}")
+        require(metrics["value.intern.live"]["value"] <=
+                metrics["value.intern.misses"]["value"], path,
+                "value.intern.live exceeds value.intern.misses — every "
+                "live rep must have been interned by a miss")
+    per_state = metrics.get("checker.alloc.values_per_state")
+    if per_state is not None:
+        require(per_state.get("kind") == "gauge", path,
+                "checker.alloc.values_per_state must be a gauge")
+        value = per_state.get("value")
+        require(isinstance(value, (int, float)) and math.isfinite(value)
+                and value >= 0, path,
+                f"checker.alloc.values_per_state must be finite and >= 0, "
+                f"got {value!r}")
+
+
 def validate_metrics_doc(path, doc):
     require(doc.get("schema") == "xmodel.metrics.v1", path,
             f"unexpected schema {doc.get('schema')!r}")
@@ -107,6 +144,7 @@ def validate_metrics_doc(path, doc):
     for name, entry in metrics.items():
         validate_metric(path, name, entry)
     validate_checker_family(path, metrics)
+    validate_value_family(path, metrics)
     return len(metrics)
 
 
