@@ -4,25 +4,41 @@
 // test cases", all of which passed, proving the TLA+ spec, the C++
 // implementation, and the Golang implementation agree.
 //
-// This bench runs the whole pipeline — model check, DOT dump, DOT parse,
-// extraction, in-process execution against BOTH implementations — and
-// times each stage.
+// This bench runs the whole pipeline and times each stage, three ways:
+//   1. a --workers scaling sweep (1/2/4) of the end-to-end generation,
+//      asserting every sweep point produces the identical case list;
+//   2. the --via-dot fidelity path at 1 worker, against the in-memory
+//      fast path (the serialize-parse round trip it replaces by default);
+//   3. an extraction micro-benchmark: repeated ExtractTestCases over the
+//      recorded graph, in-memory vs DOT-parsed.
+// Then it executes the cases against BOTH merge implementations.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/clock.h"
 #include "mbtcg/generator.h"
 #include "otgo/go_merge.h"
+#include "tlax/checker.h"
 
 using namespace xmodel;  // NOLINT — bench binaries only.
 
 namespace {
 
+int64_t NowNs() { return common::MonotonicClock::Real()->NowNanos(); }
+
 double Seconds(int64_t start_ns) {
-  return static_cast<double>(common::MonotonicClock::Real()->NowNanos() -
-                             start_ns) *
-         1e-9;
+  return static_cast<double>(NowNs() - start_ns) * 1e-9;
+}
+
+bool SameCases(const std::vector<mbtcg::TestCase>& a,
+               const std::vector<mbtcg::TestCase>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].case_id != b[i].case_id) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -33,31 +49,113 @@ int main(int argc, char** argv) {
 
   specs::ArrayOtConfig config;  // The paper's configuration.
   if (bench.quick()) config.num_clients = 2;  // ~dozens of cases, not 4,913.
-  std::vector<mbtcg::TestCase> cases;
-  int64_t t0 = common::MonotonicClock::Real()->NowNanos();
-  mbtcg::GenerationReport generation =
-      mbtcg::GenerateTestCases(config, &cases);
-  double generation_seconds = Seconds(t0);
-  if (!generation.status.ok()) {
-    return bench.Fail(generation.status.ToString());
+
+  // --- Workers scaling sweep -----------------------------------------------
+  std::vector<mbtcg::TestCase> cases;  // The 1-worker baseline list.
+  double baseline_seconds = 0;
+  double w4_seconds = 0;
+  for (int workers : {1, 2, 4}) {
+    mbtcg::GenerateOptions options;
+    options.num_workers = workers;
+    std::vector<mbtcg::TestCase> sweep_cases;
+    int64_t t0 = NowNs();
+    mbtcg::GenerationReport generation =
+        mbtcg::GenerateTestCases(config, &sweep_cases, options);
+    const double seconds = Seconds(t0);
+    if (!generation.status.ok()) {
+      return bench.Fail(generation.status.ToString());
+    }
+    if (workers == 1) {
+      cases = std::move(sweep_cases);
+      baseline_seconds = seconds;
+      std::printf("spec states explored:     %llu\n",
+                  static_cast<unsigned long long>(generation.spec_states));
+      std::printf("test cases generated:     %zu   (paper: 4,913)\n\n",
+                  cases.size());
+    } else if (!SameCases(cases, sweep_cases)) {
+      return bench.Fail(common::StrCat("case list diverged at workers=",
+                                       workers, " — determinism bug"));
+    }
+    if (workers == 4) w4_seconds = seconds;
+    std::printf("generation @ %d worker(s):  %.2f s "
+                "(model check %.2f s, extract %.2f s)\n",
+                workers, seconds, generation.model_check_seconds,
+                generation.extract_seconds);
+    bench.AddResult(common::StrCat("generation_seconds_w", workers), seconds);
+  }
+  std::printf("speedup 4w / 1w:          %.2fx\n\n",
+              w4_seconds > 0 ? baseline_seconds / w4_seconds : 0);
+  bench.AddResult("speedup_w4",
+                  w4_seconds > 0 ? baseline_seconds / w4_seconds : 0);
+
+  // --- In-memory vs the --via-dot round trip (1 worker) --------------------
+  {
+    mbtcg::GenerateOptions options;
+    options.via_dot = true;
+    std::vector<mbtcg::TestCase> dot_cases;
+    int64_t t0 = NowNs();
+    mbtcg::GenerationReport generation =
+        mbtcg::GenerateTestCases(config, &dot_cases, options);
+    const double seconds = Seconds(t0);
+    if (!generation.status.ok()) {
+      return bench.Fail(generation.status.ToString());
+    }
+    if (!SameCases(cases, dot_cases)) {
+      return bench.Fail("--via-dot case list diverged from in-memory path");
+    }
+    std::printf("generation --via-dot:     %.2f s (DOT dump %.1f MB; "
+                "in-memory path: %.2f s)\n\n",
+                seconds, static_cast<double>(generation.dot_bytes) / 1e6,
+                baseline_seconds);
+    bench.AddResult("via_dot_seconds", seconds);
+    bench.AddResult("dot_bytes", static_cast<double>(generation.dot_bytes));
   }
 
-  std::printf("spec states explored:     %llu (model check %.2f s)\n",
-              static_cast<unsigned long long>(generation.spec_states),
-              generation.model_check_seconds);
-  std::printf("DOT dump parsed back:     %.1f MB\n",
-              static_cast<double>(generation.dot_bytes) / 1e6);
-  std::printf("test cases generated:     %zu   (paper: 4,913)\n",
-              cases.size());
-  std::printf("pipeline total:           %.2f s\n\n", generation_seconds);
+  // --- Extraction micro-benchmark ------------------------------------------
+  // Isolates the ExtractTestCases stage (pre-decoded labels, per-leaf
+  // fan-out) from the model check: repeated extraction over one recorded
+  // graph, through both graph representations.
+  {
+    specs::ArrayOtSpec spec(config);
+    tlax::CheckerOptions checker_options;
+    checker_options.record_graph = true;
+    tlax::CheckResult checked =
+        tlax::ModelChecker(checker_options).Check(spec);
+    if (!checked.status.ok()) return bench.Fail(checked.status.ToString());
+    const std::string dot = checked.graph->ToDot(spec.variables());
+    auto parsed = mbtcg::ParseDot(dot);
+    if (!parsed.ok()) return bench.Fail(parsed.status().ToString());
 
-  t0 = common::MonotonicClock::Real()->NowNanos();
+    const int reps = bench.quick() ? 3 : 10;
+    int64_t t0 = NowNs();
+    for (int r = 0; r < reps; ++r) {
+      auto extracted = mbtcg::ExtractTestCases(*checked.graph,
+                                               spec.variables(),
+                                               config.num_clients);
+      if (!extracted.ok()) return bench.Fail(extracted.status().ToString());
+    }
+    const double inmem = Seconds(t0) / reps;
+    t0 = NowNs();
+    for (int r = 0; r < reps; ++r) {
+      auto extracted = mbtcg::ExtractTestCases(*parsed, config.num_clients);
+      if (!extracted.ok()) return bench.Fail(extracted.status().ToString());
+    }
+    const double from_dot = Seconds(t0) / reps;
+    std::printf("extraction (in-memory):   %.4f s/pass over %d pass(es)\n",
+                inmem, reps);
+    std::printf("extraction (DOT graph):   %.4f s/pass\n\n", from_dot);
+    bench.AddResult("extract_inmem_seconds", inmem);
+    bench.AddResult("extract_dot_seconds", from_dot);
+  }
+
+  // --- Execute against both implementations --------------------------------
+  int64_t t0 = NowNs();
   mbtcg::RunReport cpp_run = mbtcg::RunTestCases(cases);
   std::printf("C++ implementation:       %zu/%zu passed (%.2f s)\n",
               cpp_run.passed, cpp_run.total, Seconds(t0));
 
   otgo::GoMergeEngine go;
-  t0 = common::MonotonicClock::Real()->NowNanos();
+  t0 = NowNs();
   mbtcg::RunReport go_run = mbtcg::RunTestCases(cases, &go);
   std::printf("Go   implementation:      %zu/%zu passed (%.2f s)\n",
               go_run.passed, go_run.total, Seconds(t0));
@@ -80,7 +178,7 @@ int main(int argc, char** argv) {
               "agree.\n");
 
   bench.AddResult("cases_generated", static_cast<double>(cases.size()));
-  bench.AddResult("generation_seconds", generation_seconds);
+  bench.AddResult("generation_seconds", baseline_seconds);
   bench.AddResult("cpp_passed", static_cast<double>(cpp_run.passed));
   bench.AddResult("go_passed", static_cast<double>(go_run.passed));
   return bench.Finish((cpp_run.all_passed() && go_run.all_passed()) ? 0 : 1);

@@ -37,6 +37,7 @@
 #include "repl/replica_set.h"
 #include "repl/scenarios.h"
 #include "tlax/checker.h"
+#include "tlax/liveness.h"
 
 namespace {
 
@@ -96,7 +97,8 @@ struct SpecSummary {
   uint64_t check_generated = 0;
   int64_t check_diameter = 0;
   bool check_complete = false;
-  int check_workers = 1;
+  int workers_used = 1;
+  uint64_t check_sccs = 0;  // Liveness structure: SCC count of the graph.
   std::string check_violation;  // Violated invariant name, or empty.
 };
 
@@ -125,17 +127,26 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   // Bounded model check: smoke-test the dynamic semantics at the same
   // sampling budget the footprint probe uses. Violations are warnings
   // (lint is a static gate, not a verification run) and a budget overrun
-  // just marks the pass incomplete.
+  // just marks the pass incomplete. The graph is recorded — at full
+  // --workers parallelism, now that recording no longer clamps the
+  // worker count — so the pass also surfaces the liveness structure
+  // (SCC count) of the explored fragment.
   tlax::CheckerOptions check_options;
   check_options.num_workers = options.workers;
   check_options.max_distinct_states = options.max_samples;
+  check_options.record_graph = true;
   tlax::ModelChecker checker(check_options);
   tlax::CheckResult check = checker.Check(spec);
   summary.check_distinct = check.distinct_states;
   summary.check_generated = check.generated_states;
   summary.check_diameter = check.diameter;
   summary.check_complete = check.status.ok() && !check.violation.has_value();
-  summary.check_workers = check.workers_used;
+  summary.workers_used = check.workers_used;
+  if (check.graph != nullptr && check.graph->num_states() > 0) {
+    uint32_t num_sccs = 0;
+    tlax::StronglyConnectedComponents(*check.graph, &num_sccs);
+    summary.check_sccs = num_sccs;
+  }
   if (check.violation.has_value()) {
     summary.check_violation = check.violation->kind;
     analysis::Diagnostic d;
@@ -236,7 +247,9 @@ int main(int argc, char** argv) {
                 common::Json::Int(static_cast<int64_t>(s.check_generated)));
       entry.Set("check_diameter", common::Json::Int(s.check_diameter));
       entry.Set("check_complete", common::Json::Bool(s.check_complete));
-      entry.Set("check_workers", common::Json::Int(s.check_workers));
+      entry.Set("workers_used", common::Json::Int(s.workers_used));
+      entry.Set("check_sccs",
+                common::Json::Int(static_cast<int64_t>(s.check_sccs)));
       entry.Set("check_violation", common::Json::Str(s.check_violation));
       spec_list.Append(std::move(entry));
     }
@@ -253,10 +266,12 @@ int main(int argc, char** argv) {
                   s.exhaustive ? " (exhaustive)" : "",
                   s.commuting_pairs, s.action_pairs);
       std::printf("     check %-17s %6llu distinct / %llu generated, "
-                  "diameter %lld, %d worker(s)%s%s%s\n",
+                  "diameter %lld, %llu scc(s), %d worker(s)%s%s%s\n",
                   "", static_cast<unsigned long long>(s.check_distinct),
                   static_cast<unsigned long long>(s.check_generated),
-                  static_cast<long long>(s.check_diameter), s.check_workers,
+                  static_cast<long long>(s.check_diameter),
+                  static_cast<unsigned long long>(s.check_sccs),
+                  s.workers_used,
                   s.check_complete ? " (complete)" : " (bounded)",
                   s.check_violation.empty() ? "" : ", violates ",
                   s.check_violation.c_str());

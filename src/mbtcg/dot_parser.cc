@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <set>
+#include <unordered_set>
 
 #include "common/strings.h"
 #include "tlax/tla_text.h"
@@ -55,10 +55,11 @@ Result<std::string> ParseQuoted(const std::string& text, size_t* pos) {
 }  // namespace
 
 std::vector<uint32_t> DotGraph::TerminalNodes() const {
-  std::set<uint32_t> with_out;
+  std::unordered_set<uint32_t> with_out;
+  with_out.reserve(nodes.size());
   for (const Edge& e : edges) with_out.insert(e.from);
   std::vector<uint32_t> out;
-  for (const auto& [id, node] : nodes) {
+  for (const auto& [id, node] : nodes) {  // std::map: ascending id order.
     if (with_out.find(id) == with_out.end()) out.push_back(id);
   }
   return out;

@@ -13,8 +13,10 @@ namespace xmodel::mbtcg {
 
 /// A state graph recovered from GraphViz DOT text. The paper's test-case
 /// generator was "a Golang program to parse this file" — the DOT dump of
-/// TLC's reachable states (§5.2); parsing the textual dump (rather than
-/// consuming tlax's in-memory graph) keeps that pipeline stage faithful.
+/// TLC's reachable states (§5.2). The generator consumes tlax's in-memory
+/// graph by default and keeps this textual round trip behind
+/// GenerateOptions::via_dot as the paper-faithful fidelity mode; both
+/// paths produce identical cases in identical order.
 struct DotGraph {
   struct Node {
     uint32_t id = 0;

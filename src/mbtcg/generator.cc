@@ -1,6 +1,8 @@
 #include "mbtcg/generator.h"
 
+#include "common/clock.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "ot/fixture.h"
 #include "tlax/checker.h"
 
@@ -13,14 +15,15 @@ using ot::OpType;
 
 GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
                                    std::vector<TestCase>* cases,
-                                   int num_workers) {
+                                   const GenerateOptions& options) {
   GenerationReport report;
   specs::ArrayOtSpec spec(config);
 
-  tlax::CheckerOptions options;
-  options.record_graph = true;
-  options.num_workers = num_workers;  // Clamped to 1 by record_graph.
-  tlax::CheckResult checked = tlax::ModelChecker(options).Check(spec);
+  tlax::CheckerOptions checker_options;
+  checker_options.record_graph = true;
+  checker_options.num_workers = options.num_workers;
+  tlax::CheckResult checked =
+      tlax::ModelChecker(checker_options).Check(spec);
   report.spec_states = checked.distinct_states;
   report.model_check_seconds = checked.seconds;
   report.workers_used = checked.workers_used;
@@ -34,17 +37,27 @@ GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
                " — fix the spec before generating tests"));
     return report;
   }
+  report.roots = checked.graph->initial_states().size();
 
-  // TLC's `-dump dot` stage, then the parse-it-back stage.
-  std::string dot = checked.graph->ToDot(spec.variables());
-  report.dot_bytes = dot.size();
-  auto graph = ParseDot(dot);
-  if (!graph.ok()) {
-    report.status = graph.status();
-    return report;
-  }
-
-  auto extracted = ExtractTestCases(*graph, config.num_clients);
+  common::MonotonicClock* clock = common::MonotonicClock::Real();
+  const int64_t extract_start_ns = clock->NowNanos();
+  common::Result<std::vector<TestCase>> extracted = [&] {
+    if (options.via_dot) {
+      // TLC's `-dump dot` stage, then the parse-it-back stage.
+      std::string dot = checked.graph->ToDot(spec.variables());
+      report.dot_bytes = dot.size();
+      common::Result<DotGraph> graph = ParseDot(dot);
+      if (!graph.ok()) {
+        return common::Result<std::vector<TestCase>>(graph.status());
+      }
+      return ExtractTestCases(*graph, config.num_clients,
+                              options.num_workers);
+    }
+    return ExtractTestCases(*checked.graph, spec.variables(),
+                            config.num_clients, options.num_workers);
+  }();
+  report.extract_seconds =
+      static_cast<double>(clock->NowNanos() - extract_start_ns) * 1e-9;
   if (!extracted.ok()) {
     report.status = extracted.status();
     return report;
@@ -52,6 +65,13 @@ GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
   *cases = std::move(*extracted);
   for (TestCase& c : *cases) c.merge_descending = config.merge_descending;
   report.num_cases = cases->size();
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("mbtcg.extract.roots")
+      .Set(static_cast<double>(report.roots));
+  registry.GetGauge("mbtcg.extract.cases")
+      .Set(static_cast<double>(report.num_cases));
+  registry.GetGauge("mbtcg.extract.seconds").Set(report.extract_seconds);
   return report;
 }
 

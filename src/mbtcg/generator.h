@@ -11,29 +11,45 @@
 
 namespace xmodel::mbtcg {
 
+/// Knobs for one GenerateTestCases run.
+struct GenerateOptions {
+  /// Workers for both the model-check stage and the per-leaf extraction
+  /// fan-out (0 = one per hardware thread). Output is identical at every
+  /// worker count.
+  int num_workers = 1;
+  /// Route the recorded graph through the DOT serialize-parse round trip
+  /// (the paper's textual pipeline, TLC's `-dump dot`) instead of handing
+  /// the in-memory graph straight to extraction. The two paths produce
+  /// identical cases in identical order; via_dot exists as the fidelity
+  /// mode and costs a full text round trip per run.
+  bool via_dot = false;
+};
+
 /// Statistics from one end-to-end MBTCG run.
 struct GenerationReport {
   common::Status status;
   uint64_t spec_states = 0;
   double model_check_seconds = 0;
+  /// Size of the DOT dump; 0 on the in-memory (default) path.
   size_t dot_bytes = 0;
   size_t num_cases = 0;
-  /// Exploration workers the model-check stage actually used. Always 1
-  /// today: graph recording forces a single worker (see
-  /// CheckerOptions::num_workers), so requests for more are clamped.
+  /// Initial nodes of the recorded graph (extraction roots).
+  size_t roots = 0;
+  /// Wall time of the extraction stage (DOT round trip included when
+  /// via_dot is set).
+  double extract_seconds = 0;
+  /// Exploration workers the model-check stage actually used (after
+  /// resolving num_workers == 0 to the hardware thread count).
   int workers_used = 1;
 };
 
 /// The paper's §5.2 pipeline, end to end: model-check the array_ot spec
-/// recording the state graph, dump it as GraphViz DOT, parse the DOT back,
-/// and extract one test case per fully-merged leaf state.
-///
-/// `num_workers` is forwarded to the model checker, which clamps it to 1
-/// while the graph is recorded; the report's `workers_used` shows the
-/// effective value so CLIs can tell the user about the clamp.
+/// recording the state graph, then extract one test case per fully-merged
+/// leaf state — by default straight from the in-memory graph, or through
+/// the DOT dump-and-parse round trip under GenerateOptions::via_dot.
 GenerationReport GenerateTestCases(const specs::ArrayOtConfig& config,
                                    std::vector<TestCase>* cases,
-                                   int num_workers = 1);
+                                   const GenerateOptions& options = {});
 
 /// Renders generated cases as a compilable gtest C++ source file (the
 /// Figure 9 shape). `max_cases` limits the file size (0 = all).

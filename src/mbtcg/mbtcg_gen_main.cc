@@ -4,11 +4,13 @@
 // regenerate the full 4,913-case file.
 //
 // Usage: mbtcg_gen <output.cc> [max_cases] [--swap] [--descending]
-//                  [--workers=N] [--metrics-out=FILE]
+//                  [--workers=N] [--via-dot] [--metrics-out=FILE]
 //
-// --workers is accepted for CLI uniformity with mbtc_check/xmodel_lint,
-// but the generation model check records the state graph and therefore
-// always runs single-worker; a notice is printed when N != 1.
+// --workers drives both the graph-recording model check and the per-leaf
+// extraction fan-out (0 = one per hardware thread); the generated file is
+// identical at every worker count. --via-dot routes extraction through the
+// DOT serialize-parse round trip (the paper's textual pipeline) instead of
+// the in-memory fast path.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,26 +26,28 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <output.cc> [max_cases] [--swap] [--descending] "
-                 "[--workers=N] [--metrics-out=FILE]\n",
+                 "[--workers=N] [--via-dot] [--metrics-out=FILE]\n",
                  argv[0]);
     return 2;
   }
   const char* out_path = argv[1];
   size_t max_cases = 0;
-  int workers = 1;
   std::string metrics_out;
   xmodel::specs::ArrayOtConfig config;
+  xmodel::mbtcg::GenerateOptions gen_options;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--swap") == 0) {
       config.include_swap = true;
     } else if (std::strcmp(argv[i], "--descending") == 0) {
       config.merge_descending = true;
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-      workers = std::atoi(argv[i] + 10);
-      if (workers < 0) {
+      gen_options.num_workers = std::atoi(argv[i] + 10);
+      if (gen_options.num_workers < 0) {
         std::fprintf(stderr, "--workers must be >= 0\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--via-dot") == 0) {
+      gen_options.via_dot = true;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else {
@@ -53,13 +57,7 @@ int main(int argc, char** argv) {
 
   std::vector<xmodel::mbtcg::TestCase> cases;
   xmodel::mbtcg::GenerationReport report =
-      xmodel::mbtcg::GenerateTestCases(config, &cases, workers);
-  if (workers != 1 && report.workers_used != workers) {
-    std::fprintf(stderr,
-                 "mbtcg_gen: note: graph recording forces a single "
-                 "exploration worker (requested %d, used %d)\n",
-                 workers, report.workers_used);
-  }
+      xmodel::mbtcg::GenerateTestCases(config, &cases, gen_options);
   if (!report.status.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  report.status.ToString().c_str());
@@ -86,10 +84,12 @@ int main(int argc, char** argv) {
   }
   out << xmodel::mbtcg::GenerateCppTestFile(selected);
   std::fprintf(stderr,
-               "mbtcg_gen: explored %llu states, generated %zu cases, "
-               "emitted %zu tests to %s\n",
+               "mbtcg_gen: explored %llu states (%d worker%s%s), generated "
+               "%zu cases, emitted %zu tests to %s\n",
                static_cast<unsigned long long>(report.spec_states),
-               report.num_cases, selected.size(), out_path);
+               report.workers_used, report.workers_used == 1 ? "" : "s",
+               gen_options.via_dot ? ", via DOT" : "", report.num_cases,
+               selected.size(), out_path);
 
   if (!metrics_out.empty()) {
     auto& registry = xmodel::obs::MetricsRegistry::Global();

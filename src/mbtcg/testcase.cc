@@ -1,8 +1,13 @@
 #include "mbtcg/testcase.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace xmodel::mbtcg {
@@ -69,87 +74,317 @@ uint64_t FingerprintCase(const TestCase& c) {
   return h;
 }
 
+// The extraction engine's representation-neutral view of a state graph:
+// dense node indices 0..n-1, adjacency with action labels pre-resolved to
+// ranks in the sorted unique label table (one decode pass over the edges,
+// instead of re-touching label strings inside every path walk), and the
+// initial nodes in declaration order. Building the action table from
+// *labels* — not raw action indices — is what keeps the in-memory and
+// DOT round-trip pipelines byte-compatible: the rank of a label is the
+// same whichever representation carried it.
+struct DecodedGraph {
+  std::vector<uint32_t> ids;  // dense index -> original node id (ascending).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>>
+      adj;                      // dense from -> [(dense to, action rank)].
+  std::vector<uint32_t> roots;  // dense, in declared initial order.
+  std::vector<std::string> actions;  // rank -> label (sorted unique).
+};
+
+// Representation adapter: read one named variable of one node.
+class VarView {
+ public:
+  virtual ~VarView() = default;
+  // Null when the node carries no such variable.
+  virtual const Value* Var(uint32_t dense, const std::string& name) const = 0;
+};
+
+class DotVarView : public VarView {
+ public:
+  DotVarView(const DotGraph& graph, const DecodedGraph& decoded)
+      : graph_(graph), decoded_(decoded) {}
+  const Value* Var(uint32_t dense, const std::string& name) const override {
+    const DotGraph::Node& node = graph_.nodes.at(decoded_.ids[dense]);
+    auto it = node.vars.find(name);
+    return it == node.vars.end() ? nullptr : &it->second;
+  }
+
+ private:
+  const DotGraph& graph_;
+  const DecodedGraph& decoded_;
+};
+
+class StateVarView : public VarView {
+ public:
+  StateVarView(const tlax::StateGraph& graph,
+               const std::vector<std::string>& variables)
+      : graph_(graph) {
+    for (size_t i = 0; i < variables.size(); ++i) index_[variables[i]] = i;
+  }
+  const Value* Var(uint32_t dense, const std::string& name) const override {
+    auto it = index_.find(name);
+    if (it == index_.end()) return nullptr;
+    const tlax::State& s = graph_.state(dense);
+    return it->second < s.num_vars() ? &s.var(it->second) : nullptr;
+  }
+
+ private:
+  const tlax::StateGraph& graph_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+void RankLabels(std::vector<std::string>* labels) {
+  // Sort-dedup in place; callers rank via binary search.
+  std::sort(labels->begin(), labels->end());
+  labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
+}
+
+uint32_t RankOf(const std::vector<std::string>& table,
+                const std::string& label) {
+  return static_cast<uint32_t>(
+      std::lower_bound(table.begin(), table.end(), label) - table.begin());
+}
+
+Result<DecodedGraph> DecodeDot(const DotGraph& graph) {
+  DecodedGraph d;
+  std::unordered_map<uint32_t, uint32_t> dense;
+  dense.reserve(graph.nodes.size());
+  for (const auto& [id, node] : graph.nodes) {  // std::map: ascending ids.
+    dense.emplace(id, static_cast<uint32_t>(d.ids.size()));
+    d.ids.push_back(id);
+  }
+  for (const DotGraph::Edge& e : graph.edges) d.actions.push_back(e.action);
+  RankLabels(&d.actions);
+  d.adj.resize(d.ids.size());
+  for (const DotGraph::Edge& e : graph.edges) {
+    auto from = dense.find(e.from);
+    auto to = dense.find(e.to);
+    if (from == dense.end() || to == dense.end()) {
+      return Status::Corruption(
+          StrCat("edge ", e.from, " -> ", e.to, " names an unlabeled node"));
+    }
+    d.adj[from->second].emplace_back(to->second, RankOf(d.actions, e.action));
+  }
+  for (uint32_t id : graph.initial) {
+    auto it = dense.find(id);
+    if (it == dense.end()) {
+      return Status::Corruption("initial node has no label");
+    }
+    d.roots.push_back(it->second);
+  }
+  return d;
+}
+
+std::string ActionLabel(const std::vector<std::string>& names, uint16_t a) {
+  // Mirror of StateGraph::ToDot's labeling, including its fallback.
+  return a < names.size() ? names[a] : StrCat("action", a);
+}
+
+DecodedGraph DecodeStateGraph(const tlax::StateGraph& graph) {
+  DecodedGraph d;
+  const size_t n = graph.num_states();
+  d.ids.resize(n);
+  for (uint32_t i = 0; i < n; ++i) d.ids[i] = i;
+  const std::vector<std::string>& names = graph.action_names();
+  for (uint32_t from = 0; from < n; ++from) {
+    for (const tlax::StateGraph::Edge& e : graph.out_edges(from)) {
+      d.actions.push_back(ActionLabel(names, e.action));
+    }
+  }
+  RankLabels(&d.actions);
+  d.adj.resize(n);
+  for (uint32_t from = 0; from < n; ++from) {
+    for (const tlax::StateGraph::Edge& e : graph.out_edges(from)) {
+      d.adj[from].emplace_back(e.to, RankOf(d.actions, ActionLabel(names, e.action)));
+    }
+  }
+  for (uint32_t id : graph.initial_states()) d.roots.push_back(id);
+  return d;
+}
+
+// One terminal leaf claimed by one root: the unit of parallel extraction.
+// `path` is the action-rank sequence of the BFS-shortest path from the
+// root — with the decoded adjacency fixed, it is a pure function of the
+// graph, so sorting items by (root, path, leaf id) gives an output order
+// independent of both worker count and representation.
+struct WorkItem {
+  size_t root_ordinal = 0;
+  std::vector<uint32_t> path;
+  uint32_t leaf = 0;  // dense
+};
+
+std::vector<WorkItem> EnumerateLeaves(const DecodedGraph& d) {
+  constexpr uint32_t kNone = UINT32_MAX;
+  std::vector<uint32_t> parent(d.ids.size(), kNone);
+  std::vector<uint32_t> via(d.ids.size(), 0);
+  std::vector<char> visited(d.ids.size(), 0);
+  std::vector<WorkItem> items;
+  std::vector<uint32_t> queue;
+  for (size_t r = 0; r < d.roots.size(); ++r) {
+    const uint32_t root = d.roots[r];
+    if (visited[root]) continue;  // Claimed by an earlier root.
+    visited[root] = 1;
+    queue.assign(1, root);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const uint32_t u = queue[head];
+      if (d.adj[u].empty()) {
+        WorkItem item;
+        item.root_ordinal = r;
+        item.leaf = u;
+        for (uint32_t w = u; parent[w] != kNone; w = parent[w]) {
+          item.path.push_back(via[w]);
+        }
+        std::reverse(item.path.begin(), item.path.end());
+        items.push_back(std::move(item));
+      }
+      for (const auto& [to, action] : d.adj[u]) {
+        if (visited[to]) continue;
+        visited[to] = 1;
+        parent[to] = u;
+        via[to] = action;
+        queue.push_back(to);
+      }
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [&d](const WorkItem& a, const WorkItem& b) {
+              if (a.root_ordinal != b.root_ordinal) {
+                return a.root_ordinal < b.root_ordinal;
+              }
+              if (a.path != b.path) return a.path < b.path;
+              return d.ids[a.leaf] < d.ids[b.leaf];
+            });
+  return items;
+}
+
+// Extracts the case for one leaf; sets *skip when the leaf is poisoned
+// (err = TRUE: a non-terminating merge produces no test case).
+Status ExtractOne(const VarView& view, uint32_t leaf,
+                  const ot::Array& initial, int num_clients, TestCase* out,
+                  bool* skip) {
+  const Value* err = view.Var(leaf, "err");
+  if (err == nullptr) return Status::Corruption("leaf lacks variable err");
+  if (err->is_bool() && err->bool_value()) {
+    *skip = true;
+    return Status::OK();
+  }
+
+  const Value* client_log = view.Var(leaf, "clientLog");
+  if (client_log == nullptr) {
+    return Status::Corruption("leaf lacks variable clientLog");
+  }
+  const Value* applied = view.Var(leaf, "appliedOps");
+  if (applied == nullptr) {
+    return Status::Corruption("leaf lacks variable appliedOps");
+  }
+  const Value* server_state = view.Var(leaf, "serverState");
+  if (server_state == nullptr) {
+    return Status::Corruption("leaf lacks variable serverState");
+  }
+
+  TestCase c;
+  c.initial = initial;
+  for (int client = 1; client <= num_clients; ++client) {
+    // The client's own operation is the first entry of its log (ops are
+    // performed before any merge).
+    const Value& log = client_log->Index1(client);
+    if (log.size() == 0) {
+      return Status::Corruption(
+          StrCat("client ", client, " has an empty log in a leaf state"));
+    }
+    Result<Operation> own = OpFromValue(log.at(0));
+    if (!own.ok()) return own.status();
+    c.client_ops.push_back(*own);
+
+    ot::OpList applied_ops;
+    const Value& applied_seq = applied->Index1(client);
+    for (size_t i = 0; i < applied_seq.size(); ++i) {
+      Result<Operation> op = OpFromValue(applied_seq.at(i));
+      if (!op.ok()) return op.status();
+      applied_ops.push_back(*op);
+    }
+    c.applied_ops.push_back(std::move(applied_ops));
+  }
+
+  Result<ot::Array> final_array = ArrayFromValue(*server_state);
+  if (!final_array.ok()) return final_array.status();
+  c.final_array = *final_array;
+  c.case_id = FingerprintCase(c);
+  *out = std::move(c);
+  return Status::OK();
+}
+
+Result<std::vector<TestCase>> ExtractCore(const VarView& view,
+                                          const DecodedGraph& decoded,
+                                          int num_clients, int num_workers) {
+  if (decoded.roots.empty()) {
+    return Status::Corruption("graph has no initial node");
+  }
+  // Each root's initial array is parsed once, serially, up front.
+  std::vector<ot::Array> initials(decoded.roots.size());
+  for (size_t r = 0; r < decoded.roots.size(); ++r) {
+    const Value* server_state = view.Var(decoded.roots[r], "serverState");
+    if (server_state == nullptr) {
+      return Status::Corruption("initial node lacks serverState");
+    }
+    Result<ot::Array> initial = ArrayFromValue(*server_state);
+    if (!initial.ok()) return initial.status();
+    initials[r] = std::move(*initial);
+  }
+
+  const std::vector<WorkItem> items = EnumerateLeaves(decoded);
+
+  // Fan the per-leaf extraction out over the pool: an atomic cursor hands
+  // items to workers, each result lands in its item's pre-assigned slot,
+  // so output order is the item order regardless of scheduling.
+  std::vector<TestCase> slots(items.size());
+  std::vector<char> filled(items.size(), 0);
+  std::vector<Status> errors(items.size(), Status::OK());
+  std::atomic<size_t> cursor{0};
+  common::WorkerPool pool(common::ResolveWorkerCount(num_workers));
+  pool.Run([&](int) {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) return;
+      const WorkItem& item = items[i];
+      bool skip = false;
+      Status s = ExtractOne(view, item.leaf, initials[item.root_ordinal],
+                            num_clients, &slots[i], &skip);
+      if (!s.ok()) {
+        errors[i] = std::move(s);
+      } else if (!skip) {
+        filled[i] = 1;
+      }
+    }
+  });
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!errors[i].ok()) return errors[i];  // First error in item order.
+  }
+  std::vector<TestCase> cases;
+  cases.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (filled[i]) cases.push_back(std::move(slots[i]));
+  }
+  return cases;
+}
+
 }  // namespace
 
 Result<std::vector<TestCase>> ExtractTestCases(const DotGraph& graph,
-                                               int num_clients) {
-  if (graph.initial.empty()) {
-    return Status::Corruption("graph has no initial node");
-  }
-  auto root_it = graph.nodes.find(graph.initial.front());
-  if (root_it == graph.nodes.end()) {
-    return Status::Corruption("initial node has no label");
-  }
-  auto root_state = root_it->second.vars.find("serverState");
-  if (root_state == root_it->second.vars.end()) {
-    return Status::Corruption("initial node lacks serverState");
-  }
-  Result<ot::Array> initial = ArrayFromValue(root_state->second);
-  if (!initial.ok()) return initial.status();
+                                               int num_clients,
+                                               int num_workers) {
+  Result<DecodedGraph> decoded = DecodeDot(graph);
+  if (!decoded.ok()) return decoded.status();
+  DotVarView view(graph, *decoded);
+  return ExtractCore(view, *decoded, num_clients, num_workers);
+}
 
-  std::vector<TestCase> cases;
-  for (uint32_t leaf_id : graph.TerminalNodes()) {
-    const DotGraph::Node& leaf = graph.nodes.at(leaf_id);
-    auto need = [&leaf](const char* var) -> Result<const Value*> {
-      auto it = leaf.vars.find(var);
-      if (it == leaf.vars.end()) {
-        return Status::Corruption(StrCat("leaf lacks variable ", var));
-      }
-      return const_cast<const Value*>(&it->second);
-    };
-
-    Result<const Value*> err = need("err");
-    if (!err.ok()) return err.status();
-    if ((*err)->is_bool() && (*err)->bool_value()) {
-      // A poisoned leaf (non-terminating merge): no test case.
-      continue;
-    }
-
-    TestCase c;
-    c.initial = *initial;
-
-    Result<const Value*> client_log = need("clientLog");
-    if (!client_log.ok()) return client_log.status();
-    Result<const Value*> applied = need("appliedOps");
-    if (!applied.ok()) return applied.status();
-    Result<const Value*> server_state = need("serverState");
-    if (!server_state.ok()) return server_state.status();
-
-    for (int client = 1; client <= num_clients; ++client) {
-      // The client's own operation is the first entry of its log (ops are
-      // performed before any merge).
-      const Value& log = (*client_log)->Index1(client);
-      if (log.size() == 0) {
-        return Status::Corruption(
-            StrCat("client ", client, " has an empty log in a leaf state"));
-      }
-      Result<Operation> own = OpFromValue(log.at(0));
-      if (!own.ok()) return own.status();
-      c.client_ops.push_back(*own);
-
-      ot::OpList applied_ops;
-      const Value& applied_seq = (*applied)->Index1(client);
-      for (size_t i = 0; i < applied_seq.size(); ++i) {
-        Result<Operation> op = OpFromValue(applied_seq.at(i));
-        if (!op.ok()) return op.status();
-        applied_ops.push_back(*op);
-      }
-      c.applied_ops.push_back(std::move(applied_ops));
-    }
-
-    Result<ot::Array> final_array = ArrayFromValue(**server_state);
-    if (!final_array.ok()) return final_array.status();
-    c.final_array = *final_array;
-    c.case_id = FingerprintCase(c);
-    cases.push_back(std::move(c));
-  }
-  // Deterministic order (terminal-node ids follow map order already, but
-  // be explicit for generated-file stability).
-  std::sort(cases.begin(), cases.end(),
-            [](const TestCase& a, const TestCase& b) {
-              return a.case_id < b.case_id;
-            });
-  return cases;
+Result<std::vector<TestCase>> ExtractTestCases(
+    const tlax::StateGraph& graph, const std::vector<std::string>& variables,
+    int num_clients, int num_workers) {
+  DecodedGraph decoded = DecodeStateGraph(graph);
+  StateVarView view(graph, variables);
+  return ExtractCore(view, decoded, num_clients, num_workers);
 }
 
 }  // namespace xmodel::mbtcg

@@ -39,6 +39,9 @@ struct LevelEntry {
   uint64_t fp = 0;
   int64_t depth = 0;
   uint64_t key = 0;
+  // record_graph: the settled graph id of this state, filled when the
+  // level is built (seeds at registration, later levels at the barrier).
+  uint32_t gid = StateGraph::kNoId;
 };
 
 // A violation observed while a level drains. The level always completes
@@ -81,12 +84,7 @@ class Engine {
         clock_(options.clock != nullptr ? options.clock
                                         : common::MonotonicClock::Real()),
         fp_audit_(options.fp_audit || FpAuditFromEnv()),
-        // record_graph needs globally ordered node ids and every
-        // duplicate-edge event, so it pins the run to one worker (see
-        // CheckerOptions::num_workers).
-        workers_(options.record_graph
-                     ? 1
-                     : common::ResolveWorkerCount(options.num_workers)),
+        workers_(common::ResolveWorkerCount(options.num_workers)),
         use_sleep_sets_(options.independence != nullptr &&
                         !options.record_graph &&
                         options.independence->num_actions() ==
@@ -127,7 +125,8 @@ class Engine {
   bool SeedInitial(std::vector<LevelEntry>* level);
 
   void DrainLevel(const std::vector<LevelEntry>& level, int worker);
-  void ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s);
+  void ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
+                    int worker);
   void CheckInvariants(const State& state, uint64_t fp, uint64_t key,
                        Scratch& s);
 
@@ -200,11 +199,9 @@ bool Engine::SeedInitial(std::vector<LevelEntry>* level) {
     if (!ins.inserted) continue;
     initial_by_fp_.emplace(fp, init);
     const bool constrained = spec_.WithinConstraint(init);
+    uint32_t gid = StateGraph::kNoId;
     if (result_.graph) {
-      const uint32_t gid =
-          constrained ? result_.graph->AddState(init) : kFpNoGraphId;
-      fpset_.SetGraphId(fp, gid);
-      if (constrained) result_.graph->AddInitial(gid);
+      gid = result_.graph->RegisterSeed(fp, init, constrained);
     }
     if (!constrained) continue;
     for (const Invariant& inv : invariants_) {
@@ -215,7 +212,7 @@ bool Engine::SeedInitial(std::vector<LevelEntry>* level) {
         return false;
       }
     }
-    level->push_back(LevelEntry{std::move(init), fp, 0, key});
+    level->push_back(LevelEntry{std::move(init), fp, 0, key, gid});
   }
   return true;
 }
@@ -230,7 +227,8 @@ void Engine::CheckInvariants(const State& state, uint64_t fp, uint64_t key,
   }
 }
 
-void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s) {
+void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
+                          int worker) {
   if (entry.depth > s.diameter) s.diameter = entry.depth;
   if (options_.max_depth >= 0 && entry.depth >= options_.max_depth) return;
 
@@ -249,8 +247,6 @@ void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s) {
   }
   ++s.expanded;
 
-  const uint32_t cur_gid =
-      result_.graph ? fpset_.GetGraphId(entry.fp) : kFpNoGraphId;
   std::vector<State>& successors = s.successors;
   successors.clear();
   for (uint16_t ai = 0; ai < actions_.size(); ++ai) {
@@ -282,8 +278,7 @@ void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s) {
         }
         const bool constrained = spec_.WithinConstraint(succ);
         if (result_.graph) {
-          fpset_.SetGraphId(
-              fp, constrained ? result_.graph->AddState(succ) : kFpNoGraphId);
+          result_.graph->RecordNode(fp, succ, constrained);
         }
         // Invariants are checked on every distinct state, including
         // states outside the constraint (TLC checks invariants before
@@ -297,11 +292,8 @@ void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s) {
         enqueue = true;
         succ_depth = ins.depth;
       }
-      if (result_.graph) {
-        const uint32_t succ_gid = fpset_.GetGraphId(fp);
-        if (cur_gid != kFpNoGraphId && succ_gid != kFpNoGraphId) {
-          result_.graph->AddEdge(cur_gid, succ_gid, ai);
-        }
+      if (result_.graph && entry.gid != StateGraph::kNoId) {
+        result_.graph->RecordEdge(worker, entry.gid, fp, ai);
       }
       if (enqueue) {
         s.next.push_back(LevelEntry{std::move(succ), fp, succ_depth, key});
@@ -339,7 +331,7 @@ void Engine::DrainLevel(const std::vector<LevelEntry>& level, int worker) {
     if (poll) PollProgress(level.size(), pos);
     const uint64_t gen_before = s.generated;
     const size_t next_before = s.next.size();
-    ProcessEntry(level[pos], pos, s);
+    ProcessEntry(level[pos], pos, s, worker);
     if (flush) {
       generated_level_.fetch_add(s.generated - gen_before,
                                  std::memory_order_relaxed);
@@ -479,6 +471,14 @@ CheckResult Engine::Finish(common::Status status) {
                  ? static_cast<double>(result_.generated_states) /
                        result_.seconds
                  : 0);
+    if (result_.graph) {
+      registry.GetGauge("checker.graph.nodes")
+          .Set(static_cast<double>(result_.graph->num_states()));
+      registry.GetGauge("checker.graph.edges")
+          .Set(static_cast<double>(result_.graph->num_edges()));
+      registry.GetGauge("checker.graph.dup_edges")
+          .Set(static_cast<double>(result_.graph->num_duplicate_edges()));
+    }
     // Value-interning telemetry: table totals plus how many NEW composite
     // reps this run allocated per distinct state — the per-state allocator
     // pressure the interned value layer is meant to shrink.
@@ -521,6 +521,7 @@ CheckResult Engine::Run() {
   }
   if (options_.record_graph) {
     result_.graph = std::make_shared<StateGraph>();
+    result_.graph->BeginRecording(workers_);
     std::vector<std::string> action_names;
     action_names.reserve(actions_.size());
     for (const Action& a : actions_) action_names.push_back(a.name);
@@ -567,6 +568,18 @@ CheckResult Engine::Run() {
     }
     generated_level_.store(0, std::memory_order_relaxed);
 
+    if (result_.graph) {
+      // Settle this level's graph discoveries before any early return:
+      // a violating level must still land in the graph (identically under
+      // every worker count) so liveness and MBTCG runs over violating
+      // configs stay deterministic. The seen-set's min-merged order key is
+      // the key a serial scan would have discovered the state with.
+      result_.graph->SettleLevel([this](uint64_t fp) {
+        std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(fp);
+        return edge.has_value() ? edge->order_key : ~uint64_t{0};
+      });
+    }
+
     if (!candidates.empty()) {
       // A violating level is always fully drained first, so the serial
       // winner — the smallest discovery key — is available under every
@@ -607,6 +620,11 @@ CheckResult Engine::Run() {
               [](const LevelEntry& a, const LevelEntry& b) {
                 return a.key < b.key;
               });
+    if (result_.graph) {
+      // Node ids were assigned at SettleLevel; stamp them onto the
+      // entries so each expansion can record edges without a map lookup.
+      for (LevelEntry& e : next) e.gid = result_.graph->IdOf(e.fp);
+    }
     level = std::move(next);
     next_count_.store(0, std::memory_order_relaxed);
   }

@@ -26,8 +26,9 @@ struct CheckerOptions {
   /// `distinct_states`/`diameter`/violation traces are identical across
   /// worker counts (POR excepted: sleep-set merges are order-sensitive,
   /// so only `distinct_states` is worker-invariant there). record_graph
-  /// forces a single worker: graph node ids and duplicate-edge events
-  /// must follow global discovery order.
+  /// runs at full parallelism too: node ids are assigned from the settled
+  /// discovery order at each level barrier, so the recorded graph — DOT
+  /// output included — is byte-identical across worker counts.
   int num_workers = 1;
   /// Record the full state graph (needed for DOT export / MBTCG / liveness).
   bool record_graph = false;
@@ -109,7 +110,7 @@ struct CheckResult {
   /// CheckerOptions::fp_audit / XMODEL_FP_AUDIT; always 0 otherwise.
   uint64_t fingerprint_collisions = 0;
   /// Exploration workers the run actually used (after resolving
-  /// num_workers == 0 and the record_graph single-worker clamp).
+  /// num_workers == 0 to the hardware thread count).
   int workers_used = 1;
   std::optional<Violation> violation;
   /// Present when options.record_graph was set.

@@ -119,20 +119,6 @@ std::optional<State> FingerprintSet::FindState(uint64_t fp) const {
   return it->second;
 }
 
-void FingerprintSet::SetGraphId(uint64_t fp, uint32_t graph_id) {
-  Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.records.find(fp);
-  if (it != shard.records.end()) it->second.graph_id = graph_id;
-}
-
-uint32_t FingerprintSet::GetGraphId(uint64_t fp) const {
-  const Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.records.find(fp);
-  return it == shard.records.end() ? kFpNoGraphId : it->second.graph_id;
-}
-
 double FingerprintSet::load_factor() const {
   size_t records = 0;
   size_t buckets = 0;

@@ -26,9 +26,6 @@ inline uint64_t Fingerprint(const State& state) {
 /// predecessor to replay from).
 inline constexpr uint16_t kFpInitialAction = UINT16_MAX;
 
-/// Graph-node sentinel for states outside the constraint (record_graph).
-inline constexpr uint32_t kFpNoGraphId = UINT32_MAX;
-
 /// Outcome of FingerprintSet::Insert.
 struct FpInsert {
   /// The fingerprint was new; a record was created.
@@ -115,10 +112,6 @@ class FingerprintSet {
   /// keep_states mode: a copy of the full state stored for `fp`.
   std::optional<State> FindState(uint64_t fp) const;
 
-  /// record_graph bookkeeping (single-worker runs only).
-  void SetGraphId(uint64_t fp, uint32_t graph_id);
-  uint32_t GetGraphId(uint64_t fp) const;
-
   /// Number of distinct fingerprints inserted.
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   /// Audit mode: distinct-state pairs observed sharing a fingerprint.
@@ -138,7 +131,6 @@ class FingerprintSet {
     int64_t depth = 0;
     uint64_t sleep = 0;  // POR: actions to skip when expanding.
     uint64_t done = 0;   // POR: actions already expanded here.
-    uint32_t graph_id = kFpNoGraphId;
     uint16_t action = kFpInitialAction;
     bool queued = false;  // POR: on a frontier, awaiting expansion.
   };

@@ -1,9 +1,110 @@
 #include "tlax/state_graph.h"
 
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
 #include "common/json.h"
 #include "common/strings.h"
 
 namespace xmodel::tlax {
+
+namespace {
+
+// Mirror of FingerprintSet's striping: many more stripes than workers keeps
+// RecordNode contention negligible, and using the fingerprint's *top* bits
+// decorrelates shard selection from the unordered_map's low-bit bucketing.
+constexpr int kIndexShards = 64;
+constexpr int kIndexShardBits = 6;
+
+}  // namespace
+
+StateGraph::StateGraph() : shards_(kIndexShards) {
+  shard_shift_ = 64 - kIndexShardBits;
+}
+
+void StateGraph::BeginRecording(int num_workers) {
+  worker_edges_.resize(
+      static_cast<size_t>(num_workers < 1 ? 1 : num_workers));
+}
+
+uint32_t StateGraph::RegisterSeed(uint64_t fp, const State& state,
+                                  bool constrained) {
+  const uint32_t id = constrained ? AddState(state) : kNoId;
+  {
+    IndexShard& shard = ShardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ids.emplace(fp, id);
+  }
+  if (constrained) initial_.push_back(id);
+  return id;
+}
+
+void StateGraph::RecordNode(uint64_t fp, const State& state,
+                            bool constrained) {
+  IndexShard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pending.push_back(PendingNode{fp, 0, state, constrained});
+}
+
+void StateGraph::RecordEdge(int worker, uint32_t from_id, uint64_t to_fp,
+                            uint16_t action) {
+  assert(static_cast<size_t>(worker) < worker_edges_.size());
+  worker_edges_[static_cast<size_t>(worker)].push_back(
+      PendingEdge{to_fp, from_id, action});
+}
+
+void StateGraph::SettleLevel(const std::function<uint64_t(uint64_t)>& key_of) {
+  // 1. Drain the pending nodes and stamp each with its settled discovery
+  // key. The seen-set min-merges same-level rediscoveries toward the
+  // smallest event key, so by the barrier key_of(fp) is the key of the
+  // event a serial scan would have discovered fp with — sorting on it
+  // reproduces the serial id order exactly.
+  std::vector<PendingNode> level;
+  for (IndexShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (PendingNode& node : shard.pending) {
+      node.key = key_of(node.fp);
+      level.push_back(std::move(node));
+    }
+    shard.pending.clear();
+  }
+  std::sort(level.begin(), level.end(),
+            [](const PendingNode& a, const PendingNode& b) {
+              return a.key < b.key;
+            });
+
+  // 2. Assign ids in settled order; unconstrained states are remembered as
+  // kNoId so edges to them resolve to "drop", now and in later levels.
+  for (PendingNode& node : level) {
+    const uint32_t id = node.constrained ? AddState(std::move(node.state))
+                                         : kNoId;
+    IndexShard& shard = ShardFor(node.fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ids.emplace(node.fp, id);
+  }
+
+  // 3. Resolve and append the level's edges. A node's out-edges live in
+  // exactly one worker's buffer (its single expansion), already in action/
+  // successor order, so appending buffers in worker order preserves the
+  // only ordering DOT output observes: the per-source edge list.
+  for (std::vector<PendingEdge>& buffer : worker_edges_) {
+    for (const PendingEdge& edge : buffer) {
+      if (edge.from_id == kNoId) continue;
+      const uint32_t to = IdOf(edge.to_fp);
+      if (to == kNoId) continue;
+      edges_[edge.from_id].push_back(Edge{to, edge.action});
+    }
+    buffer.clear();
+  }
+}
+
+uint32_t StateGraph::IdOf(uint64_t fp) const {
+  const IndexShard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(fp);
+  return it == shard.ids.end() ? kNoId : it->second;
+}
 
 std::string StateGraph::ToDot(
     const std::vector<std::string>& variable_names) const {

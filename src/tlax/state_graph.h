@@ -2,7 +2,10 @@
 #define XMODEL_TLAX_STATE_GRAPH_H_
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tlax/state.h"
@@ -14,12 +17,50 @@ namespace xmodel::tlax {
 ///
 /// This mirrors TLC's `-dump dot` output, which the paper's MBTCG pipeline
 /// parses to generate test cases (§5.2).
+///
+/// Two construction modes:
+///
+/// **Serial** (tests, tools): `AddState`/`AddEdge`/`AddInitial`, exactly the
+/// classic append-only API.
+///
+/// **Concurrent recording** (the parallel checker): the graph doubles as a
+/// sharded concurrent store keyed by 64-bit state fingerprint, so N workers
+/// can record discoveries while the level drains and still produce a graph
+/// that is *byte-identical* to the single-worker one:
+///
+///  - `RecordNode(fp, state, constrained)` — called by whichever worker wins
+///    the fingerprint-table insert; buffers the node in a mutex-striped
+///    pending map (shard = top fingerprint bits, same scheme as the
+///    checker's FingerprintSet).
+///  - `RecordEdge(worker, from_id, to_fp, action)` — appends to a
+///    worker-local edge buffer, completely lock-free. A node's out-edges are
+///    produced by exactly one ProcessEntry call on exactly one worker, so
+///    per-source edge order (the only order DOT output observes) is already
+///    deterministic; buffers can merge in any worker order.
+///  - `SettleLevel(key_of)` — at the level barrier: drains the pending
+///    nodes, sorts them by their *settled* discovery key (the
+///    fingerprint table's min-merged order key — the key of the event a
+///    serial scan would have discovered the state with), assigns node ids
+///    in that order, then resolves buffered edges fingerprint→id and
+///    appends them. Node ids, edge lists, and therefore `ToDot` become a
+///    pure function of the state graph, independent of worker count.
+///
+/// States outside the spec constraint are remembered with `kNoId` so later
+/// duplicate edges to them are dropped, matching the serial checker.
 class StateGraph {
  public:
+  /// Id sentinel for fingerprints that carry no graph node (states outside
+  /// the constraint, or unknown fingerprints).
+  static constexpr uint32_t kNoId = UINT32_MAX;
+
   struct Edge {
     uint32_t to = 0;
     uint16_t action = 0;
   };
+
+  StateGraph();
+
+  // --- Serial construction -------------------------------------------------
 
   uint32_t AddState(State state) {
     states_.push_back(std::move(state));
@@ -33,11 +74,53 @@ class StateGraph {
 
   void AddInitial(uint32_t id) { initial_.push_back(id); }
 
+  // --- Concurrent recording ------------------------------------------------
+
+  /// Sizes the per-worker edge buffers. Must be called before the first
+  /// RecordEdge; safe to call once per run.
+  void BeginRecording(int num_workers);
+
+  /// Serial seeding of an initial state: assigns its node id immediately
+  /// (seed order is the discovery order of level 0) and marks it initial
+  /// when it is within the constraint. Returns the id, or kNoId for
+  /// unconstrained seeds.
+  uint32_t RegisterSeed(uint64_t fp, const State& state, bool constrained);
+
+  /// Buffers a newly discovered state for id assignment at the next
+  /// SettleLevel. Call exactly once per fingerprint, from the worker that
+  /// won the seen-set insert. Thread-safe (one shard mutex).
+  void RecordNode(uint64_t fp, const State& state, bool constrained);
+
+  /// Buffers one edge event in `worker`'s local buffer (lock-free).
+  /// `from_id` is the settled id of the expanding node; the target is
+  /// named by fingerprint because its id may not exist until the barrier.
+  void RecordEdge(int worker, uint32_t from_id, uint64_t to_fp,
+                  uint16_t action);
+
+  /// Level barrier: assigns ids to every pending node in ascending
+  /// `key_of(fp)` order (pass the seen-set's settled min-merged discovery
+  /// key), then resolves and appends every buffered edge. Edges whose
+  /// endpoint resolves to kNoId are dropped. Single-threaded by contract.
+  void SettleLevel(const std::function<uint64_t(uint64_t)>& key_of);
+
+  /// The settled node id recorded for `fp`; kNoId when the fingerprint is
+  /// unknown or its state was outside the constraint.
+  uint32_t IdOf(uint64_t fp) const;
+
+  // --- Read API ------------------------------------------------------------
+
   size_t num_states() const { return states_.size(); }
   size_t num_edges() const {
     size_t n = 0;
     for (const auto& out : edges_) n += out.size();
     return n;
+  }
+  /// Recorded edges beyond each non-initial node's discovery edge —
+  /// re-visits of already-known states (TLC's duplicate-state events).
+  size_t num_duplicate_edges() const {
+    const size_t discovery = states_.size() - initial_.size();
+    const size_t total = num_edges();
+    return total > discovery ? total - discovery : 0;
   }
   const State& state(uint32_t id) const { return states_[id]; }
   const std::vector<Edge>& out_edges(uint32_t id) const { return edges_[id]; }
@@ -53,14 +136,42 @@ class StateGraph {
   /// Serializes the graph in GraphViz DOT format. Each node is labeled with
   /// the state's variables in TLA syntax (one `var = value` line per
   /// variable, as TLC does), and each edge with its action name. This is the
-  /// wire format the MBTCG generator parses back.
+  /// wire format the MBTCG generator parses back (`--via-dot` mode).
   std::string ToDot(const std::vector<std::string>& variable_names) const;
 
  private:
+  struct PendingNode {
+    uint64_t fp = 0;
+    uint64_t key = 0;  // Filled from key_of at settle time.
+    State state;
+    bool constrained = false;
+  };
+  struct PendingEdge {
+    uint64_t to_fp = 0;
+    uint32_t from_id = 0;
+    uint16_t action = 0;
+  };
+  struct IndexShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint32_t> ids;  // Settled fingerprint → id.
+    std::vector<PendingNode> pending;            // Level-scoped.
+  };
+
+  IndexShard& ShardFor(uint64_t fp) {
+    return shards_[(fp >> shard_shift_) & (shards_.size() - 1)];
+  }
+  const IndexShard& ShardFor(uint64_t fp) const {
+    return shards_[(fp >> shard_shift_) & (shards_.size() - 1)];
+  }
+
   std::vector<State> states_;
   std::vector<std::vector<Edge>> edges_;
   std::vector<uint32_t> initial_;
   std::vector<std::string> action_names_;
+
+  std::vector<IndexShard> shards_;
+  int shard_shift_ = 0;
+  std::vector<std::vector<PendingEdge>> worker_edges_;
 };
 
 }  // namespace xmodel::tlax

@@ -101,7 +101,10 @@ TEST(GeneratorTest, ProducesExactly4913Cases) {
   ASSERT_TRUE(report.status.ok()) << report.status.ToString();
   EXPECT_EQ(cases.size(), 4913u);
   EXPECT_EQ(report.num_cases, 4913u);
-  EXPECT_GT(report.dot_bytes, 0u);
+  // The default path hands the in-memory graph straight to extraction: no
+  // DOT dump is produced.
+  EXPECT_EQ(report.dot_bytes, 0u);
+  EXPECT_EQ(report.roots, 1u);
 
   // Every case is well-formed.
   for (const TestCase& c : cases) {
@@ -114,6 +117,57 @@ TEST(GeneratorTest, ProducesExactly4913Cases) {
   for (const TestCase& c : cases) ids.push_back(c.case_id);
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(GeneratorTest, ViaDotMatchesInMemoryExactly) {
+  // The DOT round trip is the fidelity mode: it must produce the same
+  // cases in the same order as the in-memory fast path, byte for byte.
+  std::vector<TestCase> in_memory;
+  GenerationReport mem_report =
+      GenerateTestCases(ArrayOtConfig{}, &in_memory);
+  ASSERT_TRUE(mem_report.status.ok()) << mem_report.status.ToString();
+  EXPECT_EQ(mem_report.dot_bytes, 0u);
+
+  GenerateOptions via_dot;
+  via_dot.via_dot = true;
+  std::vector<TestCase> round_tripped;
+  GenerationReport dot_report =
+      GenerateTestCases(ArrayOtConfig{}, &round_tripped, via_dot);
+  ASSERT_TRUE(dot_report.status.ok()) << dot_report.status.ToString();
+  EXPECT_GT(dot_report.dot_bytes, 0u);
+
+  ASSERT_EQ(round_tripped.size(), in_memory.size());
+  for (size_t i = 0; i < in_memory.size(); ++i) {
+    EXPECT_EQ(round_tripped[i].case_id, in_memory[i].case_id)
+        << "case order diverged at index " << i;
+    EXPECT_EQ(round_tripped[i].initial, in_memory[i].initial);
+    EXPECT_EQ(round_tripped[i].final_array, in_memory[i].final_array);
+  }
+  // Same generated file, byte for byte.
+  EXPECT_EQ(GenerateCppTestFile(round_tripped, 50),
+            GenerateCppTestFile(in_memory, 50));
+}
+
+TEST(GeneratorTest, ParallelGenerationIsWorkerInvariant) {
+  // Both pipeline stages — graph-recording model check and per-leaf
+  // extraction — run multi-worker; the output must not notice.
+  std::vector<TestCase> base;
+  ASSERT_TRUE(GenerateTestCases(ArrayOtConfig{}, &base).status.ok());
+
+  for (int workers : {2, 4}) {
+    GenerateOptions options;
+    options.num_workers = workers;
+    std::vector<TestCase> cases;
+    GenerationReport report =
+        GenerateTestCases(ArrayOtConfig{}, &cases, options);
+    ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+    EXPECT_EQ(report.workers_used, workers);
+    ASSERT_EQ(cases.size(), base.size()) << "workers=" << workers;
+    for (size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(cases[i].case_id, base[i].case_id)
+          << "workers=" << workers << ", case order diverged at " << i;
+    }
+  }
 }
 
 TEST(GeneratorTest, AllCasesPassOnBothImplementations) {

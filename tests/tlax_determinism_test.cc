@@ -157,14 +157,18 @@ TEST(DeterminismTest, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(result.workers_used, 1);
 }
 
-TEST(DeterminismTest, RecordGraphClampsToOneWorker) {
+TEST(DeterminismTest, RecordGraphRunsAtFullParallelism) {
+  // The former record_graph → 1 worker clamp is gone: graph-recording
+  // runs honor num_workers (byte-identity of the recorded graph is
+  // covered by tlax_graph_determinism_test).
   CheckerOptions options;
   options.num_workers = 4;
   options.record_graph = true;
   CheckResult result = ModelChecker(options).Check(specs::CounterSpec(2));
-  EXPECT_EQ(result.workers_used, 1);
+  EXPECT_EQ(result.workers_used, 4);
   ASSERT_NE(result.graph, nullptr);
   EXPECT_EQ(result.distinct_states, 9u);
+  EXPECT_EQ(result.graph->num_states(), 9u);
 }
 
 // Interning must be semantically invisible: repeated checks of the same

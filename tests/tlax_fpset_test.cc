@@ -134,14 +134,6 @@ TEST(FpsetTest, PorSleepIntersectAndWake) {
       << "still queued from the original insert; no duplicate enqueue";
 }
 
-TEST(FpsetTest, GraphIdRoundTrip) {
-  FingerprintSet set;
-  set.Insert(42, 0, kFpInitialAction, 0, 0, 0, nullptr);
-  EXPECT_EQ(set.GetGraphId(42), kFpNoGraphId);
-  set.SetGraphId(42, 17);
-  EXPECT_EQ(set.GetGraphId(42), 17u);
-}
-
 TEST(FpsetTest, ShardCountRoundsUpToPowerOfTwo) {
   FingerprintSet::Options options;
   options.num_shards = 5;

@@ -1,0 +1,193 @@
+// Determinism of parallel state-graph recording: a record_graph run must
+// produce a graph — node ids, edge lists, duplicate-edge count, and the
+// full DOT serialization, byte for byte — that is identical at 1, 2, and
+// 4 workers, on clean specs and on violating configurations. This is the
+// property that lets MBTCG and liveness checking run at full worker
+// parallelism (see DESIGN.md "Parallel graph recording").
+//
+// Also home to the concurrent-recorder hammer, which drives the
+// StateGraph recording API directly from racing threads; run it under the
+// TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "specs/array_ot_spec.h"
+#include "specs/locking_spec.h"
+#include "specs/raft_mongo_spec.h"
+#include "tlax/checker.h"
+#include "tlax/liveness.h"
+#include "tlax/spec.h"
+#include "tlax/state_graph.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+namespace {
+
+// Runs `spec` with record_graph at several worker counts and asserts the
+// recorded graph matches the single-worker baseline exactly.
+void ExpectGraphInvariant(const Spec& spec, CheckerOptions options = {}) {
+  options.record_graph = true;
+  options.num_workers = 1;
+  CheckResult base = ModelChecker(options).Check(spec);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  ASSERT_NE(base.graph, nullptr);
+  EXPECT_EQ(base.workers_used, 1);
+  const std::string base_dot = base.graph->ToDot(spec.variables());
+
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << spec.name() << " with " << workers
+                                    << " workers");
+    options.num_workers = workers;
+    CheckResult result = ModelChecker(options).Check(spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    ASSERT_NE(result.graph, nullptr);
+    EXPECT_EQ(result.workers_used, workers);
+
+    EXPECT_EQ(result.graph->num_states(), base.graph->num_states());
+    EXPECT_EQ(result.graph->num_edges(), base.graph->num_edges());
+    EXPECT_EQ(result.graph->num_duplicate_edges(),
+              base.graph->num_duplicate_edges());
+    EXPECT_EQ(result.graph->initial_states(), base.graph->initial_states());
+    EXPECT_EQ(result.graph->ToDot(spec.variables()), base_dot)
+        << "DOT output must be byte-identical across worker counts";
+
+    ASSERT_EQ(result.violation.has_value(), base.violation.has_value());
+    if (base.violation.has_value()) {
+      EXPECT_EQ(result.violation->kind, base.violation->kind);
+    }
+  }
+}
+
+TEST(GraphDeterminismTest, RaftMongoDetailed) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  ExpectGraphInvariant(specs::RaftMongoSpec(config));
+}
+
+TEST(GraphDeterminismTest, LockingSpec) {
+  specs::LockingConfig config;
+  config.num_contexts = 2;
+  ExpectGraphInvariant(specs::LockingSpec(config));
+}
+
+TEST(GraphDeterminismTest, ArrayOt) {
+  specs::ArrayOtConfig config;
+  config.num_clients = 2;
+  config.initial_array_len = 2;
+  ExpectGraphInvariant(specs::ArrayOtSpec(config));
+}
+
+TEST(GraphDeterminismTest, ArrayOtWithInjectedTranscriptionError) {
+  // A violating run still settles the violating level into the graph
+  // before the winner is chosen, so the recorded graph — violating states
+  // included — must be worker-count-invariant too.
+  specs::ArrayOtConfig config;
+  config.num_clients = 2;
+  config.initial_array_len = 2;
+  config.inject_transcription_error = true;
+  specs::ArrayOtSpec spec(config);
+  CheckerOptions options;
+  options.record_graph = true;
+  options.num_workers = 1;
+  CheckResult base = ModelChecker(options).Check(spec);
+  ASSERT_TRUE(base.violation.has_value())
+      << "the injected transcription error must be caught";
+  ExpectGraphInvariant(spec);
+}
+
+TEST(GraphDeterminismTest, LivenessResultsAreWorkerInvariant) {
+  // Liveness consumes the recorded graph, so byte-identity must carry
+  // through to SCC structure and leads-to verdicts.
+  specs::LockingConfig config;
+  config.num_contexts = 2;
+  specs::LockingSpec spec(config);
+  CheckerOptions options;
+  options.record_graph = true;
+
+  options.num_workers = 1;
+  CheckResult base = ModelChecker(options).Check(spec);
+  ASSERT_NE(base.graph, nullptr);
+  uint32_t base_sccs = 0;
+  StronglyConnectedComponents(*base.graph, &base_sccs);
+
+  for (int workers : {2, 4}) {
+    options.num_workers = workers;
+    CheckResult result = ModelChecker(options).Check(spec);
+    ASSERT_NE(result.graph, nullptr);
+    uint32_t sccs = 0;
+    std::vector<uint32_t> ids =
+        StronglyConnectedComponents(*result.graph, &sccs);
+    EXPECT_EQ(sccs, base_sccs) << "workers=" << workers;
+    EXPECT_EQ(ids.size(), result.graph->num_states());
+  }
+}
+
+// Drives the concurrent recording API directly from racing threads — the
+// pattern the checker uses, minus the checker: N workers register
+// interleaved nodes and cross-edges, then a single settle assigns ids.
+// Primarily a TSan target; the assertions also pin the settled shape.
+TEST(GraphDeterminismTest, ConcurrentRecorderHammer) {
+  constexpr int kWorkers = 4;
+  constexpr uint64_t kNodesPerWorker = 1000;
+
+  StateGraph graph;
+  graph.BeginRecording(kWorkers);
+  const State seed(std::vector<Value>{Value::Int(0)});
+  const uint32_t root = graph.RegisterSeed(1, seed, /*constrained=*/true);
+  ASSERT_EQ(root, 0u);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([w, root, &graph] {
+      for (uint64_t i = 0; i < kNodesPerWorker; ++i) {
+        // Distinct fingerprints per worker; every 10th state is outside
+        // the constraint so kNoId resolution is exercised under load.
+        const uint64_t fp = 2 + static_cast<uint64_t>(w) * kNodesPerWorker + i;
+        const bool constrained = fp % 10 != 0;
+        graph.RecordNode(fp, State(std::vector<Value>{Value::Int(
+                                 static_cast<int64_t>(fp))}),
+                         constrained);
+        graph.RecordEdge(w, root, fp, /*action=*/0);
+        // Duplicate edge to a fingerprint some other worker registers
+        // (or nobody does — dropped either way without crashing).
+        graph.RecordEdge(w, root, fp + 1, /*action=*/1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  graph.SettleLevel([](uint64_t fp) { return fp; });
+
+  const uint64_t total = kWorkers * kNodesPerWorker;
+  uint64_t constrained = 0;
+  for (uint64_t fp = 2; fp < 2 + total; ++fp) {
+    if (fp % 10 != 0) ++constrained;
+  }
+  // Root + every constrained recorded node got an id, in fingerprint
+  // (= settle key) order.
+  EXPECT_EQ(graph.num_states(), constrained + 1);
+  EXPECT_EQ(graph.IdOf(1), 0u);
+  // Settled ids are dense and ascending in key order.
+  uint32_t expect_id = 1;
+  for (uint64_t fp = 2; fp < 2 + total; ++fp) {
+    if (fp % 10 != 0) {
+      EXPECT_EQ(graph.IdOf(fp), expect_id) << "fp=" << fp;
+      ++expect_id;
+    } else {
+      EXPECT_EQ(graph.IdOf(fp), StateGraph::kNoId) << "fp=" << fp;
+    }
+  }
+  // Every surviving edge leaves the root; edges to unconstrained or
+  // never-registered fingerprints were dropped.
+  EXPECT_EQ(graph.out_edges(0).size(), graph.num_edges());
+  EXPECT_GT(graph.num_edges(), constrained);
+}
+
+}  // namespace
+}  // namespace xmodel::tlax

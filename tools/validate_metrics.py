@@ -22,6 +22,13 @@ Checks every file argument and exits nonzero on the first problem:
   be present together, finite, and non-negative, with `live` never
   exceeding `misses` (every live rep was a miss once); when present,
   `checker.alloc.values_per_state` must be a finite non-negative gauge.
+- Graph-family sanity (any snapshot containing checker.graph.* metrics):
+  the recorded-graph gauges `checker.graph.{nodes,edges,dup_edges}` must
+  all be present together, finite, and non-negative, with `dup_edges`
+  never exceeding `edges` (a duplicate edge is still an edge).
+- MBTCG-family sanity (any snapshot containing mbtcg.extract.* metrics):
+  the extraction gauges `mbtcg.extract.{roots,cases,seconds}` must all be
+  present together, finite, and non-negative.
 
 Usage: tools/validate_metrics.py FILE [FILE...]
 """
@@ -136,6 +143,43 @@ def validate_value_family(path, metrics):
                 f"got {value!r}")
 
 
+def require_gauge_family(path, metrics, names):
+    """Asserts `names` appear all-or-nothing as finite non-negative gauges."""
+    present = [name for name in names if name in metrics]
+    if not present:
+        return False
+    missing = [name for name in names if name not in metrics]
+    require(not missing, path,
+            f"{present[0].rsplit('.', 1)[0]}.* gauges are published "
+            f"together; missing {missing}")
+    for name in names:
+        entry = metrics[name]
+        require(entry.get("kind") == "gauge", path, f"{name!r} must be a gauge")
+        value = entry.get("value")
+        require(isinstance(value, (int, float)) and math.isfinite(value)
+                and value >= 0, path,
+                f"{name!r} must be finite and >= 0, got {value!r}")
+    return True
+
+
+def validate_graph_family(path, metrics):
+    """Cross-metric sanity for the state graph's checker.graph.* family."""
+    names = [f"checker.graph.{leaf}"
+             for leaf in ("nodes", "edges", "dup_edges")]
+    if require_gauge_family(path, metrics, names):
+        require(metrics["checker.graph.dup_edges"]["value"] <=
+                metrics["checker.graph.edges"]["value"], path,
+                "checker.graph.dup_edges exceeds checker.graph.edges — a "
+                "duplicate edge is still an edge")
+
+
+def validate_mbtcg_family(path, metrics):
+    """Cross-metric sanity for test-case extraction's mbtcg.extract.*."""
+    names = [f"mbtcg.extract.{leaf}"
+             for leaf in ("roots", "cases", "seconds")]
+    require_gauge_family(path, metrics, names)
+
+
 def validate_metrics_doc(path, doc):
     require(doc.get("schema") == "xmodel.metrics.v1", path,
             f"unexpected schema {doc.get('schema')!r}")
@@ -145,6 +189,8 @@ def validate_metrics_doc(path, doc):
         validate_metric(path, name, entry)
     validate_checker_family(path, metrics)
     validate_value_family(path, metrics)
+    validate_graph_family(path, metrics)
+    validate_mbtcg_family(path, metrics)
     return len(metrics)
 
 
