@@ -1,0 +1,299 @@
+#include "analysis/domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "common/strings.h"
+#include "tlax/state.h"
+
+namespace xmodel::analysis {
+
+namespace {
+
+using common::StrCat;
+using tlax::Spec;
+using tlax::State;
+using tlax::Value;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Diagnostic Make(Severity severity, const Spec& spec, std::string location,
+                std::string code, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.tool = "domain";
+  d.subject = spec.name();
+  d.location = std::move(location);
+  d.code = std::move(code);
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace
+
+void AbstractValue::Join(const Value& v) {
+  if (form_ == Form::kTop) return;
+  if (v.is_int()) {
+    const int64_t i = v.int_value();
+    if (!saw_int_) {
+      saw_int_ = true;
+      lo_ = hi_ = i;
+    }
+    if (form_ == Form::kInterval) {
+      if (i < lo_ || i > hi_) {
+        lo_ = std::min(lo_, i);
+        hi_ = std::max(hi_, i);
+        if (++widenings_ > max_widenings_) {
+          form_ = Form::kTop;
+          values_.clear();
+        }
+      }
+      return;
+    }
+    lo_ = std::min(lo_, i);
+    hi_ = std::max(hi_, i);
+  } else {
+    all_ints_ = false;
+    if (form_ == Form::kInterval) {
+      // A non-int joined into an int interval: nothing finite describes
+      // the mix anymore.
+      form_ = Form::kTop;
+      values_.clear();
+      return;
+    }
+  }
+  if (!values_.insert(v).second) return;
+  form_ = Form::kFiniteSet;
+  if (values_.size() > cap_) {
+    // Overflow: collapse to the int interval covering everything seen so
+    // far, or to ⊤ when the set held non-int values.
+    form_ = all_ints_ ? Form::kInterval : Form::kTop;
+    values_.clear();
+  }
+}
+
+double AbstractValue::Cardinality() const {
+  switch (form_) {
+    case Form::kBottom:
+      return 0;
+    case Form::kFiniteSet:
+      return static_cast<double>(values_.size());
+    case Form::kInterval:
+      return static_cast<double>(hi_) - static_cast<double>(lo_) + 1;
+    case Form::kTop:
+      return kInf;
+  }
+  return kInf;
+}
+
+std::string AbstractValue::ToString() const {
+  switch (form_) {
+    case Form::kBottom:
+      return "bottom";
+    case Form::kFiniteSet:
+      return StrCat(values_.size(), " value(s)");
+    case Form::kInterval:
+      return StrCat("[", lo_, "..", hi_, "]");
+    case Form::kTop:
+      return "unbounded";
+  }
+  return "unbounded";
+}
+
+double SpecDomains::VarBound(size_t v) const {
+  if (v >= vars.size()) return kInf;
+  if (exhaustive && !vars[v].top()) {
+    const double observed = vars[v].Cardinality();
+    // A declaration can still be tighter than an interval overcount. A
+    // finite set, by contrast, is an exact count (and may legitimately
+    // exceed a declaration that covers only in-constraint values, since
+    // out-of-constraint successors are inserted and counted too).
+    if (vars[v].form() == AbstractValue::Form::kInterval &&
+        v < declared_sizes.size() && declared_sizes[v] > 0) {
+      return std::min(observed, declared_sizes[v]);
+    }
+    return observed;
+  }
+  if (v < declared_sizes.size() && declared_sizes[v] > 0) {
+    return declared_sizes[v];
+  }
+  return kInf;
+}
+
+double SpecDomains::StateBound() const {
+  double bound = 1;
+  for (size_t v = 0; v < vars.size(); ++v) bound *= VarBound(v);
+  // An empty-variable spec or a zeroed factor still bounds at one state.
+  return std::max(bound, 1.0);
+}
+
+std::vector<size_t> SpecDomains::UnboundedVars() const {
+  std::vector<size_t> out;
+  for (size_t v = 0; v < vars.size(); ++v) {
+    if (std::isinf(VarBound(v))) out.push_back(v);
+  }
+  return out;
+}
+
+SpecDomains InferDomains(const Spec& spec, const DomainOptions& options) {
+  SpecDomains result;
+  const std::vector<tlax::Action>& actions = spec.actions();
+  const size_t num_vars = spec.variables().size();
+
+  for (const tlax::DomainDecl& decl : spec.DeclaredDomains()) {
+    int index = spec.VarIndex(decl.var);
+    if (index < 0 || static_cast<size_t>(index) >= 64) {
+      result.unresolved.push_back(decl.var);
+      continue;
+    }
+    if (result.declared_sizes.size() < num_vars) {
+      result.declared_sizes.resize(num_vars, 0);
+    }
+    result.declared_sizes[static_cast<size_t>(index)] = decl.size;
+  }
+  if (num_vars > 64) return result;
+
+  const AbstractValue seed(options.finite_set_cap, options.max_widenings);
+  result.vars.assign(num_vars, seed);
+  result.constrained_vars.assign(num_vars, seed);
+  result.actions.resize(actions.size());
+  for (ActionDomain& ad : result.actions) {
+    ad.write_image.assign(num_vars, seed);
+  }
+
+  auto join_state = [&result, num_vars](const State& state, bool constrained) {
+    ++result.joined_states;
+    for (size_t v = 0; v < num_vars && v < state.num_vars(); ++v) {
+      result.vars[v].Join(state.var(v));
+      if (constrained) result.constrained_vars[v].Join(state.var(v));
+    }
+  };
+
+  // The probe mirrors the checker: canonicalize, dedupe by fingerprint,
+  // join EVERY inserted state (the checker counts out-of-constraint
+  // successors as distinct too), but expand only in-constraint ones.
+  std::deque<State> frontier;
+  std::unordered_set<uint64_t> seen;
+  for (State& init : spec.InitialStates()) {
+    State canon = spec.Canonicalize(init);
+    if (!seen.insert(canon.fingerprint()).second) continue;
+    const bool constrained = spec.WithinConstraint(canon);
+    join_state(canon, constrained);
+    if (constrained) frontier.push_back(std::move(canon));
+  }
+
+  std::vector<State> successors;
+  bool truncated = false;
+  while (!frontier.empty()) {
+    if (result.sampled_states >= options.max_samples) {
+      truncated = true;
+      break;
+    }
+    State state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.sampled_states;
+
+    for (size_t a = 0; a < actions.size(); ++a) {
+      ActionDomain& ad = result.actions[a];
+      successors.clear();
+      {
+        // The write sink sees every State::With store the action body
+        // performs — its may-write image — even when the successor is
+        // discarded before reaching `successors`.
+        tlax::StateAccessLog log;
+        log.on_write = [&ad, num_vars](size_t i, const Value& v) {
+          if (i < num_vars) ad.write_image[i].Join(v);
+        };
+        tlax::ScopedStateAccessLog scope(&log);
+        actions[a].next(state, &successors);
+      }
+      for (const State& succ : successors) {
+        ++ad.successors_generated;
+        // Wholesale-constructed successors bypass With; diff for those.
+        for (size_t v = 0; v < num_vars && v < succ.num_vars(); ++v) {
+          if (state.var(v) != succ.var(v)) ad.write_image[v].Join(succ.var(v));
+        }
+        State canon = spec.Canonicalize(succ);
+        const bool constrained = spec.WithinConstraint(canon);
+        if (!constrained) ++ad.successors_out_of_constraint;
+        if (!seen.insert(canon.fingerprint()).second) continue;
+        join_state(canon, constrained);
+        if (constrained) frontier.push_back(std::move(canon));
+      }
+    }
+  }
+  result.exhaustive = !truncated;
+  return result;
+}
+
+std::vector<Diagnostic> LintDomains(const Spec& spec,
+                                    const SpecDomains& domains) {
+  std::vector<Diagnostic> out;
+  const std::vector<std::string>& vars = spec.variables();
+
+  for (const std::string& name : domains.unresolved) {
+    out.push_back(Make(
+        Severity::kError, spec, name, "unresolved-domain-var",
+        StrCat("declared domain names unknown variable \"", name,
+               "\"; the state-space budget silently ignores it")));
+  }
+
+  for (size_t v = 0; v < vars.size() && v < domains.vars.size(); ++v) {
+    const double declared = v < domains.declared_sizes.size()
+                                ? domains.declared_sizes[v]
+                                : 0;
+    const AbstractValue& constrained = domains.constrained_vars[v];
+    if (domains.exhaustive && declared > 0 &&
+        constrained.form() == AbstractValue::Form::kFiniteSet &&
+        static_cast<double>(constrained.distinct_observed()) > declared) {
+      out.push_back(Make(
+          Severity::kError, spec, vars[v], "domain-exceeds-declaration",
+          StrCat("observed ", constrained.distinct_observed(),
+                 " distinct in-constraint values but the declared domain "
+                 "size is ",
+                 declared, "; the declaration understates the state space")));
+    }
+    if (domains.vars[v].top() && declared <= 0) {
+      out.push_back(Make(
+          Severity::kWarning, spec, vars[v], "unbounded-variable",
+          StrCat("the abstract domain widened to ⊤ over ",
+                 domains.sampled_states,
+                 " probed states and no declared domain bounds it; the "
+                 "state space is not provably finite — add or tighten a "
+                 "WithinConstraint")));
+    }
+  }
+  return out;
+}
+
+std::string DomainsToText(const Spec& spec, const SpecDomains& domains) {
+  const std::vector<std::string>& vars = spec.variables();
+  std::string out;
+  for (size_t v = 0; v < vars.size() && v < domains.vars.size(); ++v) {
+    out += StrCat("  ", vars[v], ": ", domains.vars[v].ToString());
+    if (v < domains.declared_sizes.size() && domains.declared_sizes[v] > 0) {
+      out += StrCat(" (declared ", domains.declared_sizes[v], ")");
+    }
+    out += "\n";
+  }
+  const double bound = domains.StateBound();
+  if (std::isinf(bound)) {
+    std::string names;
+    for (size_t v : domains.UnboundedVars()) {
+      if (!names.empty()) names += ", ";
+      names += v < vars.size() ? vars[v] : StrCat("#", v);
+    }
+    out += StrCat("  state-space budget: unbounded (", names, ")\n");
+  } else {
+    out += StrCat("  state-space budget: <= ", bound,
+                  domains.exhaustive ? " states (probe exhaustive)\n"
+                                     : " states (declared sizes only)\n");
+  }
+  return out;
+}
+
+}  // namespace xmodel::analysis

@@ -1,0 +1,165 @@
+#ifndef XMODEL_ANALYSIS_DOMAIN_H_
+#define XMODEL_ANALYSIS_DOMAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "tlax/spec.h"
+#include "tlax/value.h"
+
+namespace xmodel::analysis {
+
+/// One variable's abstract value under the domain-analysis lattice:
+///
+///   ⊥  →  finite set (distinct Values, up to a cap)
+///      →  interval [lo, hi] (all-int sets that overflow the cap)
+///      →  ⊤ (unbounded / unknown)
+///
+/// Joins only move upward. An interval widens to ⊤ after a bounded number
+/// of bound-extending joins (the widening step), so joining an
+/// unbounded-growth variable terminates at ⊤ instead of chasing it — ⊤ is
+/// the signal that a spec is missing a WithinConstraint.
+class AbstractValue {
+ public:
+  enum class Form { kBottom, kFiniteSet, kInterval, kTop };
+
+  /// Distinct values a finite set holds before collapsing to an interval
+  /// (all-int) or ⊤. Large enough that every registered spec's variables
+  /// stay exact at the lint probe bounds.
+  static constexpr size_t kDefaultFiniteCap = 4096;
+  /// Bound-extending interval joins tolerated before widening to ⊤.
+  static constexpr uint32_t kDefaultMaxWidenings = 16;
+
+  AbstractValue() = default;
+  AbstractValue(size_t finite_cap, uint32_t max_widenings)
+      : cap_(finite_cap), max_widenings_(max_widenings) {}
+
+  /// Joins one concrete value into the abstraction.
+  void Join(const tlax::Value& v);
+
+  Form form() const { return form_; }
+  bool top() const { return form_ == Form::kTop; }
+  /// Number of concrete values the abstraction admits: exact for finite
+  /// sets, hi-lo+1 for intervals (an overcount of what was observed),
+  /// +infinity for ⊤, 0 for ⊥.
+  double Cardinality() const;
+  /// Finite-set form only: the exact count of distinct values observed.
+  size_t distinct_observed() const { return values_.size(); }
+  int64_t interval_lo() const { return lo_; }
+  int64_t interval_hi() const { return hi_; }
+
+  /// "3 values", "[0..4095]", "unbounded", "bottom" — for lint output.
+  std::string ToString() const;
+
+ private:
+  struct ValueHasher {
+    size_t operator()(const tlax::Value& v) const {
+      return static_cast<size_t>(v.hash());
+    }
+  };
+
+  Form form_ = Form::kBottom;
+  size_t cap_ = kDefaultFiniteCap;
+  uint32_t max_widenings_ = kDefaultMaxWidenings;
+  uint32_t widenings_ = 0;
+  bool all_ints_ = true;
+  bool saw_int_ = false;
+  int64_t lo_ = 0;
+  int64_t hi_ = 0;
+  std::unordered_set<tlax::Value, ValueHasher> values_;
+};
+
+/// Per-action results of the domain probe.
+struct ActionDomain {
+  /// Abstract may-write image per variable: the join of every value this
+  /// action stored into the variable across all probe successors,
+  /// including stores observed through the State::With write sink whose
+  /// successor was later discarded.
+  std::vector<AbstractValue> write_image;
+  uint64_t successors_generated = 0;
+  /// Successors (canonicalized) falling outside WithinConstraint.
+  uint64_t successors_out_of_constraint = 0;
+
+  /// Constraint closure: every successor this action generated from an
+  /// expanded (reachable, in-constraint) state stayed in-constraint. Under
+  /// an exhaustive probe this proves the action can never steer the
+  /// checker out of the explored region — the fact value-sensitive
+  /// independence refinement needs.
+  bool constraint_safe() const { return successors_out_of_constraint == 0; }
+};
+
+/// The abstract-domain summary of a spec configuration, the companion of
+/// SpecFootprints: which values each variable takes, per-action write
+/// images and constraint closure, and the static state-space budget.
+struct SpecDomains {
+  /// Per-variable join over every distinct canonical state the probe
+  /// inserted — including one-step-out-of-constraint successors, matching
+  /// what the checker counts as distinct states.
+  std::vector<AbstractValue> vars;
+  /// Same join restricted to in-constraint states; this is what declared
+  /// domain sizes promise to bound.
+  std::vector<AbstractValue> constrained_vars;
+  std::vector<ActionDomain> actions;
+  /// Declared per-variable domain size (0 = undeclared), resolved from
+  /// Spec::DeclaredDomains.
+  std::vector<double> declared_sizes;
+  /// Declared domain names that resolve to no spec variable.
+  std::vector<std::string> unresolved;
+  /// In-constraint states expanded by the probe.
+  uint64_t sampled_states = 0;
+  /// Distinct canonical states joined (in- and out-of-constraint).
+  uint64_t joined_states = 0;
+  /// The probe drained the constrained reachable space within budget:
+  /// observed domains and constraint closure are then exact.
+  bool exhaustive = false;
+
+  /// The budget factor for one variable: the observed cardinality when the
+  /// probe was exhaustive and the abstraction stayed below ⊤, else the
+  /// declared size, else +infinity (unbounded).
+  double VarBound(size_t v) const;
+  /// Static state-space upper bound: the product of all VarBounds.
+  /// +infinity when any variable is unbounded. When finite and the probe
+  /// was exhaustive, this is >= the checker's distinct-state count (every
+  /// state is one tuple of per-variable values).
+  double StateBound() const;
+  /// Indexes of variables whose VarBound is unbounded.
+  std::vector<size_t> UnboundedVars() const;
+};
+
+struct DomainOptions {
+  /// Expand at most this many in-constraint states. Larger than the
+  /// footprint probe's default: the budget estimate is only exact when the
+  /// probe exhausts the space, and registered lint configs reach ~114k
+  /// distinct states (RaftMongoDetailed 3/2/2).
+  uint64_t max_samples = 1 << 18;
+  size_t finite_set_cap = AbstractValue::kDefaultFiniteCap;
+  uint32_t max_widenings = AbstractValue::kDefaultMaxWidenings;
+};
+
+/// Abstract interpretation by replay: BFS over the reachable states
+/// (mirroring the checker's canonicalize → insert → constraint-gate
+/// order), joining every inserted state's values into per-variable
+/// abstractions and every action's stores into per-action write images.
+/// Specs with more than 64 variables are unsupported (empty result).
+SpecDomains InferDomains(const tlax::Spec& spec,
+                         const DomainOptions& options = {});
+
+/// Domain-driven lint rules: `unresolved-domain-var` (error — a declared
+/// domain size names no variable), `domain-exceeds-declaration` (error —
+/// an exhaustive probe observed more distinct values than declared), and
+/// `unbounded-variable` (warning — the abstraction widened to ⊤ and no
+/// declaration bounds it; the spec likely misses a WithinConstraint).
+std::vector<Diagnostic> LintDomains(const tlax::Spec& spec,
+                                    const SpecDomains& domains);
+
+/// Renders per-variable domains and the state-space budget as text, one
+/// variable per line plus a budget summary line — xmodel_lint's output.
+std::string DomainsToText(const tlax::Spec& spec, const SpecDomains& domains);
+
+}  // namespace xmodel::analysis
+
+#endif  // XMODEL_ANALYSIS_DOMAIN_H_

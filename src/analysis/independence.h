@@ -1,8 +1,12 @@
 #ifndef XMODEL_ANALYSIS_INDEPENDENCE_H_
 #define XMODEL_ANALYSIS_INDEPENDENCE_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "analysis/domain.h"
 #include "analysis/footprint.h"
 #include "tlax/independence.h"
 #include "tlax/spec.h"
@@ -18,6 +22,32 @@ namespace xmodel::analysis {
 /// sleep-set partial-order reduction.
 tlax::ActionIndependence ComputeIndependence(const tlax::Spec& spec,
                                              const SpecFootprints& footprints);
+
+/// A footprint matrix strengthened by abstract-domain value reasoning.
+struct RefinedIndependence {
+  tlax::ActionIndependence matrix;
+  /// Commuting pairs of the footprint-only base matrix.
+  size_t base_commuting = 0;
+  /// Pairs the value-sensitive refinement added on top of the base.
+  std::vector<std::pair<size_t, size_t>> added;
+};
+
+/// Value-sensitive independence: starts from ComputeIndependence and
+/// additionally proves disjoint-footprint pairs commuting when both
+/// actions are harmless to the state constraint — each either writes no
+/// constraint-read variable at all (the base rule) or carries the probe's
+/// constraint-closure proof (ActionDomain::constraint_safe: every
+/// successor it generates from a reachable in-constraint state stays
+/// in-constraint, so neither interleaving of the diamond can leave the
+/// explored region). The closure proof is only trusted when the domain
+/// probe was exhaustive AND probed the exact spec configuration being
+/// checked; with a sampled probe the result equals the base matrix. The
+/// result is strictly stronger than (a superset of) the base, and feeding
+/// it to the checker preserves distinct states, diameter, and violation
+/// verdicts while sleeping strictly more redundant interleavings.
+RefinedIndependence RefineIndependence(const tlax::Spec& spec,
+                                       const SpecFootprints& footprints,
+                                       const SpecDomains& domains);
 
 /// Renders the matrix as a table with one row per action ('.' = commutes,
 /// 'C' = conflicts, '-' = diagonal), stable for golden tests.

@@ -8,8 +8,12 @@
 //   xmodel_lint --no-scenarios  skip the lock-order pass
 //   xmodel_lint --broken-fixture  lint the seeded-defect fixture instead
 //                                 (must exit nonzero; CI checks this)
+//   xmodel_lint --unbounded-fixture  lint the missing-constraint fixture
+//                                    (must report an unbounded budget)
 //   xmodel_lint --workers=N     exploration workers for the bounded
 //                               model-check pass (0 = all cores)
+//   xmodel_lint --domain-samples=N  state budget for the abstract-domain
+//                                   probe (default 262144)
 //   xmodel_lint --metrics-out=FILE  write a metrics-registry snapshot
 //
 // Besides the static passes, each spec gets a bounded model check (capped
@@ -19,6 +23,7 @@
 //
 // Exit status: 0 when no error-severity diagnostic was produced.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/domain.h"
 #include "analysis/footprint.h"
 #include "analysis/independence.h"
 #include "analysis/lock_order.h"
@@ -48,7 +54,9 @@ struct Options {
   bool matrix = false;
   bool scenarios = true;
   bool broken_fixture = false;
+  bool unbounded_fixture = false;
   uint64_t max_samples = 4096;
+  uint64_t domain_samples = analysis::DomainOptions{}.max_samples;
   int workers = 1;
   std::string spec_filter;
   std::string metrics_out;
@@ -65,10 +73,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->scenarios = false;
     } else if (arg == "--broken-fixture") {
       options->broken_fixture = true;
+    } else if (arg == "--unbounded-fixture") {
+      options->unbounded_fixture = true;
     } else if (arg.rfind("--spec=", 0) == 0) {
       options->spec_filter = arg.substr(7);
     } else if (arg.rfind("--max-samples=", 0) == 0) {
       options->max_samples = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--domain-samples=", 0) == 0) {
+      options->domain_samples = std::strtoull(arg.c_str() + 17, nullptr, 10);
     } else if (arg.rfind("--workers=", 0) == 0) {
       options->workers = std::atoi(arg.c_str() + 10);
       if (options->workers < 0) {
@@ -100,6 +112,12 @@ struct SpecSummary {
   int workers_used = 1;
   uint64_t check_sccs = 0;  // Liveness structure: SCC count of the graph.
   std::string check_violation;  // Violated invariant name, or empty.
+  // Abstract-domain pass.
+  double state_bound = 0;  // Static budget; infinity when unbounded.
+  bool domain_exhaustive = false;
+  std::vector<std::string> unbounded_vars;
+  size_t refined_commuting_pairs = 0;  // After value-sensitive refinement.
+  std::string domain_text;
 };
 
 void LintOneSpec(const tlax::Spec& spec, const Options& options,
@@ -111,17 +129,39 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
       analysis::InferFootprints(spec, footprint_options);
   report->Extend(analysis::LintSpec(spec, footprints));
 
-  tlax::ActionIndependence matrix =
-      analysis::ComputeIndependence(spec, footprints);
+  // Abstract-domain pass: per-variable value lattices, the static
+  // state-space budget, and dead-spec diagnostics beyond what footprints
+  // alone can see.
+  analysis::DomainOptions domain_options;
+  domain_options.max_samples = options.domain_samples;
+  analysis::SpecDomains domains = analysis::InferDomains(spec, domain_options);
+  report->Extend(analysis::LintDomains(spec, domains));
+
+  analysis::RefinedIndependence refined =
+      analysis::RefineIndependence(spec, footprints, domains);
   SpecSummary summary;
   summary.name = spec.name();
   summary.sampled_states = footprints.sampled_states;
   summary.exhaustive = footprints.exhaustive;
-  summary.commuting_pairs = matrix.NumCommutingPairs();
+  summary.commuting_pairs = refined.base_commuting;
+  summary.refined_commuting_pairs = refined.matrix.NumCommutingPairs();
   size_t n = spec.actions().size();
   summary.action_pairs = n * (n - 1) / 2;
+  summary.state_bound = domains.StateBound();
+  summary.domain_exhaustive = domains.exhaustive;
+  for (size_t v : domains.UnboundedVars()) {
+    summary.unbounded_vars.push_back(v < spec.variables().size()
+                                         ? spec.variables()[v]
+                                         : common::StrCat("#", v));
+  }
+  summary.domain_text = analysis::DomainsToText(spec, domains);
   if (options.matrix) {
-    summary.matrix_text = analysis::IndependenceToText(spec, matrix);
+    summary.matrix_text = analysis::IndependenceToText(spec, refined.matrix);
+    for (const auto& [a, b] : refined.added) {
+      summary.matrix_text += common::StrCat(
+          "refined: ", spec.actions()[a].name, " <-> ",
+          spec.actions()[b].name, " (value-sensitive)\n");
+    }
   }
 
   // Bounded model check: smoke-test the dynamic semantics at the same
@@ -213,6 +253,9 @@ int main(int argc, char** argv) {
   if (options.broken_fixture) {
     auto fixture = analysis::MakeBrokenFixtureSpec();
     LintOneSpec(*fixture, options, &report, &summaries);
+  } else if (options.unbounded_fixture) {
+    auto fixture = analysis::MakeUnboundedFixtureSpec();
+    LintOneSpec(*fixture, options, &report, &summaries);
   } else {
     for (const analysis::RegisteredSpec& entry :
          analysis::RegisteredSpecs()) {
@@ -239,8 +282,22 @@ int main(int argc, char** argv) {
       entry.Set("exhaustive", common::Json::Bool(s.exhaustive));
       entry.Set("commuting_pairs",
                 common::Json::Int(static_cast<int64_t>(s.commuting_pairs)));
+      entry.Set("refined_commuting_pairs",
+                common::Json::Int(
+                    static_cast<int64_t>(s.refined_commuting_pairs)));
       entry.Set("action_pairs",
                 common::Json::Int(static_cast<int64_t>(s.action_pairs)));
+      // 0 encodes "unbounded" — a real budget is always >= 1.
+      entry.Set("state_bound",
+                common::Json::Int(std::isinf(s.state_bound)
+                                      ? 0
+                                      : static_cast<int64_t>(s.state_bound)));
+      entry.Set("domain_exhaustive", common::Json::Bool(s.domain_exhaustive));
+      common::Json unbounded = common::Json::MakeArray();
+      for (const std::string& v : s.unbounded_vars) {
+        unbounded.Append(common::Json::Str(v));
+      }
+      entry.Set("unbounded_vars", std::move(unbounded));
       entry.Set("check_distinct",
                 common::Json::Int(static_cast<int64_t>(s.check_distinct)));
       entry.Set("check_generated",
@@ -275,6 +332,12 @@ int main(int argc, char** argv) {
                   s.check_complete ? " (complete)" : " (bounded)",
                   s.check_violation.empty() ? "" : ", violates ",
                   s.check_violation.c_str());
+      std::printf("%s", s.domain_text.c_str());
+      if (s.refined_commuting_pairs > s.commuting_pairs) {
+        std::printf("  independence: %zu -> %zu commuting pair(s) after "
+                    "value-sensitive refinement\n",
+                    s.commuting_pairs, s.refined_commuting_pairs);
+      }
       if (!s.matrix_text.empty()) std::printf("%s", s.matrix_text.c_str());
     }
     if (lock_streams > 0) {
@@ -292,6 +355,19 @@ int main(int argc, char** argv) {
         .Increment(lock_streams);
     registry.GetCounter("analysis.diagnostics.emitted")
         .Increment(report.diagnostics().size());
+    for (const SpecSummary& s : summaries) {
+      const std::string prefix = common::StrCat("analysis.domain.", s.name);
+      // Gauge convention: state_bound == 0 means "unbounded" (a real
+      // budget is always >= 1), so dashboards can alert on it directly.
+      registry.GetGauge(common::StrCat(prefix, ".state_bound"))
+          .Set(std::isinf(s.state_bound) ? 0 : s.state_bound);
+      registry.GetGauge(common::StrCat(prefix, ".observed_distinct"))
+          .Set(static_cast<double>(s.check_distinct));
+      registry.GetGauge(common::StrCat(prefix, ".unbounded_vars"))
+          .Set(static_cast<double>(s.unbounded_vars.size()));
+      registry.GetGauge(common::StrCat(prefix, ".exhaustive"))
+          .Set(s.domain_exhaustive ? 1 : 0);
+    }
     common::Status status =
         obs::WriteMetricsJson(registry.Snapshot(), options.metrics_out);
     if (!status.ok()) {

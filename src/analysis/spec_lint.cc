@@ -149,6 +149,26 @@ std::vector<Diagnostic> LintSpec(const tlax::Spec& spec,
         "no action writes this variable; it is a constant in disguise"));
   }
 
+  // Written-but-never-read variables: no guard, invariant, or constraint
+  // ever looks at them, so their values cannot influence which behaviors
+  // exist or whether any check fires — dead weight that only inflates the
+  // state space.
+  uint64_t all_reads = footprints.constraint_reads;
+  for (const ActionFootprint& fp : footprints.actions) {
+    all_reads |= fp.reads();
+  }
+  for (const InvariantFootprint& fp : footprints.invariants) {
+    all_reads |= fp.reads();
+  }
+  for (size_t v = 0; v < vars.size() && v < 64; ++v) {
+    if (!((all_writes >> v) & 1) || ((all_reads >> v) & 1)) continue;
+    out.push_back(Make(
+        Severity::kWarning, spec, vars[v], "written-never-read",
+        "actions write this variable but no action guard, invariant, or "
+        "constraint reads it; it multiplies the state space without "
+        "affecting any check"));
+  }
+
   return out;
 }
 

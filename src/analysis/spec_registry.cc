@@ -20,7 +20,7 @@ using tlax::Value;
 /// linter hunts for, in one small spec.
 class BrokenFixtureSpec : public Spec {
  public:
-  BrokenFixtureSpec() : variables_{"x", "ghost"} {
+  BrokenFixtureSpec() : variables_{"x", "ghost", "scratch"} {
     // A live action, honestly declared.
     actions_.push_back(Action{
         "Step",
@@ -53,6 +53,16 @@ class BrokenFixtureSpec : public Spec {
           }
         },
         Footprint{{"x"}, {}}});
+    // Two seeds in one: the declared footprint has a typo ("tyop" names
+    // no variable), and `scratch` is written but nothing ever reads it.
+    actions_.push_back(Action{
+        "WriteScratch",
+        [](const State& s, std::vector<State>* out) {
+          if (s.var(0).int_value() == 0) {
+            out->push_back(s.With(2, Value::Int(1)));
+          }
+        },
+        Footprint{{"x", "tyop"}, {"scratch"}}});
 
     // Reads only `ghost`, which no action ever writes: vacuous.
     invariants_.push_back(Invariant{
@@ -69,6 +79,50 @@ class BrokenFixtureSpec : public Spec {
   }
 
   std::string name() const override { return "BrokenFixture"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<State> InitialStates() const override {
+    return {State({Value::Int(0), Value::Int(0), Value::Int(0)})};
+  }
+  const std::vector<Action>& actions() const override { return actions_; }
+  const std::vector<Invariant>& invariants() const override {
+    return invariants_;
+  }
+
+ private:
+  std::vector<std::string> variables_;
+  std::vector<Action> actions_;
+  std::vector<Invariant> invariants_;
+};
+
+/// The missing-constraint fixture: `n` grows without bound (no
+/// WithinConstraint reins it in), while `phase` flips within {0, 1}. The
+/// abstract-domain probe overflows its finite set on `n`, widens the
+/// interval to ⊤, and the state-space budget reports unbounded — the
+/// diagnostic a spec author sees when they forget the CONSTRAINT.
+class UnboundedFixtureSpec : public Spec {
+ public:
+  UnboundedFixtureSpec() : variables_{"n", "phase"} {
+    actions_.push_back(Action{
+        "Tick",
+        [](const State& s, std::vector<State>* out) {
+          out->push_back(s.With(0, Value::Int(s.var(0).int_value() + 1)));
+        },
+        Footprint{{"n"}, {"n"}}});
+    actions_.push_back(Action{
+        "TogglePhase",
+        [](const State& s, std::vector<State>* out) {
+          out->push_back(s.With(1, Value::Int(1 - s.var(1).int_value())));
+        },
+        Footprint{{"phase"}, {"phase"}}});
+    invariants_.push_back(Invariant{
+        "NonNegative",
+        [](const State& s) { return s.var(0).int_value() >= 0; },
+        std::vector<std::string>{"n"}});
+  }
+
+  std::string name() const override { return "UnboundedFixture"; }
   const std::vector<std::string>& variables() const override {
     return variables_;
   }
@@ -127,6 +181,10 @@ std::vector<RegisteredSpec> RegisteredSpecs() {
 
 std::unique_ptr<tlax::Spec> MakeBrokenFixtureSpec() {
   return std::make_unique<BrokenFixtureSpec>();
+}
+
+std::unique_ptr<tlax::Spec> MakeUnboundedFixtureSpec() {
+  return std::make_unique<UnboundedFixtureSpec>();
 }
 
 }  // namespace xmodel::analysis

@@ -25,11 +25,18 @@ std::vector<RegisteredSpec> RegisteredSpecs();
 
 /// A deliberately broken toy spec seeding one of every lint finding:
 /// a vacuous invariant, a constant invariant, a never-enabled action,
-/// duplicate action names, a never-written variable, and a declared
-/// footprint the body escapes. Used by tests and by
+/// duplicate action names, a never-written variable, a written-but-never-
+/// read variable, a declared footprint the body escapes, and a footprint
+/// naming a variable that does not exist. Used by tests and by
 /// `xmodel_lint --broken-fixture` to demonstrate (and CI-check) the
 /// nonzero exit path.
 std::unique_ptr<tlax::Spec> MakeBrokenFixtureSpec();
+
+/// A fixture whose state space is genuinely unbounded (a counter with no
+/// WithinConstraint): the abstract-domain pass must widen it to ⊤ and
+/// report an unbounded state-space budget. Used by tests and by
+/// `xmodel_lint --unbounded-fixture`.
+std::unique_ptr<tlax::Spec> MakeUnboundedFixtureSpec();
 
 }  // namespace xmodel::analysis
 

@@ -478,6 +478,17 @@ std::vector<State> ArrayOtSpec::InitialStates() const {
   })};
 }
 
+std::vector<tlax::DomainDecl> ArrayOtSpec::DeclaredDomains() const {
+  // Only the scheduling scaffolding has closed-form domains; the log and
+  // array variables depend on the operation menu and are left to the
+  // abstract-domain probe's observation.
+  return {
+      {"opsDone", static_cast<double>(config_.num_clients + 1)},
+      {"mergeStep", static_cast<double>(2 * config_.num_clients)},
+      {"err", 2.0},
+  };
+}
+
 void ArrayOtSpec::BuildActions() {
   const ArrayOtConfig config = config_;
 

@@ -76,6 +76,7 @@ class ArrayOtSpec : public tlax::Spec {
   const std::vector<tlax::Invariant>& invariants() const override {
     return invariants_;
   }
+  std::vector<tlax::DomainDecl> DeclaredDomains() const override;
 
   const ArrayOtConfig& config() const { return config_; }
 

@@ -1,6 +1,7 @@
 #include "specs/locking_spec.h"
 
 #include <array>
+#include <cmath>
 #include <string_view>
 
 namespace xmodel::specs {
@@ -89,6 +90,20 @@ LockingSpec::LockingSpec(const LockingConfig& config)
 
 std::vector<State> LockingSpec::InitialStates() const {
   return {MakeState({{}, {}, {}})};
+}
+
+std::vector<tlax::DomainDecl> LockingSpec::DeclaredDomains() const {
+  // Per resource, `held` carries the grants as a sequence of distinct
+  // contexts in acquisition order, each with one of the four modes:
+  // sum over k of C!/(C-k)! * 4^k sequences. The three-level resource
+  // tuple multiplies the per-resource counts.
+  double per_resource = 0;
+  double arrangements = 1;  // C! / (C-k)! built up incrementally.
+  for (int k = 0; k <= config_.num_contexts; ++k) {
+    if (k > 0) arrangements *= config_.num_contexts - (k - 1);
+    per_resource += arrangements * std::pow(4.0, k);
+  }
+  return {{"held", std::pow(per_resource, double{kNumResources})}};
 }
 
 void LockingSpec::BuildActions() {

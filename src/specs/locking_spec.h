@@ -47,6 +47,7 @@ class LockingSpec : public tlax::Spec {
   const std::vector<tlax::Invariant>& invariants() const override {
     return invariants_;
   }
+  std::vector<tlax::DomainDecl> DeclaredDomains() const override;
 
   const LockingConfig& config() const { return config_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/strings.h"
 
@@ -167,6 +168,28 @@ bool RaftMongoSpec::WithinConstraint(const State& state) const {
     }
   }
   return true;
+}
+
+std::vector<tlax::DomainDecl> RaftMongoSpec::DeclaredDomains() const {
+  const double n = config_.num_nodes;
+  const double t = static_cast<double>(config_.max_term);
+  const double l = static_cast<double>(config_.max_oplog_len);
+  // Per-node option counts, raised to the node count (every variable is a
+  // per-node tuple). The bounds cover the in-constraint region:
+  // WithinConstraint caps term, votedTerm, and oplog length, and oplog
+  // entries carry the term of the leader that wrote them (always >= 1).
+  // A commit point is NULL or [term in 1..T, index in 1..L].
+  double oplogs_per_node = 0;
+  for (int64_t len = 0; len <= config_.max_oplog_len; ++len) {
+    oplogs_per_node += std::pow(t, static_cast<double>(len));
+  }
+  return {
+      {"role", std::pow(2.0, n)},
+      {"term", std::pow(t + 1, n)},
+      {"commitPoint", std::pow(1 + t * l, n)},
+      {"oplog", std::pow(oplogs_per_node, n)},
+      {"votedTerm", std::pow(t + 1, n)},
+  };
 }
 
 tlax::State RaftMongoSpec::Canonicalize(const tlax::State& state) const {

@@ -76,6 +76,7 @@ class RaftMongoSpec : public tlax::Spec {
   }
   bool WithinConstraint(const tlax::State& state) const override;
   tlax::State Canonicalize(const tlax::State& state) const override;
+  std::vector<tlax::DomainDecl> DeclaredDomains() const override;
 
   const RaftMongoConfig& config() const { return config_; }
 

@@ -106,6 +106,9 @@ class Engine {
     std::vector<LevelEntry> next;
     std::vector<CandidateViolation> candidates;
     std::vector<State> successors;
+    // POR: states whose pending sleep mask shrank this level, with their
+    // full state for a potential wake re-enqueue. Settled at the barrier.
+    std::unordered_map<uint64_t, State> wake_candidates;
     uint64_t generated = 0;
     uint64_t slept = 0;
     uint64_t expanded = 0;
@@ -155,10 +158,14 @@ class Engine {
   // re-expands ONLY the newly woken actions (the per-record `done` mask
   // remembers what already ran), so every reachable state is eventually
   // explored with every non-redundant action — the reduction removes
-  // redundant interleavings, not reachable states. Soundness requires the
-  // independence relation to respect the state constraint (see
-  // analysis::ComputeIndependence). Disabled under record_graph: the
-  // recorded graph must carry every edge for MBTCG/liveness.
+  // redundant interleavings, not reachable states. Shrinks are two-phase:
+  // mid-level revisits only narrow a pending mask, and the level barrier
+  // settles it and re-enqueues woken states (fpset.h SettlePor), so every
+  // counter and trace is worker-count-invariant under POR too. Soundness
+  // requires the independence relation to respect the state constraint
+  // (see analysis::ComputeIndependence / RefineIndependence). Disabled
+  // under record_graph: the recorded graph must carry every edge for
+  // MBTCG/liveness.
   const bool use_sleep_sets_;
   const uint64_t all_actions_;
   FingerprintSet fpset_;
@@ -270,7 +277,6 @@ void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
       FpInsert ins = fpset_.Insert(fp, entry.fp, ai, entry.depth + 1, key,
                                    succ_sleep, &succ);
       bool enqueue = false;
-      int64_t succ_depth = entry.depth + 1;
       if (ins.inserted) {
         if (fpset_.size() > options_.max_distinct_states) {
           abort_max_.store(true, std::memory_order_relaxed);
@@ -285,18 +291,21 @@ void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
         // applying CONSTRAINT to decide on expansion).
         CheckInvariants(succ, fp, key, s);
         enqueue = constrained;
-      } else if (use_sleep_sets_ && ins.por_wake) {
-        // Revisit woke actions out of the sleep set; re-expand at the
-        // state's original depth. Only constrained states ever clear
-        // their queued flag, so no constraint recheck is needed.
-        enqueue = true;
-        succ_depth = ins.depth;
+      } else if (use_sleep_sets_ && ins.sleep_shrunk) {
+        // The revisit shrank the record's pending sleep mask. Whether
+        // that warrants a re-expansion is decided once per level at the
+        // barrier (SettlePor), not here — a mid-level decision would
+        // depend on how workers interleaved. Only constrained states
+        // ever clear their queued flag, so no constraint recheck is
+        // needed if the settle wakes it.
+        s.wake_candidates.try_emplace(fp, succ);
       }
       if (result_.graph && entry.gid != StateGraph::kNoId) {
         result_.graph->RecordEdge(worker, entry.gid, fp, ai);
       }
       if (enqueue) {
-        s.next.push_back(LevelEntry{std::move(succ), fp, succ_depth, key});
+        s.next.push_back(
+            LevelEntry{std::move(succ), fp, entry.depth + 1, key});
       }
     }
   }
@@ -583,7 +592,20 @@ CheckResult Engine::Run() {
     if (!candidates.empty()) {
       // A violating level is always fully drained first, so the serial
       // winner — the smallest discovery key — is available under every
-      // worker count and the resulting trace is identical.
+      // worker count and the resulting trace is identical. Candidate keys
+      // were assigned by whichever worker won the insert race; re-key
+      // invariant violations from the settled (min-merged) records so the
+      // comparison matches the serial discovery order. Deadlock keys are
+      // per-parent-position and already settled.
+      if (workers_ > 1) {
+        for (CandidateViolation& c : candidates) {
+          if (c.kind == "Deadlock") continue;
+          if (std::optional<FingerprintSet::Edge> edge =
+                  fpset_.GetEdge(c.fp)) {
+            c.key = edge->order_key;
+          }
+        }
+      }
       const CandidateViolation& best = *std::min_element(
           candidates.begin(), candidates.end(),
           [](const CandidateViolation& a, const CandidateViolation& b) {
@@ -605,7 +627,28 @@ CheckResult Engine::Run() {
       for (LevelEntry& e : s.next) next.push_back(std::move(e));
       s.next.clear();
     }
-    if (!use_sleep_sets_ && workers_ > 1) {
+    if (use_sleep_sets_) {
+      // Settle this level's sleep-mask shrinks. The per-record pending
+      // mask is an intersection, so it is independent of worker
+      // interleaving; SettlePor folds it into the settled mask and
+      // reports whether uncovered actions require a re-expansion. Woken
+      // states rejoin the frontier at their original depth.
+      std::unordered_map<uint64_t, State> wakes;
+      for (Scratch& s : scratch_) {
+        for (auto& [fp, state] : s.wake_candidates) {
+          wakes.try_emplace(fp, std::move(state));
+        }
+        s.wake_candidates.clear();
+      }
+      for (auto& [fp, state] : wakes) {
+        FingerprintSet::PorSettle settle = fpset_.SettlePor(fp, all_actions_);
+        if (settle.wake) {
+          next.push_back(LevelEntry{std::move(state), fp, settle.depth,
+                                    settle.order_key});
+        }
+      }
+    }
+    if (workers_ > 1) {
       // Two workers can race to discover the same state; whoever wins the
       // insert owns the enqueue, but the record's min-merged key is the
       // serial discovery order. Re-key from the settled records so batch
@@ -616,9 +659,13 @@ CheckResult Engine::Run() {
         }
       }
     }
+    // Keys are unique within one level's events, but a POR wake keeps the
+    // key of the level it was first discovered in, which can collide
+    // numerically with a fresh key — break ties by fingerprint so the
+    // batch order stays a pure function of the state graph.
     std::sort(next.begin(), next.end(),
               [](const LevelEntry& a, const LevelEntry& b) {
-                return a.key < b.key;
+                return a.key != b.key ? a.key < b.key : a.fp < b.fp;
               });
     if (result_.graph) {
       // Node ids were assigned at SettleLevel; stamp them onto the

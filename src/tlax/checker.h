@@ -24,8 +24,9 @@ struct CheckerOptions {
   /// level-synchronous — workers drain one BFS level in parallel and
   /// barrier before the next — so counterexamples stay minimal and
   /// `distinct_states`/`diameter`/violation traces are identical across
-  /// worker counts (POR excepted: sleep-set merges are order-sensitive,
-  /// so only `distinct_states` is worker-invariant there). record_graph
+  /// worker counts, POR included (sleep-set merges settle at the level
+  /// barrier, so every counter and trace is worker-count-invariant
+  /// there too — though POR traces need not be minimal). record_graph
   /// runs at full parallelism too: node ids are assigned from the settled
   /// discovery order at each level barrier, so the recorded graph — DOT
   /// output included — is byte-identical across worker counts.
@@ -43,10 +44,14 @@ struct CheckerOptions {
   /// commuting actions are pruned, cutting generated successors while every
   /// reachable state is still discovered and invariant-checked. Soundness
   /// requires the matrix to be valid for the spec: two actions may commute
-  /// only if their write sets are disjoint from each other's footprints AND
-  /// from the state constraint's read set (ComputeIndependence enforces
-  /// both); specs overriding Canonicalize (symmetry) should not be combined
-  /// with POR — a permuted representative can break the diamond. Two
+  /// only if their write sets are disjoint from each other's footprints
+  /// and neither can steer the run out of the state constraint from a
+  /// reachable state — either by not writing constraint-read variables at
+  /// all (ComputeIndependence) or by a proof that every probe successor
+  /// stays within the constraint (analysis::RefineIndependence's
+  /// value-sensitive matrix); specs overriding Canonicalize (symmetry)
+  /// should not be combined with POR — a permuted representative can
+  /// break the diamond. Two
   /// caveats, the standard POR trade-offs: counterexample traces are no
   /// longer guaranteed minimal, and the reported diameter may exceed the
   /// true one. Ignored when record_graph is set (the recorded graph must

@@ -23,7 +23,6 @@ FingerprintSet::FingerprintSet() : FingerprintSet(Options()) {}
 
 FingerprintSet::FingerprintSet(Options options) : options_(options) {
   if (options_.audit) options_.keep_states = true;
-  if (options_.track_por) options_.min_merge_pred = false;
   int shards = RoundUpPow2(options_.num_shards < 1 ? 1 : options_.num_shards);
   shards_ = std::vector<Shard>(static_cast<size_t>(shards));
   // Index by the top bits: the low bits feed each shard's own bucket
@@ -46,6 +45,7 @@ FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
     rec.depth = depth;
     rec.action = action;
     rec.sleep = sleep_mask;
+    rec.pending = sleep_mask;
     rec.queued = true;
     if (options_.keep_states && state != nullptr) {
       shard.states.emplace(fp, *state);
@@ -64,19 +64,16 @@ FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
     }
   }
   if (options_.track_por) {
-    // Sleep-set intersect-merge (Godefroid): a revisit may arrive with a
-    // smaller sleep set; actions newly outside it must be expanded unless
-    // they already were.
-    uint64_t merged = rec.sleep & sleep_mask;
-    if (merged != rec.sleep) {
-      rec.sleep = merged;
-      if (!rec.queued && (~merged & ~rec.done) != 0) {
-        rec.queued = true;
-        out.por_wake = true;
-      }
-    }
-  } else if (options_.min_merge_pred && depth == rec.depth &&
-             order_key < rec.order_key) {
+    // Sleep-set intersect-merge (Godefroid), deferred: the shrink lands
+    // in the pending mask only. SettlePor folds it into the settled mask
+    // at the next level barrier, after every worker has drained — the
+    // intersection is commutative, so the settled result is independent
+    // of the order revisits arrived in.
+    rec.pending &= sleep_mask;
+    out.sleep_shrunk = rec.pending != rec.sleep;
+  }
+  if (options_.min_merge_pred && depth == rec.depth &&
+      order_key < rec.order_key) {
     // Same BFS level, earlier discovery order: adopt this edge so the
     // reconstructed trace matches what a serial scan would record.
     rec.pred_fp = pred_fp;
@@ -100,6 +97,27 @@ FingerprintSet::ExpandGrant FingerprintSet::AcquireExpand(
   grant.to_expand = all_actions & ~rec.sleep & ~rec.done;
   rec.done |= grant.to_expand;
   return grant;
+}
+
+FingerprintSet::PorSettle FingerprintSet::SettlePor(uint64_t fp,
+                                                    uint64_t all_actions) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  PorSettle settle;
+  auto it = shard.records.find(fp);
+  if (it == shard.records.end()) return settle;
+  Record& rec = it->second;
+  rec.sleep = rec.pending;
+  settle.depth = rec.depth;
+  settle.order_key = rec.order_key;
+  // Wake only when the shrink uncovered work: an action neither settled
+  // asleep nor already expanded. Already-queued states pick the new mask
+  // up at their scheduled expansion.
+  if (!rec.queued && (all_actions & ~rec.sleep & ~rec.done) != 0) {
+    rec.queued = true;
+    settle.wake = true;
+  }
+  return settle;
 }
 
 std::optional<FingerprintSet::Edge> FingerprintSet::GetEdge(uint64_t fp) const {

@@ -33,9 +33,11 @@ struct FpInsert {
   /// Audit mode only: the fingerprint existed but the stored state
   /// differs — a genuine 64-bit collision.
   bool collision = false;
-  /// POR mode only: the existing record's sleep mask shrank and the state
-  /// is not queued, so the caller must re-enqueue it for re-expansion.
-  bool por_wake = false;
+  /// POR mode only: this revisit left the record's pending sleep mask
+  /// strictly below its settled one. The caller should report the
+  /// fingerprint as a wake candidate; SettlePor decides at the level
+  /// barrier whether re-expansion is actually needed.
+  bool sleep_shrunk = false;
   /// BFS depth stored in the record (existing or newly created).
   int64_t depth = 0;
 };
@@ -68,8 +70,8 @@ class FingerprintSet {
     bool track_por = false;
     /// Resolve same-depth predecessor races toward the smallest discovery
     /// order key, making counterexample traces bit-identical across
-    /// worker counts. Disabled under POR, where trace determinism is not
-    /// promised.
+    /// worker counts (POR included — wake re-expansions merge under the
+    /// same rule).
     bool min_merge_pred = true;
   };
 
@@ -79,8 +81,12 @@ class FingerprintSet {
   /// Records `fp` if unseen (predecessor `pred_fp` via `action`, at
   /// `depth`, discovered at `order_key`); otherwise merges: audits for
   /// collisions, min-merges the predecessor for same-depth candidates
-  /// with a smaller order key, and intersects the POR sleep mask
-  /// (reporting por_wake when the shrink requires re-expansion).
+  /// with a smaller order key, and intersects the POR sleep mask into the
+  /// record's PENDING mask (reporting sleep_shrunk when pending drops
+  /// below the settled mask). The settled mask that expansion reads is
+  /// only updated by SettlePor at a level barrier, so mid-level revisits
+  /// never race with AcquireExpand — that two-phase split is what makes
+  /// every POR counter and trace worker-count-invariant.
   /// `state` must be non-null when keep_states is set.
   FpInsert Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
                   int64_t depth, uint64_t order_key, uint64_t sleep_mask,
@@ -96,6 +102,21 @@ class FingerprintSet {
     uint64_t to_expand = 0;
   };
   ExpandGrant AcquireExpand(uint64_t fp, uint64_t all_actions);
+
+  /// POR barrier step: applies the pending sleep-mask shrinks accumulated
+  /// by this level's Inserts to the settled mask, and decides whether the
+  /// state must be re-enqueued (`wake`): it is not already queued and the
+  /// shrink uncovered actions neither slept nor done. Sets the queued
+  /// flag when waking; `depth` and `order_key` are the record's settled
+  /// values for building the wake entry. Call once per wake-candidate
+  /// fingerprint at each barrier; the per-record result is independent of
+  /// call order.
+  struct PorSettle {
+    bool wake = false;
+    int64_t depth = 0;
+    uint64_t order_key = 0;
+  };
+  PorSettle SettlePor(uint64_t fp, uint64_t all_actions);
 
   /// The discovery edge of `fp`: predecessor fingerprint and action
   /// (action == kFpInitialAction for initial states), plus the settled
@@ -129,8 +150,9 @@ class FingerprintSet {
     uint64_t pred_fp = 0;
     uint64_t order_key = 0;
     int64_t depth = 0;
-    uint64_t sleep = 0;  // POR: actions to skip when expanding.
-    uint64_t done = 0;   // POR: actions already expanded here.
+    uint64_t sleep = 0;    // POR: settled mask expansion reads.
+    uint64_t pending = 0;  // POR: sleep ∩ this level's revisit masks.
+    uint64_t done = 0;     // POR: actions already expanded here.
     uint16_t action = kFpInitialAction;
     bool queued = false;  // POR: on a frontier, awaiting expansion.
   };

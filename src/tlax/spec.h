@@ -39,6 +39,18 @@ struct Invariant {
   std::optional<std::vector<std::string>> reads{};
 };
 
+/// A declared per-variable domain size: the spec author's closed-form upper
+/// bound on how many distinct values `var` takes across the constrained
+/// reachable states of this configuration. Optional, by variable name like
+/// Footprint. The analysis layer multiplies declared sizes into a static
+/// state-space budget when its probe cannot exhaust the reachable region,
+/// and cross-checks them against observed domains when it can (observing
+/// more distinct values than declared is a lint error).
+struct DomainDecl {
+  std::string var;
+  double size = 0;
+};
+
 /// A specification: variables, initial states, actions, and invariants —
 /// the same ingredients as a TLA+ spec driven by TLC.
 ///
@@ -70,6 +82,11 @@ class Spec {
   /// counterexample traces run over representatives, so consecutive steps
   /// may differ by a symmetry permutation.
   virtual State Canonicalize(const State& state) const { return state; }
+
+  /// Optional declared per-variable domain sizes (see DomainDecl) for the
+  /// spec's current configuration. Declaring nothing is always sound; the
+  /// abstract-domain pass then relies purely on observation.
+  virtual std::vector<DomainDecl> DeclaredDomains() const { return {}; }
 
   /// Index of a variable by name; -1 when absent.
   int VarIndex(std::string_view var_name) const {

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -21,15 +22,23 @@ namespace xmodel::tlax {
 /// infer their variable footprints without any spec cooperation. Variable
 /// indexes are tracked as 64-bit masks; specs have far fewer than 64
 /// variables.
+///
+/// `on_write`, when set, additionally receives every value stored through
+/// `State::With` — including values in successors the caller later
+/// discards — which is how the abstract-domain pass observes an action's
+/// may-write image without the spec's cooperation. The checker's hot path
+/// is unaffected: with no log installed nothing is consulted.
 struct StateAccessLog {
   uint64_t reads = 0;
   uint64_t writes = 0;
+  std::function<void(size_t, const Value&)> on_write;
 
   void RecordRead(size_t i) {
     if (i < 64) reads |= uint64_t{1} << i;
   }
-  void RecordWrite(size_t i) {
+  void RecordWrite(size_t i, const Value& v) {
     if (i < 64) writes |= uint64_t{1} << i;
+    if (on_write) on_write(i, v);
   }
 };
 
@@ -106,7 +115,7 @@ class State {
   State With(size_t i, Value v) const {
     assert(i < num_vars_);
     if (internal::g_state_access_log != nullptr) {
-      internal::g_state_access_log->RecordWrite(i);
+      internal::g_state_access_log->RecordWrite(i, v);
     }
     State out(*this);
     const uint64_t old_term = SlotHash(i, data()[i].hash());

@@ -1,0 +1,245 @@
+// Tests for the abstract-domain analysis: the per-variable value lattice
+// (finite set -> interval -> top with widening), the InferDomains probe,
+// the static state-space budget it yields, and the dead-spec diagnostics
+// layered on top.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/domain.h"
+#include "analysis/spec_registry.h"
+#include "specs/locking_spec.h"
+#include "specs/raft_mongo_spec.h"
+#include "specs/toy_specs.h"
+#include "tlax/checker.h"
+#include "tlax/spec.h"
+#include "tlax/value.h"
+
+namespace xmodel::analysis {
+namespace {
+
+using tlax::Value;
+
+TEST(AbstractValueTest, FiniteSetCountsDistinctValues) {
+  AbstractValue av;
+  EXPECT_EQ(av.form(), AbstractValue::Form::kBottom);
+  EXPECT_EQ(av.Cardinality(), 0);
+  av.Join(Value::Int(1));
+  av.Join(Value::Int(7));
+  av.Join(Value::Int(1));  // Duplicate: no growth.
+  EXPECT_EQ(av.form(), AbstractValue::Form::kFiniteSet);
+  EXPECT_EQ(av.Cardinality(), 2);
+  EXPECT_FALSE(av.top());
+}
+
+TEST(AbstractValueTest, IntOverflowCollapsesToInterval) {
+  AbstractValue av(/*finite_set_cap=*/4, /*max_widenings=*/16);
+  for (int64_t i = 0; i <= 4; ++i) av.Join(Value::Int(i * 10));
+  EXPECT_EQ(av.form(), AbstractValue::Form::kInterval);
+  EXPECT_EQ(av.interval_lo(), 0);
+  EXPECT_EQ(av.interval_hi(), 40);
+  EXPECT_EQ(av.Cardinality(), 41);
+  // Joins inside the interval do not widen.
+  av.Join(Value::Int(25));
+  EXPECT_EQ(av.Cardinality(), 41);
+}
+
+TEST(AbstractValueTest, RepeatedBoundExtensionWidensToTop) {
+  AbstractValue av(/*finite_set_cap=*/2, /*max_widenings=*/3);
+  for (int64_t i = 0; i < 32; ++i) av.Join(Value::Int(i));
+  // Caps at 2 values, collapses to an interval, and after 3 more
+  // bound-extending joins gives up: the variable has no stable bound.
+  EXPECT_TRUE(av.top());
+  EXPECT_TRUE(std::isinf(av.Cardinality()));
+}
+
+TEST(AbstractValueTest, NonIntValuesNeverFormIntervals) {
+  AbstractValue av(/*finite_set_cap=*/2, /*max_widenings=*/16);
+  av.Join(Value::Str("a"));
+  av.Join(Value::Str("b"));
+  EXPECT_EQ(av.form(), AbstractValue::Form::kFiniteSet);
+  av.Join(Value::Str("c"));  // Overflows a set with no int ordering.
+  EXPECT_TRUE(av.top());
+}
+
+TEST(AbstractValueTest, NonIntJoinedIntoIntervalGoesToTop) {
+  AbstractValue av(/*finite_set_cap=*/2, /*max_widenings=*/16);
+  av.Join(Value::Int(1));
+  av.Join(Value::Int(2));
+  av.Join(Value::Int(3));
+  ASSERT_EQ(av.form(), AbstractValue::Form::kInterval);
+  av.Join(Value::Str("oops"));
+  EXPECT_TRUE(av.top());
+}
+
+TEST(InferDomainsTest, CounterDomainsAreExactAndBudgetCoversSpace) {
+  specs::CounterSpec spec(3);
+  SpecDomains domains = InferDomains(spec);
+  ASSERT_TRUE(domains.exhaustive);
+  ASSERT_EQ(domains.vars.size(), 2u);
+  EXPECT_EQ(domains.vars[0].Cardinality(), 4);  // x in 0..3
+  EXPECT_EQ(domains.vars[1].Cardinality(), 4);  // y in 0..3
+  EXPECT_TRUE(domains.UnboundedVars().empty());
+
+  tlax::CheckResult result = tlax::ModelChecker().Check(spec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GE(domains.StateBound(), static_cast<double>(result.distinct_states));
+  EXPECT_TRUE(LintDomains(spec, domains).empty());
+}
+
+TEST(InferDomainsTest, WriteImagesTrackPerActionStores) {
+  specs::CounterSpec spec(3);
+  SpecDomains domains = InferDomains(spec);
+  ASSERT_EQ(domains.actions.size(), 2u);
+  // IncrementX writes only x; its y-image stays bottom (and vice versa).
+  EXPECT_GT(domains.actions[0].write_image[0].Cardinality(), 0);
+  EXPECT_EQ(domains.actions[0].write_image[1].Cardinality(), 0);
+  EXPECT_EQ(domains.actions[1].write_image[0].Cardinality(), 0);
+  EXPECT_GT(domains.actions[1].write_image[1].Cardinality(), 0);
+}
+
+TEST(InferDomainsTest, RegisteredSpecBudgetsCoverCheckerDistinct) {
+  // The acceptance bar for the static budget: on every registered spec
+  // whose probe exhausts the reachable region, the budget must be a true
+  // upper bound for what the model checker actually visits.
+  for (const RegisteredSpec& entry : RegisteredSpecs()) {
+    auto spec = entry.make();
+    SpecDomains domains = InferDomains(*spec);
+    ASSERT_TRUE(domains.exhaustive) << entry.name;
+    EXPECT_TRUE(domains.UnboundedVars().empty()) << entry.name;
+
+    tlax::CheckerOptions options;
+    options.max_distinct_states = 1 << 20;
+    tlax::CheckResult result = tlax::ModelChecker(options).Check(*spec);
+    ASSERT_TRUE(result.status.ok()) << entry.name;
+    EXPECT_GE(domains.StateBound(),
+              static_cast<double>(result.distinct_states))
+        << entry.name;
+    // Declared domains on the real specs must survive the cross-check.
+    for (const Diagnostic& d : LintDomains(*spec, domains)) {
+      EXPECT_LT(d.severity, Severity::kError) << entry.name << ": "
+                                              << d.ToText();
+    }
+  }
+}
+
+TEST(InferDomainsTest, UnboundedFixtureWidensToTopAndWarns) {
+  auto spec = MakeUnboundedFixtureSpec();
+  DomainOptions options;
+  options.max_samples = 5000;
+  options.finite_set_cap = 64;
+  options.max_widenings = 8;
+  SpecDomains domains = InferDomains(*spec, options);
+  EXPECT_FALSE(domains.exhaustive);
+  EXPECT_TRUE(domains.vars[0].top()) << "n must widen to top";
+  EXPECT_FALSE(domains.vars[1].top()) << "phase stays {0, 1}";
+  EXPECT_TRUE(std::isinf(domains.StateBound()));
+
+  std::vector<Diagnostic> diags = LintDomains(*spec, domains);
+  bool flagged = false;
+  for (const Diagnostic& d : diags) {
+    if (d.code == "unbounded-variable" && d.location == "n") {
+      flagged = true;
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_NE(d.message.find("WithinConstraint"), std::string::npos)
+          << "the diagnostic must point at the missing constraint";
+    }
+    EXPECT_NE(d.location, "phase") << "phase is bounded: " << d.ToText();
+  }
+  EXPECT_TRUE(flagged);
+}
+
+// A declared domain smaller than what the exhaustive probe observes is a
+// lie about the state space and must be an error.
+class UnderdeclaredSpec : public tlax::Spec {
+ public:
+  UnderdeclaredSpec() : variables_{"x"} {
+    actions_.push_back(tlax::Action{
+        "Step",
+        [](const tlax::State& s, std::vector<tlax::State>* out) {
+          if (s.var(0).int_value() < 2) {
+            out->push_back(s.With(0, Value::Int(s.var(0).int_value() + 1)));
+          }
+        },
+        tlax::Footprint{{"x"}, {"x"}}});
+    invariants_.push_back(tlax::Invariant{
+        "XSmall", [](const tlax::State& s) { return s.var(0).int_value() < 9; },
+        std::vector<std::string>{"x"}});
+  }
+  std::string name() const override { return "Underdeclared"; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  std::vector<tlax::State> InitialStates() const override {
+    return {tlax::State({Value::Int(0)})};
+  }
+  const std::vector<tlax::Action>& actions() const override {
+    return actions_;
+  }
+  const std::vector<tlax::Invariant>& invariants() const override {
+    return invariants_;
+  }
+  std::vector<tlax::DomainDecl> DeclaredDomains() const override {
+    return {{"x", 2}, {"nope", 5}};  // x actually takes 3 values.
+  }
+
+ private:
+  std::vector<std::string> variables_;
+  std::vector<tlax::Action> actions_;
+  std::vector<tlax::Invariant> invariants_;
+};
+
+TEST(LintDomainsTest, UnderdeclaredDomainAndUnknownVarAreErrors) {
+  UnderdeclaredSpec spec;
+  SpecDomains domains = InferDomains(spec);
+  ASSERT_TRUE(domains.exhaustive);
+  ASSERT_EQ(domains.unresolved, std::vector<std::string>{"nope"});
+
+  bool exceeds = false, unresolved = false;
+  for (const Diagnostic& d : LintDomains(spec, domains)) {
+    if (d.code == "domain-exceeds-declaration" && d.location == "x") {
+      exceeds = true;
+      EXPECT_EQ(d.severity, Severity::kError);
+    }
+    if (d.code == "unresolved-domain-var" && d.location == "nope") {
+      unresolved = true;
+      EXPECT_EQ(d.severity, Severity::kError);
+    }
+  }
+  EXPECT_TRUE(exceeds);
+  EXPECT_TRUE(unresolved);
+  // The exact observed count still wins over the understated declaration:
+  // the budget must not shrink below the true space.
+  EXPECT_GE(domains.StateBound(), 3.0);
+}
+
+TEST(InferDomainsTest, DeclaredSizesBoundTruncatedProbes) {
+  // When the probe cannot exhaust the space, only declarations can bound
+  // the budget — observation alone proves nothing beyond what it saw.
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kAbstract;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+
+  DomainOptions options;
+  options.max_samples = 50;  // Far below the reachable space.
+  SpecDomains domains = InferDomains(spec, options);
+  ASSERT_FALSE(domains.exhaustive);
+  // Every variable carries a declaration, so the budget stays finite.
+  EXPECT_TRUE(domains.UnboundedVars().empty());
+  EXPECT_FALSE(std::isinf(domains.StateBound()));
+
+  // And the declared product covers the real (exhaustively probed) space.
+  SpecDomains full = InferDomains(spec);
+  ASSERT_TRUE(full.exhaustive);
+  EXPECT_GE(domains.StateBound(), static_cast<double>(full.joined_states));
+}
+
+}  // namespace
+}  // namespace xmodel::analysis

@@ -41,6 +41,10 @@ TEST(SpecLintTest, BrokenFixtureProducesSeededFindings) {
   EXPECT_TRUE(HasFinding(diags, "footprint-mismatch", "LyingFootprint"));
   // "ghost" is read by an invariant but no action ever writes it.
   EXPECT_TRUE(HasFinding(diags, "never-written-variable", "ghost"));
+  // "WriteScratch" declares the typo'd footprint variable "tyop".
+  EXPECT_TRUE(HasFinding(diags, "unresolved-footprint-var", "WriteScratch"));
+  // "scratch" is written by WriteScratch but nothing ever reads it.
+  EXPECT_TRUE(HasFinding(diags, "written-never-read", "scratch"));
 
   // The genuine pieces of the fixture must NOT be flagged.
   EXPECT_FALSE(HasFinding(diags, "vacuous-invariant", "XInRange"));
@@ -63,6 +67,43 @@ TEST(SpecLintTest, NeverEnabledIsWarningWhenSampled) {
     if (d.code == "never-enabled-action") {
       EXPECT_EQ(d.severity, Severity::kWarning)
           << "non-exhaustive sampling cannot prove an action dead";
+    }
+  }
+}
+
+TEST(SpecLintTest, UnresolvedFootprintVarSeverityIsLocked) {
+  // The severity contract consumers (the CI lint gate, editor plugins)
+  // rely on: a declared footprint naming a nonexistent variable is an
+  // ERROR — silently ignoring the name would let typos rot the very
+  // declarations the independence analysis trusts. Locked both in the
+  // enum and in the JSON severity string.
+  std::unique_ptr<tlax::Spec> spec = MakeBrokenFixtureSpec();
+  SpecFootprints footprints = InferFootprints(*spec);
+  std::vector<Diagnostic> diags = LintSpec(*spec, footprints);
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.code != "unresolved-footprint-var") continue;
+    found = true;
+    EXPECT_EQ(d.severity, Severity::kError) << d.ToText();
+    EXPECT_EQ(d.ToJson().Dump().find("\"severity\":\"error\"") !=
+                  std::string::npos,
+              true)
+        << d.ToJson().Dump();
+    EXPECT_NE(d.message.find("tyop"), std::string::npos)
+        << "the message must name the offending variable";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpecLintTest, WrittenNeverReadIsWarningNotError) {
+  // Dead weight, not a soundness bug: written-never-read must not flip
+  // the lint exit status on its own.
+  std::unique_ptr<tlax::Spec> spec = MakeBrokenFixtureSpec();
+  SpecFootprints footprints = InferFootprints(*spec);
+  for (const Diagnostic& d : LintSpec(*spec, footprints)) {
+    if (d.code == "written-never-read") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_EQ(d.location, "scratch");
     }
   }
 }

@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/domain.h"
+#include "analysis/footprint.h"
+#include "analysis/independence.h"
 #include "specs/array_ot_spec.h"
 #include "specs/locking_spec.h"
 #include "specs/raft_mongo_spec.h"
@@ -129,6 +133,80 @@ TEST(DeterminismTest, DieHardMinimalCounterexample) {
     ASSERT_TRUE(result.violation.has_value());
     EXPECT_EQ(result.violation->trace.size(), 7u);
   }
+}
+
+// Checker options carrying a sleep-set POR matrix: the footprint-only
+// matrix, or the value-sensitive refined one from the abstract-domain
+// pass. Two-phase settle at the level barrier makes every CheckResult
+// field worker-count-invariant even under POR, so these run through the
+// same ExpectWorkerInvariant bar as the unreduced checks.
+CheckerOptions PorOptions(const Spec& spec, bool refined) {
+  analysis::SpecFootprints footprints = analysis::InferFootprints(spec);
+  CheckerOptions options;
+  if (refined) {
+    analysis::SpecDomains domains = analysis::InferDomains(spec);
+    options.independence = std::make_shared<ActionIndependence>(
+        analysis::RefineIndependence(spec, footprints, domains).matrix);
+  } else {
+    options.independence = std::make_shared<ActionIndependence>(
+        analysis::ComputeIndependence(spec, footprints));
+  }
+  return options;
+}
+
+TEST(PorDeterminismTest, RaftMongoAbstractFootprintOnly) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kAbstract;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  ExpectWorkerInvariant(spec, PorOptions(spec, /*refined=*/false));
+}
+
+TEST(PorDeterminismTest, RaftMongoAbstractRefined) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kAbstract;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  ExpectWorkerInvariant(spec, PorOptions(spec, /*refined=*/true));
+}
+
+TEST(PorDeterminismTest, RaftMongoDetailedRefined) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  ExpectWorkerInvariant(spec, PorOptions(spec, /*refined=*/true));
+}
+
+TEST(PorDeterminismTest, CounterViolationUnderPor) {
+  // A violating run with a fully commuting matrix: the sleep sets prune
+  // aggressively, yet the counterexample must stay identical at every
+  // worker count.
+  specs::CounterSpec spec(/*limit=*/30, /*violate_at=*/17);
+  ExpectWorkerInvariant(spec, PorOptions(spec, /*refined=*/false));
+}
+
+TEST(PorDeterminismTest, RefinedSleepsAtLeastAsMuchAsFootprintOnly) {
+  specs::RaftMongoConfig config;
+  config.variant = specs::RaftMongoVariant::kDetailed;
+  config.num_nodes = 3;
+  config.max_term = 2;
+  config.max_oplog_len = 2;
+  specs::RaftMongoSpec spec(config);
+  CheckResult base =
+      ModelChecker(PorOptions(spec, /*refined=*/false)).Check(spec);
+  CheckResult refined =
+      ModelChecker(PorOptions(spec, /*refined=*/true)).Check(spec);
+  ASSERT_TRUE(base.status.ok());
+  ASSERT_TRUE(refined.status.ok());
+  EXPECT_EQ(refined.distinct_states, base.distinct_states);
+  EXPECT_GT(refined.por_slept_actions, base.por_slept_actions);
 }
 
 TEST(DeterminismTest, ResourceExhaustionIsWorkerInvariant) {

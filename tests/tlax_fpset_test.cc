@@ -102,7 +102,7 @@ TEST(FpsetTest, AuditCountsGenuineCollisions) {
   EXPECT_EQ(*stored, a) << "the first-inserted state stays authoritative";
 }
 
-TEST(FpsetTest, PorSleepIntersectAndWake) {
+TEST(FpsetTest, PorSleepIntersectSettleAndWake) {
   FingerprintSet::Options options;
   options.track_por = true;
   FingerprintSet set(options);
@@ -115,23 +115,34 @@ TEST(FpsetTest, PorSleepIntersectAndWake) {
   EXPECT_EQ(grant.explored_before, 0u);
   EXPECT_EQ(grant.to_expand, 0b0101u);
 
-  // Re-discovery with a smaller sleep set {3} frees action 1 -> wake.
-  FpInsert wake = set.Insert(7, 9, 2, 1, 5, /*sleep_mask=*/0b1000, nullptr);
-  EXPECT_FALSE(wake.inserted);
-  EXPECT_TRUE(wake.por_wake);
+  // Re-discovery with a smaller sleep set {3}: the shrink is pending, not
+  // settled — expansion still sees the old mask until the barrier.
+  FpInsert shrink = set.Insert(7, 9, 2, 1, 5, /*sleep_mask=*/0b1000, nullptr);
+  EXPECT_FALSE(shrink.inserted);
+  EXPECT_TRUE(shrink.sleep_shrunk);
+
+  // Barrier: settling applies the shrink and wakes the freed action 1.
+  FingerprintSet::PorSettle settle = set.SettlePor(7, all);
+  EXPECT_TRUE(settle.wake);
+  EXPECT_EQ(settle.depth, 0);
   grant = set.AcquireExpand(7, all);
   EXPECT_EQ(grant.sleep, 0b1000u);
   EXPECT_EQ(grant.explored_before, 0b0101u);
   EXPECT_EQ(grant.to_expand, 0b0010u) << "only the newly freed action";
 
-  // A further shrink that frees nothing new must NOT wake again…
+  // A further revisit with the same mask leaves pending == settled…
   FpInsert quiet = set.Insert(7, 9, 2, 1, 6, /*sleep_mask=*/0b1000, nullptr);
-  EXPECT_FALSE(quiet.por_wake);
-  // …and an already-queued state is not woken twice.
+  EXPECT_FALSE(quiet.sleep_shrunk);
+  // …and settling an already-queued state applies the mask but does not
+  // enqueue it a second time.
   set.Insert(8, 0, kFpInitialAction, 0, 1, 0b0001, nullptr);
   FpInsert requeue = set.Insert(8, 9, 1, 1, 7, /*sleep_mask=*/0, nullptr);
-  EXPECT_FALSE(requeue.por_wake)
+  EXPECT_TRUE(requeue.sleep_shrunk);
+  settle = set.SettlePor(8, all);
+  EXPECT_FALSE(settle.wake)
       << "still queued from the original insert; no duplicate enqueue";
+  grant = set.AcquireExpand(8, all);
+  EXPECT_EQ(grant.sleep, 0u) << "the settled mask picked up the shrink";
 }
 
 TEST(FpsetTest, ShardCountRoundsUpToPowerOfTwo) {

@@ -29,6 +29,13 @@ Checks every file argument and exits nonzero on the first problem:
 - MBTCG-family sanity (any snapshot containing mbtcg.extract.* metrics):
   the extraction gauges `mbtcg.extract.{roots,cases,seconds}` must all be
   present together, finite, and non-negative.
+- Domain-family sanity (any snapshot containing analysis.domain.* metrics):
+  per spec, the gauges `analysis.domain.<spec>.{state_bound,
+  observed_distinct, unbounded_vars, exhaustive}` must appear together,
+  finite and non-negative, with `exhaustive` boolean; `unbounded_vars > 0`
+  forces `state_bound == 0` (the "unbounded" encoding), and an exhaustive
+  probe with no unbounded variables must report a budget that is >= 1 and
+  covers the observed distinct count.
 
 Usage: tools/validate_metrics.py FILE [FILE...]
 """
@@ -180,6 +187,42 @@ def validate_mbtcg_family(path, metrics):
     require_gauge_family(path, metrics, names)
 
 
+def validate_domain_family(path, metrics):
+    """Cross-metric sanity for the abstract-domain analysis.domain.*."""
+    leaves = ("state_bound", "observed_distinct", "unbounded_vars",
+              "exhaustive")
+    specs = set()
+    for name in metrics:
+        if not name.startswith("analysis.domain."):
+            continue
+        rest = name[len("analysis.domain."):]
+        spec, _, leaf = rest.rpartition(".")
+        require(spec and leaf in leaves, path,
+                f"unknown analysis.domain gauge {name!r}")
+        specs.add(spec)
+    for spec in sorted(specs):
+        names = [f"analysis.domain.{spec}.{leaf}" for leaf in leaves]
+        require_gauge_family(path, metrics, names)
+        bound = metrics[names[0]]["value"]
+        observed = metrics[names[1]]["value"]
+        unbounded = metrics[names[2]]["value"]
+        exhaustive = metrics[names[3]]["value"]
+        require(exhaustive in (0, 1), path,
+                f"{names[3]!r} must be 0 or 1, got {exhaustive!r}")
+        if unbounded > 0:
+            require(bound == 0, path,
+                    f"{spec}: {unbounded} unbounded variable(s) but "
+                    f"state_bound is {bound}, want the 0 'unbounded' "
+                    f"encoding")
+        elif exhaustive == 1:
+            require(bound >= 1, path,
+                    f"{spec}: exhaustive probe with no unbounded variables "
+                    f"must report a budget >= 1, got {bound}")
+            require(bound >= observed, path,
+                    f"{spec}: static budget {bound} is below the observed "
+                    f"distinct count {observed} — the bound is unsound")
+
+
 def validate_metrics_doc(path, doc):
     require(doc.get("schema") == "xmodel.metrics.v1", path,
             f"unexpected schema {doc.get('schema')!r}")
@@ -191,6 +234,7 @@ def validate_metrics_doc(path, doc):
     validate_value_family(path, metrics)
     validate_graph_family(path, metrics)
     validate_mbtcg_family(path, metrics)
+    validate_domain_family(path, metrics)
     return len(metrics)
 
 
