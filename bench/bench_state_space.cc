@@ -161,6 +161,10 @@ int main(int argc, char** argv) {
     for (int w : sweep) {
       xmodel::tlax::CheckerOptions options;
       options.num_workers = w;
+      // Live plane: heartbeats + /progress while the sweep runs (no-ops
+      // unless --serve is up), and the idle-time profiler result below.
+      options.watchdog = bench.watchdog();
+      options.progress_reporter = bench.progress();
       auto result = xmodel::tlax::ModelChecker(options).Check(spec);
       if (!result.status.ok()) {
         return bench.Fail("worker-scaling check aborted");
@@ -179,13 +183,19 @@ int main(int argc, char** argv) {
       }
       double speedup = base_rate > 0 ? rate / base_rate : 0;
       std::printf("  workers=%d  %12llu states  depth %2lld  %8.2f s  "
-                  "%10.0f states/sec  %.2fx\n",
+                  "%10.0f states/sec  %.2fx  idle %.1f%%\n",
                   result.workers_used,
                   static_cast<unsigned long long>(result.distinct_states),
                   static_cast<long long>(result.diameter), result.seconds,
-                  rate, speedup);
+                  rate, speedup, 100.0 * result.barrier_idle_fraction);
       bench.AddResult(
           xmodel::common::StrCat("workers", w, "_states_per_sec"), rate);
+      // The barrier idle fraction is the relaxed-frontier roadmap item's
+      // baseline: how much of the fleet's wall time the level-synchronous
+      // barriers throw away at each worker count.
+      bench.AddResult(
+          xmodel::common::StrCat("workers", w, "_idle_fraction"),
+          result.barrier_idle_fraction);
       if (w > 1) {
         bench.AddResult(
             xmodel::common::StrCat("scaling_speedup_w", w), speedup);

@@ -1,8 +1,15 @@
 // Shared harness for the experiment benches: uniform flag parsing
-// (--quick, --metrics-out=FILE), a run timer, and a BENCH_<name>.json
-// report carrying the full metrics-registry snapshot plus per-bench result
-// values — the artifact shape CI uploads and tools/validate_metrics.py
-// checks.
+// (--quick, --metrics-out=FILE, --serve=PORT, --events-out=FILE), a run
+// timer, and a BENCH_<name>.json report carrying the full
+// metrics-registry snapshot plus per-bench result values — the artifact
+// shape CI uploads and tools/validate_metrics.py checks.
+//
+// --serve=PORT stands up the live observability plane (obs::ObsServer on
+// 127.0.0.1; /metrics, /healthz, /progress, /events) for the duration of
+// the bench; the bench's checker runs heartbeat the harness watchdog
+// (reachable via watchdog()) so /healthz reflects stalls.
+// --serve-linger-ms=N keeps the server up after Finish until the timeout
+// or GET /quitquitquit. --events-out=FILE attaches a JSONL event sink.
 //
 // Usage:
 //   int main(int argc, char** argv) {
@@ -19,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,8 +35,12 @@
 #include "common/json.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "obs/eventlog.h"
 #include "obs/export.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/watchdog.h"
 
 namespace xmodel::bench {
 
@@ -40,19 +52,64 @@ class Harness {
   /// `--metrics-out=FILE` overrides the default BENCH_<name>.json path.
   Harness(const char* name, int argc, char** argv)
       : name_(name), out_path_(common::StrCat("BENCH_", name, ".json")) {
+    int serve_port = -1;
+    std::string events_out;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) {
         quick_ = true;
       } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
         out_path_ = argv[i] + 14;
+      } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+        serve_port = std::atoi(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--serve-linger-ms=", 18) == 0) {
+        serve_linger_ms_ = std::atoll(argv[i] + 18);
+      } else if (std::strncmp(argv[i], "--events-out=", 13) == 0) {
+        events_out = argv[i] + 13;
       }
     }
     if (std::getenv("XMODEL_QUICK") != nullptr) quick_ = true;
+    if (!events_out.empty()) {
+      common::Status status =
+          obs::EventLog::Global().OpenJsonlSink(events_out);
+      if (!status.ok()) {
+        std::fprintf(stderr, "BENCH %s: events-out: %s\n", name_.c_str(),
+                     status.ToString().c_str());
+      }
+    }
+    if (serve_port >= 0) {
+      obs::ObsServer::Options serve_options;
+      serve_options.watchdog = &watchdog_;
+      serve_options.progress = &progress_;
+      server_ = std::make_unique<obs::ObsServer>(serve_options);
+      common::Status status = server_->Start(serve_port);
+      if (!status.ok()) {
+        std::fprintf(stderr, "BENCH %s: serve: %s\n", name_.c_str(),
+                     status.ToString().c_str());
+        server_.reset();
+      } else {
+        std::fprintf(stderr,
+                     "BENCH %s: serving observability on "
+                     "http://127.0.0.1:%d/\n",
+                     name_.c_str(), server_->port());
+      }
+    }
     start_ns_ = common::MonotonicClock::Real()->NowNanos();
+  }
+
+  ~Harness() {
+    if (server_ != nullptr) {
+      if (serve_linger_ms_ > 0) server_->WaitForQuit(serve_linger_ms_);
+      server_->Stop();
+    }
+    obs::EventLog::Global().CloseJsonlSink();
   }
 
   bool quick() const { return quick_; }
   const std::string& out_path() const { return out_path_; }
+  /// Wire these into CheckerOptions (watchdog/progress_reporter) so the
+  /// live endpoints track the bench's checker runs.
+  obs::Watchdog* watchdog() { return &watchdog_; }
+  obs::ProgressTracker* progress() { return &progress_; }
 
   /// Records one headline number (or string) for the report's "results"
   /// object.
@@ -116,8 +173,12 @@ class Harness {
   std::string out_path_;
   bool quick_ = false;
   int64_t start_ns_ = 0;
+  int64_t serve_linger_ms_ = 0;
   std::string error_;
   std::vector<std::pair<std::string, common::Json>> results_;
+  obs::Watchdog watchdog_;
+  obs::ProgressTracker progress_;
+  std::unique_ptr<obs::ObsServer> server_;
 };
 
 }  // namespace xmodel::bench

@@ -15,6 +15,14 @@
 //   xmodel_lint --domain-samples=N  state budget for the abstract-domain
 //                                   probe (default 262144)
 //   xmodel_lint --metrics-out=FILE  write a metrics-registry snapshot
+//                                   (crash-safe: temp file + atomic rename)
+//   xmodel_lint --events-out=FILE   append structured events as JSONL
+//   xmodel_lint --serve=PORT        live observability plane on
+//                                   127.0.0.1:PORT (/metrics /healthz
+//                                   /progress /events); 0 = ephemeral
+//   xmodel_lint --serve-linger-ms=N keep serving for N ms after the run
+//                                   (or until GET /quitquitquit)
+//   xmodel_lint --stall-timeout-ms=N  watchdog threshold (default 30000)
 //
 // Besides the static passes, each spec gets a bounded model check (capped
 // at --max-samples distinct states) so the lint run also smoke-tests the
@@ -38,8 +46,11 @@
 #include "analysis/spec_lint.h"
 #include "analysis/spec_registry.h"
 #include "common/strings.h"
+#include "obs/eventlog.h"
 #include "obs/export.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "repl/replica_set.h"
 #include "repl/scenarios.h"
 #include "tlax/checker.h"
@@ -60,6 +71,10 @@ struct Options {
   int workers = 1;
   std::string spec_filter;
   std::string metrics_out;
+  std::string events_out;
+  int serve_port = -1;  // -1 = no HTTP server.
+  int64_t serve_linger_ms = 0;
+  int64_t stall_timeout_ms = 30'000;
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -89,6 +104,18 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       }
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       options->metrics_out = arg.substr(14);
+    } else if (arg.rfind("--events-out=", 0) == 0) {
+      options->events_out = arg.substr(13);
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      options->serve_port = std::atoi(arg.c_str() + 8);
+      if (options->serve_port < 0 || options->serve_port > 65535) {
+        std::fprintf(stderr, "--serve must be a port in [0, 65535]\n");
+        return false;
+      }
+    } else if (arg.rfind("--serve-linger-ms=", 0) == 0) {
+      options->serve_linger_ms = std::atoll(arg.c_str() + 18);
+    } else if (arg.rfind("--stall-timeout-ms=", 0) == 0) {
+      options->stall_timeout_ms = std::atoll(arg.c_str() + 19);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -121,6 +148,7 @@ struct SpecSummary {
 };
 
 void LintOneSpec(const tlax::Spec& spec, const Options& options,
+                 obs::Watchdog* watchdog, obs::ProgressTracker* progress,
                  analysis::DiagnosticReport* report,
                  std::vector<SpecSummary>* summaries) {
   analysis::FootprintOptions footprint_options;
@@ -175,6 +203,8 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   check_options.num_workers = options.workers;
   check_options.max_distinct_states = options.max_samples;
   check_options.record_graph = true;
+  check_options.watchdog = watchdog;
+  check_options.progress_reporter = progress;
   tlax::ModelChecker checker(check_options);
   tlax::CheckResult check = checker.Check(spec);
   summary.check_distinct = check.distinct_states;
@@ -246,16 +276,44 @@ int main(int argc, char** argv) {
   Options options;
   if (!ParseArgs(argc, argv, &options)) return 2;
 
+  if (!options.events_out.empty()) {
+    common::Status status =
+        obs::EventLog::Global().OpenJsonlSink(options.events_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "events-out: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Live observability plane: the bounded model-check pass heartbeats the
+  // watchdog at each BFS level barrier and feeds the progress tracker, so
+  // /healthz and /progress stay honest while the lint run works.
+  obs::Watchdog watchdog(options.stall_timeout_ms);
+  obs::ProgressTracker progress;
+  obs::ObsServer::Options serve_options;
+  serve_options.watchdog = &watchdog;
+  serve_options.progress = &progress;
+  obs::ObsServer server(serve_options);
+  if (options.serve_port >= 0) {
+    common::Status status = server.Start(options.serve_port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "serving observability on http://127.0.0.1:%d/\n",
+                 server.port());
+  }
+
   analysis::DiagnosticReport report;
   std::vector<SpecSummary> summaries;
   size_t lock_streams = 0;
 
   if (options.broken_fixture) {
     auto fixture = analysis::MakeBrokenFixtureSpec();
-    LintOneSpec(*fixture, options, &report, &summaries);
+    LintOneSpec(*fixture, options, &watchdog, &progress, &report, &summaries);
   } else if (options.unbounded_fixture) {
     auto fixture = analysis::MakeUnboundedFixtureSpec();
-    LintOneSpec(*fixture, options, &report, &summaries);
+    LintOneSpec(*fixture, options, &watchdog, &progress, &report, &summaries);
   } else {
     for (const analysis::RegisteredSpec& entry :
          analysis::RegisteredSpecs()) {
@@ -264,7 +322,7 @@ int main(int argc, char** argv) {
         continue;
       }
       auto spec = entry.make();
-      LintOneSpec(*spec, options, &report, &summaries);
+      LintOneSpec(*spec, options, &watchdog, &progress, &report, &summaries);
     }
     if (options.scenarios && options.spec_filter.empty()) {
       AnalyzeScenarioLocks(&report, &lock_streams);
@@ -376,5 +434,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (options.serve_port >= 0) {
+    if (options.serve_linger_ms > 0) {
+      server.WaitForQuit(options.serve_linger_ms);
+    }
+    server.Stop();
+  }
+  obs::EventLog::Global().CloseJsonlSink();
   return report.HasErrors() ? 1 : 0;
 }

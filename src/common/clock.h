@@ -1,6 +1,7 @@
 #ifndef XMODEL_COMMON_CLOCK_H_
 #define XMODEL_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace xmodel::common {
@@ -27,25 +28,31 @@ class MonotonicClock {
 
 /// Deterministic clock for tests: time moves only when told to, plus an
 /// optional fixed auto-advance per read (so code that samples the clock in
-/// a loop sees strictly increasing, reproducible timestamps).
+/// a loop sees strictly increasing, reproducible timestamps). Thread-safe:
+/// the worker idle-time profiler reads the checker's clock from every
+/// worker thread, so reads and advances are atomic (each NowNanos is one
+/// fetch_add; concurrent readers each get a distinct, increasing stamp).
 class FakeMonotonicClock : public MonotonicClock {
  public:
   int64_t NowNanos() override {
-    int64_t now = now_ns_;
-    now_ns_ += auto_advance_ns_;
-    return now;
+    return now_ns_.fetch_add(auto_advance_ns_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
   }
 
-  void AdvanceNanos(int64_t ns) { now_ns_ += ns; }
-  void AdvanceMicros(int64_t us) { now_ns_ += us * 1'000; }
-  void AdvanceMs(int64_t ms) { now_ns_ += ms * 1'000'000; }
+  void AdvanceNanos(int64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t us) { AdvanceNanos(us * 1'000); }
+  void AdvanceMs(int64_t ms) { AdvanceNanos(ms * 1'000'000); }
 
   /// Every NowNanos() call advances time by `ns` after reading it.
-  void set_auto_advance_ns(int64_t ns) { auto_advance_ns_ = ns; }
+  void set_auto_advance_ns(int64_t ns) {
+    auto_advance_ns_.store(ns, std::memory_order_relaxed);
+  }
 
  private:
-  int64_t now_ns_ = 0;
-  int64_t auto_advance_ns_ = 0;
+  std::atomic<int64_t> now_ns_{0};
+  std::atomic<int64_t> auto_advance_ns_{0};
 };
 
 }  // namespace xmodel::common

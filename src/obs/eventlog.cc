@@ -1,0 +1,155 @@
+#include "obs/eventlog.h"
+
+#include <algorithm>
+
+namespace xmodel::obs {
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kDebug:
+      return "debug";
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+common::Json Event::ToJson() const {
+  common::Json out = common::Json::MakeObject();
+  out.Set("seq", common::Json::Int(static_cast<int64_t>(seq)));
+  out.Set("ts_us", common::Json::Int(ts_us));
+  out.Set("severity", common::Json::Str(EventSeverityName(severity)));
+  out.Set("subsystem", common::Json::Str(subsystem));
+  out.Set("event", common::Json::Str(name));
+  common::Json kv = common::Json::MakeObject();
+  for (const auto& [key, value] : fields) {
+    kv.Set(key, common::Json::Str(value));
+  }
+  out.Set("fields", std::move(kv));
+  return out;
+}
+
+// A ring slot: the latch orders publication against reader copies and
+// against a wrapped-around emitter; the stamp (seq + 1, 0 = never written)
+// tells a reader whether the payload under the latch is the generation it
+// asked for.
+struct EventLog::Slot {
+  std::mutex mu;
+  std::atomic<uint64_t> stamp{0};
+  Event event;
+};
+
+EventLog::EventLog(size_t capacity, common::MonotonicClock* clock)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      clock_(clock != nullptr ? clock : common::MonotonicClock::Real()),
+      slots_(new Slot[capacity < 1 ? 1 : capacity]) {}
+
+EventLog::~EventLog() { CloseJsonlSink(); }
+
+EventLog& EventLog::Global() {
+  static EventLog* global = new EventLog();
+  return *global;
+}
+
+void EventLog::Emit(
+    EventSeverity severity, std::string_view subsystem, std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string>> fields) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  const int64_t ts_us = clock_->NowMicros();
+  const bool sink = has_sink_.load(std::memory_order_acquire);
+
+  Slot& slot = slots_[seq % capacity_];
+  Event for_sink;
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    Event& e = slot.event;
+    e.seq = seq;
+    e.ts_us = ts_us;
+    e.severity = severity;
+    e.subsystem.assign(subsystem);
+    e.name.assign(name);
+    e.fields.clear();
+    e.fields.reserve(fields.size());
+    for (const auto& [key, value] : fields) {
+      e.fields.emplace_back(std::string(key), value);
+    }
+    slot.stamp.store(seq + 1, std::memory_order_release);
+    if (sink) for_sink = e;
+  }
+  if (sink) {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    if (sink_.is_open()) {
+      sink_ << for_sink.ToJson().Dump() << '\n';
+      sink_.flush();
+    }
+  }
+}
+
+std::vector<Event> EventLog::Tail(size_t n) const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  uint64_t window = std::min<uint64_t>(n, capacity_);
+  window = std::min<uint64_t>(window, end);
+  std::vector<Event> out;
+  out.reserve(window);
+  for (uint64_t seq = end - window; seq < end; ++seq) {
+    Slot& slot = slots_[seq % capacity_];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    // A concurrent emitter may have lapped this slot (stamp > seq + 1) or
+    // not reached it yet (stamp <= seq); either way the generation asked
+    // for is gone — skip, never block on it.
+    if (slot.stamp.load(std::memory_order_relaxed) == seq + 1) {
+      out.push_back(slot.event);
+    }
+  }
+  return out;
+}
+
+std::string EventLog::ToJsonl(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += e.ToJson().Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+common::Status EventLog::OpenJsonlSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_.is_open()) sink_.close();
+  sink_.open(path, std::ios::out | std::ios::trunc);
+  if (!sink_) {
+    has_sink_.store(false, std::memory_order_release);
+    return common::Status::NotFound("cannot open " + path + " for writing");
+  }
+  has_sink_.store(true, std::memory_order_release);
+  return common::Status::OK();
+}
+
+void EventLog::CloseJsonlSink() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  has_sink_.store(false, std::memory_order_release);
+  if (sink_.is_open()) {
+    sink_.flush();
+    sink_.close();
+  }
+}
+
+void EventLog::set_clock(common::MonotonicClock* clock) {
+  clock_ = clock != nullptr ? clock : common::MonotonicClock::Real();
+}
+
+void EventLog::Clear() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    std::lock_guard<std::mutex> lock(slots_[i].mu);
+    slots_[i].stamp.store(0, std::memory_order_relaxed);
+    slots_[i].event = Event{};
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+}  // namespace xmodel::obs

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/json.h"
+
 namespace xmodel::obs {
 
 /// One progress observation from a running model check — the TLC-style
@@ -59,6 +61,35 @@ class TextProgressReporter : public ProgressReporter {
   std::mutex mu_;
   std::FILE* out_ = nullptr;
   std::string* sink_ = nullptr;
+};
+
+/// Remembers the latest CheckerProgress (and forwards to an optional inner
+/// reporter) so the live observability plane can serve it: the /progress
+/// HTTP endpoint renders Latest() as the `xmodel.progress.v1` document.
+/// Thread-safe — one tracker can be shared by concurrent checker runs,
+/// though concurrent runs then interleave whose progress is "latest".
+class ProgressTracker : public ProgressReporter {
+ public:
+  explicit ProgressTracker(ProgressReporter* next = nullptr) : next_(next) {}
+
+  void Report(const CheckerProgress& progress) override;
+
+  CheckerProgress Latest() const;
+  /// Total Report() calls / final reports seen across all runs.
+  uint64_t reports() const;
+  uint64_t runs_completed() const;
+
+  /// {"schema":"xmodel.progress.v1","reports":N,"runs_completed":N,
+  ///  "generated_states":...,...} — the latest observation plus counters;
+  /// all-zero fields before the first report.
+  common::Json ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  ProgressReporter* next_;
+  CheckerProgress latest_;
+  uint64_t reports_ = 0;
+  uint64_t runs_completed_ = 0;
 };
 
 }  // namespace xmodel::obs

@@ -1,0 +1,45 @@
+#include "obs/watchdog.h"
+
+#include "common/strings.h"
+#include "obs/eventlog.h"
+
+namespace xmodel::obs {
+
+Watchdog::Watchdog(int64_t stall_timeout_ms, common::MonotonicClock* clock,
+                   EventLog* events)
+    : clock_(clock != nullptr ? clock : common::MonotonicClock::Real()),
+      events_(events != nullptr ? events : &EventLog::Global()),
+      timeout_ms_(stall_timeout_ms < 1 ? 1 : stall_timeout_ms),
+      last_beat_ns_(clock_->NowNanos()) {}
+
+void Watchdog::Heartbeat() {
+  last_beat_ns_.store(clock_->NowNanos(), std::memory_order_relaxed);
+  bool was_stalled = true;
+  if (stall_reported_.compare_exchange_strong(was_stalled, false,
+                                              std::memory_order_acq_rel)) {
+    events_->Emit(EventSeverity::kInfo, "obs", "watchdog.recovered",
+                  {{"stall_timeout_ms", common::StrCat(timeout_ms_)}});
+  }
+}
+
+bool Watchdog::Poll() {
+  const int64_t idle_ms = ms_since_heartbeat();
+  if (idle_ms <= timeout_ms_) return false;
+  bool was_reported = false;
+  if (stall_reported_.compare_exchange_strong(was_reported, true,
+                                              std::memory_order_acq_rel)) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    events_->Emit(EventSeverity::kWarn, "obs", "watchdog.stalled",
+                  {{"ms_since_heartbeat", common::StrCat(idle_ms)},
+                   {"stall_timeout_ms", common::StrCat(timeout_ms_)}});
+  }
+  return true;
+}
+
+int64_t Watchdog::ms_since_heartbeat() const {
+  const int64_t now_ns = clock_->NowNanos();
+  const int64_t last_ns = last_beat_ns_.load(std::memory_order_relaxed);
+  return (now_ns - last_ns) / 1'000'000;
+}
+
+}  // namespace xmodel::obs

@@ -1,0 +1,59 @@
+#ifndef XMODEL_OBS_WATCHDOG_H_
+#define XMODEL_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace xmodel::obs {
+
+class EventLog;
+
+/// Liveness watchdog for long-running checks: the checked workload calls
+/// Heartbeat() at its natural progress points (the checker at every level
+/// barrier, the MBTC pipeline at every phase boundary) and any external
+/// observer — the /healthz endpoint — calls Poll(). When no heartbeat
+/// lands within the stall timeout, Poll() reports the run stalled, emits a
+/// one-shot `obs.watchdog.stalled` event (kWarn), and /healthz degrades to
+/// 503 — so a wedged week-long run is detectable from outside without
+/// attaching a debugger. A later heartbeat emits `obs.watchdog.recovered`
+/// and re-arms the one-shot.
+///
+/// Thread-safe: heartbeats and polls are relaxed atomics on nanosecond
+/// stamps; the event emission is serialized by a compare-exchange so each
+/// stall episode logs exactly once.
+class Watchdog {
+ public:
+  /// `clock` defaults to the process steady clock; tests inject a fake and
+  /// advance it past the timeout to flip the verdict deterministically.
+  explicit Watchdog(int64_t stall_timeout_ms = 30'000,
+                    common::MonotonicClock* clock = nullptr,
+                    EventLog* events = nullptr);
+
+  /// Progress happened; re-arms the stall detector.
+  void Heartbeat();
+
+  /// True when the last heartbeat is older than the stall timeout. Emits
+  /// the one-shot stall event on the first stalled poll of an episode.
+  bool Poll();
+
+  int64_t ms_since_heartbeat() const;
+  int64_t stall_timeout_ms() const { return timeout_ms_; }
+  /// Stall episodes observed so far (a Poll() transition, not per poll).
+  uint64_t stalls_observed() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  common::MonotonicClock* clock_;
+  EventLog* events_;
+  const int64_t timeout_ms_;
+  std::atomic<int64_t> last_beat_ns_;
+  std::atomic<bool> stall_reported_{false};
+  std::atomic<uint64_t> stalls_{0};
+};
+
+}  // namespace xmodel::obs
+
+#endif  // XMODEL_OBS_WATCHDOG_H_

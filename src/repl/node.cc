@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 
 namespace xmodel::repl {
@@ -158,6 +159,11 @@ int64_t Node::PullOplogFrom(const Node& source, int64_t batch_size) {
               "repl.rollbacks.performed");
       rollbacks.Increment();
     }
+    obs::EventLog::Global().Emit(
+        obs::EventSeverity::kWarn, "repl", "rollback.performed",
+        {{"node", StrCat(id_)},
+         {"source", StrCat(source.id_)},
+         {"truncated_to", StrCat(common)}});
     EmitTrace(ReplAction::kRollbackOplog);
   }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 
 namespace xmodel::repl {
@@ -104,6 +105,11 @@ Status ReplicaSet::TryElect(int candidate) {
   }
   cand.BecomeLeader(new_term);
   REPL_COUNT("repl.elections.won", 1);
+  obs::EventLog::Global().Emit(
+      obs::EventSeverity::kInfo, "repl", "election.won",
+      {{"node", StrCat(candidate)},
+       {"term", StrCat(new_term)},
+       {"votes", StrCat(votes)}});
   // The election itself is "magic" (instantaneous) from the spec's point of
   // view; the voters then learn the new term as ordinary term gossip, each
   // producing its own traced transition.

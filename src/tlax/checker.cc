@@ -12,7 +12,9 @@
 #include "common/clock.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "tlax/fpset.h"
 
 namespace xmodel::tlax {
@@ -83,6 +85,8 @@ class Engine {
         invariants_(spec.invariants()),
         clock_(options.clock != nullptr ? options.clock
                                         : common::MonotonicClock::Real()),
+        events_(options.event_log != nullptr ? options.event_log
+                                             : &obs::EventLog::Global()),
         fp_audit_(options.fp_audit || FpAuditFromEnv()),
         workers_(common::ResolveWorkerCount(options.num_workers)),
         use_sleep_sets_(options.independence != nullptr &&
@@ -113,6 +117,12 @@ class Engine {
     uint64_t slept = 0;
     uint64_t expanded = 0;
     int64_t diameter = 0;
+    // Worker idle-time profile (options.profile_workers): wall time spent
+    // inside DrainLevel vs. waiting at the fork-join barrier for the
+    // slowest worker, plus the stamp the wait is computed from.
+    int64_t busy_ns = 0;
+    int64_t barrier_wait_ns = 0;
+    int64_t drain_end_ns = 0;
   };
 
   static FingerprintSet::Options FpOptions(bool audit, bool por) {
@@ -148,6 +158,7 @@ class Engine {
   const std::vector<Action>& actions_;
   const std::vector<Invariant>& invariants_;
   common::MonotonicClock* const clock_;
+  obs::EventLog* const events_;
   const bool fp_audit_;
   const int workers_;
   // Sleep-set partial-order reduction (Godefroid): when expanding a
@@ -176,7 +187,15 @@ class Engine {
 
   CheckResult result_;
   int64_t start_ns_ = 0;
+  int64_t settle_ns_ = 0;  // Serial barrier work, run total.
   Value::InternStats intern_at_start_;
+  // Live-metric flushing: the portion of this run's tallies already
+  // published to the global counters at level barriers, so /metrics
+  // advances mid-run and Finish adds only the remainder (totals stay
+  // identical to publishing once at the end).
+  uint64_t published_generated_ = 0;
+  uint64_t published_distinct_ = 0;
+  uint64_t published_slept_ = 0;
 
   // Level-scoped shared state.
   std::atomic<size_t> next_index_{0};  // Parent-entry work cursor.
@@ -333,10 +352,12 @@ void Engine::DrainLevel(const std::vector<LevelEntry>& level, int worker) {
   Scratch& s = scratch_[static_cast<size_t>(worker)];
   const bool poll = report_progress_ && worker == 0;
   const bool flush = report_progress_;
+  const int64_t drain_start_ns =
+      options_.profile_workers ? clock_->NowNanos() : 0;
   for (;;) {
-    if (abort_max_.load(std::memory_order_relaxed)) return;
+    if (abort_max_.load(std::memory_order_relaxed)) break;
     const size_t pos = next_index_.fetch_add(1, std::memory_order_relaxed);
-    if (pos >= level.size()) return;
+    if (pos >= level.size()) break;
     if (poll) PollProgress(level.size(), pos);
     const uint64_t gen_before = s.generated;
     const size_t next_before = s.next.size();
@@ -347,6 +368,10 @@ void Engine::DrainLevel(const std::vector<LevelEntry>& level, int worker) {
       next_count_.fetch_add(s.next.size() - next_before,
                             std::memory_order_relaxed);
     }
+  }
+  if (options_.profile_workers) {
+    s.drain_end_ns = clock_->NowNanos();
+    s.busy_ns += s.drain_end_ns - drain_start_ns;
   }
 }
 
@@ -433,6 +458,29 @@ CheckResult Engine::Finish(common::Status status) {
   result_.fingerprint_collisions = fpset_.collisions();
   const int64_t end_ns = clock_->NowNanos();
   result_.seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
+
+  double busy_ms_total = 0;
+  double wait_ms_total = 0;
+  if (options_.profile_workers) {
+    result_.worker_busy_ms.reserve(static_cast<size_t>(workers_));
+    result_.worker_barrier_wait_ms.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      const Scratch& s = scratch_[static_cast<size_t>(w)];
+      const double busy_ms = static_cast<double>(s.busy_ns) * 1e-6;
+      const double wait_ms = static_cast<double>(s.barrier_wait_ns) * 1e-6;
+      result_.worker_busy_ms.push_back(busy_ms);
+      result_.worker_barrier_wait_ms.push_back(wait_ms);
+      busy_ms_total += busy_ms;
+      wait_ms_total += wait_ms;
+    }
+    result_.barrier_settle_ms = static_cast<double>(settle_ns_) * 1e-6;
+    // Serial settle work stalls all W workers at once, so it contributes
+    // W-fold to the fleet's idle wall time.
+    const double idle_ms =
+        wait_ms_total + result_.barrier_settle_ms * workers_;
+    const double total_ms = busy_ms_total + idle_ms;
+    result_.barrier_idle_fraction = total_ms > 0 ? idle_ms / total_ms : 0;
+  }
   if (report_progress_) {
     obs::CheckerProgress p;
     p.generated_states = result_.generated_states;
@@ -452,12 +500,14 @@ CheckResult Engine::Finish(common::Status status) {
   if (options_.publish_metrics) {
     auto& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("checker.runs.completed").Increment();
+    // The per-level live flush already published most of these; add only
+    // the remainder so the run totals match exactly.
     registry.GetCounter("checker.states.generated")
-        .Increment(result_.generated_states);
+        .Increment(result_.generated_states - published_generated_);
     registry.GetCounter("checker.states.distinct")
-        .Increment(result_.distinct_states);
+        .Increment(result_.distinct_states - published_distinct_);
     registry.GetCounter("checker.por.actions_slept")
-        .Increment(result_.por_slept_actions);
+        .Increment(result_.por_slept_actions - published_slept_);
     registry.GetCounter("checker.fingerprint.collisions")
         .Increment(result_.fingerprint_collisions);
     if (result_.violation.has_value()) {
@@ -467,6 +517,21 @@ CheckResult Engine::Finish(common::Status status) {
       registry
           .GetCounter(common::StrCat("checker.worker", w, ".expansions"))
           .Increment(scratch_[static_cast<size_t>(w)].expanded);
+    }
+    if (options_.profile_workers) {
+      for (int w = 0; w < workers_; ++w) {
+        registry
+            .GetGauge(common::StrCat("checker.worker", w, ".busy_ms"))
+            .Set(result_.worker_busy_ms[static_cast<size_t>(w)]);
+        registry
+            .GetGauge(
+                common::StrCat("checker.worker", w, ".barrier_wait_ms"))
+            .Set(result_.worker_barrier_wait_ms[static_cast<size_t>(w)]);
+      }
+      registry.GetGauge("checker.barrier.settle_ms")
+          .Set(result_.barrier_settle_ms);
+      registry.GetGauge("checker.barrier.idle_fraction")
+          .Set(result_.barrier_idle_fraction);
     }
     registry.GetGauge("checker.workers.used")
         .Set(static_cast<double>(workers_));
@@ -507,6 +572,32 @@ CheckResult Engine::Finish(common::Status status) {
                        static_cast<double>(result_.distinct_states)
                  : 0);
   }
+  if (events_->enabled()) {
+    if (result_.fingerprint_collisions > 0) {
+      events_->Emit(
+          obs::EventSeverity::kWarn, "checker", "fingerprint.collisions",
+          {{"collisions", common::StrCat(result_.fingerprint_collisions)}});
+    }
+    if (result_.violation.has_value()) {
+      events_->Emit(
+          obs::EventSeverity::kError, "checker", "violation.found",
+          {{"kind", result_.violation->kind},
+           {"trace_length", common::StrCat(result_.violation->trace.size())},
+           {"distinct", common::StrCat(result_.distinct_states)}});
+    }
+    if (!result_.status.ok()) {
+      events_->Emit(obs::EventSeverity::kWarn, "checker", "run.aborted",
+                    {{"status", result_.status.ToString()}});
+    }
+    events_->Emit(
+        obs::EventSeverity::kInfo, "checker", "run.completed",
+        {{"distinct", common::StrCat(result_.distinct_states)},
+         {"generated", common::StrCat(result_.generated_states)},
+         {"levels", common::StrCat(result_.levels_completed)},
+         {"workers", common::StrCat(workers_)},
+         {"violation",
+          result_.violation.has_value() ? result_.violation->kind : ""}});
+  }
   return result_;
 }
 
@@ -517,6 +608,13 @@ CheckResult Engine::Run() {
   report_progress_ = options_.progress_reporter != nullptr;
   interval_ns_ = options_.progress_interval_ms * 1'000'000;
   last_report_ns_ = start_ns_;
+  if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
+  if (events_->enabled()) {
+    events_->Emit(obs::EventSeverity::kInfo, "checker", "run.started",
+                  {{"workers", common::StrCat(workers_)},
+                   {"actions", common::StrCat(actions_.size())},
+                   {"invariants", common::StrCat(invariants_.size())}});
+  }
 
   if (use_sleep_sets_) {
     commuting_mask_.resize(actions_.size(), 0);
@@ -557,13 +655,28 @@ CheckResult Engine::Run() {
     next_index_.store(0, std::memory_order_relaxed);
     abort_max_.store(false, std::memory_order_relaxed);
 
+    const size_t level_size = level.size();
     pool_.Run([this, &level](int worker) { DrainLevel(level, worker); });
 
     // Barrier: merge worker tallies, settle violations/limits, and build
     // the next level in deterministic discovery order.
+    const int64_t pool_end_ns =
+        options_.profile_workers ? clock_->NowNanos() : 0;
+    if (options_.profile_workers) {
+      // Fork-join imbalance: each worker waited from its own drain end
+      // until the slowest worker released the pool.
+      for (Scratch& s : scratch_) {
+        if (s.drain_end_ns > 0 && pool_end_ns > s.drain_end_ns) {
+          s.barrier_wait_ns += pool_end_ns - s.drain_end_ns;
+        }
+        s.drain_end_ns = 0;
+      }
+    }
     std::vector<CandidateViolation> candidates;
     size_t next_total = 0;
+    uint64_t level_generated = 0;
     for (Scratch& s : scratch_) {
+      level_generated += s.generated;
       result_.generated_states += s.generated;
       s.generated = 0;
       result_.por_slept_actions += s.slept;
@@ -576,6 +689,35 @@ CheckResult Engine::Run() {
       next_total += s.next.size();
     }
     generated_level_.store(0, std::memory_order_relaxed);
+    ++result_.levels_completed;
+
+    // Liveness + live observability: a completed level is the checker's
+    // natural heartbeat, the point where the global counters are brought
+    // up to date (so a /metrics scrape advances mid-run), and a debug
+    // event. None of this touches exploration state.
+    if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
+    if (options_.publish_metrics) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("checker.levels.completed").Increment();
+      registry.GetCounter("checker.states.generated")
+          .Increment(result_.generated_states - published_generated_);
+      published_generated_ = result_.generated_states;
+      const uint64_t distinct = fpset_.size();
+      registry.GetCounter("checker.states.distinct")
+          .Increment(distinct - published_distinct_);
+      published_distinct_ = distinct;
+      registry.GetCounter("checker.por.actions_slept")
+          .Increment(result_.por_slept_actions - published_slept_);
+      published_slept_ = result_.por_slept_actions;
+    }
+    if (events_->enabled()) {
+      events_->Emit(
+          obs::EventSeverity::kDebug, "checker", "level.completed",
+          {{"level", common::StrCat(result_.levels_completed)},
+           {"level_size", common::StrCat(level_size)},
+           {"generated", common::StrCat(level_generated)},
+           {"distinct", common::StrCat(fpset_.size())}});
+    }
 
     if (result_.graph) {
       // Settle this level's graph discoveries before any early return:
@@ -674,6 +816,9 @@ CheckResult Engine::Run() {
     }
     level = std::move(next);
     next_count_.store(0, std::memory_order_relaxed);
+    if (options_.profile_workers) {
+      settle_ns_ += clock_->NowNanos() - pool_end_ns;
+    }
   }
   return Finish(common::Status::OK());
 }

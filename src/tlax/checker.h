@@ -15,6 +15,11 @@
 #include "tlax/spec.h"
 #include "tlax/state_graph.h"
 
+namespace xmodel::obs {
+class EventLog;
+class Watchdog;
+}  // namespace xmodel::obs
+
 namespace xmodel::tlax {
 
 struct CheckerOptions {
@@ -58,11 +63,11 @@ struct CheckerOptions {
   /// carry every edge) or when the spec has more than 64 actions.
   std::shared_ptr<const ActionIndependence> independence;
   /// Interval-driven progress telemetry (TLC's periodic status lines).
-  /// Off by default: when null, the checker never consults the wall clock
-  /// mid-run beyond its start/stop measurement. When set, Report() is
-  /// called roughly every progress_interval_ms (polled every few thousand
-  /// expansions, so lines can lag on very slow specs) and once at the end
-  /// with final_report set.
+  /// Off by default: when null, the checker's only mid-run clock reads are
+  /// the per-level profiler stamps (see profile_workers). When set,
+  /// Report() is called roughly every progress_interval_ms (polled every
+  /// few thousand expansions, so lines can lag on very slow specs) and
+  /// once at the end with final_report set.
   obs::ProgressReporter* progress_reporter = nullptr;
   int64_t progress_interval_ms = 2000;
   /// Wall-time source for seconds/progress pacing; null = the process
@@ -72,6 +77,25 @@ struct CheckerOptions {
   /// obs::MetricsRegistry::Global(). Cheap: a handful of atomic adds per
   /// Check() call, nothing per state.
   bool publish_metrics = true;
+  /// Worker idle-time profiler: two clock stamps per worker per level
+  /// (drain start/end) charge each worker's wall time to expansion work
+  /// vs. waiting at the level barrier, plus one stamp pair around the
+  /// serial barrier settle. Purely observational — it never touches
+  /// exploration order, so results stay bit-identical across worker
+  /// counts — and cheap enough to leave on (two steady-clock reads per
+  /// worker per BFS level). Fills CheckResult::worker_busy_ms /
+  /// worker_barrier_wait_ms / barrier_idle_fraction and, under
+  /// publish_metrics, the checker.worker<N>.{busy_ms,barrier_wait_ms}
+  /// gauges and the checker.barrier.idle_fraction aggregate.
+  bool profile_workers = true;
+  /// Liveness watchdog: when set, the checker heartbeats it at every
+  /// level barrier, so /healthz can detect a wedged run (a level that
+  /// never completes) from outside. Null = no heartbeats.
+  obs::Watchdog* watchdog = nullptr;
+  /// Structured event sink for lifecycle events (run started/completed,
+  /// per-level barriers at debug severity, violations, limit aborts,
+  /// fingerprint collisions). Null = the process-global obs::EventLog.
+  obs::EventLog* event_log = nullptr;
   /// Fingerprint-collision audit: keep a full copy of every distinct
   /// state beside its fingerprint and compare on every table hit,
   /// counting genuine 64-bit collisions in
@@ -117,6 +141,22 @@ struct CheckResult {
   /// Exploration workers the run actually used (after resolving
   /// num_workers == 0 to the hardware thread count).
   int workers_used = 1;
+  /// BFS levels fully drained (the diameter plus the final empty-frontier
+  /// level check; 0 when an initial state already violates).
+  uint64_t levels_completed = 0;
+  /// Worker idle-time profile (see CheckerOptions::profile_workers; empty
+  /// when profiling is off). busy is the in-level expansion span; wait is
+  /// the gap between a worker finishing its share of a level and the
+  /// slowest worker finishing (fork-join imbalance), summed over levels.
+  std::vector<double> worker_busy_ms;
+  std::vector<double> worker_barrier_wait_ms;
+  /// Serial time spent inside level barriers (merge + settle), total.
+  double barrier_settle_ms = 0;
+  /// Fraction of worker wall time not spent expanding:
+  ///   (sum(wait) + workers*settle) /
+  ///   (sum(busy) + sum(wait) + workers*settle)
+  /// 0 when profiling is off or the run did no level work.
+  double barrier_idle_fraction = 0;
   std::optional<Violation> violation;
   /// Present when options.record_graph was set.
   std::shared_ptr<StateGraph> graph;

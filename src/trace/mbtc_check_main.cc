@@ -16,16 +16,29 @@
 //   --workers=N          trace-check expansion workers (0 = all cores);
 //                        results are identical across worker counts
 //   --metrics-out=FILE   write a metrics-registry snapshot as JSON
+//                        (crash-safe: temp file + atomic rename)
 //   --trace-out=FILE     record spans and write Chrome trace_event JSON
+//   --events-out=FILE    append structured events as JSONL (xmodel.events.v1)
+//   --serve=PORT         live observability plane on 127.0.0.1:PORT
+//                        (/metrics /healthz /progress /events; 0 picks an
+//                        ephemeral port, printed on startup)
+//   --serve-linger-ms=N  after the check finishes, keep serving for up to
+//                        N ms or until GET /quitquitquit — lets a scraper
+//                        collect the final state of a fast run
+//   --stall-timeout-ms=N watchdog stall threshold for /healthz (default
+//                        30000)
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/eventlog.h"
 #include "obs/export.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/watchdog.h"
 #include "repl/scenarios.h"
 #include "specs/raft_mongo_spec.h"
 #include "trace/mbtc_pipeline.h"
@@ -40,10 +53,14 @@ struct Options {
   std::string scenario;
   std::string metrics_out;
   std::string trace_out;
+  std::string events_out;
   bool list_scenarios = false;
   bool abstract_variant = false;
   bool stutter = true;
   int workers = 1;
+  int serve_port = -1;  // -1 = no HTTP server.
+  int64_t serve_linger_ms = 0;
+  int64_t stall_timeout_ms = 30'000;
 };
 
 void Usage(const char* argv0) {
@@ -51,6 +68,9 @@ void Usage(const char* argv0) {
                "usage: %s <log_directory> [--abstract] [--no-stutter]\n"
                "           [--workers=N] [--metrics-out=FILE] "
                "[--trace-out=FILE]\n"
+               "           [--events-out=FILE] [--serve=PORT] "
+               "[--serve-linger-ms=N]\n"
+               "           [--stall-timeout-ms=N]\n"
                "       %s --scenario=NAME [flags]\n"
                "       %s --list-scenarios\n",
                argv0, argv0, argv0);
@@ -71,6 +91,18 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       options->trace_out = arg.substr(12);
+    } else if (arg.rfind("--events-out=", 0) == 0) {
+      options->events_out = arg.substr(13);
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      options->serve_port = std::atoi(arg.c_str() + 8);
+      if (options->serve_port < 0 || options->serve_port > 65535) {
+        std::fprintf(stderr, "--serve must be a port in [0, 65535]\n");
+        return false;
+      }
+    } else if (arg.rfind("--serve-linger-ms=", 0) == 0) {
+      options->serve_linger_ms = std::atoll(arg.c_str() + 18);
+    } else if (arg.rfind("--stall-timeout-ms=", 0) == 0) {
+      options->stall_timeout_ms = std::atoll(arg.c_str() + 19);
     } else if (arg.rfind("--workers=", 0) == 0) {
       options->workers = std::atoi(arg.c_str() + 10);
       if (options->workers < 0) {
@@ -130,6 +162,31 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!options.trace_out.empty()) obs::SpanTracer::Global().Enable();
+  if (!options.events_out.empty()) {
+    common::Status status =
+        obs::EventLog::Global().OpenJsonlSink(options.events_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "events-out: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Live observability plane: stand up the HTTP endpoints before any real
+  // work so a scraper can watch the whole run, and arm the watchdog that
+  // the pipeline heartbeats at each phase boundary.
+  obs::Watchdog watchdog(options.stall_timeout_ms);
+  obs::ObsServer::Options serve_options;
+  serve_options.watchdog = &watchdog;
+  obs::ObsServer server(serve_options);
+  if (options.serve_port >= 0) {
+    common::Status status = server.Start(options.serve_port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "serving observability on http://127.0.0.1:%d/\n",
+                 server.port());
+  }
 
   // Resolve the log files: from disk, or by running a library scenario
   // in-process with tracing attached (the paper's Figure 1 front half).
@@ -185,6 +242,7 @@ int main(int argc, char** argv) {
   trace::MbtcPipelineOptions pipeline_options;
   pipeline_options.checker.allow_stuttering = options.stutter;
   pipeline_options.checker.num_workers = options.workers;
+  pipeline_options.watchdog = &watchdog;
   trace::MbtcPipeline pipeline(&spec, pipeline_options);
   trace::MbtcReport report = pipeline.Run(files);
 
@@ -206,5 +264,14 @@ int main(int argc, char** argv) {
   }
 
   if (!WriteObsOutputs(options) && exit_code == 0) exit_code = 2;
+  if (options.serve_port >= 0) {
+    // Keep the endpoints up so a scraper can read the finished run's
+    // final metrics/events; /quitquitquit releases the linger early.
+    if (options.serve_linger_ms > 0) {
+      server.WaitForQuit(options.serve_linger_ms);
+    }
+    server.Stop();
+  }
+  obs::EventLog::Global().CloseJsonlSink();
   return exit_code;
 }

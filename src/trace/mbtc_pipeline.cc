@@ -1,5 +1,7 @@
 #include "trace/mbtc_pipeline.h"
 
+#include "common/strings.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "tlax/tla_text.h"
@@ -61,15 +63,32 @@ MbtcReport MbtcPipeline::Run(
   const int64_t run_start_ns = clock->NowNanos();
 
   MbtcReport report;
+  obs::EventLog& events = obs::EventLog::Global();
+
+  // Phase boundaries double as liveness heartbeats and debug events:
+  // the watchdog re-arms whenever a phase starts, so a wedge inside any
+  // one phase eventually degrades /healthz.
+  auto enter_phase = [&](const char* phase) {
+    if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
+    if (events.enabled()) {
+      events.Emit(obs::EventSeverity::kDebug, "mbtc", "phase.started",
+                  {{"phase", phase}});
+    }
+  };
 
   auto fail = [&](MbtcReport&& r) {
     if (publish) registry.GetCounter("mbtc.runs.failed").Increment();
+    if (events.enabled()) {
+      events.Emit(obs::EventSeverity::kWarn, "mbtc", "run.failed",
+                  {{"status", r.status.ToString()}});
+    }
     return std::move(r);
   };
 
   ProcessedTrace processed;
   {
     XMODEL_SPAN("mbtc.parse");
+    enter_phase("parse");
     PhaseTimer timer(clock, "mbtc.phase.parse.ms", publish);
     auto merged = MergeLogs(log_files);
     if (!merged.ok()) {
@@ -90,6 +109,7 @@ MbtcReport MbtcPipeline::Run(
   std::vector<tlax::TraceState> trace;
   {
     XMODEL_SPAN("mbtc.map");
+    enter_phase("map");
     PhaseTimer timer(clock, "mbtc.phase.map.ms", publish);
     trace = ToTraceStates(processed.states);
     if (options_.emit_trace_module) {
@@ -100,11 +120,26 @@ MbtcReport MbtcPipeline::Run(
 
   {
     XMODEL_SPAN("mbtc.check");
+    enter_phase("check");
     PhaseTimer timer(clock, "mbtc.phase.check.ms", publish);
     tlax::TraceChecker checker(options_.checker);
     report.check = checker.Check(*spec_, trace);
   }
+  if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
 
+  if (events.enabled()) {
+    if (!report.check.ok()) {
+      events.Emit(
+          obs::EventSeverity::kError, "mbtc", "trace.mismatch",
+          {{"failed_step", common::StrCat(report.check.failed_step)},
+           {"states_explored", common::StrCat(report.check.states_explored)},
+           {"status", report.check.status.ToString()}});
+    }
+    events.Emit(obs::EventSeverity::kInfo, "mbtc", "run.completed",
+                {{"events", common::StrCat(report.num_events)},
+                 {"states", common::StrCat(report.num_states)},
+                 {"passed", report.passed() ? "true" : "false"}});
+  }
   if (publish) {
     registry.GetCounter("mbtc.runs.completed").Increment();
     registry.GetCounter("mbtc.events.ingested").Increment(report.num_events);

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "obs/watchdog.h"
 #include "specs/raft_mongo_spec.h"
 #include "tlax/trace_check.h"
 #include "trace/event_processor.h"
@@ -37,6 +38,10 @@ struct MbtcPipelineOptions {
   bool publish_metrics = true;
   /// Wall clock for phase timing; null means the real steady clock.
   common::MonotonicClock* clock = nullptr;
+  /// Liveness watchdog: heartbeaten at every phase boundary (parse, map,
+  /// check) so /healthz can spot a pipeline wedged inside one phase.
+  /// Null = no heartbeats.
+  obs::Watchdog* watchdog = nullptr;
 };
 
 /// The paper's Figure 1 data pipeline: per-node log files → merged,

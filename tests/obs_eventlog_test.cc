@@ -1,0 +1,234 @@
+#include "obs/eventlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "obs/watchdog.h"
+
+namespace xmodel::obs {
+namespace {
+
+using common::FakeMonotonicClock;
+using common::StrCat;
+
+TEST(EventLogTest, EmitAndTailRoundTrip) {
+  FakeMonotonicClock clock;
+  EventLog log(/*capacity=*/16, &clock);
+  clock.AdvanceMicros(42);
+  log.Emit(EventSeverity::kInfo, "checker", "run.started",
+           {{"workers", "2"}, {"actions", "3"}});
+
+  std::vector<Event> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].seq, 0u);
+  EXPECT_EQ(tail[0].ts_us, 42);
+  EXPECT_EQ(tail[0].severity, EventSeverity::kInfo);
+  EXPECT_EQ(tail[0].subsystem, "checker");
+  EXPECT_EQ(tail[0].name, "run.started");
+  ASSERT_EQ(tail[0].fields.size(), 2u);
+  EXPECT_EQ(tail[0].fields[0].first, "workers");
+  EXPECT_EQ(tail[0].fields[0].second, "2");
+  EXPECT_EQ(log.total_emitted(), 1u);
+}
+
+TEST(EventLogTest, RingOverflowKeepsNewest) {
+  EventLog log(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    log.Emit(EventSeverity::kDebug, "test", StrCat("event", i));
+  }
+  EXPECT_EQ(log.total_emitted(), 20u);
+
+  // Asking for more than the capacity returns the newest `capacity`
+  // events, oldest first; the 12 overwritten ones are gone.
+  std::vector<Event> tail = log.Tail(100);
+  ASSERT_EQ(tail.size(), 8u);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].seq, 12 + i);
+    EXPECT_EQ(tail[i].name, StrCat("event", 12 + i));
+  }
+
+  // A smaller tail is the newest slice of that.
+  std::vector<Event> last3 = log.Tail(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0].seq, 17u);
+  EXPECT_EQ(last3[2].seq, 19u);
+}
+
+TEST(EventLogTest, JsonlGolden) {
+  FakeMonotonicClock clock;
+  EventLog log(/*capacity=*/8, &clock);
+  clock.AdvanceMicros(1500);
+  log.Emit(EventSeverity::kInfo, "checker", "run.started",
+           {{"workers", "2"}});
+  clock.AdvanceMicros(250);
+  log.Emit(EventSeverity::kError, "mbtc", "trace.mismatch",
+           {{"failed_step", "7"}, {"states_explored", "91"}});
+
+  const std::string expected =
+      "{\"seq\":0,\"ts_us\":1500,\"severity\":\"info\","
+      "\"subsystem\":\"checker\",\"event\":\"run.started\","
+      "\"fields\":{\"workers\":\"2\"}}\n"
+      "{\"seq\":1,\"ts_us\":1750,\"severity\":\"error\","
+      "\"subsystem\":\"mbtc\",\"event\":\"trace.mismatch\","
+      "\"fields\":{\"failed_step\":\"7\",\"states_explored\":\"91\"}}\n";
+  EXPECT_EQ(EventLog::ToJsonl(log.Tail(10)), expected);
+}
+
+TEST(EventLogTest, SeverityNamesAreStable) {
+  EXPECT_STREQ(EventSeverityName(EventSeverity::kDebug), "debug");
+  EXPECT_STREQ(EventSeverityName(EventSeverity::kInfo), "info");
+  EXPECT_STREQ(EventSeverityName(EventSeverity::kWarn), "warn");
+  EXPECT_STREQ(EventSeverityName(EventSeverity::kError), "error");
+}
+
+TEST(EventLogTest, DisabledLogEmitsNothing) {
+  EventLog log(/*capacity=*/8);
+  log.set_enabled(false);
+  log.Emit(EventSeverity::kInfo, "test", "dropped");
+  EXPECT_EQ(log.total_emitted(), 0u);
+  EXPECT_TRUE(log.Tail(10).empty());
+  log.set_enabled(true);
+  log.Emit(EventSeverity::kInfo, "test", "kept");
+  EXPECT_EQ(log.total_emitted(), 1u);
+}
+
+TEST(EventLogTest, ClearResetsSequence) {
+  EventLog log(/*capacity=*/8);
+  log.Emit(EventSeverity::kInfo, "test", "a");
+  log.Emit(EventSeverity::kInfo, "test", "b");
+  log.Clear();
+  EXPECT_EQ(log.total_emitted(), 0u);
+  EXPECT_TRUE(log.Tail(10).empty());
+  log.Emit(EventSeverity::kInfo, "test", "c");
+  std::vector<Event> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].seq, 0u);
+}
+
+// The MPMC hammer: four threads emit concurrently into a small ring while
+// a reader Tails it. Run under TSan this exercises the slot-claim /
+// per-slot-latch protocol; the invariants below hold regardless of
+// interleaving.
+TEST(EventLogTest, ConcurrentEmitHammer) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2'000;
+  EventLog log(/*capacity=*/64);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Emit(EventSeverity::kDebug, StrCat("thread", t),
+                 StrCat("emit", i), {{"i", StrCat(i)}});
+      }
+    });
+  }
+  // Concurrent readers must see only consistent records (skipping slots
+  // mid-overwrite), never torn ones.
+  std::thread reader([&log] {
+    for (int i = 0; i < 200; ++i) {
+      for (const Event& e : log.Tail(64)) {
+        ASSERT_FALSE(e.subsystem.empty());
+        ASSERT_FALSE(e.name.empty());
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  reader.join();
+
+  EXPECT_EQ(log.total_emitted(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+
+  // After the storm settles, the tail is the newest ring-full, seqs
+  // strictly increasing and all within the final window.
+  std::vector<Event> tail = log.Tail(64);
+  ASSERT_EQ(tail.size(), 64u);
+  const uint64_t total = log.total_emitted();
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_GE(tail[i].seq, total - 64);
+    EXPECT_LT(tail[i].seq, total);
+    if (i > 0) {
+      EXPECT_GT(tail[i].seq, tail[i - 1].seq);
+    }
+  }
+}
+
+TEST(EventLogTest, JsonlSinkWritesParseableLines) {
+  const std::string path =
+      StrCat(::testing::TempDir(), "/eventlog_sink_test.jsonl");
+  std::remove(path.c_str());
+
+  EventLog log(/*capacity=*/8);
+  ASSERT_TRUE(log.OpenJsonlSink(path).ok());
+  log.Emit(EventSeverity::kInfo, "repl", "election.won",
+           {{"node", "1"}, {"term", "2"}});
+  log.Emit(EventSeverity::kWarn, "repl", "rollback.performed",
+           {{"node", "2"}, {"truncated_to", "3"}});
+  log.CloseJsonlSink();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    auto parsed = common::Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+  }
+  auto first = common::Json::Parse(lines[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Find("event")->string_value(), "election.won");
+  EXPECT_EQ(first->Find("severity")->string_value(), "info");
+  std::remove(path.c_str());
+}
+
+// The watchdog's one-shot stall episode: the first stalled Poll() emits
+// obs/watchdog.stalled exactly once, a heartbeat emits the recovery event
+// and re-arms, and a second stall counts as a new episode.
+TEST(WatchdogTest, OneShotStallAndRecovery) {
+  FakeMonotonicClock clock;
+  EventLog log(/*capacity=*/16, &clock);
+  Watchdog watchdog(/*stall_timeout_ms=*/1'000, &clock, &log);
+
+  EXPECT_FALSE(watchdog.Poll());
+  EXPECT_EQ(watchdog.stalls_observed(), 0u);
+
+  clock.AdvanceMs(1'500);
+  EXPECT_TRUE(watchdog.Poll());
+  EXPECT_TRUE(watchdog.Poll());  // Still stalled; same episode.
+  EXPECT_EQ(watchdog.stalls_observed(), 1u);
+  EXPECT_GE(watchdog.ms_since_heartbeat(), 1'500);
+
+  std::vector<Event> tail = log.Tail(16);
+  int stalled_events = 0;
+  for (const Event& e : tail) {
+    if (e.name == "watchdog.stalled") ++stalled_events;
+  }
+  EXPECT_EQ(stalled_events, 1);
+
+  watchdog.Heartbeat();
+  EXPECT_FALSE(watchdog.Poll());
+  tail = log.Tail(16);
+  bool recovered = false;
+  for (const Event& e : tail) {
+    if (e.name == "watchdog.recovered") recovered = true;
+  }
+  EXPECT_TRUE(recovered);
+
+  // A second episode is counted and logged again.
+  clock.AdvanceMs(2'000);
+  EXPECT_TRUE(watchdog.Poll());
+  EXPECT_EQ(watchdog.stalls_observed(), 2u);
+}
+
+}  // namespace
+}  // namespace xmodel::obs

@@ -29,6 +29,19 @@ Checks every file argument and exits nonzero on the first problem:
 - MBTCG-family sanity (any snapshot containing mbtcg.extract.* metrics):
   the extraction gauges `mbtcg.extract.{roots,cases,seconds}` must all be
   present together, finite, and non-negative.
+- Worker-profile sanity (any snapshot containing the idle-time profiler's
+  checker.worker<N>.{busy_ms,barrier_wait_ms} gauges): each worker index
+  must be well-formed and carry both gauges, finite and non-negative;
+  `checker.barrier.settle_ms` must be a finite non-negative gauge and
+  `checker.barrier.idle_fraction` a finite gauge in [0, 1].
+- Obs-HTTP sanity (any snapshot containing obs.http.* metrics): the
+  `obs.http.{requests,bytes}` counters are published together and
+  non-negative.
+- Prometheus scrape bodies (non-JSON files, e.g. a saved `curl /metrics`):
+  every sample line must parse as `name value`, every name must carry a
+  preceding `# TYPE` declaration (histogram samples may use the
+  `_bucket`/`_sum`/`_count` suffixes and a `{le="..."}` label), and the
+  same per-family sanity checks run on the flattened counter/gauge values.
 - Domain-family sanity (any snapshot containing analysis.domain.* metrics):
   per spec, the gauges `analysis.domain.<spec>.{state_bound,
   observed_distinct, unbounded_vars, exhaustive}` must appear together,
@@ -43,6 +56,7 @@ Usage: tools/validate_metrics.py FILE [FILE...]
 import math
 
 import json
+import re
 import sys
 
 
@@ -150,6 +164,71 @@ def validate_value_family(path, metrics):
                 f"got {value!r}")
 
 
+def validate_worker_profile_family(path, metrics):
+    """Cross-metric sanity for the worker idle-time profiler's gauges."""
+    profiled = {}
+    for name, entry in metrics.items():
+        if not name.startswith("checker.worker"):
+            continue
+        for leaf in (".busy_ms", ".barrier_wait_ms"):
+            if name.endswith(leaf):
+                index = name[len("checker.worker"):-len(leaf)]
+                require(index.isdigit(), path,
+                        f"per-worker gauge {name!r} has a malformed "
+                        f"worker index {index!r}")
+                require(entry.get("kind") == "gauge", path,
+                        f"{name!r} must be a gauge")
+                value = entry.get("value")
+                require(isinstance(value, (int, float))
+                        and math.isfinite(value) and value >= 0, path,
+                        f"{name!r} must be finite and >= 0, got {value!r}")
+                profiled.setdefault(int(index), set()).add(leaf)
+    for index, leaves in sorted(profiled.items()):
+        require(len(leaves) == 2, path,
+                f"worker {index} publishes only {sorted(leaves)}; busy_ms "
+                f"and barrier_wait_ms are published together")
+    if profiled:
+        require(sorted(profiled) == list(range(len(profiled))), path,
+                f"worker profile indexes are not dense from 0: "
+                f"{sorted(profiled)}")
+    settle = metrics.get("checker.barrier.settle_ms")
+    if settle is not None:
+        value = settle.get("value")
+        require(settle.get("kind") == "gauge" and
+                isinstance(value, (int, float)) and math.isfinite(value)
+                and value >= 0, path,
+                f"checker.barrier.settle_ms must be a finite non-negative "
+                f"gauge, got {value!r}")
+    idle = metrics.get("checker.barrier.idle_fraction")
+    if idle is not None:
+        require(idle.get("kind") == "gauge", path,
+                "checker.barrier.idle_fraction must be a gauge")
+        value = idle.get("value")
+        require(isinstance(value, (int, float)) and math.isfinite(value)
+                and 0 <= value <= 1, path,
+                f"checker.barrier.idle_fraction must be finite in [0, 1], "
+                f"got {value!r}")
+
+
+def validate_obs_http_family(path, metrics):
+    """Cross-metric sanity for the HTTP scrape endpoint's obs.http.*."""
+    names = ["obs.http.requests", "obs.http.bytes"]
+    present = [name for name in names if name in metrics]
+    if not present:
+        return
+    missing = [name for name in names if name not in metrics]
+    require(not missing, path,
+            f"obs.http.* counters are published together; missing {missing}")
+    for name in names:
+        entry = metrics[name]
+        require(entry.get("kind") == "counter", path,
+                f"{name!r} must be a counter")
+        value = entry.get("value")
+        require(isinstance(value, (int, float)) and math.isfinite(value)
+                and value >= 0, path,
+                f"{name!r} must be finite and >= 0, got {value!r}")
+
+
 def require_gauge_family(path, metrics, names):
     """Asserts `names` appear all-or-nothing as finite non-negative gauges."""
     present = [name for name in names if name in metrics]
@@ -230,12 +309,19 @@ def validate_metrics_doc(path, doc):
     require(isinstance(metrics, dict), path, "'metrics' is not an object")
     for name, entry in metrics.items():
         validate_metric(path, name, entry)
+    validate_families(path, metrics)
+    return len(metrics)
+
+
+def validate_families(path, metrics):
+    """Runs every cross-metric family check over a name -> entry dict."""
     validate_checker_family(path, metrics)
+    validate_worker_profile_family(path, metrics)
+    validate_obs_http_family(path, metrics)
     validate_value_family(path, metrics)
     validate_graph_family(path, metrics)
     validate_mbtcg_family(path, metrics)
     validate_domain_family(path, metrics)
-    return len(metrics)
 
 
 def validate_bench_doc(path, doc):
@@ -266,13 +352,120 @@ def validate_trace_doc(path, doc):
     return f"trace: {len(events)} spans"
 
 
+_PROM_SAMPLE = re.compile(
+    r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{le="[^"]*"\})?\s+(\S+)$')
+_PROM_TYPE = re.compile(r"^# TYPE ([A-Za-z_:][A-Za-z0-9_:]*) "
+                        r"(counter|gauge|histogram)$")
+
+
+def validate_prometheus_text(path, text):
+    """Validates a /metrics scrape body (Prometheus text exposition).
+
+    Structure first — every sample must follow a `# TYPE` declaration and
+    parse as `name value` (histograms via the `_bucket`/`_sum`/`_count`
+    suffixes, `le`-labelled buckets only) — then the same targeted family
+    sanity as the JSON path, on the underscore-flattened names.
+    """
+    declared = {}
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = _PROM_TYPE.match(line)
+            require(m, path,
+                    f"line {lineno}: malformed comment {line!r} (the "
+                    f"exporter only writes '# TYPE name kind' lines)")
+            declared[m.group(1)] = m.group(2)
+            continue
+        m = _PROM_SAMPLE.match(line)
+        require(m, path, f"line {lineno}: malformed sample {line!r}")
+        name, label, raw = m.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            fail(path, f"line {lineno}: sample {name!r} has a non-numeric "
+                 f"value {raw!r}")
+        base = name
+        if name not in declared:
+            for suffix in ("_bucket", "_sum", "_count"):
+                stem = name[:-len(suffix)] if name.endswith(suffix) else None
+                if stem and declared.get(stem) == "histogram":
+                    base = stem
+                    break
+            else:
+                fail(path, f"line {lineno}: sample {name!r} has no "
+                     f"preceding # TYPE declaration")
+        require(label is None or name.endswith("_bucket"), path,
+                f"line {lineno}: only _bucket samples carry an le label")
+        if declared[base] == "counter":
+            require(math.isfinite(value) and value >= 0, path,
+                    f"line {lineno}: counter {name!r} must be finite and "
+                    f">= 0, got {raw}")
+        if name in declared:
+            samples[name] = value
+    for name in declared:
+        require(name in samples or declared[name] == "histogram", path,
+                f"{name!r} is TYPE-declared but has no sample")
+
+    def sample(name):
+        return samples.get(name)
+
+    idle = sample("checker_barrier_idle_fraction")
+    if idle is not None:
+        require(math.isfinite(idle) and 0 <= idle <= 1, path,
+                f"checker_barrier_idle_fraction must be finite in [0, 1], "
+                f"got {idle!r}")
+    settle = sample("checker_barrier_settle_ms")
+    if settle is not None:
+        require(math.isfinite(settle) and settle >= 0, path,
+                f"checker_barrier_settle_ms must be finite and >= 0, "
+                f"got {settle!r}")
+    workers_used = sample("checker_workers_used")
+    if workers_used is not None:
+        require(workers_used >= 1, path,
+                f"checker_workers_used must be >= 1, got {workers_used!r}")
+    http = [name for name in ("obs_http_requests", "obs_http_bytes")
+            if name in samples]
+    if http:
+        require(len(http) == 2, path,
+                f"obs_http_* counters are published together; found "
+                f"only {http}")
+    profiled = {}
+    for name, value in samples.items():
+        m = re.match(r"^checker_worker(\d+)_(busy_ms|barrier_wait_ms)$",
+                     name)
+        if m is None:
+            continue
+        require(math.isfinite(value) and value >= 0, path,
+                f"{name!r} must be finite and >= 0, got {value!r}")
+        profiled.setdefault(int(m.group(1)), set()).add(m.group(2))
+    for index, leaves in sorted(profiled.items()):
+        require(len(leaves) == 2, path,
+                f"worker {index} publishes only {sorted(leaves)}; busy_ms "
+                f"and barrier_wait_ms are published together")
+    if profiled:
+        require(sorted(profiled) == list(range(len(profiled))), path,
+                f"worker profile indexes are not dense from 0: "
+                f"{sorted(profiled)}")
+    return f"prometheus: {len(declared)} metrics"
+
+
 def validate_file(path):
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+            text = f.read()
     except OSError as e:
         fail(path, f"cannot read: {e}")
+    try:
+        doc = json.loads(text)
     except json.JSONDecodeError as e:
+        # Not JSON: a saved /metrics scrape body is the other artifact
+        # shape CI captures ("# TYPE name kind" declarations give it away).
+        if "# TYPE " in text:
+            summary = validate_prometheus_text(path, text)
+            print(f"validate_metrics: {path}: OK ({summary})")
+            return
         fail(path, f"invalid JSON: {e}")
     require(isinstance(doc, dict), path, "top level is not an object")
 
