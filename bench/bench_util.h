@@ -1,6 +1,7 @@
 // Shared harness for the experiment benches: uniform flag parsing
-// (--quick, --metrics-out=FILE, --serve=PORT, --events-out=FILE), a run
-// timer, and a BENCH_<name>.json report carrying the full
+// (--quick, --metrics-out=FILE, --serve=PORT, --events-out=FILE,
+// --explore=level|relaxed), a run timer, and a BENCH_<name>.json report
+// carrying the full
 // metrics-registry snapshot plus per-bench result values — the artifact
 // shape CI uploads and tools/validate_metrics.py checks.
 //
@@ -65,6 +66,15 @@ class Harness {
         serve_linger_ms_ = std::atoll(argv[i] + 18);
       } else if (std::strncmp(argv[i], "--events-out=", 13) == 0) {
         events_out = argv[i] + 13;
+      } else if (std::strncmp(argv[i], "--explore=", 10) == 0) {
+        explore_ = argv[i] + 10;
+        if (explore_ != "level" && explore_ != "relaxed") {
+          std::fprintf(stderr,
+                       "BENCH %s: --explore must be 'level' or 'relaxed'; "
+                       "using 'level'\n",
+                       name_.c_str());
+          explore_ = "level";
+        }
       }
     }
     if (std::getenv("XMODEL_QUICK") != nullptr) quick_ = true;
@@ -106,6 +116,11 @@ class Harness {
 
   bool quick() const { return quick_; }
   const std::string& out_path() const { return out_path_; }
+  /// Exploration policy name from --explore: "level" (default) or
+  /// "relaxed". Kept as a string so benches that never touch the model
+  /// checker need not link tlax; checker benches parse it with
+  /// tlax::ParseExplorationPolicy.
+  const std::string& explore() const { return explore_; }
   /// Wire these into CheckerOptions (watchdog/progress_reporter) so the
   /// live endpoints track the bench's checker runs.
   obs::Watchdog* watchdog() { return &watchdog_; }
@@ -171,6 +186,7 @@ class Harness {
 
   std::string name_;
   std::string out_path_;
+  std::string explore_ = "level";
   bool quick_ = false;
   int64_t start_ns_ = 0;
   int64_t serve_linger_ms_ = 0;

@@ -12,6 +12,13 @@
 //                                    (must report an unbounded budget)
 //   xmodel_lint --workers=N     exploration workers for the bounded
 //                               model-check pass (0 = all cores)
+//   xmodel_lint --explore=POLICY  exploration policy for the bounded
+//                                 model-check pass: "level" (default) or
+//                                 "relaxed" (work-stealing frontier). The
+//                                 relaxed pass skips graph recording —
+//                                 recording needs level barriers and
+//                                 would clamp the policy back — so SCC
+//                                 counts read 0 there.
 //   xmodel_lint --domain-samples=N  state budget for the abstract-domain
 //                                   probe (default 262144)
 //   xmodel_lint --metrics-out=FILE  write a metrics-registry snapshot
@@ -69,6 +76,7 @@ struct Options {
   uint64_t max_samples = 4096;
   uint64_t domain_samples = analysis::DomainOptions{}.max_samples;
   int workers = 1;
+  tlax::ExplorationPolicy explore = tlax::ExplorationPolicy::kLevelSync;
   std::string spec_filter;
   std::string metrics_out;
   std::string events_out;
@@ -100,6 +108,11 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->workers = std::atoi(arg.c_str() + 10);
       if (options->workers < 0) {
         std::fprintf(stderr, "--workers must be >= 0\n");
+        return false;
+      }
+    } else if (arg.rfind("--explore=", 0) == 0) {
+      if (!tlax::ParseExplorationPolicy(arg.substr(10), &options->explore)) {
+        std::fprintf(stderr, "--explore must be 'level' or 'relaxed'\n");
         return false;
       }
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -137,6 +150,7 @@ struct SpecSummary {
   int64_t check_diameter = 0;
   bool check_complete = false;
   int workers_used = 1;
+  std::string exploration = "level";  // Policy the check actually used.
   uint64_t check_sccs = 0;  // Liveness structure: SCC count of the graph.
   std::string check_violation;  // Violated invariant name, or empty.
   // Abstract-domain pass.
@@ -195,14 +209,20 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   // Bounded model check: smoke-test the dynamic semantics at the same
   // sampling budget the footprint probe uses. Violations are warnings
   // (lint is a static gate, not a verification run) and a budget overrun
-  // just marks the pass incomplete. The graph is recorded — at full
-  // --workers parallelism, now that recording no longer clamps the
-  // worker count — so the pass also surfaces the liveness structure
-  // (SCC count) of the explored fragment.
+  // just marks the pass incomplete. Under the level policy the graph is
+  // recorded — at full --workers parallelism, now that recording no
+  // longer clamps the worker count — so the pass also surfaces the
+  // liveness structure (SCC count) of the explored fragment. Under
+  // --explore=relaxed recording is skipped (it needs level barriers and
+  // would clamp the policy back to level-sync) so the work-stealing
+  // frontier is what actually runs.
+  const bool relaxed =
+      options.explore == tlax::ExplorationPolicy::kRelaxed;
   tlax::CheckerOptions check_options;
+  check_options.exploration = options.explore;
   check_options.num_workers = options.workers;
   check_options.max_distinct_states = options.max_samples;
-  check_options.record_graph = true;
+  check_options.record_graph = !relaxed;
   check_options.watchdog = watchdog;
   check_options.progress_reporter = progress;
   tlax::ModelChecker checker(check_options);
@@ -212,6 +232,7 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   summary.check_diameter = check.diameter;
   summary.check_complete = check.status.ok() && !check.violation.has_value();
   summary.workers_used = check.workers_used;
+  summary.exploration = tlax::ExplorationPolicyName(check.policy_used);
   if (check.graph != nullptr && check.graph->num_states() > 0) {
     uint32_t num_sccs = 0;
     tlax::StronglyConnectedComponents(*check.graph, &num_sccs);
@@ -363,6 +384,7 @@ int main(int argc, char** argv) {
       entry.Set("check_diameter", common::Json::Int(s.check_diameter));
       entry.Set("check_complete", common::Json::Bool(s.check_complete));
       entry.Set("workers_used", common::Json::Int(s.workers_used));
+      entry.Set("exploration", common::Json::Str(s.exploration));
       entry.Set("check_sccs",
                 common::Json::Int(static_cast<int64_t>(s.check_sccs)));
       entry.Set("check_violation", common::Json::Str(s.check_violation));
@@ -381,12 +403,12 @@ int main(int argc, char** argv) {
                   s.exhaustive ? " (exhaustive)" : "",
                   s.commuting_pairs, s.action_pairs);
       std::printf("     check %-17s %6llu distinct / %llu generated, "
-                  "diameter %lld, %llu scc(s), %d worker(s)%s%s%s\n",
+                  "diameter %lld, %llu scc(s), %d %s worker(s)%s%s%s\n",
                   "", static_cast<unsigned long long>(s.check_distinct),
                   static_cast<unsigned long long>(s.check_generated),
                   static_cast<long long>(s.check_diameter),
                   static_cast<unsigned long long>(s.check_sccs),
-                  s.workers_used,
+                  s.workers_used, s.exploration.c_str(),
                   s.check_complete ? " (complete)" : " (bounded)",
                   s.check_violation.empty() ? "" : ", violates ",
                   s.check_violation.c_str());

@@ -4,13 +4,16 @@
 // regenerate the full 4,913-case file.
 //
 // Usage: mbtcg_gen <output.cc> [max_cases] [--swap] [--descending]
-//                  [--workers=N] [--via-dot] [--metrics-out=FILE]
+//                  [--workers=N] [--via-dot] [--explore=level|relaxed]
+//                  [--metrics-out=FILE]
 //
 // --workers drives both the graph-recording model check and the per-leaf
 // extraction fan-out (0 = one per hardware thread); the generated file is
 // identical at every worker count. --via-dot routes extraction through the
 // DOT serialize-parse round trip (the paper's textual pipeline) instead of
-// the in-memory fast path.
+// the in-memory fast path. --explore=relaxed is accepted for CLI parity
+// but always clamps back to level-sync (generation records the state
+// graph, which needs level barriers); the clamp notice is printed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +29,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <output.cc> [max_cases] [--swap] [--descending] "
-                 "[--workers=N] [--via-dot] [--metrics-out=FILE]\n",
+                 "[--workers=N] [--via-dot] [--explore=level|relaxed] "
+                 "[--metrics-out=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -48,6 +52,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--via-dot") == 0) {
       gen_options.via_dot = true;
+    } else if (std::strncmp(argv[i], "--explore=", 10) == 0) {
+      if (!xmodel::tlax::ParseExplorationPolicy(argv[i] + 10,
+                                                &gen_options.exploration)) {
+        std::fprintf(stderr, "--explore must be 'level' or 'relaxed'\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else {
@@ -62,6 +72,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "generation failed: %s\n",
                  report.status.ToString().c_str());
     return 1;
+  }
+  if (!report.policy_notice.empty()) {
+    std::fprintf(stderr, "mbtcg_gen: %s\n", report.policy_notice.c_str());
   }
 
   // Deterministic sampling: take every k-th case when limited, so the

@@ -1,832 +1,73 @@
 #include "tlax/checker.h"
 
-#include <algorithm>
-#include <atomic>
-#include <bit>
-#include <cstdlib>
 #include <cstring>
-#include <unordered_map>
 #include <utility>
-#include <vector>
 
-#include "common/clock.h"
-#include "common/parallel.h"
-#include "common/strings.h"
 #include "obs/eventlog.h"
-#include "obs/metrics.h"
-#include "obs/watchdog.h"
-#include "tlax/fpset.h"
+#include "tlax/explore.h"
 
 namespace xmodel::tlax {
 
-namespace {
-
-// How many frontier expansions happen between wall-clock polls when a
-// progress reporter is attached. Large enough that the clock read is
-// invisible in the states/sec budget, small enough that progress lines
-// land within ~a second of their nominal interval on realistic specs.
-constexpr uint32_t kProgressPollExpansions = 1024;
-
-bool FpAuditFromEnv() {
-  const char* v = std::getenv("XMODEL_FP_AUDIT");
-  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+const char* ExplorationPolicyName(ExplorationPolicy policy) {
+  return policy == ExplorationPolicy::kRelaxed ? "relaxed" : "level";
 }
 
-// One unit of frontier work. The level batches own the full states (the
-// fingerprint table does not keep them); `key` is the discovery-order key
-// that makes batch order — and therefore every downstream key — a pure
-// function of the state graph, independent of worker count.
-struct LevelEntry {
-  State state;
-  uint64_t fp = 0;
-  int64_t depth = 0;
-  uint64_t key = 0;
-  // record_graph: the settled graph id of this state, filled when the
-  // level is built (seeds at registration, later levels at the barrier).
-  uint32_t gid = StateGraph::kNoId;
-};
-
-// A violation observed while a level drains. The level always completes
-// before a winner is chosen (smallest key), so both the chosen
-// counterexample and all counters are scheduling-independent.
-struct CandidateViolation {
-  uint64_t key = 0;
-  std::string kind;
-  uint64_t fp = 0;
-  State state;
-};
-
-// Discovery-order key of successor `ordinal` of action `ai` at the
-// parent in level position `parent_pos` — the order a serial scan visits
-// these events. A parent's deadlock event sorts after all its successor
-// events (the serial checker reports it after checking them) and before
-// the next parent's.
-uint64_t EventKey(size_t parent_pos, uint16_t ai, size_t ordinal) {
-  if (ordinal > 0xFFFE) ordinal = 0xFFFE;
-  return (static_cast<uint64_t>(parent_pos) << 32) |
-         (static_cast<uint64_t>(ai) << 16) | ordinal;
+bool ParseExplorationPolicy(const std::string& text,
+                            ExplorationPolicy* out) {
+  if (text == "level") {
+    *out = ExplorationPolicy::kLevelSync;
+    return true;
+  }
+  if (text == "relaxed") {
+    *out = ExplorationPolicy::kRelaxed;
+    return true;
+  }
+  return false;
 }
-
-uint64_t DeadlockKey(size_t parent_pos) {
-  return (static_cast<uint64_t>(parent_pos) << 32) | 0xFFFFFFFFull;
-}
-
-// The level-synchronous exploration engine behind ModelChecker::Check.
-// Workers pull parent entries from the current level via an atomic
-// cursor, push discoveries into worker-local buffers, and barrier; the
-// barrier merges tallies, settles the next level's order, and handles
-// violations/limits. One Engine per Check() call.
-class Engine {
- public:
-  Engine(const CheckerOptions& options, const Spec& spec)
-      : options_(options),
-        spec_(spec),
-        actions_(spec.actions()),
-        invariants_(spec.invariants()),
-        clock_(options.clock != nullptr ? options.clock
-                                        : common::MonotonicClock::Real()),
-        events_(options.event_log != nullptr ? options.event_log
-                                             : &obs::EventLog::Global()),
-        fp_audit_(options.fp_audit || FpAuditFromEnv()),
-        workers_(common::ResolveWorkerCount(options.num_workers)),
-        use_sleep_sets_(options.independence != nullptr &&
-                        !options.record_graph &&
-                        options.independence->num_actions() ==
-                            actions_.size() &&
-                        actions_.size() <= 64),
-        all_actions_(actions_.size() >= 64
-                         ? ~uint64_t{0}
-                         : (uint64_t{1} << actions_.size()) - 1),
-        fpset_(FpOptions(fp_audit_, use_sleep_sets_)),
-        pool_(workers_),
-        scratch_(static_cast<size_t>(workers_)) {}
-
-  CheckResult Run();
-
- private:
-  // Per-worker accumulators; merged and cleared at each level barrier
-  // (expanded spans the whole run — it feeds worker-balance counters).
-  struct Scratch {
-    std::vector<LevelEntry> next;
-    std::vector<CandidateViolation> candidates;
-    std::vector<State> successors;
-    // POR: states whose pending sleep mask shrank this level, with their
-    // full state for a potential wake re-enqueue. Settled at the barrier.
-    std::unordered_map<uint64_t, State> wake_candidates;
-    uint64_t generated = 0;
-    uint64_t slept = 0;
-    uint64_t expanded = 0;
-    int64_t diameter = 0;
-    // Worker idle-time profile (options.profile_workers): wall time spent
-    // inside DrainLevel vs. waiting at the fork-join barrier for the
-    // slowest worker, plus the stamp the wait is computed from.
-    int64_t busy_ns = 0;
-    int64_t barrier_wait_ns = 0;
-    int64_t drain_end_ns = 0;
-  };
-
-  static FingerprintSet::Options FpOptions(bool audit, bool por) {
-    FingerprintSet::Options o;
-    o.audit = audit;  // Implies keep_states inside the table.
-    o.track_por = por;
-    return o;
-  }
-
-  // Serial: canonicalizes and inserts the spec's initial states, checking
-  // invariants on the constrained ones. Returns false when an initial
-  // state already violates (result_.violation is set).
-  bool SeedInitial(std::vector<LevelEntry>* level);
-
-  void DrainLevel(const std::vector<LevelEntry>& level, int worker);
-  void ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
-                    int worker);
-  void CheckInvariants(const State& state, uint64_t fp, uint64_t key,
-                       Scratch& s);
-
-  // Rebuilds the counterexample behavior ending at `end_state` by walking
-  // the predecessor-fingerprint chain and replaying the recorded actions
-  // forward from the matching initial state.
-  std::vector<TraceStep> BuildTrace(uint64_t end_fp, const State& end_state);
-
-  void PollProgress(size_t level_size, size_t pos);
-  obs::CheckerProgress LiveSnapshot(int64_t now_ns, size_t level_size,
-                                    size_t pos);
-  CheckResult Finish(common::Status status);
-
-  const CheckerOptions& options_;
-  const Spec& spec_;
-  const std::vector<Action>& actions_;
-  const std::vector<Invariant>& invariants_;
-  common::MonotonicClock* const clock_;
-  obs::EventLog* const events_;
-  const bool fp_audit_;
-  const int workers_;
-  // Sleep-set partial-order reduction (Godefroid): when expanding a
-  // state, actions in its sleep set are skipped; a successor reached via
-  // action a sleeps every action that commutes with a and was either
-  // already slept or explored earlier at the parent. Revisiting a state
-  // with a smaller sleep set shrinks the stored set (intersection) and
-  // re-expands ONLY the newly woken actions (the per-record `done` mask
-  // remembers what already ran), so every reachable state is eventually
-  // explored with every non-redundant action — the reduction removes
-  // redundant interleavings, not reachable states. Shrinks are two-phase:
-  // mid-level revisits only narrow a pending mask, and the level barrier
-  // settles it and re-enqueues woken states (fpset.h SettlePor), so every
-  // counter and trace is worker-count-invariant under POR too. Soundness
-  // requires the independence relation to respect the state constraint
-  // (see analysis::ComputeIndependence / RefineIndependence). Disabled
-  // under record_graph: the recorded graph must carry every edge for
-  // MBTCG/liveness.
-  const bool use_sleep_sets_;
-  const uint64_t all_actions_;
-  FingerprintSet fpset_;
-  common::WorkerPool pool_;
-  std::vector<Scratch> scratch_;
-  std::vector<uint64_t> commuting_mask_;  // Per action: bits of commuters.
-  std::unordered_map<uint64_t, State> initial_by_fp_;  // Replay anchors.
-
-  CheckResult result_;
-  int64_t start_ns_ = 0;
-  int64_t settle_ns_ = 0;  // Serial barrier work, run total.
-  Value::InternStats intern_at_start_;
-  // Live-metric flushing: the portion of this run's tallies already
-  // published to the global counters at level barriers, so /metrics
-  // advances mid-run and Finish adds only the remainder (totals stay
-  // identical to publishing once at the end).
-  uint64_t published_generated_ = 0;
-  uint64_t published_distinct_ = 0;
-  uint64_t published_slept_ = 0;
-
-  // Level-scoped shared state.
-  std::atomic<size_t> next_index_{0};  // Parent-entry work cursor.
-  std::atomic<bool> abort_max_{false};
-
-  // Progress plumbing. Only worker 0 reads the clock and reports; the
-  // other workers flush per-parent deltas into the two relaxed atomics so
-  // its lines see the whole fleet's progress.
-  bool report_progress_ = false;
-  int64_t interval_ns_ = 0;
-  int64_t last_report_ns_ = 0;
-  uint64_t last_report_generated_ = 0;
-  uint32_t poll_countdown_ = kProgressPollExpansions;
-  std::atomic<uint64_t> generated_level_{0};
-  std::atomic<uint64_t> next_count_{0};
-};
-
-bool Engine::SeedInitial(std::vector<LevelEntry>* level) {
-  uint64_t ordinal = 0;
-  for (State& raw_init : spec_.InitialStates()) {
-    ++result_.generated_states;
-    State init = spec_.Canonicalize(raw_init);
-    const uint64_t fp = Fingerprint(init);
-    const uint64_t key = ordinal++;
-    FpInsert ins =
-        fpset_.Insert(fp, 0, kFpInitialAction, 0, key, 0, &init);
-    if (!ins.inserted) continue;
-    initial_by_fp_.emplace(fp, init);
-    const bool constrained = spec_.WithinConstraint(init);
-    uint32_t gid = StateGraph::kNoId;
-    if (result_.graph) {
-      gid = result_.graph->RegisterSeed(fp, init, constrained);
-    }
-    if (!constrained) continue;
-    for (const Invariant& inv : invariants_) {
-      if (!inv.predicate(init)) {
-        result_.violation = Violation{
-            inv.name,
-            {TraceStep{"Initial predicate", init}}};
-        return false;
-      }
-    }
-    level->push_back(LevelEntry{std::move(init), fp, 0, key, gid});
-  }
-  return true;
-}
-
-void Engine::CheckInvariants(const State& state, uint64_t fp, uint64_t key,
-                             Scratch& s) {
-  for (const Invariant& inv : invariants_) {
-    if (!inv.predicate(state)) {
-      s.candidates.push_back(CandidateViolation{key, inv.name, fp, state});
-      return;
-    }
-  }
-}
-
-void Engine::ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
-                          int worker) {
-  if (entry.depth > s.diameter) s.diameter = entry.depth;
-  if (options_.max_depth >= 0 && entry.depth >= options_.max_depth) return;
-
-  uint64_t cur_sleep = 0;
-  uint64_t explored_before = 0;
-  uint64_t to_expand = all_actions_;
-  if (use_sleep_sets_) {
-    FingerprintSet::ExpandGrant grant =
-        fpset_.AcquireExpand(entry.fp, all_actions_);
-    cur_sleep = grant.sleep;
-    explored_before = grant.explored_before;
-    to_expand = grant.to_expand;
-    s.slept += static_cast<uint64_t>(
-        std::popcount(all_actions_ & cur_sleep & ~explored_before));
-    if (to_expand == 0) return;  // Redundant re-enqueue.
-  }
-  ++s.expanded;
-
-  std::vector<State>& successors = s.successors;
-  successors.clear();
-  for (uint16_t ai = 0; ai < actions_.size(); ++ai) {
-    if (use_sleep_sets_ && !((to_expand >> ai) & 1)) continue;  // Slept.
-    // Sleep mask for successors via `ai`: commuters of `ai` that were
-    // slept here or explored earlier at this state (previous visits, or
-    // lower-indexed actions of this pass).
-    const uint64_t succ_sleep =
-        use_sleep_sets_
-            ? (cur_sleep | explored_before |
-               (to_expand & ((uint64_t{1} << ai) - 1))) &
-                  commuting_mask_[ai]
-            : 0;
-    const size_t before = successors.size();
-    actions_[ai].next(entry.state, &successors);
-    for (size_t si = before; si < successors.size(); ++si) {
-      ++s.generated;
-      State succ = spec_.Canonicalize(successors[si]);
-      const uint64_t fp = Fingerprint(succ);
-      const uint64_t key = EventKey(pos, ai, si - before);
-      FpInsert ins = fpset_.Insert(fp, entry.fp, ai, entry.depth + 1, key,
-                                   succ_sleep, &succ);
-      bool enqueue = false;
-      if (ins.inserted) {
-        if (fpset_.size() > options_.max_distinct_states) {
-          abort_max_.store(true, std::memory_order_relaxed);
-          return;
-        }
-        const bool constrained = spec_.WithinConstraint(succ);
-        if (result_.graph) {
-          result_.graph->RecordNode(fp, succ, constrained);
-        }
-        // Invariants are checked on every distinct state, including
-        // states outside the constraint (TLC checks invariants before
-        // applying CONSTRAINT to decide on expansion).
-        CheckInvariants(succ, fp, key, s);
-        enqueue = constrained;
-      } else if (use_sleep_sets_ && ins.sleep_shrunk) {
-        // The revisit shrank the record's pending sleep mask. Whether
-        // that warrants a re-expansion is decided once per level at the
-        // barrier (SettlePor), not here — a mid-level decision would
-        // depend on how workers interleaved. Only constrained states
-        // ever clear their queued flag, so no constraint recheck is
-        // needed if the settle wakes it.
-        s.wake_candidates.try_emplace(fp, succ);
-      }
-      if (result_.graph && entry.gid != StateGraph::kNoId) {
-        result_.graph->RecordEdge(worker, entry.gid, fp, ai);
-      }
-      if (enqueue) {
-        s.next.push_back(
-            LevelEntry{std::move(succ), fp, entry.depth + 1, key});
-      }
-    }
-  }
-
-  if (options_.check_deadlock && successors.empty()) {
-    if (use_sleep_sets_ && (cur_sleep | explored_before) != 0) {
-      // Slept actions were skipped; confirm genuine deadlock unpruned.
-      bool any_enabled = false;
-      for (const Action& action : actions_) {
-        action.next(entry.state, &successors);
-        if (!successors.empty()) {
-          any_enabled = true;
-          successors.clear();
-          break;
-        }
-      }
-      if (any_enabled) return;
-    }
-    s.candidates.push_back(CandidateViolation{DeadlockKey(pos), "Deadlock",
-                                              entry.fp, entry.state});
-  }
-}
-
-void Engine::DrainLevel(const std::vector<LevelEntry>& level, int worker) {
-  Scratch& s = scratch_[static_cast<size_t>(worker)];
-  const bool poll = report_progress_ && worker == 0;
-  const bool flush = report_progress_;
-  const int64_t drain_start_ns =
-      options_.profile_workers ? clock_->NowNanos() : 0;
-  for (;;) {
-    if (abort_max_.load(std::memory_order_relaxed)) break;
-    const size_t pos = next_index_.fetch_add(1, std::memory_order_relaxed);
-    if (pos >= level.size()) break;
-    if (poll) PollProgress(level.size(), pos);
-    const uint64_t gen_before = s.generated;
-    const size_t next_before = s.next.size();
-    ProcessEntry(level[pos], pos, s, worker);
-    if (flush) {
-      generated_level_.fetch_add(s.generated - gen_before,
-                                 std::memory_order_relaxed);
-      next_count_.fetch_add(s.next.size() - next_before,
-                            std::memory_order_relaxed);
-    }
-  }
-  if (options_.profile_workers) {
-    s.drain_end_ns = clock_->NowNanos();
-    s.busy_ns += s.drain_end_ns - drain_start_ns;
-  }
-}
-
-std::vector<TraceStep> Engine::BuildTrace(uint64_t end_fp,
-                                          const State& end_state) {
-  // Walk the discovery chain back to an initial state, then replay it
-  // forward: run the recorded action, canonicalize each successor, and
-  // follow the one whose fingerprint matches the next link.
-  std::vector<std::pair<uint64_t, uint16_t>> chain;  // (fp, arriving action)
-  uint64_t fp = end_fp;
-  while (true) {
-    std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(fp);
-    if (!edge.has_value()) break;
-    chain.emplace_back(fp, edge->action);
-    if (edge->action == kFpInitialAction) break;
-    fp = edge->pred_fp;
-  }
-  std::reverse(chain.begin(), chain.end());
-  std::vector<TraceStep> trace;
-  if (chain.empty()) return trace;
-
-  State state = initial_by_fp_.at(chain[0].first);
-  trace.push_back(TraceStep{"Initial predicate", state});
-  std::vector<State> successors;
-  for (size_t i = 1; i < chain.size(); ++i) {
-    const uint16_t ai = chain[i].second;
-    if (i + 1 == chain.size()) {
-      // The violating state itself travels with the candidate; no replay
-      // needed for the final link.
-      trace.push_back(TraceStep{actions_[ai].name, end_state});
-      break;
-    }
-    successors.clear();
-    actions_[ai].next(state, &successors);
-    bool found = false;
-    for (State& raw : successors) {
-      State canon = spec_.Canonicalize(raw);
-      if (Fingerprint(canon) == chain[i].first) {
-        state = std::move(canon);
-        found = true;
-        break;
-      }
-    }
-    if (!found) break;  // Fingerprint collision artifact; keep the prefix.
-    trace.push_back(TraceStep{actions_[ai].name, state});
-  }
-  return trace;
-}
-
-obs::CheckerProgress Engine::LiveSnapshot(int64_t now_ns, size_t level_size,
-                                          size_t pos) {
-  obs::CheckerProgress p;
-  p.generated_states = result_.generated_states +
-                       generated_level_.load(std::memory_order_relaxed);
-  p.distinct_states = fpset_.size();
-  p.frontier_size = (level_size - pos) +
-                    next_count_.load(std::memory_order_relaxed);
-  p.depth = std::max(result_.diameter, scratch_[0].diameter);
-  p.seconds = static_cast<double>(now_ns - start_ns_) * 1e-9;
-  const double dt = static_cast<double>(now_ns - last_report_ns_) * 1e-9;
-  const uint64_t dgen = p.generated_states - last_report_generated_;
-  p.states_per_sec = dt > 0 ? static_cast<double>(dgen) / dt : 0;
-  p.fingerprint_load = fpset_.load_factor();
-  p.por_slept = result_.por_slept_actions + scratch_[0].slept;
-  p.final_report = false;
-  return p;
-}
-
-void Engine::PollProgress(size_t level_size, size_t pos) {
-  if (--poll_countdown_ != 0) return;
-  poll_countdown_ = kProgressPollExpansions;
-  const int64_t now_ns = clock_->NowNanos();
-  if (now_ns - last_report_ns_ < interval_ns_) return;
-  obs::CheckerProgress p = LiveSnapshot(now_ns, level_size, pos);
-  options_.progress_reporter->Report(p);
-  last_report_ns_ = now_ns;
-  last_report_generated_ = p.generated_states;
-}
-
-CheckResult Engine::Finish(common::Status status) {
-  result_.status = std::move(status);
-  result_.distinct_states = fpset_.size();
-  result_.fingerprint_load = fpset_.load_factor();
-  result_.fingerprint_collisions = fpset_.collisions();
-  const int64_t end_ns = clock_->NowNanos();
-  result_.seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
-
-  double busy_ms_total = 0;
-  double wait_ms_total = 0;
-  if (options_.profile_workers) {
-    result_.worker_busy_ms.reserve(static_cast<size_t>(workers_));
-    result_.worker_barrier_wait_ms.reserve(static_cast<size_t>(workers_));
-    for (int w = 0; w < workers_; ++w) {
-      const Scratch& s = scratch_[static_cast<size_t>(w)];
-      const double busy_ms = static_cast<double>(s.busy_ns) * 1e-6;
-      const double wait_ms = static_cast<double>(s.barrier_wait_ns) * 1e-6;
-      result_.worker_busy_ms.push_back(busy_ms);
-      result_.worker_barrier_wait_ms.push_back(wait_ms);
-      busy_ms_total += busy_ms;
-      wait_ms_total += wait_ms;
-    }
-    result_.barrier_settle_ms = static_cast<double>(settle_ns_) * 1e-6;
-    // Serial settle work stalls all W workers at once, so it contributes
-    // W-fold to the fleet's idle wall time.
-    const double idle_ms =
-        wait_ms_total + result_.barrier_settle_ms * workers_;
-    const double total_ms = busy_ms_total + idle_ms;
-    result_.barrier_idle_fraction = total_ms > 0 ? idle_ms / total_ms : 0;
-  }
-  if (report_progress_) {
-    obs::CheckerProgress p;
-    p.generated_states = result_.generated_states;
-    p.distinct_states = result_.distinct_states;
-    p.frontier_size = next_count_.load(std::memory_order_relaxed);
-    p.depth = result_.diameter;
-    p.seconds = result_.seconds;
-    p.states_per_sec =
-        result_.seconds > 0
-            ? static_cast<double>(result_.generated_states) / result_.seconds
-            : 0;
-    p.fingerprint_load = result_.fingerprint_load;
-    p.por_slept = result_.por_slept_actions;
-    p.final_report = true;
-    options_.progress_reporter->Report(p);
-  }
-  if (options_.publish_metrics) {
-    auto& registry = obs::MetricsRegistry::Global();
-    registry.GetCounter("checker.runs.completed").Increment();
-    // The per-level live flush already published most of these; add only
-    // the remainder so the run totals match exactly.
-    registry.GetCounter("checker.states.generated")
-        .Increment(result_.generated_states - published_generated_);
-    registry.GetCounter("checker.states.distinct")
-        .Increment(result_.distinct_states - published_distinct_);
-    registry.GetCounter("checker.por.actions_slept")
-        .Increment(result_.por_slept_actions - published_slept_);
-    registry.GetCounter("checker.fingerprint.collisions")
-        .Increment(result_.fingerprint_collisions);
-    if (result_.violation.has_value()) {
-      registry.GetCounter("checker.violations.found").Increment();
-    }
-    for (int w = 0; w < workers_; ++w) {
-      registry
-          .GetCounter(common::StrCat("checker.worker", w, ".expansions"))
-          .Increment(scratch_[static_cast<size_t>(w)].expanded);
-    }
-    if (options_.profile_workers) {
-      for (int w = 0; w < workers_; ++w) {
-        registry
-            .GetGauge(common::StrCat("checker.worker", w, ".busy_ms"))
-            .Set(result_.worker_busy_ms[static_cast<size_t>(w)]);
-        registry
-            .GetGauge(
-                common::StrCat("checker.worker", w, ".barrier_wait_ms"))
-            .Set(result_.worker_barrier_wait_ms[static_cast<size_t>(w)]);
-      }
-      registry.GetGauge("checker.barrier.settle_ms")
-          .Set(result_.barrier_settle_ms);
-      registry.GetGauge("checker.barrier.idle_fraction")
-          .Set(result_.barrier_idle_fraction);
-    }
-    registry.GetGauge("checker.workers.used")
-        .Set(static_cast<double>(workers_));
-    registry.GetGauge("checker.frontier.peak")
-        .Set(static_cast<double>(result_.frontier_peak));
-    registry.GetGauge("checker.fingerprint.load")
-        .Set(result_.fingerprint_load);
-    registry.GetGauge("checker.run.seconds").Set(result_.seconds);
-    registry.GetGauge("checker.run.states_per_sec")
-        .Set(result_.seconds > 0
-                 ? static_cast<double>(result_.generated_states) /
-                       result_.seconds
-                 : 0);
-    if (result_.graph) {
-      registry.GetGauge("checker.graph.nodes")
-          .Set(static_cast<double>(result_.graph->num_states()));
-      registry.GetGauge("checker.graph.edges")
-          .Set(static_cast<double>(result_.graph->num_edges()));
-      registry.GetGauge("checker.graph.dup_edges")
-          .Set(static_cast<double>(result_.graph->num_duplicate_edges()));
-    }
-    // Value-interning telemetry: table totals plus how many NEW composite
-    // reps this run allocated per distinct state — the per-state allocator
-    // pressure the interned value layer is meant to shrink.
-    const Value::InternStats intern = Value::GetInternStats();
-    registry.GetGauge("value.intern.hits")
-        .Set(static_cast<double>(intern.hits));
-    registry.GetGauge("value.intern.misses")
-        .Set(static_cast<double>(intern.misses));
-    registry.GetGauge("value.intern.live")
-        .Set(static_cast<double>(intern.live));
-    registry.GetGauge("value.intern.bytes")
-        .Set(static_cast<double>(intern.bytes));
-    registry.GetGauge("checker.alloc.values_per_state")
-        .Set(result_.distinct_states > 0
-                 ? static_cast<double>(intern.misses -
-                                       intern_at_start_.misses) /
-                       static_cast<double>(result_.distinct_states)
-                 : 0);
-  }
-  if (events_->enabled()) {
-    if (result_.fingerprint_collisions > 0) {
-      events_->Emit(
-          obs::EventSeverity::kWarn, "checker", "fingerprint.collisions",
-          {{"collisions", common::StrCat(result_.fingerprint_collisions)}});
-    }
-    if (result_.violation.has_value()) {
-      events_->Emit(
-          obs::EventSeverity::kError, "checker", "violation.found",
-          {{"kind", result_.violation->kind},
-           {"trace_length", common::StrCat(result_.violation->trace.size())},
-           {"distinct", common::StrCat(result_.distinct_states)}});
-    }
-    if (!result_.status.ok()) {
-      events_->Emit(obs::EventSeverity::kWarn, "checker", "run.aborted",
-                    {{"status", result_.status.ToString()}});
-    }
-    events_->Emit(
-        obs::EventSeverity::kInfo, "checker", "run.completed",
-        {{"distinct", common::StrCat(result_.distinct_states)},
-         {"generated", common::StrCat(result_.generated_states)},
-         {"levels", common::StrCat(result_.levels_completed)},
-         {"workers", common::StrCat(workers_)},
-         {"violation",
-          result_.violation.has_value() ? result_.violation->kind : ""}});
-  }
-  return result_;
-}
-
-CheckResult Engine::Run() {
-  start_ns_ = clock_->NowNanos();
-  intern_at_start_ = Value::GetInternStats();
-  result_.workers_used = workers_;
-  report_progress_ = options_.progress_reporter != nullptr;
-  interval_ns_ = options_.progress_interval_ms * 1'000'000;
-  last_report_ns_ = start_ns_;
-  if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
-  if (events_->enabled()) {
-    events_->Emit(obs::EventSeverity::kInfo, "checker", "run.started",
-                  {{"workers", common::StrCat(workers_)},
-                   {"actions", common::StrCat(actions_.size())},
-                   {"invariants", common::StrCat(invariants_.size())}});
-  }
-
-  if (use_sleep_sets_) {
-    commuting_mask_.resize(actions_.size(), 0);
-    for (size_t a = 0; a < actions_.size(); ++a) {
-      for (size_t b = 0; b < actions_.size(); ++b) {
-        if (options_.independence->Commutes(a, b)) {
-          commuting_mask_[a] |= uint64_t{1} << b;
-        }
-      }
-    }
-  }
-  if (options_.record_graph) {
-    result_.graph = std::make_shared<StateGraph>();
-    result_.graph->BeginRecording(workers_);
-    std::vector<std::string> action_names;
-    action_names.reserve(actions_.size());
-    for (const Action& a : actions_) action_names.push_back(a.name);
-    result_.graph->set_action_names(std::move(action_names));
-  }
-
-  std::vector<LevelEntry> level;
-  if (!SeedInitial(&level)) return Finish(common::Status::OK());
-
-  obs::Histogram* level_hist = nullptr;
-  if (options_.publish_metrics) {
-    level_hist = &obs::MetricsRegistry::Global().GetHistogram(
-        "checker.frontier.level_size",
-        {1, 10, 100, 1'000, 10'000, 100'000, 1'000'000});
-  }
-
-  while (!level.empty()) {
-    if (level.size() > result_.frontier_peak) {
-      result_.frontier_peak = level.size();
-    }
-    if (level_hist != nullptr) {
-      level_hist->Observe(static_cast<double>(level.size()));
-    }
-    next_index_.store(0, std::memory_order_relaxed);
-    abort_max_.store(false, std::memory_order_relaxed);
-
-    const size_t level_size = level.size();
-    pool_.Run([this, &level](int worker) { DrainLevel(level, worker); });
-
-    // Barrier: merge worker tallies, settle violations/limits, and build
-    // the next level in deterministic discovery order.
-    const int64_t pool_end_ns =
-        options_.profile_workers ? clock_->NowNanos() : 0;
-    if (options_.profile_workers) {
-      // Fork-join imbalance: each worker waited from its own drain end
-      // until the slowest worker released the pool.
-      for (Scratch& s : scratch_) {
-        if (s.drain_end_ns > 0 && pool_end_ns > s.drain_end_ns) {
-          s.barrier_wait_ns += pool_end_ns - s.drain_end_ns;
-        }
-        s.drain_end_ns = 0;
-      }
-    }
-    std::vector<CandidateViolation> candidates;
-    size_t next_total = 0;
-    uint64_t level_generated = 0;
-    for (Scratch& s : scratch_) {
-      level_generated += s.generated;
-      result_.generated_states += s.generated;
-      s.generated = 0;
-      result_.por_slept_actions += s.slept;
-      s.slept = 0;
-      if (s.diameter > result_.diameter) result_.diameter = s.diameter;
-      for (CandidateViolation& c : s.candidates) {
-        candidates.push_back(std::move(c));
-      }
-      s.candidates.clear();
-      next_total += s.next.size();
-    }
-    generated_level_.store(0, std::memory_order_relaxed);
-    ++result_.levels_completed;
-
-    // Liveness + live observability: a completed level is the checker's
-    // natural heartbeat, the point where the global counters are brought
-    // up to date (so a /metrics scrape advances mid-run), and a debug
-    // event. None of this touches exploration state.
-    if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
-    if (options_.publish_metrics) {
-      auto& registry = obs::MetricsRegistry::Global();
-      registry.GetCounter("checker.levels.completed").Increment();
-      registry.GetCounter("checker.states.generated")
-          .Increment(result_.generated_states - published_generated_);
-      published_generated_ = result_.generated_states;
-      const uint64_t distinct = fpset_.size();
-      registry.GetCounter("checker.states.distinct")
-          .Increment(distinct - published_distinct_);
-      published_distinct_ = distinct;
-      registry.GetCounter("checker.por.actions_slept")
-          .Increment(result_.por_slept_actions - published_slept_);
-      published_slept_ = result_.por_slept_actions;
-    }
-    if (events_->enabled()) {
-      events_->Emit(
-          obs::EventSeverity::kDebug, "checker", "level.completed",
-          {{"level", common::StrCat(result_.levels_completed)},
-           {"level_size", common::StrCat(level_size)},
-           {"generated", common::StrCat(level_generated)},
-           {"distinct", common::StrCat(fpset_.size())}});
-    }
-
-    if (result_.graph) {
-      // Settle this level's graph discoveries before any early return:
-      // a violating level must still land in the graph (identically under
-      // every worker count) so liveness and MBTCG runs over violating
-      // configs stay deterministic. The seen-set's min-merged order key is
-      // the key a serial scan would have discovered the state with.
-      result_.graph->SettleLevel([this](uint64_t fp) {
-        std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(fp);
-        return edge.has_value() ? edge->order_key : ~uint64_t{0};
-      });
-    }
-
-    if (!candidates.empty()) {
-      // A violating level is always fully drained first, so the serial
-      // winner — the smallest discovery key — is available under every
-      // worker count and the resulting trace is identical. Candidate keys
-      // were assigned by whichever worker won the insert race; re-key
-      // invariant violations from the settled (min-merged) records so the
-      // comparison matches the serial discovery order. Deadlock keys are
-      // per-parent-position and already settled.
-      if (workers_ > 1) {
-        for (CandidateViolation& c : candidates) {
-          if (c.kind == "Deadlock") continue;
-          if (std::optional<FingerprintSet::Edge> edge =
-                  fpset_.GetEdge(c.fp)) {
-            c.key = edge->order_key;
-          }
-        }
-      }
-      const CandidateViolation& best = *std::min_element(
-          candidates.begin(), candidates.end(),
-          [](const CandidateViolation& a, const CandidateViolation& b) {
-            return a.key < b.key;
-          });
-      result_.violation =
-          Violation{best.kind, BuildTrace(best.fp, best.state)};
-      return Finish(common::Status::OK());
-    }
-    if (abort_max_.load(std::memory_order_relaxed)) {
-      return Finish(common::Status::ResourceExhausted(
-          common::StrCat("exceeded max distinct states (",
-                         options_.max_distinct_states, ")")));
-    }
-
-    std::vector<LevelEntry> next;
-    next.reserve(next_total);
-    for (Scratch& s : scratch_) {
-      for (LevelEntry& e : s.next) next.push_back(std::move(e));
-      s.next.clear();
-    }
-    if (use_sleep_sets_) {
-      // Settle this level's sleep-mask shrinks. The per-record pending
-      // mask is an intersection, so it is independent of worker
-      // interleaving; SettlePor folds it into the settled mask and
-      // reports whether uncovered actions require a re-expansion. Woken
-      // states rejoin the frontier at their original depth.
-      std::unordered_map<uint64_t, State> wakes;
-      for (Scratch& s : scratch_) {
-        for (auto& [fp, state] : s.wake_candidates) {
-          wakes.try_emplace(fp, std::move(state));
-        }
-        s.wake_candidates.clear();
-      }
-      for (auto& [fp, state] : wakes) {
-        FingerprintSet::PorSettle settle = fpset_.SettlePor(fp, all_actions_);
-        if (settle.wake) {
-          next.push_back(LevelEntry{std::move(state), fp, settle.depth,
-                                    settle.order_key});
-        }
-      }
-    }
-    if (workers_ > 1) {
-      // Two workers can race to discover the same state; whoever wins the
-      // insert owns the enqueue, but the record's min-merged key is the
-      // serial discovery order. Re-key from the settled records so batch
-      // order is worker-count-invariant.
-      for (LevelEntry& e : next) {
-        if (std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(e.fp)) {
-          e.key = edge->order_key;
-        }
-      }
-    }
-    // Keys are unique within one level's events, but a POR wake keeps the
-    // key of the level it was first discovered in, which can collide
-    // numerically with a fresh key — break ties by fingerprint so the
-    // batch order stays a pure function of the state graph.
-    std::sort(next.begin(), next.end(),
-              [](const LevelEntry& a, const LevelEntry& b) {
-                return a.key != b.key ? a.key < b.key : a.fp < b.fp;
-              });
-    if (result_.graph) {
-      // Node ids were assigned at SettleLevel; stamp them onto the
-      // entries so each expansion can record edges without a map lookup.
-      for (LevelEntry& e : next) e.gid = result_.graph->IdOf(e.fp);
-    }
-    level = std::move(next);
-    next_count_.store(0, std::memory_order_relaxed);
-    if (options_.profile_workers) {
-      settle_ns_ += clock_->NowNanos() - pool_end_ns;
-    }
-  }
-  return Finish(common::Status::OK());
-}
-
-}  // namespace
 
 CheckResult ModelChecker::Check(const Spec& spec) const {
-  return Engine(options_, spec).Run();
+  // Resolve the exploration policy. Two option combinations require the
+  // level-synchronous facade and clamp a relaxed request back to it,
+  // with the reason surfaced in CheckResult::policy_notice (and as a
+  // warn event) rather than silently changing semantics:
+  //   - record_graph: node ids are assigned from the settled discovery
+  //     order at level barriers (StateGraph::SettleLevel); without
+  //     barriers the recorded graph would not be reproducible.
+  //   - max_depth: a depth bound prunes by BFS level; relaxed
+  //     first-discovery depths exceed BFS depths, which would make even
+  //     the distinct-state count schedule-dependent.
+  CheckerOptions options = options_;
+  std::string notice;
+  if (options.exploration == ExplorationPolicy::kRelaxed) {
+    if (options.record_graph) {
+      notice =
+          "record_graph needs level-barrier graph settling; "
+          "falling back to level-sync exploration";
+    } else if (options.max_depth >= 0) {
+      notice =
+          "max_depth bounds are defined by BFS levels; "
+          "falling back to level-sync exploration";
+    }
+    if (!notice.empty()) {
+      options.exploration = ExplorationPolicy::kLevelSync;
+      obs::EventLog* events = options.event_log != nullptr
+                                  ? options.event_log
+                                  : &obs::EventLog::Global();
+      if (events->enabled()) {
+        events->Emit(obs::EventSeverity::kWarn, "checker", "policy.clamped",
+                     {{"requested", "relaxed"},
+                      {"used", "level"},
+                      {"reason", notice}});
+      }
+    }
+  }
+
+  CheckResult result =
+      options.exploration == ExplorationPolicy::kRelaxed
+          ? internal::RelaxedEngine(options, spec).Run()
+          : internal::LevelSyncEngine(options, spec).Run();
+  result.policy_notice = std::move(notice);
+  return result;
 }
 
 }  // namespace xmodel::tlax

@@ -22,7 +22,41 @@ class Watchdog;
 
 namespace xmodel::tlax {
 
+/// How the checker orders exploration. The policy is a pure scheduling
+/// choice: both policies explore the same reachable state set over the
+/// same sharded fingerprint table, so `distinct_states`,
+/// `generated_states` (modulo POR) and the violation verdict are
+/// identical under either policy at any worker count. What differs is
+/// everything order-dependent — diameter, frontier peak, trace shape,
+/// POR sleep counts — which relaxed mode reports as approximate (see
+/// CheckResult::order_fields_approximate).
+enum class ExplorationPolicy {
+  /// Level-synchronous BFS (the default): workers drain one frontier
+  /// level and barrier, so every result field — counterexample traces
+  /// included — is bit-identical across worker counts, and
+  /// counterexamples are minimal. The barrier is also the scalability
+  /// ceiling: workers idle while the slowest one finishes each level.
+  kLevelSync = 0,
+  /// Relaxed work-stealing frontier: per-worker deques, no level
+  /// barriers, POR sleep masks settle immediately instead of at a
+  /// barrier. Maximum throughput; diameter/frontier_peak/traces are
+  /// approximate and violating runs drain the entire reachable space so
+  /// distinct/generated stay worker-count-invariant. Incompatible with
+  /// record_graph and max_depth (the checker falls back to kLevelSync
+  /// with CheckResult::policy_notice set).
+  kRelaxed = 1,
+};
+
+/// "level" / "relaxed" — the names the --explore CLI flags use.
+const char* ExplorationPolicyName(ExplorationPolicy policy);
+/// Parses an --explore value; returns false (leaving `out` untouched) on
+/// anything but "level" or "relaxed".
+bool ParseExplorationPolicy(const std::string& text, ExplorationPolicy* out);
+
 struct CheckerOptions {
+  /// Exploration order policy; see ExplorationPolicy. kLevelSync keeps
+  /// the deterministic level-synchronous semantics bit-for-bit.
+  ExplorationPolicy exploration = ExplorationPolicy::kLevelSync;
   /// Exploration workers: 1 (default) runs the classic single-threaded
   /// BFS (no threads are spawned), 0 means one worker per hardware
   /// thread, N > 1 spawns N - 1 helper threads. Exploration is
@@ -157,6 +191,33 @@ struct CheckResult {
   ///   (sum(busy) + sum(wait) + workers*settle)
   /// 0 when profiling is off or the run did no level work.
   double barrier_idle_fraction = 0;
+  /// The exploration policy the run actually executed — may differ from
+  /// CheckerOptions::exploration when a relaxed request was clamped back
+  /// to level-sync (see policy_notice).
+  ExplorationPolicy policy_used = ExplorationPolicy::kLevelSync;
+  /// Human-readable note set when the requested policy was clamped
+  /// (relaxed + record_graph or relaxed + max_depth fall back to
+  /// level-sync). Empty when the request was honored.
+  std::string policy_notice;
+  /// True iff the run executed under kRelaxed: diameter, frontier_peak,
+  /// por_slept_actions and the violation trace are then order-dependent
+  /// approximations (first-discovery depths, non-minimal traces).
+  /// distinct_states, generated_states (modulo POR) and the violation
+  /// verdict remain exact and worker-count-invariant under both policies.
+  bool order_fields_approximate = false;
+  /// Policy-neutral idle share of worker wall time: equals
+  /// barrier_idle_fraction under level-sync; under relaxed it is
+  /// (steal + starve) / (busy + steal + starve). 0 when profiling is off.
+  double idle_fraction = 0;
+  /// Relaxed mode only: successful steals per worker (empty under
+  /// level-sync). Also published as checker.worker<N>.steals counters.
+  std::vector<uint64_t> worker_steals;
+  /// Relaxed-mode worker profile (empty under level-sync or with
+  /// profiling off): time spent probing other workers' deques and time
+  /// spent spinning with a globally empty frontier. Replaces
+  /// worker_barrier_wait_ms, which has no meaning without barriers.
+  std::vector<double> worker_steal_ms;
+  std::vector<double> worker_starve_ms;
   std::optional<Violation> violation;
   /// Present when options.record_graph was set.
   std::shared_ptr<StateGraph> graph;
@@ -173,14 +234,18 @@ struct CheckResult {
 /// shortest counterexample behavior. BFS order guarantees minimal
 /// counterexamples, like TLC's default mode.
 ///
-/// Exploration is level-synchronous and runs on
-/// CheckerOptions::num_workers threads over a shared sharded fingerprint
-/// table (see tlax/fpset.h): the seen-set stores 64-bit fingerprints plus
-/// compact predecessor records instead of full states, and traces are
-/// rebuilt by replaying actions along the predecessor chain. When a level
-/// contains a violation the whole level is still drained and the
-/// candidate with the smallest discovery-order key wins, so results are
-/// bit-identical across worker counts. See DESIGN.md "Parallel checking".
+/// Exploration order is pluggable (CheckerOptions::exploration). The
+/// default level-synchronous policy runs on CheckerOptions::num_workers
+/// threads over a shared sharded fingerprint table (see tlax/fpset.h):
+/// the seen-set stores 64-bit fingerprints plus compact predecessor
+/// records instead of full states, and traces are rebuilt by replaying
+/// actions along the predecessor chain. When a level contains a
+/// violation the whole level is still drained and the candidate with the
+/// smallest discovery-order key wins, so results are bit-identical
+/// across worker counts. The relaxed policy trades those order
+/// guarantees for barrier-free work-stealing throughput while keeping
+/// distinct/generated counts and verdicts invariant. See DESIGN.md
+/// "Parallel checking" and "Exploration policies".
 class ModelChecker {
  public:
   explicit ModelChecker(CheckerOptions options = {}) : options_(options) {}

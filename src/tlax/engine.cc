@@ -1,0 +1,510 @@
+// Policy-neutral core of the exploration engine (see tlax/explore.h):
+// construction, seeding, expansion, invariant checks, trace rebuild,
+// progress snapshots, and end-of-run publication. The per-policy Run()
+// loops live in explore_level.cc / explore_relaxed.cc.
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+#include "tlax/explore.h"
+
+namespace xmodel::tlax::internal {
+
+namespace {
+
+bool FpAuditFromEnv() {
+  const char* v = std::getenv("XMODEL_FP_AUDIT");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+EngineBase::EngineBase(const CheckerOptions& options, const Spec& spec,
+                       ExplorationPolicy policy)
+    : options_(options),
+      spec_(spec),
+      actions_(spec.actions()),
+      invariants_(spec.invariants()),
+      clock_(options.clock != nullptr ? options.clock
+                                      : common::MonotonicClock::Real()),
+      events_(options.event_log != nullptr ? options.event_log
+                                           : &obs::EventLog::Global()),
+      fp_audit_(options.fp_audit || FpAuditFromEnv()),
+      workers_(common::ResolveWorkerCount(options.num_workers)),
+      policy_(policy),
+      relaxed_(policy == ExplorationPolicy::kRelaxed),
+      use_sleep_sets_(options.independence != nullptr &&
+                      !options.record_graph &&
+                      options.independence->num_actions() ==
+                          actions_.size() &&
+                      actions_.size() <= 64),
+      all_actions_(actions_.size() >= 64
+                       ? ~uint64_t{0}
+                       : (uint64_t{1} << actions_.size()) - 1),
+      fpset_(FpOptions(fp_audit_, use_sleep_sets_, relaxed_, all_actions_)),
+      pool_(workers_),
+      scratch_(static_cast<size_t>(workers_)) {}
+
+void EngineBase::StartRun() {
+  start_ns_ = clock_->NowNanos();
+  intern_at_start_ = Value::GetInternStats();
+  result_.workers_used = workers_;
+  result_.policy_used = policy_;
+  result_.order_fields_approximate = relaxed_;
+  report_progress_ = options_.progress_reporter != nullptr;
+  interval_ns_ = options_.progress_interval_ms * 1'000'000;
+  last_report_ns_ = start_ns_;
+  if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
+  if (events_->enabled()) {
+    events_->Emit(obs::EventSeverity::kInfo, "checker", "run.started",
+                  {{"workers", common::StrCat(workers_)},
+                   {"actions", common::StrCat(actions_.size())},
+                   {"invariants", common::StrCat(invariants_.size())}});
+  }
+
+  if (use_sleep_sets_) {
+    commuting_mask_.resize(actions_.size(), 0);
+    for (size_t a = 0; a < actions_.size(); ++a) {
+      for (size_t b = 0; b < actions_.size(); ++b) {
+        if (options_.independence->Commutes(a, b)) {
+          commuting_mask_[a] |= uint64_t{1} << b;
+        }
+      }
+    }
+  }
+  if (options_.record_graph) {
+    result_.graph = std::make_shared<StateGraph>();
+    result_.graph->BeginRecording(workers_);
+    std::vector<std::string> action_names;
+    action_names.reserve(actions_.size());
+    for (const Action& a : actions_) action_names.push_back(a.name);
+    result_.graph->set_action_names(std::move(action_names));
+  }
+}
+
+bool EngineBase::SeedInitial(std::vector<LevelEntry>* level) {
+  uint64_t ordinal = 0;
+  for (State& raw_init : spec_.InitialStates()) {
+    ++result_.generated_states;
+    State init = spec_.Canonicalize(raw_init);
+    const uint64_t fp = Fingerprint(init);
+    const uint64_t key = ordinal++;
+    FpInsert ins =
+        fpset_.Insert(fp, 0, kFpInitialAction, 0, key, 0, &init);
+    if (!ins.inserted) continue;
+    initial_by_fp_.emplace(fp, init);
+    const bool constrained = spec_.WithinConstraint(init);
+    uint32_t gid = StateGraph::kNoId;
+    if (result_.graph) {
+      gid = result_.graph->RegisterSeed(fp, init, constrained);
+    }
+    if (!constrained) continue;
+    for (const Invariant& inv : invariants_) {
+      if (!inv.predicate(init)) {
+        result_.violation = Violation{
+            inv.name,
+            {TraceStep{"Initial predicate", init}}};
+        return false;
+      }
+    }
+    level->push_back(LevelEntry{std::move(init), fp, 0, key, gid});
+  }
+  return true;
+}
+
+void EngineBase::CheckInvariants(const State& state, uint64_t fp,
+                                 uint64_t key, Scratch& s) {
+  for (const Invariant& inv : invariants_) {
+    if (!inv.predicate(state)) {
+      s.candidates.push_back(CandidateViolation{key, inv.name, fp, state});
+      return;
+    }
+  }
+}
+
+void EngineBase::ProcessEntry(const LevelEntry& entry, size_t pos,
+                              Scratch& s, int worker) {
+  if (entry.depth > s.diameter) s.diameter = entry.depth;
+  if (options_.max_depth >= 0 && entry.depth >= options_.max_depth) return;
+
+  uint64_t cur_sleep = 0;
+  uint64_t explored_before = 0;
+  uint64_t to_expand = all_actions_;
+  if (use_sleep_sets_) {
+    FingerprintSet::ExpandGrant grant =
+        fpset_.AcquireExpand(entry.fp, all_actions_);
+    cur_sleep = grant.sleep;
+    explored_before = grant.explored_before;
+    to_expand = grant.to_expand;
+    s.slept += static_cast<uint64_t>(
+        std::popcount(all_actions_ & cur_sleep & ~explored_before));
+    if (to_expand == 0) return;  // Redundant re-enqueue.
+  }
+  ++s.expanded;
+
+  std::vector<State>& successors = s.successors;
+  successors.clear();
+  for (uint16_t ai = 0; ai < actions_.size(); ++ai) {
+    if (use_sleep_sets_ && !((to_expand >> ai) & 1)) continue;  // Slept.
+    // Sleep mask for successors via `ai`: commuters of `ai` that were
+    // slept here or explored earlier at this state (previous visits, or
+    // lower-indexed actions of this pass).
+    const uint64_t succ_sleep =
+        use_sleep_sets_
+            ? (cur_sleep | explored_before |
+               (to_expand & ((uint64_t{1} << ai) - 1))) &
+                  commuting_mask_[ai]
+            : 0;
+    const size_t before = successors.size();
+    actions_[ai].next(entry.state, &successors);
+    for (size_t si = before; si < successors.size(); ++si) {
+      ++s.generated;
+      State succ = spec_.Canonicalize(successors[si]);
+      const uint64_t fp = Fingerprint(succ);
+      const uint64_t key = EventKey(pos, ai, si - before);
+      FpInsert ins = fpset_.Insert(fp, entry.fp, ai, entry.depth + 1, key,
+                                   succ_sleep, &succ);
+      bool enqueue = false;
+      if (ins.inserted) {
+        if (fpset_.size() > options_.max_distinct_states) {
+          abort_max_.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const bool constrained = spec_.WithinConstraint(succ);
+        if (result_.graph) {
+          result_.graph->RecordNode(fp, succ, constrained);
+        }
+        // Invariants are checked on every distinct state, including
+        // states outside the constraint (TLC checks invariants before
+        // applying CONSTRAINT to decide on expansion).
+        CheckInvariants(succ, fp, key, s);
+        enqueue = constrained;
+      } else if (use_sleep_sets_ && relaxed_ && ins.wake) {
+        // Barrier-free POR: the insert settled a shrink that uncovered
+        // unexpanded work and claimed the queued flag — this worker owns
+        // the re-enqueue. The woken state rejoins the frontier at its
+        // first-discovery depth.
+        s.next.push_back(LevelEntry{std::move(succ), fp, ins.depth, 0});
+      } else if (use_sleep_sets_ && !relaxed_ && ins.sleep_shrunk) {
+        // The revisit shrank the record's pending sleep mask. Whether
+        // that warrants a re-expansion is decided once per level at the
+        // barrier (SettlePor), not here — a mid-level decision would
+        // depend on how workers interleaved. Only constrained states
+        // ever clear their queued flag, so no constraint recheck is
+        // needed if the settle wakes it.
+        s.wake_candidates.try_emplace(fp, succ);
+      }
+      if (result_.graph && entry.gid != StateGraph::kNoId) {
+        result_.graph->RecordEdge(worker, entry.gid, fp, ai);
+      }
+      if (enqueue) {
+        s.next.push_back(
+            LevelEntry{std::move(succ), fp, entry.depth + 1, key});
+      }
+    }
+  }
+
+  if (options_.check_deadlock && successors.empty()) {
+    if (use_sleep_sets_ && (cur_sleep | explored_before) != 0) {
+      // Slept actions were skipped; confirm genuine deadlock unpruned.
+      bool any_enabled = false;
+      for (const Action& action : actions_) {
+        action.next(entry.state, &successors);
+        if (!successors.empty()) {
+          any_enabled = true;
+          successors.clear();
+          break;
+        }
+      }
+      if (any_enabled) return;
+    }
+    s.candidates.push_back(CandidateViolation{DeadlockKey(pos), "Deadlock",
+                                              entry.fp, entry.state});
+  }
+}
+
+std::vector<TraceStep> EngineBase::BuildTrace(uint64_t end_fp,
+                                              const State& end_state) {
+  // Walk the discovery chain back to an initial state, then replay it
+  // forward: run the recorded action, canonicalize each successor, and
+  // follow the one whose fingerprint matches the next link.
+  std::vector<std::pair<uint64_t, uint16_t>> chain;  // (fp, arriving action)
+  uint64_t fp = end_fp;
+  while (true) {
+    std::optional<FingerprintSet::Edge> edge = fpset_.GetEdge(fp);
+    if (!edge.has_value()) break;
+    chain.emplace_back(fp, edge->action);
+    if (edge->action == kFpInitialAction) break;
+    fp = edge->pred_fp;
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::vector<TraceStep> trace;
+  if (chain.empty()) return trace;
+
+  State state = initial_by_fp_.at(chain[0].first);
+  trace.push_back(TraceStep{"Initial predicate", state});
+  std::vector<State> successors;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const uint16_t ai = chain[i].second;
+    if (i + 1 == chain.size()) {
+      // The violating state itself travels with the candidate; no replay
+      // needed for the final link.
+      trace.push_back(TraceStep{actions_[ai].name, end_state});
+      break;
+    }
+    successors.clear();
+    actions_[ai].next(state, &successors);
+    bool found = false;
+    for (State& raw : successors) {
+      State canon = spec_.Canonicalize(raw);
+      if (Fingerprint(canon) == chain[i].first) {
+        state = std::move(canon);
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // Fingerprint collision artifact; keep the prefix.
+    trace.push_back(TraceStep{actions_[ai].name, state});
+  }
+  return trace;
+}
+
+obs::CheckerProgress EngineBase::LiveSnapshot(int64_t now_ns,
+                                              uint64_t frontier_estimate) {
+  obs::CheckerProgress p;
+  p.generated_states = result_.generated_states +
+                       generated_level_.load(std::memory_order_relaxed);
+  p.distinct_states = fpset_.size();
+  p.frontier_size = frontier_estimate;
+  p.depth = std::max(result_.diameter, scratch_[0].diameter);
+  p.seconds = static_cast<double>(now_ns - start_ns_) * 1e-9;
+  const double dt = static_cast<double>(now_ns - last_report_ns_) * 1e-9;
+  const uint64_t dgen = p.generated_states - last_report_generated_;
+  p.states_per_sec = dt > 0 ? static_cast<double>(dgen) / dt : 0;
+  p.fingerprint_load = fpset_.load_factor();
+  p.por_slept = result_.por_slept_actions + scratch_[0].slept;
+  p.final_report = false;
+  return p;
+}
+
+void EngineBase::PollProgress(size_t level_size, size_t pos) {
+  if (--poll_countdown_ != 0) return;
+  poll_countdown_ = kProgressPollExpansions;
+  const int64_t now_ns = clock_->NowNanos();
+  if (now_ns - last_report_ns_ < interval_ns_) return;
+  obs::CheckerProgress p = LiveSnapshot(
+      now_ns, (level_size - pos) +
+                  next_count_.load(std::memory_order_relaxed));
+  options_.progress_reporter->Report(p);
+  last_report_ns_ = now_ns;
+  last_report_generated_ = p.generated_states;
+}
+
+CheckResult EngineBase::Finish(common::Status status) {
+  result_.status = std::move(status);
+  result_.distinct_states = fpset_.size();
+  result_.fingerprint_load = fpset_.load_factor();
+  result_.fingerprint_collisions = fpset_.collisions();
+  const int64_t end_ns = clock_->NowNanos();
+  result_.seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
+
+  if (relaxed_) {
+    result_.worker_steals.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      result_.worker_steals.push_back(
+          scratch_[static_cast<size_t>(w)].steals);
+    }
+  }
+  if (options_.profile_workers) {
+    result_.worker_busy_ms.reserve(static_cast<size_t>(workers_));
+    double busy_ms_total = 0;
+    if (!relaxed_) {
+      double wait_ms_total = 0;
+      result_.worker_barrier_wait_ms.reserve(static_cast<size_t>(workers_));
+      for (int w = 0; w < workers_; ++w) {
+        const Scratch& s = scratch_[static_cast<size_t>(w)];
+        const double busy_ms = static_cast<double>(s.busy_ns) * 1e-6;
+        const double wait_ms = static_cast<double>(s.barrier_wait_ns) * 1e-6;
+        result_.worker_busy_ms.push_back(busy_ms);
+        result_.worker_barrier_wait_ms.push_back(wait_ms);
+        busy_ms_total += busy_ms;
+        wait_ms_total += wait_ms;
+      }
+      result_.barrier_settle_ms = static_cast<double>(settle_ns_) * 1e-6;
+      // Serial settle work stalls all W workers at once, so it contributes
+      // W-fold to the fleet's idle wall time.
+      const double idle_ms =
+          wait_ms_total + result_.barrier_settle_ms * workers_;
+      const double total_ms = busy_ms_total + idle_ms;
+      result_.barrier_idle_fraction = total_ms > 0 ? idle_ms / total_ms : 0;
+      result_.idle_fraction = result_.barrier_idle_fraction;
+    } else {
+      // No barriers: idle time is steal probing plus starvation spinning.
+      double idle_ms_total = 0;
+      result_.worker_steal_ms.reserve(static_cast<size_t>(workers_));
+      result_.worker_starve_ms.reserve(static_cast<size_t>(workers_));
+      for (int w = 0; w < workers_; ++w) {
+        const Scratch& s = scratch_[static_cast<size_t>(w)];
+        const double busy_ms = static_cast<double>(s.busy_ns) * 1e-6;
+        const double steal_ms = static_cast<double>(s.steal_ns) * 1e-6;
+        const double starve_ms = static_cast<double>(s.starve_ns) * 1e-6;
+        result_.worker_busy_ms.push_back(busy_ms);
+        result_.worker_steal_ms.push_back(steal_ms);
+        result_.worker_starve_ms.push_back(starve_ms);
+        busy_ms_total += busy_ms;
+        idle_ms_total += steal_ms + starve_ms;
+      }
+      const double total_ms = busy_ms_total + idle_ms_total;
+      result_.idle_fraction = total_ms > 0 ? idle_ms_total / total_ms : 0;
+    }
+  }
+  if (report_progress_) {
+    obs::CheckerProgress p;
+    p.generated_states = result_.generated_states;
+    p.distinct_states = result_.distinct_states;
+    p.frontier_size = next_count_.load(std::memory_order_relaxed);
+    p.depth = result_.diameter;
+    p.seconds = result_.seconds;
+    p.states_per_sec =
+        result_.seconds > 0
+            ? static_cast<double>(result_.generated_states) / result_.seconds
+            : 0;
+    p.fingerprint_load = result_.fingerprint_load;
+    p.por_slept = result_.por_slept_actions;
+    p.final_report = true;
+    options_.progress_reporter->Report(p);
+  }
+  if (options_.publish_metrics) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("checker.runs.completed").Increment();
+    // The mid-run live flush already published most of these; add only
+    // the remainder so the run totals match exactly.
+    registry.GetCounter("checker.states.generated")
+        .Increment(result_.generated_states -
+                   published_generated_.load(std::memory_order_relaxed));
+    registry.GetCounter("checker.states.distinct")
+        .Increment(result_.distinct_states -
+                   published_distinct_.load(std::memory_order_relaxed));
+    registry.GetCounter("checker.por.actions_slept")
+        .Increment(result_.por_slept_actions -
+                   published_slept_.load(std::memory_order_relaxed));
+    registry.GetCounter("checker.fingerprint.collisions")
+        .Increment(result_.fingerprint_collisions);
+    if (result_.violation.has_value()) {
+      registry.GetCounter("checker.violations.found").Increment();
+    }
+    for (int w = 0; w < workers_; ++w) {
+      registry
+          .GetCounter(common::StrCat("checker.worker", w, ".expansions"))
+          .Increment(scratch_[static_cast<size_t>(w)].expanded);
+    }
+    registry.GetGauge("checker.policy").Set(relaxed_ ? 1 : 0);
+    if (relaxed_) {
+      for (int w = 0; w < workers_; ++w) {
+        registry.GetCounter(common::StrCat("checker.worker", w, ".steals"))
+            .Increment(scratch_[static_cast<size_t>(w)].steals);
+      }
+    }
+    if (options_.profile_workers) {
+      for (int w = 0; w < workers_; ++w) {
+        registry
+            .GetGauge(common::StrCat("checker.worker", w, ".busy_ms"))
+            .Set(result_.worker_busy_ms[static_cast<size_t>(w)]);
+        if (!relaxed_) {
+          registry
+              .GetGauge(
+                  common::StrCat("checker.worker", w, ".barrier_wait_ms"))
+              .Set(result_.worker_barrier_wait_ms[static_cast<size_t>(w)]);
+        } else {
+          registry
+              .GetGauge(common::StrCat("checker.worker", w, ".steal_ms"))
+              .Set(result_.worker_steal_ms[static_cast<size_t>(w)]);
+          registry
+              .GetGauge(common::StrCat("checker.worker", w, ".starve_ms"))
+              .Set(result_.worker_starve_ms[static_cast<size_t>(w)]);
+        }
+      }
+      if (!relaxed_) {
+        registry.GetGauge("checker.barrier.settle_ms")
+            .Set(result_.barrier_settle_ms);
+        registry.GetGauge("checker.barrier.idle_fraction")
+            .Set(result_.barrier_idle_fraction);
+      }
+      registry.GetGauge("checker.idle_fraction").Set(result_.idle_fraction);
+    }
+    registry.GetGauge("checker.workers.used")
+        .Set(static_cast<double>(workers_));
+    registry.GetGauge("checker.frontier.peak")
+        .Set(static_cast<double>(result_.frontier_peak));
+    registry.GetGauge("checker.fingerprint.load")
+        .Set(result_.fingerprint_load);
+    registry.GetGauge("checker.run.seconds").Set(result_.seconds);
+    registry.GetGauge("checker.run.states_per_sec")
+        .Set(result_.seconds > 0
+                 ? static_cast<double>(result_.generated_states) /
+                       result_.seconds
+                 : 0);
+    if (result_.graph) {
+      registry.GetGauge("checker.graph.nodes")
+          .Set(static_cast<double>(result_.graph->num_states()));
+      registry.GetGauge("checker.graph.edges")
+          .Set(static_cast<double>(result_.graph->num_edges()));
+      registry.GetGauge("checker.graph.dup_edges")
+          .Set(static_cast<double>(result_.graph->num_duplicate_edges()));
+    }
+    // Value-interning telemetry: table totals plus how many NEW composite
+    // reps this run allocated per distinct state — the per-state allocator
+    // pressure the interned value layer is meant to shrink.
+    const Value::InternStats intern = Value::GetInternStats();
+    registry.GetGauge("value.intern.hits")
+        .Set(static_cast<double>(intern.hits));
+    registry.GetGauge("value.intern.misses")
+        .Set(static_cast<double>(intern.misses));
+    registry.GetGauge("value.intern.live")
+        .Set(static_cast<double>(intern.live));
+    registry.GetGauge("value.intern.bytes")
+        .Set(static_cast<double>(intern.bytes));
+    registry.GetGauge("checker.alloc.values_per_state")
+        .Set(result_.distinct_states > 0
+                 ? static_cast<double>(intern.misses -
+                                       intern_at_start_.misses) /
+                       static_cast<double>(result_.distinct_states)
+                 : 0);
+  }
+  if (events_->enabled()) {
+    if (result_.fingerprint_collisions > 0) {
+      events_->Emit(
+          obs::EventSeverity::kWarn, "checker", "fingerprint.collisions",
+          {{"collisions", common::StrCat(result_.fingerprint_collisions)}});
+    }
+    if (result_.violation.has_value()) {
+      events_->Emit(
+          obs::EventSeverity::kError, "checker", "violation.found",
+          {{"kind", result_.violation->kind},
+           {"trace_length", common::StrCat(result_.violation->trace.size())},
+           {"distinct", common::StrCat(result_.distinct_states)}});
+    }
+    if (!result_.status.ok()) {
+      events_->Emit(obs::EventSeverity::kWarn, "checker", "run.aborted",
+                    {{"status", result_.status.ToString()}});
+    }
+    events_->Emit(
+        obs::EventSeverity::kInfo, "checker", "run.completed",
+        {{"distinct", common::StrCat(result_.distinct_states)},
+         {"generated", common::StrCat(result_.generated_states)},
+         {"levels", common::StrCat(result_.levels_completed)},
+         {"workers", common::StrCat(workers_)},
+         {"violation",
+          result_.violation.has_value() ? result_.violation->kind : ""}});
+  }
+  return result_;
+}
+
+}  // namespace xmodel::tlax::internal

@@ -1,0 +1,306 @@
+#ifndef XMODEL_TLAX_EXPLORE_H_
+#define XMODEL_TLAX_EXPLORE_H_
+
+// Internal exploration-policy seam behind ModelChecker::Check — not part
+// of the public checker API. EngineBase owns everything policy-neutral
+// (seeding, expansion, invariant checks, trace rebuild, progress, result
+// publication); each ExplorationPolicy is a subclass that owns only the
+// scheduling of frontier work:
+//
+//   LevelSyncEngine (explore_level.cc)  — level-synchronous BFS, the
+//     deterministic default. Bit-identical to the pre-split checker.
+//   RelaxedEngine   (explore_relaxed.cc) — per-worker deques with work
+//     stealing, no barriers; order-dependent fields are approximate.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "obs/progress.h"
+#include "tlax/checker.h"
+#include "tlax/fpset.h"
+#include "tlax/spec.h"
+#include "tlax/state_graph.h"
+
+namespace xmodel::obs {
+class Counter;
+class EventLog;
+}  // namespace xmodel::obs
+
+namespace xmodel::tlax::internal {
+
+// How many frontier expansions happen between wall-clock polls when a
+// progress reporter is attached. Large enough that the clock read is
+// invisible in the states/sec budget, small enough that progress lines
+// land within ~a second of their nominal interval on realistic specs.
+constexpr uint32_t kProgressPollExpansions = 1024;
+
+// Expansion batch between watchdog heartbeats, in both policies: a level
+// (or the whole relaxed frontier) can take arbitrarily long, so
+// heartbeating only at its boundary reads as a stall under a tight
+// --stall-timeout-ms even though workers are making steady progress.
+constexpr uint32_t kHeartbeatBatchEntries = 1024;
+
+// Relaxed policy: entries a worker takes from its deque per grab, and
+// the cadence of its live-counter flush / heartbeat / progress poll.
+constexpr size_t kRelaxedBatchEntries = 64;
+
+// One unit of frontier work. The level batches own the full states (the
+// fingerprint table does not keep them); `key` is the discovery-order key
+// that makes batch order — and therefore every downstream key — a pure
+// function of the state graph, independent of worker count. The relaxed
+// policy never reads `key` or `gid` — it has no settled order.
+struct LevelEntry {
+  State state;
+  uint64_t fp = 0;
+  int64_t depth = 0;
+  uint64_t key = 0;
+  // record_graph: the settled graph id of this state, filled when the
+  // level is built (seeds at registration, later levels at the barrier).
+  uint32_t gid = StateGraph::kNoId;
+};
+
+// A violation observed while the frontier drains. Level-sync always
+// completes the violating level before choosing a winner (smallest key);
+// relaxed drains the whole reachable space and picks the smallest
+// (fingerprint, kind) — both rules are scheduling-independent.
+struct CandidateViolation {
+  uint64_t key = 0;
+  std::string kind;
+  uint64_t fp = 0;
+  State state;
+};
+
+// Discovery-order key of successor `ordinal` of action `ai` at the
+// parent in level position `parent_pos` — the order a serial scan visits
+// these events. A parent's deadlock event sorts after all its successor
+// events (the serial checker reports it after checking them) and before
+// the next parent's.
+inline uint64_t EventKey(size_t parent_pos, uint16_t ai, size_t ordinal) {
+  if (ordinal > 0xFFFE) ordinal = 0xFFFE;
+  return (static_cast<uint64_t>(parent_pos) << 32) |
+         (static_cast<uint64_t>(ai) << 16) | ordinal;
+}
+
+inline uint64_t DeadlockKey(size_t parent_pos) {
+  return (static_cast<uint64_t>(parent_pos) << 32) | 0xFFFFFFFFull;
+}
+
+// Policy-neutral core of the exploration engine. One engine per Check()
+// call; the policy subclass provides Run().
+class EngineBase {
+ public:
+  EngineBase(const CheckerOptions& options, const Spec& spec,
+             ExplorationPolicy policy);
+
+ protected:
+  // Per-worker accumulators. Level-sync merges and clears them at each
+  // level barrier; relaxed merges them once after the frontier drains
+  // (expanded spans the whole run under both — it feeds worker-balance
+  // counters).
+  struct Scratch {
+    std::vector<LevelEntry> next;
+    std::vector<CandidateViolation> candidates;
+    std::vector<State> successors;
+    // POR: states whose pending sleep mask shrank this level, with their
+    // full state for a potential wake re-enqueue. Settled at the barrier.
+    // (Level-sync only; relaxed settles wakes inside Insert.)
+    std::unordered_map<uint64_t, State> wake_candidates;
+    uint64_t generated = 0;
+    uint64_t slept = 0;
+    uint64_t expanded = 0;
+    int64_t diameter = 0;
+    // Worker idle-time profile (options.profile_workers). Level-sync:
+    // wall time spent inside DrainLevel vs. waiting at the fork-join
+    // barrier for the slowest worker, plus the stamp the wait is
+    // computed from. Relaxed: busy covers expansion work, steal covers
+    // probing other deques, starve covers spinning on a globally empty
+    // frontier (barrier_wait/drain_end stay 0).
+    int64_t busy_ns = 0;
+    int64_t barrier_wait_ns = 0;
+    int64_t drain_end_ns = 0;
+    int64_t steal_ns = 0;
+    int64_t starve_ns = 0;
+    uint64_t steals = 0;
+  };
+
+  // Common Run() preamble: stamps the start, resolves progress plumbing,
+  // emits run.started, builds the POR commuting masks and the graph
+  // recorder. Identical under both policies.
+  void StartRun();
+
+  // Serial: canonicalizes and inserts the spec's initial states, checking
+  // invariants on the constrained ones. Returns false when an initial
+  // state already violates (result_.violation is set).
+  bool SeedInitial(std::vector<LevelEntry>* level);
+
+  void ProcessEntry(const LevelEntry& entry, size_t pos, Scratch& s,
+                    int worker);
+  void CheckInvariants(const State& state, uint64_t fp, uint64_t key,
+                       Scratch& s);
+
+  // Rebuilds the counterexample behavior ending at `end_state` by walking
+  // the predecessor-fingerprint chain and replaying the recorded actions
+  // forward from the matching initial state.
+  std::vector<TraceStep> BuildTrace(uint64_t end_fp, const State& end_state);
+
+  void PollProgress(size_t level_size, size_t pos);
+  obs::CheckerProgress LiveSnapshot(int64_t now_ns,
+                                    uint64_t frontier_estimate);
+  CheckResult Finish(common::Status status);
+
+  static FingerprintSet::Options FpOptions(bool audit, bool por,
+                                           bool relaxed,
+                                           uint64_t all_actions) {
+    FingerprintSet::Options o;
+    o.audit = audit;  // Implies keep_states inside the table.
+    o.track_por = por;
+    o.immediate_por_settle = por && relaxed;
+    o.por_all_actions = all_actions;
+    return o;
+  }
+
+  const CheckerOptions& options_;
+  const Spec& spec_;
+  const std::vector<Action>& actions_;
+  const std::vector<Invariant>& invariants_;
+  common::MonotonicClock* const clock_;
+  obs::EventLog* const events_;
+  const bool fp_audit_;
+  const int workers_;
+  const ExplorationPolicy policy_;
+  const bool relaxed_;
+  // Sleep-set partial-order reduction (Godefroid): when expanding a
+  // state, actions in its sleep set are skipped; a successor reached via
+  // action a sleeps every action that commutes with a and was either
+  // already slept or explored earlier at the parent. Revisiting a state
+  // with a smaller sleep set shrinks the stored set (intersection) and
+  // re-expands ONLY the newly woken actions (the per-record `done` mask
+  // remembers what already ran), so every reachable state is eventually
+  // explored with every non-redundant action — the reduction removes
+  // redundant interleavings, not reachable states. Under level-sync,
+  // shrinks are two-phase: mid-level revisits only narrow a pending
+  // mask, and the level barrier settles it and re-enqueues woken states
+  // (fpset.h SettlePor), so every counter and trace is
+  // worker-count-invariant under POR too. Under relaxed there is no
+  // barrier: Insert settles shrinks immediately and the discovering
+  // worker re-enqueues the wake (fpset.h immediate_por_settle) — the
+  // explored state set stays exact, slept/generated tallies become
+  // approximate. Soundness requires the independence relation to respect
+  // the state constraint (see analysis::ComputeIndependence /
+  // RefineIndependence). Disabled under record_graph: the recorded graph
+  // must carry every edge for MBTCG/liveness.
+  const bool use_sleep_sets_;
+  const uint64_t all_actions_;
+  FingerprintSet fpset_;
+  common::WorkerPool pool_;
+  std::vector<Scratch> scratch_;
+  std::vector<uint64_t> commuting_mask_;  // Per action: bits of commuters.
+  std::unordered_map<uint64_t, State> initial_by_fp_;  // Replay anchors.
+
+  CheckResult result_;
+  int64_t start_ns_ = 0;
+  int64_t settle_ns_ = 0;  // Serial barrier work, run total (level-sync).
+  Value::InternStats intern_at_start_;
+  // Live-metric flushing: the portion of this run's tallies already
+  // published to the global counters mid-run (at level barriers, or per
+  // relaxed batch), so /metrics advances mid-run and Finish adds only
+  // the remainder (totals stay identical to publishing once at the
+  // end). Atomics because relaxed workers flush concurrently; level-sync
+  // only ever touches them from the barrier.
+  std::atomic<uint64_t> published_generated_{0};
+  std::atomic<uint64_t> published_distinct_{0};
+  std::atomic<uint64_t> published_slept_{0};
+
+  // Level-scoped shared state (level-sync); abort flag is shared by both
+  // policies.
+  std::atomic<size_t> next_index_{0};  // Parent-entry work cursor.
+  std::atomic<bool> abort_max_{false};
+
+  // Progress plumbing. Only worker 0 reads the clock and reports; the
+  // other workers flush per-parent deltas into the two relaxed atomics so
+  // its lines see the whole fleet's progress.
+  bool report_progress_ = false;
+  int64_t interval_ns_ = 0;
+  int64_t last_report_ns_ = 0;
+  uint64_t last_report_generated_ = 0;
+  uint32_t poll_countdown_ = kProgressPollExpansions;
+  std::atomic<uint64_t> generated_level_{0};
+  std::atomic<uint64_t> next_count_{0};
+};
+
+// The deterministic level-synchronous policy (the default, and the
+// pre-split behavior bit-for-bit). Workers pull parent entries from the
+// current level via an atomic cursor, push discoveries into worker-local
+// buffers, and barrier; the barrier merges tallies, settles the next
+// level's order (POR SettlePor, graph SettleLevel), and handles
+// violations/limits.
+class LevelSyncEngine : public EngineBase {
+ public:
+  LevelSyncEngine(const CheckerOptions& options, const Spec& spec)
+      : EngineBase(options, spec, ExplorationPolicy::kLevelSync) {}
+
+  CheckResult Run();
+
+ private:
+  void DrainLevel(const std::vector<LevelEntry>& level, int worker);
+};
+
+// The relaxed work-stealing policy: every worker owns a deque of frontier
+// entries; it drains its own from the front, steals half from a victim's
+// back when empty, and spins (starves) when the whole frontier is in
+// flight. No barriers — termination is a global in-flight counter
+// reaching zero. Violating runs drain the entire reachable space so the
+// candidate set (and with it distinct/generated and the verdict) is
+// schedule-independent; the reported trace/diameter/frontier peak are
+// approximate.
+class RelaxedEngine : public EngineBase {
+ public:
+  RelaxedEngine(const CheckerOptions& options, const Spec& spec)
+      : EngineBase(options, spec, ExplorationPolicy::kRelaxed) {}
+
+  CheckResult Run();
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<LevelEntry> entries;
+  };
+
+  void WorkerLoop(int worker);
+  // Moves up to kRelaxedBatchEntries from this worker's own deque (front)
+  // into `batch`; returns how many.
+  size_t PopOwn(int worker, std::vector<LevelEntry>* batch);
+  // One round-robin pass over the other workers' deques, taking up to
+  // half a victim's entries (from the back). Returns how many.
+  size_t Steal(int worker, std::vector<LevelEntry>* batch);
+  // Appends s.next to the worker's own deque, counting the new entries
+  // into pending_ BEFORE the caller retires the parent entry.
+  void PushDiscoveries(int worker, Scratch& s);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  // Frontier entries enqueued but not yet retired (a parent is retired
+  // only after its discoveries are enqueued, so the counter can never dip
+  // to zero while undiscovered work exists). Zero means done.
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> frontier_peak_{0};
+  // Cached global counters for the per-batch live flush (null when
+  // publish_metrics is off).
+  obs::Counter* live_generated_ = nullptr;
+  obs::Counter* live_distinct_ = nullptr;
+  obs::Counter* live_slept_ = nullptr;
+};
+
+}  // namespace xmodel::tlax::internal
+
+#endif  // XMODEL_TLAX_EXPLORE_H_

@@ -1,0 +1,247 @@
+// The relaxed work-stealing exploration policy: per-worker deques, no
+// level barriers. Each worker drains its own deque from the front,
+// steals half a victim's entries from the back when empty, and spins
+// when the whole frontier is in flight; termination is the global
+// in-flight counter reaching zero.
+//
+// Invariants this file is responsible for (see DESIGN.md "Exploration
+// policies"): the set of distinct states — and therefore the violation
+// verdict — is identical to level-sync at any worker count, because the
+// fingerprint table admits each state exactly once and invariants run on
+// every admitted state. A violating run drains the ENTIRE reachable
+// space and then picks the smallest (fingerprint, kind) candidate, so
+// the reported verdict is schedule-independent too. Everything
+// order-dependent — diameter (first-discovery depths), frontier peak
+// (sampled in-flight count), the counterexample trace, and POR
+// slept/generated tallies — is approximate and flagged as such in
+// CheckResult::order_fields_approximate.
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+#include "tlax/explore.h"
+
+namespace xmodel::tlax::internal {
+
+namespace {
+
+// Relaxed runs keep at most one violation candidate per worker — the
+// smallest (fingerprint, kind) — since the frontier is drained to
+// completion and the candidate count on a violating spec is otherwise
+// unbounded. The same comparator picks the global winner at the end.
+bool CandidateLess(const CandidateViolation& a, const CandidateViolation& b) {
+  return a.fp != b.fp ? a.fp < b.fp : a.kind < b.kind;
+}
+
+}  // namespace
+
+size_t RelaxedEngine::PopOwn(int worker, std::vector<LevelEntry>* batch) {
+  WorkerDeque& own = *deques_[static_cast<size_t>(worker)];
+  std::lock_guard<std::mutex> lock(own.mu);
+  const size_t take = std::min(kRelaxedBatchEntries, own.entries.size());
+  for (size_t i = 0; i < take; ++i) {
+    batch->push_back(std::move(own.entries.front()));
+    own.entries.pop_front();
+  }
+  return take;
+}
+
+size_t RelaxedEngine::Steal(int worker, std::vector<LevelEntry>* batch) {
+  for (int offset = 1; offset < workers_; ++offset) {
+    const int victim = (worker + offset) % workers_;
+    WorkerDeque& dq = *deques_[static_cast<size_t>(victim)];
+    std::lock_guard<std::mutex> lock(dq.mu);
+    if (dq.entries.empty()) continue;
+    // Take half the victim's backlog (its coldest entries, from the
+    // back), capped at one batch.
+    const size_t take = std::min((dq.entries.size() + 1) / 2,
+                                 kRelaxedBatchEntries);
+    for (size_t i = 0; i < take; ++i) {
+      batch->push_back(std::move(dq.entries.back()));
+      dq.entries.pop_back();
+    }
+    return take;
+  }
+  return 0;
+}
+
+void RelaxedEngine::PushDiscoveries(int worker, Scratch& s) {
+  // Count the children into the in-flight total BEFORE the caller
+  // retires their parent: the counter can never dip to zero while
+  // undiscovered work exists, which is what makes pending_ == 0 a safe
+  // termination signal.
+  pending_.fetch_add(s.next.size(), std::memory_order_release);
+  WorkerDeque& own = *deques_[static_cast<size_t>(worker)];
+  std::lock_guard<std::mutex> lock(own.mu);
+  for (LevelEntry& e : s.next) own.entries.push_back(std::move(e));
+  s.next.clear();
+}
+
+void RelaxedEngine::WorkerLoop(int worker) {
+  Scratch& s = scratch_[static_cast<size_t>(worker)];
+  const bool prof = options_.profile_workers;
+  int64_t last_stamp = prof ? clock_->NowNanos() : 0;
+  // Charges the wall time since the last stamp to one of the worker's
+  // three modes (busy / steal / starve); stamps happen only at mode
+  // transitions, not per entry.
+  auto charge = [&](int64_t Scratch::* field) {
+    if (!prof) return;
+    const int64_t now = clock_->NowNanos();
+    s.*field += now - last_stamp;
+    last_stamp = now;
+  };
+
+  std::vector<LevelEntry> batch;
+  batch.reserve(kRelaxedBatchEntries);
+  uint64_t flushed_generated = 0;
+  uint64_t flushed_slept = 0;
+  uint64_t local_peak = 0;
+  for (;;) {
+    if (abort_max_.load(std::memory_order_relaxed)) break;
+    batch.clear();
+    if (PopOwn(worker, &batch) == 0) {
+      if (Steal(worker, &batch) == 0) {
+        charge(&Scratch::steal_ns);
+        if (pending_.load(std::memory_order_acquire) == 0) break;
+        // The whole frontier is in some worker's hands; spin politely
+        // until children land in a deque or the counter drains.
+        std::this_thread::yield();
+        charge(&Scratch::starve_ns);
+        continue;
+      }
+      ++s.steals;
+      charge(&Scratch::steal_ns);
+    }
+
+    for (const LevelEntry& entry : batch) {
+      ProcessEntry(entry, 0, s, worker);
+      if (!s.next.empty()) PushDiscoveries(worker, s);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      if (s.candidates.size() > 1) {
+        CandidateViolation best = *std::min_element(
+            s.candidates.begin(), s.candidates.end(), CandidateLess);
+        s.candidates.clear();
+        s.candidates.push_back(std::move(best));
+      }
+    }
+    const uint64_t in_flight = pending_.load(std::memory_order_relaxed);
+    if (in_flight > local_peak) local_peak = in_flight;
+    charge(&Scratch::busy_ns);
+
+    // Batch boundary: watchdog heartbeat (there are no level barriers to
+    // heartbeat at), live-counter flush so a mid-run /metrics scrape
+    // advances, and — on worker 0 — a progress line when due.
+    if (options_.watchdog != nullptr) options_.watchdog->Heartbeat();
+    const uint64_t gen_delta = s.generated - flushed_generated;
+    if (gen_delta != 0) {
+      generated_level_.fetch_add(gen_delta, std::memory_order_relaxed);
+      if (live_generated_ != nullptr) {
+        live_generated_->Increment(gen_delta);
+        published_generated_.fetch_add(gen_delta,
+                                       std::memory_order_relaxed);
+      }
+      flushed_generated = s.generated;
+    }
+    if (live_slept_ != nullptr && s.slept != flushed_slept) {
+      live_slept_->Increment(s.slept - flushed_slept);
+      published_slept_.fetch_add(s.slept - flushed_slept,
+                                 std::memory_order_relaxed);
+      flushed_slept = s.slept;
+    }
+    if (worker == 0) {
+      if (live_distinct_ != nullptr) {
+        // fpset_.size() is monotone and only worker 0 publishes it, so
+        // the counter advances without racing another flusher.
+        const uint64_t distinct = fpset_.size();
+        const uint64_t already =
+            published_distinct_.load(std::memory_order_relaxed);
+        if (distinct > already) {
+          live_distinct_->Increment(distinct - already);
+          published_distinct_.store(distinct, std::memory_order_relaxed);
+        }
+      }
+      if (report_progress_) {
+        const int64_t now_ns = clock_->NowNanos();
+        if (now_ns - last_report_ns_ >= interval_ns_) {
+          obs::CheckerProgress p = LiveSnapshot(
+              now_ns, pending_.load(std::memory_order_relaxed));
+          options_.progress_reporter->Report(p);
+          last_report_ns_ = now_ns;
+          last_report_generated_ = p.generated_states;
+        }
+      }
+    }
+  }
+
+  // Merge this worker's peak sample; tallies merge serially after join.
+  uint64_t seen = frontier_peak_.load(std::memory_order_relaxed);
+  while (local_peak > seen &&
+         !frontier_peak_.compare_exchange_weak(seen, local_peak,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+CheckResult RelaxedEngine::Run() {
+  StartRun();
+
+  std::vector<LevelEntry> seeds;
+  if (!SeedInitial(&seeds)) return Finish(common::Status::OK());
+
+  deques_.reserve(static_cast<size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    deques_[i % static_cast<size_t>(workers_)]->entries.push_back(
+        std::move(seeds[i]));
+  }
+  pending_.store(seeds.size(), std::memory_order_relaxed);
+  frontier_peak_.store(seeds.size(), std::memory_order_relaxed);
+
+  if (options_.publish_metrics) {
+    auto& registry = obs::MetricsRegistry::Global();
+    live_generated_ = &registry.GetCounter("checker.states.generated");
+    live_distinct_ = &registry.GetCounter("checker.states.distinct");
+    live_slept_ = &registry.GetCounter("checker.por.actions_slept");
+  }
+
+  pool_.Run([this](int worker) { WorkerLoop(worker); });
+
+  std::vector<CandidateViolation> candidates;
+  for (Scratch& s : scratch_) {
+    result_.generated_states += s.generated;
+    result_.por_slept_actions += s.slept;
+    if (s.diameter > result_.diameter) result_.diameter = s.diameter;
+    for (CandidateViolation& c : s.candidates) {
+      candidates.push_back(std::move(c));
+    }
+    s.candidates.clear();
+  }
+  result_.frontier_peak = std::max(
+      result_.frontier_peak, frontier_peak_.load(std::memory_order_relaxed));
+
+  if (!candidates.empty()) {
+    // The frontier was drained to completion, so the candidate set is a
+    // pure function of the reachable states — the smallest (fp, kind)
+    // winner, and with it the verdict, is schedule-independent. Only the
+    // trace built from the (approximate) predecessor chain varies.
+    const CandidateViolation& best = *std::min_element(
+        candidates.begin(), candidates.end(), CandidateLess);
+    result_.violation =
+        Violation{best.kind, BuildTrace(best.fp, best.state)};
+    return Finish(common::Status::OK());
+  }
+  if (abort_max_.load(std::memory_order_relaxed)) {
+    return Finish(common::Status::ResourceExhausted(
+        common::StrCat("exceeded max distinct states (",
+                       options_.max_distinct_states, ")")));
+  }
+  return Finish(common::Status::OK());
+}
+
+}  // namespace xmodel::tlax::internal

@@ -64,13 +64,28 @@ FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
     }
   }
   if (options_.track_por) {
-    // Sleep-set intersect-merge (Godefroid), deferred: the shrink lands
-    // in the pending mask only. SettlePor folds it into the settled mask
-    // at the next level barrier, after every worker has drained — the
-    // intersection is commutative, so the settled result is independent
-    // of the order revisits arrived in.
-    rec.pending &= sleep_mask;
-    out.sleep_shrunk = rec.pending != rec.sleep;
+    if (options_.immediate_por_settle) {
+      // Barrier-free merge for the relaxed policy: settle the shrink now
+      // and decide the wake under the same shard lock. AcquireExpand and
+      // other revisits serialize on that lock, so a shrink either lands
+      // before an expansion reads the mask or uncovers work afterwards
+      // and wakes the record — no uncovered action is ever lost.
+      rec.pending &= sleep_mask;
+      rec.sleep = rec.pending;
+      if (!rec.queued &&
+          (options_.por_all_actions & ~rec.sleep & ~rec.done) != 0) {
+        rec.queued = true;
+        out.wake = true;
+      }
+    } else {
+      // Sleep-set intersect-merge (Godefroid), deferred: the shrink lands
+      // in the pending mask only. SettlePor folds it into the settled mask
+      // at the next level barrier, after every worker has drained — the
+      // intersection is commutative, so the settled result is independent
+      // of the order revisits arrived in.
+      rec.pending &= sleep_mask;
+      out.sleep_shrunk = rec.pending != rec.sleep;
+    }
   }
   if (options_.min_merge_pred && depth == rec.depth &&
       order_key < rec.order_key) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace xmodel::tlax {
 
@@ -31,16 +33,27 @@ class Timer {
   int64_t start_ns_;
 };
 
+// Relaxed mode flushes checker.trace.states.explored to the live registry
+// once per this many newly explored states, so a mid-run /metrics scrape
+// watches the counter advance instead of seeing 0 until the run ends.
+constexpr uint64_t kLiveFlushEntries = 1024;
+
 // End-of-run telemetry for one trace check (the checker.trace.* family).
+// `already_published` is the portion of states_explored the relaxed fold
+// already flushed live; only the remainder is added here so the counter
+// reconciles exactly with the final total.
 void PublishTraceMetrics(const TraceCheckOptions& options,
-                         const TraceCheckResult& result) {
+                         const TraceCheckResult& result,
+                         uint64_t already_published = 0) {
   if (!options.publish_metrics) return;
   auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("checker.policy")
+      .Set(options.exploration == ExplorationPolicy::kRelaxed ? 1 : 0);
   registry.GetCounter("checker.trace.runs.completed").Increment();
   registry.GetCounter("checker.trace.steps.checked")
       .Increment(result.step_actions.size());
   registry.GetCounter("checker.trace.states.explored")
-      .Increment(result.states_explored);
+      .Increment(result.states_explored - already_published);
   if (!result.ok()) {
     registry.GetCounter("checker.trace.violations.found").Increment();
   }
@@ -94,6 +107,16 @@ struct AdvanceContext {
   common::WorkerPool* pool = nullptr;
   std::vector<uint64_t>* worker_expansions = nullptr;
   obs::Histogram* level_hist = nullptr;
+  /// Relaxed policy: fold concurrently instead of stage-then-replay.
+  bool relaxed = false;
+  /// Heartbeaten once per drained expansion batch (both policies).
+  obs::Watchdog* watchdog = nullptr;
+  /// Relaxed live flush of checker.trace.states.explored: the counter and
+  /// the running tally of what has already been flushed to it. Both null
+  /// in level mode or when metrics are off; `published_explored` is
+  /// guarded by the relaxed fold mutex while the pool runs.
+  obs::Counter* live_explored = nullptr;
+  uint64_t* published_explored = nullptr;
 };
 
 // One staged successor: produced in parallel, consumed by the serial fold
@@ -108,13 +131,21 @@ struct StagedExpansion {
 // `target`), searching up to `options.max_hidden_steps` spec actions deep.
 // Returns the action names whose final step explained the match.
 //
-// Parallelism: workers expand layer states concurrently (action.next and
-// Matches are the hot path), staging (action, matched, successor) per
-// source state; a serial fold then replays exploration counting, the
-// search budget, dedup, and explaining-action order exactly as the serial
-// sweep would, so results are bit-identical across worker counts. The
-// fold ignores staged work past the budget cut-off, trading some wasted
-// expansion on exhausted layers for determinism.
+// Parallelism, level policy: workers expand layer states concurrently
+// (action.next and Matches are the hot path), staging (action, matched,
+// successor) per source state; a serial fold then replays exploration
+// counting, the search budget, dedup, and explaining-action order exactly
+// as the serial sweep would, so results are bit-identical across worker
+// counts. The fold ignores staged work past the budget cut-off, trading
+// some wasted expansion on exhausted layers for determinism.
+//
+// Relaxed policy: no staging — workers fold each successor under a mutex
+// as soon as it is produced, flushing the live explored counter and
+// heartbeating the watchdog per batch. The viable-state sets (and hence
+// the verdict) are schedule-independent while the budget holds; explored
+// counts near budget exhaustion and the attribution of a multiply
+// reachable state to one explaining action are not, so the explaining
+// list is sorted for stable output.
 std::vector<std::string> AdvanceFrontier(const Spec& spec,
                                          const TraceState& target,
                                          const TraceCheckOptions& options,
@@ -153,6 +184,58 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
     if (ctx.level_hist != nullptr) {
       ctx.level_hist->Observe(static_cast<double>(layer.size()));
     }
+    if (ctx.relaxed) {
+      // Relaxed fold: bookkeeping happens under `fold_mu` as successors
+      // arrive, in whatever order the workers produce them. Budget
+      // exhaustion raises `exhausted` so peers stop expanding instead of
+      // finishing the layer for a fold that would discard their work.
+      std::mutex fold_mu;
+      std::vector<State> next_layer;
+      std::atomic<size_t> cursor{0};
+      std::atomic<bool> exhausted{false};
+      ctx.pool->Run([&](int worker) {
+        std::vector<State> successors;
+        uint64_t expanded = 0;
+        while (!exhausted.load(std::memory_order_relaxed)) {
+          const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= layer.size()) break;
+          for (uint16_t ai = 0; ai < actions.size(); ++ai) {
+            successors.clear();
+            actions[ai].next(layer[i], &successors);
+            for (State& succ : successors) {
+              ++expanded;
+              const bool matched = target.Matches(succ.vars());
+              std::lock_guard<std::mutex> lock(fold_mu);
+              ++*states_explored;
+              if (budget > 0) --budget;
+              if (matched) {
+                if (next.Add(succ)) note_action(actions[ai].name);
+              }
+              if (depth < options.max_hidden_steps && budget > 0 &&
+                  visited.Add(succ)) {
+                next_layer.push_back(std::move(succ));
+              }
+              if (budget == 0) {
+                exhausted.store(true, std::memory_order_relaxed);
+              }
+              if (ctx.live_explored != nullptr &&
+                  *states_explored - *ctx.published_explored >=
+                      kLiveFlushEntries) {
+                ctx.live_explored->Increment(*states_explored -
+                                             *ctx.published_explored);
+                *ctx.published_explored = *states_explored;
+              }
+            }
+          }
+          if (ctx.watchdog != nullptr) ctx.watchdog->Heartbeat();
+        }
+        if (ctx.worker_expansions != nullptr) {
+          (*ctx.worker_expansions)[static_cast<size_t>(worker)] += expanded;
+        }
+      });
+      layer = std::move(next_layer);
+      continue;
+    }
     // Stage: expand every layer state, in parallel.
     std::vector<std::vector<StagedExpansion>> staged(layer.size());
     std::atomic<size_t> cursor{0};
@@ -172,15 +255,19 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
                                           std::move(succ)});
           }
         }
+        if (ctx.watchdog != nullptr) ctx.watchdog->Heartbeat();
       }
       if (ctx.worker_expansions != nullptr) {
         (*ctx.worker_expansions)[static_cast<size_t>(worker)] += expanded;
       }
     });
 
+    if (ctx.watchdog != nullptr) ctx.watchdog->Heartbeat();
+
     // Fold: serial replay of the classic bookkeeping over the staged
     // expansions, in source-state order.
     std::vector<State> next_layer;
+    uint64_t heartbeat_countdown = kLiveFlushEntries;
     for (size_t i = 0; i < layer.size(); ++i) {
       for (StagedExpansion& e : staged[i]) {
         ++*states_explored;
@@ -192,12 +279,19 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
             visited.Add(e.succ)) {
           next_layer.push_back(std::move(e.succ));
         }
+        if (ctx.watchdog != nullptr && --heartbeat_countdown == 0) {
+          heartbeat_countdown = kLiveFlushEntries;
+          ctx.watchdog->Heartbeat();
+        }
       }
       if (budget == 0) break;
     }
     layer = std::move(next_layer);
   }
   *frontier = std::move(next);
+  // Relaxed discovery order is schedule-dependent; sort so the reported
+  // explaining actions are stable run to run.
+  if (ctx.relaxed) std::sort(explaining.begin(), explaining.end());
   return explaining;
 }
 
@@ -205,14 +299,24 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
 
 TraceCheckResult TraceChecker::CheckParsed(const Spec& spec,
                                            const std::vector<TraceState>& trace,
-                                           uint64_t* states_explored) const {
+                                           uint64_t* states_explored,
+                                           uint64_t* published_explored) const {
   common::WorkerPool pool(common::ResolveWorkerCount(options_.num_workers));
   std::vector<uint64_t> worker_expansions(
       static_cast<size_t>(pool.num_workers()), 0);
   AdvanceContext ctx;
   ctx.pool = &pool;
   ctx.worker_expansions = &worker_expansions;
-  if (options_.publish_metrics) ctx.level_hist = &LevelSizeHistogram();
+  ctx.relaxed = options_.exploration == ExplorationPolicy::kRelaxed;
+  ctx.watchdog = options_.watchdog;
+  if (options_.publish_metrics) {
+    ctx.level_hist = &LevelSizeHistogram();
+    if (ctx.relaxed) {
+      ctx.live_explored = &obs::MetricsRegistry::Global().GetCounter(
+          "checker.trace.states.explored");
+      ctx.published_explored = published_explored;
+    }
+  }
 
   TraceCheckResult result = [&]() -> TraceCheckResult {
     TraceCheckResult result;
@@ -258,6 +362,7 @@ TraceCheckResult TraceChecker::Check(const Spec& spec,
                                      const std::vector<TraceState>& trace) const {
   Timer timer(options_.clock);
   uint64_t explored = 0;
+  uint64_t published = 0;
   TraceCheckResult result;
   if (options_.mode == TraceCheckMode::kPresslerReparse) {
     // Emulate by serializing once and delegating to CheckModule, which
@@ -266,16 +371,17 @@ TraceCheckResult TraceChecker::Check(const Spec& spec,
     result = CheckModule(spec, module);
     return result;
   }
-  result = CheckParsed(spec, trace, &explored);
+  result = CheckParsed(spec, trace, &explored, &published);
   result.states_explored = explored;
   result.seconds = timer.Seconds();
-  PublishTraceMetrics(options_, result);
+  PublishTraceMetrics(options_, result, published);
   return result;
 }
 
 TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
                                            const std::string& module_text) const {
   std::vector<uint64_t> worker_expansions;  // Pressler path only.
+  uint64_t published = 0;  // Live-flushed portion of states_explored.
   TraceCheckResult outer = [&]() -> TraceCheckResult {
   Timer timer(options_.clock);
   uint64_t explored = 0;
@@ -288,7 +394,7 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
       result.status = parsed.status();
       return result;
     }
-    result = CheckParsed(spec, *parsed, &explored);
+    result = CheckParsed(spec, *parsed, &explored, &published);
     result.states_explored = explored;
     result.seconds = timer.Seconds();
     return result;
@@ -317,7 +423,16 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
   AdvanceContext ctx;
   ctx.pool = &pool;
   ctx.worker_expansions = &worker_expansions;
-  if (options_.publish_metrics) ctx.level_hist = &LevelSizeHistogram();
+  ctx.relaxed = options_.exploration == ExplorationPolicy::kRelaxed;
+  ctx.watchdog = options_.watchdog;
+  if (options_.publish_metrics) {
+    ctx.level_hist = &LevelSizeHistogram();
+    if (ctx.relaxed) {
+      ctx.live_explored = &obs::MetricsRegistry::Global().GetCounter(
+          "checker.trace.states.explored");
+      ctx.published_explored = &published;
+    }
+  }
 
   Frontier frontier;
   for (size_t i = 0; i < num_steps; ++i) {
@@ -361,7 +476,7 @@ TraceCheckResult TraceChecker::CheckModule(const Spec& spec,
   result.seconds = timer.Seconds();
   return result;
   }();
-  PublishTraceMetrics(options_, outer);
+  PublishTraceMetrics(options_, outer, published);
   if (options_.publish_metrics) PublishWorkerExpansions(worker_expansions);
   return outer;
 }

@@ -7,8 +7,13 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "tlax/checker.h"
 #include "tlax/spec.h"
 #include "tlax/tla_text.h"
+
+namespace xmodel::obs {
+class Watchdog;
+}  // namespace xmodel::obs
 
 namespace xmodel::tlax {
 
@@ -46,6 +51,21 @@ struct TraceCheckOptions {
   /// explaining-action order are folded serially afterwards, so every
   /// result field is identical across worker counts.
   int num_workers = 1;
+  /// Exploration policy for the per-step hidden-state search. kLevelSync
+  /// (default) keeps the stage-then-fold discipline above: workers only
+  /// stage expansions, bookkeeping replays serially, results are
+  /// bit-identical across worker counts. kRelaxed folds concurrently as
+  /// expansions finish (no staging barrier): the accept/reject verdict
+  /// and failed_step stay exact (the viable-state sets are
+  /// schedule-independent while the step budget holds), but
+  /// states_explored near budget exhaustion and the attribution of a
+  /// state reachable via several actions to one explaining action become
+  /// schedule-dependent; explaining lists are sorted for stable output.
+  ExplorationPolicy exploration = ExplorationPolicy::kLevelSync;
+  /// Optional stall watchdog: heartbeats once per drained expansion batch
+  /// in both policies, so a wedged action expansion trips the stall
+  /// detector even mid-step. Not owned.
+  obs::Watchdog* watchdog = nullptr;
   /// Wall-time source for `seconds`; null = the process steady clock.
   common::MonotonicClock* clock = nullptr;
   /// Publish end-of-run checker.trace.* counters to the global registry.
@@ -93,7 +113,8 @@ class TraceChecker {
  private:
   TraceCheckResult CheckParsed(const Spec& spec,
                                const std::vector<TraceState>& trace,
-                               uint64_t* states_explored) const;
+                               uint64_t* states_explored,
+                               uint64_t* published_explored) const;
 
   TraceCheckOptions options_;
 };

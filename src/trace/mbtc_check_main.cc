@@ -15,6 +15,11 @@
 //   --no-stutter         disallow stuttering steps in the trace check
 //   --workers=N          trace-check expansion workers (0 = all cores);
 //                        results are identical across worker counts
+//   --explore=POLICY     per-step search policy: "level" (default,
+//                        deterministic stage-then-fold) or "relaxed"
+//                        (barrier-free concurrent fold — same verdict,
+//                        live-advancing explored counter, explaining
+//                        actions sorted)
 //   --metrics-out=FILE   write a metrics-registry snapshot as JSON
 //                        (crash-safe: temp file + atomic rename)
 //   --trace-out=FILE     record spans and write Chrome trace_event JSON
@@ -41,6 +46,7 @@
 #include "obs/watchdog.h"
 #include "repl/scenarios.h"
 #include "specs/raft_mongo_spec.h"
+#include "tlax/checker.h"
 #include "trace/mbtc_pipeline.h"
 #include "trace/trace_logger.h"
 
@@ -58,6 +64,7 @@ struct Options {
   bool abstract_variant = false;
   bool stutter = true;
   int workers = 1;
+  tlax::ExplorationPolicy explore = tlax::ExplorationPolicy::kLevelSync;
   int serve_port = -1;  // -1 = no HTTP server.
   int64_t serve_linger_ms = 0;
   int64_t stall_timeout_ms = 30'000;
@@ -66,8 +73,8 @@ struct Options {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <log_directory> [--abstract] [--no-stutter]\n"
-               "           [--workers=N] [--metrics-out=FILE] "
-               "[--trace-out=FILE]\n"
+               "           [--workers=N] [--explore=level|relaxed]\n"
+               "           [--metrics-out=FILE] [--trace-out=FILE]\n"
                "           [--events-out=FILE] [--serve=PORT] "
                "[--serve-linger-ms=N]\n"
                "           [--stall-timeout-ms=N]\n"
@@ -107,6 +114,11 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->workers = std::atoi(arg.c_str() + 10);
       if (options->workers < 0) {
         std::fprintf(stderr, "--workers must be >= 0\n");
+        return false;
+      }
+    } else if (arg.rfind("--explore=", 0) == 0) {
+      if (!tlax::ParseExplorationPolicy(arg.substr(10), &options->explore)) {
+        std::fprintf(stderr, "--explore must be 'level' or 'relaxed'\n");
         return false;
       }
     } else if (!arg.empty() && arg[0] != '-' &&
@@ -242,6 +254,11 @@ int main(int argc, char** argv) {
   trace::MbtcPipelineOptions pipeline_options;
   pipeline_options.checker.allow_stuttering = options.stutter;
   pipeline_options.checker.num_workers = options.workers;
+  pipeline_options.checker.exploration = options.explore;
+  // The checker heartbeats per drained expansion batch (on top of the
+  // pipeline's per-phase beats), so /healthz stays live inside a long
+  // trace-check phase.
+  pipeline_options.checker.watchdog = &watchdog;
   pipeline_options.watchdog = &watchdog;
   trace::MbtcPipeline pipeline(&spec, pipeline_options);
   trace::MbtcReport report = pipeline.Run(files);

@@ -30,10 +30,21 @@ Checks every file argument and exits nonzero on the first problem:
   the extraction gauges `mbtcg.extract.{roots,cases,seconds}` must all be
   present together, finite, and non-negative.
 - Worker-profile sanity (any snapshot containing the idle-time profiler's
-  checker.worker<N>.{busy_ms,barrier_wait_ms} gauges): each worker index
-  must be well-formed and carry both gauges, finite and non-negative;
-  `checker.barrier.settle_ms` must be a finite non-negative gauge and
-  `checker.barrier.idle_fraction` a finite gauge in [0, 1].
+  checker.worker<N>.{busy_ms,barrier_wait_ms,steal_ms,starve_ms} gauges):
+  each worker index must be well-formed, every gauge finite and
+  non-negative, and every profiled worker must carry busy_ms. A worker
+  without barrier_wait_ms is only legal for a relaxed run — checker.policy
+  must be present as 1 and the worker must carry the steal_ms/starve_ms
+  pair instead. `checker.barrier.settle_ms` must be a finite non-negative
+  gauge and `checker.barrier.idle_fraction` / `checker.idle_fraction`
+  finite gauges in [0, 1].
+- Exploration-policy sanity (any snapshot containing checker.policy or
+  checker.worker<N>.steals): `checker.policy` must be a gauge valued 0
+  (level) or 1 (relaxed); steal counters must carry well-formed, dense
+  worker indexes and be finite and non-negative; a nonzero steal count
+  requires checker.policy == 1 (level-sync never steals — a zero-valued
+  steals family with policy 0 is legal, it is a relaxed registration left
+  behind by a registry reset).
 - Obs-HTTP sanity (any snapshot containing obs.http.* metrics): the
   `obs.http.{requests,bytes}` counters are published together and
   non-negative.
@@ -164,13 +175,20 @@ def validate_value_family(path, metrics):
                 f"got {value!r}")
 
 
+def _policy_value(metrics):
+    """checker.policy's value, or None when the gauge is absent."""
+    policy = metrics.get("checker.policy")
+    return policy.get("value") if policy is not None else None
+
+
 def validate_worker_profile_family(path, metrics):
     """Cross-metric sanity for the worker idle-time profiler's gauges."""
+    leaves = (".busy_ms", ".barrier_wait_ms", ".steal_ms", ".starve_ms")
     profiled = {}
     for name, entry in metrics.items():
         if not name.startswith("checker.worker"):
             continue
-        for leaf in (".busy_ms", ".barrier_wait_ms"):
+        for leaf in leaves:
             if name.endswith(leaf):
                 index = name[len("checker.worker"):-len(leaf)]
                 require(index.isdigit(), path,
@@ -183,10 +201,24 @@ def validate_worker_profile_family(path, metrics):
                         and math.isfinite(value) and value >= 0, path,
                         f"{name!r} must be finite and >= 0, got {value!r}")
                 profiled.setdefault(int(index), set()).add(leaf)
-    for index, leaves in sorted(profiled.items()):
-        require(len(leaves) == 2, path,
-                f"worker {index} publishes only {sorted(leaves)}; busy_ms "
-                f"and barrier_wait_ms are published together")
+    for index, worker_leaves in sorted(profiled.items()):
+        require(".busy_ms" in worker_leaves, path,
+                f"worker {index} publishes {sorted(worker_leaves)} without "
+                f"busy_ms; every profiled worker is timed")
+        require((".steal_ms" in worker_leaves) ==
+                (".starve_ms" in worker_leaves), path,
+                f"worker {index} publishes only one of steal_ms/starve_ms; "
+                f"the relaxed profile publishes them together")
+        if ".barrier_wait_ms" not in worker_leaves:
+            # Only a relaxed run profiles without barriers, and it must
+            # say so via checker.policy and the steal/starve pair.
+            require(_policy_value(metrics) == 1, path,
+                    f"worker {index} has busy_ms but no barrier_wait_ms "
+                    f"and checker.policy is not 1 — only a relaxed run "
+                    f"may omit the barrier profile")
+            require(".steal_ms" in worker_leaves, path,
+                    f"worker {index} omits barrier_wait_ms (relaxed) but "
+                    f"publishes no steal_ms/starve_ms pair")
     if profiled:
         require(sorted(profiled) == list(range(len(profiled))), path,
                 f"worker profile indexes are not dense from 0: "
@@ -199,15 +231,51 @@ def validate_worker_profile_family(path, metrics):
                 and value >= 0, path,
                 f"checker.barrier.settle_ms must be a finite non-negative "
                 f"gauge, got {value!r}")
-    idle = metrics.get("checker.barrier.idle_fraction")
-    if idle is not None:
-        require(idle.get("kind") == "gauge", path,
-                "checker.barrier.idle_fraction must be a gauge")
-        value = idle.get("value")
-        require(isinstance(value, (int, float)) and math.isfinite(value)
-                and 0 <= value <= 1, path,
-                f"checker.barrier.idle_fraction must be finite in [0, 1], "
-                f"got {value!r}")
+    for name in ("checker.barrier.idle_fraction", "checker.idle_fraction"):
+        idle = metrics.get(name)
+        if idle is not None:
+            require(idle.get("kind") == "gauge", path,
+                    f"{name} must be a gauge")
+            value = idle.get("value")
+            require(isinstance(value, (int, float)) and math.isfinite(value)
+                    and 0 <= value <= 1, path,
+                    f"{name} must be finite in [0, 1], got {value!r}")
+
+
+def validate_policy_family(path, metrics):
+    """Exploration-policy sanity: checker.policy + the steal counters."""
+    policy_value = _policy_value(metrics)
+    if "checker.policy" in metrics:
+        require(metrics["checker.policy"].get("kind") == "gauge", path,
+                "checker.policy must be a gauge")
+        require(policy_value in (0, 1), path,
+                f"checker.policy must be 0 (level) or 1 (relaxed), "
+                f"got {policy_value!r}")
+    steals = {}
+    for name, entry in metrics.items():
+        if name.startswith("checker.worker") and name.endswith(".steals"):
+            index = name[len("checker.worker"):-len(".steals")]
+            require(index.isdigit(), path,
+                    f"steal counter {name!r} has a malformed worker "
+                    f"index {index!r}")
+            require(entry.get("kind") == "counter", path,
+                    f"{name!r} must be a counter")
+            value = entry.get("value")
+            require(isinstance(value, (int, float)) and math.isfinite(value)
+                    and value >= 0, path,
+                    f"{name!r} must be finite and >= 0, got {value!r}")
+            steals[int(index)] = value
+    if steals:
+        require(sorted(steals) == list(range(len(steals))), path,
+                f"steal counter indexes are not dense from 0: "
+                f"{sorted(steals)}")
+        require("checker.policy" in metrics, path,
+                "checker.worker<N>.steals without checker.policy — the "
+                "relaxed engine publishes both")
+        if any(value > 0 for value in steals.values()):
+            require(policy_value == 1, path,
+                    f"nonzero steal counts with checker.policy == "
+                    f"{policy_value!r} — level-sync never steals")
 
 
 def validate_obs_http_family(path, metrics):
@@ -317,6 +385,7 @@ def validate_families(path, metrics):
     """Runs every cross-metric family check over a name -> entry dict."""
     validate_checker_family(path, metrics)
     validate_worker_profile_family(path, metrics)
+    validate_policy_family(path, metrics)
     validate_obs_http_family(path, metrics)
     validate_value_family(path, metrics)
     validate_graph_family(path, metrics)
@@ -411,11 +480,16 @@ def validate_prometheus_text(path, text):
     def sample(name):
         return samples.get(name)
 
-    idle = sample("checker_barrier_idle_fraction")
-    if idle is not None:
-        require(math.isfinite(idle) and 0 <= idle <= 1, path,
-                f"checker_barrier_idle_fraction must be finite in [0, 1], "
-                f"got {idle!r}")
+    for name in ("checker_barrier_idle_fraction", "checker_idle_fraction"):
+        idle = sample(name)
+        if idle is not None:
+            require(math.isfinite(idle) and 0 <= idle <= 1, path,
+                    f"{name} must be finite in [0, 1], got {idle!r}")
+    policy = sample("checker_policy")
+    if policy is not None:
+        require(policy in (0, 1), path,
+                f"checker_policy must be 0 (level) or 1 (relaxed), "
+                f"got {policy!r}")
     settle = sample("checker_barrier_settle_ms")
     if settle is not None:
         require(math.isfinite(settle) and settle >= 0, path,
@@ -432,22 +506,48 @@ def validate_prometheus_text(path, text):
                 f"obs_http_* counters are published together; found "
                 f"only {http}")
     profiled = {}
+    steals = {}
     for name, value in samples.items():
-        m = re.match(r"^checker_worker(\d+)_(busy_ms|barrier_wait_ms)$",
+        m = re.match(r"^checker_worker(\d+)_"
+                     r"(busy_ms|barrier_wait_ms|steal_ms|starve_ms|steals)$",
                      name)
         if m is None:
             continue
         require(math.isfinite(value) and value >= 0, path,
                 f"{name!r} must be finite and >= 0, got {value!r}")
-        profiled.setdefault(int(m.group(1)), set()).add(m.group(2))
+        if m.group(2) == "steals":
+            steals[int(m.group(1))] = value
+        else:
+            profiled.setdefault(int(m.group(1)), set()).add(m.group(2))
     for index, leaves in sorted(profiled.items()):
-        require(len(leaves) == 2, path,
-                f"worker {index} publishes only {sorted(leaves)}; busy_ms "
-                f"and barrier_wait_ms are published together")
+        require("busy_ms" in leaves, path,
+                f"worker {index} publishes {sorted(leaves)} without "
+                f"busy_ms; every profiled worker is timed")
+        require(("steal_ms" in leaves) == ("starve_ms" in leaves), path,
+                f"worker {index} publishes only one of steal_ms/starve_ms")
+        if "barrier_wait_ms" not in leaves:
+            require(policy == 1, path,
+                    f"worker {index} has busy_ms but no barrier_wait_ms "
+                    f"and checker_policy is not 1 — only a relaxed run "
+                    f"may omit the barrier profile")
+            require("steal_ms" in leaves, path,
+                    f"worker {index} omits barrier_wait_ms (relaxed) but "
+                    f"publishes no steal_ms/starve_ms pair")
     if profiled:
         require(sorted(profiled) == list(range(len(profiled))), path,
                 f"worker profile indexes are not dense from 0: "
                 f"{sorted(profiled)}")
+    if steals:
+        require(sorted(steals) == list(range(len(steals))), path,
+                f"steal counter indexes are not dense from 0: "
+                f"{sorted(steals)}")
+        require(policy is not None, path,
+                "checker_worker<N>_steals without checker_policy — the "
+                "relaxed engine publishes both")
+        if any(value > 0 for value in steals.values()):
+            require(policy == 1, path,
+                    f"nonzero steal counts with checker_policy == "
+                    f"{policy!r} — level-sync never steals")
     return f"prometheus: {len(declared)} metrics"
 
 
