@@ -103,11 +103,18 @@ bool RunRow(const Row& row, int workers,
 int main(int argc, char** argv) {
   xmodel::bench::Harness bench("state_space", argc, argv);
   int workers = 1;
+  unsigned long long mem_budget_mb = 1;  // Tight budget for the spill sweep.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = std::atoi(argv[i] + 10);
       if (workers < 0) {
         std::fprintf(stderr, "--workers must be >= 0\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
+      mem_budget_mb = std::strtoull(argv[i] + 16, nullptr, 10);
+      if (mem_budget_mb == 0) {
+        std::fprintf(stderr, "--mem-budget-mb must be >= 1\n");
         return 2;
       }
     }
@@ -230,6 +237,87 @@ int main(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  // Out-of-core spill sweep: the same check with the seen-set unlimited
+  // in memory vs. bounded to --mem-budget-mb (default 1 MB — tight
+  // enough that the hot table evicts several generations of sorted run
+  // files and the frontier overflows to segment files). The out-of-core
+  // contract is that none of this is observable in the results: distinct
+  // states must be bit-identical, or the bench fails outright. What the
+  // rows show is the price — states/sec with and without the disk tier,
+  // plus the spill_* counters for the artifact.
+  {
+    RaftMongoConfig config;
+    config.variant = RaftMongoVariant::kDetailed;
+    config.num_nodes = 3;
+    config.max_term = 2;
+    config.max_oplog_len = bench.quick() ? 2 : 3;
+    RaftMongoSpec spec(config);
+    std::printf("\nout-of-core spill sweep (Detailed, terms<=2 oplog<=%lld, "
+                "budget %llu MB):\n",
+                static_cast<long long>(config.max_oplog_len), mem_budget_mb);
+    unsigned long long unlimited_distinct = 0;
+    double unlimited_rate = 0;
+    for (bool tight : {false, true}) {
+      xmodel::tlax::CheckerOptions options;
+      options.num_workers = workers;
+      options.watchdog = bench.watchdog();
+      options.progress_reporter = bench.progress();
+      if (tight) {
+        // Spill dir left empty: a per-process temp directory, removed
+        // when the run finishes.
+        options.memory_budget_mb = mem_budget_mb;
+      }
+      auto result = xmodel::tlax::ModelChecker(options).Check(spec);
+      if (!result.status.ok()) {
+        return bench.Fail("spill sweep check aborted");
+      }
+      double rate = result.seconds > 0
+                        ? static_cast<double>(result.generated_states) /
+                              result.seconds
+                        : 0;
+      if (!tight) {
+        unlimited_distinct = result.distinct_states;
+        unlimited_rate = rate;
+        std::printf("  unlimited            %12llu states  %8.2f s  "
+                    "%10.0f states/sec\n",
+                    static_cast<unsigned long long>(result.distinct_states),
+                    result.seconds, rate);
+        bench.AddResult("spill_unlimited_states_per_sec", rate);
+        continue;
+      }
+      if (result.distinct_states != unlimited_distinct) {
+        return bench.Fail(xmodel::common::StrCat(
+            "out-of-core run changed distinct_states: ", unlimited_distinct,
+            " unlimited vs ", result.distinct_states, " at ", mem_budget_mb,
+            " MB"));
+      }
+      std::printf("  budget %4llu MB       %12llu states  %8.2f s  "
+                  "%10.0f states/sec (%.2fx)  %llu generations  %llu runs  "
+                  "%.1f MB spilled  %llu frontier segment(s)\n",
+                  mem_budget_mb,
+                  static_cast<unsigned long long>(result.distinct_states),
+                  result.seconds, rate,
+                  unlimited_rate > 0 ? rate / unlimited_rate : 0,
+                  static_cast<unsigned long long>(result.spill_generations),
+                  static_cast<unsigned long long>(result.spill_runs),
+                  static_cast<double>(result.spill_bytes) / (1 << 20),
+                  static_cast<unsigned long long>(result.frontier_segments));
+      bench.AddResult("spill_tight_states_per_sec", rate);
+      bench.AddResult("spill_generations",
+                      static_cast<double>(result.spill_generations));
+      bench.AddResult("spill_runs", static_cast<double>(result.spill_runs));
+      bench.AddResult("spill_records",
+                      static_cast<double>(result.spill_records));
+      bench.AddResult("spill_bytes", static_cast<double>(result.spill_bytes));
+      bench.AddResult("spill_compactions",
+                      static_cast<double>(result.spill_compactions));
+      bench.AddResult("spill_probe_ms", result.spill_probe_ms);
+      bench.AddResult("spill_merge_ms", result.spill_merge_ms);
+      bench.AddResult("spill_frontier_segments",
+                      static_cast<double>(result.frontier_segments));
     }
   }
 

@@ -30,6 +30,21 @@
 //   xmodel_lint --serve-linger-ms=N keep serving for N ms after the run
 //                                   (or until GET /quitquitquit)
 //   xmodel_lint --stall-timeout-ms=N  watchdog threshold (default 30000)
+//   xmodel_lint --mem-budget-mb=N   out-of-core model-check pass: bound
+//                                   the hot fingerprint table to ~N MB,
+//                                   spilling the rest as sorted run
+//                                   files (0 = unlimited). Implies the
+//                                   pass skips graph recording (SCC
+//                                   counts read 0), like --explore=relaxed.
+//   xmodel_lint --spill-dir=DIR     where spill runs/segments live
+//                                   (default: checkpoint dir, else a
+//                                   per-process temp dir)
+//   xmodel_lint --checkpoint-dir=DIR  periodically checkpoint the
+//                                     model-check pass; resumable
+//   xmodel_lint --checkpoint-every-s=N  seconds between checkpoints
+//                                       (0 = every barrier)
+//   xmodel_lint --resume            resume the model-check pass from
+//                                   --checkpoint-dir's manifest
 //
 // Besides the static passes, each spec gets a bounded model check (capped
 // at --max-samples distinct states) so the lint run also smoke-tests the
@@ -52,6 +67,7 @@
 #include "analysis/lock_order.h"
 #include "analysis/spec_lint.h"
 #include "analysis/spec_registry.h"
+#include "common/fileio.h"
 #include "common/strings.h"
 #include "obs/eventlog.h"
 #include "obs/export.h"
@@ -83,6 +99,11 @@ struct Options {
   int serve_port = -1;  // -1 = no HTTP server.
   int64_t serve_linger_ms = 0;
   int64_t stall_timeout_ms = 30'000;
+  uint64_t mem_budget_mb = 0;
+  std::string spill_dir;
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_s = 0;
+  bool resume = false;
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -129,6 +150,16 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->serve_linger_ms = std::atoll(arg.c_str() + 18);
     } else if (arg.rfind("--stall-timeout-ms=", 0) == 0) {
       options->stall_timeout_ms = std::atoll(arg.c_str() + 19);
+    } else if (arg.rfind("--mem-budget-mb=", 0) == 0) {
+      options->mem_budget_mb = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else if (arg.rfind("--spill-dir=", 0) == 0) {
+      options->spill_dir = arg.substr(12);
+    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      options->checkpoint_dir = arg.substr(17);
+    } else if (arg.rfind("--checkpoint-every-s=", 0) == 0) {
+      options->checkpoint_every_s = std::atoll(arg.c_str() + 21);
+    } else if (arg == "--resume") {
+      options->resume = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -218,13 +249,34 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   // frontier is what actually runs.
   const bool relaxed =
       options.explore == tlax::ExplorationPolicy::kRelaxed;
+  // Out-of-core requests also skip recording: spilling is incompatible
+  // with record_graph (the graph pins every state in memory, which is
+  // exactly what a memory budget says won't fit).
+  const bool out_of_core = options.mem_budget_mb > 0 ||
+                           !options.spill_dir.empty() ||
+                           !options.checkpoint_dir.empty();
   tlax::CheckerOptions check_options;
   check_options.exploration = options.explore;
   check_options.num_workers = options.workers;
   check_options.max_distinct_states = options.max_samples;
-  check_options.record_graph = !relaxed;
+  check_options.record_graph = !relaxed && !out_of_core;
   check_options.watchdog = watchdog;
   check_options.progress_reporter = progress;
+  check_options.memory_budget_mb = options.mem_budget_mb;
+  check_options.checkpoint_every_s = options.checkpoint_every_s;
+  check_options.resume = options.resume;
+  // Lint checks every registered spec in one invocation, and manifests
+  // and run files are per-run, so each spec gets its own subdirectory.
+  if (!options.spill_dir.empty()) {
+    (void)common::EnsureDir(options.spill_dir);
+    check_options.spill_dir =
+        common::StrCat(options.spill_dir, "/", spec.name());
+  }
+  if (!options.checkpoint_dir.empty()) {
+    (void)common::EnsureDir(options.checkpoint_dir);
+    check_options.checkpoint_dir =
+        common::StrCat(options.checkpoint_dir, "/", spec.name());
+  }
   tlax::ModelChecker checker(check_options);
   tlax::CheckResult check = checker.Check(spec);
   summary.check_distinct = check.distinct_states;

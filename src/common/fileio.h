@@ -1,0 +1,50 @@
+#ifndef XMODEL_COMMON_FILEIO_H_
+#define XMODEL_COMMON_FILEIO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmodel::common {
+
+// Crash-safe file primitives shared by the observability exporters and
+// the out-of-core checker (sealed fingerprint runs, frontier spill
+// segments, checkpoint manifests). The durability contract every writer
+// here relies on: a reader never observes a half-written file — it sees
+// either the old content or the new content — and, with `durable`, a
+// completed write survives power loss (fsync on the file, then on its
+// parent directory so the rename itself is persisted).
+
+struct WriteFileOptions {
+  /// fsync the temp file before the rename and the parent directory
+  /// after it. Off by default: metrics/bench reports only need
+  /// atomicity; checkpoint artifacts need durability too.
+  bool durable = false;
+};
+
+/// Atomically replaces `path` with `contents`: writes a pid-suffixed
+/// sibling temp file, then renames it over the target.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const WriteFileOptions& options = {});
+
+/// Reads the whole file into `*out`. NotFound when it does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Creates `path` and any missing ancestors (mkdir -p). OK when the
+/// directory already exists.
+Status EnsureDir(const std::string& path);
+
+/// Names (not paths) of regular files directly inside `dir`, sorted.
+Status ListDirFiles(const std::string& dir, std::vector<std::string>* out);
+
+/// Removes a file; OK when it does not already exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// File size in bytes; NotFound when absent.
+Result<uint64_t> FileSize(const std::string& path);
+
+}  // namespace xmodel::common
+
+#endif  // XMODEL_COMMON_FILEIO_H_

@@ -29,6 +29,11 @@ struct GenerateOptions {
   /// always clamps back to level-sync — the checker's notice is surfaced
   /// in GenerationReport::policy_notice so callers can tell the user.
   tlax::ExplorationPolicy exploration = tlax::ExplorationPolicy::kLevelSync;
+  /// Requested out-of-core memory budget (CLI parity with the other
+  /// tools). Generation records the state graph, which pins every state
+  /// in memory, so the checker always gates spilling off here — the
+  /// explanation is surfaced in GenerationReport::spill_notice.
+  uint64_t memory_budget_mb = 0;
 };
 
 /// Statistics from one end-to-end MBTCG run.
@@ -50,6 +55,9 @@ struct GenerationReport {
   /// Non-empty when the requested exploration policy was clamped (e.g.
   /// relaxed → level-sync because generation records the graph).
   std::string policy_notice;
+  /// Non-empty when a requested memory budget was gated off (graph
+  /// recording is incompatible with spilling).
+  std::string spill_notice;
 };
 
 /// The paper's §5.2 pipeline, end to end: model-check the array_ot spec

@@ -5,7 +5,7 @@
 //
 // Usage: mbtcg_gen <output.cc> [max_cases] [--swap] [--descending]
 //                  [--workers=N] [--via-dot] [--explore=level|relaxed]
-//                  [--metrics-out=FILE]
+//                  [--mem-budget-mb=N] [--metrics-out=FILE]
 //
 // --workers drives both the graph-recording model check and the per-leaf
 // extraction fan-out (0 = one per hardware thread); the generated file is
@@ -14,6 +14,9 @@
 // the in-memory fast path. --explore=relaxed is accepted for CLI parity
 // but always clamps back to level-sync (generation records the state
 // graph, which needs level barriers); the clamp notice is printed.
+// --mem-budget-mb is likewise accepted for parity but always gated off:
+// generation pins the whole state graph in memory, so the checker cannot
+// spill its seen-set; the gating notice is printed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +33,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <output.cc> [max_cases] [--swap] [--descending] "
                  "[--workers=N] [--via-dot] [--explore=level|relaxed] "
-                 "[--metrics-out=FILE]\n",
+                 "[--mem-budget-mb=N] [--metrics-out=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -58,6 +61,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--explore must be 'level' or 'relaxed'\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
+      gen_options.memory_budget_mb =
+          std::strtoull(argv[i] + 16, nullptr, 10);
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else {
@@ -75,6 +81,9 @@ int main(int argc, char** argv) {
   }
   if (!report.policy_notice.empty()) {
     std::fprintf(stderr, "mbtcg_gen: %s\n", report.policy_notice.c_str());
+  }
+  if (!report.spill_notice.empty()) {
+    std::fprintf(stderr, "mbtcg_gen: %s\n", report.spill_notice.c_str());
   }
 
   // Deterministic sampling: take every k-th case when limited, so the

@@ -1,10 +1,9 @@
 #include "obs/export.h"
 
-#include <unistd.h>
-
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "common/fileio.h"
 
 namespace xmodel::obs {
 
@@ -109,28 +108,9 @@ common::Json ToJson(const RegistrySnapshot& snapshot) {
 
 common::Status WriteJsonFile(const common::Json& doc,
                              const std::string& path) {
-  // Crash-safe replace: write a sibling temp file, then rename over the
-  // target. A reader (or a crash mid-write) never sees a truncated
-  // document — the old file stays intact until the rename lands. The pid
-  // suffix keeps concurrent writers from clobbering each other's temp.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
-    if (!out) {
-      return common::Status::NotFound("cannot open " + tmp + " for writing");
-    }
-    out << doc.Dump() << "\n";
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return common::Status::Internal("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return common::Status::Internal("cannot rename " + tmp + " to " + path);
-  }
-  return common::Status::OK();
+  // Crash-safe replace via the shared temp-file + atomic-rename helper:
+  // a reader (or a crash mid-write) never sees a truncated document.
+  return common::WriteFileAtomic(path, doc.Dump() + "\n");
 }
 
 common::Status WriteMetricsJson(const RegistrySnapshot& snapshot,

@@ -137,6 +137,38 @@ struct CheckerOptions {
   /// fingerprint table otherwise saves — a debug mode, also switchable
   /// via the XMODEL_FP_AUDIT environment variable (any value but "0").
   bool fp_audit = false;
+  /// Out-of-core checking (the TLC disk-tiered fingerprint set): when
+  /// nonzero, the hot fingerprint table is bounded to roughly this many
+  /// megabytes; crossing the budget evicts it as a sorted,
+  /// delta-compressed run file with a Bloom filter, probed on inserts, so
+  /// the checker handles state spaces far larger than RAM with
+  /// bit-identical distinct/verdict results. 0 = unlimited (no spilling).
+  /// Spilling is incompatible with fp_audit, sleep-set POR, and
+  /// record_graph (those need full states or mutable records resident);
+  /// when one of them is active the budget is ignored and
+  /// CheckResult::spill_notice explains.
+  uint64_t memory_budget_mb = 0;
+  /// Directory for spill runs and frontier segments. Empty = use
+  /// checkpoint_dir when set, else a per-process temp directory removed
+  /// at the end of the run.
+  std::string spill_dir;
+  /// Checkpoint/resume: when set, the run periodically evicts all state
+  /// to disk and writes an atomic MANIFEST.json here naming the sealed
+  /// runs, frontier segments, and counters — a killed run resumes (see
+  /// `resume`) with identical final results. Implies spilling (with or
+  /// without a memory budget) and durable (fsync'd) writes.
+  std::string checkpoint_dir;
+  /// Seconds between checkpoints. 0 = checkpoint at every level barrier
+  /// (level-sync) or stop-the-world boundary (relaxed).
+  int64_t checkpoint_every_s = 0;
+  /// Resume from checkpoint_dir's manifest instead of seeding from the
+  /// spec. Missing manifest is a clean error; a corrupt run or segment
+  /// file is kCorruption. The relaxed policy requires the same
+  /// num_workers the checkpoint was written with.
+  bool resume = false;
+  /// Frontier entries kept in memory before overflowing to segment
+  /// files. 0 = derive from memory_budget_mb (unbounded when no budget).
+  uint64_t frontier_inmem_entries = 0;
 };
 
 /// A step in a counterexample trace: the action that was taken to reach
@@ -222,6 +254,24 @@ struct CheckResult {
   /// Present when options.record_graph was set.
   std::shared_ptr<StateGraph> graph;
   double seconds = 0;
+
+  /// Out-of-core tier (see CheckerOptions::memory_budget_mb). Zero /
+  /// false when spilling was off or gated off (see spill_notice).
+  bool spill_enabled = false;
+  uint64_t spill_runs = 0;         // Live run files at the end.
+  uint64_t spill_generations = 0;  // Hot-table evictions performed.
+  uint64_t spill_records = 0;      // Records resident on disk at the end.
+  uint64_t spill_bytes = 0;        // Cumulative run bytes written.
+  uint64_t spill_compactions = 0;
+  double spill_probe_ms = 0;       // Disk probe time (past the Blooms).
+  double spill_merge_ms = 0;       // Compaction merge time.
+  uint64_t frontier_segments = 0;  // Frontier segment files written.
+  uint64_t checkpoints_written = 0;
+  /// True when this run restored state from a checkpoint manifest.
+  bool resumed = false;
+  /// Set when spilling/checkpointing was requested but gated off by an
+  /// incompatible option (fp_audit, sleep-set POR, record_graph).
+  std::string spill_notice;
 
   bool ok() const { return status.ok() && !violation.has_value(); }
 };

@@ -1,0 +1,224 @@
+#include "tlax/checkpoint.h"
+
+#include <utility>
+
+#include "common/fileio.h"
+#include "common/json.h"
+
+namespace xmodel::tlax {
+
+namespace {
+
+constexpr const char* kManifestFile = "MANIFEST.json";
+
+std::string HexEncode(const std::string& raw) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (unsigned char c : raw) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& hex, std::string* raw) {
+  if (hex.size() % 2 != 0) return false;
+  raw->clear();
+  raw->reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    raw->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+common::Status Corrupt(const char* what) {
+  return common::Status::Corruption(std::string("checkpoint manifest: ") +
+                                    what);
+}
+
+// 64-bit counters ride in JSON ints; values here (state counts, byte
+// sizes) never approach the 2^63 boundary.
+common::Json U64(uint64_t v) {
+  return common::Json::Int(static_cast<int64_t>(v));
+}
+
+bool GetU64(const common::Json& obj, const char* key, uint64_t* out) {
+  const common::Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_int() || v->int_value() < 0) return false;
+  *out = static_cast<uint64_t>(v->int_value());
+  return true;
+}
+
+bool GetI64(const common::Json& obj, const char* key, int64_t* out) {
+  const common::Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_int()) return false;
+  *out = v->int_value();
+  return true;
+}
+
+bool GetStr(const common::Json& obj, const char* key, std::string* out) {
+  const common::Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  *out = v->string_value();
+  return true;
+}
+
+}  // namespace
+
+common::Status WriteCheckpointManifest(const std::string& dir,
+                                       const CheckpointManifest& manifest,
+                                       bool durable) {
+  common::Status status = common::EnsureDir(dir);
+  if (!status.ok()) return status;
+
+  common::Json doc = common::Json::MakeObject();
+  doc.Set("schema", common::Json::Str(CheckpointManifest::kSchema));
+  doc.Set("policy", common::Json::Str(manifest.policy));
+  doc.Set("workers", common::Json::Int(manifest.workers));
+  doc.Set("generated", U64(manifest.generated));
+  doc.Set("distinct", U64(manifest.distinct));
+  doc.Set("diameter", common::Json::Int(manifest.diameter));
+  doc.Set("levels_completed", U64(manifest.levels_completed));
+  doc.Set("frontier_peak", U64(manifest.frontier_peak));
+  doc.Set("slept", U64(manifest.slept));
+  doc.Set("checkpoints", U64(manifest.checkpoints));
+
+  common::Json runs = common::Json::MakeArray();
+  for (const SpillTier::RunInfo& info : manifest.runs) {
+    common::Json run = common::Json::MakeObject();
+    run.Set("file", common::Json::Str(info.file));
+    run.Set("count", U64(info.count));
+    run.Set("bytes", U64(info.bytes));
+    runs.Append(std::move(run));
+  }
+  doc.Set("runs", std::move(runs));
+
+  common::Json frontiers = common::Json::MakeArray();
+  for (const std::vector<std::string>& worker : manifest.frontiers) {
+    common::Json files = common::Json::MakeArray();
+    for (const std::string& file : worker) {
+      files.Append(common::Json::Str(file));
+    }
+    frontiers.Append(std::move(files));
+  }
+  doc.Set("frontiers", std::move(frontiers));
+  doc.Set("frontier_total", U64(manifest.frontier_total));
+
+  common::Json initials = common::Json::MakeArray();
+  for (const std::string& blob : manifest.initial_states) {
+    initials.Append(common::Json::Str(HexEncode(blob)));
+  }
+  doc.Set("initial_states", std::move(initials));
+
+  common::Json candidates = common::Json::MakeArray();
+  for (const CheckpointManifest::Candidate& c : manifest.candidates) {
+    common::Json cand = common::Json::MakeObject();
+    cand.Set("kind", common::Json::Str(c.kind));
+    cand.Set("fp", U64(c.fp));
+    cand.Set("key", U64(c.key));
+    cand.Set("state", common::Json::Str(HexEncode(c.state)));
+    candidates.Append(std::move(cand));
+  }
+  doc.Set("candidates", std::move(candidates));
+
+  common::WriteFileOptions write_options;
+  write_options.durable = durable;
+  return common::WriteFileAtomic(dir + "/" + kManifestFile, doc.Dump(),
+                                 write_options);
+}
+
+common::Status ReadCheckpointManifest(const std::string& dir,
+                                      CheckpointManifest* manifest) {
+  std::string contents;
+  common::Status status =
+      common::ReadFileToString(dir + "/" + kManifestFile, &contents);
+  if (!status.ok()) return status;
+  common::Result<common::Json> parsed = common::Json::Parse(contents);
+  if (!parsed.ok()) return Corrupt("not valid JSON");
+  const common::Json& doc = parsed.value();
+  std::string schema;
+  if (!GetStr(doc, "schema", &schema) ||
+      schema != CheckpointManifest::kSchema) {
+    return Corrupt("missing or unknown schema");
+  }
+  *manifest = CheckpointManifest();
+  int64_t workers = 0;
+  if (!GetStr(doc, "policy", &manifest->policy) ||
+      !GetI64(doc, "workers", &workers) || workers < 1 ||
+      !GetU64(doc, "generated", &manifest->generated) ||
+      !GetU64(doc, "distinct", &manifest->distinct) ||
+      !GetI64(doc, "diameter", &manifest->diameter) ||
+      !GetU64(doc, "levels_completed", &manifest->levels_completed) ||
+      !GetU64(doc, "frontier_peak", &manifest->frontier_peak) ||
+      !GetU64(doc, "slept", &manifest->slept) ||
+      !GetU64(doc, "checkpoints", &manifest->checkpoints) ||
+      !GetU64(doc, "frontier_total", &manifest->frontier_total)) {
+    return Corrupt("missing or malformed counter fields");
+  }
+  manifest->workers = static_cast<int>(workers);
+
+  const common::Json* runs = doc.Find("runs");
+  if (runs == nullptr || !runs->is_array()) return Corrupt("missing runs");
+  for (const common::Json& run : runs->array()) {
+    SpillTier::RunInfo info;
+    if (!run.is_object() || !GetStr(run, "file", &info.file) ||
+        !GetU64(run, "count", &info.count) ||
+        !GetU64(run, "bytes", &info.bytes)) {
+      return Corrupt("malformed run entry");
+    }
+    manifest->runs.push_back(std::move(info));
+  }
+
+  const common::Json* frontiers = doc.Find("frontiers");
+  if (frontiers == nullptr || !frontiers->is_array()) {
+    return Corrupt("missing frontiers");
+  }
+  for (const common::Json& worker : frontiers->array()) {
+    if (!worker.is_array()) return Corrupt("malformed frontier list");
+    std::vector<std::string> files;
+    for (const common::Json& file : worker.array()) {
+      if (!file.is_string()) return Corrupt("malformed frontier file");
+      files.push_back(file.string_value());
+    }
+    manifest->frontiers.push_back(std::move(files));
+  }
+
+  const common::Json* initials = doc.Find("initial_states");
+  if (initials == nullptr || !initials->is_array()) {
+    return Corrupt("missing initial_states");
+  }
+  for (const common::Json& blob : initials->array()) {
+    std::string raw;
+    if (!blob.is_string() || !HexDecode(blob.string_value(), &raw)) {
+      return Corrupt("malformed initial state blob");
+    }
+    manifest->initial_states.push_back(std::move(raw));
+  }
+
+  const common::Json* candidates = doc.Find("candidates");
+  if (candidates == nullptr || !candidates->is_array()) {
+    return Corrupt("missing candidates");
+  }
+  for (const common::Json& cand : candidates->array()) {
+    CheckpointManifest::Candidate c;
+    std::string hex;
+    if (!cand.is_object() || !GetStr(cand, "kind", &c.kind) ||
+        !GetU64(cand, "fp", &c.fp) || !GetU64(cand, "key", &c.key) ||
+        !GetStr(cand, "state", &hex) || !HexDecode(hex, &c.state)) {
+      return Corrupt("malformed candidate entry");
+    }
+    manifest->candidates.push_back(std::move(c));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace xmodel::tlax

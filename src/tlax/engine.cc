@@ -3,17 +3,21 @@
 // progress snapshots, and end-of-run publication. The per-policy Run()
 // loops live in explore_level.cc / explore_relaxed.cc.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
 #include "tlax/explore.h"
+#include "tlax/state_codec.h"
 
 namespace xmodel::tlax::internal {
 
@@ -22,6 +26,39 @@ namespace {
 bool FpAuditFromEnv() {
   const char* v = std::getenv("XMODEL_FP_AUDIT");
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// Out-of-core gating (see CheckerOptions::memory_budget_mb): any of the
+// three knobs requests spilling; fp_audit / sleep-set POR / record_graph
+// veto it (they need mutable or full-state fingerprint records).
+bool SpillRequested(const CheckerOptions& o) {
+  return o.memory_budget_mb > 0 || !o.checkpoint_dir.empty() ||
+         !o.spill_dir.empty();
+}
+
+std::string ResolveSpillDir(const CheckerOptions& o, bool enabled) {
+  if (!enabled) return std::string();
+  if (!o.spill_dir.empty()) return o.spill_dir;
+  if (!o.checkpoint_dir.empty()) return o.checkpoint_dir;
+  const char* tmp = std::getenv("TMPDIR");
+  return common::StrCat(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp",
+                        "/xmodel-spill-", static_cast<long>(::getpid()));
+}
+
+// A frontier entry carries a full State, an order of magnitude heavier
+// than a hot fingerprint record; budget the in-memory frontier at
+// budget/512 entries so frontier and table split the budget on specs
+// with modest state sizes.
+size_t ResolveFrontierCap(const CheckerOptions& o, bool enabled) {
+  if (!enabled) return SIZE_MAX;
+  if (o.frontier_inmem_entries > 0) {
+    return static_cast<size_t>(o.frontier_inmem_entries);
+  }
+  if (o.memory_budget_mb > 0) {
+    const uint64_t bytes = o.memory_budget_mb << 20;
+    return static_cast<size_t>(std::max<uint64_t>(1024, bytes / 512));
+  }
+  return SIZE_MAX;  // Checkpoint-only spilling: spool at checkpoints.
 }
 
 }  // namespace
@@ -48,7 +85,16 @@ EngineBase::EngineBase(const CheckerOptions& options, const Spec& spec,
       all_actions_(actions_.size() >= 64
                        ? ~uint64_t{0}
                        : (uint64_t{1} << actions_.size()) - 1),
-      fpset_(FpOptions(fp_audit_, use_sleep_sets_, relaxed_, all_actions_)),
+      spill_enabled_(SpillRequested(options) && !fp_audit_ &&
+                     !use_sleep_sets_ && !options.record_graph),
+      checkpointing_(spill_enabled_ && !options.checkpoint_dir.empty()),
+      spill_dir_(ResolveSpillDir(options, spill_enabled_)),
+      spill_dir_is_temp_(spill_enabled_ && options.spill_dir.empty() &&
+                         options.checkpoint_dir.empty()),
+      frontier_inmem_cap_(ResolveFrontierCap(options, spill_enabled_)),
+      fpset_(FpOptions(fp_audit_, use_sleep_sets_, relaxed_, all_actions_,
+                       spill_dir_, options.memory_budget_mb << 20,
+                       checkpointing_)),
       pool_(workers_),
       scratch_(static_cast<size_t>(workers_)) {}
 
@@ -69,6 +115,31 @@ void EngineBase::StartRun() {
                    {"invariants", common::StrCat(invariants_.size())}});
   }
 
+  result_.spill_enabled = spill_enabled_;
+  if (SpillRequested(options_) && !spill_enabled_) {
+    std::string blockers;
+    auto add = [&blockers](const char* what) {
+      if (!blockers.empty()) blockers += " + ";
+      blockers += what;
+    };
+    if (fp_audit_) add("fp_audit");
+    if (use_sleep_sets_) add("sleep-set POR");
+    if (options_.record_graph) add("record_graph");
+    result_.spill_notice = common::StrCat(
+        "out-of-core spilling disabled: incompatible with ", blockers);
+  }
+  if (checkpointing_ && options_.checkpoint_every_s > 0) {
+    next_checkpoint_ns_ =
+        start_ns_ + options_.checkpoint_every_s * 1'000'000'000;
+  }
+  if (spill_enabled_ && events_->enabled()) {
+    events_->Emit(
+        obs::EventSeverity::kInfo, "checker", "spill.enabled",
+        {{"dir", spill_dir_},
+         {"budget_mb", common::StrCat(options_.memory_budget_mb)},
+         {"checkpointing", checkpointing_ ? "1" : "0"}});
+  }
+
   if (use_sleep_sets_) {
     commuting_mask_.resize(actions_.size(), 0);
     for (size_t a = 0; a < actions_.size(); ++a) {
@@ -87,6 +158,133 @@ void EngineBase::StartRun() {
     for (const Action& a : actions_) action_names.push_back(a.name);
     result_.graph->set_action_names(std::move(action_names));
   }
+}
+
+bool EngineBase::CheckpointDue(int64_t now_ns) const {
+  if (!checkpointing_) return false;
+  return options_.checkpoint_every_s <= 0 || now_ns >= next_checkpoint_ns_;
+}
+
+void EngineBase::CheckpointWritten(int64_t now_ns) {
+  ++checkpoints_written_;
+  if (options_.checkpoint_every_s > 0) {
+    next_checkpoint_ns_ =
+        now_ns + options_.checkpoint_every_s * 1'000'000'000;
+  }
+  if (events_->enabled()) {
+    events_->Emit(obs::EventSeverity::kInfo, "checker", "checkpoint.written",
+                  {{"ordinal", common::StrCat(checkpoints_written_)},
+                   {"distinct", common::StrCat(fpset_.size())}});
+  }
+}
+
+CheckpointManifest EngineBase::MakeManifest(uint64_t generated,
+                                            uint64_t slept,
+                                            int64_t diameter) {
+  CheckpointManifest m;
+  m.policy = ExplorationPolicyName(policy_);
+  m.workers = workers_;
+  m.generated = generated;
+  m.distinct = fpset_.size();
+  m.diameter = diameter;
+  m.levels_completed = result_.levels_completed;
+  m.frontier_peak = result_.frontier_peak;
+  m.slept = slept;
+  m.checkpoints = checkpoints_written_ + 1;
+  m.runs = fpset_.spill_run_infos();
+  // Initial states sorted by fingerprint so the manifest bytes are
+  // stable across identical runs.
+  std::vector<const std::pair<const uint64_t, State>*> initials;
+  initials.reserve(initial_by_fp_.size());
+  for (const auto& entry : initial_by_fp_) initials.push_back(&entry);
+  std::sort(initials.begin(), initials.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : initials) {
+    std::string blob;
+    EncodeState(entry->second, &blob);
+    m.initial_states.push_back(std::move(blob));
+  }
+  return m;
+}
+
+common::Status EngineBase::ResumeCommon(CheckpointManifest* manifest) {
+  common::Status status =
+      ReadCheckpointManifest(options_.checkpoint_dir, manifest);
+  if (!status.ok()) {
+    if (status.code() == common::StatusCode::kNotFound) {
+      return common::Status::NotFound(common::StrCat(
+          "--resume: no checkpoint manifest in ", options_.checkpoint_dir));
+    }
+    return status;
+  }
+  if (manifest->policy != ExplorationPolicyName(policy_)) {
+    return common::Status::InvalidArgument(common::StrCat(
+        "--resume: checkpoint was written by policy '", manifest->policy,
+        "', this run uses '", ExplorationPolicyName(policy_), "'"));
+  }
+  std::vector<std::string> files;
+  files.reserve(manifest->runs.size());
+  for (const SpillTier::RunInfo& info : manifest->runs) {
+    files.push_back(info.file);
+  }
+  status = fpset_.AdoptSpillRuns(files);
+  if (!status.ok()) return status;
+  for (const std::string& blob : manifest->initial_states) {
+    State init;
+    size_t pos = 0;
+    status = DecodeState(blob, &pos, &init);
+    if (!status.ok()) return status;
+    initial_by_fp_.emplace(Fingerprint(init), std::move(init));
+  }
+  result_.generated_states = manifest->generated;
+  result_.diameter = manifest->diameter;
+  result_.levels_completed = manifest->levels_completed;
+  result_.frontier_peak = manifest->frontier_peak;
+  result_.por_slept_actions = manifest->slept;
+  checkpoints_written_ = manifest->checkpoints;
+  // The global checkpoint counter counts writes by THIS process.
+  published_checkpoints_ = checkpoints_written_;
+  result_.resumed = true;
+  if (events_->enabled()) {
+    events_->Emit(obs::EventSeverity::kInfo, "checker", "run.resumed",
+                  {{"checkpoint", common::StrCat(manifest->checkpoints)},
+                   {"distinct", common::StrCat(manifest->distinct)},
+                   {"frontier", common::StrCat(manifest->frontier_total)}});
+  }
+  return fpset_.DropSpillOrphans();
+}
+
+void EngineBase::FlushSpillMetrics(uint64_t frontier_segments_total) {
+  frontier_segments_total_ = frontier_segments_total;
+  if (!spill_enabled_ || !options_.publish_metrics) return;
+  const SpillTier::Stats stats = fpset_.spill_stats();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("checker.spill.bytes")
+      .Increment(stats.bytes_written - published_spill_bytes_);
+  published_spill_bytes_ = stats.bytes_written;
+  registry.GetCounter("checker.spill.frontier_segments")
+      .Increment(frontier_segments_total - published_frontier_segments_);
+  published_frontier_segments_ = frontier_segments_total;
+  registry.GetGauge("checker.spill.runs")
+      .Set(static_cast<double>(stats.runs));
+  registry.GetGauge("checker.spill.probe_ms").Set(stats.probe_ms);
+  registry.GetGauge("checker.spill.merge_ms").Set(stats.merge_ms);
+  if (checkpointing_) {
+    registry.GetCounter("checker.checkpoint.writes")
+        .Increment(checkpoints_written_ - published_checkpoints_);
+    published_checkpoints_ = checkpoints_written_;
+    registry.GetGauge("checker.checkpoint.ms").Set(checkpoint_ms_);
+  }
+}
+
+void EngineBase::CleanupSpillDir() {
+  if (!spill_dir_is_temp_) return;
+  std::vector<std::string> files;
+  if (!common::ListDirFiles(spill_dir_, &files).ok()) return;
+  for (const std::string& file : files) {
+    common::RemoveFileIfExists(spill_dir_ + "/" + file);
+  }
+  ::rmdir(spill_dir_.c_str());
 }
 
 bool EngineBase::SeedInitial(std::vector<LevelEntry>* level) {
@@ -315,6 +513,19 @@ CheckResult EngineBase::Finish(common::Status status) {
   const int64_t end_ns = clock_->NowNanos();
   result_.seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
 
+  if (spill_enabled_) {
+    const SpillTier::Stats spill = fpset_.spill_stats();
+    result_.spill_runs = spill.runs;
+    result_.spill_generations = spill.generations;
+    result_.spill_records = spill.spilled_records;
+    result_.spill_bytes = spill.bytes_written;
+    result_.spill_compactions = spill.compactions;
+    result_.spill_probe_ms = spill.probe_ms;
+    result_.spill_merge_ms = spill.merge_ms;
+    result_.frontier_segments = frontier_segments_total_;
+    result_.checkpoints_written = checkpoints_written_;
+  }
+
   if (relaxed_) {
     result_.worker_steals.reserve(static_cast<size_t>(workers_));
     for (int w = 0; w < workers_; ++w) {
@@ -477,6 +688,13 @@ CheckResult EngineBase::Finish(common::Status status) {
                                        intern_at_start_.misses) /
                        static_cast<double>(result_.distinct_states)
                  : 0);
+    // Final spill/checkpoint flush: publishes whatever the mid-run
+    // flushes have not (counters reconcile through published_*).
+    FlushSpillMetrics(frontier_segments_total_);
+    if (spill_enabled_) {
+      registry.GetGauge("checker.spill.generations")
+          .Set(static_cast<double>(result_.spill_generations));
+    }
   }
   if (events_->enabled()) {
     if (result_.fingerprint_collisions > 0) {
@@ -504,6 +722,7 @@ CheckResult EngineBase::Finish(common::Status status) {
          {"violation",
           result_.violation.has_value() ? result_.violation->kind : ""}});
   }
+  CleanupSpillDir();  // After the last spill_stats read.
   return result_;
 }
 

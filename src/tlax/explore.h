@@ -23,11 +23,14 @@
 #include <utility>
 #include <vector>
 
+#include <condition_variable>
+
 #include "common/clock.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "obs/progress.h"
 #include "tlax/checker.h"
+#include "tlax/checkpoint.h"
 #include "tlax/fpset.h"
 #include "tlax/spec.h"
 #include "tlax/state_graph.h"
@@ -38,6 +41,8 @@ class EventLog;
 }  // namespace xmodel::obs
 
 namespace xmodel::tlax::internal {
+
+class FrontierSpool;  // tlax/frontier_spill.h (includes this header).
 
 // How many frontier expansions happen between wall-clock polls when a
 // progress reporter is attached. Large enough that the clock read is
@@ -159,14 +164,44 @@ class EngineBase {
                                     uint64_t frontier_estimate);
   CheckResult Finish(common::Status status);
 
+  // --- Out-of-core support (spill_enabled_ only) ---
+
+  // Whether a checkpoint is due at this safe point (barrier / boundary).
+  bool CheckpointDue(int64_t now_ns) const;
+  // Stamps the next checkpoint deadline after a successful write.
+  void CheckpointWritten(int64_t now_ns);
+  // Fills the policy-neutral manifest fields (policy name, counters,
+  // sealed runs, initial states). The caller adds frontiers/candidates.
+  // `generated`/`slept`/`diameter` are the caller's merged live values.
+  CheckpointManifest MakeManifest(uint64_t generated, uint64_t slept,
+                                  int64_t diameter);
+  // Policy-neutral half of --resume: reads + validates the manifest,
+  // adopts the sealed runs, restores counters and the initial states.
+  // The caller adopts the frontiers/candidates from `manifest`.
+  common::Status ResumeCommon(CheckpointManifest* manifest);
+  // Live flush of the checker.spill.* metric family (monotone counters
+  // reconciled via published_*; gauges overwritten). Serialized by the
+  // caller (barrier thread / relaxed worker 0).
+  void FlushSpillMetrics(uint64_t frontier_segments_total);
+  // Removes the per-process temp spill dir (no-op when the dir was
+  // user-provided). Called after the last stats read.
+  void CleanupSpillDir();
+
   static FingerprintSet::Options FpOptions(bool audit, bool por,
                                            bool relaxed,
-                                           uint64_t all_actions) {
+                                           uint64_t all_actions,
+                                           const std::string& spill_dir,
+                                           uint64_t memory_budget_bytes,
+                                           bool checkpointing) {
     FingerprintSet::Options o;
     o.audit = audit;  // Implies keep_states inside the table.
     o.track_por = por;
     o.immediate_por_settle = por && relaxed;
     o.por_all_actions = all_actions;
+    o.spill_dir = spill_dir;  // Empty when spilling is off or gated off.
+    o.memory_budget_bytes = memory_budget_bytes;
+    o.spill_durable = checkpointing;
+    o.spill_defer_deletes = checkpointing;
     return o;
   }
 
@@ -202,6 +237,16 @@ class EngineBase {
   // must carry every edge for MBTCG/liveness.
   const bool use_sleep_sets_;
   const uint64_t all_actions_;
+  // Out-of-core tier, resolved after gating (see CheckerOptions::
+  // memory_budget_mb): spilling runs only without fp_audit / POR /
+  // record_graph. checkpointing_ additionally requires checkpoint_dir.
+  const bool spill_enabled_;
+  const bool checkpointing_;
+  const std::string spill_dir_;  // Empty when spilling is off.
+  const bool spill_dir_is_temp_;
+  // In-memory frontier bound before segment-file overflow (SIZE_MAX =
+  // unbounded; only reachable with checkpointing but no budget).
+  const size_t frontier_inmem_cap_;
   FingerprintSet fpset_;
   common::WorkerPool pool_;
   std::vector<Scratch> scratch_;
@@ -221,11 +266,23 @@ class EngineBase {
   std::atomic<uint64_t> published_generated_{0};
   std::atomic<uint64_t> published_distinct_{0};
   std::atomic<uint64_t> published_slept_{0};
+  // Spill-metric reconciliation + end-of-run totals (single-writer: the
+  // barrier thread or relaxed worker 0 / the post-join serial code).
+  uint64_t published_spill_bytes_ = 0;
+  uint64_t published_frontier_segments_ = 0;
+  uint64_t published_checkpoints_ = 0;
+  uint64_t frontier_segments_total_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  double checkpoint_ms_ = 0;
+  int64_t next_checkpoint_ns_ = 0;
 
-  // Level-scoped shared state (level-sync); abort flag is shared by both
-  // policies.
+  // Level-scoped shared state (level-sync); abort flags are shared by
+  // both policies. abort_io_: the spill tier recorded a sticky IO or
+  // corruption error — stop instead of diverging (spill_status() carries
+  // the status for Finish).
   std::atomic<size_t> next_index_{0};  // Parent-entry work cursor.
   std::atomic<bool> abort_max_{false};
+  std::atomic<bool> abort_io_{false};
 
   // Progress plumbing. Only worker 0 reads the clock and reports; the
   // other workers flush per-parent deltas into the two relaxed atomics so
@@ -253,7 +310,12 @@ class LevelSyncEngine : public EngineBase {
   CheckResult Run();
 
  private:
-  void DrainLevel(const std::vector<LevelEntry>& level, int worker);
+  // Drains one in-memory chunk of the current level. `base` is the
+  // chunk's global position within the level, so EventKey/DeadlockKey
+  // stay level-global — and with them every downstream key — whether or
+  // not the level was partially spooled to disk.
+  void DrainLevel(const std::vector<LevelEntry>& level, size_t base,
+                  int worker);
 };
 
 // The relaxed work-stealing policy: every worker owns a deque of frontier
@@ -266,8 +328,10 @@ class LevelSyncEngine : public EngineBase {
 // approximate.
 class RelaxedEngine : public EngineBase {
  public:
-  RelaxedEngine(const CheckerOptions& options, const Spec& spec)
-      : EngineBase(options, spec, ExplorationPolicy::kRelaxed) {}
+  // Ctor and dtor are out-of-line: spools_ holds a type that is only
+  // forward-declared here (frontier_spill.h includes this header).
+  RelaxedEngine(const CheckerOptions& options, const Spec& spec);
+  ~RelaxedEngine();
 
   CheckResult Run();
 
@@ -279,16 +343,46 @@ class RelaxedEngine : public EngineBase {
 
   void WorkerLoop(int worker);
   // Moves up to kRelaxedBatchEntries from this worker's own deque (front)
-  // into `batch`; returns how many.
+  // into `batch`, reloading the deque from the worker's spill spool when
+  // it runs dry; returns how many.
   size_t PopOwn(int worker, std::vector<LevelEntry>* batch);
   // One round-robin pass over the other workers' deques, taking up to
   // half a victim's entries (from the back). Returns how many.
   size_t Steal(int worker, std::vector<LevelEntry>* batch);
-  // Appends s.next to the worker's own deque, counting the new entries
+  // Appends s.next to the worker's own deque (overflowing to the
+  // worker's spool past the in-memory cap), counting the new entries
   // into pending_ BEFORE the caller retires the parent entry.
   void PushDiscoveries(int worker, Scratch& s);
 
+  // Checkpoint rendezvous (checkpointing_ only): worker 0 raises the
+  // flag at a due batch boundary; every worker parks here between
+  // batches (in-flight work fully retired). The last one to park —
+  // or the last active worker when others have exited — performs the
+  // checkpoint with exclusive ownership of all deques and spools, then
+  // releases the fleet. Exiting workers participate via ExitWorker so
+  // the rendezvous can always complete.
+  void MaybeParkForCheckpoint();
+  void ExitWorker();
+  void DoCheckpointLocked();
+  // Records the first frontier-spool / checkpoint IO error and raises
+  // abort_io_ so every worker unwinds (spool entries stay counted in
+  // pending_, so waiting on the counter alone would livelock).
+  void RecordIoError(const common::Status& status);
+
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  // Per-worker frontier spools (spill_enabled_ only; null otherwise).
+  std::vector<std::unique_ptr<FrontierSpool>> spools_;
+  size_t per_worker_cap_ = 0;  // Deque entries before spooling.
+
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_requested_ = false;
+  int ckpt_parked_ = 0;
+  int active_workers_ = 0;
+  uint64_t ckpt_generation_ = 0;
+
+  std::mutex io_mu_;
+  common::Status io_status_;  // First spool/checkpoint error (abort_io_).
   // Frontier entries enqueued but not yet retired (a parent is retired
   // only after its discoveries are enqueued, so the counter can never dip
   // to zero while undiscovered work exists). Zero means done.

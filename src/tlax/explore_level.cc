@@ -6,6 +6,8 @@
 // DESIGN.md "Parallel checking".
 
 #include <algorithm>
+#include <iterator>
+#include <memory>
 #include <utility>
 
 #include "common/strings.h"
@@ -13,11 +15,12 @@
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
 #include "tlax/explore.h"
+#include "tlax/frontier_spill.h"
 
 namespace xmodel::tlax::internal {
 
 void LevelSyncEngine::DrainLevel(const std::vector<LevelEntry>& level,
-                                 int worker) {
+                                 size_t base, int worker) {
   Scratch& s = scratch_[static_cast<size_t>(worker)];
   const bool poll = report_progress_ && worker == 0;
   const bool flush = report_progress_;
@@ -31,7 +34,7 @@ void LevelSyncEngine::DrainLevel(const std::vector<LevelEntry>& level,
     if (poll) PollProgress(level.size(), pos);
     const uint64_t gen_before = s.generated;
     const size_t next_before = s.next.size();
-    ProcessEntry(level[pos], pos, s, worker);
+    ProcessEntry(level[pos], base + pos, s, worker);
     if (flush) {
       generated_level_.fetch_add(s.generated - gen_before,
                                  std::memory_order_relaxed);
@@ -55,8 +58,45 @@ void LevelSyncEngine::DrainLevel(const std::vector<LevelEntry>& level,
 CheckResult LevelSyncEngine::Run() {
   StartRun();
 
+  // Frontier overflow spool: the settled next level beyond the in-memory
+  // head chunk lives here as sealed segment files, replayed FIFO — the
+  // settled sort order survives the disk round trip, so results stay
+  // bit-identical with or without spilling.
+  std::unique_ptr<FrontierSpool> spool;
+  if (spill_enabled_) {
+    FrontierSpool::Options spool_options;
+    spool_options.dir = spill_dir_;
+    spool_options.durable = checkpointing_;
+    spool_options.defer_deletes = checkpointing_;
+    // Segment granularity tracks the in-memory cap: the drain loop pops
+    // one segment at a time back into memory, so segments larger than
+    // the cap would defeat it.
+    spool_options.segment_entries =
+        std::min(spool_options.segment_entries, frontier_inmem_cap_);
+    spool = std::make_unique<FrontierSpool>(std::move(spool_options));
+  }
+
   std::vector<LevelEntry> level;
-  if (!SeedInitial(&level)) return Finish(common::Status::OK());
+  if (options_.resume) {
+    if (!checkpointing_) {
+      return Finish(common::Status::InvalidArgument(
+          result_.spill_notice.empty()
+              ? "--resume requires --checkpoint-dir"
+              : common::StrCat("--resume: ", result_.spill_notice)));
+    }
+    CheckpointManifest manifest;
+    common::Status status = ResumeCommon(&manifest);
+    if (!status.ok()) return Finish(status);
+    std::vector<std::string> segments;
+    for (const std::vector<std::string>& files : manifest.frontiers) {
+      segments.insert(segments.end(), files.begin(), files.end());
+    }
+    uint64_t adopted = 0;
+    status = spool->AdoptSegments(segments, &adopted);
+    if (!status.ok()) return Finish(status);
+  } else if (!SeedInitial(&level)) {
+    return Finish(common::Status::OK());
+  }
 
   obs::Histogram* level_hist = nullptr;
   if (options_.publish_metrics) {
@@ -65,33 +105,55 @@ CheckResult LevelSyncEngine::Run() {
         {1, 10, 100, 1'000, 10'000, 100'000, 1'000'000});
   }
 
-  while (!level.empty()) {
-    if (level.size() > result_.frontier_peak) {
-      result_.frontier_peak = level.size();
+  while (true) {
+    const size_t level_size =
+        level.size() + (spool != nullptr ? spool->size() : 0);
+    if (level_size == 0) break;
+    if (level_size > result_.frontier_peak) {
+      result_.frontier_peak = level_size;
     }
     if (level_hist != nullptr) {
-      level_hist->Observe(static_cast<double>(level.size()));
+      level_hist->Observe(static_cast<double>(level_size));
     }
-    next_index_.store(0, std::memory_order_relaxed);
     abort_max_.store(false, std::memory_order_relaxed);
 
-    const size_t level_size = level.size();
-    pool_.Run([this, &level](int worker) { DrainLevel(level, worker); });
+    // Drain the level chunk by chunk: the in-memory head first, then
+    // each spooled segment batch. `base` keeps entry positions — and so
+    // EventKey/DeadlockKey — level-global, exactly as if the whole level
+    // were one vector. Without spilling there is exactly one chunk and
+    // this is the pre-spill loop verbatim.
+    size_t base = 0;
+    int64_t pool_end_ns = 0;
+    while (true) {
+      if (level.empty()) {
+        if (spool == nullptr || spool->empty()) break;
+        common::Status status = spool->PopBatch(&level);
+        if (!status.ok()) return Finish(status);
+        if (level.empty()) break;
+      }
+      next_index_.store(0, std::memory_order_relaxed);
+      const size_t chunk_base = base;
+      pool_.Run([this, &level, chunk_base](int worker) {
+        DrainLevel(level, chunk_base, worker);
+      });
+      base += level.size();
+      level.clear();
+      if (options_.profile_workers) {
+        // Fork-join imbalance: each worker waited from its own drain end
+        // until the slowest worker released the pool.
+        pool_end_ns = clock_->NowNanos();
+        for (Scratch& s : scratch_) {
+          if (s.drain_end_ns > 0 && pool_end_ns > s.drain_end_ns) {
+            s.barrier_wait_ns += pool_end_ns - s.drain_end_ns;
+          }
+          s.drain_end_ns = 0;
+        }
+      }
+      if (abort_max_.load(std::memory_order_relaxed)) break;
+    }
 
     // Barrier: merge worker tallies, settle violations/limits, and build
     // the next level in deterministic discovery order.
-    const int64_t pool_end_ns =
-        options_.profile_workers ? clock_->NowNanos() : 0;
-    if (options_.profile_workers) {
-      // Fork-join imbalance: each worker waited from its own drain end
-      // until the slowest worker released the pool.
-      for (Scratch& s : scratch_) {
-        if (s.drain_end_ns > 0 && pool_end_ns > s.drain_end_ns) {
-          s.barrier_wait_ns += pool_end_ns - s.drain_end_ns;
-        }
-        s.drain_end_ns = 0;
-      }
-    }
     std::vector<CandidateViolation> candidates;
     size_t next_total = 0;
     uint64_t level_generated = 0;
@@ -142,6 +204,12 @@ CheckResult LevelSyncEngine::Run() {
            {"level_size", common::StrCat(level_size)},
            {"generated", common::StrCat(level_generated)},
            {"distinct", common::StrCat(fpset_.size())}});
+    }
+    if (spill_enabled_) {
+      // A disk-tier IO/corruption error makes membership answers
+      // unreliable; stop cleanly instead of diverging.
+      common::Status spill_status = fpset_.spill_status();
+      if (!spill_status.ok()) return Finish(spill_status);
     }
 
     if (result_.graph) {
@@ -238,6 +306,50 @@ CheckResult LevelSyncEngine::Run() {
       // Node ids were assigned at SettleLevel; stamp them onto the
       // entries so each expansion can record edges without a map lookup.
       for (LevelEntry& e : next) e.gid = result_.graph->IdOf(e.fp);
+    }
+    if (spill_enabled_) {
+      // Budget eviction first (the level's inserts grew the hot table),
+      // then a due checkpoint (evicts the remainder so the manifest names
+      // only sealed runs and segments), else plain frontier overflow.
+      common::Status status = fpset_.EvictIfOverBudget();
+      if (status.ok() && checkpointing_ &&
+          CheckpointDue(clock_->NowNanos())) {
+        const int64_t ckpt_start_ns = clock_->NowNanos();
+        status = fpset_.EvictAll();
+        if (status.ok()) status = spool->Append(std::move(next));
+        if (status.ok()) status = spool->Seal();
+        if (status.ok()) {
+          CheckpointManifest manifest = MakeManifest(
+              result_.generated_states, result_.por_slept_actions,
+              result_.diameter);
+          manifest.frontiers.push_back(spool->live_segment_files());
+          manifest.frontier_total = spool->size();
+          status = WriteCheckpointManifest(options_.checkpoint_dir,
+                                           manifest, /*durable=*/true);
+        }
+        if (status.ok()) {
+          // The new manifest no longer references compacted-away runs or
+          // consumed segments; their files can finally go.
+          fpset_.PurgeSpillRetired();
+          spool->PurgeConsumed();
+          const int64_t ckpt_end_ns = clock_->NowNanos();
+          checkpoint_ms_ +=
+              static_cast<double>(ckpt_end_ns - ckpt_start_ns) * 1e-6;
+          CheckpointWritten(ckpt_end_ns);
+          next.clear();  // Everything rides the spool now.
+        }
+      } else if (status.ok() && next.size() > frontier_inmem_cap_) {
+        // Keep the head chunk hot, spool the (later-ordered) remainder.
+        std::vector<LevelEntry> overflow(
+            std::make_move_iterator(
+                next.begin() +
+                static_cast<std::ptrdiff_t>(frontier_inmem_cap_)),
+            std::make_move_iterator(next.end()));
+        next.resize(frontier_inmem_cap_);
+        status = spool->Append(std::move(overflow));
+      }
+      if (!status.ok()) return Finish(status);
+      FlushSpillMetrics(spool->segments_written());
     }
     level = std::move(next);
     next_count_.store(0, std::memory_order_relaxed);

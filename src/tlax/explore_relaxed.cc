@@ -17,6 +17,8 @@
 // CheckResult::order_fields_approximate.
 
 #include <algorithm>
+#include <iterator>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -25,8 +27,18 @@
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
 #include "tlax/explore.h"
+#include "tlax/frontier_spill.h"
+#include "tlax/state_codec.h"
 
 namespace xmodel::tlax::internal {
+
+// Out-of-line: explore.h only forward-declares FrontierSpool, so every
+// member that can destroy spools_ must be instantiated here where the
+// type is complete.
+RelaxedEngine::RelaxedEngine(const CheckerOptions& options, const Spec& spec)
+    : EngineBase(options, spec, ExplorationPolicy::kRelaxed) {}
+
+RelaxedEngine::~RelaxedEngine() = default;
 
 namespace {
 
@@ -42,11 +54,36 @@ bool CandidateLess(const CandidateViolation& a, const CandidateViolation& b) {
 
 size_t RelaxedEngine::PopOwn(int worker, std::vector<LevelEntry>* batch) {
   WorkerDeque& own = *deques_[static_cast<size_t>(worker)];
-  std::lock_guard<std::mutex> lock(own.mu);
-  const size_t take = std::min(kRelaxedBatchEntries, own.entries.size());
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    const size_t take = std::min(kRelaxedBatchEntries, own.entries.size());
+    for (size_t i = 0; i < take; ++i) {
+      batch->push_back(std::move(own.entries.front()));
+      own.entries.pop_front();
+    }
+    if (take > 0) return take;
+  }
+  // Deque dry: reload from this worker's spill spool. The spool has a
+  // single owner (this worker; the checkpointer only touches it while
+  // every worker is parked), so no lock is needed.
+  FrontierSpool* spool =
+      spools_.empty() ? nullptr : spools_[static_cast<size_t>(worker)].get();
+  if (spool == nullptr || spool->empty()) return 0;
+  std::vector<LevelEntry> reload;
+  common::Status status = spool->PopBatch(&reload);
+  if (!status.ok()) {
+    RecordIoError(status);
+    return 0;
+  }
+  const size_t take = std::min(kRelaxedBatchEntries, reload.size());
   for (size_t i = 0; i < take; ++i) {
-    batch->push_back(std::move(own.entries.front()));
-    own.entries.pop_front();
+    batch->push_back(std::move(reload[i]));
+  }
+  if (take < reload.size()) {
+    std::lock_guard<std::mutex> lock(own.mu);
+    for (size_t i = take; i < reload.size(); ++i) {
+      own.entries.push_back(std::move(reload[i]));
+    }
   }
   return take;
 }
@@ -74,12 +111,150 @@ void RelaxedEngine::PushDiscoveries(int worker, Scratch& s) {
   // Count the children into the in-flight total BEFORE the caller
   // retires their parent: the counter can never dip to zero while
   // undiscovered work exists, which is what makes pending_ == 0 a safe
-  // termination signal.
+  // termination signal. Spooled entries stay counted too — they come
+  // back through PopOwn before the deque reads empty.
   pending_.fetch_add(s.next.size(), std::memory_order_release);
   WorkerDeque& own = *deques_[static_cast<size_t>(worker)];
-  std::lock_guard<std::mutex> lock(own.mu);
-  for (LevelEntry& e : s.next) own.entries.push_back(std::move(e));
+  FrontierSpool* spool =
+      spools_.empty() ? nullptr : spools_[static_cast<size_t>(worker)].get();
+  std::vector<LevelEntry> overflow;
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    for (LevelEntry& e : s.next) {
+      if (spool != nullptr && own.entries.size() >= per_worker_cap_) {
+        overflow.push_back(std::move(e));
+      } else {
+        own.entries.push_back(std::move(e));
+      }
+    }
+  }
   s.next.clear();
+  if (!overflow.empty()) {
+    common::Status status = spool->Append(std::move(overflow));
+    if (!status.ok()) RecordIoError(status);
+  }
+}
+
+void RelaxedEngine::RecordIoError(const common::Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (io_status_.ok()) io_status_ = status;
+  }
+  abort_io_.store(true, std::memory_order_relaxed);
+}
+
+void RelaxedEngine::MaybeParkForCheckpoint() {
+  if (!checkpointing_) return;
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  if (!ckpt_requested_) return;
+  const uint64_t generation = ckpt_generation_;
+  ++ckpt_parked_;
+  if (ckpt_parked_ == active_workers_) {
+    // Last one in performs the checkpoint: every other active worker is
+    // parked between batches, so deques, spools, and scratch tallies are
+    // exclusively ours.
+    DoCheckpointLocked();
+    ckpt_requested_ = false;
+    ckpt_parked_ = 0;
+    ++ckpt_generation_;
+    lock.unlock();
+    ckpt_cv_.notify_all();
+    return;
+  }
+  ckpt_cv_.wait(lock, [&] { return ckpt_generation_ != generation; });
+}
+
+void RelaxedEngine::ExitWorker() {
+  if (!checkpointing_) return;
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  --active_workers_;
+  if (!ckpt_requested_) return;
+  if (active_workers_ == 0) {
+    // Everyone has left; cancel — Run()'s serial epilogue owns the state.
+    ckpt_requested_ = false;
+    ckpt_parked_ = 0;
+    ++ckpt_generation_;
+    lock.unlock();
+    ckpt_cv_.notify_all();
+    return;
+  }
+  if (ckpt_parked_ == active_workers_) {
+    // The parked fleet was waiting for this (now exiting) worker; it
+    // still exists and holds the lock, so it performs the checkpoint.
+    DoCheckpointLocked();
+    ckpt_requested_ = false;
+    ckpt_parked_ = 0;
+    ++ckpt_generation_;
+    lock.unlock();
+    ckpt_cv_.notify_all();
+  }
+}
+
+void RelaxedEngine::DoCheckpointLocked() {
+  const int64_t ckpt_start_ns = clock_->NowNanos();
+  common::Status status = common::Status::OK();
+  // Drain every deque into its worker's spool and seal, so the manifest
+  // names only sealed segment files; with no batch in flight, the spool
+  // totals are exactly the unretired frontier (pending_).
+  uint64_t frontier_total = 0;
+  for (int w = 0; w < workers_ && status.ok(); ++w) {
+    WorkerDeque& dq = *deques_[static_cast<size_t>(w)];
+    std::vector<LevelEntry> drained;
+    {
+      std::lock_guard<std::mutex> lock(dq.mu);
+      drained.assign(std::make_move_iterator(dq.entries.begin()),
+                     std::make_move_iterator(dq.entries.end()));
+      dq.entries.clear();
+    }
+    FrontierSpool& spool = *spools_[static_cast<size_t>(w)];
+    if (!drained.empty()) status = spool.Append(std::move(drained));
+    if (status.ok()) status = spool.Seal();
+    frontier_total += spool.size();
+  }
+  if (status.ok()) status = fpset_.EvictAll();
+  if (status.ok()) {
+    uint64_t generated = result_.generated_states;
+    uint64_t slept = result_.por_slept_actions;
+    int64_t diameter = result_.diameter;
+    for (const Scratch& s : scratch_) {
+      generated += s.generated;
+      slept += s.slept;
+      if (s.diameter > diameter) diameter = s.diameter;
+    }
+    CheckpointManifest manifest = MakeManifest(generated, slept, diameter);
+    manifest.frontier_total = frontier_total;
+    for (int w = 0; w < workers_; ++w) {
+      manifest.frontiers.push_back(
+          spools_[static_cast<size_t>(w)]->live_segment_files());
+    }
+    for (const Scratch& s : scratch_) {
+      for (const CandidateViolation& c : s.candidates) {
+        CheckpointManifest::Candidate cand;
+        cand.kind = c.kind;
+        cand.fp = c.fp;
+        cand.key = c.key;
+        EncodeState(c.state, &cand.state);
+        manifest.candidates.push_back(std::move(cand));
+      }
+    }
+    status = WriteCheckpointManifest(options_.checkpoint_dir, manifest,
+                                     /*durable=*/true);
+  }
+  if (!status.ok()) {
+    RecordIoError(status);
+    return;
+  }
+  fpset_.PurgeSpillRetired();
+  uint64_t segments = 0;
+  for (const std::unique_ptr<FrontierSpool>& spool : spools_) {
+    spool->PurgeConsumed();
+    segments += spool->segments_written();
+  }
+  const int64_t ckpt_end_ns = clock_->NowNanos();
+  checkpoint_ms_ +=
+      static_cast<double>(ckpt_end_ns - ckpt_start_ns) * 1e-6;
+  CheckpointWritten(ckpt_end_ns);
+  FlushSpillMetrics(segments);
 }
 
 void RelaxedEngine::WorkerLoop(int worker) {
@@ -102,14 +277,20 @@ void RelaxedEngine::WorkerLoop(int worker) {
   uint64_t flushed_slept = 0;
   uint64_t local_peak = 0;
   for (;;) {
-    if (abort_max_.load(std::memory_order_relaxed)) break;
+    if (abort_max_.load(std::memory_order_relaxed) ||
+        abort_io_.load(std::memory_order_relaxed)) {
+      break;
+    }
     batch.clear();
     if (PopOwn(worker, &batch) == 0) {
       if (Steal(worker, &batch) == 0) {
         charge(&Scratch::steal_ns);
         if (pending_.load(std::memory_order_acquire) == 0) break;
         // The whole frontier is in some worker's hands; spin politely
-        // until children land in a deque or the counter drains.
+        // until children land in a deque or the counter drains. A
+        // starving worker must still honor checkpoint rendezvous, or a
+        // due checkpoint would park the rest of the fleet forever.
+        MaybeParkForCheckpoint();
         std::this_thread::yield();
         charge(&Scratch::starve_ns);
         continue;
@@ -175,8 +356,29 @@ void RelaxedEngine::WorkerLoop(int worker) {
           last_report_generated_ = p.generated_states;
         }
       }
+      if (spill_enabled_ && checkpointing_ &&
+          CheckpointDue(clock_->NowNanos())) {
+        // Worker 0 owns the checkpoint cadence; the others rendezvous.
+        std::lock_guard<std::mutex> lock(ckpt_mu_);
+        if (!ckpt_requested_) {
+          ckpt_requested_ = true;
+          ckpt_cv_.notify_all();
+        }
+      }
     }
+    if (spill_enabled_) {
+      // Every worker enforces the memory budget at its own batch
+      // boundary: with a single enforcer the hot table can overshoot
+      // the budget by a worker-count factor between that worker's
+      // turns. The under-budget early-out is one relaxed atomic load,
+      // and concurrent evictors serialize inside EvictAll.
+      common::Status status = fpset_.EvictIfOverBudget();
+      if (status.ok()) status = fpset_.spill_status();
+      if (!status.ok()) RecordIoError(status);
+    }
+    MaybeParkForCheckpoint();
   }
+  ExitWorker();
 
   // Merge this worker's peak sample; tallies merge serially after join.
   uint64_t seen = frontier_peak_.load(std::memory_order_relaxed);
@@ -189,19 +391,87 @@ void RelaxedEngine::WorkerLoop(int worker) {
 CheckResult RelaxedEngine::Run() {
   StartRun();
 
-  std::vector<LevelEntry> seeds;
-  if (!SeedInitial(&seeds)) return Finish(common::Status::OK());
-
   deques_.reserve(static_cast<size_t>(workers_));
   for (int w = 0; w < workers_; ++w) {
     deques_.push_back(std::make_unique<WorkerDeque>());
   }
-  for (size_t i = 0; i < seeds.size(); ++i) {
-    deques_[i % static_cast<size_t>(workers_)]->entries.push_back(
-        std::move(seeds[i]));
+  if (spill_enabled_) {
+    // One spool per worker deque, distinguished by file prefix. The
+    // per-worker in-memory cap splits the global frontier budget.
+    per_worker_cap_ = std::max(
+        2 * kRelaxedBatchEntries,
+        frontier_inmem_cap_ / static_cast<size_t>(workers_));
+    spools_.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      FrontierSpool::Options spool_options;
+      spool_options.dir = spill_dir_;
+      spool_options.prefix = common::StrCat("seg-w", w);
+      spool_options.durable = checkpointing_;
+      spool_options.defer_deletes = checkpointing_;
+      // Segment granularity tracks the in-memory cap: a reload pops one
+      // segment, so segments larger than the cap would defeat it.
+      spool_options.segment_entries =
+          std::min(spool_options.segment_entries, per_worker_cap_);
+      spools_.push_back(
+          std::make_unique<FrontierSpool>(std::move(spool_options)));
+    }
   }
-  pending_.store(seeds.size(), std::memory_order_relaxed);
-  frontier_peak_.store(seeds.size(), std::memory_order_relaxed);
+  active_workers_ = workers_;
+
+  std::vector<LevelEntry> seeds;
+  if (options_.resume) {
+    if (!checkpointing_) {
+      return Finish(common::Status::InvalidArgument(
+          result_.spill_notice.empty()
+              ? "--resume requires --checkpoint-dir"
+              : common::StrCat("--resume: ", result_.spill_notice)));
+    }
+    CheckpointManifest manifest;
+    common::Status status = ResumeCommon(&manifest);
+    if (!status.ok()) return Finish(status);
+    if (manifest.workers != workers_) {
+      // Frontier segments are per worker (spool prefixes must match);
+      // relaxed resume needs the same fleet size the checkpoint had.
+      return Finish(common::Status::InvalidArgument(common::StrCat(
+          "--resume: relaxed checkpoint was written with ",
+          manifest.workers, " workers; rerun with --workers=",
+          manifest.workers)));
+    }
+    uint64_t restored = 0;
+    for (int w = 0; w < workers_; ++w) {
+      if (static_cast<size_t>(w) >= manifest.frontiers.size()) break;
+      uint64_t adopted = 0;
+      status = spools_[static_cast<size_t>(w)]->AdoptSegments(
+          manifest.frontiers[static_cast<size_t>(w)], &adopted);
+      if (!status.ok()) return Finish(status);
+      restored += adopted;
+    }
+    for (const CheckpointManifest::Candidate& c : manifest.candidates) {
+      State state;
+      size_t pos = 0;
+      status = DecodeState(c.state, &pos, &state);
+      if (!status.ok()) return Finish(status);
+      scratch_[0].candidates.push_back(
+          CandidateViolation{c.key, c.kind, c.fp, std::move(state)});
+    }
+    if (scratch_[0].candidates.size() > 1) {
+      CandidateViolation best = *std::min_element(
+          scratch_[0].candidates.begin(), scratch_[0].candidates.end(),
+          CandidateLess);
+      scratch_[0].candidates.clear();
+      scratch_[0].candidates.push_back(std::move(best));
+    }
+    pending_.store(restored, std::memory_order_relaxed);
+    frontier_peak_.store(0, std::memory_order_relaxed);
+  } else {
+    if (!SeedInitial(&seeds)) return Finish(common::Status::OK());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      deques_[i % static_cast<size_t>(workers_)]->entries.push_back(
+          std::move(seeds[i]));
+    }
+    pending_.store(seeds.size(), std::memory_order_relaxed);
+    frontier_peak_.store(seeds.size(), std::memory_order_relaxed);
+  }
 
   if (options_.publish_metrics) {
     auto& registry = obs::MetricsRegistry::Global();
@@ -224,6 +494,20 @@ CheckResult RelaxedEngine::Run() {
   }
   result_.frontier_peak = std::max(
       result_.frontier_peak, frontier_peak_.load(std::memory_order_relaxed));
+
+  if (spill_enabled_) {
+    uint64_t segments = 0;
+    for (const std::unique_ptr<FrontierSpool>& spool : spools_) {
+      segments += spool->segments_written();
+    }
+    frontier_segments_total_ = segments;
+    common::Status status = fpset_.spill_status();
+    if (status.ok() && abort_io_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      status = io_status_;
+    }
+    if (!status.ok()) return Finish(status);
+  }
 
   if (!candidates.empty()) {
     // The frontier was drained to completion, so the candidate set is a

@@ -1,5 +1,6 @@
 #include "tlax/fpset.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace xmodel::tlax {
@@ -17,6 +18,11 @@ int Log2(int pow2) {
   return bits;
 }
 
+// Estimated resident bytes per hot record: unordered_map node (key,
+// Record, next pointer, cached hash) plus amortized bucket array. What
+// EvictIfOverBudget compares against the memory budget.
+constexpr size_t kHotRecordBytes = 96;
+
 }  // namespace
 
 FingerprintSet::FingerprintSet() : FingerprintSet(Options()) {}
@@ -29,6 +35,13 @@ FingerprintSet::FingerprintSet(Options options) : options_(options) {
   // hashing, so reusing them for shard selection would correlate the two.
   shard_shift_ = 64 - Log2(shards);
   if (shards == 1) shard_shift_ = 0;  // (fp >> 0) & 0 == 0 either way.
+  if (!options_.spill_dir.empty()) {
+    SpillTier::Options spill;
+    spill.dir = options_.spill_dir;
+    spill.durable = options_.spill_durable;
+    spill.defer_deletes = options_.spill_defer_deletes;
+    tier_ = std::make_unique<SpillTier>(spill);
+  }
 }
 
 FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
@@ -36,10 +49,26 @@ FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
                                 uint64_t sleep_mask, const State* state) {
   Shard& shard = ShardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mu);
+  FpInsert out;
+  if (tier_ != nullptr && shard.records.find(fp) == shard.records.end()) {
+    // Disk probe under the shard lock: the evictor only erases a
+    // fingerprint from this shard after its run is sealed (and never
+    // holds the run-list lock exclusively while waiting on a shard), so
+    // a fingerprint is in the hot table or on disk at every instant and
+    // a miss here really means "new". Bloom filters keep the common
+    // negative at memory speed. Disk-resident records are settled by
+    // construction (eviction happens at barriers / batch boundaries), so
+    // a disk hit needs no min-merge or POR handling.
+    SpillTier::EdgeData disk_edge;
+    if (tier_->FindOnDisk(fp, &disk_edge)) {
+      out.depth = disk_edge.depth;
+      return out;
+    }
+  }
   auto [it, fresh] = shard.records.try_emplace(fp);
   Record& rec = it->second;
-  FpInsert out;
   if (fresh) {
+    if (tier_ != nullptr) hot_count_.fetch_add(1, std::memory_order_relaxed);
     rec.pred_fp = pred_fp;
     rec.order_key = order_key;
     rec.depth = depth;
@@ -136,12 +165,22 @@ FingerprintSet::PorSettle FingerprintSet::SettlePor(uint64_t fp,
 }
 
 std::optional<FingerprintSet::Edge> FingerprintSet::GetEdge(uint64_t fp) const {
-  const Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.records.find(fp);
-  if (it == shard.records.end()) return std::nullopt;
-  return Edge{it->second.pred_fp, it->second.order_key, it->second.action,
-              it->second.depth};
+  {
+    const Shard& shard = ShardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.records.find(fp);
+    if (it != shard.records.end()) {
+      return Edge{it->second.pred_fp, it->second.order_key,
+                  it->second.action, it->second.depth};
+    }
+  }
+  if (tier_ != nullptr) {
+    SpillTier::EdgeData e;
+    if (tier_->FindOnDisk(fp, &e)) {
+      return Edge{e.pred_fp, e.order_key, e.action, e.depth};
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<State> FingerprintSet::FindState(uint64_t fp) const {
@@ -150,6 +189,93 @@ std::optional<State> FingerprintSet::FindState(uint64_t fp) const {
   auto it = shard.states.find(fp);
   if (it == shard.states.end()) return std::nullopt;
   return it->second;
+}
+
+common::Status FingerprintSet::EvictIfOverBudget() {
+  if (tier_ == nullptr || options_.memory_budget_bytes == 0) {
+    return common::Status::OK();
+  }
+  if (hot_count_.load(std::memory_order_relaxed) * kHotRecordBytes <=
+      options_.memory_budget_bytes) {
+    return common::Status::OK();
+  }
+  return EvictAll();
+}
+
+common::Status FingerprintSet::EvictAll() {
+  if (tier_ == nullptr) return common::Status::OK();
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  // Copy out, seal, then erase — never erase before the run is
+  // registered, so concurrent Insert probes always see the fingerprint
+  // somewhere. Late same-level revisits of a captured record can still
+  // min-merge the hot copy after this snapshot; the engines only evict
+  // once those fields are settled (level barrier / batch boundary), so
+  // the sealed edge is the settled one.
+  std::vector<SpillTier::Entry> entries;
+  std::vector<std::vector<uint64_t>> captured(shards_.size());
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    Shard& shard = shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    captured[si].reserve(shard.records.size());
+    for (const auto& [fp, rec] : shard.records) {
+      entries.emplace_back(
+          fp, SpillTier::EdgeData{rec.pred_fp, rec.order_key, rec.depth,
+                                  rec.action});
+      captured[si].push_back(fp);
+    }
+  }
+  if (entries.empty()) return common::Status::OK();
+  std::sort(entries.begin(), entries.end(),
+            [](const SpillTier::Entry& a, const SpillTier::Entry& b) {
+              return a.first < b.first;
+            });
+  common::Status status = tier_->SealRun(entries);
+  if (!status.ok()) return status;
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    if (captured[si].empty()) continue;
+    Shard& shard = shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (uint64_t fp : captured[si]) shard.records.erase(fp);
+  }
+  hot_count_.fetch_sub(entries.size(), std::memory_order_relaxed);
+  return tier_->CompactIfNeeded();
+}
+
+common::Status FingerprintSet::AdoptSpillRuns(
+    const std::vector<std::string>& files) {
+  if (tier_ == nullptr) {
+    return common::Status::InvalidArgument(
+        "AdoptSpillRuns: spilling is not enabled");
+  }
+  common::Status status = tier_->AdoptRuns(files);
+  if (!status.ok()) return status;
+  size_t total = 0;
+  for (const SpillTier::RunInfo& info : tier_->run_infos()) {
+    total += static_cast<size_t>(info.count);
+  }
+  size_.store(total, std::memory_order_relaxed);
+  return common::Status::OK();
+}
+
+common::Status FingerprintSet::DropSpillOrphans() const {
+  return tier_ == nullptr ? common::Status::OK() : tier_->DropOrphans();
+}
+
+void FingerprintSet::PurgeSpillRetired() {
+  if (tier_ != nullptr) tier_->PurgeRetired();
+}
+
+SpillTier::Stats FingerprintSet::spill_stats() const {
+  return tier_ == nullptr ? SpillTier::Stats{} : tier_->stats();
+}
+
+common::Status FingerprintSet::spill_status() const {
+  return tier_ == nullptr ? common::Status::OK() : tier_->status();
+}
+
+std::vector<SpillTier::RunInfo> FingerprintSet::spill_run_infos() const {
+  return tier_ == nullptr ? std::vector<SpillTier::RunInfo>{}
+                          : tier_->run_infos();
 }
 
 double FingerprintSet::load_factor() const {

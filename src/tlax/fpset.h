@@ -3,12 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/status.h"
+#include "tlax/fpset_spill.h"
 #include "tlax/state.h"
 
 namespace xmodel::tlax {
@@ -92,6 +96,19 @@ class FingerprintSet {
     /// The full action mask (bit per action) immediate_por_settle uses
     /// for its uncovered-work test inside Insert.
     uint64_t por_all_actions = 0;
+    /// Out-of-core tier: directory for sealed spill runs. Empty disables
+    /// spilling entirely. Incompatible with keep_states/audit/track_por
+    /// (those need mutable or full-state records; the engine gates this).
+    std::string spill_dir;
+    /// Estimated hot-table bytes that trigger eviction via
+    /// EvictIfOverBudget. 0 means no budget (evictions only happen on
+    /// explicit EvictAll, e.g. at checkpoints).
+    uint64_t memory_budget_bytes = 0;
+    /// fsync spill runs (checkpoint durability).
+    bool spill_durable = false;
+    /// Defer deletion of compacted-away runs until PurgeSpillRetired()
+    /// (checkpoint manifests may still reference them).
+    bool spill_defer_deletes = false;
   };
 
   FingerprintSet();  // Default options.
@@ -164,6 +181,38 @@ class FingerprintSet {
   size_t num_shards() const { return shards_.size(); }
   bool keep_states() const { return options_.keep_states; }
 
+  /// Whether the out-of-core tier is active (Options::spill_dir set).
+  bool has_spill() const { return tier_ != nullptr; }
+  /// Records currently resident in the hot table (not yet evicted).
+  size_t hot_count() const {
+    return hot_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Evicts the whole hot table as one sealed run when its estimated
+  /// footprint exceeds Options::memory_budget_bytes; no-op otherwise.
+  /// Thread-compatible with concurrent Insert/GetEdge: a fingerprint is
+  /// visible in the hot table or on disk at every instant. Concurrent
+  /// callers serialize on an internal mutex.
+  common::Status EvictIfOverBudget();
+  /// Unconditionally evicts the hot table (checkpoint preparation: a
+  /// manifest names only sealed runs, so everything must be on disk).
+  common::Status EvictAll();
+
+  /// Resume path: adopts previously sealed run files (validated; corrupt
+  /// files are a clean kCorruption error) and resets size() to their
+  /// record total. The hot table must be empty.
+  common::Status AdoptSpillRuns(const std::vector<std::string>& files);
+  /// Removes non-live run files left by a crash after the last manifest.
+  common::Status DropSpillOrphans() const;
+  /// Deletes compaction-retired run files (after a manifest write).
+  void PurgeSpillRetired();
+
+  /// Stats / sticky IO error / live runs of the disk tier (zero/OK/empty
+  /// when spilling is off).
+  SpillTier::Stats spill_stats() const;
+  common::Status spill_status() const;
+  std::vector<SpillTier::RunInfo> spill_run_infos() const;
+
  private:
   struct Record {
     uint64_t pred_fp = 0;
@@ -194,6 +243,11 @@ class FingerprintSet {
   int shard_shift_ = 0;
   std::atomic<size_t> size_{0};
   std::atomic<uint64_t> collisions_{0};
+
+  // Out-of-core tier (null unless Options::spill_dir is set).
+  std::unique_ptr<SpillTier> tier_;
+  std::mutex evict_mu_;  // Serializes EvictAll/EvictIfOverBudget.
+  std::atomic<size_t> hot_count_{0};
 };
 
 }  // namespace xmodel::tlax

@@ -1,0 +1,639 @@
+#include "tlax/fpset_spill.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+
+#include "common/clock.h"
+#include "common/fileio.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "common/varint.h"
+
+namespace xmodel::tlax {
+
+namespace {
+
+// Run file layout (all multi-byte integers little-endian):
+//
+//   [8]  magic "XFPRUN1\0"
+//   [8]  entry count
+//   per block:
+//     [8]  payload byte length
+//     payload:
+//       varint   n (entries in this block)
+//       fixed64  first fingerprint
+//       varint   fingerprint deltas (n-1, strictly positive)
+//       n times: fixed64 pred_fp, varint order_key, varint action,
+//                varint zigzag(depth)
+//   [8]  checksum: xor of a per-entry hash chained over the fingerprint
+//        AND its edge fields, mixed with the count — a flipped bit in
+//        the sidecar fails validation, not just one in the fp stream
+//
+// The sparse index (first fp + byte extent per block) and the Bloom
+// filter are rebuilt from a full scan when a file is adopted on resume;
+// the scan doubles as corruption detection.
+constexpr char kMagic[8] = {'X', 'F', 'P', 'R', 'U', 'N', '1', '\0'};
+constexpr size_t kHeaderBytes = 16;
+constexpr uint64_t kChecksumSeed = 0x5f3759df9e3779b9ULL;
+
+constexpr uint64_t kBloomBitsPerKey = 10;
+constexpr int kBloomProbes = 6;
+
+uint64_t ChecksumFinish(uint64_t fp_xor, uint64_t count) {
+  return fp_xor ^ common::Mix64(count ^ kChecksumSeed);
+}
+
+uint64_t EntryChecksum(uint64_t fp, const SpillTier::EdgeData& edge) {
+  uint64_t h = common::Mix64(fp);
+  h = common::HashCombine(h, edge.pred_fp);
+  h = common::HashCombine(h, edge.order_key);
+  h = common::HashCombine(h, static_cast<uint64_t>(edge.depth));
+  h = common::HashCombine(h, edge.action);
+  return h;
+}
+
+void BloomAdd(std::vector<uint64_t>* words, uint64_t fp) {
+  const uint64_t bits = words->size() * 64;
+  uint64_t h = common::Mix64(fp ^ 0xa076'1d64'78bd'642fULL);
+  const uint64_t step = common::Mix64(fp + 0xe703'7ed1'a0b4'28dbULL) | 1;
+  for (int i = 0; i < kBloomProbes; ++i) {
+    const uint64_t bit = h % bits;
+    (*words)[bit >> 6] |= uint64_t{1} << (bit & 63);
+    h += step;
+  }
+}
+
+bool BloomMayContain(const std::vector<uint64_t>& words, uint64_t fp) {
+  const uint64_t bits = words.size() * 64;
+  uint64_t h = common::Mix64(fp ^ 0xa076'1d64'78bd'642fULL);
+  const uint64_t step = common::Mix64(fp + 0xe703'7ed1'a0b4'28dbULL) | 1;
+  for (int i = 0; i < kBloomProbes; ++i) {
+    const uint64_t bit = h % bits;
+    if (((words[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
+    h += step;
+  }
+  return true;
+}
+
+size_t BloomWords(uint64_t count) {
+  const uint64_t bits = std::max<uint64_t>(64, count * kBloomBitsPerKey);
+  return static_cast<size_t>((bits + 63) / 64);
+}
+
+common::Status Corrupt(const std::string& file, const char* what) {
+  return common::Status::Corruption("spill run " + file + ": " + what);
+}
+
+common::Status DecodeBlockPayload(std::string_view payload,
+                                  const std::string& file,
+                                  std::vector<SpillTier::Entry>* out) {
+  out->clear();
+  size_t pos = 0;
+  uint64_t n = 0;
+  if (!common::GetVarint64(payload, &pos, &n)) {
+    return Corrupt(file, "truncated block entry count");
+  }
+  if (n == 0 || n > payload.size()) {
+    return Corrupt(file, "implausible block entry count");
+  }
+  out->reserve(static_cast<size_t>(n));
+  uint64_t fp = 0;
+  if (!common::GetFixed64(payload, &pos, &fp)) {
+    return Corrupt(file, "truncated first fingerprint");
+  }
+  out->emplace_back(fp, SpillTier::EdgeData{});
+  for (uint64_t i = 1; i < n; ++i) {
+    uint64_t delta = 0;
+    if (!common::GetVarint64(payload, &pos, &delta)) {
+      return Corrupt(file, "truncated fingerprint delta");
+    }
+    if (delta == 0 || fp + delta < fp) {
+      return Corrupt(file, "non-increasing fingerprint delta");
+    }
+    fp += delta;
+    out->emplace_back(fp, SpillTier::EdgeData{});
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    SpillTier::EdgeData& edge = (*out)[static_cast<size_t>(i)].second;
+    uint64_t action = 0;
+    if (!common::GetFixed64(payload, &pos, &edge.pred_fp) ||
+        !common::GetVarint64(payload, &pos, &edge.order_key) ||
+        !common::GetVarint64(payload, &pos, &action) ||
+        !common::GetVarintSigned(payload, &pos, &edge.depth)) {
+      return Corrupt(file, "truncated edge sidecar");
+    }
+    if (action > UINT16_MAX) return Corrupt(file, "edge action out of range");
+    edge.action = static_cast<uint16_t>(action);
+  }
+  if (pos != payload.size()) {
+    return Corrupt(file, "trailing bytes in block");
+  }
+  return common::Status::OK();
+}
+
+// Accumulates sorted entries into the on-disk run representation, the
+// shared backend of SealRun and compaction.
+class RunBuilder {
+ public:
+  RunBuilder(size_t block_entries, uint64_t expected_count)
+      : block_entries_(block_entries), bloom_(BloomWords(expected_count), 0) {
+    contents_.append(kMagic, sizeof(kMagic));
+    common::PutFixed64(expected_count, &contents_);
+  }
+
+  void Add(uint64_t fp, const SpillTier::EdgeData& edge) {
+    pending_.emplace_back(fp, edge);
+    BloomAdd(&bloom_, fp);
+    checksum_ ^= EntryChecksum(fp, edge);
+    ++count_;
+    if (pending_.size() >= block_entries_) FlushBlock();
+  }
+
+  std::string Finish() {
+    if (!pending_.empty()) FlushBlock();
+    common::PutFixed64(ChecksumFinish(checksum_, count_), &contents_);
+    return std::move(contents_);
+  }
+
+  uint64_t count() const { return count_; }
+  std::vector<uint64_t> TakeBloom() { return std::move(bloom_); }
+  std::vector<uint64_t> TakeBlockFirstFp() {
+    return std::move(block_first_fp_);
+  }
+  std::vector<uint64_t> TakeBlockOffset() { return std::move(block_offset_); }
+  std::vector<uint32_t> TakeBlockLen() { return std::move(block_len_); }
+
+ private:
+  void FlushBlock() {
+    std::string payload;
+    common::PutVarint64(pending_.size(), &payload);
+    common::PutFixed64(pending_[0].first, &payload);
+    for (size_t i = 1; i < pending_.size(); ++i) {
+      common::PutVarint64(pending_[i].first - pending_[i - 1].first,
+                          &payload);
+    }
+    for (const SpillTier::Entry& e : pending_) {
+      common::PutFixed64(e.second.pred_fp, &payload);
+      common::PutVarint64(e.second.order_key, &payload);
+      common::PutVarint64(e.second.action, &payload);
+      common::PutVarintSigned(e.second.depth, &payload);
+    }
+    block_first_fp_.push_back(pending_[0].first);
+    common::PutFixed64(payload.size(), &contents_);
+    block_offset_.push_back(contents_.size());
+    block_len_.push_back(static_cast<uint32_t>(payload.size()));
+    contents_.append(payload);
+    pending_.clear();
+  }
+
+  size_t block_entries_;
+  std::string contents_;
+  std::vector<SpillTier::Entry> pending_;
+  std::vector<uint64_t> bloom_;
+  std::vector<uint64_t> block_first_fp_;
+  std::vector<uint64_t> block_offset_;
+  std::vector<uint32_t> block_len_;
+  uint64_t checksum_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+struct SpillTier::Run {
+  std::string file;  // Name within the spill dir.
+  std::string path;
+  int fd = -1;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+  std::vector<uint64_t> block_first_fp;
+  std::vector<uint64_t> block_offset;
+  std::vector<uint32_t> block_len;
+  std::vector<uint64_t> bloom;
+
+  ~Run() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  common::Status ReadBlock(size_t block, std::string* payload) const {
+    payload->resize(block_len[block]);
+    size_t done = 0;
+    while (done < payload->size()) {
+      const ssize_t n =
+          ::pread(fd, payload->data() + done, payload->size() - done,
+                  static_cast<off_t>(block_offset[block] + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return common::Status::Internal("pread " + path + ": " +
+                                        std::strerror(errno));
+      }
+      if (n == 0) return Corrupt(file, "block extends past end of file");
+      done += static_cast<size_t>(n);
+    }
+    return common::Status::OK();
+  }
+
+  // Probes this run for `fp`. Returns kNotFound when absent.
+  common::Status Find(uint64_t fp, EdgeData* edge) const {
+    auto it = std::upper_bound(block_first_fp.begin(), block_first_fp.end(),
+                               fp);
+    if (it == block_first_fp.begin()) {
+      return common::Status::NotFound("");
+    }
+    const size_t block =
+        static_cast<size_t>(it - block_first_fp.begin()) - 1;
+    std::string payload;
+    common::Status status = ReadBlock(block, &payload);
+    if (!status.ok()) return status;
+    std::vector<Entry> entries;
+    status = DecodeBlockPayload(payload, file, &entries);
+    if (!status.ok()) return status;
+    auto entry = std::lower_bound(
+        entries.begin(), entries.end(), fp,
+        [](const Entry& e, uint64_t key) { return e.first < key; });
+    if (entry == entries.end() || entry->first != fp) {
+      return common::Status::NotFound("");
+    }
+    *edge = entry->second;
+    return common::Status::OK();
+  }
+};
+
+SpillTier::SpillTier(Options options) : options_(std::move(options)) {
+  if (options_.block_entries == 0) options_.block_entries = 256;
+}
+
+SpillTier::~SpillTier() = default;
+
+void SpillTier::RecordError(const common::Status& status) const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  if (status_.ok()) status_ = status;
+}
+
+common::Status SpillTier::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+std::string SpillTier::NextRunFile() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "run-%06llu.run",
+                static_cast<unsigned long long>(next_generation_++));
+  return buf;
+}
+
+common::Status SpillTier::SealRun(const std::vector<Entry>& entries) {
+  if (entries.empty()) return common::Status::OK();
+  if (!dir_ready_) {
+    common::Status status = common::EnsureDir(options_.dir);
+    if (!status.ok()) {
+      RecordError(status);
+      return status;
+    }
+    dir_ready_ = true;
+  }
+  RunBuilder builder(options_.block_entries, entries.size());
+  for (const Entry& e : entries) builder.Add(e.first, e.second);
+  auto run = std::make_shared<Run>();
+  run->file = NextRunFile();
+  run->path = options_.dir + "/" + run->file;
+  const std::string contents = builder.Finish();
+  common::WriteFileOptions write_options;
+  write_options.durable = options_.durable;
+  common::Status status =
+      common::WriteFileAtomic(run->path, contents, write_options);
+  if (!status.ok()) {
+    RecordError(status);
+    return status;
+  }
+  run->fd = ::open(run->path.c_str(), O_RDONLY);
+  if (run->fd < 0) {
+    status = common::Status::Internal("open " + run->path + ": " +
+                                      std::strerror(errno));
+    RecordError(status);
+    return status;
+  }
+  run->count = builder.count();
+  run->bytes = contents.size();
+  run->bloom = builder.TakeBloom();
+  run->block_first_fp = builder.TakeBlockFirstFp();
+  run->block_offset = builder.TakeBlockOffset();
+  run->block_len = builder.TakeBlockLen();
+  bytes_written_.fetch_add(contents.size(), std::memory_order_relaxed);
+  generations_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::shared_mutex> lock(runs_mu_);
+    runs_.push_back(std::move(run));
+  }
+  return common::Status::OK();
+}
+
+bool SpillTier::FindOnDisk(uint64_t fp, EdgeData* edge) const {
+  std::shared_lock<std::shared_mutex> lock(runs_mu_);
+  for (const std::shared_ptr<Run>& run : runs_) {
+    if (!BloomMayContain(run->bloom, fp)) continue;
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t start_ns = common::MonotonicClock::Real()->NowNanos();
+    common::Status status = run->Find(fp, edge);
+    probe_ns_.fetch_add(
+        common::MonotonicClock::Real()->NowNanos() - start_ns,
+        std::memory_order_relaxed);
+    if (status.ok()) return true;
+    if (status.code() != common::StatusCode::kNotFound) {
+      RecordError(status);
+      return false;
+    }
+  }
+  return false;
+}
+
+common::Status SpillTier::CompactIfNeeded() {
+  std::vector<std::shared_ptr<Run>> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(runs_mu_);
+    if (options_.compact_min_runs == 0 ||
+        runs_.size() < options_.compact_min_runs) {
+      return common::Status::OK();
+    }
+    snapshot = runs_;
+  }
+  const int64_t start_ns = common::MonotonicClock::Real()->NowNanos();
+
+  // Streaming k-way merge: one decoded block per run in memory at a
+  // time, heap-ordered by the cursors' current fingerprints.
+  struct Cursor {
+    const Run* run;
+    size_t block = 0;
+    size_t i = 0;
+    std::vector<Entry> entries;
+  };
+  std::vector<Cursor> cursors;
+  uint64_t total = 0;
+  for (const std::shared_ptr<Run>& run : snapshot) {
+    total += run->count;
+    cursors.push_back(Cursor{run.get()});
+  }
+  auto load = [this](Cursor* c) -> common::Status {
+    c->entries.clear();
+    c->i = 0;
+    if (c->block >= c->run->block_first_fp.size()) {
+      return common::Status::OK();  // Exhausted.
+    }
+    std::string payload;
+    common::Status status = c->run->ReadBlock(c->block, &payload);
+    if (!status.ok()) return status;
+    status = DecodeBlockPayload(payload, c->run->file, &c->entries);
+    if (!status.ok()) return status;
+    ++c->block;
+    return common::Status::OK();
+  };
+  using HeapItem = std::pair<uint64_t, size_t>;  // (fp, cursor index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>,
+                      std::greater<HeapItem>>
+      heap;
+  for (size_t ci = 0; ci < cursors.size(); ++ci) {
+    common::Status status = load(&cursors[ci]);
+    if (!status.ok()) {
+      RecordError(status);
+      return status;
+    }
+    if (!cursors[ci].entries.empty()) {
+      heap.emplace(cursors[ci].entries[0].first, ci);
+    }
+  }
+  RunBuilder builder(options_.block_entries, total);
+  while (!heap.empty()) {
+    const auto [fp, ci] = heap.top();
+    heap.pop();
+    Cursor& c = cursors[ci];
+    builder.Add(fp, c.entries[c.i].second);
+    ++c.i;
+    if (c.i >= c.entries.size()) {
+      common::Status status = load(&c);
+      if (!status.ok()) {
+        RecordError(status);
+        return status;
+      }
+    }
+    if (c.i < c.entries.size()) {
+      heap.emplace(c.entries[c.i].first, ci);
+    }
+  }
+
+  auto merged = std::make_shared<Run>();
+  merged->file = NextRunFile();
+  merged->path = options_.dir + "/" + merged->file;
+  const std::string contents = builder.Finish();
+  common::WriteFileOptions write_options;
+  write_options.durable = options_.durable;
+  common::Status status =
+      common::WriteFileAtomic(merged->path, contents, write_options);
+  if (!status.ok()) {
+    RecordError(status);
+    return status;
+  }
+  merged->fd = ::open(merged->path.c_str(), O_RDONLY);
+  if (merged->fd < 0) {
+    status = common::Status::Internal("open " + merged->path + ": " +
+                                      std::strerror(errno));
+    RecordError(status);
+    return status;
+  }
+  merged->count = builder.count();
+  merged->bytes = contents.size();
+  merged->bloom = builder.TakeBloom();
+  merged->block_first_fp = builder.TakeBlockFirstFp();
+  merged->block_offset = builder.TakeBlockOffset();
+  merged->block_len = builder.TakeBlockLen();
+  bytes_written_.fetch_add(contents.size(), std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::shared_mutex> lock(runs_mu_);
+    runs_.clear();
+    runs_.push_back(std::move(merged));
+  }
+  // The input runs are no longer reachable by probes; their files go now,
+  // or at the next PurgeRetired() when a manifest may still name them.
+  for (const std::shared_ptr<Run>& run : snapshot) {
+    if (options_.defer_deletes) {
+      retired_.push_back(run->path);
+    } else {
+      common::RemoveFileIfExists(run->path);
+    }
+  }
+  merge_ns_.fetch_add(common::MonotonicClock::Real()->NowNanos() - start_ns,
+                      std::memory_order_relaxed);
+  return common::Status::OK();
+}
+
+common::Status SpillTier::OpenRun(const std::string& file,
+                                  std::shared_ptr<Run>* out) {
+  auto run = std::make_shared<Run>();
+  run->file = file;
+  run->path = options_.dir + "/" + file;
+  std::string contents;
+  common::Status status = common::ReadFileToString(run->path, &contents);
+  if (!status.ok()) return status;
+  if (contents.size() < kHeaderBytes + 8 ||
+      std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(file, "missing or short header");
+  }
+  size_t pos = sizeof(kMagic);
+  uint64_t declared = 0;
+  common::GetFixed64(contents, &pos, &declared);
+  uint64_t scanned = 0;
+  uint64_t checksum = 0;
+  uint64_t prev_fp = 0;
+  std::vector<Entry> entries;
+  // Everything between the header and the trailing checksum is blocks.
+  const size_t blocks_end = contents.size() - 8;
+  while (pos < blocks_end) {
+    uint64_t payload_len = 0;
+    if (!common::GetFixed64(contents, &pos, &payload_len) ||
+        payload_len > blocks_end - pos) {
+      return Corrupt(file, "truncated block");
+    }
+    const std::string_view payload(contents.data() + pos,
+                                   static_cast<size_t>(payload_len));
+    status = DecodeBlockPayload(payload, file, &entries);
+    if (!status.ok()) return status;
+    if (scanned > 0 && entries[0].first <= prev_fp) {
+      return Corrupt(file, "blocks out of fingerprint order");
+    }
+    run->block_first_fp.push_back(entries[0].first);
+    run->block_offset.push_back(pos);
+    run->block_len.push_back(static_cast<uint32_t>(payload_len));
+    scanned += entries.size();
+    prev_fp = entries.back().first;
+    pos += static_cast<size_t>(payload_len);
+  }
+  if (scanned != declared) {
+    return Corrupt(file, "entry count mismatch");
+  }
+  // Second pass for the filter + checksum (entries were consumed
+  // block-by-block above; re-walk cheaply for the fp stream only).
+  run->bloom.assign(BloomWords(declared), 0);
+  pos = kHeaderBytes;
+  while (pos < blocks_end) {
+    uint64_t payload_len = 0;
+    common::GetFixed64(contents, &pos, &payload_len);
+    const std::string_view payload(contents.data() + pos,
+                                   static_cast<size_t>(payload_len));
+    status = DecodeBlockPayload(payload, file, &entries);
+    if (!status.ok()) return status;
+    for (const Entry& e : entries) {
+      BloomAdd(&run->bloom, e.first);
+      checksum ^= EntryChecksum(e.first, e.second);
+    }
+    pos += static_cast<size_t>(payload_len);
+  }
+  uint64_t declared_checksum = 0;
+  pos = blocks_end;
+  common::GetFixed64(contents, &pos, &declared_checksum);
+  if (ChecksumFinish(checksum, scanned) != declared_checksum) {
+    return Corrupt(file, "checksum mismatch");
+  }
+  run->fd = ::open(run->path.c_str(), O_RDONLY);
+  if (run->fd < 0) {
+    return common::Status::Internal("open " + run->path + ": " +
+                                    std::strerror(errno));
+  }
+  run->count = declared;
+  run->bytes = contents.size();
+  *out = std::move(run);
+  return common::Status::OK();
+}
+
+common::Status SpillTier::AdoptRuns(const std::vector<std::string>& files) {
+  std::vector<std::shared_ptr<Run>> adopted;
+  uint64_t max_generation = 0;
+  for (const std::string& file : files) {
+    std::shared_ptr<Run> run;
+    common::Status status = OpenRun(file, &run);
+    if (!status.ok()) {
+      RecordError(status);
+      return status;
+    }
+    unsigned long long generation = 0;
+    if (std::sscanf(file.c_str(), "run-%6llu.run", &generation) == 1) {
+      max_generation = std::max(max_generation,
+                                static_cast<uint64_t>(generation) + 1);
+    }
+    adopted.push_back(std::move(run));
+  }
+  dir_ready_ = true;
+  next_generation_ = std::max(next_generation_, max_generation);
+  std::unique_lock<std::shared_mutex> lock(runs_mu_);
+  runs_ = std::move(adopted);
+  return common::Status::OK();
+}
+
+common::Status SpillTier::DropOrphans() const {
+  std::vector<std::string> files;
+  common::Status status = common::ListDirFiles(options_.dir, &files);
+  if (!status.ok()) {
+    return status.code() == common::StatusCode::kNotFound
+               ? common::Status::OK()
+               : status;
+  }
+  std::shared_lock<std::shared_mutex> lock(runs_mu_);
+  for (const std::string& file : files) {
+    if (file.rfind("run-", 0) != 0) continue;
+    bool live = false;
+    for (const std::shared_ptr<Run>& run : runs_) {
+      if (run->file == file) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      common::RemoveFileIfExists(options_.dir + "/" + file);
+    }
+  }
+  return common::Status::OK();
+}
+
+void SpillTier::PurgeRetired() {
+  for (const std::string& path : retired_) {
+    common::RemoveFileIfExists(path);
+  }
+  retired_.clear();
+}
+
+std::vector<SpillTier::RunInfo> SpillTier::run_infos() const {
+  std::shared_lock<std::shared_mutex> lock(runs_mu_);
+  std::vector<RunInfo> infos;
+  infos.reserve(runs_.size());
+  for (const std::shared_ptr<Run>& run : runs_) {
+    infos.push_back(RunInfo{run->file, run->count, run->bytes});
+  }
+  return infos;
+}
+
+SpillTier::Stats SpillTier::stats() const {
+  Stats s;
+  {
+    std::shared_lock<std::shared_mutex> lock(runs_mu_);
+    s.runs = runs_.size();
+    for (const std::shared_ptr<Run>& run : runs_) {
+      s.spilled_records += run->count;
+      s.live_bytes += run->bytes;
+    }
+  }
+  s.generations = generations_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.probe_ms =
+      static_cast<double>(probe_ns_.load(std::memory_order_relaxed)) * 1e-6;
+  s.merge_ms =
+      static_cast<double>(merge_ns_.load(std::memory_order_relaxed)) * 1e-6;
+  return s;
+}
+
+}  // namespace xmodel::tlax

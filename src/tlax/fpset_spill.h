@@ -1,0 +1,158 @@
+#ifndef XMODEL_TLAX_FPSET_SPILL_H_
+#define XMODEL_TLAX_FPSET_SPILL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmodel::tlax {
+
+/// The fingerprint set's disk tier: sealed, immutable runs of sorted
+/// fingerprints with their discovery edges, the TLC out-of-core design
+/// with delta compression. Each run is one "spill generation" — the
+/// whole hot table frozen at an eviction point — laid out as
+/// fixed-entry-count blocks of varint-encoded fingerprint deltas plus a
+/// compact edge sidecar (pred_fp, order_key, action, depth) so
+/// counterexample-trace rebuild still works after eviction.
+///
+/// Per run the tier keeps two small in-memory structures: a Bloom filter
+/// (so the common "fingerprint is new" probe stays memory-speed — a
+/// negative never touches disk) and a per-block sparse index (first
+/// fingerprint + byte extent), so a positive costs one pread of a few KB
+/// and one block decode. Runs are disjoint by construction (a
+/// fingerprint is evicted exactly once), and a k-way block-streaming
+/// merge compacts them when the run count grows.
+///
+/// Thread safety: probes take a shared lock on the run list; sealing and
+/// compaction take it exclusively only for the list swap. Callers
+/// serialize SealRun/Compact externally (FingerprintSet's eviction
+/// mutex). All file writes go through common::WriteFileAtomic, so a
+/// crash never leaves a half-written run visible.
+class SpillTier {
+ public:
+  struct Options {
+    /// Directory sealed runs live in. Created on demand.
+    std::string dir;
+    /// Fingerprints per block (the probe/merge IO granularity).
+    size_t block_entries = 256;
+    /// Compact when the run count reaches this. 0 disables compaction.
+    size_t compact_min_runs = 8;
+    /// fsync run files and the directory (checkpoint durability).
+    bool durable = false;
+    /// Keep compacted-away run files on disk until PurgeRetired().
+    /// Checkpointing needs this: the last published manifest may still
+    /// name a run that compaction just replaced, so the file must
+    /// survive until the next manifest lands.
+    bool defer_deletes = false;
+  };
+
+  /// The discovery edge spilled beside each fingerprint — exactly what
+  /// FingerprintSet::GetEdge and trace rebuild need.
+  struct EdgeData {
+    uint64_t pred_fp = 0;
+    uint64_t order_key = 0;
+    int64_t depth = 0;
+    uint16_t action = 0;
+  };
+
+  using Entry = std::pair<uint64_t, EdgeData>;
+
+  struct RunInfo {
+    std::string file;  // Name within dir, not a path.
+    uint64_t count = 0;
+    uint64_t bytes = 0;
+  };
+
+  struct Stats {
+    uint64_t runs = 0;              // Currently live run files.
+    uint64_t generations = 0;       // SealRun calls (spill generations).
+    uint64_t spilled_records = 0;   // Records currently on disk.
+    uint64_t live_bytes = 0;        // Bytes of live run files.
+    uint64_t bytes_written = 0;     // Cumulative bytes written (monotone).
+    uint64_t compactions = 0;
+    uint64_t probes = 0;            // Disk-path probes (past the filters).
+    double probe_ms = 0;
+    double merge_ms = 0;
+  };
+
+  explicit SpillTier(Options options);
+  ~SpillTier();
+
+  SpillTier(const SpillTier&) = delete;
+  SpillTier& operator=(const SpillTier&) = delete;
+
+  const std::string& dir() const { return options_.dir; }
+
+  /// Seals `entries` (sorted by fingerprint, strictly increasing,
+  /// disjoint from every live run) as a new run file and registers it
+  /// for probes. Empty input is a no-op.
+  common::Status SealRun(const std::vector<Entry>& entries);
+
+  /// Membership + edge probe across every live run. False means the
+  /// fingerprint is definitely absent from disk (or an IO error was
+  /// recorded — see status()).
+  bool FindOnDisk(uint64_t fp, EdgeData* edge) const;
+
+  /// K-way merges all live runs into one when the run count has reached
+  /// Options::compact_min_runs.
+  common::Status CompactIfNeeded();
+
+  /// Resume path: opens and validates previously sealed run files (names
+  /// within dir, in manifest order). A truncated or garbled file is a
+  /// clean kCorruption error. Replaces the current (empty) run list.
+  common::Status AdoptRuns(const std::vector<std::string>& files);
+
+  /// Deletes run files in dir that are not currently live — leftovers
+  /// from a run that died between sealing and manifest publication.
+  common::Status DropOrphans() const;
+
+  /// Deletes run files retired by compaction since the last purge
+  /// (defer_deletes mode; no-op otherwise). Call after each manifest
+  /// write, once no manifest references them.
+  void PurgeRetired();
+
+  /// Live runs in generation order, for checkpoint manifests.
+  std::vector<RunInfo> run_infos() const;
+
+  Stats stats() const;
+
+  /// First sticky IO/corruption error observed by any operation
+  /// (including const probes). The engine checks this at safe points and
+  /// aborts the run instead of diverging.
+  common::Status status() const;
+
+ private:
+  struct Run;
+
+  common::Status OpenRun(const std::string& file, std::shared_ptr<Run>* out);
+  void RecordError(const common::Status& status) const;
+  std::string NextRunFile();
+
+  Options options_;
+  mutable std::shared_mutex runs_mu_;
+  std::vector<std::shared_ptr<Run>> runs_;
+  std::vector<std::string> retired_;  // Paths awaiting PurgeRetired().
+  uint64_t next_generation_ = 0;
+  bool dir_ready_ = false;
+
+  mutable std::mutex status_mu_;
+  mutable common::Status status_;
+
+  std::atomic<uint64_t> generations_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> compactions_{0};
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<int64_t> probe_ns_{0};
+  std::atomic<int64_t> merge_ns_{0};
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_FPSET_SPILL_H_

@@ -1,0 +1,188 @@
+#include "tlax/frontier_spill.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/fileio.h"
+#include "common/hash.h"
+#include "common/varint.h"
+#include "tlax/state_codec.h"
+
+namespace xmodel::tlax::internal {
+
+namespace {
+
+// Segment layout: magic, fixed64 entry count, per entry the serialized
+// state followed by fixed64 fp / zigzag-varint depth / fixed64 key, and
+// a trailing fixed64 FNV-1a checksum over every preceding byte — the
+// serialized states included, so any flipped bit is caught on resume.
+constexpr char kSegMagic[8] = {'X', 'F', 'R', 'S', 'E', 'G', '1', '\0'};
+
+common::Status Corrupt(const std::string& file, const char* what) {
+  return common::Status::Corruption("frontier segment " + file + ": " + what);
+}
+
+}  // namespace
+
+FrontierSpool::FrontierSpool(Options options) : options_(std::move(options)) {
+  if (options_.segment_entries == 0) options_.segment_entries = 4096;
+}
+
+common::Status FrontierSpool::WriteSegment() {
+  if (tail_.empty()) return common::Status::OK();
+  std::string contents(kSegMagic, sizeof(kSegMagic));
+  common::PutFixed64(tail_.size(), &contents);
+  for (const LevelEntry& e : tail_) {
+    EncodeState(e.state, &contents);
+    common::PutFixed64(e.fp, &contents);
+    common::PutVarintSigned(e.depth, &contents);
+    common::PutFixed64(e.key, &contents);
+  }
+  common::PutFixed64(common::HashString(contents), &contents);
+
+  if (!dir_ready_) {
+    common::Status status = common::EnsureDir(options_.dir);
+    if (!status.ok()) return status;
+    dir_ready_ = true;
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "-%06llu.seg",
+                static_cast<unsigned long long>(next_segment_++));
+  Segment seg;
+  seg.file = options_.prefix + suffix;
+  seg.count = tail_.size();
+  common::WriteFileOptions write_options;
+  write_options.durable = options_.durable;
+  common::Status status = common::WriteFileAtomic(
+      options_.dir + "/" + seg.file, contents, write_options);
+  if (!status.ok()) return status;
+  spooled_ += seg.count;
+  ++segments_written_;
+  segments_.push_back(std::move(seg));
+  tail_.clear();
+  return common::Status::OK();
+}
+
+common::Status FrontierSpool::ReadSegment(const std::string& file,
+                                          std::vector<LevelEntry>* out) const {
+  out->clear();
+  std::string contents;
+  common::Status status =
+      common::ReadFileToString(options_.dir + "/" + file, &contents);
+  if (!status.ok()) return status;
+  if (contents.size() < sizeof(kSegMagic) + 16 ||
+      std::memcmp(contents.data(), kSegMagic, sizeof(kSegMagic)) != 0) {
+    return Corrupt(file, "missing or short header");
+  }
+  const std::string_view body(contents.data(), contents.size() - 8);
+  size_t pos = body.size();
+  uint64_t declared = 0;
+  common::GetFixed64(contents, &pos, &declared);
+  if (common::HashString(body) != declared) {
+    return Corrupt(file, "checksum mismatch");
+  }
+  pos = sizeof(kSegMagic);
+  uint64_t count = 0;
+  common::GetFixed64(contents, &pos, &count);
+  if (count > contents.size()) {
+    return Corrupt(file, "implausible entry count");
+  }
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    LevelEntry e;
+    status = DecodeState(body, &pos, &e.state);
+    if (!status.ok()) return status;
+    if (!common::GetFixed64(body, &pos, &e.fp) ||
+        !common::GetVarintSigned(body, &pos, &e.depth) ||
+        !common::GetFixed64(body, &pos, &e.key)) {
+      return Corrupt(file, "truncated entry");
+    }
+    out->push_back(std::move(e));
+  }
+  if (pos != body.size()) return Corrupt(file, "trailing bytes");
+  return common::Status::OK();
+}
+
+common::Status FrontierSpool::Append(std::vector<LevelEntry>&& entries) {
+  for (LevelEntry& e : entries) {
+    tail_.push_back(std::move(e));
+    if (tail_.size() >= options_.segment_entries) {
+      common::Status status = WriteSegment();
+      if (!status.ok()) return status;
+    }
+  }
+  entries.clear();
+  return common::Status::OK();
+}
+
+common::Status FrontierSpool::PopBatch(std::vector<LevelEntry>* out) {
+  out->clear();
+  if (!segments_.empty()) {
+    Segment seg = std::move(segments_.front());
+    segments_.pop_front();
+    common::Status status = ReadSegment(seg.file, out);
+    if (!status.ok()) return status;
+    if (out->size() != seg.count) {
+      return Corrupt(seg.file, "entry count changed since sealing");
+    }
+    spooled_ -= seg.count;
+    Retire(seg.file);
+    return common::Status::OK();
+  }
+  *out = std::move(tail_);
+  tail_.clear();
+  return common::Status::OK();
+}
+
+common::Status FrontierSpool::Seal() { return WriteSegment(); }
+
+std::vector<std::string> FrontierSpool::live_segment_files() const {
+  std::vector<std::string> files;
+  files.reserve(segments_.size());
+  for (const Segment& seg : segments_) files.push_back(seg.file);
+  return files;
+}
+
+common::Status FrontierSpool::AdoptSegments(
+    const std::vector<std::string>& files, uint64_t* entries) {
+  dir_ready_ = true;
+  std::vector<LevelEntry> scratch;
+  for (const std::string& file : files) {
+    // Full validation up front: a resume should fail loudly here, not
+    // deep inside the run when the segment is finally replayed.
+    common::Status status = ReadSegment(file, &scratch);
+    if (!status.ok()) return status;
+    Segment seg;
+    seg.file = file;
+    seg.count = scratch.size();
+    spooled_ += seg.count;
+    *entries += seg.count;
+    segments_.push_back(std::move(seg));
+    // Keep numbering clear of adopted files ("<prefix>-NNNNNN.seg").
+    unsigned long long n = 0;
+    const std::string tail = file.substr(options_.prefix.size());
+    if (std::sscanf(tail.c_str(), "-%6llu.seg", &n) == 1 &&
+        n + 1 > next_segment_) {
+      next_segment_ = n + 1;
+    }
+  }
+  return common::Status::OK();
+}
+
+void FrontierSpool::Retire(const std::string& file) {
+  if (options_.defer_deletes) {
+    consumed_.push_back(file);
+  } else {
+    common::RemoveFileIfExists(options_.dir + "/" + file);
+  }
+}
+
+void FrontierSpool::PurgeConsumed() {
+  for (const std::string& file : consumed_) {
+    common::RemoveFileIfExists(options_.dir + "/" + file);
+  }
+  consumed_.clear();
+}
+
+}  // namespace xmodel::tlax::internal

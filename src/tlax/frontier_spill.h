@@ -1,0 +1,103 @@
+#ifndef XMODEL_TLAX_FRONTIER_SPILL_H_
+#define XMODEL_TLAX_FRONTIER_SPILL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tlax/explore.h"
+
+namespace xmodel::tlax::internal {
+
+/// Disk overflow for a frontier queue: a bounded in-memory tail plus a
+/// FIFO of sealed segment files, each one batch of serialized
+/// LevelEntry records (full state bytes + fingerprint + depth + key).
+/// The level-sync engine keeps one spool per run (the portion of the
+/// current BFS level beyond the in-memory head chunk); the relaxed
+/// engine keeps one per worker deque. Entries come back in exactly the
+/// order they were appended, so level-sync replay preserves the settled
+/// sort order and results stay bit-identical with or without spill.
+///
+/// Not internally synchronized: each spool has a single owner (the
+/// barrier thread, or one relaxed worker; the checkpointer touches all
+/// spools only while every worker is parked).
+///
+/// Segment files are written atomically (temp + rename) and carry a
+/// count and fingerprint checksum, so a truncated or garbled file on
+/// resume is a clean kCorruption error. Consumed files are deleted
+/// immediately unless Options::defer_deletes — checkpointing defers so a
+/// manifest never points at a file removed before the next manifest
+/// lands (PurgeConsumed runs after each manifest write).
+class FrontierSpool {
+ public:
+  struct Options {
+    std::string dir;
+    /// Distinguishes spools sharing a dir (e.g. per-worker: "seg-w3").
+    std::string prefix = "seg";
+    /// Entries per sealed segment (the replay IO granularity).
+    size_t segment_entries = 4096;
+    bool durable = false;
+    bool defer_deletes = false;
+  };
+
+  explicit FrontierSpool(Options options);
+
+  /// Moves `entries` onto the spool tail, sealing full segments.
+  common::Status Append(std::vector<LevelEntry>&& entries);
+
+  /// Pops the oldest batch in FIFO order: the front segment file
+  /// (decoded and consumed), else the in-memory tail. Empty `out` with
+  /// OK status means the spool is empty.
+  common::Status PopBatch(std::vector<LevelEntry>* out);
+
+  /// Flushes the in-memory tail to a segment file (checkpoint prep).
+  common::Status Seal();
+
+  /// Entries currently spooled (sealed segments + tail).
+  size_t size() const { return spooled_ + tail_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Cumulative segment files written (monotone; feeds
+  /// checker.spill.frontier_segments).
+  uint64_t segments_written() const { return segments_written_; }
+
+  /// Live (unconsumed) segment files in FIFO order, for manifests.
+  /// Call Seal() first so the tail is included.
+  std::vector<std::string> live_segment_files() const;
+
+  /// Resume path: validates and enqueues previously sealed segments (in
+  /// manifest order), adding their entry total to `*entries`. Corrupt or
+  /// truncated files are a clean kCorruption error.
+  common::Status AdoptSegments(const std::vector<std::string>& files,
+                               uint64_t* entries);
+
+  /// Deletes segment files consumed since the last purge
+  /// (defer_deletes mode; no-op otherwise).
+  void PurgeConsumed();
+
+ private:
+  struct Segment {
+    std::string file;
+    uint64_t count = 0;
+  };
+
+  common::Status WriteSegment();
+  common::Status ReadSegment(const std::string& file,
+                             std::vector<LevelEntry>* out) const;
+  void Retire(const std::string& file);
+
+  Options options_;
+  std::deque<Segment> segments_;
+  std::vector<LevelEntry> tail_;
+  std::vector<std::string> consumed_;
+  uint64_t next_segment_ = 0;
+  uint64_t segments_written_ = 0;
+  uint64_t spooled_ = 0;
+  bool dir_ready_ = false;
+};
+
+}  // namespace xmodel::tlax::internal
+
+#endif  // XMODEL_TLAX_FRONTIER_SPILL_H_

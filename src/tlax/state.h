@@ -83,7 +83,10 @@ class State {
   /// Widest state stored entirely inline. Every spec in src/specs fits.
   static constexpr size_t kInlineVars = 8;
 
-  State() = default;
+  /// A default-constructed state is the zero-variable state: it carries
+  /// the same fingerprint as State({}) so that a decoded empty state
+  /// (see tlax/state_codec.h) compares equal to a fresh one.
+  State() : fingerprint_(kFingerprintSeed) {}
   explicit State(std::vector<Value> vars) : num_vars_(vars.size()) {
     Value* dst = inline_vars_;
     if (num_vars_ > kInlineVars) {

@@ -1,0 +1,218 @@
+#include "tlax/state_codec.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/varint.h"
+
+namespace xmodel::tlax {
+
+namespace {
+
+// Wire tags mirror Value::Kind but are a separate stable namespace: the
+// on-disk format must not shift if the in-memory enum is ever reordered.
+enum WireTag : uint8_t {
+  kWireNil = 0,
+  kWireFalse = 1,
+  kWireTrue = 2,
+  kWireInt = 3,
+  kWireString = 4,
+  kWireSeq = 5,
+  kWireSet = 6,
+  kWireRecord = 7,
+};
+
+// Nesting bound for the recursive decoder: deeper input is corrupt by
+// definition (no spec builds values anywhere near this), and the bound
+// keeps a hostile/garbled file from overflowing the stack.
+constexpr int kMaxDepth = 64;
+
+common::Status Corrupt(const char* what) {
+  return common::Status::Corruption(std::string("state codec: ") + what);
+}
+
+common::Status DecodeValueAt(std::string_view data, size_t* pos, int depth,
+                             Value* out);
+
+common::Status DecodeElements(std::string_view data, size_t* pos, int depth,
+                              std::vector<Value>* out) {
+  uint64_t count = 0;
+  if (!common::GetVarint64(data, pos, &count)) {
+    return Corrupt("truncated element count");
+  }
+  if (count > data.size() - *pos) {
+    // Each element costs at least one byte, so a count beyond the
+    // remaining bytes is corrupt — reject before reserving memory for it.
+    return Corrupt("element count exceeds remaining bytes");
+  }
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Value v;
+    common::Status status = DecodeValueAt(data, pos, depth + 1, &v);
+    if (!status.ok()) return status;
+    out->push_back(std::move(v));
+  }
+  return common::Status::OK();
+}
+
+common::Status DecodeString(std::string_view data, size_t* pos,
+                            std::string* out) {
+  uint64_t len = 0;
+  if (!common::GetVarint64(data, pos, &len)) {
+    return Corrupt("truncated string length");
+  }
+  if (len > data.size() - *pos) return Corrupt("truncated string bytes");
+  out->assign(data.data() + *pos, static_cast<size_t>(len));
+  *pos += static_cast<size_t>(len);
+  return common::Status::OK();
+}
+
+common::Status DecodeValueAt(std::string_view data, size_t* pos, int depth,
+                             Value* out) {
+  if (depth > kMaxDepth) return Corrupt("nesting too deep");
+  if (*pos >= data.size()) return Corrupt("truncated value tag");
+  const uint8_t tag = static_cast<uint8_t>(data[*pos]);
+  ++*pos;
+  switch (tag) {
+    case kWireNil:
+      *out = Value::Nil();
+      return common::Status::OK();
+    case kWireFalse:
+      *out = Value::Bool(false);
+      return common::Status::OK();
+    case kWireTrue:
+      *out = Value::Bool(true);
+      return common::Status::OK();
+    case kWireInt: {
+      int64_t i = 0;
+      if (!common::GetVarintSigned(data, pos, &i)) {
+        return Corrupt("truncated int");
+      }
+      *out = Value::Int(i);
+      return common::Status::OK();
+    }
+    case kWireString: {
+      std::string s;
+      common::Status status = DecodeString(data, pos, &s);
+      if (!status.ok()) return status;
+      *out = Value::Str(std::move(s));
+      return common::Status::OK();
+    }
+    case kWireSeq:
+    case kWireSet: {
+      std::vector<Value> elems;
+      common::Status status = DecodeElements(data, pos, depth, &elems);
+      if (!status.ok()) return status;
+      // SetOf re-normalizes (sort + dedup); encoded sets are already
+      // normalized, so this is an idempotent safety net for garbled input.
+      *out = tag == kWireSeq ? Value::Seq(std::move(elems))
+                             : Value::SetOf(std::move(elems));
+      return common::Status::OK();
+    }
+    case kWireRecord: {
+      uint64_t count = 0;
+      if (!common::GetVarint64(data, pos, &count)) {
+        return Corrupt("truncated field count");
+      }
+      if (count > data.size() - *pos) {
+        return Corrupt("field count exceeds remaining bytes");
+      }
+      Value::Fields fields;
+      fields.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string name;
+        common::Status status = DecodeString(data, pos, &name);
+        if (!status.ok()) return status;
+        // Encoded records are sorted by field name; enforce strict order
+        // so corrupt duplicates cannot reach the Record builder.
+        if (!fields.empty() && !(fields.back().first < name)) {
+          return Corrupt("record fields out of order");
+        }
+        Value v;
+        status = DecodeValueAt(data, pos, depth + 1, &v);
+        if (!status.ok()) return status;
+        fields.emplace_back(std::move(name), std::move(v));
+      }
+      *out = Value::Record(std::move(fields));
+      return common::Status::OK();
+    }
+    default:
+      return Corrupt("unknown value tag");
+  }
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case Value::Kind::kNil:
+      out->push_back(static_cast<char>(kWireNil));
+      return;
+    case Value::Kind::kBool:
+      out->push_back(
+          static_cast<char>(v.bool_value() ? kWireTrue : kWireFalse));
+      return;
+    case Value::Kind::kInt:
+      out->push_back(static_cast<char>(kWireInt));
+      common::PutVarintSigned(v.int_value(), out);
+      return;
+    case Value::Kind::kString: {
+      out->push_back(static_cast<char>(kWireString));
+      const std::string_view s = v.string_value();
+      common::PutVarint64(s.size(), out);
+      out->append(s.data(), s.size());
+      return;
+    }
+    case Value::Kind::kSeq:
+    case Value::Kind::kSet: {
+      out->push_back(static_cast<char>(
+          v.kind() == Value::Kind::kSeq ? kWireSeq : kWireSet));
+      const std::vector<Value>& elems = v.elements();
+      common::PutVarint64(elems.size(), out);
+      for (const Value& e : elems) EncodeValue(e, out);
+      return;
+    }
+    case Value::Kind::kRecord: {
+      out->push_back(static_cast<char>(kWireRecord));
+      const Value::Fields& fields = v.fields();
+      common::PutVarint64(fields.size(), out);
+      for (const auto& [name, value] : fields) {
+        common::PutVarint64(name.size(), out);
+        out->append(name);
+        EncodeValue(value, out);
+      }
+      return;
+    }
+  }
+}
+
+common::Status DecodeValue(std::string_view data, size_t* pos, Value* out) {
+  return DecodeValueAt(data, pos, 0, out);
+}
+
+void EncodeState(const State& state, std::string* out) {
+  common::PutVarint64(state.num_vars(), out);
+  for (const Value& v : state.vars()) EncodeValue(v, out);
+}
+
+common::Status DecodeState(std::string_view data, size_t* pos, State* out) {
+  uint64_t count = 0;
+  if (!common::GetVarint64(data, pos, &count)) {
+    return Corrupt("truncated var count");
+  }
+  if (count > data.size() - *pos) {
+    return Corrupt("var count exceeds remaining bytes");
+  }
+  std::vector<Value> vars;
+  vars.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Value v;
+    common::Status status = DecodeValue(data, pos, &v);
+    if (!status.ok()) return status;
+    vars.push_back(std::move(v));
+  }
+  *out = State(std::move(vars));
+  return common::Status::OK();
+}
+
+}  // namespace xmodel::tlax

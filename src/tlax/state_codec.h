@@ -1,0 +1,36 @@
+#ifndef XMODEL_TLAX_STATE_CODEC_H_
+#define XMODEL_TLAX_STATE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tlax/state.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+
+// Binary serialization for Value and State, used wherever checker state
+// leaves RAM: frontier spill segments and checkpoint manifests. The
+// format is a recursive kind-tagged varint layout (see state_codec.cc);
+// decoding rebuilds values through the public builders, so composites
+// re-enter the process-wide intern table and a decoded State recomputes
+// exactly the fingerprint the original had — which is what lets a
+// resumed run reproduce bit-identical distinct counts.
+
+/// Appends the encoding of `v` to `*out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// Decodes one value from `data` starting at `*pos`, advancing `*pos`.
+/// Corruption (truncation, bad tag, duplicate record fields) is a clean
+/// kCorruption status.
+common::Status DecodeValue(std::string_view data, size_t* pos, Value* out);
+
+/// Appends the encoding of `state` (var count + each variable).
+void EncodeState(const State& state, std::string* out);
+
+common::Status DecodeState(std::string_view data, size_t* pos, State* out);
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_STATE_CODEC_H_

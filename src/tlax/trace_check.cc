@@ -176,6 +176,11 @@ std::vector<std::string> AdvanceFrontier(const Spec& spec,
   std::vector<State> layer = frontier->states();
   for (const State& s : layer) visited.Add(s);
   uint64_t budget = options.max_search_states_per_step;
+  if (options.memory_budget_mb > 0) {
+    const uint64_t derived =
+        std::max<uint64_t>(1000, (options.memory_budget_mb << 20) / 256);
+    budget = std::min(budget, derived);
+  }
 
   const std::vector<Action>& actions = spec.actions();
   for (int depth = 1;

@@ -32,6 +32,12 @@
 //                        collect the final state of a fast run
 //   --stall-timeout-ms=N watchdog stall threshold for /healthz (default
 //                        30000)
+//   --mem-budget-mb=N    approximate memory bound for the per-step
+//                        hidden-state search: tightens the per-step node
+//                        budget to ~N MB worth of states (the trace
+//                        checker keeps full states resident, so it caps
+//                        rather than spills; see --mem-budget-mb on
+//                        xmodel_lint for the spilling model checker)
 
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +70,7 @@ struct Options {
   bool abstract_variant = false;
   bool stutter = true;
   int workers = 1;
+  uint64_t mem_budget_mb = 0;
   tlax::ExplorationPolicy explore = tlax::ExplorationPolicy::kLevelSync;
   int serve_port = -1;  // -1 = no HTTP server.
   int64_t serve_linger_ms = 0;
@@ -74,6 +81,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <log_directory> [--abstract] [--no-stutter]\n"
                "           [--workers=N] [--explore=level|relaxed]\n"
+               "           [--mem-budget-mb=N]\n"
                "           [--metrics-out=FILE] [--trace-out=FILE]\n"
                "           [--events-out=FILE] [--serve=PORT] "
                "[--serve-linger-ms=N]\n"
@@ -121,6 +129,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         std::fprintf(stderr, "--explore must be 'level' or 'relaxed'\n");
         return false;
       }
+    } else if (arg.rfind("--mem-budget-mb=", 0) == 0) {
+      options->mem_budget_mb = std::strtoull(arg.c_str() + 16, nullptr, 10);
     } else if (!arg.empty() && arg[0] != '-' &&
                options->log_directory.empty()) {
       options->log_directory = arg;
@@ -255,6 +265,7 @@ int main(int argc, char** argv) {
   pipeline_options.checker.allow_stuttering = options.stutter;
   pipeline_options.checker.num_workers = options.workers;
   pipeline_options.checker.exploration = options.explore;
+  pipeline_options.checker.memory_budget_mb = options.mem_budget_mb;
   // The checker heartbeats per drained expansion batch (on top of the
   // pipeline's per-phase beats), so /healthz stays live inside a long
   // trace-check phase.

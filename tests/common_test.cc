@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/fileio.h"
 #include "common/hash.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/varint.h"
 
 namespace xmodel::common {
 namespace {
@@ -289,6 +295,115 @@ TEST(ClockTest, DerivedUnitsConvert) {
   clock.AdvanceMs(1'500);
   EXPECT_EQ(clock.NowMicros(), 1'500'000);
   EXPECT_DOUBLE_EQ(clock.NowSeconds(), 1.5);
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16'383,
+                            16'384,
+                            (uint64_t{1} << 32) - 1,
+                            uint64_t{1} << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(v, &buf);
+  size_t pos = 0;
+  for (uint64_t v : cases) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncationIsDetected) {
+  std::string buf;
+  PutVarint64(std::numeric_limits<uint64_t>::max(), &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint64(std::string_view(buf.data(), cut), &pos, &v))
+        << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, OverflowingTenthByteRejected) {
+  // Ten continuation bytes followed by a 10th byte > 1 would exceed 64
+  // bits; the decoder must refuse rather than wrap.
+  std::string buf(9, static_cast<char>(0x80));
+  buf.push_back(0x02);
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &v));
+}
+
+TEST(VarintTest, SignedZigZagRoundTrip) {
+  const int64_t cases[] = {0, -1, 1, -64, 63, -65,
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max()};
+  std::string buf;
+  for (int64_t v : cases) PutVarintSigned(v, &buf);
+  size_t pos = 0;
+  for (int64_t v : cases) {
+    int64_t got = 0;
+    ASSERT_TRUE(GetVarintSigned(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
+  // Small magnitudes stay short under zigzag.
+  std::string small;
+  PutVarintSigned(-1, &small);
+  EXPECT_EQ(small.size(), 1u);
+}
+
+TEST(VarintTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(0x0123456789abcdefULL, &buf);
+  EXPECT_EQ(buf.size(), 8u);
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetFixed64(buf, &pos, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+  pos = 1;
+  EXPECT_FALSE(GetFixed64(buf, &pos, &v));
+}
+
+TEST(FileIoTest, AtomicWriteThenRead) {
+  const std::string dir = "fileio_test_dir/nested";
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  const std::string path = dir + "/doc.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  std::string got;
+  ASSERT_TRUE(ReadFileToString(path, &got).ok());
+  EXPECT_EQ(got, "first");
+  // Replacement is atomic: the old content is fully replaced.
+  WriteFileOptions durable;
+  durable.durable = true;
+  ASSERT_TRUE(WriteFileAtomic(path, "second", durable).ok());
+  ASSERT_TRUE(ReadFileToString(path, &got).ok());
+  EXPECT_EQ(got, "second");
+  Result<uint64_t> size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 6u);
+  std::vector<std::string> names;
+  ASSERT_TRUE(ListDirFiles(dir, &names).ok());
+  ASSERT_EQ(names.size(), 1u);  // No leftover temp files.
+  EXPECT_EQ(names[0], "doc.txt");
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());  // Idempotent.
+  EXPECT_EQ(ReadFileToString(path, &got).code(), StatusCode::kNotFound);
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  std::string got;
+  EXPECT_EQ(ReadFileToString("no_such_file_xyz", &got).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(FileSize("no_such_file_xyz").status().code(),
+            StatusCode::kNotFound);
+  std::vector<std::string> names;
+  EXPECT_EQ(ListDirFiles("no_such_dir_xyz", &names).code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

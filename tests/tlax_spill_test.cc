@@ -1,0 +1,446 @@
+// Unit tests for the out-of-core machinery: the SpillTier run format
+// (seal, probe, compaction, corruption detection), FingerprintSet
+// eviction exactness under a memory budget, and the FrontierSpool FIFO
+// segment files. Includes a concurrent evict-vs-insert hammer that the
+// TSan CI job runs to certify the copy/seal/erase locking protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "tlax/fpset.h"
+#include "tlax/fpset_spill.h"
+#include "tlax/frontier_spill.h"
+#include "tlax/state.h"
+#include "tlax/value.h"
+
+namespace xmodel::tlax {
+namespace {
+
+using internal::LevelEntry;
+
+std::string TestDir(const char* name) {
+  std::string dir = common::StrCat(::testing::TempDir(), "/spill_", name);
+  // Start from a clean slate: stale files from a previous run would make
+  // orphan/adopt assertions flaky.
+  std::vector<std::string> files;
+  if (common::ListDirFiles(dir, &files).ok()) {
+    for (const std::string& f : files) {
+      common::RemoveFileIfExists(dir + "/" + f);
+    }
+  }
+  return dir;
+}
+
+SpillTier::Entry MakeEntry(uint64_t fp) {
+  SpillTier::EdgeData edge;
+  edge.pred_fp = fp * 31;
+  edge.order_key = fp ^ 0xabcdef;
+  edge.depth = static_cast<int64_t>(fp % 97);
+  edge.action = static_cast<uint16_t>(fp % 7);
+  return {fp, edge};
+}
+
+std::vector<SpillTier::Entry> MakeEntries(uint64_t start, uint64_t count,
+                                          uint64_t stride) {
+  std::vector<SpillTier::Entry> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    entries.push_back(MakeEntry(start + i * stride));
+  }
+  return entries;
+}
+
+TEST(SpillTierTest, SealedRunRoundTripsEveryEntry) {
+  SpillTier::Options options;
+  options.dir = TestDir("roundtrip");
+  options.block_entries = 16;  // Several blocks for 100 entries.
+  SpillTier tier(options);
+
+  const std::vector<SpillTier::Entry> entries = MakeEntries(10, 100, 3);
+  ASSERT_TRUE(tier.SealRun(entries).ok());
+
+  for (const SpillTier::Entry& e : entries) {
+    SpillTier::EdgeData edge;
+    ASSERT_TRUE(tier.FindOnDisk(e.first, &edge)) << "fp " << e.first;
+    EXPECT_EQ(edge.pred_fp, e.second.pred_fp);
+    EXPECT_EQ(edge.order_key, e.second.order_key);
+    EXPECT_EQ(edge.depth, e.second.depth);
+    EXPECT_EQ(edge.action, e.second.action);
+  }
+  // Absent fingerprints (between and beyond the stored ones) miss cleanly.
+  SpillTier::EdgeData edge;
+  EXPECT_FALSE(tier.FindOnDisk(11, &edge));
+  EXPECT_FALSE(tier.FindOnDisk(0, &edge));
+  EXPECT_FALSE(tier.FindOnDisk(1'000'000, &edge));
+  EXPECT_TRUE(tier.status().ok());
+
+  SpillTier::Stats stats = tier.stats();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.generations, 1u);
+  EXPECT_EQ(stats.spilled_records, 100u);
+  EXPECT_GT(stats.bytes_written, 0u);
+}
+
+TEST(SpillTierTest, CompactionMergesRunsAndKeepsEveryRecord) {
+  SpillTier::Options options;
+  options.dir = TestDir("compact");
+  options.block_entries = 8;
+  options.compact_min_runs = 4;
+  SpillTier tier(options);
+
+  // Four disjoint runs with interleaved fingerprint ranges.
+  for (uint64_t r = 0; r < 4; ++r) {
+    ASSERT_TRUE(tier.SealRun(MakeEntries(100 + r, 50, 4)).ok());
+  }
+  EXPECT_EQ(tier.stats().runs, 4u);
+  ASSERT_TRUE(tier.CompactIfNeeded().ok());
+
+  SpillTier::Stats stats = tier.stats();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.spilled_records, 200u);
+  for (uint64_t r = 0; r < 4; ++r) {
+    for (const SpillTier::Entry& e : MakeEntries(100 + r, 50, 4)) {
+      SpillTier::EdgeData edge;
+      ASSERT_TRUE(tier.FindOnDisk(e.first, &edge)) << "fp " << e.first;
+      EXPECT_EQ(edge.pred_fp, e.second.pred_fp);
+    }
+  }
+  // The four input files were replaced by the single merged one.
+  std::vector<std::string> files;
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  size_t run_files = 0;
+  for (const std::string& f : files) {
+    if (f.rfind("run-", 0) == 0) ++run_files;
+  }
+  EXPECT_EQ(run_files, 1u);
+}
+
+TEST(SpillTierTest, DeferredDeletesSurviveUntilPurge) {
+  SpillTier::Options options;
+  options.dir = TestDir("defer");
+  options.compact_min_runs = 2;
+  options.defer_deletes = true;
+  SpillTier tier(options);
+  ASSERT_TRUE(tier.SealRun(MakeEntries(10, 20, 2)).ok());
+  ASSERT_TRUE(tier.SealRun(MakeEntries(11, 20, 2)).ok());
+  ASSERT_TRUE(tier.CompactIfNeeded().ok());
+
+  std::vector<std::string> files;
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  EXPECT_EQ(files.size(), 3u) << "inputs retired but not yet deleted";
+  tier.PurgeRetired();
+  files.clear();
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  EXPECT_EQ(files.size(), 1u);
+}
+
+TEST(SpillTierTest, AdoptRunsRoundTripsAndDropsOrphans) {
+  SpillTier::Options options;
+  options.dir = TestDir("adopt");
+  std::vector<std::string> manifest;
+  {
+    SpillTier tier(options);
+    ASSERT_TRUE(tier.SealRun(MakeEntries(5, 40, 5)).ok());
+    ASSERT_TRUE(tier.SealRun(MakeEntries(7, 40, 5)).ok());
+    for (const SpillTier::RunInfo& info : tier.run_infos()) {
+      manifest.push_back(info.file);
+    }
+  }
+  ASSERT_EQ(manifest.size(), 2u);
+  // An extra sealed-but-unpublished run becomes an orphan on the next
+  // resume: a resumed tier adopts the manifest (so its generation
+  // counter sits past the adopted names), seals a fresh run, then dies
+  // before any manifest names it.
+  {
+    SpillTier tier(options);
+    ASSERT_TRUE(tier.AdoptRuns(manifest).ok());
+    ASSERT_TRUE(tier.SealRun(MakeEntries(1'000'000, 5, 1)).ok());
+  }
+
+  SpillTier resumed(options);
+  ASSERT_TRUE(resumed.AdoptRuns(manifest).ok());
+  EXPECT_EQ(resumed.stats().spilled_records, 80u);
+  ASSERT_TRUE(resumed.DropOrphans().ok());
+  std::vector<std::string> files;
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  EXPECT_EQ(files.size(), 2u);
+  for (const SpillTier::Entry& e : MakeEntries(5, 40, 5)) {
+    SpillTier::EdgeData edge;
+    EXPECT_TRUE(resumed.FindOnDisk(e.first, &edge));
+  }
+  SpillTier::EdgeData edge;
+  EXPECT_FALSE(resumed.FindOnDisk(1'000'000, &edge))
+      << "orphaned run must not be probed";
+  // New runs sealed after adoption must not collide with adopted names.
+  ASSERT_TRUE(resumed.SealRun(MakeEntries(2'000'000, 5, 1)).ok());
+  std::vector<SpillTier::RunInfo> infos = resumed.run_infos();
+  ASSERT_EQ(infos.size(), 3u);
+  EXPECT_NE(infos[2].file, infos[0].file);
+  EXPECT_NE(infos[2].file, infos[1].file);
+}
+
+TEST(SpillTierTest, CorruptRunIsARefusedAdoption) {
+  SpillTier::Options options;
+  options.dir = TestDir("corrupt");
+  std::string file;
+  {
+    SpillTier tier(options);
+    ASSERT_TRUE(tier.SealRun(MakeEntries(3, 64, 3)).ok());
+    file = tier.run_infos()[0].file;
+  }
+  const std::string path = options.dir + "/" + file;
+  std::string contents;
+  ASSERT_TRUE(common::ReadFileToString(path, &contents).ok());
+
+  // Truncation.
+  ASSERT_TRUE(common::WriteFileAtomic(
+                  path, std::string_view(contents).substr(
+                            0, contents.size() / 2))
+                  .ok());
+  {
+    SpillTier tier(options);
+    common::Status status = tier.AdoptRuns({file});
+    EXPECT_EQ(status.code(), common::StatusCode::kCorruption)
+        << status.ToString();
+  }
+  // Bit flip in the middle (an entry payload), full length.
+  std::string garbled = contents;
+  garbled[garbled.size() / 2] ^= 0x40;
+  ASSERT_TRUE(common::WriteFileAtomic(path, garbled).ok());
+  {
+    SpillTier tier(options);
+    common::Status status = tier.AdoptRuns({file});
+    EXPECT_FALSE(status.ok());
+  }
+  // Pristine contents adopt fine again.
+  ASSERT_TRUE(common::WriteFileAtomic(path, contents).ok());
+  {
+    SpillTier tier(options);
+    EXPECT_TRUE(tier.AdoptRuns({file}).ok());
+  }
+}
+
+TEST(FpsetSpillTest, EvictionKeepsMembershipAndEdgesExact) {
+  FingerprintSet::Options options;
+  options.spill_dir = TestDir("fpset_evict");
+  FingerprintSet set(options);
+  ASSERT_TRUE(set.has_spill());
+
+  for (uint64_t fp = 1; fp <= 500; ++fp) {
+    FpInsert r = set.Insert(fp, /*pred_fp=*/fp / 2, /*action=*/2,
+                            /*depth=*/static_cast<int64_t>(fp % 13),
+                            /*order_key=*/fp, 0, nullptr);
+    ASSERT_TRUE(r.inserted);
+  }
+  EXPECT_EQ(set.size(), 500u);
+  EXPECT_EQ(set.hot_count(), 500u);
+  ASSERT_TRUE(set.EvictAll().ok());
+  EXPECT_EQ(set.hot_count(), 0u);
+  EXPECT_EQ(set.size(), 500u) << "distinct count is unchanged by eviction";
+
+  // Every evicted fingerprint is a revisit with its original depth…
+  for (uint64_t fp = 1; fp <= 500; ++fp) {
+    FpInsert r = set.Insert(fp, 999, 5, 7, 999'999, 0, nullptr);
+    EXPECT_FALSE(r.inserted) << "fp " << fp;
+    EXPECT_EQ(r.depth, static_cast<int64_t>(fp % 13));
+  }
+  EXPECT_EQ(set.size(), 500u);
+  // …its discovery edge still resolves (trace rebuild path)…
+  auto edge = set.GetEdge(123);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->pred_fp, 61u);
+  EXPECT_EQ(edge->action, 2);
+  EXPECT_EQ(edge->order_key, 123u);
+  // …and genuinely new fingerprints still insert into the hot table.
+  EXPECT_TRUE(set.Insert(9'999, 1, 1, 3, 1, 0, nullptr).inserted);
+  EXPECT_EQ(set.size(), 501u);
+  EXPECT_EQ(set.hot_count(), 1u);
+  EXPECT_TRUE(set.spill_status().ok());
+}
+
+TEST(FpsetSpillTest, BudgetTriggersGenerationsAndCompaction) {
+  FingerprintSet::Options options;
+  options.spill_dir = TestDir("fpset_budget");
+  // ~96 bytes per record: a 4 KB budget forces eviction every ~42 inserts.
+  options.memory_budget_bytes = 4 * 1024;
+  FingerprintSet set(options);
+
+  for (uint64_t fp = 1; fp <= 2'000; ++fp) {
+    set.Insert(fp, fp / 2, 1, 0, fp, 0, nullptr);
+    ASSERT_TRUE(set.EvictIfOverBudget().ok());
+  }
+  SpillTier::Stats stats = set.spill_stats();
+  EXPECT_GE(stats.generations, 4u) << "the tight budget must force "
+                                      "multiple spill generations";
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_EQ(set.size(), 2'000u);
+  EXPECT_LE(set.hot_count() * 96, options.memory_budget_bytes + 96 * 64);
+  for (uint64_t fp = 1; fp <= 2'000; ++fp) {
+    EXPECT_FALSE(set.Insert(fp, 0, 0, 0, 0, 0, nullptr).inserted);
+  }
+  EXPECT_EQ(set.size(), 2'000u);
+}
+
+TEST(FpsetSpillTest, ConcurrentInsertsDuringEvictionsStayExact) {
+  FingerprintSet::Options options;
+  options.spill_dir = TestDir("fpset_hammer");
+  options.num_shards = 8;
+  FingerprintSet set(options);
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2'000;
+  std::atomic<uint64_t> inserted{0};
+  std::atomic<bool> stop{false};
+  // Each fingerprint is inserted by exactly two racing threads; exactly
+  // one must win, no matter how evictions interleave.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&set, &inserted, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t fp = 1 + (i * kThreads + t) % (kThreads * kPerThread / 2);
+        if (set.Insert(fp, fp, 1, 0, fp, 0, nullptr).inserted) {
+          inserted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread evictor([&set, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(set.EvictAll().ok());
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  evictor.join();
+
+  EXPECT_EQ(inserted.load(), kThreads * kPerThread / 2);
+  EXPECT_EQ(set.size(), kThreads * kPerThread / 2);
+  EXPECT_TRUE(set.spill_status().ok());
+  // And every fingerprint is still findable for trace rebuild.
+  ASSERT_TRUE(set.EvictAll().ok());
+  for (uint64_t fp = 1; fp <= kThreads * kPerThread / 2; ++fp) {
+    EXPECT_TRUE(set.GetEdge(fp).has_value()) << "fp " << fp;
+  }
+}
+
+State MakeState(int64_t x, int64_t y) {
+  return State({Value::Int(x), Value::Int(y)});
+}
+
+LevelEntry MakeLevelEntry(int64_t i) {
+  LevelEntry e;
+  e.state = MakeState(i, i * 3);
+  e.fp = Fingerprint(e.state);
+  e.depth = i % 11;
+  e.key = static_cast<uint64_t>(i) << 8;
+  return e;
+}
+
+TEST(FrontierSpoolTest, FifoRoundTripAcrossSegmentsAndTail) {
+  internal::FrontierSpool::Options options;
+  options.dir = TestDir("spool");
+  options.segment_entries = 16;
+  internal::FrontierSpool spool(options);
+
+  std::vector<LevelEntry> in;
+  for (int64_t i = 0; i < 50; ++i) in.push_back(MakeLevelEntry(i));
+  ASSERT_TRUE(spool.Append(std::move(in)).ok());
+  EXPECT_EQ(spool.size(), 50u);
+  EXPECT_EQ(spool.segments_written(), 3u) << "16+16+16 sealed, 2 in tail";
+
+  int64_t next = 0;
+  std::vector<LevelEntry> batch;
+  while (true) {
+    ASSERT_TRUE(spool.PopBatch(&batch).ok());
+    if (batch.empty()) break;
+    for (const LevelEntry& e : batch) {
+      LevelEntry want = MakeLevelEntry(next);
+      EXPECT_EQ(e.fp, want.fp) << "entry " << next;
+      EXPECT_EQ(e.depth, want.depth);
+      EXPECT_EQ(e.key, want.key);
+      EXPECT_EQ(Fingerprint(e.state), want.fp)
+          << "state round-trips to the same fingerprint";
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, 50);
+  EXPECT_TRUE(spool.empty());
+  // Consumed segment files are deleted as they are popped.
+  std::vector<std::string> files;
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  EXPECT_TRUE(files.empty());
+}
+
+TEST(FrontierSpoolTest, SealAdoptResumeAndCorruption) {
+  internal::FrontierSpool::Options options;
+  options.dir = TestDir("spool_resume");
+  options.segment_entries = 8;
+  options.defer_deletes = true;
+  std::vector<std::string> manifest;
+  {
+    internal::FrontierSpool spool(options);
+    std::vector<LevelEntry> in;
+    for (int64_t i = 0; i < 20; ++i) in.push_back(MakeLevelEntry(i));
+    ASSERT_TRUE(spool.Append(std::move(in)).ok());
+    ASSERT_TRUE(spool.Seal().ok());
+    manifest = spool.live_segment_files();
+  }
+  ASSERT_EQ(manifest.size(), 3u) << "8+8+4 after sealing the tail";
+
+  internal::FrontierSpool resumed(options);
+  uint64_t entries = 0;
+  ASSERT_TRUE(resumed.AdoptSegments(manifest, &entries).ok());
+  EXPECT_EQ(entries, 20u);
+  EXPECT_EQ(resumed.size(), 20u);
+  int64_t next = 0;
+  std::vector<LevelEntry> batch;
+  while (true) {
+    ASSERT_TRUE(resumed.PopBatch(&batch).ok());
+    if (batch.empty()) break;
+    for (const LevelEntry& e : batch) {
+      EXPECT_EQ(e.fp, MakeLevelEntry(next).fp);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, 20);
+  // defer_deletes: consumed files persist until the purge.
+  std::vector<std::string> files;
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  EXPECT_EQ(files.size(), 3u);
+  resumed.PurgeConsumed();
+  files.clear();
+  ASSERT_TRUE(common::ListDirFiles(options.dir, &files).ok());
+  EXPECT_TRUE(files.empty());
+
+  // A garbled segment refuses adoption with a clean corruption error.
+  {
+    internal::FrontierSpool writer(options);
+    std::vector<LevelEntry> in;
+    for (int64_t i = 0; i < 8; ++i) in.push_back(MakeLevelEntry(i));
+    ASSERT_TRUE(writer.Append(std::move(in)).ok());
+    ASSERT_TRUE(writer.Seal().ok());
+    manifest = writer.live_segment_files();
+  }
+  ASSERT_EQ(manifest.size(), 1u);
+  const std::string path = options.dir + "/" + manifest[0];
+  std::string contents;
+  ASSERT_TRUE(common::ReadFileToString(path, &contents).ok());
+  contents[contents.size() / 2] ^= 0x01;
+  ASSERT_TRUE(common::WriteFileAtomic(path, contents).ok());
+  internal::FrontierSpool broken(options);
+  uint64_t ignored = 0;
+  common::Status status = broken.AdoptSegments(manifest, &ignored);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace xmodel::tlax

@@ -53,6 +53,18 @@ Checks every file argument and exits nonzero on the first problem:
   preceding `# TYPE` declaration (histogram samples may use the
   `_bucket`/`_sum`/`_count` suffixes and a `{le="..."}` label), and the
   same per-family sanity checks run on the flattened counter/gauge values.
+- Spill-family sanity (any snapshot containing checker.spill.* metrics):
+  the out-of-core tier's core family `checker.spill.{bytes,
+  frontier_segments,runs,probe_ms,merge_ms}` is flushed in one call, so
+  the five must appear together — `bytes`/`frontier_segments` as
+  counters, the rest as gauges, all finite and non-negative.
+  `checker.spill.generations` (end-of-run only) and the checkpoint pair
+  `checker.checkpoint.{writes,ms}` additionally require the core family:
+  checkpointing implies spilling. When one invocation validates several
+  Prometheus scrape bodies of the SAME serving process (pass them in
+  scrape order, as the obs-live CI job does), the monotone spill
+  counters `checker_spill_bytes` / `checker_spill_frontier_segments` /
+  `checker_checkpoint_writes` must never move backwards between scrapes.
 - Domain-family sanity (any snapshot containing analysis.domain.* metrics):
   per spec, the gauges `analysis.domain.<spec>.{state_bound,
   observed_distinct, unbounded_vars, exhaustive}` must appear together,
@@ -334,6 +346,71 @@ def validate_mbtcg_family(path, metrics):
     require_gauge_family(path, metrics, names)
 
 
+_SPILL_CORE = {
+    "checker.spill.bytes": "counter",
+    "checker.spill.frontier_segments": "counter",
+    "checker.spill.runs": "gauge",
+    "checker.spill.probe_ms": "gauge",
+    "checker.spill.merge_ms": "gauge",
+}
+
+
+def validate_spill_family(path, metrics):
+    """Cross-metric sanity for the out-of-core checker.spill.* family.
+
+    FlushSpillMetrics publishes the five core metrics in one call, so
+    they are all-or-nothing; checker.spill.generations only lands in the
+    final end-of-run flush, and the checker.checkpoint.* pair only when a
+    checkpoint directory was configured — both imply the core family.
+    """
+    present = [name for name in _SPILL_CORE if name in metrics]
+    core = bool(present)
+    if core:
+        missing = [name for name in _SPILL_CORE if name not in metrics]
+        require(not missing, path,
+                f"checker.spill.* core metrics are flushed together; "
+                f"missing {missing}")
+        for name, kind in _SPILL_CORE.items():
+            entry = metrics[name]
+            require(entry.get("kind") == kind, path,
+                    f"{name!r} must be a {kind}")
+            value = entry.get("value")
+            require(isinstance(value, (int, float)) and math.isfinite(value)
+                    and value >= 0, path,
+                    f"{name!r} must be finite and >= 0, got {value!r}")
+    generations = metrics.get("checker.spill.generations")
+    if generations is not None:
+        require(core, path,
+                "checker.spill.generations without the core checker.spill.* "
+                "family — the final flush publishes both")
+        require(generations.get("kind") == "gauge", path,
+                "checker.spill.generations must be a gauge")
+        value = generations.get("value")
+        require(isinstance(value, (int, float)) and math.isfinite(value)
+                and value >= 0, path,
+                f"checker.spill.generations must be finite and >= 0, "
+                f"got {value!r}")
+    ckpt_kinds = {"checker.checkpoint.writes": "counter",
+                  "checker.checkpoint.ms": "gauge"}
+    ckpt_present = [name for name in ckpt_kinds if name in metrics]
+    if ckpt_present:
+        missing = [name for name in ckpt_kinds if name not in metrics]
+        require(not missing, path,
+                f"checker.checkpoint.* metrics are published together; "
+                f"missing {missing}")
+        require(core, path,
+                "checker.checkpoint.* without the core checker.spill.* "
+                "family — checkpointing implies spilling")
+        for name, kind in ckpt_kinds.items():
+            entry = metrics[name]
+            require(entry.get("kind") == kind, path,
+                    f"{name!r} must be a {kind}")
+            value = entry.get("value")
+            require(isinstance(value, (int, float)) and math.isfinite(value)
+                    and value >= 0, path,
+                    f"{name!r} must be finite and >= 0, got {value!r}")
+
+
 def validate_domain_family(path, metrics):
     """Cross-metric sanity for the abstract-domain analysis.domain.*."""
     leaves = ("state_bound", "observed_distinct", "unbounded_vars",
@@ -390,6 +467,7 @@ def validate_families(path, metrics):
     validate_value_family(path, metrics)
     validate_graph_family(path, metrics)
     validate_mbtcg_family(path, metrics)
+    validate_spill_family(path, metrics)
     validate_domain_family(path, metrics)
 
 
@@ -419,6 +497,16 @@ def validate_trace_doc(path, doc):
         require(event["ts"] >= 0 and event["dur"] >= 0, path,
                 f"event {i}: negative ts or dur")
     return f"trace: {len(events)} spans"
+
+
+# Monotone spill counters remembered across the Prometheus scrape bodies
+# of one invocation: name -> (value, path of the scrape that set it).
+# Callers pass same-process scrapes in scrape order (the obs-live job's
+# usage), so a backwards step means a counter regressed live.
+_SCRAPE_MONOTONE_STATE = {}
+_SCRAPE_MONOTONE_NAMES = ("checker_spill_bytes",
+                          "checker_spill_frontier_segments",
+                          "checker_checkpoint_writes")
 
 
 _PROM_SAMPLE = re.compile(
@@ -548,6 +636,41 @@ def validate_prometheus_text(path, text):
             require(policy == 1, path,
                     f"nonzero steal counts with checker_policy == "
                     f"{policy!r} — level-sync never steals")
+    spill_core = ("checker_spill_bytes", "checker_spill_frontier_segments",
+                  "checker_spill_runs", "checker_spill_probe_ms",
+                  "checker_spill_merge_ms")
+    spill_present = [name for name in spill_core if name in samples]
+    if spill_present:
+        missing = [name for name in spill_core if name not in samples]
+        require(not missing, path,
+                f"checker_spill_* core metrics are flushed together; "
+                f"missing {missing}")
+        for name in spill_core:
+            require(math.isfinite(samples[name]) and samples[name] >= 0,
+                    path, f"{name!r} must be finite and >= 0, "
+                    f"got {samples[name]!r}")
+    for name in ("checker_spill_generations", "checker_checkpoint_writes",
+                 "checker_checkpoint_ms"):
+        if name in samples:
+            require(bool(spill_present), path,
+                    f"{name!r} without the core checker_spill_* family")
+            require(math.isfinite(samples[name]) and samples[name] >= 0,
+                    path, f"{name!r} must be finite and >= 0, "
+                    f"got {samples[name]!r}")
+    require(("checker_checkpoint_writes" in samples) ==
+            ("checker_checkpoint_ms" in samples), path,
+            "checker_checkpoint_* metrics are published together")
+    for name in _SCRAPE_MONOTONE_NAMES:
+        if name not in samples:
+            continue
+        previous = _SCRAPE_MONOTONE_STATE.get(name)
+        if previous is not None:
+            prev_value, prev_path = previous
+            require(samples[name] >= prev_value, path,
+                    f"monotone counter {name!r} moved backwards across "
+                    f"scrapes: {prev_value} ({prev_path}) -> "
+                    f"{samples[name]}")
+        _SCRAPE_MONOTONE_STATE[name] = (samples[name], path)
     return f"prometheus: {len(declared)} metrics"
 
 
