@@ -294,9 +294,20 @@ int main(int argc, char** argv) {
             " unlimited vs ", result.distinct_states, " at ", mem_budget_mb,
             " MB"));
       }
+      const double cache_probes = static_cast<double>(
+          result.spill_cache_hits + result.spill_cache_misses);
+      const double cache_hit_ratio =
+          cache_probes > 0
+              ? static_cast<double>(result.spill_cache_hits) / cache_probes
+              : 0;
+      const double mstates =
+          static_cast<double>(result.distinct_states) / 1e6;
+      const double probe_ms_per_mstate =
+          mstates > 0 ? result.spill_probe_ms / mstates : 0;
       std::printf("  budget %4llu MB       %12llu states  %8.2f s  "
                   "%10.0f states/sec (%.2fx)  %llu generations  %llu runs  "
-                  "%.1f MB spilled  %llu frontier segment(s)\n",
+                  "%.1f MB spilled  %llu frontier segment(s)  cache hit "
+                  "%.1f%%  probe %.0f ms/Mstate\n",
                   mem_budget_mb,
                   static_cast<unsigned long long>(result.distinct_states),
                   result.seconds, rate,
@@ -304,7 +315,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.spill_generations),
                   static_cast<unsigned long long>(result.spill_runs),
                   static_cast<double>(result.spill_bytes) / (1 << 20),
-                  static_cast<unsigned long long>(result.frontier_segments));
+                  static_cast<unsigned long long>(result.frontier_segments),
+                  100.0 * cache_hit_ratio, probe_ms_per_mstate);
       bench.AddResult("spill_tight_states_per_sec", rate);
       bench.AddResult("spill_generations",
                       static_cast<double>(result.spill_generations));
@@ -318,6 +330,46 @@ int main(int argc, char** argv) {
       bench.AddResult("spill_merge_ms", result.spill_merge_ms);
       bench.AddResult("spill_frontier_segments",
                       static_cast<double>(result.frontier_segments));
+      bench.AddResult("spill_cache_hit_ratio", cache_hit_ratio);
+      bench.AddResult("spill_probe_ms_per_mstate", probe_ms_per_mstate);
+    }
+
+    // Tight-budget worker scaling: the disk tier must keep scaling with
+    // workers like the in-RAM checker does (batched probes + the shared
+    // block cache are the mechanisms), and distinct must stay
+    // bit-identical to the unlimited run in every cell — any divergence
+    // fails the bench outright.
+    const std::vector<int> spill_sweep =
+        bench.quick() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    double spill_w1_rate = 0;
+    for (int w : spill_sweep) {
+      xmodel::tlax::CheckerOptions options;
+      options.num_workers = w;
+      options.memory_budget_mb = mem_budget_mb;
+      options.watchdog = bench.watchdog();
+      auto result = xmodel::tlax::ModelChecker(options).Check(spec);
+      if (!result.status.ok()) {
+        return bench.Fail("tight-budget scaling check aborted");
+      }
+      if (result.distinct_states != unlimited_distinct) {
+        return bench.Fail(xmodel::common::StrCat(
+            "tight-budget scaling changed distinct_states: ",
+            unlimited_distinct, " unlimited vs ", result.distinct_states,
+            " at w", w));
+      }
+      double rate = result.seconds > 0
+                        ? static_cast<double>(result.generated_states) /
+                              result.seconds
+                        : 0;
+      if (w == 1) spill_w1_rate = rate;
+      std::printf("  budget %4llu MB w=%d   %12llu states  %8.2f s  "
+                  "%10.0f states/sec  %.2fx\n",
+                  mem_budget_mb, result.workers_used,
+                  static_cast<unsigned long long>(result.distinct_states),
+                  result.seconds, rate,
+                  spill_w1_rate > 0 ? rate / spill_w1_rate : 0);
+      bench.AddResult(
+          xmodel::common::StrCat("spill_w", w, "_states_per_sec"), rate);
     }
   }
 

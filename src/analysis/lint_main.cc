@@ -39,6 +39,12 @@
 //   xmodel_lint --spill-dir=DIR     where spill runs/segments live
 //                                   (default: checkpoint dir, else a
 //                                   per-process temp dir)
+//   xmodel_lint --spill-bloom-bits=N  Bloom bits per spilled fingerprint
+//                                     in [1, 64] (default 10); more bits
+//                                     = fewer false-positive disk probes
+//   xmodel_lint --spill-block-size=N  fingerprints per spill-run block
+//                                     in [16, 65536] (default 256), the
+//                                     probe/merge IO granularity
 //   xmodel_lint --checkpoint-dir=DIR  periodically checkpoint the
 //                                     model-check pass; resumable
 //   xmodel_lint --checkpoint-every-s=N  seconds between checkpoints
@@ -101,6 +107,8 @@ struct Options {
   int64_t stall_timeout_ms = 30'000;
   uint64_t mem_budget_mb = 0;
   std::string spill_dir;
+  uint64_t spill_bloom_bits = 0;    // 0 = tier default (10).
+  uint64_t spill_block_entries = 0; // 0 = tier default (256).
   std::string checkpoint_dir;
   int64_t checkpoint_every_s = 0;
   bool resume = false;
@@ -154,6 +162,21 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->mem_budget_mb = std::strtoull(arg.c_str() + 16, nullptr, 10);
     } else if (arg.rfind("--spill-dir=", 0) == 0) {
       options->spill_dir = arg.substr(12);
+    } else if (arg.rfind("--spill-bloom-bits=", 0) == 0) {
+      options->spill_bloom_bits =
+          std::strtoull(arg.c_str() + 19, nullptr, 10);
+      if (options->spill_bloom_bits < 1 || options->spill_bloom_bits > 64) {
+        std::fprintf(stderr, "--spill-bloom-bits must be in [1, 64]\n");
+        return false;
+      }
+    } else if (arg.rfind("--spill-block-size=", 0) == 0) {
+      options->spill_block_entries =
+          std::strtoull(arg.c_str() + 19, nullptr, 10);
+      if (options->spill_block_entries < 16 ||
+          options->spill_block_entries > 65536) {
+        std::fprintf(stderr, "--spill-block-size must be in [16, 65536]\n");
+        return false;
+      }
     } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
       options->checkpoint_dir = arg.substr(17);
     } else if (arg.rfind("--checkpoint-every-s=", 0) == 0) {
@@ -263,6 +286,8 @@ void LintOneSpec(const tlax::Spec& spec, const Options& options,
   check_options.watchdog = watchdog;
   check_options.progress_reporter = progress;
   check_options.memory_budget_mb = options.mem_budget_mb;
+  check_options.spill_bloom_bits = options.spill_bloom_bits;
+  check_options.spill_block_entries = options.spill_block_entries;
   check_options.checkpoint_every_s = options.checkpoint_every_s;
   check_options.resume = options.resume;
   // Lint checks every registered spec in one invocation, and manifests

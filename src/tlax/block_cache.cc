@@ -1,0 +1,101 @@
+#include "tlax/block_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace xmodel::tlax {
+
+size_t BlockCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<size_t>(
+      common::Mix64(k.run_id * 0x9e3779b97f4a7c15ULL ^ k.block));
+}
+
+BlockCache::BlockCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = std::max<size_t>(1, capacity_bytes_ / num_shards);
+}
+
+size_t BlockCache::ChargeOf(const BlockPtr& data) {
+  // Decoded entries plus the list/map bookkeeping per block.
+  return data->size() * sizeof(SpillTier::Entry) + 128;
+}
+
+BlockCache::Shard& BlockCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+BlockCache::BlockPtr BlockCache::Lookup(uint64_t run_id, uint64_t block) {
+  const Key key{run_id, block};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void BlockCache::Insert(uint64_t run_id, uint64_t block, BlockPtr data) {
+  const Key key{run_id, block};
+  const size_t charge = ChargeOf(data);
+  if (charge > shard_capacity_) return;  // Would evict the whole shard.
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Raced with another reader decoding the same block; keep the
+    // incumbent (identical contents — runs are immutable).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
+    const auto& victim = shard.lru.back();
+    const size_t victim_charge = ChargeOf(victim.second);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    shard.bytes -= victim_charge;
+    bytes_.fetch_sub(victim_charge, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(data));
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += charge;
+  bytes_.fetch_add(charge, std::memory_order_relaxed);
+}
+
+void BlockCache::EraseRun(uint64_t run_id) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->first.run_id != run_id) {
+        ++it;
+        continue;
+      }
+      const size_t charge = ChargeOf(it->second);
+      shard->index.erase(it->first);
+      it = shard->lru.erase(it);
+      shard->bytes -= charge;
+      bytes_.fetch_sub(charge, std::memory_order_relaxed);
+    }
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace xmodel::tlax

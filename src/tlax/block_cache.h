@@ -1,0 +1,101 @@
+#ifndef XMODEL_TLAX_BLOCK_CACHE_H_
+#define XMODEL_TLAX_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tlax/fpset_spill.h"
+
+namespace xmodel::tlax {
+
+/// Sharded LRU cache over decoded spill-run blocks. The disk tier's
+/// decoded-block path — edge lookups for counterexample trace rebuild,
+/// replay prefetch warming, and the pread fallback when a run cannot be
+/// mmap'd — pays a few-KB block decode per access; repeat visits to the
+/// same blocks (a trace walk revisits its neighborhood) hit here
+/// instead. This cache holds the decoded entry vectors, keyed by
+/// (run id, block index), under a byte budget that counts against the
+/// checker's memory budget (the tier reserves a fixed slice of
+/// `--mem-budget-mb` for it — see DESIGN.md's memory-accounting rule).
+/// Batched membership probes of mapped runs binary-search the raw file
+/// bytes and bypass the cache entirely.
+///
+/// Thread safety: fully thread-safe. Each shard has its own mutex; blocks
+/// are handed out as shared_ptr<const ...> so an evicted block stays
+/// valid for readers that already hold it. EraseRun drops every block of
+/// a retired run (compaction handoff) so the cache never outlives the
+/// data's source file by more than the holders' references.
+class BlockCache {
+ public:
+  using Block = std::vector<SpillTier::Entry>;
+  using BlockPtr = std::shared_ptr<const Block>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bytes = 0;      // Resident decoded bytes (charged).
+    uint64_t evictions = 0;  // Blocks evicted to stay under capacity.
+  };
+
+  explicit BlockCache(size_t capacity_bytes, size_t num_shards = 16);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns the cached block or nullptr (counts a hit/miss either way).
+  BlockPtr Lookup(uint64_t run_id, uint64_t block);
+
+  /// Inserts a freshly decoded block, evicting LRU entries of the same
+  /// shard until the shard is back under its capacity share. A block
+  /// larger than the shard capacity is simply not cached.
+  void Insert(uint64_t run_id, uint64_t block, BlockPtr data);
+
+  /// Drops every cached block belonging to `run_id` (run retired by
+  /// compaction, or replaced on resume).
+  void EraseRun(uint64_t run_id);
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uint64_t run_id;
+    uint64_t block;
+    bool operator==(const Key& o) const {
+      return run_id == o.run_id && block == o.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<Key, BlockPtr>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, BlockPtr>>::iterator,
+                       KeyHash>
+        index;
+    size_t bytes = 0;
+  };
+
+  static size_t ChargeOf(const BlockPtr& data);
+  Shard& ShardFor(const Key& key);
+
+  const size_t capacity_bytes_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace xmodel::tlax
+
+#endif  // XMODEL_TLAX_BLOCK_CACHE_H_

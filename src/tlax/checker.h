@@ -169,6 +169,15 @@ struct CheckerOptions {
   /// Frontier entries kept in memory before overflowing to segment
   /// files. 0 = derive from memory_budget_mb (unbounded when no budget).
   uint64_t frontier_inmem_entries = 0;
+  /// Spill-run Bloom filter bits per spilled fingerprint
+  /// (`--spill-bloom-bits`). More bits = fewer false-positive disk
+  /// probes at more RAM per spilled record. 0 = tier default (10).
+  /// Valid range when nonzero: [1, 64].
+  uint64_t spill_bloom_bits = 0;
+  /// Fingerprints per spill-run block (`--spill-block-size`), the
+  /// probe/merge IO granularity. 0 = tier default (256). Valid range
+  /// when nonzero: [16, 65536].
+  uint64_t spill_block_entries = 0;
 };
 
 /// A step in a counterexample trace: the action that was taken to reach
@@ -265,6 +274,9 @@ struct CheckResult {
   uint64_t spill_compactions = 0;
   double spill_probe_ms = 0;       // Disk probe time (past the Blooms).
   double spill_merge_ms = 0;       // Compaction merge time.
+  uint64_t spill_cache_hits = 0;    // Decoded-block cache hits.
+  uint64_t spill_cache_misses = 0;  // Decoded-block cache misses.
+  uint64_t spill_cache_bytes = 0;   // Resident decoded-block bytes at end.
   uint64_t frontier_segments = 0;  // Frontier segment files written.
   uint64_t checkpoints_written = 0;
   /// True when this run restored state from a checkpoint manifest.

@@ -94,7 +94,9 @@ EngineBase::EngineBase(const CheckerOptions& options, const Spec& spec,
       frontier_inmem_cap_(ResolveFrontierCap(options, spill_enabled_)),
       fpset_(FpOptions(fp_audit_, use_sleep_sets_, relaxed_, all_actions_,
                        spill_dir_, options.memory_budget_mb << 20,
-                       checkpointing_)),
+                       checkpointing_,
+                       static_cast<size_t>(options.spill_block_entries),
+                       options.spill_bloom_bits)),
       pool_(workers_),
       scratch_(static_cast<size_t>(workers_)) {}
 
@@ -269,6 +271,20 @@ void EngineBase::FlushSpillMetrics(uint64_t frontier_segments_total) {
       .Set(static_cast<double>(stats.runs));
   registry.GetGauge("checker.spill.probe_ms").Set(stats.probe_ms);
   registry.GetGauge("checker.spill.merge_ms").Set(stats.merge_ms);
+  registry.GetCounter("checker.spill.cache.hits")
+      .Increment(stats.cache_hits - published_cache_hits_);
+  published_cache_hits_ = stats.cache_hits;
+  registry.GetCounter("checker.spill.cache.misses")
+      .Increment(stats.cache_misses - published_cache_misses_);
+  published_cache_misses_ = stats.cache_misses;
+  registry.GetGauge("checker.spill.cache.bytes")
+      .Set(static_cast<double>(stats.cache_bytes));
+  registry.GetCounter("checker.spill.compact.count")
+      .Increment(stats.compactions - published_compactions_);
+  published_compactions_ = stats.compactions;
+  registry.GetGauge("checker.spill.compact.ms").Set(stats.merge_ms);
+  registry.GetGauge("checker.spill.compact.backlog")
+      .Set(static_cast<double>(stats.compact_backlog));
   if (checkpointing_) {
     registry.GetCounter("checker.checkpoint.writes")
         .Increment(checkpoints_written_ - published_checkpoints_);
@@ -367,6 +383,20 @@ void EngineBase::ProcessEntry(const LevelEntry& entry, size_t pos,
       State succ = spec_.Canonicalize(successors[si]);
       const uint64_t fp = Fingerprint(succ);
       const uint64_t key = EventKey(pos, ai, si - before);
+      if (spill_enabled_) {
+        // Out-of-core fast path: a hot-table miss defers its disk probe —
+        // the successor parks in s.pending until ResolvePendingProbes
+        // settles the whole batch with one sorted sweep. POR / graph /
+        // audit never coexist with spilling (see spill_enabled_ gating),
+        // so the branches below have nothing to do for this successor.
+        FpInsert ins = fpset_.InsertOrDefer(
+            fp, entry.fp, ai, entry.depth + 1, key, succ_sleep, &succ);
+        if (ins.pending) {
+          s.pending.push_back(
+              PendingSuccessor{std::move(succ), fp, key, entry.depth + 1});
+        }
+        continue;
+      }
       FpInsert ins = fpset_.Insert(fp, entry.fp, ai, entry.depth + 1, key,
                                    succ_sleep, &succ);
       bool enqueue = false;
@@ -428,6 +458,31 @@ void EngineBase::ProcessEntry(const LevelEntry& entry, size_t pos,
   }
 }
 
+void EngineBase::ResolvePendingProbes(Scratch& s) {
+  if (s.pending.empty()) return;
+  std::vector<uint64_t>& fps = s.pending_fps;
+  fps.clear();
+  fps.reserve(s.pending.size());
+  for (const PendingSuccessor& p : s.pending) fps.push_back(p.fp);
+  fpset_.ResolvePending(fps, &s.pending_on_disk);
+  for (size_t i = 0; i < s.pending.size(); ++i) {
+    if (s.pending_on_disk[i] != 0) continue;  // Revisit of a spilled state.
+    PendingSuccessor& p = s.pending[i];
+    if (fpset_.size() > options_.max_distinct_states) {
+      abort_max_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    const bool constrained = spec_.WithinConstraint(p.state);
+    // Invariants are checked on every distinct state, constrained or not,
+    // exactly as on the inline insert path.
+    CheckInvariants(p.state, p.fp, p.key, s);
+    if (constrained) {
+      s.next.push_back(LevelEntry{std::move(p.state), p.fp, p.depth, p.key});
+    }
+  }
+  s.pending.clear();
+}
+
 std::vector<TraceStep> EngineBase::BuildTrace(uint64_t end_fp,
                                               const State& end_state) {
   // Walk the discovery chain back to an initial state, then replay it
@@ -440,6 +495,10 @@ std::vector<TraceStep> EngineBase::BuildTrace(uint64_t end_fp,
     if (!edge.has_value()) break;
     chain.emplace_back(fp, edge->action);
     if (edge->action == kFpInitialAction) break;
+    // Overlap the next spilled-edge read with this iteration's bookkeeping
+    // (and, during forward replay, with state recomputation): warm the
+    // block cache for the predecessor's block in the background.
+    if (spill_enabled_) fpset_.PrefetchSpillEdge(edge->pred_fp);
     fp = edge->pred_fp;
   }
   std::reverse(chain.begin(), chain.end());
@@ -514,6 +573,8 @@ CheckResult EngineBase::Finish(common::Status status) {
   result_.seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
 
   if (spill_enabled_) {
+    // Join any in-flight background merge so the stats below are final.
+    fpset_.StopSpillBackground();
     const SpillTier::Stats spill = fpset_.spill_stats();
     result_.spill_runs = spill.runs;
     result_.spill_generations = spill.generations;
@@ -522,6 +583,9 @@ CheckResult EngineBase::Finish(common::Status status) {
     result_.spill_compactions = spill.compactions;
     result_.spill_probe_ms = spill.probe_ms;
     result_.spill_merge_ms = spill.merge_ms;
+    result_.spill_cache_hits = spill.cache_hits;
+    result_.spill_cache_misses = spill.cache_misses;
+    result_.spill_cache_bytes = spill.cache_bytes;
     result_.frontier_segments = frontier_segments_total_;
     result_.checkpoints_written = checkpoints_written_;
   }

@@ -60,6 +60,11 @@ constexpr uint32_t kHeartbeatBatchEntries = 1024;
 // the cadence of its live-counter flush / heartbeat / progress poll.
 constexpr size_t kRelaxedBatchEntries = 64;
 
+// Spill path: deferred disk probes accumulated per worker before a
+// batched (sorted, merged-sweep) resolution. Roughly a run block's worth
+// of keys, so a resolution decodes each touched block about once.
+constexpr size_t kSpillProbeBatch = 256;
+
 // One unit of frontier work. The level batches own the full states (the
 // fingerprint table does not keep them); `key` is the discovery-order key
 // that makes batch order — and therefore every downstream key — a pure
@@ -73,6 +78,17 @@ struct LevelEntry {
   // record_graph: the settled graph id of this state, filled when the
   // level is built (seeds at registration, later levels at the barrier).
   uint32_t gid = StateGraph::kNoId;
+};
+
+// A successor whose fingerprint-table insert came back `pending`: the
+// hot table has never seen it, so only the disk tier can say whether it
+// is new. Batched per worker and settled by ResolvePendingProbes with
+// one sorted FindBatch sweep instead of a per-key disk probe.
+struct PendingSuccessor {
+  State state;
+  uint64_t fp = 0;
+  uint64_t key = 0;
+  int64_t depth = 0;
 };
 
 // A violation observed while the frontier drains. Level-sync always
@@ -121,6 +137,11 @@ class EngineBase {
     // full state for a potential wake re-enqueue. Settled at the barrier.
     // (Level-sync only; relaxed settles wakes inside Insert.)
     std::unordered_map<uint64_t, State> wake_candidates;
+    // Spill path: successors awaiting their batched disk probe, and the
+    // reusable fp scratch for the sorted sweep (spill_enabled_ only).
+    std::vector<PendingSuccessor> pending;
+    std::vector<uint64_t> pending_fps;
+    std::vector<uint8_t> pending_on_disk;
     uint64_t generated = 0;
     uint64_t slept = 0;
     uint64_t expanded = 0;
@@ -153,6 +174,12 @@ class EngineBase {
                     int worker);
   void CheckInvariants(const State& state, uint64_t fp, uint64_t key,
                        Scratch& s);
+
+  // Spill path: settles s.pending with one sorted FindBatch sweep —
+  // fingerprints found on disk are dropped (revisit), the rest become
+  // distinct states (max-distinct check, constraint, invariants,
+  // enqueue into s.next). No-op when s.pending is empty.
+  void ResolvePendingProbes(Scratch& s);
 
   // Rebuilds the counterexample behavior ending at `end_state` by walking
   // the predecessor-fingerprint chain and replaying the recorded actions
@@ -192,7 +219,9 @@ class EngineBase {
                                            uint64_t all_actions,
                                            const std::string& spill_dir,
                                            uint64_t memory_budget_bytes,
-                                           bool checkpointing) {
+                                           bool checkpointing,
+                                           size_t spill_block_entries,
+                                           uint64_t spill_bloom_bits) {
     FingerprintSet::Options o;
     o.audit = audit;  // Implies keep_states inside the table.
     o.track_por = por;
@@ -202,6 +231,12 @@ class EngineBase {
     o.memory_budget_bytes = memory_budget_bytes;
     o.spill_durable = checkpointing;
     o.spill_defer_deletes = checkpointing;
+    o.spill_block_entries = spill_block_entries;
+    o.spill_bloom_bits = spill_bloom_bits;
+    // Engines overlap run merges with exploration; probes keep reading
+    // retiring runs during the swap. Checkpoints quiesce the thread via
+    // PauseSpillCompaction so manifests stay consistent.
+    o.spill_background_compact = true;
     return o;
   }
 
@@ -271,6 +306,9 @@ class EngineBase {
   uint64_t published_spill_bytes_ = 0;
   uint64_t published_frontier_segments_ = 0;
   uint64_t published_checkpoints_ = 0;
+  uint64_t published_cache_hits_ = 0;
+  uint64_t published_cache_misses_ = 0;
+  uint64_t published_compactions_ = 0;
   uint64_t frontier_segments_total_ = 0;
   uint64_t checkpoints_written_ = 0;
   double checkpoint_ms_ = 0;

@@ -35,6 +35,12 @@ void LevelSyncEngine::DrainLevel(const std::vector<LevelEntry>& level,
     const uint64_t gen_before = s.generated;
     const size_t next_before = s.next.size();
     ProcessEntry(level[pos], base + pos, s, worker);
+    if (spill_enabled_ && s.pending.size() >= kSpillProbeBatch) {
+      // Deferred disk probes settle in sorted batches (one merged sweep
+      // per run instead of one probe per key). Still inside this entry's
+      // flush window, so the live counters see the resolved states.
+      ResolvePendingProbes(s);
+    }
     if (flush) {
       generated_level_.fetch_add(s.generated - gen_before,
                                  std::memory_order_relaxed);
@@ -47,6 +53,15 @@ void LevelSyncEngine::DrainLevel(const std::vector<LevelEntry>& level,
     if (options_.watchdog != nullptr && --heartbeat_countdown == 0) {
       heartbeat_countdown = kHeartbeatBatchEntries;
       options_.watchdog->Heartbeat();
+    }
+  }
+  if (spill_enabled_ && !s.pending.empty()) {
+    // Tail batch: the level ran out of entries with probes still queued.
+    const size_t next_before = s.next.size();
+    ResolvePendingProbes(s);
+    if (flush) {
+      next_count_.fetch_add(s.next.size() - next_before,
+                            std::memory_order_relaxed);
     }
   }
   if (options_.profile_workers) {
@@ -315,6 +330,11 @@ CheckResult LevelSyncEngine::Run() {
       if (status.ok() && checkpointing_ &&
           CheckpointDue(clock_->NowNanos())) {
         const int64_t ckpt_start_ns = clock_->NowNanos();
+        // Quiesce background compaction for the whole manifest section:
+        // with no merge in flight the run list is stable, so the manifest
+        // names exactly the sealed runs and PurgeSpillRetired cannot
+        // delete a file the previous manifest still references.
+        fpset_.PauseSpillCompaction();
         status = fpset_.EvictAll();
         if (status.ok()) status = spool->Append(std::move(next));
         if (status.ok()) status = spool->Seal();
@@ -338,6 +358,7 @@ CheckResult LevelSyncEngine::Run() {
           CheckpointWritten(ckpt_end_ns);
           next.clear();  // Everything rides the spool now.
         }
+        fpset_.ResumeSpillCompaction();
       } else if (status.ok() && next.size() > frontier_inmem_cap_) {
         // Keep the head chunk hot, spool the (later-ordered) remainder.
         std::vector<LevelEntry> overflow(

@@ -192,6 +192,11 @@ void RelaxedEngine::ExitWorker() {
 
 void RelaxedEngine::DoCheckpointLocked() {
   const int64_t ckpt_start_ns = clock_->NowNanos();
+  // Quiesce background compaction for the whole manifest section: with
+  // no merge in flight the run list is stable, so the manifest names
+  // exactly the sealed runs and PurgeSpillRetired cannot delete a file
+  // the previous manifest still references.
+  fpset_.PauseSpillCompaction();
   common::Status status = common::Status::OK();
   // Drain every deque into its worker's spool and seal, so the manifest
   // names only sealed segment files; with no batch in flight, the spool
@@ -241,6 +246,7 @@ void RelaxedEngine::DoCheckpointLocked() {
                                      /*durable=*/true);
   }
   if (!status.ok()) {
+    fpset_.ResumeSpillCompaction();
     RecordIoError(status);
     return;
   }
@@ -255,6 +261,7 @@ void RelaxedEngine::DoCheckpointLocked() {
       static_cast<double>(ckpt_end_ns - ckpt_start_ns) * 1e-6;
   CheckpointWritten(ckpt_end_ns);
   FlushSpillMetrics(segments);
+  fpset_.ResumeSpillCompaction();
 }
 
 void RelaxedEngine::WorkerLoop(int worker) {
@@ -276,6 +283,10 @@ void RelaxedEngine::WorkerLoop(int worker) {
   uint64_t flushed_generated = 0;
   uint64_t flushed_slept = 0;
   uint64_t local_peak = 0;
+  // Worker 0 flushes the checker.spill.* families live every few
+  // batches (not every batch — the flush is a dozen registry lookups).
+  constexpr uint32_t kSpillFlushBatches = 8;
+  uint32_t spill_flush_countdown = kSpillFlushBatches;
   for (;;) {
     if (abort_max_.load(std::memory_order_relaxed) ||
         abort_io_.load(std::memory_order_relaxed)) {
@@ -302,7 +313,24 @@ void RelaxedEngine::WorkerLoop(int worker) {
     for (const LevelEntry& entry : batch) {
       ProcessEntry(entry, 0, s, worker);
       if (!s.next.empty()) PushDiscoveries(worker, s);
-      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      // Spill path: this entry's unresolved children are parked in
+      // s.pending, so the parent cannot retire yet — the whole batch
+      // retires after ResolvePendingProbes below, keeping the invariant
+      // that children are counted into pending_ before parents leave it.
+      if (!spill_enabled_) {
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (s.candidates.size() > 1) {
+        CandidateViolation best = *std::min_element(
+            s.candidates.begin(), s.candidates.end(), CandidateLess);
+        s.candidates.clear();
+        s.candidates.push_back(std::move(best));
+      }
+    }
+    if (spill_enabled_ && !batch.empty()) {
+      ResolvePendingProbes(s);
+      if (!s.next.empty()) PushDiscoveries(worker, s);
+      pending_.fetch_sub(batch.size(), std::memory_order_acq_rel);
       if (s.candidates.size() > 1) {
         CandidateViolation best = *std::min_element(
             s.candidates.begin(), s.candidates.end(), CandidateLess);
@@ -355,6 +383,18 @@ void RelaxedEngine::WorkerLoop(int worker) {
           last_report_ns_ = now_ns;
           last_report_generated_ = p.generated_states;
         }
+      }
+      if (spill_enabled_ && --spill_flush_countdown == 0) {
+        spill_flush_countdown = kSpillFlushBatches;
+        // Live probe/merge/cache/compaction telemetry between
+        // checkpoints. Single-writer discipline holds: the checkpoint
+        // flush runs only while every active worker — including this
+        // one — is parked under ckpt_mu_.
+        uint64_t segments = 0;
+        for (const std::unique_ptr<FrontierSpool>& spool : spools_) {
+          segments += spool->segments_written();
+        }
+        FlushSpillMetrics(segments);
       }
       if (spill_enabled_ && checkpointing_ &&
           CheckpointDue(clock_->NowNanos())) {

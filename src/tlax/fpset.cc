@@ -36,8 +36,32 @@ FingerprintSet::FingerprintSet(Options options) : options_(options) {
   shard_shift_ = 64 - Log2(shards);
   if (shards == 1) shard_shift_ = 0;  // (fp >> 0) & 0 == 0 either way.
   if (!options_.spill_dir.empty()) {
+    // Memory-accounting rule: the decoded-block cache is a fixed slice
+    // carved out of the memory budget (a quarter, floor 256 KiB), and
+    // the hot-table eviction threshold shrinks by the same amount —
+    // hot table + cache together stay under --mem-budget-mb.
+    uint64_t cache_bytes = options_.spill_cache_bytes;
+    if (cache_bytes == 0) {
+      cache_bytes = options_.memory_budget_bytes > 0
+                        ? std::max<uint64_t>(256ull << 10,
+                                             options_.memory_budget_bytes / 4)
+                        : (4ull << 20);
+    }
+    if (options_.memory_budget_bytes > 0) {
+      hot_budget_bytes_ = options_.memory_budget_bytes > cache_bytes
+                              ? options_.memory_budget_bytes - cache_bytes
+                              : options_.memory_budget_bytes / 2;
+    }
     SpillTier::Options spill;
     spill.dir = options_.spill_dir;
+    if (options_.spill_block_entries > 0) {
+      spill.block_entries = options_.spill_block_entries;
+    }
+    if (options_.spill_bloom_bits > 0) {
+      spill.bloom_bits_per_key = options_.spill_bloom_bits;
+    }
+    spill.cache_bytes = static_cast<size_t>(cache_bytes);
+    spill.background_compact = options_.spill_background_compact;
     spill.durable = options_.spill_durable;
     spill.defer_deletes = options_.spill_defer_deletes;
     tier_ = std::make_unique<SpillTier>(spill);
@@ -84,6 +108,17 @@ FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
     out.depth = depth;
     return out;
   }
+  return MergeRevisit(shard, rec, fp, pred_fp, action, depth, order_key,
+                      sleep_mask, state);
+}
+
+// Shared revisit path of Insert/InsertOrDefer; shard.mu must be held.
+FpInsert FingerprintSet::MergeRevisit(Shard& shard, Record& rec, uint64_t fp,
+                                      uint64_t pred_fp, uint16_t action,
+                                      int64_t depth, uint64_t order_key,
+                                      uint64_t sleep_mask,
+                                      const State* state) {
+  FpInsert out;
   out.depth = rec.depth;
   if (options_.audit && state != nullptr) {
     auto st = shard.states.find(fp);
@@ -125,6 +160,71 @@ FpInsert FingerprintSet::Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
     rec.action = action;
   }
   return out;
+}
+
+FpInsert FingerprintSet::InsertOrDefer(uint64_t fp, uint64_t pred_fp,
+                                       uint16_t action, int64_t depth,
+                                       uint64_t order_key,
+                                       uint64_t sleep_mask,
+                                       const State* state) {
+  if (tier_ == nullptr) {
+    return Insert(fp, pred_fp, action, depth, order_key, sleep_mask, state);
+  }
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, fresh] = shard.records.try_emplace(fp);
+  Record& rec = it->second;
+  if (!fresh) {
+    // Hot (possibly still provisional) record: classic revisit merge. A
+    // merge into a provisional record that later turns out to be on
+    // disk is simply discarded with it — exactly what the inline-probe
+    // path would have done (disk-resident edges are settled and win).
+    return MergeRevisit(shard, rec, fp, pred_fp, action, depth, order_key,
+                        sleep_mask, state);
+  }
+  hot_count_.fetch_add(1, std::memory_order_relaxed);
+  rec.pred_fp = pred_fp;
+  rec.order_key = order_key;
+  rec.depth = depth;
+  rec.action = action;
+  rec.sleep = sleep_mask;
+  rec.pending = sleep_mask;
+  rec.queued = true;
+  rec.provisional = true;
+  FpInsert out;
+  out.pending = true;
+  out.depth = depth;
+  return out;
+}
+
+void FingerprintSet::ResolvePending(const std::vector<uint64_t>& fps,
+                                    std::vector<uint8_t>* on_disk) {
+  on_disk->assign(fps.size(), 0);
+  if (tier_ == nullptr || fps.empty()) return;
+  std::vector<uint64_t> sorted(fps);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<SpillTier::BatchHit> hits;
+  tier_->FindBatch(sorted, &hits);
+  for (size_t i = 0; i < fps.size(); ++i) {
+    const size_t si = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), fps[i]) -
+        sorted.begin());
+    const bool found = hits[si].found;
+    Shard& shard = ShardFor(fps[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.records.find(fps[i]);
+    if (it == shard.records.end() || !it->second.provisional) continue;
+    if (found) {
+      // Already explored and evicted: drop the provisional record — the
+      // disk copy is the settled one.
+      shard.records.erase(it);
+      hot_count_.fetch_sub(1, std::memory_order_relaxed);
+      (*on_disk)[i] = 1;
+    } else {
+      it->second.provisional = false;
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 FingerprintSet::ExpandGrant FingerprintSet::AcquireExpand(
@@ -196,7 +296,7 @@ common::Status FingerprintSet::EvictIfOverBudget() {
     return common::Status::OK();
   }
   if (hot_count_.load(std::memory_order_relaxed) * kHotRecordBytes <=
-      options_.memory_budget_bytes) {
+      hot_budget_bytes_) {
     return common::Status::OK();
   }
   return EvictAll();
@@ -218,6 +318,10 @@ common::Status FingerprintSet::EvictAll() {
     std::lock_guard<std::mutex> lock(shard.mu);
     captured[si].reserve(shard.records.size());
     for (const auto& [fp, rec] : shard.records) {
+      // A provisional record has no disk verdict yet — sealing it could
+      // duplicate a fingerprint across runs. Its owner resolves it at
+      // the batch boundary; it stays hot until then.
+      if (rec.provisional) continue;
       entries.emplace_back(
           fp, SpillTier::EdgeData{rec.pred_fp, rec.order_key, rec.depth,
                                   rec.action});
@@ -238,6 +342,12 @@ common::Status FingerprintSet::EvictAll() {
     for (uint64_t fp : captured[si]) shard.records.erase(fp);
   }
   hot_count_.fetch_sub(entries.size(), std::memory_order_relaxed);
+  if (options_.spill_background_compact) {
+    // The merge overlaps with exploration; errors surface through the
+    // sticky spill_status() the engines already poll at safe points.
+    tier_->RequestCompaction();
+    return tier_->status();
+  }
   return tier_->CompactIfNeeded();
 }
 
@@ -263,6 +373,22 @@ common::Status FingerprintSet::DropSpillOrphans() const {
 
 void FingerprintSet::PurgeSpillRetired() {
   if (tier_ != nullptr) tier_->PurgeRetired();
+}
+
+void FingerprintSet::PauseSpillCompaction() {
+  if (tier_ != nullptr) tier_->PauseCompaction();
+}
+
+void FingerprintSet::ResumeSpillCompaction() {
+  if (tier_ != nullptr) tier_->ResumeCompaction();
+}
+
+void FingerprintSet::StopSpillBackground() {
+  if (tier_ != nullptr) tier_->StopBackground();
+}
+
+void FingerprintSet::PrefetchSpillEdge(uint64_t fp) const {
+  if (tier_ != nullptr) tier_->PrefetchForReplay(fp);
 }
 
 SpillTier::Stats FingerprintSet::spill_stats() const {

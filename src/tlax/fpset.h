@@ -47,6 +47,11 @@ struct FpInsert {
   /// not currently queued, and marked it queued. The caller owns the
   /// re-enqueue (at `depth`); there is no later settle step to do it.
   bool wake = false;
+  /// InsertOrDefer only: the fingerprint missed the hot table and a
+  /// provisional record was created instead of probing disk inline. The
+  /// caller must pass the fingerprint to ResolvePending before treating
+  /// it as new — `inserted` is false until then.
+  bool pending = false;
   /// BFS depth stored in the record (existing or newly created).
   int64_t depth = 0;
 };
@@ -102,8 +107,24 @@ class FingerprintSet {
     std::string spill_dir;
     /// Estimated hot-table bytes that trigger eviction via
     /// EvictIfOverBudget. 0 means no budget (evictions only happen on
-    /// explicit EvictAll, e.g. at checkpoints).
+    /// explicit EvictAll, e.g. at checkpoints). The decoded-block cache
+    /// is carved out of this budget (see spill_cache_bytes).
     uint64_t memory_budget_bytes = 0;
+    /// Spill run block size, fingerprints per block
+    /// (`--spill-block-size`). 0 keeps the tier default (256).
+    size_t spill_block_entries = 0;
+    /// Spill Bloom filter bits per key (`--spill-bloom-bits`). 0 keeps
+    /// the tier default (10).
+    uint64_t spill_bloom_bits = 0;
+    /// Decoded-block cache budget in bytes. 0 = auto: a quarter of
+    /// memory_budget_bytes (at least 256 KiB), or 4 MiB when no budget
+    /// is set. The hot-table eviction threshold shrinks by the same
+    /// amount, so cache + hot table together respect the budget.
+    uint64_t spill_cache_bytes = 0;
+    /// Run spill compaction on a dedicated background thread, overlapped
+    /// with exploration (engines enable this; tests default to the
+    /// synchronous path).
+    bool spill_background_compact = false;
     /// fsync spill runs (checkpoint durability).
     bool spill_durable = false;
     /// Defer deletion of compacted-away runs until PurgeSpillRetired()
@@ -127,6 +148,31 @@ class FingerprintSet {
   FpInsert Insert(uint64_t fp, uint64_t pred_fp, uint16_t action,
                   int64_t depth, uint64_t order_key, uint64_t sleep_mask,
                   const State* state);
+
+  /// Batched-probe variant of Insert for the spill path: instead of
+  /// probing the disk tier inline on a hot-table miss, it records a
+  /// provisional entry and reports FpInsert::pending. The caller
+  /// accumulates pending fingerprints over an expansion batch and
+  /// settles them with one ResolvePending call — each decoded run block
+  /// is then visited once per batch instead of once per key. Behaves
+  /// exactly like Insert when spilling is off. The "hot table or on
+  /// disk at every instant" invariant holds throughout: the provisional
+  /// record keeps concurrent inserts of the same fingerprint from
+  /// double-probing, and eviction skips provisional records.
+  FpInsert InsertOrDefer(uint64_t fp, uint64_t pred_fp, uint16_t action,
+                         int64_t depth, uint64_t order_key,
+                         uint64_t sleep_mask, const State* state);
+
+  /// Settles a batch of provisional records created by InsertOrDefer.
+  /// `fps` are this caller's pending fingerprints in discovery order
+  /// (unique by construction — only the insert that created the
+  /// provisional record reports pending). On return, on_disk[i] != 0
+  /// means fps[i] was already on disk: the provisional record has been
+  /// discarded and the fingerprint is NOT a new state. on_disk[i] == 0
+  /// means genuinely new: the record is now settled and counted in
+  /// size(). Probes all spill runs with one merged batched sweep.
+  void ResolvePending(const std::vector<uint64_t>& fps,
+                      std::vector<uint8_t>* on_disk);
 
   /// POR expansion handshake: atomically clears the record's queued flag,
   /// returns its current sleep mask and previously-expanded mask, and
@@ -207,6 +253,21 @@ class FingerprintSet {
   /// Deletes compaction-retired run files (after a manifest write).
   void PurgeSpillRetired();
 
+  /// Quiesces/resumes the background compaction thread (no-ops without
+  /// one). Checkpointing brackets manifest construction + retired-file
+  /// purge with this pair so a manifest never names a half-merged run
+  /// set whose inputs a purge then deletes.
+  void PauseSpillCompaction();
+  void ResumeSpillCompaction();
+  /// Joins the background compaction thread; call before tearing down
+  /// the spill directory. Idempotent, no-op without a thread.
+  void StopSpillBackground();
+
+  /// Trace-rebuild read-ahead: asynchronously warms the spill tier's
+  /// block cache with the block holding `fp` (best effort, no-op when
+  /// spilling is off).
+  void PrefetchSpillEdge(uint64_t fp) const;
+
   /// Stats / sticky IO error / live runs of the disk tier (zero/OK/empty
   /// when spilling is off).
   SpillTier::Stats spill_stats() const;
@@ -223,6 +284,10 @@ class FingerprintSet {
     uint64_t done = 0;     // POR: actions already expanded here.
     uint16_t action = kFpInitialAction;
     bool queued = false;  // POR: on a frontier, awaiting expansion.
+    /// Spill batching: created by InsertOrDefer, awaiting a
+    /// ResolvePending disk verdict. Not counted in size(); skipped by
+    /// eviction (an unresolved record must never be sealed to disk).
+    bool provisional = false;
   };
 
   struct Shard {
@@ -238,9 +303,15 @@ class FingerprintSet {
     return shards_[(fp >> shard_shift_) & (shards_.size() - 1)];
   }
 
+  FpInsert MergeRevisit(Shard& shard, Record& rec, uint64_t fp,
+                        uint64_t pred_fp, uint16_t action, int64_t depth,
+                        uint64_t order_key, uint64_t sleep_mask,
+                        const State* state);
+
   Options options_;
   std::vector<Shard> shards_;
   int shard_shift_ = 0;
+  uint64_t hot_budget_bytes_ = 0;  // Budget minus the block-cache slice.
   std::atomic<size_t> size_{0};
   std::atomic<uint64_t> collisions_{0};
 

@@ -1,10 +1,12 @@
 #include "tlax/fpset_spill.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <queue>
@@ -14,6 +16,7 @@
 #include "common/hash.h"
 #include "common/strings.h"
 #include "common/varint.h"
+#include "tlax/block_cache.h"
 
 namespace xmodel::tlax {
 
@@ -21,28 +24,36 @@ namespace {
 
 // Run file layout (all multi-byte integers little-endian):
 //
-//   [8]  magic "XFPRUN1\0"
+//   [8]  magic "XFPRUN2\0"
 //   [8]  entry count
 //   per block:
 //     [8]  payload byte length
 //     payload:
-//       varint   n (entries in this block)
-//       fixed64  first fingerprint
-//       varint   fingerprint deltas (n-1, strictly positive)
+//       fixed64  n (entries in this block)
+//       fixed64  fingerprints (n, strictly ascending)
 //       n times: fixed64 pred_fp, varint order_key, varint action,
 //                varint zigzag(depth)
+//       fixed64  block checksum: xor of the per-entry hashes — verified
+//                on every block decode, so a block re-read after cache
+//                eviction re-proves its integrity
 //   [8]  checksum: xor of a per-entry hash chained over the fingerprint
 //        AND its edge fields, mixed with the count — a flipped bit in
 //        the sidecar fails validation, not just one in the fp stream
 //
+// The fingerprint section is a raw sorted fixed64 array rather than
+// varint deltas on purpose: run files are mmap'd, and a membership
+// probe binary-searches the array in place — no syscall, no block
+// decode, no allocation. The varint edge sidecar is only decoded on
+// the rare edge-lookup path (trace rebuild), which goes through the
+// block cache.
+//
 // The sparse index (first fp + byte extent per block) and the Bloom
 // filter are rebuilt from a full scan when a file is adopted on resume;
 // the scan doubles as corruption detection.
-constexpr char kMagic[8] = {'X', 'F', 'P', 'R', 'U', 'N', '1', '\0'};
+constexpr char kMagic[8] = {'X', 'F', 'P', 'R', 'U', 'N', '2', '\0'};
 constexpr size_t kHeaderBytes = 16;
 constexpr uint64_t kChecksumSeed = 0x5f3759df9e3779b9ULL;
 
-constexpr uint64_t kBloomBitsPerKey = 10;
 constexpr int kBloomProbes = 6;
 
 uint64_t ChecksumFinish(uint64_t fp_xor, uint64_t count) {
@@ -81,13 +92,53 @@ bool BloomMayContain(const std::vector<uint64_t>& words, uint64_t fp) {
   return true;
 }
 
-size_t BloomWords(uint64_t count) {
-  const uint64_t bits = std::max<uint64_t>(64, count * kBloomBitsPerKey);
+size_t BloomWords(uint64_t count, uint64_t bits_per_key) {
+  const uint64_t bits = std::max<uint64_t>(64, count * bits_per_key);
   return static_cast<size_t>((bits + 63) / 64);
 }
 
 common::Status Corrupt(const std::string& file, const char* what) {
   return common::Status::Corruption("spill run " + file + ": " + what);
+}
+
+// Little-endian fixed64 load straight off a mapped block (GetFixed64's
+// layout, without the per-call bounds bookkeeping — callers validate the
+// array extent once).
+uint64_t RawFp(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+// Membership probe against a raw block payload: binary search of the
+// in-place fingerprint array, no decoding. Returns 1 found, 0 absent,
+// -1 malformed header.
+int RawBlockContains(std::string_view payload, uint64_t fp) {
+  size_t pos = 0;
+  uint64_t n = 0;
+  if (!common::GetFixed64(payload, &pos, &n)) return -1;
+  // 8 (count) + 8n (fps) + sidecar + 8 (block checksum) must fit.
+  if (n == 0 || payload.size() < 16 || n > (payload.size() - 16) / 8) {
+    return -1;
+  }
+  const char* base = payload.data() + 8;
+  size_t lo = 0;
+  size_t hi = static_cast<size_t>(n);
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint64_t v = RawFp(base + mid * 8);
+    if (v < fp) {
+      lo = mid + 1;
+    } else if (v > fp) {
+      hi = mid;
+    } else {
+      return 1;
+    }
+  }
+  return 0;
 }
 
 common::Status DecodeBlockPayload(std::string_view payload,
@@ -96,27 +147,23 @@ common::Status DecodeBlockPayload(std::string_view payload,
   out->clear();
   size_t pos = 0;
   uint64_t n = 0;
-  if (!common::GetVarint64(payload, &pos, &n)) {
+  if (!common::GetFixed64(payload, &pos, &n)) {
     return Corrupt(file, "truncated block entry count");
   }
-  if (n == 0 || n > payload.size()) {
+  if (n == 0 || payload.size() < 16 || n > (payload.size() - 16) / 8) {
     return Corrupt(file, "implausible block entry count");
   }
   out->reserve(static_cast<size_t>(n));
-  uint64_t fp = 0;
-  if (!common::GetFixed64(payload, &pos, &fp)) {
-    return Corrupt(file, "truncated first fingerprint");
-  }
-  out->emplace_back(fp, SpillTier::EdgeData{});
-  for (uint64_t i = 1; i < n; ++i) {
-    uint64_t delta = 0;
-    if (!common::GetVarint64(payload, &pos, &delta)) {
-      return Corrupt(file, "truncated fingerprint delta");
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t fp = 0;
+    if (!common::GetFixed64(payload, &pos, &fp)) {
+      return Corrupt(file, "truncated fingerprint array");
     }
-    if (delta == 0 || fp + delta < fp) {
-      return Corrupt(file, "non-increasing fingerprint delta");
+    if (i > 0 && fp <= prev) {
+      return Corrupt(file, "fingerprints out of order");
     }
-    fp += delta;
+    prev = fp;
     out->emplace_back(fp, SpillTier::EdgeData{});
   }
   for (uint64_t i = 0; i < n; ++i) {
@@ -131,8 +178,19 @@ common::Status DecodeBlockPayload(std::string_view payload,
     if (action > UINT16_MAX) return Corrupt(file, "edge action out of range");
     edge.action = static_cast<uint16_t>(action);
   }
+  uint64_t declared_sum = 0;
+  if (!common::GetFixed64(payload, &pos, &declared_sum)) {
+    return Corrupt(file, "truncated block checksum");
+  }
   if (pos != payload.size()) {
     return Corrupt(file, "trailing bytes in block");
+  }
+  uint64_t sum = 0;
+  for (const SpillTier::Entry& e : *out) {
+    sum ^= EntryChecksum(e.first, e.second);
+  }
+  if (sum != declared_sum) {
+    return Corrupt(file, "block checksum mismatch");
   }
   return common::Status::OK();
 }
@@ -141,8 +199,10 @@ common::Status DecodeBlockPayload(std::string_view payload,
 // shared backend of SealRun and compaction.
 class RunBuilder {
  public:
-  RunBuilder(size_t block_entries, uint64_t expected_count)
-      : block_entries_(block_entries), bloom_(BloomWords(expected_count), 0) {
+  RunBuilder(size_t block_entries, uint64_t bloom_bits_per_key,
+             uint64_t expected_count)
+      : block_entries_(block_entries),
+        bloom_(BloomWords(expected_count, bloom_bits_per_key), 0) {
     contents_.append(kMagic, sizeof(kMagic));
     common::PutFixed64(expected_count, &contents_);
   }
@@ -172,18 +232,19 @@ class RunBuilder {
  private:
   void FlushBlock() {
     std::string payload;
-    common::PutVarint64(pending_.size(), &payload);
-    common::PutFixed64(pending_[0].first, &payload);
-    for (size_t i = 1; i < pending_.size(); ++i) {
-      common::PutVarint64(pending_[i].first - pending_[i - 1].first,
-                          &payload);
+    common::PutFixed64(pending_.size(), &payload);
+    for (const SpillTier::Entry& e : pending_) {
+      common::PutFixed64(e.first, &payload);
     }
+    uint64_t block_sum = 0;
     for (const SpillTier::Entry& e : pending_) {
       common::PutFixed64(e.second.pred_fp, &payload);
       common::PutVarint64(e.second.order_key, &payload);
       common::PutVarint64(e.second.action, &payload);
       common::PutVarintSigned(e.second.depth, &payload);
+      block_sum ^= EntryChecksum(e.first, e.second);
     }
+    common::PutFixed64(block_sum, &payload);
     block_first_fp_.push_back(pending_[0].first);
     common::PutFixed64(payload.size(), &contents_);
     block_offset_.push_back(contents_.size());
@@ -209,15 +270,43 @@ struct SpillTier::Run {
   std::string file;  // Name within the spill dir.
   std::string path;
   int fd = -1;
+  uint64_t cache_id = 0;  // BlockCache namespace, unique per open run.
   uint64_t count = 0;
   uint64_t bytes = 0;
+  // Read-only map of the whole (immutable) file; null when mmap failed,
+  // in which case probes fall back to pread + decoded blocks.
+  const char* map = nullptr;
+  size_t map_len = 0;
   std::vector<uint64_t> block_first_fp;
   std::vector<uint64_t> block_offset;
   std::vector<uint32_t> block_len;
   std::vector<uint64_t> bloom;
 
   ~Run() {
+    if (map != nullptr) {
+      ::munmap(const_cast<char*>(map), map_len);
+    }
     if (fd >= 0) ::close(fd);
+  }
+
+  // Best-effort: a run that fails to map still works via pread.
+  void TryMap() {
+    if (fd < 0 || bytes == 0) return;
+    void* m = ::mmap(nullptr, static_cast<size_t>(bytes), PROT_READ,
+                     MAP_SHARED, fd, 0);
+    if (m != MAP_FAILED) {
+      map = static_cast<const char*>(m);
+      map_len = static_cast<size_t>(bytes);
+    }
+  }
+
+  bool MappedPayload(size_t block, std::string_view* out) const {
+    if (map == nullptr) return false;
+    const uint64_t off = block_offset[block];
+    const uint32_t len = block_len[block];
+    if (off > map_len || len > map_len - off) return false;
+    *out = std::string_view(map + off, len);
+    return true;
   }
 
   common::Status ReadBlock(size_t block, std::string* payload) const {
@@ -237,38 +326,24 @@ struct SpillTier::Run {
     }
     return common::Status::OK();
   }
-
-  // Probes this run for `fp`. Returns kNotFound when absent.
-  common::Status Find(uint64_t fp, EdgeData* edge) const {
-    auto it = std::upper_bound(block_first_fp.begin(), block_first_fp.end(),
-                               fp);
-    if (it == block_first_fp.begin()) {
-      return common::Status::NotFound("");
-    }
-    const size_t block =
-        static_cast<size_t>(it - block_first_fp.begin()) - 1;
-    std::string payload;
-    common::Status status = ReadBlock(block, &payload);
-    if (!status.ok()) return status;
-    std::vector<Entry> entries;
-    status = DecodeBlockPayload(payload, file, &entries);
-    if (!status.ok()) return status;
-    auto entry = std::lower_bound(
-        entries.begin(), entries.end(), fp,
-        [](const Entry& e, uint64_t key) { return e.first < key; });
-    if (entry == entries.end() || entry->first != fp) {
-      return common::Status::NotFound("");
-    }
-    *edge = entry->second;
-    return common::Status::OK();
-  }
 };
 
 SpillTier::SpillTier(Options options) : options_(std::move(options)) {
   if (options_.block_entries == 0) options_.block_entries = 256;
+  if (options_.bloom_bits_per_key == 0) options_.bloom_bits_per_key = 10;
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.cache_bytes);
+  }
+  if (options_.background_compact && options_.compact_min_runs > 0) {
+    compact_thread_ = std::thread([this] { CompactLoop(); });
+  }
 }
 
-SpillTier::~SpillTier() = default;
+SpillTier::~SpillTier() {
+  StopBackground();
+  std::lock_guard<std::mutex> lock(prefetch_mu_);
+  if (prefetch_.valid()) prefetch_.wait();
+}
 
 void SpillTier::RecordError(const common::Status& status) const {
   std::lock_guard<std::mutex> lock(status_mu_);
@@ -283,25 +358,82 @@ common::Status SpillTier::status() const {
 std::string SpillTier::NextRunFile() {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "run-%06llu.run",
-                static_cast<unsigned long long>(next_generation_++));
+                static_cast<unsigned long long>(
+                    next_generation_.fetch_add(1, std::memory_order_relaxed)));
   return buf;
+}
+
+common::Status SpillTier::GetDecodedBlock(
+    const Run& run, size_t block,
+    std::shared_ptr<const std::vector<Entry>>* out) const {
+  if (cache_) {
+    if (BlockCache::BlockPtr hit = cache_->Lookup(run.cache_id, block)) {
+      *out = std::move(hit);
+      return common::Status::OK();
+    }
+  }
+  std::string scratch;
+  std::string_view payload;
+  if (!run.MappedPayload(block, &payload)) {
+    common::Status read_status = run.ReadBlock(block, &scratch);
+    if (!read_status.ok()) return read_status;
+    payload = scratch;
+  }
+  auto entries = std::make_shared<std::vector<Entry>>();
+  common::Status status = DecodeBlockPayload(payload, run.file, entries.get());
+  if (!status.ok()) return status;
+  std::shared_ptr<const std::vector<Entry>> result = std::move(entries);
+  if (cache_) cache_->Insert(run.cache_id, block, result);
+  *out = std::move(result);
+  return common::Status::OK();
+}
+
+common::Status SpillTier::FindInRun(const Run& run, uint64_t fp,
+                                    EdgeData* edge) const {
+  auto it = std::upper_bound(run.block_first_fp.begin(),
+                             run.block_first_fp.end(), fp);
+  if (it == run.block_first_fp.begin()) {
+    return common::Status::NotFound("");
+  }
+  const size_t block =
+      static_cast<size_t>(it - run.block_first_fp.begin()) - 1;
+  std::shared_ptr<const std::vector<Entry>> entries;
+  common::Status status = GetDecodedBlock(run, block, &entries);
+  if (!status.ok()) return status;
+  auto entry = std::lower_bound(
+      entries->begin(), entries->end(), fp,
+      [](const Entry& e, uint64_t key) { return e.first < key; });
+  if (entry == entries->end() || entry->first != fp) {
+    return common::Status::NotFound("");
+  }
+  *edge = entry->second;
+  return common::Status::OK();
+}
+
+void SpillTier::RegisterSealed(std::shared_ptr<Run> run,
+                               size_t contents_bytes) {
+  bytes_written_.fetch_add(contents_bytes, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(runs_mu_);
+  runs_.push_back(std::move(run));
 }
 
 common::Status SpillTier::SealRun(const std::vector<Entry>& entries) {
   if (entries.empty()) return common::Status::OK();
-  if (!dir_ready_) {
+  if (!dir_ready_.load(std::memory_order_acquire)) {
     common::Status status = common::EnsureDir(options_.dir);
     if (!status.ok()) {
       RecordError(status);
       return status;
     }
-    dir_ready_ = true;
+    dir_ready_.store(true, std::memory_order_release);
   }
-  RunBuilder builder(options_.block_entries, entries.size());
+  RunBuilder builder(options_.block_entries, options_.bloom_bits_per_key,
+                     entries.size());
   for (const Entry& e : entries) builder.Add(e.first, e.second);
   auto run = std::make_shared<Run>();
   run->file = NextRunFile();
   run->path = options_.dir + "/" + run->file;
+  run->cache_id = next_cache_id_.fetch_add(1, std::memory_order_relaxed);
   const std::string contents = builder.Finish();
   common::WriteFileOptions write_options;
   write_options.durable = options_.durable;
@@ -324,11 +456,16 @@ common::Status SpillTier::SealRun(const std::vector<Entry>& entries) {
   run->block_first_fp = builder.TakeBlockFirstFp();
   run->block_offset = builder.TakeBlockOffset();
   run->block_len = builder.TakeBlockLen();
-  bytes_written_.fetch_add(contents.size(), std::memory_order_relaxed);
+  run->TryMap();
   generations_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::unique_lock<std::shared_mutex> lock(runs_mu_);
-    runs_.push_back(std::move(run));
+  RegisterSealed(std::move(run), contents.size());
+  if (compact_thread_.joinable() && options_.compact_min_runs > 0) {
+    size_t live = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(runs_mu_);
+      live = runs_.size();
+    }
+    if (live >= options_.compact_min_runs) RequestCompaction();
   }
   return common::Status::OK();
 }
@@ -339,7 +476,7 @@ bool SpillTier::FindOnDisk(uint64_t fp, EdgeData* edge) const {
     if (!BloomMayContain(run->bloom, fp)) continue;
     probes_.fetch_add(1, std::memory_order_relaxed);
     const int64_t start_ns = common::MonotonicClock::Real()->NowNanos();
-    common::Status status = run->Find(fp, edge);
+    common::Status status = FindInRun(*run, fp, edge);
     probe_ns_.fetch_add(
         common::MonotonicClock::Real()->NowNanos() - start_ns,
         std::memory_order_relaxed);
@@ -352,7 +489,97 @@ bool SpillTier::FindOnDisk(uint64_t fp, EdgeData* edge) const {
   return false;
 }
 
+void SpillTier::FindBatch(const std::vector<uint64_t>& sorted_fps,
+                          std::vector<BatchHit>* out) const {
+  out->assign(sorted_fps.size(), BatchHit{});
+  if (sorted_fps.empty()) return;
+  std::shared_lock<std::shared_mutex> lock(runs_mu_);
+  std::vector<size_t> survivors;
+  for (const std::shared_ptr<Run>& run : runs_) {
+    // Bloom-gate first: the common case — a batch of brand-new
+    // fingerprints — never touches disk at all.
+    survivors.clear();
+    for (size_t i = 0; i < sorted_fps.size(); ++i) {
+      if ((*out)[i].found) continue;  // Runs are disjoint.
+      if (!BloomMayContain(run->bloom, sorted_fps[i])) continue;
+      survivors.push_back(i);
+    }
+    if (survivors.empty()) continue;
+    probes_.fetch_add(survivors.size(), std::memory_order_relaxed);
+    const int64_t start_ns = common::MonotonicClock::Real()->NowNanos();
+    // One merged sweep: survivors are in ascending fp order, so their
+    // block indices are nondecreasing — group them and decode each
+    // block exactly once for the whole batch.
+    const size_t nblocks = run->block_first_fp.size();
+    size_t bi = 0;
+    while (bi < survivors.size()) {
+      const uint64_t fp = sorted_fps[survivors[bi]];
+      auto it = std::upper_bound(run->block_first_fp.begin(),
+                                 run->block_first_fp.end(), fp);
+      if (it == run->block_first_fp.begin()) {
+        ++bi;  // Below the run's first fingerprint: definitely absent.
+        continue;
+      }
+      const size_t block =
+          static_cast<size_t>(it - run->block_first_fp.begin()) - 1;
+      const bool last_block = block + 1 >= nblocks;
+      const uint64_t next_first =
+          last_block ? 0 : run->block_first_fp[block + 1];
+      size_t bj = bi;
+      while (bj < survivors.size() &&
+             (last_block || sorted_fps[survivors[bj]] < next_first)) {
+        ++bj;
+      }
+      std::string_view raw;
+      if (run->MappedPayload(block, &raw)) {
+        // Mapped run: membership is an in-place binary search of the
+        // raw fingerprint array — no syscall, no decode, no cache
+        // traffic. This is the probe hot path.
+        for (size_t k = bi; k < bj; ++k) {
+          const int found = RawBlockContains(raw, sorted_fps[survivors[k]]);
+          if (found < 0) {
+            RecordError(Corrupt(run->file, "malformed block header"));
+            probe_ns_.fetch_add(
+                common::MonotonicClock::Real()->NowNanos() - start_ns,
+                std::memory_order_relaxed);
+            return;
+          }
+          if (found > 0) (*out)[survivors[k]].found = true;
+        }
+        bi = bj;
+        continue;
+      }
+      // Unmapped fallback: decode through the block cache so repeat
+      // probes of the block at least skip the pread.
+      std::shared_ptr<const std::vector<Entry>> entries;
+      common::Status status = GetDecodedBlock(*run, block, &entries);
+      if (!status.ok()) {
+        RecordError(status);
+        probe_ns_.fetch_add(
+            common::MonotonicClock::Real()->NowNanos() - start_ns,
+            std::memory_order_relaxed);
+        return;
+      }
+      for (size_t k = bi; k < bj; ++k) {
+        const uint64_t want = sorted_fps[survivors[k]];
+        auto entry = std::lower_bound(
+            entries->begin(), entries->end(), want,
+            [](const Entry& e, uint64_t key) { return e.first < key; });
+        if (entry != entries->end() && entry->first == want) {
+          (*out)[survivors[k]].found = true;
+        }
+      }
+      bi = bj;
+    }
+    probe_ns_.fetch_add(
+        common::MonotonicClock::Real()->NowNanos() - start_ns,
+        std::memory_order_relaxed);
+  }
+}
+
 common::Status SpillTier::CompactIfNeeded() {
+  // Serialize merges (background thread vs. direct calls in tests).
+  std::lock_guard<std::mutex> exec_lock(compact_exec_mu_);
   std::vector<std::shared_ptr<Run>> snapshot;
   {
     std::shared_lock<std::shared_mutex> lock(runs_mu_);
@@ -365,9 +592,11 @@ common::Status SpillTier::CompactIfNeeded() {
   const int64_t start_ns = common::MonotonicClock::Real()->NowNanos();
 
   // Streaming k-way merge: one decoded block per run in memory at a
-  // time, heap-ordered by the cursors' current fingerprints.
+  // time, heap-ordered by the cursors' current fingerprints. Reads
+  // bypass the block cache — a merge touches every block exactly once,
+  // so caching it would only evict the probe working set.
   struct Cursor {
-    const Run* run;
+    const Run* run = nullptr;
     size_t block = 0;
     size_t i = 0;
     std::vector<Entry> entries;
@@ -376,18 +605,24 @@ common::Status SpillTier::CompactIfNeeded() {
   uint64_t total = 0;
   for (const std::shared_ptr<Run>& run : snapshot) {
     total += run->count;
-    cursors.push_back(Cursor{run.get()});
+    cursors.emplace_back();
+    cursors.back().run = run.get();
   }
-  auto load = [this](Cursor* c) -> common::Status {
+  auto load = [](Cursor* c) -> common::Status {
     c->entries.clear();
     c->i = 0;
     if (c->block >= c->run->block_first_fp.size()) {
       return common::Status::OK();  // Exhausted.
     }
-    std::string payload;
-    common::Status status = c->run->ReadBlock(c->block, &payload);
-    if (!status.ok()) return status;
-    status = DecodeBlockPayload(payload, c->run->file, &c->entries);
+    std::string scratch;
+    std::string_view payload;
+    if (!c->run->MappedPayload(c->block, &payload)) {
+      common::Status status = c->run->ReadBlock(c->block, &scratch);
+      if (!status.ok()) return status;
+      payload = scratch;
+    }
+    common::Status status =
+        DecodeBlockPayload(payload, c->run->file, &c->entries);
     if (!status.ok()) return status;
     ++c->block;
     return common::Status::OK();
@@ -406,7 +641,8 @@ common::Status SpillTier::CompactIfNeeded() {
       heap.emplace(cursors[ci].entries[0].first, ci);
     }
   }
-  RunBuilder builder(options_.block_entries, total);
+  RunBuilder builder(options_.block_entries, options_.bloom_bits_per_key,
+                     total);
   while (!heap.empty()) {
     const auto [fp, ci] = heap.top();
     heap.pop();
@@ -428,6 +664,7 @@ common::Status SpillTier::CompactIfNeeded() {
   auto merged = std::make_shared<Run>();
   merged->file = NextRunFile();
   merged->path = options_.dir + "/" + merged->file;
+  merged->cache_id = next_cache_id_.fetch_add(1, std::memory_order_relaxed);
   const std::string contents = builder.Finish();
   common::WriteFileOptions write_options;
   write_options.durable = options_.durable;
@@ -450,17 +687,36 @@ common::Status SpillTier::CompactIfNeeded() {
   merged->block_first_fp = builder.TakeBlockFirstFp();
   merged->block_offset = builder.TakeBlockOffset();
   merged->block_len = builder.TakeBlockLen();
+  merged->TryMap();
   bytes_written_.fetch_add(contents.size(), std::memory_order_relaxed);
   compactions_.fetch_add(1, std::memory_order_relaxed);
   {
+    // Swap: drop exactly the merged-away inputs. Runs sealed after the
+    // snapshot was taken (concurrent eviction) stay live. In-flight
+    // probes hold the shared lock, so the retiring runs stay readable
+    // via their shared_ptr references until this exclusive section.
     std::unique_lock<std::shared_mutex> lock(runs_mu_);
-    runs_.clear();
-    runs_.push_back(std::move(merged));
+    std::vector<std::shared_ptr<Run>> next;
+    next.reserve(runs_.size() + 1 - snapshot.size());
+    next.push_back(merged);
+    for (const std::shared_ptr<Run>& run : runs_) {
+      bool retired = false;
+      for (const std::shared_ptr<Run>& old : snapshot) {
+        if (run == old) {
+          retired = true;
+          break;
+        }
+      }
+      if (!retired) next.push_back(run);
+    }
+    runs_ = std::move(next);
   }
   // The input runs are no longer reachable by probes; their files go now,
   // or at the next PurgeRetired() when a manifest may still name them.
   for (const std::shared_ptr<Run>& run : snapshot) {
+    if (cache_) cache_->EraseRun(run->cache_id);
     if (options_.defer_deletes) {
+      std::lock_guard<std::mutex> lock(retired_mu_);
       retired_.push_back(run->path);
     } else {
       common::RemoveFileIfExists(run->path);
@@ -471,11 +727,74 @@ common::Status SpillTier::CompactIfNeeded() {
   return common::Status::OK();
 }
 
+void SpillTier::CompactLoop() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  for (;;) {
+    compact_cv_.wait(lock, [this] {
+      return compact_stop_ ||
+             (compact_requested_ && compact_pause_depth_ == 0);
+    });
+    if (compact_stop_) return;
+    compact_requested_ = false;
+    compact_busy_ = true;
+    lock.unlock();
+    CompactIfNeeded();  // Errors land in status_.
+    lock.lock();
+    compact_busy_ = false;
+    compact_cv_.notify_all();
+  }
+}
+
+void SpillTier::RequestCompaction() {
+  if (compact_thread_.joinable()) {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_requested_ = true;
+    compact_cv_.notify_all();
+  } else {
+    CompactIfNeeded();  // Synchronous fallback; errors land in status_.
+  }
+}
+
+void SpillTier::PauseCompaction() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  ++compact_pause_depth_;
+  compact_cv_.wait(lock, [this] { return !compact_busy_; });
+}
+
+void SpillTier::ResumeCompaction() {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  --compact_pause_depth_;
+  compact_cv_.notify_all();
+}
+
+void SpillTier::StopBackground() {
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_stop_ = true;
+    compact_cv_.notify_all();
+  }
+  if (compact_thread_.joinable()) compact_thread_.join();
+}
+
+void SpillTier::PrefetchForReplay(uint64_t fp) const {
+  std::lock_guard<std::mutex> lock(prefetch_mu_);
+  if (prefetch_.valid() &&
+      prefetch_.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+    return;  // Slot busy; read-ahead is best effort.
+  }
+  prefetch_ = std::async(std::launch::async, [this, fp] {
+    EdgeData edge;
+    FindOnDisk(fp, &edge);  // Side effect: warms the block cache.
+  });
+}
+
 common::Status SpillTier::OpenRun(const std::string& file,
                                   std::shared_ptr<Run>* out) {
   auto run = std::make_shared<Run>();
   run->file = file;
   run->path = options_.dir + "/" + file;
+  run->cache_id = next_cache_id_.fetch_add(1, std::memory_order_relaxed);
   std::string contents;
   common::Status status = common::ReadFileToString(run->path, &contents);
   if (!status.ok()) return status;
@@ -517,7 +836,7 @@ common::Status SpillTier::OpenRun(const std::string& file,
   }
   // Second pass for the filter + checksum (entries were consumed
   // block-by-block above; re-walk cheaply for the fp stream only).
-  run->bloom.assign(BloomWords(declared), 0);
+  run->bloom.assign(BloomWords(declared, options_.bloom_bits_per_key), 0);
   pos = kHeaderBytes;
   while (pos < blocks_end) {
     uint64_t payload_len = 0;
@@ -545,6 +864,7 @@ common::Status SpillTier::OpenRun(const std::string& file,
   }
   run->count = declared;
   run->bytes = contents.size();
+  run->TryMap();
   *out = std::move(run);
   return common::Status::OK();
 }
@@ -566,10 +886,23 @@ common::Status SpillTier::AdoptRuns(const std::vector<std::string>& files) {
     }
     adopted.push_back(std::move(run));
   }
-  dir_ready_ = true;
-  next_generation_ = std::max(next_generation_, max_generation);
-  std::unique_lock<std::shared_mutex> lock(runs_mu_);
-  runs_ = std::move(adopted);
+  dir_ready_.store(true, std::memory_order_release);
+  uint64_t current = next_generation_.load(std::memory_order_relaxed);
+  while (current < max_generation &&
+         !next_generation_.compare_exchange_weak(
+             current, max_generation, std::memory_order_relaxed)) {
+  }
+  std::vector<std::shared_ptr<Run>> replaced;
+  {
+    std::unique_lock<std::shared_mutex> lock(runs_mu_);
+    replaced = std::move(runs_);
+    runs_ = std::move(adopted);
+  }
+  if (cache_) {
+    for (const std::shared_ptr<Run>& run : replaced) {
+      cache_->EraseRun(run->cache_id);
+    }
+  }
   return common::Status::OK();
 }
 
@@ -599,10 +932,14 @@ common::Status SpillTier::DropOrphans() const {
 }
 
 void SpillTier::PurgeRetired() {
-  for (const std::string& path : retired_) {
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    doomed.swap(retired_);
+  }
+  for (const std::string& path : doomed) {
     common::RemoveFileIfExists(path);
   }
-  retired_.clear();
 }
 
 std::vector<SpillTier::RunInfo> SpillTier::run_infos() const {
@@ -625,10 +962,17 @@ SpillTier::Stats SpillTier::stats() const {
       s.live_bytes += run->bytes;
     }
   }
+  s.compact_backlog = s.runs > 0 ? s.runs - 1 : 0;
   s.generations = generations_.load(std::memory_order_relaxed);
   s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   s.compactions = compactions_.load(std::memory_order_relaxed);
   s.probes = probes_.load(std::memory_order_relaxed);
+  if (cache_) {
+    const BlockCache::Stats c = cache_->stats();
+    s.cache_hits = c.hits;
+    s.cache_misses = c.misses;
+    s.cache_bytes = c.bytes;
+  }
   s.probe_ms =
       static_cast<double>(probe_ns_.load(std::memory_order_relaxed)) * 1e-6;
   s.merge_ms =

@@ -2,11 +2,14 @@
 #define XMODEL_TLAX_FPSET_SPILL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,27 +17,46 @@
 
 namespace xmodel::tlax {
 
+class BlockCache;
+
 /// The fingerprint set's disk tier: sealed, immutable runs of sorted
-/// fingerprints with their discovery edges, the TLC out-of-core design
-/// with delta compression. Each run is one "spill generation" — the
-/// whole hot table frozen at an eviction point — laid out as
-/// fixed-entry-count blocks of varint-encoded fingerprint deltas plus a
-/// compact edge sidecar (pred_fp, order_key, action, depth) so
-/// counterexample-trace rebuild still works after eviction.
+/// fingerprints with their discovery edges, the TLC out-of-core design.
+/// Each run is one "spill generation" — the whole hot table frozen at
+/// an eviction point — laid out as fixed-entry-count blocks: a raw
+/// sorted fixed64 fingerprint array plus a varint-packed edge sidecar
+/// (pred_fp, order_key, action, depth) so counterexample-trace rebuild
+/// still works after eviction.
 ///
 /// Per run the tier keeps two small in-memory structures: a Bloom filter
 /// (so the common "fingerprint is new" probe stays memory-speed — a
 /// negative never touches disk) and a per-block sparse index (first
-/// fingerprint + byte extent), so a positive costs one pread of a few KB
-/// and one block decode. Runs are disjoint by construction (a
-/// fingerprint is evicted exactly once), and a k-way block-streaming
-/// merge compacts them when the run count grows.
+/// fingerprint + byte extent). Run files are mmap'd read-only, so a
+/// positive membership probe is an in-place binary search of the
+/// mapped fingerprint array — no syscall, no decode, no allocation;
+/// the OS page cache is the backing store, which is exactly the
+/// out-of-core contract (the checker's own budget stays bounded while
+/// reclaimable file pages absorb the working set). Runs are disjoint by
+/// construction (a fingerprint is evicted exactly once), and a k-way
+/// block-streaming merge compacts them when the run count grows.
+///
+/// Fast path: FindBatch probes a sorted batch of fingerprints with one
+/// merged sweep per run — survivors of the Bloom gate walk the block
+/// index monotonically and binary-search each mapped block in place.
+/// The decoded-block path (edge lookups for trace rebuild, and the
+/// pread fallback when mmap is unavailable) goes through a sharded LRU
+/// BlockCache (Options::cache_bytes, carved out of the checker's memory
+/// budget). Compaction optionally runs on a dedicated background thread
+/// (Options::background_compact) concurrent with probes — retiring runs
+/// stay readable through shared_ptr references until the merged run is
+/// swapped in, and Pause/ResumeCompaction quiesce the thread around
+/// checkpoint manifests so a manifest never names a half-merged run.
 ///
 /// Thread safety: probes take a shared lock on the run list; sealing and
-/// compaction take it exclusively only for the list swap. Callers
-/// serialize SealRun/Compact externally (FingerprintSet's eviction
-/// mutex). All file writes go through common::WriteFileAtomic, so a
-/// crash never leaves a half-written run visible.
+/// compaction take it exclusively only for the list swap. SealRun /
+/// AdoptRuns are still caller-serialized (FingerprintSet's eviction
+/// mutex); CompactIfNeeded may run concurrently with them on the
+/// background thread. All file writes go through common::WriteFileAtomic,
+/// so a crash never leaves a half-written run visible.
 class SpillTier {
  public:
   struct Options {
@@ -42,8 +64,15 @@ class SpillTier {
     std::string dir;
     /// Fingerprints per block (the probe/merge IO granularity).
     size_t block_entries = 256;
+    /// Bloom filter bits per key (`--spill-bloom-bits`). More bits =
+    /// fewer false-positive disk probes, more RAM per spilled record.
+    uint64_t bloom_bits_per_key = 10;
     /// Compact when the run count reaches this. 0 disables compaction.
     size_t compact_min_runs = 8;
+    /// Byte budget for the decoded-block cache. 0 disables the cache.
+    size_t cache_bytes = 0;
+    /// Run compaction on a dedicated thread, overlapped with probes.
+    bool background_compact = false;
     /// fsync run files and the directory (checkpoint durability).
     bool durable = false;
     /// Keep compacted-away run files on disk until PurgeRetired().
@@ -64,6 +93,12 @@ class SpillTier {
 
   using Entry = std::pair<uint64_t, EdgeData>;
 
+  /// One slot of a FindBatch result, parallel to the probed batch.
+  /// Membership only — edges stay on disk until FindOnDisk needs them.
+  struct BatchHit {
+    bool found = false;
+  };
+
   struct RunInfo {
     std::string file;  // Name within dir, not a path.
     uint64_t count = 0;
@@ -77,7 +112,11 @@ class SpillTier {
     uint64_t live_bytes = 0;        // Bytes of live run files.
     uint64_t bytes_written = 0;     // Cumulative bytes written (monotone).
     uint64_t compactions = 0;
+    uint64_t compact_backlog = 0;   // Extra live runs a probe must consult.
     uint64_t probes = 0;            // Disk-path probes (past the filters).
+    uint64_t cache_hits = 0;        // Decoded-block cache hits (monotone).
+    uint64_t cache_misses = 0;      // Decoded-block cache misses (monotone).
+    uint64_t cache_bytes = 0;       // Resident decoded-block bytes.
     double probe_ms = 0;
     double merge_ms = 0;
   };
@@ -92,7 +131,9 @@ class SpillTier {
 
   /// Seals `entries` (sorted by fingerprint, strictly increasing,
   /// disjoint from every live run) as a new run file and registers it
-  /// for probes. Empty input is a no-op.
+  /// for probes. Empty input is a no-op. In background_compact mode
+  /// this also wakes the compaction thread when the run count has
+  /// reached the threshold.
   common::Status SealRun(const std::vector<Entry>& entries);
 
   /// Membership + edge probe across every live run. False means the
@@ -100,9 +141,40 @@ class SpillTier {
   /// recorded — see status()).
   bool FindOnDisk(uint64_t fp, EdgeData* edge) const;
 
+  /// Batched membership probe: `sorted_fps` must be ascending and
+  /// unique. Every live run is swept once — per run, the surviving
+  /// (Bloom-positive, not-yet-found) fingerprints walk the block index
+  /// monotonically and binary-search each mapped block in place (the
+  /// pread fallback decodes each block at most once for the batch).
+  /// `out` is resized to match and filled positionally.
+  void FindBatch(const std::vector<uint64_t>& sorted_fps,
+                 std::vector<BatchHit>* out) const;
+
   /// K-way merges all live runs into one when the run count has reached
-  /// Options::compact_min_runs.
+  /// Options::compact_min_runs. Safe to call concurrently with probes
+  /// and SealRun (runs sealed after the merge snapshot survive).
   common::Status CompactIfNeeded();
+
+  /// background_compact mode: nudges the compaction thread to check the
+  /// run count. No-op (beyond the synchronous fallback) otherwise.
+  void RequestCompaction();
+
+  /// Quiesce/resume the background compaction thread. While paused, no
+  /// merge is in flight and none starts, so run_infos() is stable —
+  /// checkpointing brackets manifest construction + PurgeRetired with
+  /// this so a manifest never names a half-merged or about-to-retire
+  /// run set that a purge then deletes. Nestable; pairs must balance.
+  void PauseCompaction();
+  void ResumeCompaction();
+
+  /// Joins the background compaction thread (idempotent). Called by the
+  /// destructor; engines call it before tearing down the spill dir.
+  void StopBackground();
+
+  /// One-slot async read-ahead for trace rebuild: warms the block cache
+  /// with the block that holds `fp` while the caller recomputes states.
+  /// Best effort — drops the request when the slot is busy.
+  void PrefetchForReplay(uint64_t fp) const;
 
   /// Resume path: opens and validates previously sealed run files (names
   /// within dir, in manifest order). A truncated or garbled file is a
@@ -134,13 +206,40 @@ class SpillTier {
   common::Status OpenRun(const std::string& file, std::shared_ptr<Run>* out);
   void RecordError(const common::Status& status) const;
   std::string NextRunFile();
+  /// Decoded block fetch, through the cache when one is configured.
+  common::Status GetDecodedBlock(
+      const Run& run, size_t block,
+      std::shared_ptr<const std::vector<Entry>>* out) const;
+  common::Status FindInRun(const Run& run, uint64_t fp, EdgeData* edge) const;
+  void CompactLoop();
+  void RegisterSealed(std::shared_ptr<Run> run, size_t contents_bytes);
 
   Options options_;
   mutable std::shared_mutex runs_mu_;
   std::vector<std::shared_ptr<Run>> runs_;
+  std::atomic<uint64_t> next_generation_{0};
+  std::atomic<uint64_t> next_cache_id_{0};
+  std::atomic<bool> dir_ready_{false};
+
+  std::mutex retired_mu_;
   std::vector<std::string> retired_;  // Paths awaiting PurgeRetired().
-  uint64_t next_generation_ = 0;
-  bool dir_ready_ = false;
+
+  std::unique_ptr<BlockCache> cache_;
+
+  // Background compaction coordination. compact_busy_ is true from the
+  // moment the thread picks up a request until the merged run is swapped
+  // in; PauseCompaction waits it out.
+  std::mutex compact_mu_;
+  std::mutex compact_exec_mu_;  // Serializes the merge itself.
+  std::condition_variable compact_cv_;
+  std::thread compact_thread_;
+  bool compact_requested_ = false;
+  bool compact_busy_ = false;
+  bool compact_stop_ = false;
+  int compact_pause_depth_ = 0;
+
+  mutable std::mutex prefetch_mu_;
+  mutable std::future<void> prefetch_;
 
   mutable std::mutex status_mu_;
   mutable common::Status status_;

@@ -29,6 +29,10 @@ FrontierSpool::FrontierSpool(Options options) : options_(std::move(options)) {
   if (options_.segment_entries == 0) options_.segment_entries = 4096;
 }
 
+FrontierSpool::~FrontierSpool() {
+  if (prefetch_.valid()) prefetch_.get();
+}
+
 common::Status FrontierSpool::WriteSegment() {
   if (tail_.empty()) return common::Status::OK();
   std::string contents(kSegMagic, sizeof(kSegMagic));
@@ -58,7 +62,7 @@ common::Status FrontierSpool::WriteSegment() {
       options_.dir + "/" + seg.file, contents, write_options);
   if (!status.ok()) return status;
   spooled_ += seg.count;
-  ++segments_written_;
+  segments_written_.fetch_add(1, std::memory_order_relaxed);
   segments_.push_back(std::move(seg));
   tail_.clear();
   return common::Status::OK();
@@ -116,18 +120,44 @@ common::Status FrontierSpool::Append(std::vector<LevelEntry>&& entries) {
   return common::Status::OK();
 }
 
+void FrontierSpool::StartPrefetch() {
+  if (segments_.empty() || prefetch_.valid()) return;
+  prefetch_file_ = segments_.front().file;
+  // The target is a sealed, immutable file that stays live (never
+  // retired) until the owner pops it, so the off-thread read races with
+  // nothing. ReadSegment only touches options_, which is const here.
+  prefetch_ = std::async(std::launch::async, [this, file = prefetch_file_] {
+    std::vector<LevelEntry> entries;
+    common::Status status = ReadSegment(file, &entries);
+    return std::make_pair(std::move(status), std::move(entries));
+  });
+}
+
 common::Status FrontierSpool::PopBatch(std::vector<LevelEntry>* out) {
   out->clear();
   if (!segments_.empty()) {
     Segment seg = std::move(segments_.front());
     segments_.pop_front();
-    common::Status status = ReadSegment(seg.file, out);
+    common::Status status;
+    if (prefetch_.valid() && prefetch_file_ == seg.file) {
+      auto prefetched = prefetch_.get();
+      status = std::move(prefetched.first);
+      *out = std::move(prefetched.second);
+    } else {
+      // Stale read-ahead (e.g. the front changed via AdoptSegments);
+      // drain it and read synchronously.
+      if (prefetch_.valid()) prefetch_.get();
+      status = ReadSegment(seg.file, out);
+    }
     if (!status.ok()) return status;
     if (out->size() != seg.count) {
       return Corrupt(seg.file, "entry count changed since sealing");
     }
     spooled_ -= seg.count;
     Retire(seg.file);
+    // Double-buffer: start reading the next segment while the caller
+    // expands this batch.
+    StartPrefetch();
     return common::Status::OK();
   }
   *out = std::move(tail_);

@@ -1,9 +1,12 @@
 #ifndef XMODEL_TLAX_FRONTIER_SPILL_H_
 #define XMODEL_TLAX_FRONTIER_SPILL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -22,7 +25,12 @@ namespace xmodel::tlax::internal {
 ///
 /// Not internally synchronized: each spool has a single owner (the
 /// barrier thread, or one relaxed worker; the checkpointer touches all
-/// spools only while every worker is parked).
+/// spools only while every worker is parked). Two narrow exceptions:
+/// segments_written() is an atomic read any thread may make (the live
+/// metrics flusher polls other workers' spools), and PopBatch keeps a
+/// one-segment async read-ahead in flight — the prefetch thread only
+/// reads a sealed, immutable segment file that stays live (never
+/// retired) until the owner pops it.
 ///
 /// Segment files are written atomically (temp + rename) and carry a
 /// count and fingerprint checksum, so a truncated or garbled file on
@@ -43,13 +51,17 @@ class FrontierSpool {
   };
 
   explicit FrontierSpool(Options options);
+  ~FrontierSpool();
 
   /// Moves `entries` onto the spool tail, sealing full segments.
   common::Status Append(std::vector<LevelEntry>&& entries);
 
   /// Pops the oldest batch in FIFO order: the front segment file
   /// (decoded and consumed), else the in-memory tail. Empty `out` with
-  /// OK status means the spool is empty.
+  /// OK status means the spool is empty. When the popped segment was
+  /// read ahead by the previous call the decode cost is already paid;
+  /// either way a new read-ahead of the next segment starts before
+  /// returning, overlapping its IO with the caller's expansion work.
   common::Status PopBatch(std::vector<LevelEntry>* out);
 
   /// Flushes the in-memory tail to a segment file (checkpoint prep).
@@ -60,8 +72,10 @@ class FrontierSpool {
   bool empty() const { return size() == 0; }
 
   /// Cumulative segment files written (monotone; feeds
-  /// checker.spill.frontier_segments).
-  uint64_t segments_written() const { return segments_written_; }
+  /// checker.spill.frontier_segments). Safe from any thread.
+  uint64_t segments_written() const {
+    return segments_written_.load(std::memory_order_relaxed);
+  }
 
   /// Live (unconsumed) segment files in FIFO order, for manifests.
   /// Call Seal() first so the tail is included.
@@ -87,15 +101,22 @@ class FrontierSpool {
   common::Status ReadSegment(const std::string& file,
                              std::vector<LevelEntry>* out) const;
   void Retire(const std::string& file);
+  /// Starts the async read-ahead of the front segment (no-op when the
+  /// spool has no sealed segments or a read-ahead is already in flight).
+  void StartPrefetch();
 
   Options options_;
   std::deque<Segment> segments_;
   std::vector<LevelEntry> tail_;
   std::vector<std::string> consumed_;
   uint64_t next_segment_ = 0;
-  uint64_t segments_written_ = 0;
+  std::atomic<uint64_t> segments_written_{0};
   uint64_t spooled_ = 0;
   bool dir_ready_ = false;
+  // One-slot read-ahead (owner-thread state; only the decode itself is
+  // off-thread).
+  std::string prefetch_file_;
+  std::future<std::pair<common::Status, std::vector<LevelEntry>>> prefetch_;
 };
 
 }  // namespace xmodel::tlax::internal

@@ -91,6 +91,25 @@ void ExpectSpillInvisible(ExplorationPolicy policy) {
       EXPECT_EQ(result.frontier_peak, base.frontier_peak);
       EXPECT_GT(result.frontier_segments, 0u);
     }
+
+    // The run-format knobs (Bloom bits per key, block size) change disk
+    // layout and probe costs only — never counts.
+    CheckerOptions knobs = tight;
+    knobs.spill_bloom_bits = 4;
+    knobs.spill_block_entries = 32;
+    knobs.spill_dir =
+        FreshDir(common::StrCat("knobs_", ExplorationPolicyName(policy), "_w",
+                                workers));
+    CheckResult tuned = ModelChecker(knobs).Check(spec);
+    ASSERT_TRUE(tuned.status.ok()) << tuned.status.ToString();
+    EXPECT_TRUE(tuned.spill_enabled);
+    EXPECT_EQ(tuned.distinct_states, base.distinct_states);
+    EXPECT_EQ(tuned.generated_states, base.generated_states);
+    EXPECT_EQ(tuned.fingerprint_collisions, base.fingerprint_collisions);
+    EXPECT_FALSE(tuned.violation.has_value());
+    if (policy == ExplorationPolicy::kLevelSync) {
+      EXPECT_EQ(tuned.diameter, base.diameter);
+    }
   }
 }
 
@@ -153,6 +172,38 @@ TEST(OutOfCoreTest, RelaxedViolationVerdictIdenticalUnderSpill) {
   // Relaxed violating runs drain the whole reachable space, so distinct
   // stays invariant even on violations.
   EXPECT_EQ(result.distinct_states, base.distinct_states);
+}
+
+// A state space wide enough that the tight budget seals well past the
+// compaction threshold, so the background compaction thread provably
+// merges runs mid-run — concurrent with exploration — and counts still
+// match the unlimited run exactly.
+TEST(OutOfCoreTest, MidRunBackgroundCompactionStaysExact) {
+  const specs::CounterSpec spec(/*limit=*/350);
+  for (ExplorationPolicy policy :
+       {ExplorationPolicy::kLevelSync, ExplorationPolicy::kRelaxed}) {
+    SCOPED_TRACE(ExplorationPolicyName(policy));
+    CheckerOptions options;
+    options.exploration = policy;
+    options.num_workers = 2;
+    CheckResult base = ModelChecker(options).Check(spec);
+    ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+
+    CheckerOptions tight = options;
+    tight.memory_budget_mb = 1;
+    tight.frontier_inmem_entries = 64;
+    tight.spill_dir = FreshDir(
+        common::StrCat("compact_", ExplorationPolicyName(policy)));
+    CheckResult result = ModelChecker(tight).Check(spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_TRUE(result.spill_enabled);
+    EXPECT_GE(result.spill_compactions, 1u)
+        << "the budget must force enough generations to trip compaction";
+    EXPECT_EQ(result.distinct_states, base.distinct_states);
+    EXPECT_EQ(result.generated_states, base.generated_states);
+    EXPECT_EQ(result.fingerprint_collisions, base.fingerprint_collisions);
+    EXPECT_FALSE(result.violation.has_value());
+  }
 }
 
 // Spilling silently steps aside for modes that need full in-memory

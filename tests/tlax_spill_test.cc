@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/fileio.h"
@@ -229,6 +230,180 @@ TEST(SpillTierTest, CorruptRunIsARefusedAdoption) {
   }
 }
 
+TEST(SpillTierTest, FindBatchMatchesFindOnDisk) {
+  SpillTier::Options options;
+  options.dir = TestDir("findbatch");
+  options.block_entries = 16;
+  SpillTier tier(options);
+  // Three disjoint runs with interleaved ranges, several blocks each.
+  ASSERT_TRUE(tier.SealRun(MakeEntries(100, 120, 6)).ok());
+  ASSERT_TRUE(tier.SealRun(MakeEntries(101, 120, 6)).ok());
+  ASSERT_TRUE(tier.SealRun(MakeEntries(103, 120, 6)).ok());
+
+  // A sorted batch mixing members of every run with absent keys below,
+  // between, and above the stored ranges.
+  std::vector<uint64_t> batch;
+  for (uint64_t fp = 0; fp < 1'000; ++fp) batch.push_back(fp);
+  std::vector<SpillTier::BatchHit> hits;
+  tier.FindBatch(batch, &hits);
+  ASSERT_EQ(hits.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SpillTier::EdgeData edge;
+    EXPECT_EQ(hits[i].found, tier.FindOnDisk(batch[i], &edge))
+        << "fp " << batch[i];
+  }
+  EXPECT_TRUE(tier.status().ok());
+}
+
+TEST(SpillTierTest, CacheEvictionRedecodesBlocksCorrectly) {
+  SpillTier::Options options;
+  options.dir = TestDir("cache_evict");
+  options.block_entries = 8;
+  // Far smaller than the decoded footprint of all blocks, so sweeping
+  // the whole run twice must evict and re-decode along the way.
+  options.cache_bytes = 16 * 1024;
+  SpillTier tier(options);
+  const std::vector<SpillTier::Entry> entries = MakeEntries(10, 512, 3);
+  ASSERT_TRUE(tier.SealRun(entries).ok());
+
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const SpillTier::Entry& e : entries) {
+      SpillTier::EdgeData edge;
+      ASSERT_TRUE(tier.FindOnDisk(e.first, &edge)) << "fp " << e.first;
+      EXPECT_EQ(edge.pred_fp, e.second.pred_fp);
+      EXPECT_EQ(edge.order_key, e.second.order_key);
+      EXPECT_EQ(edge.depth, e.second.depth);
+      EXPECT_EQ(edge.action, e.second.action);
+    }
+  }
+  SpillTier::Stats stats = tier.stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  const uint64_t nblocks = (512 + 7) / 8;
+  EXPECT_GT(stats.cache_misses, nblocks)
+      << "a miss beyond the block count means an evicted block was "
+         "re-decoded";
+  EXPECT_LE(stats.cache_bytes, options.cache_bytes);
+  EXPECT_TRUE(tier.status().ok());
+}
+
+TEST(SpillTierTest, BlockReReadAfterEvictionReverifiesChecksum) {
+  SpillTier::Options options;
+  options.dir = TestDir("block_sum");
+  options.block_entries = 8;
+  options.cache_bytes = 0;  // Every decoded probe re-reads the block.
+  SpillTier tier(options);
+  const std::vector<SpillTier::Entry> entries = MakeEntries(10, 64, 3);
+  ASSERT_TRUE(tier.SealRun(entries).ok());
+  SpillTier::EdgeData edge;
+  ASSERT_TRUE(tier.FindOnDisk(entries[0].first, &edge));
+  ASSERT_TRUE(tier.status().ok());
+
+  // Garble one byte of the first block's edge sidecar IN PLACE (the live
+  // tier maps the file, so a rename-replace would keep the old bytes
+  // visible). The next decode of that block must fail its checksum
+  // rather than hand back a silently wrong edge.
+  const std::string path = options.dir + "/" + tier.run_infos()[0].file;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  // 16 file header + 8 payload length + 8 count + 8*8 fps puts the
+  // cursor on the first sidecar byte.
+  ASSERT_EQ(std::fseek(f, 16 + 8 + 8 + 64, SEEK_SET), 0);
+  const int orig = std::fgetc(f);
+  ASSERT_NE(orig, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(orig ^ 0x5a, f);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  EXPECT_FALSE(tier.FindOnDisk(entries[0].first, &edge));
+  EXPECT_EQ(tier.status().code(), common::StatusCode::kCorruption)
+      << tier.status().ToString();
+}
+
+TEST(SpillTierTest, BackgroundCompactionRacesProbesSafely) {
+  SpillTier::Options options;
+  options.dir = TestDir("bg_compact");
+  options.block_entries = 16;
+  options.compact_min_runs = 2;
+  options.background_compact = true;
+  options.cache_bytes = 8 * 1024;
+  SpillTier tier(options);
+
+  constexpr uint64_t kRuns = 12;
+  constexpr uint64_t kPerRun = 200;
+  std::atomic<uint64_t> sealed_runs{0};
+  std::atomic<bool> stop{false};
+  // Probe continuously (point and batched) while runs seal and the
+  // background thread merges them out from underneath.
+  std::vector<std::thread> probers;
+  for (int t = 0; t < 2; ++t) {
+    probers.emplace_back([&tier, &sealed_runs, &stop, t] {
+      std::vector<uint64_t> batch;
+      std::vector<SpillTier::BatchHit> hits;
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t visible = sealed_runs.load(std::memory_order_acquire);
+        for (uint64_t r = 0; r < visible; ++r) {
+          const uint64_t fp = 1'000 * (r + 1) + (t + 1);
+          if (t == 0) {
+            SpillTier::EdgeData edge;
+            ASSERT_TRUE(tier.FindOnDisk(fp, &edge)) << "fp " << fp;
+          } else {
+            batch.assign({fp, fp + 1, 1'000'000 + fp});
+            tier.FindBatch(batch, &hits);
+            ASSERT_TRUE(hits[0].found) << "fp " << fp;
+          }
+        }
+      }
+    });
+  }
+  for (uint64_t r = 0; r < kRuns; ++r) {
+    // Run r holds [1000*(r+1), 1000*(r+1) + kPerRun): disjoint ranges.
+    ASSERT_TRUE(tier.SealRun(MakeEntries(1'000 * (r + 1), kPerRun, 1)).ok());
+    sealed_runs.store(r + 1, std::memory_order_release);
+  }
+  // Let probes overlap the final merges, then wind down.
+  tier.PauseCompaction();
+  tier.ResumeCompaction();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : probers) t.join();
+  tier.StopBackground();
+
+  EXPECT_TRUE(tier.status().ok()) << tier.status().ToString();
+  EXPECT_GE(tier.stats().compactions, 1u);
+  EXPECT_EQ(tier.stats().spilled_records, kRuns * kPerRun);
+  for (uint64_t r = 0; r < kRuns; ++r) {
+    for (const SpillTier::Entry& e : MakeEntries(1'000 * (r + 1), kPerRun, 1)) {
+      SpillTier::EdgeData edge;
+      ASSERT_TRUE(tier.FindOnDisk(e.first, &edge)) << "fp " << e.first;
+      EXPECT_EQ(edge.pred_fp, e.second.pred_fp);
+    }
+  }
+}
+
+TEST(SpillTierTest, BloomBitsAndBlockSizeOptionsRoundTrip) {
+  for (const auto& [bloom_bits, block_entries] :
+       std::vector<std::pair<uint64_t, size_t>>{{1, 16}, {24, 4096}}) {
+    SpillTier::Options options;
+    options.dir = TestDir("knobs");
+    options.bloom_bits_per_key = bloom_bits;
+    options.block_entries = block_entries;
+    SpillTier tier(options);
+    const std::vector<SpillTier::Entry> entries = MakeEntries(7, 300, 5);
+    ASSERT_TRUE(tier.SealRun(entries).ok());
+    std::vector<uint64_t> batch;
+    for (const SpillTier::Entry& e : entries) batch.push_back(e.first);
+    std::vector<SpillTier::BatchHit> hits;
+    tier.FindBatch(batch, &hits);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_TRUE(hits[i].found)
+          << "fp " << batch[i] << " bloom_bits " << bloom_bits
+          << " block_entries " << block_entries;
+    }
+    SpillTier::EdgeData edge;
+    EXPECT_FALSE(tier.FindOnDisk(8, &edge));
+    EXPECT_TRUE(tier.status().ok());
+  }
+}
+
 TEST(FpsetSpillTest, EvictionKeepsMembershipAndEdgesExact) {
   FingerprintSet::Options options;
   options.spill_dir = TestDir("fpset_evict");
@@ -264,6 +439,58 @@ TEST(FpsetSpillTest, EvictionKeepsMembershipAndEdgesExact) {
   EXPECT_TRUE(set.Insert(9'999, 1, 1, 3, 1, 0, nullptr).inserted);
   EXPECT_EQ(set.size(), 501u);
   EXPECT_EQ(set.hot_count(), 1u);
+  EXPECT_TRUE(set.spill_status().ok());
+}
+
+TEST(FpsetSpillTest, InsertOrDeferResolvesAgainstDiskInOneBatch) {
+  FingerprintSet::Options options;
+  options.spill_dir = TestDir("fpset_defer");
+  FingerprintSet set(options);
+  for (uint64_t fp = 1; fp <= 100; ++fp) {
+    ASSERT_TRUE(set.Insert(fp, fp / 2, 1, static_cast<int64_t>(fp % 5),
+                           fp, 0, nullptr)
+                    .inserted);
+  }
+  ASSERT_TRUE(set.EvictAll().ok());
+  ASSERT_EQ(set.size(), 100u);
+
+  // A mixed batch: 50 is on disk, 1000/1001 are new, and 1000 revisited
+  // within the batch merges into its provisional record (not pending
+  // twice).
+  std::vector<uint64_t> pending;
+  FpInsert r = set.InsertOrDefer(50, 7, 3, 9, 50, 0, nullptr);
+  EXPECT_TRUE(r.pending);
+  pending.push_back(50);
+  r = set.InsertOrDefer(1'000, 8, 2, 4, 60, 0, nullptr);
+  EXPECT_TRUE(r.pending);
+  pending.push_back(1'000);
+  r = set.InsertOrDefer(1'000, 9, 2, 4, 61, 0, nullptr);
+  EXPECT_FALSE(r.pending) << "hot revisit merges, not a second probe";
+  EXPECT_FALSE(r.inserted);
+  r = set.InsertOrDefer(1'001, 8, 2, 4, 62, 0, nullptr);
+  EXPECT_TRUE(r.pending);
+  pending.push_back(1'001);
+
+  std::vector<uint8_t> on_disk;
+  set.ResolvePending(pending, &on_disk);
+  ASSERT_EQ(on_disk.size(), 3u);
+  EXPECT_EQ(on_disk[0], 1) << "fp 50 was evicted: the disk copy wins";
+  EXPECT_EQ(on_disk[1], 0);
+  EXPECT_EQ(on_disk[2], 0);
+  EXPECT_EQ(set.size(), 102u) << "two genuinely new fingerprints landed";
+  // The dropped provisional's disk edge is intact; the new ones resolve
+  // from the hot table.
+  auto edge = set.GetEdge(50);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->pred_fp, 25u);
+  EXPECT_EQ(edge->order_key, 50u);
+  edge = set.GetEdge(1'000);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->pred_fp, 8u);
+  // Re-inserting any of them is a plain revisit now.
+  EXPECT_FALSE(set.Insert(50, 0, 0, 0, 0, 0, nullptr).inserted);
+  EXPECT_FALSE(set.Insert(1'000, 0, 0, 0, 0, 0, nullptr).inserted);
+  EXPECT_EQ(set.size(), 102u);
   EXPECT_TRUE(set.spill_status().ok());
 }
 
